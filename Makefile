@@ -1,0 +1,41 @@
+# QuestPro-Go build and reproduction targets. Stdlib only; requires Go 1.22+.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+	mkdir -p bin
+	$(GO) build -o bin/questpro ./cmd/questpro
+	$(GO) build -o bin/qpbench ./cmd/qpbench
+	$(GO) build -o bin/ontgen ./cmd/ontgen
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/eval/ ./internal/core/ ./internal/feedback/
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation artifact at full scale (see EXPERIMENTS.md).
+experiments: build
+	bin/qpbench -exp all -scale 1.0 | tee results_full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/erdos
+	$(GO) run ./examples/ecommerce
+	$(GO) run ./examples/movies
+
+clean:
+	rm -rf bin

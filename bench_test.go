@@ -1,0 +1,178 @@
+// Package bench holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (Section VI).
+// See DESIGN.md's per-experiment index and EXPERIMENTS.md for measured
+// outputs. The qpbench command produces the full-scale tables; these
+// benchmarks time the same code paths at a reduced, fixed scale so that
+// `go test -bench=. -benchmem` is self-contained and fast.
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/experiments"
+	"questpro/internal/workload"
+)
+
+// benchScale keeps per-iteration work around tens of milliseconds.
+const benchScale = 0.35
+
+var (
+	loadOnce  sync.Once
+	workloads map[string]*experiments.Workload
+)
+
+func load(b *testing.B, name string) *experiments.Workload {
+	b.Helper()
+	loadOnce.Do(func() {
+		workloads = map[string]*experiments.Workload{}
+		for _, n := range []string{"sp2b", "bsbm", "dbpedia"} {
+			w, err := experiments.Load(n, benchScale)
+			if err != nil {
+				panic(err)
+			}
+			workloads[n] = w
+		}
+	})
+	w, ok := workloads[name]
+	if !ok {
+		b.Fatalf("unknown workload %s", name)
+	}
+	return w
+}
+
+// topKOpts is the paper's configuration for the timing experiment: k = 3.
+func topKOpts() core.Options {
+	return core.DefaultOptions()
+}
+
+// BenchmarkExplanationsToInfer regenerates experiment E1 (the Section VI-B
+// "Summary": explanations needed per query) once per iteration, per
+// workload.
+func BenchmarkExplanationsToInfer(b *testing.B) {
+	for _, name := range []string{"sp2b", "bsbm"} {
+		b.Run(name, func(b *testing.B) {
+			w := load(b, name)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunExplanationsToInfer(w, topKOpts(), 5, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopKInference regenerates experiment E2 (the execution-time
+// paragraph: top-k inference with 7 explanations, k = 3), one
+// sub-benchmark per benchmark query.
+func BenchmarkTopKInference(b *testing.B) {
+	for _, name := range []string{"sp2b", "bsbm"} {
+		b.Run(name, func(b *testing.B) {
+			w := load(b, name)
+			for _, bq := range w.Queries {
+				sub := *w
+				sub.Queries = []workload.BenchQuery{bq}
+				b.Run(bq.Name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := experiments.RunTopKTiming(&sub, topKOpts(), 7, 1); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig6aIntermediates regenerates Figure 6a (SP2B intermediates vs
+// number of explanations, k = 5).
+func BenchmarkFig6aIntermediates(b *testing.B) {
+	benchSweepExplanations(b, "sp2b")
+}
+
+// BenchmarkFig6bIntermediates regenerates Figure 6b (BSBM).
+func BenchmarkFig6bIntermediates(b *testing.B) {
+	benchSweepExplanations(b, "bsbm")
+}
+
+func benchSweepExplanations(b *testing.B, name string) {
+	w := load(b, name)
+	opts := core.DefaultOptions()
+	opts.K = 5
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunIntermediateVsExplanations(w, opts, []int{2, 6, 10, 14}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6cKSweep regenerates Figure 6c (SP2B intermediates vs k, 7
+// explanations).
+func BenchmarkFig6cKSweep(b *testing.B) {
+	benchSweepK(b, "sp2b", 7)
+}
+
+// BenchmarkFig6dKSweep regenerates Figure 6d (BSBM intermediates vs k, 10
+// explanations).
+func BenchmarkFig6dKSweep(b *testing.B) {
+	benchSweepK(b, "bsbm", 10)
+}
+
+func benchSweepK(b *testing.B, name string, nExpl int) {
+	w := load(b, name)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunIntermediateVsK(w, core.DefaultOptions(), []int{1, 3, 5, 7, 10}, nExpl, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I (the ten DBpedia movie queries with
+// the automatic inference check).
+func BenchmarkTableI(b *testing.B) {
+	w := load(b, "dbpedia")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTableI(w, topKOpts(), 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8UserStudy regenerates Figure 8 (the simulated user study:
+// 36 formulate-infer-feedback interactions).
+func BenchmarkFig8UserStudy(b *testing.B) {
+	w := load(b, "dbpedia")
+	cfg := experiments.DefaultStudyConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunUserStudy(w, topKOpts(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeedbackConvergence regenerates experiment E9 (Algorithm 3's
+// convergence per benchmark query, exact oracle).
+func BenchmarkFeedbackConvergence(b *testing.B) {
+	for _, name := range []string{"sp2b", "bsbm"} {
+		b.Run(name, func(b *testing.B) {
+			w := load(b, name)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunFeedbackConvergence(w, topKOpts(), 4, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRobustness measures the incorrect-provenance extension
+// experiment: plain vs repair-first inference on corrupted example-sets.
+func BenchmarkRobustness(b *testing.B) {
+	w := load(b, "dbpedia")
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunRobustness(w, topKOpts(), 4, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

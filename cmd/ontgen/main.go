@@ -1,0 +1,52 @@
+// Command ontgen generates the synthetic benchmark ontologies (SP²B-style,
+// BSBM-style, DBpedia-movies-style) and writes them in the ntriples text
+// format understood by the questpro CLI.
+//
+// Usage:
+//
+//	ontgen -workload sp2b -scale 1.0 -o sp2b.nt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"questpro/internal/experiments"
+	"questpro/internal/ntriples"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "sp2b", "workload to generate: sp2b, bsbm or dbpedia")
+		scale        = flag.Float64("scale", 1.0, "scale factor relative to the default fragment size")
+		out          = flag.String("o", "", "output file (default: stdout)")
+		stats        = flag.Bool("stats", false, "print fragment statistics to stderr")
+	)
+	flag.Parse()
+
+	w, err := experiments.Load(*workloadName, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	f := os.Stdout
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	if err := ntriples.Write(f, w.Ontology); err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%s (%d benchmark queries)\n%s\n",
+			w.Name, len(w.Queries), w.Ontology.ComputeStats())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ontgen:", err)
+	os.Exit(1)
+}

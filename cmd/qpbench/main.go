@@ -1,0 +1,297 @@
+// Command qpbench regenerates the paper's evaluation artifacts (Section
+// VI): the explanations-to-infer summary, the top-k timing table, the
+// Figure 6 sweeps, Table I, the Figure 8 simulated user study and the
+// feedback-convergence report. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	qpbench -exp e1 -workload sp2b
+//	qpbench -exp fig6a            # intermediates vs explanations, SP2B
+//	qpbench -exp all -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"questpro/internal/core"
+	"questpro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: e1, e2, fig6a, fig6b, fig6c, fig6d, table1, fig8, feedback, robust, ablation, e1rep, all")
+		wlName  = flag.String("workload", "", "restrict e1/e2/feedback to one workload (sp2b or bsbm)")
+		scale   = flag.Float64("scale", 1.0, "ontology scale factor")
+		seed    = flag.Int64("seed", 1, "random seed for example sampling")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		maxExpl = flag.Int("max-explanations", 11, "explanation budget for e1/table1")
+		nExpl   = flag.Int("explanations", 7, "explanations for e2/feedback and fig6c")
+		repeats = flag.Int("repeats", 5, "sampling repeats for e1rep")
+		k       = flag.Int("k", 0, "top-k beam width (0 = paper defaults per experiment)")
+	)
+	flag.Parse()
+
+	r := &runner{scale: *scale, seed: *seed, csv: *csv, maxExpl: *maxExpl, nExpl: *nExpl, k: *k, repeats: *repeats}
+	names := map[string]func() error{
+		"e1":       func() error { return r.e1(*wlName) },
+		"e2":       func() error { return r.e2(*wlName) },
+		"fig6a":    func() error { return r.fig6Explanations("sp2b") },
+		"fig6b":    func() error { return r.fig6Explanations("bsbm") },
+		"fig6c":    func() error { return r.fig6K("sp2b", 7) },
+		"fig6d":    func() error { return r.fig6K("bsbm", 10) },
+		"table1":   r.table1,
+		"fig8":     r.fig8,
+		"feedback": func() error { return r.feedback(*wlName) },
+		"robust":   r.robustness,
+		"ablation": func() error { return r.ablation(*wlName) },
+		"e1rep":    func() error { return r.e1Repeated(*wlName) },
+	}
+	if *exp == "all" {
+		for _, name := range []string{"e1", "e2", "fig6a", "fig6b", "fig6c", "fig6d", "table1", "fig8", "feedback", "robust", "ablation", "e1rep"} {
+			if err := names[name](); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	run, ok := names[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if err := run(); err != nil {
+		fatal(err)
+	}
+}
+
+type runner struct {
+	scale   float64
+	seed    int64
+	csv     bool
+	maxExpl int
+	nExpl   int
+	k       int
+	repeats int
+}
+
+func (r *runner) opts(defaultK int) core.Options {
+	o := core.DefaultOptions()
+	o.K = defaultK
+	if r.k > 0 {
+		o.K = r.k
+	}
+	return o
+}
+
+func (r *runner) workloads(restrict string) ([]*experiments.Workload, error) {
+	names := []string{"sp2b", "bsbm"}
+	if restrict != "" {
+		names = []string{restrict}
+	}
+	var out []*experiments.Workload
+	for _, n := range names {
+		w, err := experiments.Load(n, r.scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func (r *runner) header(title string) {
+	if !r.csv {
+		fmt.Printf("== %s ==\n", title)
+	}
+}
+
+// e1: explanations needed per query (Section VI-B summary).
+func (r *runner) e1(restrict string) error {
+	ws, err := r.workloads(restrict)
+	if err != nil {
+		return err
+	}
+	r.header(fmt.Sprintf("E1: explanations needed to infer each query (budget %d, k=3)", r.maxExpl))
+	for _, w := range ws {
+		rs, err := experiments.RunExplanationsToInfer(w, r.opts(3), r.maxExpl, r.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderInferReports(rs, r.csv))
+	}
+	fmt.Println()
+	return nil
+}
+
+// e2: top-k inference time per query (Section VI-B timing paragraph).
+func (r *runner) e2(restrict string) error {
+	ws, err := r.workloads(restrict)
+	if err != nil {
+		return err
+	}
+	r.header(fmt.Sprintf("E2: top-k inference time (%d explanations, k=3)", r.nExpl))
+	for _, w := range ws {
+		rs, err := experiments.RunTopKTiming(w, r.opts(3), r.nExpl, r.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTimingReports(rs, r.csv))
+	}
+	fmt.Println()
+	return nil
+}
+
+// fig6a/fig6b: intermediate queries vs number of explanations (k=5).
+func (r *runner) fig6Explanations(name string) error {
+	w, err := experiments.Load(name, r.scale)
+	if err != nil {
+		return err
+	}
+	sizes := []int{2, 4, 6, 8, 10, 12, 14}
+	r.header(fmt.Sprintf("Figure 6 (%s): intermediate queries vs #explanations (k=5)", name))
+	pts, err := experiments.RunIntermediateVsExplanations(w, r.opts(5), sizes, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderSweep(pts, "explanations", r.csv))
+	fmt.Println()
+	return nil
+}
+
+// fig6c/fig6d: intermediate queries vs k at a fixed example-set size.
+func (r *runner) fig6K(name string, nExpl int) error {
+	w, err := experiments.Load(name, r.scale)
+	if err != nil {
+		return err
+	}
+	ks := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	r.header(fmt.Sprintf("Figure 6 (%s): intermediate queries vs k (%d explanations)", name, nExpl))
+	pts, err := experiments.RunIntermediateVsK(w, r.opts(5), ks, nExpl, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderSweep(pts, "k", r.csv))
+	fmt.Println()
+	return nil
+}
+
+// table1: the ten DBpedia movie queries with an inference check.
+func (r *runner) table1() error {
+	w, err := experiments.Load("dbpedia", r.scale)
+	if err != nil {
+		return err
+	}
+	r.header("Table I: DBpedia movie queries (with automatic inference check)")
+	rows, err := experiments.RunTableI(w, r.opts(3), r.maxExpl, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTableI(rows, r.csv))
+	fmt.Println()
+	return nil
+}
+
+// fig8: the simulated user study.
+func (r *runner) fig8() error {
+	w, err := experiments.Load("dbpedia", r.scale)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultStudyConfig()
+	if r.seed != 1 { // -seed overrides the study's calibrated default
+		cfg.Seed = r.seed
+	}
+	r.header(fmt.Sprintf("Figure 8: simulated user study (%d users, %d interactions)",
+		cfg.Users, cfg.Users*(cfg.BasicPerUser+cfg.ChallengePerUser)))
+	its, err := experiments.RunUserStudy(w, r.opts(3), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderStudy(experiments.Summarize(w, its), r.csv))
+	if !r.csv {
+		fmt.Println()
+		fmt.Println("-- interaction log --")
+	}
+	fmt.Print(experiments.RenderInteractions(its, r.csv))
+	fmt.Println()
+	return nil
+}
+
+// feedback: Algorithm 3 convergence per benchmark query.
+func (r *runner) feedback(restrict string) error {
+	ws, err := r.workloads(restrict)
+	if err != nil {
+		return err
+	}
+	r.header(fmt.Sprintf("Feedback convergence (%d explanations, exact oracle)", r.nExpl))
+	for _, w := range ws {
+		rs, err := experiments.RunFeedbackConvergence(w, r.opts(3), r.nExpl, r.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFeedbackReports(rs, r.csv))
+	}
+	fmt.Println()
+	return nil
+}
+
+// robustness: the incorrect-provenance extension experiment — plain vs
+// outlier-repairing inference on corrupted example-sets.
+func (r *runner) robustness() error {
+	w, err := experiments.Load("dbpedia", r.scale)
+	if err != nil {
+		return err
+	}
+	r.header("Robustness: plain vs repair-first inference with one corrupted explanation")
+	rows, err := experiments.RunRobustness(w, r.opts(3), 4, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderRobustness(rows, r.csv))
+	fmt.Println()
+	return nil
+}
+
+// ablation: Algorithm-1 design-choice comparison (first-pair sweep and
+// restart count) on inferred query quality.
+func (r *runner) ablation(restrict string) error {
+	ws, err := r.workloads(restrict)
+	if err != nil {
+		return err
+	}
+	r.header(fmt.Sprintf("Ablation: Algorithm-1 variants (%d explanations)", r.nExpl))
+	for _, w := range ws {
+		rows, err := experiments.RunAblation(w, r.opts(3), r.nExpl, r.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAblation(rows, r.csv))
+	}
+	fmt.Println()
+	return nil
+}
+
+// e1Repeated: E1 aggregated over several sampling seeds (the paper repeats
+// each experiment because "the choice of examples matters a lot").
+func (r *runner) e1Repeated(restrict string) error {
+	ws, err := r.workloads(restrict)
+	if err != nil {
+		return err
+	}
+	r.header(fmt.Sprintf("E1 (repeated x%d): explanations needed, min/median/max", r.repeats))
+	for _, w := range ws {
+		rs, err := experiments.RunExplanationsToInferRepeated(w, r.opts(3), r.maxExpl, r.repeats, r.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderRepeatedInferReports(rs, r.csv))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qpbench:", err)
+	os.Exit(1)
+}

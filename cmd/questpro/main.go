@@ -1,0 +1,60 @@
+// Command questpro is the interactive query-by-provenance CLI: the
+// counterpart of the paper's QuestPro system (Section VI-A) with the web UI
+// replaced by a REPL. Users load an ontology, browse node neighborhoods
+// (the "ontology visualizer"), formulate output examples with their
+// explanations, infer top-k candidate queries, and answer provenance-based
+// feedback questions until a single query remains.
+//
+// Usage:
+//
+//	ontgen -workload dbpedia -o movies.nt
+//	questpro -ontology movies.nt
+//
+// Then at the prompt:
+//
+//	example PulpFiction            begin an explanation for an output example
+//	edge PulpFiction director QuentinTarantino
+//	done                           finish the explanation
+//	infer 3                        infer the top-3 candidate queries
+//	feedback                       answer yes/no provenance questions
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"questpro/internal/ntriples"
+)
+
+func main() {
+	var (
+		ontologyPath = flag.String("ontology", "", "ntriples file with the ontology (required)")
+		k            = flag.Int("k", 3, "default number of candidate queries")
+	)
+	flag.Parse()
+	if *ontologyPath == "" {
+		fmt.Fprintln(os.Stderr, "questpro: -ontology is required (generate one with ontgen)")
+		os.Exit(2)
+	}
+	f, err := os.Open(*ontologyPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "questpro:", err)
+		os.Exit(1)
+	}
+	g, err := ntriples.Parse(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "questpro:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %d nodes, %d edges, predicates: %v\n",
+		g.NumNodes(), g.NumEdges(), g.Labels())
+
+	repl := newREPL(g, *k, os.Stdin, os.Stdout)
+	if err := repl.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "questpro:", err)
+		os.Exit(1)
+	}
+}

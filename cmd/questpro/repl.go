@@ -1,0 +1,511 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/feedback"
+	"questpro/internal/graph"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+	"questpro/internal/viz"
+)
+
+// repl holds the interactive session state.
+type repl struct {
+	g  *graph.Graph
+	ev *eval.Evaluator
+	k  int
+
+	in  *bufio.Scanner
+	out io.Writer
+
+	examples provenance.ExampleSet
+	current  *graph.Graph // explanation under construction
+	currDis  string
+
+	candidates []core.Candidate
+	chosen     *query.Union
+}
+
+func newREPL(g *graph.Graph, k int, in io.Reader, out io.Writer) *repl {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &repl{g: g, ev: eval.New(g), k: k, in: sc, out: out}
+}
+
+func (r *repl) printf(format string, args ...any) {
+	fmt.Fprintf(r.out, format, args...)
+}
+
+// Run processes commands until EOF or quit.
+func (r *repl) Run() error {
+	r.printf("type 'help' for commands\n")
+	for {
+		r.printf("> ")
+		if !r.in.Scan() {
+			r.printf("\n")
+			return r.in.Err()
+		}
+		line := strings.TrimSpace(r.in.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit":
+			return nil
+		case "help":
+			r.help()
+		case "neighborhood", "nb":
+			r.neighborhood(args)
+		case "example":
+			r.example(args)
+		case "edge":
+			r.edge(args)
+		case "done":
+			r.done()
+		case "show":
+			r.show()
+		case "clear":
+			r.examples, r.current, r.candidates, r.chosen = nil, nil, nil, nil
+			r.printf("cleared\n")
+		case "infer":
+			r.infer(args)
+		case "robust":
+			r.robust(args)
+		case "results":
+			r.results(args)
+		case "sparql":
+			r.sparql(args)
+		case "feedback":
+			r.feedback()
+		case "refine":
+			r.refine()
+		case "dot":
+			r.dot(args)
+		case "save":
+			r.save(args)
+		case "load":
+			r.load(args)
+		default:
+			r.printf("unknown command %q (try 'help')\n", cmd)
+		}
+	}
+}
+
+func (r *repl) help() {
+	r.printf(`commands:
+  neighborhood <value> [radius]  explore a node's surroundings (default radius 1)
+  example <value>                start an explanation for the output example <value>
+  edge <from> <label> <to>       add an ontology edge to the open explanation
+  done                           finish the open explanation
+  show                           list the collected explanations
+  clear                          drop all session state
+  infer [k]                      infer the top-k candidate queries (default %d)
+  robust [k]                     like infer, but first drop suspect explanations
+  sparql <i>                     print candidate i as SPARQL
+  results <i>                    evaluate candidate i against the ontology
+  feedback                       answer provenance questions until one query remains
+  refine                         relax the chosen query's disequalities interactively
+  dot candidate <i>              print candidate i as Graphviz DOT
+  dot example <i>                print explanation i as Graphviz DOT
+  dot chosen                     print the feedback-chosen query as Graphviz DOT
+  save <file>                    write the collected explanations to a file
+  load <file>                    append explanations saved with 'save'
+  quit                           exit
+`, r.k)
+}
+
+// neighborhood implements the ontology-visualizer browsing step.
+func (r *repl) neighborhood(args []string) {
+	if len(args) < 1 {
+		r.printf("usage: neighborhood <value> [radius]\n")
+		return
+	}
+	n, ok := r.g.NodeByValue(args[0])
+	if !ok {
+		r.printf("no node with value %q\n", args[0])
+		return
+	}
+	radius := 1
+	if len(args) > 1 {
+		v, err := strconv.Atoi(args[1])
+		if err != nil || v < 1 {
+			r.printf("bad radius %q\n", args[1])
+			return
+		}
+		radius = v
+	}
+	nb, err := r.g.Neighborhood(n.ID, radius)
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	r.printf("%s\n", nb)
+}
+
+func (r *repl) example(args []string) {
+	if len(args) != 1 {
+		r.printf("usage: example <value>\n")
+		return
+	}
+	if r.current != nil {
+		r.printf("an explanation is already open; finish it with 'done'\n")
+		return
+	}
+	n, ok := r.g.NodeByValue(args[0])
+	if !ok {
+		r.printf("no node with value %q\n", args[0])
+		return
+	}
+	r.current = graph.New()
+	if _, err := r.current.EnsureNode(n.Value, n.Type); err != nil {
+		r.printf("error: %v\n", err)
+		r.current = nil
+		return
+	}
+	r.currDis = n.Value
+	r.printf("explanation opened for %s; add edges with 'edge', close with 'done'\n", n.Value)
+}
+
+func (r *repl) edge(args []string) {
+	if len(args) != 3 {
+		r.printf("usage: edge <from> <label> <to>\n")
+		return
+	}
+	if r.current == nil {
+		r.printf("open an explanation first with 'example <value>'\n")
+		return
+	}
+	from, ok := r.g.NodeByValue(args[0])
+	if !ok {
+		r.printf("no node with value %q\n", args[0])
+		return
+	}
+	to, ok := r.g.NodeByValue(args[2])
+	if !ok {
+		r.printf("no node with value %q\n", args[2])
+		return
+	}
+	if !r.g.HasEdgeTriple(from.ID, to.ID, args[1]) {
+		r.printf("the ontology has no edge %s -%s-> %s (explanations must be subgraphs)\n",
+			args[0], args[1], args[2])
+		return
+	}
+	f, err := r.current.EnsureNode(from.Value, from.Type)
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	t, err := r.current.EnsureNode(to.Value, to.Type)
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	if r.current.HasEdgeTriple(f, t, args[1]) {
+		r.printf("edge already in the explanation\n")
+		return
+	}
+	if _, err := r.current.AddEdge(f, t, args[1]); err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	r.printf("added (%d edges so far)\n", r.current.NumEdges())
+}
+
+func (r *repl) done() {
+	if r.current == nil {
+		r.printf("no open explanation\n")
+		return
+	}
+	ex, err := provenance.NewByValue(r.current, r.currDis)
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	r.examples = append(r.examples, ex)
+	r.current = nil
+	r.printf("explanation %d recorded (distinguished node %s)\n", len(r.examples), ex.DistinguishedValue())
+}
+
+func (r *repl) show() {
+	if len(r.examples) == 0 {
+		r.printf("no explanations yet\n")
+		return
+	}
+	for i, ex := range r.examples {
+		r.printf("[%d] %s\n", i+1, ex)
+	}
+}
+
+func (r *repl) infer(args []string) {
+	if len(r.examples) < 2 {
+		r.printf("need at least 2 explanations (have %d)\n", len(r.examples))
+		return
+	}
+	k := r.k
+	if len(args) > 0 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 1 {
+			r.printf("bad k %q\n", args[0])
+			return
+		}
+		k = v
+	}
+	opts := core.DefaultOptions()
+	opts.K = k
+	cands, stats, err := core.InferTopK(r.examples, opts)
+	if err != nil {
+		r.printf("inference failed: %v\n", err)
+		return
+	}
+	// Attach disequalities to each candidate (the Q^all forms users see).
+	for i, c := range cands {
+		withD, err := core.WithDiseqsUnion(c.Query, r.examples)
+		if err == nil {
+			cands[i].Query = withD
+		}
+	}
+	r.candidates = cands
+	r.chosen = nil
+	r.printf("%d candidates (%d Algorithm-1 calls):\n", len(cands), stats.Algorithm1Calls)
+	for i, c := range cands {
+		r.printf("[%d] cost %.1f, %s\n", i+1, c.Cost, c.Query)
+	}
+	r.printf("inspect with 'sparql <i>' / 'results <i>', or run 'feedback'\n")
+}
+
+// robust runs inference with outlier repair first — the extension for
+// incorrect provenance (see core.InferRobust).
+func (r *repl) robust(args []string) {
+	if len(r.examples) < 3 {
+		r.printf("need at least 3 explanations to detect outliers (have %d)\n", len(r.examples))
+		return
+	}
+	k := r.k
+	if len(args) > 0 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 1 {
+			r.printf("bad k %q\n", args[0])
+			return
+		}
+		k = v
+	}
+	opts := core.DefaultOptions()
+	opts.K = k
+	cands, dropped, stats, err := core.InferRobust(r.examples, opts, core.DefaultOutlierOptions())
+	if err != nil {
+		r.printf("robust inference failed: %v\n", err)
+		return
+	}
+	if len(dropped) > 0 {
+		r.printf("dropped %d suspect explanation(s):", len(dropped))
+		for _, i := range dropped {
+			r.printf(" [%d]=%s", i+1, r.examples[i].DistinguishedValue())
+		}
+		r.printf("\n")
+	} else {
+		r.printf("no suspect explanations found\n")
+	}
+	r.candidates = cands
+	r.chosen = nil
+	r.printf("%d candidates (%d Algorithm-1 calls):\n", len(cands), stats.Algorithm1Calls)
+	for i, c := range cands {
+		r.printf("[%d] cost %.1f, %s\n", i+1, c.Cost, c.Query)
+	}
+}
+
+// refine runs the Section V disequality-relaxation dialogue on the chosen
+// query (single-branch queries only).
+func (r *repl) refine() {
+	if r.chosen == nil {
+		r.printf("run 'feedback' first to choose a query\n")
+		return
+	}
+	if r.chosen.Size() != 1 {
+		r.printf("refinement applies to single-pattern queries; the chosen query has %d branches\n", r.chosen.Size())
+		return
+	}
+	branch := r.chosen.Branch(0)
+	if branch.NumDiseqs() == 0 {
+		r.printf("the chosen query has no disequalities to relax\n")
+		return
+	}
+	session := &feedback.Session{Ev: r.ev, Oracle: stdinOracle{r}, Ex: r.examples}
+	refined, tr, err := session.RefineDiseqs(branch)
+	if err != nil {
+		r.printf("refinement failed: %v\n", err)
+		return
+	}
+	r.chosen = query.NewUnion(refined)
+	r.printf("after %d question(s), %d disequalities remain:\n%s\n",
+		len(tr.Questions), refined.NumDiseqs(), r.chosen.SPARQL())
+}
+
+func (r *repl) pickCandidate(args []string) (*query.Union, bool) {
+	if len(r.candidates) == 0 {
+		r.printf("run 'infer' first\n")
+		return nil, false
+	}
+	if len(args) != 1 {
+		r.printf("usage: <command> <candidate index>\n")
+		return nil, false
+	}
+	i, err := strconv.Atoi(args[0])
+	if err != nil || i < 1 || i > len(r.candidates) {
+		r.printf("bad candidate index %q\n", args[0])
+		return nil, false
+	}
+	return r.candidates[i-1].Query, true
+}
+
+func (r *repl) sparql(args []string) {
+	if u, ok := r.pickCandidate(args); ok {
+		r.printf("%s\n", u.SPARQL())
+	}
+}
+
+func (r *repl) results(args []string) {
+	u, ok := r.pickCandidate(args)
+	if !ok {
+		return
+	}
+	rs, err := r.ev.Results(u)
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	sort.Strings(rs)
+	r.printf("%d results: %s\n", len(rs), strings.Join(rs, ", "))
+}
+
+// dot renders session artifacts as Graphviz DOT documents.
+func (r *repl) dot(args []string) {
+	if len(args) == 0 {
+		r.printf("usage: dot candidate <i> | dot example <i> | dot chosen\n")
+		return
+	}
+	switch args[0] {
+	case "candidate":
+		if u, ok := r.pickCandidate(args[1:]); ok {
+			r.printf("%s", viz.Union(u, viz.Options{Name: "candidate"}))
+		}
+	case "example":
+		if len(args) != 2 {
+			r.printf("usage: dot example <i>\n")
+			return
+		}
+		i, err := strconv.Atoi(args[1])
+		if err != nil || i < 1 || i > len(r.examples) {
+			r.printf("bad explanation index %q\n", args[1])
+			return
+		}
+		r.printf("%s", viz.Explanation(r.examples[i-1], viz.Options{Name: "explanation"}))
+	case "chosen":
+		if r.chosen == nil {
+			r.printf("run 'feedback' first to choose a query\n")
+			return
+		}
+		r.printf("%s", viz.Union(r.chosen, viz.Options{Name: "chosen"}))
+	default:
+		r.printf("usage: dot candidate <i> | dot example <i> | dot chosen\n")
+	}
+}
+
+// save writes the collected explanations to a session file.
+func (r *repl) save(args []string) {
+	if len(args) != 1 {
+		r.printf("usage: save <file>\n")
+		return
+	}
+	if len(r.examples) == 0 {
+		r.printf("nothing to save\n")
+		return
+	}
+	f, err := os.Create(args[0])
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := provenance.WriteExampleSet(f, r.examples); err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	r.printf("saved %d explanation(s) to %s\n", len(r.examples), args[0])
+}
+
+// load appends explanations from a session file, validating that every
+// explanation is a subgraph of the loaded ontology.
+func (r *repl) load(args []string) {
+	if len(args) != 1 {
+		r.printf("usage: load <file>\n")
+		return
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	defer f.Close()
+	exs, err := provenance.ReadExampleSet(f)
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	for i, ex := range exs {
+		if !ex.Graph.IsSubgraphOf(r.g) {
+			r.printf("explanation %d is not a subgraph of the loaded ontology; skipping the file\n", i+1)
+			return
+		}
+	}
+	r.examples = append(r.examples, exs...)
+	r.printf("loaded %d explanation(s) (%d total)\n", len(exs), len(r.examples))
+}
+
+// stdinOracle asks the human the Algorithm 3 questions.
+type stdinOracle struct{ r *repl }
+
+func (o stdinOracle) ShouldInclude(res *eval.ResultWithProvenance) (bool, error) {
+	o.r.printf("should %q be in the results, given this rationale?\n%s\n[y/n]> ",
+		res.Value, res.Provenance)
+	for o.r.in.Scan() {
+		switch strings.ToLower(strings.TrimSpace(o.r.in.Text())) {
+		case "y", "yes":
+			return true, nil
+		case "n", "no":
+			return false, nil
+		default:
+			o.r.printf("please answer y or n\n[y/n]> ")
+		}
+	}
+	return false, fmt.Errorf("input closed during feedback")
+}
+
+func (r *repl) feedback() {
+	if len(r.candidates) == 0 {
+		r.printf("run 'infer' first\n")
+		return
+	}
+	unions := make([]*query.Union, len(r.candidates))
+	for i, c := range r.candidates {
+		unions[i] = c.Query
+	}
+	session := &feedback.Session{Ev: r.ev, Oracle: stdinOracle{r}, Ex: r.examples}
+	idx, tr, err := session.ChooseQuery(unions)
+	if err != nil {
+		r.printf("feedback failed: %v\n", err)
+		return
+	}
+	r.chosen = unions[idx]
+	r.printf("chosen after %d question(s):\n%s\n", len(tr.Questions), r.chosen.SPARQL())
+}

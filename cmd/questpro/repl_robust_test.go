@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestREPLRobust(t *testing.T) {
+	script := strings.Join([]string{
+		"robust", // too few explanations
+		// Three genuine Erdős-chain style explanations...
+		"example Bob",
+		"edge paper2 wb Bob",
+		"edge paper2 wb Carol",
+		"done",
+		"example Greg",
+		"edge paper7 wb Greg",
+		"edge paper7 wb Erdos",
+		"done",
+		"example Carol",
+		"edge paper3 wb Carol",
+		"edge paper3 wb Erdos",
+		"done",
+		// ...plus one unrelated single-edge explanation of a paper node,
+		// reversed role: suspect.
+		"example paper11",
+		"edge paper11 wb Ivan",
+		"edge paper11 wb Carol",
+		"done",
+		"robust 3",
+		"robust badk",
+		"quit",
+	}, "\n") + "\n"
+	out := drive(t, script)
+	for _, want := range []string{
+		"need at least 3 explanations",
+		"candidates",
+		"bad k",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The paper11 explanation projects a Paper while the others project
+	// Authors; it cannot share a distinguished-adjacent merge with them and
+	// should be dropped.
+	if !strings.Contains(out, "dropped 1 suspect explanation(s): [4]=paper11") {
+		t.Fatalf("suspect explanation not dropped:\n%s", out)
+	}
+}
+
+func TestREPLRefine(t *testing.T) {
+	script := strings.Join([]string{
+		"refine", // nothing chosen yet
+		"example Greg",
+		"edge paper5 wb Greg",
+		"done",
+		"example Dave",
+		"edge paper5 wb Dave",
+		"done",
+		"infer 1",
+		"feedback", // single candidate: chosen without questions
+		"refine",   // relax its diseqs (may be none)
+		"quit",
+	}, "\n") + "\n"
+	out := drive(t, script)
+	if !strings.Contains(out, "run 'feedback' first") {
+		t.Fatalf("premature refine not rejected:\n%s", out)
+	}
+	if !strings.Contains(out, "chosen after") {
+		t.Fatalf("feedback did not conclude:\n%s", out)
+	}
+	// Either the query had no diseqs or the dialogue ran; both are fine.
+	if !strings.Contains(out, "disequalities") {
+		t.Fatalf("refine gave no feedback:\n%s", out)
+	}
+}
+
+func TestREPLDot(t *testing.T) {
+	script := strings.Join([]string{
+		"dot",
+		"dot chosen",
+		"dot example 1", // none yet
+		"example Bob",
+		"edge paper2 wb Bob",
+		"edge paper2 wb Carol",
+		"done",
+		"example Carol",
+		"edge paper3 wb Carol",
+		"edge paper3 wb Erdos",
+		"done",
+		"dot example 1",
+		"infer 2",
+		"dot candidate 1",
+		"dot bogus",
+		"quit",
+	}, "\n") + "\n"
+	out := drive(t, script)
+	for _, want := range []string{
+		"usage: dot candidate",
+		"run 'feedback' first",
+		"bad explanation index",
+		`digraph "explanation"`,
+		"fillcolor=gold",
+		`digraph "candidate"`,
+		`subgraph "cluster_0"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	file := dir + "/session.qps"
+	script := strings.Join([]string{
+		"save " + file, // nothing yet
+		"example Bob",
+		"edge paper2 wb Bob",
+		"edge paper2 wb Carol",
+		"done",
+		"save " + file,
+		"clear",
+		"load " + file,
+		"show",
+		"load /nonexistent/file",
+		"save",
+		"load",
+		"quit",
+	}, "\n") + "\n"
+	out := drive(t, script)
+	for _, want := range []string{
+		"nothing to save",
+		"saved 1 explanation(s)",
+		"loaded 1 explanation(s) (1 total)",
+		"[1] explanation[dis=Bob]",
+		"usage: save <file>",
+		"usage: load <file>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("missing-file error absent:\n%s", out)
+	}
+}
+
+func TestREPLLoadForeignExplanation(t *testing.T) {
+	dir := t.TempDir()
+	file := dir + "/foreign.qps"
+	if err := os.WriteFile(file, []byte("@explanation x\nx p y .\n@end\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := drive(t, "load "+file+"\nquit\n")
+	if !strings.Contains(out, "not a subgraph of the loaded ontology") {
+		t.Fatalf("foreign explanation accepted:\n%s", out)
+	}
+}

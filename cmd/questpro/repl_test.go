@@ -1,0 +1,142 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"questpro/internal/paperfix"
+)
+
+// drive runs the REPL over scripted input and returns its output.
+func drive(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	r := newREPL(paperfix.Ontology(), 3, strings.NewReader(script), &out)
+	if err := r.Run(); err != nil {
+		t.Fatalf("repl: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestREPLHelpAndUnknown(t *testing.T) {
+	out := drive(t, "help\nbogus\nquit\n")
+	if !strings.Contains(out, "commands:") {
+		t.Fatalf("no help in %q", out)
+	}
+	if !strings.Contains(out, `unknown command "bogus"`) {
+		t.Fatalf("unknown command not reported in %q", out)
+	}
+}
+
+func TestREPLNeighborhood(t *testing.T) {
+	out := drive(t, "neighborhood Erdos\nneighborhood Nobody\nneighborhood Erdos zero\nquit\n")
+	if !strings.Contains(out, "paper3 -wb-> Erdos") {
+		t.Fatalf("neighborhood missing edge:\n%s", out)
+	}
+	if !strings.Contains(out, `no node with value "Nobody"`) {
+		t.Fatalf("missing-node error absent:\n%s", out)
+	}
+	if !strings.Contains(out, "bad radius") {
+		t.Fatalf("bad radius error absent:\n%s", out)
+	}
+}
+
+func TestREPLExampleValidation(t *testing.T) {
+	out := drive(t, strings.Join([]string{
+		"edge paper1 wb Alice",  // no open explanation
+		"example Nobody",        // unknown node
+		"example Alice",         // ok
+		"example Bob",           // already open
+		"edge paper1 wb Nobody", // unknown endpoint
+		"edge Alice wb paper1",  // edge absent in ontology (wrong direction)
+		"edge paper1 wb Alice",  // ok
+		"edge paper1 wb Alice",  // duplicate
+		"done",
+		"done", // nothing open
+		"show",
+		"quit",
+	}, "\n")+"\n")
+	for _, want := range []string{
+		"open an explanation first",
+		`no node with value "Nobody"`,
+		"explanation opened for Alice",
+		"an explanation is already open",
+		"the ontology has no edge Alice -wb-> paper1",
+		"added (1 edges so far)",
+		"edge already in the explanation",
+		"explanation 1 recorded",
+		"no open explanation",
+		"[1] explanation[dis=Alice]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLInferAndInspect(t *testing.T) {
+	script := strings.Join([]string{
+		"infer", // too few explanations
+		"example Bob",
+		"edge paper2 wb Bob",
+		"edge paper2 wb Carol",
+		"done",
+		"example Carol",
+		"edge paper3 wb Carol",
+		"edge paper3 wb Erdos",
+		"done",
+		"infer 2",
+		"sparql 1",
+		"results 1",
+		"results 99", // bad index
+		"quit",
+	}, "\n") + "\n"
+	out := drive(t, script)
+	for _, want := range []string{
+		"need at least 2 explanations",
+		"candidates",
+		"SELECT",
+		"results:",
+		"bad candidate index",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A full feedback round: the scripted user answers "yes" to keep the more
+// general candidate.
+func TestREPLFeedback(t *testing.T) {
+	script := strings.Join([]string{
+		"feedback", // before infer
+		"example Bob",
+		"edge paper2 wb Bob",
+		"edge paper2 wb Carol",
+		"done",
+		"example Greg",
+		"edge paper7 wb Greg",
+		"edge paper7 wb Erdos",
+		"done",
+		"infer 3",
+		"feedback",
+		"y", // any questions: keep the asking candidate
+		"y",
+		"y",
+		"quit",
+	}, "\n") + "\n"
+	out := drive(t, script)
+	if !strings.Contains(out, "run 'infer' first") {
+		t.Fatalf("premature feedback not rejected:\n%s", out)
+	}
+	if !strings.Contains(out, "chosen after") {
+		t.Fatalf("feedback did not conclude:\n%s", out)
+	}
+}
+
+func TestREPLClear(t *testing.T) {
+	out := drive(t, "example Bob\ndone\nclear\nshow\nquit\n")
+	if !strings.Contains(out, "cleared") || !strings.Contains(out, "no explanations yet") {
+		t.Fatalf("clear broken:\n%s", out)
+	}
+}

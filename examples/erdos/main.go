@@ -1,0 +1,129 @@
+// Erdos walks through the paper's running example end-to-end: the
+// publications ontology of Figure 1, the explanations E1-E4, the trivial
+// construction of Proposition 3.1 (Q2), the pairwise merges of Figure 4
+// (Q3, Q4), union inference (Algorithm 2), disequality inference, and the
+// provenance-based feedback loop of Algorithm 3 (Example 5.5).
+//
+//	go run ./examples/erdos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/feedback"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+func main() {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	ev := eval.New(o)
+	opts := core.DefaultOptions()
+
+	fmt.Println("== Figure 1: the ontology and the example-set ==")
+	fmt.Println(o)
+	fmt.Println()
+	for i, e := range exs {
+		fmt.Printf("E%d: %s\n", i+1, e)
+	}
+
+	fmt.Println("\n== Proposition 3.1: the trivial consistent query (Figure 2b's Q2) ==")
+	q2, ok, err := core.Trivial(exs)
+	if err != nil || !ok {
+		log.Fatalf("trivial: ok=%v err=%v", ok, err)
+	}
+	fmt.Println(q2.SPARQL())
+	fmt.Printf("(%d variables — consistent but uninteresting: no connection to Erdos)\n", q2.NumVars())
+
+	fmt.Println("\n== Algorithm 1: merging pairs of explanations (Figure 4) ==")
+	ground := make([]*query.Simple, len(exs))
+	for i, e := range exs {
+		g, err := query.FromExplanation(e.Graph, e.Distinguished)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ground[i] = g
+	}
+	q3, ok, err := core.MergePair(ground[0], ground[2], opts)
+	if err != nil || !ok {
+		log.Fatalf("merge(E1,E3): ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("merge(E1, E3) -> Q3 (%d variables):\n%s\n", q3.Query.NumVars(), q3.Query.SPARQL())
+	q4, ok, err := core.MergePair(ground[1], ground[3], opts)
+	if err != nil || !ok {
+		log.Fatalf("merge(E2,E4): ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("merge(E2, E4) -> Q4 (%d variables):\n%s\n", q4.Query.NumVars(), q4.Query.SPARQL())
+
+	fmt.Println("== Algorithm 2 (top-k): candidate union queries ==")
+	cands, stats, err := core.InferTopK(exs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d candidates after %d Algorithm-1 calls:\n", len(cands), stats.Algorithm1Calls)
+	for i, c := range cands {
+		fmt.Printf("[%d] cost %.0f: %s\n", i+1, c.Cost, c.Query)
+	}
+
+	fmt.Println("\n== Section V: disequality inference (Example 5.1) ==")
+	q3all, err := core.WithDiseqs(paperfix.Q3(), exs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q3 with all inferable disequalities (%d added):\n%s\n",
+		q3all.NumDiseqs(), q3all.SPARQL())
+
+	fmt.Println("\n== Algorithm 3: feedback with provenance (Example 5.5) ==")
+	// The user's intended query is Union(Q3, Q4); candidates include the
+	// broader chain query Q1.
+	target := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	candidates := []*query.Union{
+		query.NewUnion(paperfix.Q1()),
+		target,
+	}
+	session := &feedback.Session{
+		Ev:     ev,
+		Oracle: &loggingOracle{inner: &feedback.ExactOracle{Ev: ev, Target: target}},
+		Ex:     exs,
+	}
+	idx, tr, err := session.ChooseQuery(candidates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chosen after %d question(s):\n%s\n", len(tr.Questions), candidates[idx].SPARQL())
+
+	results, err := ev.Results(candidates[idx])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal results: %v\n", results)
+
+	consistent, err := provenance.Consistent(candidates[idx], exs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistent with E1-E4: %v\n", consistent)
+}
+
+// loggingOracle prints each feedback question the way the QuestPro UI
+// would show it, then delegates to the exact oracle.
+type loggingOracle struct {
+	inner feedback.Oracle
+	n     int
+}
+
+func (o *loggingOracle) ShouldInclude(res *eval.ResultWithProvenance) (bool, error) {
+	o.n++
+	fmt.Printf("question %d: should %q be a result, given this rationale?\n%s\n",
+		o.n, res.Value, res.Provenance)
+	ans, err := o.inner.ShouldInclude(res)
+	if err == nil {
+		fmt.Printf("user answers: %v\n\n", ans)
+	}
+	return ans, err
+}

@@ -1,0 +1,3 @@
+module questpro
+
+go 1.22

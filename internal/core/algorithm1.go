@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sort"
+
+	"questpro/internal/query"
+)
+
+// MergeResult is the outcome of one Algorithm-1 run: the inferred simple
+// query, the complete relation it was built from, and the relation's total
+// gain (used by the n-explanation extension to rank merges).
+type MergeResult struct {
+	Query    *query.Simple
+	Relation *Relation
+	Gain     float64
+}
+
+// DefaultFirstPairSweep is the default number of distinguished-adjacent
+// pairs tried as the forced first selection (see Options-like parameter on
+// MergePair below). The paper's Algorithm 1 takes only the single
+// highest-gain distinguished pair; when all gains tie (common on patterns
+// with one predicate) that choice is arbitrary and can anchor the merge
+// badly, so we additionally sweep the top few distinguished pairs and keep
+// the best outcome by variable count. Ablation: set Options.FirstPairSweep
+// to 1 to recover the paper's exact behavior.
+const DefaultFirstPairSweep = 8
+
+// firstPairSweep resolves the effective sweep width.
+func firstPairSweep(opts Options) int {
+	if opts.FirstPairSweep > 0 {
+		return opts.FirstPairSweep
+	}
+	return DefaultFirstPairSweep
+}
+
+// MergePair implements Algorithm 1 (FindRelationGreedy): it searches for a
+// complete relation between the two patterns over numIter diversified
+// restarts (restart i removes the top i-1 initially ranked pairs) crossed
+// with a sweep over forced first pairs, and assembles the minimum-variable
+// consistent simple query from the best relation found (procedure
+// BuildQuery / Proposition 3.10). Relations are ranked by the number of
+// variables of the query they lead to, with total gain as tie-breaker. It
+// returns ok = false when no complete relation exists — by Proposition 3.13
+// this only happens when no consistent simple query exists for the pair.
+func MergePair(a, b *query.Simple, opts Options) (MergeResult, bool, error) {
+	numIter := opts.NumIter
+	if numIter < 1 {
+		numIter = 1
+	}
+	candidates := compatiblePairs(a, b)
+	if len(candidates) == 0 {
+		return MergeResult{}, false, nil
+	}
+
+	// Rank the distinguished-adjacent pairs by initial gain; they are the
+	// possible first selections (lines 10-12 of the paper's listing).
+	seed := newRelationState(a, b, opts.GainWeights)
+	type ranked struct {
+		p    EdgePair
+		gain float64
+	}
+	var disPairs []ranked
+	for _, p := range candidates {
+		if pairProjects(a, b, a.Edge(p.A), b.Edge(p.B)) {
+			disPairs = append(disPairs, ranked{p, seed.Gain(p.A, p.B)})
+		}
+	}
+	if len(disPairs) == 0 {
+		return MergeResult{}, false, nil // Lemma 3.2
+	}
+	sort.SliceStable(disPairs, func(i, j int) bool { return disPairs[i].gain > disPairs[j].gain })
+	sweep := firstPairSweep(opts)
+	if sweep > len(disPairs) {
+		sweep = len(disPairs)
+	}
+
+	var best *MergeResult
+	for iter := 0; iter < numIter; iter++ {
+		for f := 0; f < sweep; f++ {
+			st := runIteration(a, b, opts.GainWeights, candidates, iter, disPairs[f].p)
+			if st == nil {
+				continue
+			}
+			rel := &Relation{A: a, B: b, Pairs: st.pairs}
+			q, err := BuildQuery(rel)
+			if err != nil {
+				return MergeResult{}, false, err
+			}
+			res := MergeResult{Query: q, Relation: rel, Gain: st.gain}
+			if best == nil ||
+				q.NumVars() < best.Query.NumVars() ||
+				(q.NumVars() == best.Query.NumVars() && st.gain > best.Gain) {
+				best = &res
+			}
+		}
+	}
+	if best == nil {
+		return MergeResult{}, false, nil
+	}
+	return *best, true, nil
+}
+
+// compatiblePairs lists every label-compatible edge pair in deterministic
+// order.
+func compatiblePairs(a, b *query.Simple) []EdgePair {
+	var out []EdgePair
+	for _, ea := range a.Edges() {
+		for _, eb := range b.Edges() {
+			if ea.Label == eb.Label {
+				out = append(out, EdgePair{ea.ID, eb.ID})
+			}
+		}
+	}
+	return out
+}
+
+// runIteration performs one greedy pass (the body of Algorithm 1's main
+// loop). skip removes the top-`skip` initially ranked pairs to diversify
+// across restarts (line 5 of the paper's listing); first forces the initial
+// distinguished-adjacent selection. It returns nil when the pass fails to
+// produce a complete relation.
+func runIteration(a, b *query.Simple, weights [3]float64, candidates []EdgePair, skip int, first EdgePair) *relationState {
+	st := newRelationState(a, b, weights)
+
+	type ranked struct {
+		p    EdgePair
+		gain float64
+	}
+	initial := make([]ranked, len(candidates))
+	for i, p := range candidates {
+		initial[i] = ranked{p, st.Gain(p.A, p.B)}
+	}
+	sort.SliceStable(initial, func(i, j int) bool { return initial[i].gain > initial[j].gain })
+	if skip >= len(initial) {
+		return nil
+	}
+	pool := make([]EdgePair, 0, len(initial)-skip)
+	hasFirst := false
+	for _, r := range initial[skip:] {
+		pool = append(pool, r.p)
+		if r.p == first {
+			hasFirst = true
+		}
+	}
+	if !hasFirst {
+		return nil // diversification removed the forced first pair
+	}
+	alive := make([]bool, len(pool))
+	for i := range alive {
+		alive[i] = true
+	}
+
+	st.add(first.A, first.B)
+	remaining := len(pool) - 1
+	for i, p := range pool {
+		if p == first {
+			alive[i] = false
+			break
+		}
+	}
+
+	// Greedy loop: pop the highest-gain pair until every edge is paired or
+	// the pool runs dry (lines 13-18 with gains recomputed dynamically).
+	for remaining > 0 && !st.allPaired() {
+		bestIdx := -1
+		bestGain := -1.0
+		for i, p := range pool {
+			if !alive[i] {
+				continue
+			}
+			if g := st.Gain(p.A, p.B); g > bestGain {
+				bestGain = g
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		st.add(pool[bestIdx].A, pool[bestIdx].B)
+		alive[bestIdx] = false
+		remaining--
+	}
+	if !st.allPaired() {
+		return nil
+	}
+	return st
+}

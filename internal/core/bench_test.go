@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+func groundPair(b *testing.B, i, j int) (*query.Simple, *query.Simple, provenance.ExampleSet) {
+	b.Helper()
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	gi, err := query.FromExplanation(exs[i].Graph, exs[i].Distinguished)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gj, err := query.FromExplanation(exs[j].Graph, exs[j].Distinguished)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gi, gj, exs
+}
+
+func BenchmarkMergePair(b *testing.B) {
+	a, c, _ := groundPair(b, 0, 2)
+	opts := core.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := core.MergePair(a, c, opts); err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// Ablation: the paper's single-choice first-pair rule (FirstPairSweep = 1)
+// against the default sweep. Compare ns/op and, more importantly, the
+// variable counts reported by TestInferUnionRunningExample-style runs.
+func BenchmarkMergePairAblationPaperFirstPair(b *testing.B) {
+	a, c, _ := groundPair(b, 0, 2)
+	opts := core.DefaultOptions()
+	opts.FirstPairSweep = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := core.MergePair(a, c, opts); err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// Ablation: no diversified restarts (numIter = 1).
+func BenchmarkMergePairAblationSingleIter(b *testing.B) {
+	a, c, _ := groundPair(b, 0, 2)
+	opts := core.DefaultOptions()
+	opts.NumIter = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := core.MergePair(a, c, opts); err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkInferUnion(b *testing.B) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.InferUnion(exs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferTopK(b *testing.B) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.InferTopK(exs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrivial(b *testing.B) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := core.Trivial(exs); err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkWithDiseqs(b *testing.B) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	q := paperfix.Q1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.WithDiseqs(q, exs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package core implements the paper's primary contribution: inference of
+// SPARQL queries from output examples and their provenance (explanations).
+//
+//   - Proposition 3.1: polynomial existence check and trivial construction of
+//     a consistent simple query (Trivial / TrivialExists).
+//   - Definitions 3.6/3.7 and Proposition 3.10: complete relations between
+//     two patterns and the minimum-variable query a relation leads to
+//     (Relation, BuildQuery).
+//   - Algorithm 1 (FindRelationGreedy): greedy search over complete
+//     relations driven by the dynamic gain function of Definition 3.11
+//     (MergePair).
+//   - Section III, "Extending to n Explanations": InferSimple.
+//   - Definition 4.1 and Algorithm 2 (FindConsistentUnion): InferUnion.
+//   - Section IV, "Top-K Queries": InferTopK.
+//   - Section V disequality inference: WithDiseqs / InferUnionDiseqs.
+package core
+
+import "questpro/internal/query"
+
+// DefaultGainWeights are the gain-function weights (w1, w2, w3) the paper
+// fixes in Section VI: 3, 15, 1.
+var DefaultGainWeights = [3]float64{3, 15, 1}
+
+// Options configures the inference algorithms. The zero value is not
+// meaningful; start from DefaultOptions.
+type Options struct {
+	// GainWeights are w1, w2, w3 of Definition 3.11.
+	GainWeights [3]float64
+
+	// NumIter is Algorithm 1's number of diversified restarts.
+	NumIter int
+
+	// CostW1 and CostW2 are the weights of the minimum-generalization cost
+	// f(Q) = CostW1 * Σ vars + CostW2 * |Q| (Definition 4.1).
+	CostW1, CostW2 float64
+
+	// K is the beam width of the top-k variant of Algorithm 2.
+	K int
+
+	// FirstPairSweep is how many distinguished-adjacent pairs Algorithm 1
+	// tries as the forced first selection (see DefaultFirstPairSweep).
+	// 0 selects the default; 1 reproduces the paper's single-choice rule.
+	FirstPairSweep int
+}
+
+// DefaultOptions returns the paper's parameterization: gain weights
+// (3, 15, 1), three Algorithm-1 restarts, the cost weights of Example 4.4
+// (1, 7), and k = 3 (the fixed k of the timing experiment in Section VI-B).
+func DefaultOptions() Options {
+	return Options{
+		GainWeights: DefaultGainWeights,
+		NumIter:     3,
+		CostW1:      1,
+		CostW2:      7,
+		K:           3,
+	}
+}
+
+// Stats records the work performed by an inference run. Algorithm1Calls is
+// the "number of intermediate queries" metric of Figure 6: how many times
+// Algorithm 2 (or its top-k variant) invoked Algorithm 1.
+type Stats struct {
+	Algorithm1Calls int
+	Rounds          int
+}
+
+// Candidate pairs an inferred union query with its cost under the options'
+// cost weights; the top-k APIs return candidates sorted by cost.
+type Candidate struct {
+	Query *query.Union
+	Cost  float64
+}

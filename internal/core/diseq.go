@@ -1,0 +1,119 @@
+package core
+
+import (
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// WithDiseqs returns a copy of q augmented with every valid disequality
+// (Section V): for each pair of query nodes of the same type — a variable
+// against a variable or against a constant — whose witness values differ in
+// *every* explanation the query covers, the disequality is added if the
+// query stays consistent. The result is the Q^all form used by the feedback
+// loop; q itself is not modified.
+//
+// Explanations the query has no onto match for are ignored, which makes the
+// function directly usable on the branches of a union query (each branch
+// only covers part of the example-set).
+func WithDiseqs(q *query.Simple, ex provenance.ExampleSet) (*query.Simple, error) {
+	covered, witnesses, err := coveredWitnesses(q, ex)
+	if err != nil {
+		return nil, err
+	}
+	if len(covered) == 0 || q.NumVars() == 0 {
+		return q.Clone(), nil
+	}
+	out := q.Clone()
+	nodes := q.Nodes()
+	for xi := 0; xi < len(nodes); xi++ {
+		x := nodes[xi]
+		if !x.Term.IsVar {
+			continue
+		}
+		for yi := 0; yi < len(nodes); yi++ {
+			y := nodes[yi]
+			if xi == yi || (y.Term.IsVar && yi < xi) {
+				continue // var-var pairs once; var-const pairs for every const
+			}
+			if x.Type != y.Type {
+				continue
+			}
+			if !differsEverywhere(witnesses, x.ID, y.ID) {
+				continue
+			}
+			trial := out.Clone()
+			if err := trial.AddDiseqNodes(x.ID, y.ID); err != nil {
+				return nil, err
+			}
+			ok, err := consistentWithAll(trial, covered)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = trial
+			}
+		}
+	}
+	return out, nil
+}
+
+// coveredWitnesses returns the explanations q covers and one witness
+// assignment (query node -> explanation value) per covered explanation.
+func coveredWitnesses(q *query.Simple, ex provenance.ExampleSet) (provenance.ExampleSet, [][]string, error) {
+	assignments, missing, err := provenance.WitnessAssignments(q, ex)
+	if err != nil {
+		return nil, nil, err
+	}
+	skip := map[int]bool{}
+	for _, i := range missing {
+		skip[i] = true
+	}
+	var covered provenance.ExampleSet
+	var witnesses [][]string
+	for i, e := range ex {
+		if skip[i] {
+			continue
+		}
+		covered = append(covered, e)
+		witnesses = append(witnesses, assignments[i])
+	}
+	return covered, witnesses, nil
+}
+
+// differsEverywhere reports whether nodes x and y received different values
+// in every witness assignment.
+func differsEverywhere(witnesses [][]string, x, y query.NodeID) bool {
+	for _, w := range witnesses {
+		if w[x] == "" || w[y] == "" || w[x] == w[y] {
+			return false
+		}
+	}
+	return true
+}
+
+func consistentWithAll(q *query.Simple, ex provenance.ExampleSet) (bool, error) {
+	for _, e := range ex {
+		ok, err := provenance.ConsistentSimple(q, e)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// WithDiseqsUnion applies WithDiseqs to every branch of a union query,
+// producing the union's Q^all form.
+func WithDiseqsUnion(u *query.Union, ex provenance.ExampleSet) (*query.Union, error) {
+	branches := make([]*query.Simple, u.Size())
+	for i, b := range u.Branches() {
+		wb, err := WithDiseqs(b, ex)
+		if err != nil {
+			return nil, err
+		}
+		branches[i] = wb
+	}
+	return query.NewUnion(branches...), nil
+}

@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"questpro/internal/core"
+	"questpro/internal/graph"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// explain builds an explanation: the paper with its two authors, with the
+// non-Erdos author distinguished.
+func explain(paper, author string) provenance.Explanation {
+	g := graph.New()
+	g.MustAddTriple(paper, "wb", author)
+	g.MustAddTriple(paper, "wb", "Erdos")
+	ex, err := provenance.NewByValue(g, author)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ex
+}
+
+// ExampleInferUnion infers "co-authors of Erdos" from two explanations.
+func ExampleInferUnion() {
+	examples := provenance.ExampleSet{
+		explain("paper2", "Bob"),
+		explain("paper3", "Carol"),
+	}
+	q, stats, err := core.InferUnion(examples, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("branches=%d vars=%d algorithm1=%d\n", q.Size(), q.TotalVars(), stats.Algorithm1Calls)
+	fmt.Println(q.SPARQL())
+	// Output:
+	// branches=1 vars=2 algorithm1=1
+	// SELECT ?v2 WHERE {
+	//   ?v1 <wb> ?v2 .
+	//   ?v1 <wb> "Erdos" .
+	// }
+}
+
+// ExampleTrivial shows the Proposition 3.1 construction: consistent but
+// over-general (disjoint edges, no connection between them).
+func ExampleTrivial() {
+	examples := provenance.ExampleSet{
+		explain("paper2", "Bob"),
+		explain("paper3", "Carol"),
+	}
+	q, ok, err := core.Trivial(examples)
+	if err != nil || !ok {
+		log.Fatal(ok, err)
+	}
+	fmt.Printf("edges=%d vars=%d\n", q.NumEdges(), q.NumVars())
+	// Output:
+	// edges=2 vars=4
+}
+
+// ExampleMergePair merges two explanations into the minimum-variable
+// pattern their complete relation leads to (Algorithm 1 + Prop. 3.10).
+func ExampleMergePair() {
+	a := explain("paper2", "Bob")
+	b := explain("paper3", "Carol")
+	ga, err := query.FromExplanation(a.Graph, a.Distinguished)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gb, err := query.FromExplanation(b.Graph, b.Distinguished)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, ok, err := core.MergePair(ga, gb, core.DefaultOptions())
+	if err != nil || !ok {
+		log.Fatal(ok, err)
+	}
+	fmt.Printf("gain=%.0f vars=%d complete=%v\n",
+		res.Gain, res.Query.NumVars(), res.Relation.IsComplete())
+	// Output:
+	// gain=64 vars=2 complete=true
+}

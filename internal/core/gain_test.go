@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"questpro/internal/query"
+)
+
+// buildPatterns creates two tiny ground patterns sharing the constant
+// target "Erdos":
+//
+//	A: paper3 -wb-> Carol, paper3 -wb-> Erdos   (projected Carol)
+//	B: paper4 -wb-> Dave,  paper4 -wb-> Erdos   (projected Dave)
+func buildPatterns(t *testing.T) (*query.Simple, *query.Simple) {
+	t.Helper()
+	mk := func(paper, author string) *query.Simple {
+		q := query.NewSimple()
+		p := q.MustEnsureNode(query.Const(paper), "Paper")
+		a := q.MustEnsureNode(query.Const(author), "Author")
+		e := q.MustEnsureNode(query.Const("Erdos"), "Author")
+		q.MustAddEdge(p, a, "wb")
+		q.MustAddEdge(p, e, "wb")
+		if err := q.SetProjected(a); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	return mk("paper3", "Carol"), mk("paper4", "Dave")
+}
+
+func edgeByTarget(t *testing.T, q *query.Simple, target string) query.EdgeID {
+	t.Helper()
+	for _, e := range q.Edges() {
+		if q.Node(e.To).Term.Value == target {
+			return e.ID
+		}
+	}
+	t.Fatalf("no edge with target %s", target)
+	return 0
+}
+
+// TestGainComponents mirrors Example 3.12: after pairing the author edges,
+// the Erdos-Erdos pair scores w1*1 (shared target constant) + w2*2 (both
+// unpaired) + w3*1 (sources previously paired together).
+func TestGainComponents(t *testing.T) {
+	a, b := buildPatterns(t)
+	st := newRelationState(a, b, DefaultGainWeights)
+
+	carol := edgeByTarget(t, a, "Carol")
+	dave := edgeByTarget(t, b, "Dave")
+	erdosA := edgeByTarget(t, a, "Erdos")
+	erdosB := edgeByTarget(t, b, "Erdos")
+
+	// Initially: the Erdos pair shares one constant endpoint and both edges
+	// are unpaired; no node pairs exist yet.
+	if got, want := st.Gain(erdosA, erdosB), 3.0*1+15*2+1*0; got != want {
+		t.Fatalf("initial gain = %v, want %v", got, want)
+	}
+	// The author pair shares no constants.
+	if got, want := st.Gain(carol, dave), 3.0*0+15*2+1*0; got != want {
+		t.Fatalf("author pair gain = %v, want %v", got, want)
+	}
+
+	st.add(carol, dave)
+
+	// Now the Erdos pair's sources (paper3, paper4) are a known node pair.
+	if got, want := st.Gain(erdosA, erdosB), 3.0*1+15*2+1*1; got != want {
+		t.Fatalf("post-add gain = %v, want %v", got, want)
+	}
+	// Re-pairing the already-paired author edges loses the whole c2 term.
+	if got, want := st.Gain(carol, dave), 3.0*0+15*0+1*2; got != want {
+		t.Fatalf("re-pair gain = %v, want %v", got, want)
+	}
+	// Label mismatch yields -1.
+	q := query.NewSimple()
+	x := q.FreshVar("")
+	y := q.FreshVar("")
+	q.MustAddEdge(x, y, "cites")
+	q.SetProjected(y)
+	st2 := newRelationState(a, q, DefaultGainWeights)
+	if got := st2.Gain(carol, 0); got != -1 {
+		t.Fatalf("label mismatch gain = %v, want -1", got)
+	}
+}
+
+func TestRelationCompleteness(t *testing.T) {
+	a, b := buildPatterns(t)
+	carol := edgeByTarget(t, a, "Carol")
+	dave := edgeByTarget(t, b, "Dave")
+	erdosA := edgeByTarget(t, a, "Erdos")
+	erdosB := edgeByTarget(t, b, "Erdos")
+
+	full := &Relation{A: a, B: b, Pairs: []EdgePair{{carol, dave}, {erdosA, erdosB}}}
+	if !full.IsComplete() {
+		t.Fatal("covering relation with projected pair not complete")
+	}
+	empty := &Relation{A: a, B: b}
+	if empty.IsComplete() {
+		t.Fatal("empty relation complete")
+	}
+	partial := &Relation{A: a, B: b, Pairs: []EdgePair{{carol, dave}}}
+	if partial.IsComplete() {
+		t.Fatal("partial cover complete")
+	}
+	// Covers everything but never pairs the distinguished-adjacent edges in
+	// the same role.
+	crossed := &Relation{A: a, B: b, Pairs: []EdgePair{{carol, erdosB}, {erdosA, dave}}}
+	if crossed.IsComplete() {
+		t.Fatal("relation without projected pair complete")
+	}
+	if _, err := BuildQuery(partial); err == nil {
+		t.Fatal("BuildQuery accepted incomplete relation")
+	}
+}
+
+// BuildQuery on the full relation yields the expected 2-variable merge:
+// ?p -wb-> ?a* and ?p -wb-> Erdos.
+func TestBuildQueryMinimumVariables(t *testing.T) {
+	a, b := buildPatterns(t)
+	full := &Relation{A: a, B: b, Pairs: []EdgePair{
+		{edgeByTarget(t, a, "Carol"), edgeByTarget(t, b, "Dave")},
+		{edgeByTarget(t, a, "Erdos"), edgeByTarget(t, b, "Erdos")},
+	}}
+	q, err := BuildQuery(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVars() != 2 || q.NumEdges() != 2 {
+		t.Fatalf("merged query vars=%d edges=%d:\n%s", q.NumVars(), q.NumEdges(), q.SPARQL())
+	}
+	erdos, ok := q.NodeByTerm(query.Const("Erdos"))
+	if !ok {
+		t.Fatal("shared constant not preserved")
+	}
+	if q.Node(q.Projected()).Term.IsVar == false {
+		t.Fatal("projected node should be a variable")
+	}
+	// Both edges share their source variable (the paper pair).
+	var sources []query.NodeID
+	for _, e := range q.Edges() {
+		sources = append(sources, e.From)
+	}
+	if sources[0] != sources[1] {
+		t.Fatal("paper sources not unified into one variable")
+	}
+	// Types carried over where they agree.
+	if q.Node(erdos.ID).Type != "Author" {
+		t.Fatalf("Erdos type = %q", q.Node(erdos.ID).Type)
+	}
+	if q.Node(sources[0]).Type != "Paper" {
+		t.Fatalf("paper var type = %q", q.Node(sources[0]).Type)
+	}
+}
+
+// The same node pair appearing as a source pair of one edge and a target
+// pair of another must unify (path-shaped merges).
+func TestBuildQueryUnifiesAcrossRoles(t *testing.T) {
+	mk := func(a, b, c string) *query.Simple {
+		q := query.NewSimple()
+		na := q.MustEnsureNode(query.Const(a), "")
+		nb := q.MustEnsureNode(query.Const(b), "")
+		nc := q.MustEnsureNode(query.Const(c), "")
+		q.MustAddEdge(na, nb, "p")
+		q.MustAddEdge(nb, nc, "p")
+		q.SetProjected(nc)
+		return q
+	}
+	a := mk("a1", "b1", "c1")
+	b := mk("a2", "b2", "c2")
+	rel := &Relation{A: a, B: b, Pairs: []EdgePair{{0, 0}, {1, 1}}}
+	if !rel.IsComplete() {
+		t.Fatal("path relation not complete")
+	}
+	q, err := BuildQuery(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a -> b -> c as variables: 3 nodes, not 4.
+	if q.NumNodes() != 3 || q.NumVars() != 3 {
+		t.Fatalf("path merge nodes=%d vars=%d", q.NumNodes(), q.NumVars())
+	}
+	e0, e1 := q.Edge(0), q.Edge(1)
+	if e0.To != e1.From {
+		t.Fatal("middle node not unified across roles")
+	}
+	if q.Projected() != e1.To {
+		t.Fatal("projected node misplaced")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// groundPatterns converts an example-set into constants-only simple queries
+// (the leaves of Algorithm 2's lattice and the starting points of every
+// merge).
+func groundPatterns(ex provenance.ExampleSet) ([]*query.Simple, error) {
+	if err := ex.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]*query.Simple, len(ex))
+	for i, e := range ex {
+		q, err := query.FromExplanation(e.Graph, e.Distinguished)
+		if err != nil {
+			return nil, fmt.Errorf("core: explanation %d: %w", i, err)
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// InferSimple implements the n-explanation extension of Section III: it
+// repeatedly runs Algorithm 1 on every pair of patterns (explanations and
+// intermediate queries alike) and greedily merges the pair whose complete
+// relation has maximal gain, until a single simple query remains. ok is
+// false when some explanations cannot be merged into one simple pattern.
+func InferSimple(ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, bool, error) {
+	var stats Stats
+	patterns, err := groundPatterns(ex)
+	if err != nil {
+		return nil, stats, false, err
+	}
+	for len(patterns) > 1 {
+		stats.Rounds++
+		bestI, bestJ := -1, -1
+		var best MergeResult
+		for i := 0; i < len(patterns); i++ {
+			for j := i + 1; j < len(patterns); j++ {
+				stats.Algorithm1Calls++
+				res, ok, err := MergePair(patterns[i], patterns[j], opts)
+				if err != nil {
+					return nil, stats, false, err
+				}
+				if !ok {
+					continue
+				}
+				if bestI < 0 || res.Gain > best.Gain {
+					bestI, bestJ, best = i, j, res
+				}
+			}
+		}
+		if bestI < 0 {
+			return nil, stats, false, nil
+		}
+		next := patterns[:0:0]
+		for k, p := range patterns {
+			if k != bestI && k != bestJ {
+				next = append(next, p)
+			}
+		}
+		patterns = append(next, best.Query)
+	}
+	return patterns[0], stats, true, nil
+}
+
+// InferUnion implements Algorithm 2 (FindConsistentUnion): starting from
+// the trivial union of constants-only patterns, repeatedly merge the two
+// branches whose consistent simple query has the fewest variables, as long
+// as the cost f(Q) = CostW1 * Σ vars + CostW2 * |Q| decreases.
+func InferUnion(ex provenance.ExampleSet, opts Options) (*query.Union, Stats, error) {
+	var stats Stats
+	patterns, err := groundPatterns(ex)
+	if err != nil {
+		return nil, stats, err
+	}
+	u := query.NewUnion(patterns...)
+	costCur := u.Cost(opts.CostW1, opts.CostW2)
+	for u.Size() > 1 {
+		stats.Rounds++
+		merged, err := mergeBestTwo(u, opts, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		if merged == nil {
+			break
+		}
+		cost := merged.Cost(opts.CostW1, opts.CostW2)
+		if cost >= costCur {
+			break
+		}
+		u, costCur = merged, cost
+	}
+	return u, stats, nil
+}
+
+// mergeBestTwo implements procedure MergeBestTwo: run Algorithm 1 on every
+// pair of branches and return the union produced by the merge with the
+// minimum number of variables (nil when no pair can be merged).
+func mergeBestTwo(u *query.Union, opts Options, stats *Stats) (*query.Union, error) {
+	bestI, bestJ := -1, -1
+	var best MergeResult
+	for i := 0; i < u.Size(); i++ {
+		for j := i + 1; j < u.Size(); j++ {
+			stats.Algorithm1Calls++
+			res, ok, err := MergePair(u.Branch(i), u.Branch(j), opts)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			better := bestI < 0 ||
+				res.Query.NumVars() < best.Query.NumVars() ||
+				(res.Query.NumVars() == best.Query.NumVars() && res.Gain > best.Gain)
+			if better {
+				bestI, bestJ, best = i, j, res
+			}
+		}
+	}
+	if bestI < 0 {
+		return nil, nil
+	}
+	return u.Replace(bestI, bestJ, best.Query)
+}

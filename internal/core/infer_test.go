@@ -1,0 +1,553 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"questpro/internal/core"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+func mustConsistent(t *testing.T, u *query.Union, ex provenance.ExampleSet, what string) {
+	t.Helper()
+	ok, err := provenance.Consistent(u, ex)
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	if !ok {
+		t.Fatalf("%s is not consistent with the example-set:\n%s", what, u.SPARQL())
+	}
+}
+
+// Proposition 3.1 / Example 3.3: the trivial construction on the running
+// example yields the 6-disjoint-edge query Q2.
+func TestTrivialRunningExample(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	role, label, ok := core.TrivialExists(exs)
+	if !ok {
+		t.Fatal("TrivialExists = false on the running example")
+	}
+	if role != "in" || label != "wb" {
+		t.Fatalf("role=%q label=%q, want in/wb", role, label)
+	}
+	q, ok, err := core.Trivial(exs)
+	if err != nil || !ok {
+		t.Fatalf("Trivial: ok=%v err=%v", ok, err)
+	}
+	if q.NumEdges() != 6 || q.NumVars() != 12 {
+		t.Fatalf("trivial query edges=%d vars=%d, want 6/12", q.NumEdges(), q.NumVars())
+	}
+	if !query.Isomorphic(q, stripTypes(paperfix.Q2())) {
+		t.Fatalf("trivial query not isomorphic to Q2:\n%s", q.SPARQL())
+	}
+	mustConsistent(t, query.NewUnion(q), exs, "trivial query")
+}
+
+func TestTrivialNonexistence(t *testing.T) {
+	// Label sets differ between explanations.
+	g1 := graph.New()
+	g1.MustAddTriple("p1", "wb", "A")
+	e1, _ := provenance.NewByValue(g1, "A")
+	g2 := graph.New()
+	g2.MustAddTriple("B", "cites", "p2")
+	e2, _ := provenance.NewByValue(g2, "B")
+	if _, _, ok := core.TrivialExists(provenance.ExampleSet{e1, e2}); ok {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, ok, err := core.Trivial(provenance.ExampleSet{e1, e2}); err != nil || ok {
+		t.Fatalf("Trivial: ok=%v err=%v", ok, err)
+	}
+
+	// Same labels, but the distinguished nodes disagree on the role: one
+	// only has an outgoing wb edge, the other only an incoming one.
+	g3 := graph.New()
+	g3.MustAddTriple("A", "wb", "p1")
+	e3, _ := provenance.NewByValue(g3, "A")
+	g4 := graph.New()
+	g4.MustAddTriple("p2", "wb", "B")
+	e4, _ := provenance.NewByValue(g4, "B")
+	if _, _, ok := core.TrivialExists(provenance.ExampleSet{e3, e4}); ok {
+		t.Fatal("role mismatch accepted (Lemma 3.2)")
+	}
+	if _, _, ok := core.TrivialExists(nil); ok {
+		t.Fatal("empty example-set accepted")
+	}
+}
+
+// Example 3.14 / Figure 4: merging E1 with E3 yields the two-variable Q3;
+// merging E2 with E4 yields the two-variable Q4.
+func TestMergePairFigure4(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+
+	ge := func(i int) *query.Simple {
+		q, err := query.FromExplanation(exs[i].Graph, exs[i].Distinguished)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	res, ok, err := core.MergePair(ge(0), ge(2), opts)
+	if err != nil || !ok {
+		t.Fatalf("merge E1,E3: ok=%v err=%v", ok, err)
+	}
+	if !query.Isomorphic(res.Query, paperfix.Q3()) {
+		t.Fatalf("merge(E1,E3) != Q3:\n%s", res.Query.SPARQL())
+	}
+	if !res.Relation.IsComplete() {
+		t.Fatal("returned relation not complete")
+	}
+
+	res, ok, err = core.MergePair(ge(1), ge(3), opts)
+	if err != nil || !ok {
+		t.Fatalf("merge E2,E4: ok=%v err=%v", ok, err)
+	}
+	if !query.Isomorphic(res.Query, paperfix.Q4()) {
+		t.Fatalf("merge(E2,E4) != Q4:\n%s", res.Query.SPARQL())
+	}
+}
+
+// Merging two explanations with no shared edge label fails.
+func TestMergePairIncompatible(t *testing.T) {
+	mk := func(label string) *query.Simple {
+		q := query.NewSimple()
+		a := q.MustEnsureNode(query.Const("a"+label), "")
+		b := q.MustEnsureNode(query.Const("b"+label), "")
+		q.MustAddEdge(a, b, label)
+		q.SetProjected(b)
+		return q
+	}
+	_, ok, err := core.MergePair(mk("p"), mk("q"), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("incompatible patterns merged")
+	}
+}
+
+// InferSimple over all four explanations must produce a consistent simple
+// query, and the greedy merge order (E1+E3 first or E2+E4 first, then the
+// rest) should land on the six-variable chain Q1.
+func TestInferSimpleRunningExample(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	q, stats, ok, err := core.InferSimple(exs, core.DefaultOptions())
+	if err != nil || !ok {
+		t.Fatalf("InferSimple: ok=%v err=%v", ok, err)
+	}
+	mustConsistent(t, query.NewUnion(q), exs, "InferSimple result")
+	if stats.Algorithm1Calls == 0 || stats.Rounds != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if q.NumVars() >= 12 {
+		t.Fatalf("inferred simple query no better than trivial: %d vars", q.NumVars())
+	}
+	t.Logf("InferSimple produced (%d vars): %s", q.NumVars(), q)
+}
+
+// Two-explanation subsets reproduce Figure 4 through InferSimple as well.
+func TestInferSimpleTwoExplanations(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	q, _, ok, err := core.InferSimple(provenance.ExampleSet{exs[0], exs[2]}, core.DefaultOptions())
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !query.Isomorphic(q, paperfix.Q3()) {
+		t.Fatalf("InferSimple(E1,E3) != Q3:\n%s", q.SPARQL())
+	}
+}
+
+func TestInferSimpleImpossible(t *testing.T) {
+	g1 := graph.New()
+	g1.MustAddTriple("p1", "wb", "A")
+	e1, _ := provenance.NewByValue(g1, "A")
+	g2 := graph.New()
+	g2.MustAddTriple("B", "cites", "p2")
+	e2, _ := provenance.NewByValue(g2, "B")
+	_, _, ok, err := core.InferSimple(provenance.ExampleSet{e1, e2}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("InferSimple merged unmergeable explanations")
+	}
+}
+
+// Algorithm 2 on the running example (Example 4.3/4.4 structure): the cost
+// must decrease monotonically from the trivial union's 4*CostW2, the result
+// must be consistent, and with the Example 4.4 weights (1, 7) the final
+// query should be the fully merged chain (one branch, six variables).
+func TestInferUnionRunningExample(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions() // CostW1=1, CostW2=7
+	u, stats, err := core.InferUnion(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConsistent(t, u, exs, "InferUnion result")
+	trivialCost := 4 * opts.CostW2
+	if got := u.Cost(opts.CostW1, opts.CostW2); got >= trivialCost {
+		t.Fatalf("cost %v did not improve on trivial %v", got, trivialCost)
+	}
+	if stats.Algorithm1Calls == 0 {
+		t.Fatal("no Algorithm 1 calls recorded")
+	}
+	if u.Size() != 1 {
+		t.Fatalf("expected full merge under (1,7) weights, got %d branches", u.Size())
+	}
+	if u.Branch(0).NumVars() != 6 {
+		t.Fatalf("expected the 6-variable chain, got %d vars:\n%s",
+			u.Branch(0).NumVars(), u.SPARQL())
+	}
+}
+
+// With branch-heavy weights Algorithm 2 stops early, as in Example 4.3
+// (weights 2, 5): merging E1/E3 and E2/E4 pays off, but the final merge
+// (2 -> 1 branches, +4 variables) costs more than it saves.
+func TestInferUnionStopsWhenCostRises(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+	opts.CostW1, opts.CostW2 = 4, 1 // variables are expensive: keep branches
+	u, _, err := core.InferUnion(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConsistent(t, u, exs, "InferUnion result")
+	if u.Size() != 4 {
+		t.Fatalf("with var-heavy weights expected no merges, got %d branches", u.Size())
+	}
+}
+
+func TestInferTopKRunningExample(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+	opts.K = 3
+	cands, stats, err := core.InferTopK(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 || len(cands) > 3 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	for i, c := range cands {
+		mustConsistent(t, c.Query, exs, "top-k candidate")
+		if i > 0 && cands[i-1].Cost > c.Cost {
+			t.Fatal("candidates not sorted by cost")
+		}
+	}
+	// The best candidate matches the single-track Algorithm 2 result or
+	// improves on it.
+	u, _, err := core.InferUnion(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].Cost > u.Cost(opts.CostW1, opts.CostW2) {
+		t.Fatalf("top-k best (%v) worse than single-track (%v)",
+			cands[0].Cost, u.Cost(opts.CostW1, opts.CostW2))
+	}
+	// Candidates are pairwise non-isomorphic.
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if query.UnionIsomorphic(cands[i].Query, cands[j].Query) {
+				t.Fatal("duplicate candidates in top-k")
+			}
+		}
+	}
+	if stats.Algorithm1Calls <= 3 {
+		t.Fatalf("suspiciously few Algorithm 1 calls: %d", stats.Algorithm1Calls)
+	}
+}
+
+func TestInferTopKMoreCandidatesWithLargerK(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+	opts.K = 1
+	_, s1, err := core.InferTopK(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.K = 5
+	c5, s5, err := core.InferTopK(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5.Algorithm1Calls < s1.Algorithm1Calls {
+		t.Fatalf("larger k did less work: %d vs %d", s5.Algorithm1Calls, s1.Algorithm1Calls)
+	}
+	if len(c5) < 2 {
+		t.Fatalf("k=5 produced only %d candidates", len(c5))
+	}
+}
+
+// Example 5.1 analog: after inferring diseqs for Q3, ?aA != Bob must be
+// present (its witnesses are Alice and Felix), while Q1's a1 != a2 must not
+// (E2 assigns Dave to both).
+func TestWithDiseqs(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+
+	q3all, err := core.WithDiseqs(paperfix.Q3(), exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aA, _ := q3all.NodeByTerm(query.Var("aA"))
+	bob, _ := q3all.NodeByTerm(query.Const("Bob"))
+	foundBob := false
+	for _, d := range q3all.Diseqs() {
+		if d.X == aA.ID && d.YIsNode && d.Y == bob.ID {
+			foundBob = true
+		}
+	}
+	if !foundBob {
+		t.Fatalf("aA != Bob missing from %v", q3all.Diseqs())
+	}
+	// The augmented query stays consistent with the explanations it covers.
+	for _, i := range []int{0, 2} {
+		ok, err := provenance.ConsistentSimple(q3all, exs[i])
+		if err != nil || !ok {
+			t.Fatalf("Q3^all inconsistent with E%d: %v", i+1, err)
+		}
+	}
+
+	q1all, err := core.WithDiseqs(paperfix.Q1(), exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := q1all.NodeByTerm(query.Var("a1"))
+	a2, _ := q1all.NodeByTerm(query.Var("a2"))
+	for _, d := range q1all.Diseqs() {
+		if d.YIsNode && ((d.X == a1.ID && d.Y == a2.ID) || (d.X == a2.ID && d.Y == a1.ID)) {
+			t.Fatal("a1 != a2 added despite E2's collapsed witness")
+		}
+	}
+	mustConsistent(t, query.NewUnion(q1all), exs, "Q1^all")
+}
+
+func TestWithDiseqsGroundQuery(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	ground, err := query.FromExplanation(exs[0].Graph, exs[0].Distinguished)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.WithDiseqs(ground, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDiseqs() != 0 {
+		t.Fatal("ground query received diseqs")
+	}
+}
+
+func TestWithDiseqsUnion(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	u := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	all, err := core.WithDiseqsUnion(u, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.TotalDiseqs() == 0 {
+		t.Fatal("no diseqs inferred for Union(Q3, Q4)")
+	}
+	mustConsistent(t, all, exs, "Union(Q3,Q4)^all")
+	// Original untouched.
+	if u.TotalDiseqs() != 0 {
+		t.Fatal("WithDiseqsUnion mutated its input")
+	}
+}
+
+func TestConsistentCandidates(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	good := query.NewUnion(paperfix.Q1())
+	bad := query.NewUnion(paperfix.Q3()) // misses E2/E4
+	out, err := core.ConsistentCandidates([]core.Candidate{
+		{Query: good}, {Query: bad},
+	}, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Query != good {
+		t.Fatalf("filtered to %d candidates", len(out))
+	}
+}
+
+// Determinism: repeated runs produce identical candidates.
+func TestInferenceDeterministic(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+	a, sa, err := core.InferTopK(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := core.InferTopK(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb || len(a) != len(b) {
+		t.Fatalf("stats or lengths differ: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if a[i].Cost != b[i].Cost || a[i].Query.Fingerprint() != b[i].Query.Fingerprint() {
+			t.Fatalf("candidate %d differs between runs", i)
+		}
+	}
+}
+
+// Property (the paper's Prop 3.8/3.13 guarantee): for random example-sets
+// sampled as connected subgraphs of a random ontology, InferUnion always
+// returns a query consistent with the example-set, and InferSimple's result
+// (when it succeeds) is consistent too.
+func TestInferenceConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := graph.RandomOntology(rng, graph.RandomConfig{
+			Nodes: 16, Edges: 36, Labels: []string{"p", "q"}, Types: []string{"A", "B"},
+		})
+		var exs provenance.ExampleSet
+		for len(exs) < 2+rng.Intn(2) {
+			sub, start := graph.RandomConnectedSubgraph(rng, o, 1+rng.Intn(4))
+			if sub == nil {
+				return true
+			}
+			ex, err := provenance.New(sub, start)
+			if err != nil {
+				return false
+			}
+			exs = append(exs, ex)
+		}
+		opts := core.DefaultOptions()
+		u, _, err := core.InferUnion(exs, opts)
+		if err != nil {
+			t.Logf("seed %d: InferUnion: %v", seed, err)
+			return false
+		}
+		ok, err := provenance.Consistent(u, exs)
+		if err != nil || !ok {
+			t.Logf("seed %d: union inconsistent (err=%v)", seed, err)
+			return false
+		}
+		q, _, sok, err := core.InferSimple(exs, opts)
+		if err != nil {
+			return false
+		}
+		if sok {
+			ok, err := provenance.Consistent(query.NewUnion(q), exs)
+			if err != nil || !ok {
+				t.Logf("seed %d: simple inconsistent (err=%v)", seed, err)
+				return false
+			}
+		}
+		// Diseq augmentation preserves consistency as well.
+		all, err := core.WithDiseqsUnion(u, exs)
+		if err != nil {
+			return false
+		}
+		ok, err = provenance.Consistent(all, exs)
+		if err != nil || !ok {
+			t.Logf("seed %d: diseq-augmented union inconsistent (err=%v)", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stripTypes drops node types for comparisons with untyped constructions.
+func stripTypes(q *query.Simple) *query.Simple {
+	out := query.NewSimple()
+	ids := map[query.NodeID]query.NodeID{}
+	for _, n := range q.Nodes() {
+		id, err := out.EnsureNode(n.Term, "")
+		if err != nil {
+			panic(err)
+		}
+		ids[n.ID] = id
+	}
+	for _, e := range q.Edges() {
+		out.MustAddEdge(ids[e.From], ids[e.To], e.Label)
+	}
+	if q.Projected() != query.NoNode {
+		if err := out.SetProjected(ids[q.Projected()]); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Ablation sanity: the first-pair sweep is what lets the full merge of the
+// running example reach the 6-variable chain; the paper's single-choice
+// rule lands on a weaker (7-variable) merge here.
+func TestFirstPairSweepAblation(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	def := core.DefaultOptions()
+	u1, _, err := core.InferUnion(exs, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperOpts := def
+	paperOpts.FirstPairSweep = 1
+	u2, _, err := core.InferUnion(exs, paperOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConsistent(t, u2, exs, "paper-variant result")
+	if u1.TotalVars() > u2.TotalVars() {
+		t.Fatalf("sweep made things worse: %d vs %d vars", u1.TotalVars(), u2.TotalVars())
+	}
+	if u1.TotalVars() == u2.TotalVars() {
+		t.Logf("variants tied at %d vars (sweep matters on intermediate merges)", u1.TotalVars())
+	}
+}
+
+// A single explanation infers its own ground query.
+func TestInferSimpleSingleExplanation(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)[:1]
+	q, stats, ok, err := core.InferSimple(exs, core.DefaultOptions())
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if stats.Algorithm1Calls != 0 || !q.IsGround() {
+		t.Fatalf("single-explanation inference: stats=%+v ground=%v", stats, q.IsGround())
+	}
+	mustConsistent(t, query.NewUnion(q), exs, "single-explanation result")
+	u, _, err := core.InferUnion(exs, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Size() != 1 || !u.Branch(0).IsGround() {
+		t.Fatalf("union of one explanation: %s", u)
+	}
+}
+
+// Inference rejects empty example-sets up front.
+func TestInferRejectsEmptyExampleSet(t *testing.T) {
+	if _, _, _, err := core.InferSimple(nil, core.DefaultOptions()); err == nil {
+		t.Fatal("InferSimple accepted empty example-set")
+	}
+	if _, _, err := core.InferUnion(nil, core.DefaultOptions()); err == nil {
+		t.Fatal("InferUnion accepted empty example-set")
+	}
+	if _, _, err := core.InferTopK(nil, core.DefaultOptions()); err == nil {
+		t.Fatal("InferTopK accepted empty example-set")
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"questpro/internal/provenance"
+)
+
+// The paper's conclusion lists "dealing with incorrect provenance provided
+// by users" as future work; this file implements a first-order solution.
+// The observation: a correct explanation merges with its peers into a
+// low-variable pattern (that is what Algorithm 1 exploits), while an
+// incorrect one — wrong relation, reversed edge, unrelated subgraph —
+// either admits no complete relation at all or only merges into patterns
+// with abnormally many variables. We score each explanation by its best
+// pairwise merge and flag the ones that sit far above the median.
+
+// OutlierOptions configures DetectOutliers.
+type OutlierOptions struct {
+	// VarSlack is how many variables above the median best-merge count an
+	// explanation may sit before it is flagged.
+	VarSlack int
+}
+
+// DefaultOutlierOptions returns a slack of 3 variables.
+func DefaultOutlierOptions() OutlierOptions { return OutlierOptions{VarSlack: 3} }
+
+// OutlierScore is the diagnostic for one explanation.
+type OutlierScore struct {
+	Index int
+	// BestMergeVars is the minimum variable count over all pairwise merges
+	// with the other explanations; math.MaxInt32 when no peer merges.
+	BestMergeVars int
+	// Mergeable is false when the explanation admits no complete relation
+	// with any other explanation.
+	Mergeable bool
+	Outlier   bool
+}
+
+// DetectOutliers scores every explanation of the example-set and flags
+// probable incorrect provenance. It needs at least three explanations —
+// with two there is no majority to defer to.
+func DetectOutliers(ex provenance.ExampleSet, opts Options, oopts OutlierOptions) ([]OutlierScore, error) {
+	patterns, err := groundPatterns(ex)
+	if err != nil {
+		return nil, err
+	}
+	n := len(patterns)
+	scores := make([]OutlierScore, n)
+	for i := range scores {
+		scores[i] = OutlierScore{Index: i, BestMergeVars: math.MaxInt32}
+	}
+	if n < 3 {
+		return scores, nil
+	}
+	type cell struct {
+		vars int
+		ok   bool
+	}
+	merged := make(map[[2]int]cell, n*n/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			res, ok, err := MergePair(patterns[i], patterns[j], opts)
+			if err != nil {
+				return nil, err
+			}
+			c := cell{ok: ok}
+			if ok {
+				c.vars = res.Query.NumVars()
+			}
+			merged[[2]int{i, j}] = c
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			c := merged[[2]int{a, b}]
+			if !c.ok {
+				continue
+			}
+			scores[i].Mergeable = true
+			if c.vars < scores[i].BestMergeVars {
+				scores[i].BestMergeVars = c.vars
+			}
+		}
+	}
+	// Median of the mergeable scores.
+	var vals []int
+	for _, s := range scores {
+		if s.Mergeable {
+			vals = append(vals, s.BestMergeVars)
+		}
+	}
+	if len(vals) == 0 {
+		// Nothing merges with anything: no basis for flagging.
+		return scores, nil
+	}
+	sort.Ints(vals)
+	median := vals[len(vals)/2]
+	for i := range scores {
+		if !scores[i].Mergeable || scores[i].BestMergeVars > median+oopts.VarSlack {
+			scores[i].Outlier = true
+		}
+	}
+	return scores, nil
+}
+
+// Repair removes the flagged outliers from the example-set and returns the
+// cleaned set together with the indexes (into the original set) that were
+// dropped. At least two explanations are always retained: if flagging would
+// leave fewer, the least-suspicious flagged ones are kept.
+func Repair(ex provenance.ExampleSet, opts Options, oopts OutlierOptions) (provenance.ExampleSet, []int, error) {
+	scores, err := DetectOutliers(ex, opts, oopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	flagged := make([]OutlierScore, 0)
+	for _, s := range scores {
+		if s.Outlier {
+			flagged = append(flagged, s)
+		}
+	}
+	keepBudget := len(ex) - len(flagged)
+	if keepBudget < 2 {
+		// Keep the least-suspicious flagged explanations (lowest best-merge
+		// variable count first) until two remain.
+		sort.Slice(flagged, func(i, j int) bool {
+			return flagged[i].BestMergeVars < flagged[j].BestMergeVars
+		})
+		unflag := 2 - keepBudget
+		for i := 0; i < unflag && i < len(flagged); i++ {
+			scores[flagged[i].Index].Outlier = false
+		}
+	}
+	var clean provenance.ExampleSet
+	var dropped []int
+	for i, e := range ex {
+		if scores[i].Outlier {
+			dropped = append(dropped, i)
+			continue
+		}
+		clean = append(clean, e)
+	}
+	return clean, dropped, nil
+}
+
+// InferRobust is InferTopK preceded by Repair: the pipeline for example-sets
+// that may contain incorrect provenance. It returns the candidates, the
+// dropped explanation indexes, and the inference stats.
+func InferRobust(ex provenance.ExampleSet, opts Options, oopts OutlierOptions) ([]Candidate, []int, Stats, error) {
+	clean, dropped, err := Repair(ex, opts, oopts)
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	cands, stats, err := InferTopK(clean, opts)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	// Candidates must still be consistent with the cleaned set; guaranteed
+	// by construction, asserted cheaply here for defense in depth.
+	var out []Candidate
+	for _, c := range cands {
+		ok, err := provenance.Consistent(c.Query, clean)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out, dropped, stats, nil
+}

@@ -1,0 +1,173 @@
+package core_test
+
+import (
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+)
+
+// corruptExplanation builds an explanation that cannot come from the same
+// query as the running example's chains: a different predicate entirely.
+func corruptExplanation(t *testing.T) provenance.Explanation {
+	t.Helper()
+	g := graph.New()
+	g.MustAddTriple("x", "unrelated", "y")
+	ex, err := provenance.NewByValue(g, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// lopsidedExplanation is a wb-labeled explanation whose shape differs
+// wildly from the Erdős chains: a 6-edge star around one paper.
+func lopsidedExplanation(t *testing.T, o *graph.Graph) provenance.Explanation {
+	t.Helper()
+	g := graph.New()
+	// A star: one author with many papers (reversed role compared to the
+	// chain explanations, where papers fan out to authors).
+	for _, p := range []string{"paper1", "paper2", "paper3", "paper5", "paper7", "paper8"} {
+		g.MustAddTriple(p, "wb", "StarAuthor")
+	}
+	ex, err := provenance.NewByValue(g, "StarAuthor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestDetectOutliersUnmergeable(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	exs = append(exs, corruptExplanation(t))
+	scores, err := core.DetectOutliers(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 5 {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	if !scores[4].Outlier || scores[4].Mergeable {
+		t.Fatalf("corrupt explanation not flagged: %+v", scores[4])
+	}
+	for i := 0; i < 4; i++ {
+		if scores[i].Outlier {
+			t.Errorf("genuine explanation E%d flagged: %+v", i+1, scores[i])
+		}
+		if !scores[i].Mergeable {
+			t.Errorf("genuine explanation E%d unmergeable", i+1)
+		}
+	}
+}
+
+func TestDetectOutliersVarHeavy(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	exs = append(exs, lopsidedExplanation(t, o))
+	scores, err := core.DetectOutliers(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scores[4].Outlier {
+		t.Fatalf("lopsided explanation not flagged: %+v", scores[4])
+	}
+	// It merges (same predicate), but only into var-heavy patterns.
+	if !scores[4].Mergeable {
+		t.Fatalf("star should merge structurally: %+v", scores[4])
+	}
+}
+
+func TestDetectOutliersNeedsThree(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)[:2]
+	scores, err := core.DetectOutliers(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s.Outlier {
+			t.Fatalf("outlier flagged with only two explanations: %+v", s)
+		}
+	}
+}
+
+func TestRepairDropsOnlyOutliers(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	exs = append(exs, corruptExplanation(t))
+	clean, dropped, err := core.Repair(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0] != 4 {
+		t.Fatalf("dropped = %v, want [4]", dropped)
+	}
+	if len(clean) != 4 {
+		t.Fatalf("clean has %d explanations", len(clean))
+	}
+	for i, e := range clean {
+		if e.DistinguishedValue() != exs[i].DistinguishedValue() {
+			t.Fatalf("clean[%d] = %s", i, e.DistinguishedValue())
+		}
+	}
+}
+
+func TestRepairKeepsAtLeastTwo(t *testing.T) {
+	// Three mutually unmergeable explanations: everything gets flagged, but
+	// Repair must retain two.
+	mk := func(label string) provenance.Explanation {
+		g := graph.New()
+		g.MustAddTriple("a"+label, label, "b"+label)
+		ex, err := provenance.NewByValue(g, "b"+label)
+		if err != nil {
+			panic(err)
+		}
+		return ex
+	}
+	exs := provenance.ExampleSet{mk("p"), mk("q"), mk("r")}
+	clean, dropped, err := core.Repair(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) < 2 {
+		t.Fatalf("repair left %d explanations (dropped %v)", len(clean), dropped)
+	}
+}
+
+// InferRobust recovers the intended query despite one corrupted
+// explanation, where plain InferTopK cannot produce a clean single-pattern
+// candidate.
+func TestInferRobustRecovery(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	dirty := append(provenance.ExampleSet{}, exs...)
+	dirty = append(dirty, corruptExplanation(t))
+
+	opts := core.DefaultOptions()
+	cands, dropped, stats, err := core.InferRobust(dirty, opts, core.DefaultOutlierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0] != 4 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if len(cands) == 0 || stats.Algorithm1Calls == 0 {
+		t.Fatalf("no candidates or no work: %d cands, %+v", len(cands), stats)
+	}
+	// The best candidate matches what inference on the clean set gives.
+	cleanCands, _, err := core.InferTopK(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].Cost != cleanCands[0].Cost {
+		t.Fatalf("robust best cost %v != clean best cost %v", cands[0].Cost, cleanCands[0].Cost)
+	}
+	// Consistency with the cleaned set holds.
+	ok, err := provenance.Consistent(cands[0].Query, exs)
+	if err != nil || !ok {
+		t.Fatalf("robust candidate inconsistent: %v", err)
+	}
+}

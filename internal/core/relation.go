@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"questpro/internal/query"
+)
+
+// EdgePair pairs an edge of pattern A with an edge of pattern B; the
+// building block of complete relations (Definition 3.6).
+type EdgePair struct {
+	A, B query.EdgeID
+}
+
+// Relation is a set of edge pairs between two patterns. The patterns may be
+// explanations (represented as ground queries) or previously inferred
+// queries — Algorithm 1 merges both alike (Section III, "Extending to n
+// Explanations").
+type Relation struct {
+	A, B  *query.Simple
+	Pairs []EdgePair
+}
+
+// nodePair identifies a pair of nodes (one per pattern); BuildQuery's query
+// nodes are exactly the node pairs induced by the relation's edge pairs.
+type nodePair struct {
+	a, b query.NodeID
+}
+
+// IsComplete checks Definition 3.6: labels agree on every pair, every edge
+// of both patterns is covered, and some pair joins distinguished-adjacent
+// edges in the same role.
+func (r *Relation) IsComplete() bool {
+	if len(r.Pairs) == 0 {
+		return false
+	}
+	coveredA := make(map[query.EdgeID]bool, r.A.NumEdges())
+	coveredB := make(map[query.EdgeID]bool, r.B.NumEdges())
+	hasProjected := false
+	for _, p := range r.Pairs {
+		ea, eb := r.A.Edge(p.A), r.B.Edge(p.B)
+		if ea.Label != eb.Label {
+			return false
+		}
+		coveredA[p.A] = true
+		coveredB[p.B] = true
+		if pairProjects(r.A, r.B, ea, eb) {
+			hasProjected = true
+		}
+	}
+	return hasProjected &&
+		len(coveredA) == r.A.NumEdges() && len(coveredB) == r.B.NumEdges()
+}
+
+// pairProjects reports whether the pair's edges touch the two projected
+// (distinguished) nodes in the same role (both sources or both targets) —
+// condition 4 of Definition 3.6.
+func pairProjects(a, b *query.Simple, ea, eb query.Edge) bool {
+	pa, pb := a.Projected(), b.Projected()
+	return (ea.From == pa && eb.From == pb) || (ea.To == pa && eb.To == pb)
+}
+
+// Gain evaluates the dynamic gain function of Definition 3.11 for adding
+// the pair (ea, eb) given the current partial relation state. Weights are
+// (w1, w2, w3); a label mismatch yields -1.
+//
+//	c1: shared constants on the endpoints (0, 1 or 2);
+//	c2: how many of the two edges are not yet paired (0, 1 or 2);
+//	c3: endpoint node-pairs already induced by the relation (0, 1 or 2) —
+//	    pairing such edges will reuse existing query nodes instead of
+//	    introducing fresh variables.
+func (st *relationState) Gain(pa, pb query.EdgeID) float64 {
+	ea, eb := st.a.Edge(pa), st.b.Edge(pb)
+	if ea.Label != eb.Label {
+		return -1
+	}
+	c1 := 0
+	if sameConstant(st.a.Node(ea.From), st.b.Node(eb.From)) {
+		c1++
+	}
+	if sameConstant(st.a.Node(ea.To), st.b.Node(eb.To)) {
+		c1++
+	}
+	c2 := 0
+	if !st.pairedA[pa] {
+		c2++
+	}
+	if !st.pairedB[pb] {
+		c2++
+	}
+	c3 := 0
+	if st.nodePairs[nodePair{ea.From, eb.From}] {
+		c3++
+	}
+	if st.nodePairs[nodePair{ea.To, eb.To}] {
+		c3++
+	}
+	w := st.weights
+	return w[0]*float64(c1) + w[1]*float64(c2) + w[2]*float64(c3)
+}
+
+// sameConstant reports whether two pattern nodes carry the same constant
+// (variables from different patterns are never "the same").
+func sameConstant(a, b query.Node) bool {
+	return !a.Term.IsVar && !b.Term.IsVar && a.Term.Value == b.Term.Value
+}
+
+// relationState tracks one in-flight greedy construction of a relation.
+type relationState struct {
+	a, b      *query.Simple
+	weights   [3]float64
+	pairedA   map[query.EdgeID]bool
+	pairedB   map[query.EdgeID]bool
+	nodePairs map[nodePair]bool
+	pairs     []EdgePair
+	gain      float64
+}
+
+func newRelationState(a, b *query.Simple, weights [3]float64) *relationState {
+	return &relationState{
+		a: a, b: b, weights: weights,
+		pairedA:   map[query.EdgeID]bool{},
+		pairedB:   map[query.EdgeID]bool{},
+		nodePairs: map[nodePair]bool{},
+	}
+}
+
+// add records the selected pair, its gain, and the node pairs it induces.
+func (st *relationState) add(pa, pb query.EdgeID) {
+	st.gain += st.Gain(pa, pb)
+	st.pairs = append(st.pairs, EdgePair{pa, pb})
+	st.pairedA[pa] = true
+	st.pairedB[pb] = true
+	ea, eb := st.a.Edge(pa), st.b.Edge(pb)
+	st.nodePairs[nodePair{ea.From, eb.From}] = true
+	st.nodePairs[nodePair{ea.To, eb.To}] = true
+}
+
+// allPaired reports whether every edge of both patterns has been covered.
+func (st *relationState) allPaired() bool {
+	return len(st.pairedA) == st.a.NumEdges() && len(st.pairedB) == st.b.NumEdges()
+}
+
+// BuildQuery realizes Proposition 3.10: it converts a complete relation
+// into the consistent simple query with the minimum number of variables the
+// relation can lead to via the operations of Definition 3.7. Each edge pair
+// becomes a query edge; each induced node pair becomes a single query node —
+// a constant when both components carry the same constant (operation 4), a
+// fresh variable otherwise; node pairs shared between edge pairs connect the
+// corresponding edges (operation 3); the (projected, projected) node pair
+// becomes the new projected node (operation 2).
+func BuildQuery(r *Relation) (*query.Simple, error) {
+	if !r.IsComplete() {
+		return nil, fmt.Errorf("core: relation is not complete")
+	}
+	q := query.NewSimple()
+	nodes := map[nodePair]query.NodeID{}
+	materialize := func(na, nb query.Node) (query.NodeID, error) {
+		key := nodePair{na.ID, nb.ID}
+		if id, ok := nodes[key]; ok {
+			return id, nil
+		}
+		typ := ""
+		if na.Type == nb.Type {
+			typ = na.Type
+		}
+		var id query.NodeID
+		if sameConstant(na, nb) {
+			var err error
+			id, err = q.EnsureNode(query.Const(na.Term.Value), typ)
+			if err != nil {
+				// Conflicting types for the same constant across pairs:
+				// retry untyped rather than failing the merge.
+				id, err = q.EnsureNode(query.Const(na.Term.Value), "")
+				if err != nil {
+					return 0, err
+				}
+			}
+		} else {
+			id = q.FreshVar(typ)
+		}
+		nodes[key] = id
+		return id, nil
+	}
+	for _, p := range r.Pairs {
+		ea, eb := r.A.Edge(p.A), r.B.Edge(p.B)
+		from, err := materialize(r.A.Node(ea.From), r.B.Node(eb.From))
+		if err != nil {
+			return nil, err
+		}
+		to, err := materialize(r.A.Node(ea.To), r.B.Node(eb.To))
+		if err != nil {
+			return nil, err
+		}
+		if !q.HasEdgeTriple(from, to, ea.Label) {
+			if _, err := q.AddEdge(from, to, ea.Label); err != nil {
+				return nil, err
+			}
+		}
+	}
+	proj, ok := nodes[nodePair{r.A.Projected(), r.B.Projected()}]
+	if !ok {
+		return nil, fmt.Errorf("core: complete relation induced no projected node")
+	}
+	if err := q.SetProjected(proj); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

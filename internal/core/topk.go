@@ -1,0 +1,145 @@
+package core
+
+import (
+	"sort"
+
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// InferTopK implements the top-k variant of Algorithm 2 (Section IV): a
+// beam search over union states. Each round expands every state in the beam
+// with its k cheapest merges (k² candidates), keeps the current states as
+// candidates too (a state may already be locally optimal, as in Example
+// 4.4's Union(Q4, E1, E3)), deduplicates up to isomorphism, and retains the
+// k cheapest states. The search stops at a fixed point. Results are sorted
+// by cost.
+func InferTopK(ex provenance.ExampleSet, opts Options) ([]Candidate, Stats, error) {
+	var stats Stats
+	k := opts.K
+	if k < 1 {
+		k = 1
+	}
+	patterns, err := groundPatterns(ex)
+	if err != nil {
+		return nil, stats, err
+	}
+	start := query.NewUnion(patterns...)
+	beam := []Candidate{{Query: start, Cost: start.Cost(opts.CostW1, opts.CostW2)}}
+
+	for round := 0; round < len(ex); round++ {
+		stats.Rounds++
+		pool := append([]Candidate(nil), beam...)
+		expanded := false
+		for _, state := range beam {
+			cands, err := topMerges(state.Query, k, opts, &stats)
+			if err != nil {
+				return nil, stats, err
+			}
+			if len(cands) > 0 {
+				expanded = true
+			}
+			pool = append(pool, cands...)
+		}
+		if !expanded {
+			break
+		}
+		next := selectTop(pool, k)
+		if sameBeam(next, beam) {
+			break
+		}
+		beam = next
+	}
+	return beam, stats, nil
+}
+
+// topMerges returns up to k merge candidates of the union state, cheapest
+// first.
+func topMerges(u *query.Union, k int, opts Options, stats *Stats) ([]Candidate, error) {
+	var out []Candidate
+	for i := 0; i < u.Size(); i++ {
+		for j := i + 1; j < u.Size(); j++ {
+			stats.Algorithm1Calls++
+			res, ok, err := MergePair(u.Branch(i), u.Branch(j), opts)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			merged, err := u.Replace(i, j, res.Query)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Candidate{Query: merged, Cost: merged.Cost(opts.CostW1, opts.CostW2)})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Cost < out[b].Cost })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// selectTop deduplicates candidates up to isomorphism and keeps the k
+// cheapest, deterministically.
+func selectTop(pool []Candidate, k int) []Candidate {
+	sort.SliceStable(pool, func(a, b int) bool {
+		if pool[a].Cost != pool[b].Cost {
+			return pool[a].Cost < pool[b].Cost
+		}
+		return pool[a].Query.Fingerprint() < pool[b].Query.Fingerprint()
+	})
+	var out []Candidate
+	byFP := map[string][]*query.Union{}
+	for _, c := range pool {
+		fp := c.Query.Fingerprint()
+		dup := false
+		for _, seen := range byFP[fp] {
+			if query.UnionIsomorphic(c.Query, seen) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		byFP[fp] = append(byFP[fp], c.Query)
+		out = append(out, c)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// sameBeam reports whether two beams contain isomorphic states in order.
+func sameBeam(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Cost != b[i].Cost || !query.UnionIsomorphic(a[i].Query, b[i].Query) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsistentCandidates filters candidates to those consistent with the
+// example-set (Definition 2.6). InferTopK's states are consistent by
+// construction, so this is a safety net used by callers that post-process
+// candidates (e.g. after adding disequalities).
+func ConsistentCandidates(cands []Candidate, ex provenance.ExampleSet) ([]Candidate, error) {
+	var out []Candidate
+	for _, c := range cands {
+		ok, err := provenance.Consistent(c.Query, ex)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

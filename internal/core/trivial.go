@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// labelCounts tallies the edge labels of an explanation.
+func labelCounts(ex provenance.Explanation) map[string]int {
+	out := map[string]int{}
+	for _, e := range ex.Graph.Edges() {
+		out[e.Label]++
+	}
+	return out
+}
+
+// distinguishedLabels returns the label sets of the edges leaving
+// (outgoing) and entering (incoming) the distinguished node.
+func distinguishedLabels(ex provenance.Explanation) (out, in map[string]bool) {
+	out, in = map[string]bool{}, map[string]bool{}
+	for _, eid := range ex.Graph.OutEdges(ex.Distinguished) {
+		out[ex.Graph.Edge(eid).Label] = true
+	}
+	for _, eid := range ex.Graph.InEdges(ex.Distinguished) {
+		in[ex.Graph.Edge(eid).Label] = true
+	}
+	return out, in
+}
+
+func intersect(sets []map[string]bool) map[string]bool {
+	if len(sets) == 0 {
+		return map[string]bool{}
+	}
+	out := map[string]bool{}
+	for l := range sets[0] {
+		ok := true
+		for _, s := range sets[1:] {
+			if !s[l] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[l] = true
+		}
+	}
+	return out
+}
+
+// TrivialExists implements the existence test of Proposition 3.1: a
+// consistent simple query exists iff (1) every explanation has the same set
+// of edge labels and (2) the explanations share an edge label adjacent to
+// the distinguished node in a common role (all outgoing or all incoming).
+// It returns the shared role ("out" or "in") and a shared label when one
+// exists.
+func TrivialExists(ex provenance.ExampleSet) (role, label string, ok bool) {
+	if len(ex) == 0 {
+		return "", "", false
+	}
+	base := labelCounts(ex[0])
+	for _, e := range ex[1:] {
+		counts := labelCounts(e)
+		if len(counts) != len(base) {
+			return "", "", false
+		}
+		for l := range counts {
+			if base[l] == 0 {
+				return "", "", false
+			}
+		}
+	}
+	outs := make([]map[string]bool, len(ex))
+	ins := make([]map[string]bool, len(ex))
+	for i, e := range ex {
+		outs[i], ins[i] = distinguishedLabels(e)
+	}
+	if common := intersect(outs); len(common) > 0 {
+		return "out", anyKey(common), true
+	}
+	if common := intersect(ins); len(common) > 0 {
+		return "in", anyKey(common), true
+	}
+	return "", "", false
+}
+
+// anyKey returns the lexicographically smallest key, for determinism.
+func anyKey(m map[string]bool) string {
+	best := ""
+	first := true
+	for k := range m {
+		if first || k < best {
+			best = k
+			first = false
+		}
+	}
+	return best
+}
+
+// Trivial implements the construction of Proposition 3.1: when a consistent
+// simple query exists it builds one — for each label, as many disjoint
+// fresh-variable edges as the label's maximum multiplicity across the
+// explanations, projecting a variable adjacent to a shared
+// distinguished-node label (the query Q2 of Figure 2b on the running
+// example). It reports ok = false when no consistent simple query exists.
+func Trivial(ex provenance.ExampleSet) (*query.Simple, bool, error) {
+	role, projLabel, ok := TrivialExists(ex)
+	if !ok {
+		return nil, false, nil
+	}
+	maxCount := map[string]int{}
+	for _, e := range ex {
+		for l, c := range labelCounts(e) {
+			if c > maxCount[l] {
+				maxCount[l] = c
+			}
+		}
+	}
+	q := query.NewSimple()
+	var projected query.NodeID = query.NoNode
+	labels := make([]string, 0, len(maxCount))
+	for l := range maxCount {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		for i := 0; i < maxCount[l]; i++ {
+			src := q.FreshVar("")
+			tgt := q.FreshVar("")
+			if _, err := q.AddEdge(src, tgt, l); err != nil {
+				return nil, false, fmt.Errorf("core: trivial construction: %w", err)
+			}
+			if projected == query.NoNode && l == projLabel {
+				if role == "out" {
+					projected = src
+				} else {
+					projected = tgt
+				}
+			}
+		}
+	}
+	if projected == query.NoNode {
+		return nil, false, fmt.Errorf("core: trivial construction found no projected node")
+	}
+	if err := q.SetProjected(projected); err != nil {
+		return nil, false, err
+	}
+	return q, true, nil
+}

@@ -1,0 +1,107 @@
+package eval_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+)
+
+// benchOntology is a mid-sized random labeled graph for matcher benchmarks.
+func benchOntology() *graph.Graph {
+	rng := rand.New(rand.NewSource(17))
+	return graph.RandomOntology(rng, graph.RandomConfig{
+		Nodes:  3000,
+		Edges:  12000,
+		Labels: []string{"p", "q", "r", "s"},
+		Types:  []string{"A", "B", "C"},
+	})
+}
+
+// chain builds a length-n variable chain query anchored on a constant.
+func chain(o *graph.Graph, n int) *query.Simple {
+	q := query.NewSimple()
+	anchor := q.MustEnsureNode(query.Const(o.Node(0).Value), "")
+	prev := anchor
+	for i := 0; i < n; i++ {
+		next := q.FreshVar("")
+		q.MustAddEdge(prev, next, "p")
+		prev = next
+	}
+	if err := q.SetProjected(prev); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func BenchmarkResultsChain3(b *testing.B) {
+	o := benchOntology()
+	ev := eval.New(o)
+	q := chain(o, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ResultsSimple(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResultsStar(b *testing.B) {
+	o := benchOntology()
+	ev := eval.New(o)
+	q := query.NewSimple()
+	center := q.FreshVar("")
+	for _, label := range []string{"p", "q", "r"} {
+		leaf := q.FreshVar("")
+		q.MustAddEdge(center, leaf, label)
+	}
+	if err := q.SetProjected(center); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ResultsSimple(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResultsErdosChain(b *testing.B) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q := paperfix.Q1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ResultsSimple(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProvenanceOf(b *testing.B) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q := paperfix.Q1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ProvenanceOf(q, "Alice", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDifference(b *testing.B) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	a := query.NewUnion(paperfix.Q1())
+	c := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Difference(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package eval implements evaluation of the paper's query class over
+// ontology graphs: a backtracking graph-homomorphism matcher (Definition
+// 2.2) with provenance tracking (Definition 2.4), disequality filters,
+// difference queries and result binding (Section V). It plays the role of
+// the ARQ/Jena engine used by the paper's implementation.
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// ErrBudget is returned when a search exceeds the evaluator's step budget.
+var ErrBudget = errors.New("eval: search budget exhausted")
+
+// DefaultMaxSteps bounds the number of backtracking steps per evaluation.
+const DefaultMaxSteps = 50_000_000
+
+// Evaluator evaluates queries against a fixed ontology graph.
+type Evaluator struct {
+	o *graph.Graph
+
+	// MaxSteps bounds backtracking work per call; <= 0 means DefaultMaxSteps.
+	MaxSteps int
+
+	// CheckTypes, when true, rejects mappings of a typed query variable to
+	// an ontology node with a different non-empty type. Query constants are
+	// matched by value regardless.
+	CheckTypes bool
+}
+
+// New returns an evaluator over the given ontology.
+func New(o *graph.Graph) *Evaluator {
+	return &Evaluator{o: o, CheckTypes: true}
+}
+
+// Ontology returns the ontology graph being evaluated against.
+func (ev *Evaluator) Ontology() *graph.Graph { return ev.o }
+
+// Match is a homomorphism from a query into the ontology: Nodes is indexed
+// by query.NodeID and Edges by query.EdgeID.
+type Match struct {
+	Nodes []graph.NodeID
+	Edges []graph.EdgeID
+}
+
+// Clone deep-copies the match (visit callbacks receive a reused buffer).
+func (m *Match) Clone() *Match {
+	return &Match{
+		Nodes: append([]graph.NodeID(nil), m.Nodes...),
+		Edges: append([]graph.EdgeID(nil), m.Edges...),
+	}
+}
+
+// state carries one in-flight backtracking search.
+type state struct {
+	ev    *Evaluator
+	q     *query.Simple
+	plan  []query.EdgeID
+	match Match
+	steps int
+	max   int
+	visit func(*Match) bool
+	done  bool
+	found int // complete matches emitted so far
+}
+
+// MatchesInto enumerates matches of q into the ontology, starting from the
+// given pre-binding (query node -> ontology node; may be nil). The visit
+// callback receives a shared *Match that must be cloned if retained;
+// returning false stops the enumeration. Disequality constraints of q are
+// enforced. The error is non-nil only if the step budget is exhausted or
+// the pre-binding is inconsistent with a constant node.
+func (ev *Evaluator) MatchesInto(q *query.Simple, pre map[query.NodeID]graph.NodeID, visit func(*Match) bool) error {
+	n := q.NumNodes()
+	st := &state{
+		ev:    ev,
+		q:     q,
+		match: Match{Nodes: make([]graph.NodeID, n), Edges: make([]graph.EdgeID, q.NumEdges())},
+		max:   ev.MaxSteps,
+		visit: visit,
+	}
+	if st.max <= 0 {
+		st.max = DefaultMaxSteps
+	}
+	for i := range st.match.Nodes {
+		st.match.Nodes[i] = graph.NoNode
+	}
+	for i := range st.match.Edges {
+		st.match.Edges[i] = graph.NoEdge
+	}
+	// Bind constants up front; a missing constant means no matches.
+	for _, qn := range q.Nodes() {
+		if qn.Term.IsVar {
+			continue
+		}
+		on, ok := ev.o.NodeByValue(qn.Term.Value)
+		if !ok {
+			return nil
+		}
+		st.match.Nodes[qn.ID] = on.ID
+	}
+	for qid, oid := range pre {
+		qn := q.Node(qid)
+		if !qn.Term.IsVar {
+			if st.match.Nodes[qid] != oid {
+				return fmt.Errorf("eval: pre-binding of constant node %s to %q conflicts",
+					qn.Term, ev.o.Node(oid).Value)
+			}
+			continue
+		}
+		if !ev.nodeCompatible(qn, oid) {
+			return nil
+		}
+		st.match.Nodes[qid] = oid
+	}
+	st.plan = planEdges(q, st.match.Nodes)
+	st.rec(0)
+	if st.steps >= st.max {
+		return ErrBudget
+	}
+	return nil
+}
+
+// nodeCompatible applies the optional type check for variable nodes.
+func (ev *Evaluator) nodeCompatible(qn query.Node, oid graph.NodeID) bool {
+	if !ev.CheckTypes || qn.Type == "" {
+		return true
+	}
+	ot := ev.o.Node(oid).Type
+	return ot == "" || ot == qn.Type
+}
+
+// rec extends the match over plan[k:]. It returns false when the visit
+// callback has requested a stop or the budget is exhausted.
+func (st *state) rec(k int) bool {
+	if st.steps >= st.max {
+		return false
+	}
+	st.steps++
+	if k == len(st.plan) {
+		if !st.diseqsHold() {
+			return true
+		}
+		st.found++
+		if !st.visit(&st.match) {
+			st.done = true
+			return false
+		}
+		return true
+	}
+	qe := st.q.Edge(st.plan[k])
+	optional := st.q.IsOptional(qe.ID)
+	foundBefore := st.found
+	from, to := st.match.Nodes[qe.From], st.match.Nodes[qe.To]
+	try := func(oe graph.Edge) bool {
+		bindFrom := from == graph.NoNode
+		bindTo := to == graph.NoNode && !(bindFrom && qe.From == qe.To)
+		if bindFrom {
+			if !st.ev.nodeCompatible(st.q.Node(qe.From), oe.From) {
+				return true
+			}
+			st.match.Nodes[qe.From] = oe.From
+		}
+		if qe.From == qe.To && oe.From != oe.To {
+			if bindFrom {
+				st.match.Nodes[qe.From] = graph.NoNode
+			}
+			return true
+		}
+		if bindTo {
+			if !st.ev.nodeCompatible(st.q.Node(qe.To), oe.To) {
+				if bindFrom {
+					st.match.Nodes[qe.From] = graph.NoNode
+				}
+				return true
+			}
+			st.match.Nodes[qe.To] = oe.To
+		}
+		ok := st.match.Nodes[qe.From] == oe.From && st.match.Nodes[qe.To] == oe.To
+		if ok {
+			st.match.Edges[qe.ID] = oe.ID
+			if !st.rec(k + 1) {
+				return false
+			}
+			st.match.Edges[qe.ID] = graph.NoEdge
+		}
+		if bindFrom {
+			st.match.Nodes[qe.From] = graph.NoNode
+		}
+		if bindTo {
+			st.match.Nodes[qe.To] = graph.NoNode
+		}
+		return true
+	}
+
+	o := st.ev.o
+	switch {
+	case from != graph.NoNode && to != graph.NoNode:
+		if e, ok := o.FindEdge(from, to, qe.Label); ok {
+			if !try(e) {
+				return false
+			}
+		}
+	case from != graph.NoNode:
+		for _, eid := range o.EdgesByLabelFrom(qe.Label, from) {
+			if !try(o.Edge(eid)) {
+				return false
+			}
+		}
+	case to != graph.NoNode:
+		for _, eid := range o.EdgesByLabelTo(qe.Label, to) {
+			if !try(o.Edge(eid)) {
+				return false
+			}
+		}
+	default:
+		for _, eid := range o.EdgesByLabel(qe.Label) {
+			if !try(o.Edge(eid)) {
+				return false
+			}
+		}
+	}
+	if optional && !st.done && st.steps < st.max && st.found == foundBefore {
+		// OPTIONAL left-join: no ontology edge fits, so the edge stays
+		// unbound and the rest of the pattern proceeds without it.
+		if !st.rec(k + 1) {
+			return false
+		}
+	}
+	return !st.done && st.steps < st.max
+}
+
+// diseqsHold checks the query's disequality constraints on a complete match.
+func (st *state) diseqsHold() bool {
+	for _, d := range st.q.Diseqs() {
+		x := st.match.Nodes[d.X]
+		if x == graph.NoNode {
+			continue // unconstrained isolated variable
+		}
+		xv := st.ev.o.Node(x).Value
+		if d.YIsNode {
+			y := st.match.Nodes[d.Y]
+			if y == graph.NoNode {
+				continue
+			}
+			if x == y {
+				return false
+			}
+			continue
+		}
+		if xv == d.YValue {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,208 @@
+package eval_test
+
+import (
+	"reflect"
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+)
+
+// An isolated projected variable matches every (type-compatible) node.
+func TestIsolatedProjectedVariable(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q := query.NewSimple()
+	x := q.MustEnsureNode(query.Var("x"), "")
+	q.SetProjected(x)
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != o.NumNodes() {
+		t.Fatalf("isolated var matched %d of %d nodes", len(res), o.NumNodes())
+	}
+	// With a type, only same-typed nodes match.
+	q2 := query.NewSimple()
+	y := q2.MustEnsureNode(query.Var("y"), "Author")
+	q2.SetProjected(y)
+	res, err = ev.ResultsSimple(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res {
+		n, _ := o.NodeByValue(v)
+		if n.Type != "Author" {
+			t.Fatalf("typed isolated var matched %s (%s)", v, n.Type)
+		}
+	}
+}
+
+// Unions where one branch has a constant projected node.
+func TestHasResultValueGroundBranch(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	exs := paperfix.Explanations(o)
+	ground, err := query.FromExplanation(exs[0].Graph, exs[0].Distinguished)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := query.NewUnion(ground)
+	ok, err := ev.HasResultValue(u, "Alice")
+	if err != nil || !ok {
+		t.Fatalf("Alice: ok=%v err=%v", ok, err)
+	}
+	// The ground branch never yields another value.
+	ok, err = ev.HasResultValue(u, "Dave")
+	if err != nil || ok {
+		t.Fatalf("Dave: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestProvenanceOfGroundProjected(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	exs := paperfix.Explanations(o)
+	ground, err := query.FromExplanation(exs[0].Graph, exs[0].Distinguished)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provs, err := ev.ProvenanceOf(ground, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(provs) != 1 || !provs[0].EqualSets(exs[0].Graph) {
+		t.Fatalf("ground provenance = %v", provs)
+	}
+	// Wrong value short-circuits.
+	provs, err = ev.ProvenanceOf(ground, "Dave", 0)
+	if err != nil || provs != nil {
+		t.Fatalf("foreign value: %v %v", provs, err)
+	}
+	// Value absent from the ontology.
+	provs, err = ev.ProvenanceOf(paperfix.Q1(), "NoSuch", 0)
+	if err != nil || provs != nil {
+		t.Fatalf("missing value: %v %v", provs, err)
+	}
+}
+
+func TestProvenanceOfUnionLimit(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	u := query.NewUnion(paperfix.Q1(), paperfix.Q3())
+	all, err := ev.ProvenanceOfUnion(u, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Skipf("need >= 2 provenance graphs, have %d", len(all))
+	}
+	one, err := ev.ProvenanceOfUnion(u, "Alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Fatalf("limit 1 -> %d graphs", len(one))
+	}
+	capped, err := ev.ProvenanceOfUnion(u, "Alice", len(all)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != len(all)-1 {
+		t.Fatalf("limit %d -> %d graphs", len(all)-1, len(capped))
+	}
+}
+
+func TestMatchImageIncomplete(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q := paperfix.Q1()
+	m := &eval.Match{
+		Nodes: make([]graph.NodeID, q.NumNodes()),
+		Edges: make([]graph.EdgeID, q.NumEdges()),
+	}
+	for i := range m.Edges {
+		m.Edges[i] = graph.NoEdge
+	}
+	if _, err := ev.MatchImage(q, m); err == nil {
+		t.Fatal("incomplete match accepted")
+	}
+}
+
+// Diseq between two variables that map to the same node must reject the
+// match even when the values are checked by node identity.
+func TestDiseqVarVarSameNode(t *testing.T) {
+	o := graph.New()
+	o.MustAddTriple("p", "wb", "a")
+	ev := eval.New(o)
+	q := query.NewSimple()
+	x := q.MustEnsureNode(query.Var("x"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	p := q.MustEnsureNode(query.Var("p"), "")
+	q.MustAddEdge(p, x, "wb")
+	q.MustAddEdge(p, y, "wb")
+	q.SetProjected(x)
+	if err := q.AddDiseqNodes(x, y); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("x != y violated: %v", res)
+	}
+}
+
+// Difference with an empty left side and with equal sides.
+func TestDifferenceEdgeCases(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q1 := query.NewUnion(paperfix.Q1())
+	diff, err := ev.Difference(q1, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 0 {
+		t.Fatalf("Q1 - Q1 = %v", diff)
+	}
+	empty := query.NewSimple()
+	p := empty.MustEnsureNode(query.Const("paper1"), "")
+	x := empty.MustEnsureNode(query.Var("x"), "")
+	empty.MustAddEdge(x, p, "nosuchlabel")
+	empty.SetProjected(x)
+	diff, err = ev.Difference(query.NewUnion(empty), q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 0 {
+		t.Fatalf("empty - Q1 = %v", diff)
+	}
+}
+
+// Results on a union with duplicate branches dedups.
+func TestUnionResultsDedup(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	u := query.NewUnion(paperfix.Q3(), paperfix.Q3().Clone())
+	res, err := ev.Results(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, v := range res {
+		if seen[v] {
+			t.Fatalf("duplicate %s in %v", v, res)
+		}
+		seen[v] = true
+	}
+	single, err := ev.Results(query.NewUnion(paperfix.Q3()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, single) {
+		t.Fatalf("dup union %v != single %v", res, single)
+	}
+}

@@ -1,0 +1,545 @@
+package eval_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+)
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestResultsSimpleRunningExample(t *testing.T) {
+	// Example 2.3: evaluating Q1 on the ontology yields Alice (among other
+	// authors with a collapsed chain to Erdos).
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	res, err := ev.ResultsSimple(paperfix.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Alice", "Dave", "Felix", "Harry", "William", "Bob"} {
+		if !contains(res, want) {
+			t.Errorf("Q1 results missing %s: %v", want, res)
+		}
+	}
+	if contains(res, "paper1") {
+		t.Errorf("Q1 returned a paper: %v", res)
+	}
+	if !sort.StringsAreSorted(res) {
+		t.Error("results not sorted")
+	}
+}
+
+func TestResultsGroundProjected(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Const("paper1"), "Paper")
+	a := q.MustEnsureNode(query.Const("Alice"), "Author")
+	q.MustAddEdge(p, a, "wb")
+	q.SetProjected(a)
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"Alice"}) {
+		t.Fatalf("ground query results = %v", res)
+	}
+	// A ground query whose triple is absent yields nothing.
+	q2 := query.NewSimple()
+	p2 := q2.MustEnsureNode(query.Const("paper1"), "Paper")
+	e2 := q2.MustEnsureNode(query.Const("Erdos"), "Author")
+	q2.MustAddEdge(p2, e2, "wb")
+	q2.SetProjected(e2)
+	res, err = ev.ResultsSimple(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("absent ground query returned %v", res)
+	}
+}
+
+func TestMissingConstantYieldsNoResults(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Var("p"), "")
+	x := q.MustEnsureNode(query.Const("NoSuchValue"), "")
+	q.MustAddEdge(p, x, "wb")
+	q.SetProjected(p)
+	res, err := ev.ResultsSimple(q)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestNoProjectedNodeError(t *testing.T) {
+	ev := eval.New(paperfix.Ontology())
+	q := query.NewSimple()
+	q.MustEnsureNode(query.Var("x"), "")
+	if _, err := ev.ResultsSimple(q); err == nil {
+		t.Fatal("missing projected node not reported")
+	}
+}
+
+func TestHomomorphismNotInjective(t *testing.T) {
+	// ?p wb ?a1, ?p wb ?a2 with projected ?a1 must also return authors of
+	// single-author papers (a1 = a2 collapse).
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Var("p"), "Paper")
+	a1 := q.MustEnsureNode(query.Var("a1"), "Author")
+	a2 := q.MustEnsureNode(query.Var("a2"), "Author")
+	q.MustAddEdge(p, a1, "wb")
+	q.MustAddEdge(p, a2, "wb")
+	q.SetProjected(a1)
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// paper4 wb Dave is Dave's sole-author edge; collapse makes Dave a result.
+	if !contains(res, "Dave") {
+		t.Fatalf("collapsed match missing: %v", res)
+	}
+}
+
+func TestDiseqFiltering(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Var("p"), "Paper")
+	a1 := q.MustEnsureNode(query.Var("a1"), "Author")
+	a2 := q.MustEnsureNode(query.Var("a2"), "Author")
+	q.MustAddEdge(p, a1, "wb")
+	q.MustAddEdge(p, a2, "wb")
+	q.SetProjected(a1)
+	if err := q.AddDiseqNodes(a1, a2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a1 != a2 only co-authored papers qualify; Dave's only co-author
+	// edge is paper5 with Greg/Harry, so Dave still qualifies, but authors
+	// of sole-authored papers only do through co-authored ones.
+	if !contains(res, "Alice") || !contains(res, "Bob") {
+		t.Fatalf("diseq dropped valid results: %v", res)
+	}
+
+	// Var != literal value.
+	q2 := query.NewSimple()
+	p2 := q2.MustEnsureNode(query.Const("paper1"), "Paper")
+	x := q2.MustEnsureNode(query.Var("x"), "Author")
+	q2.MustAddEdge(p2, x, "wb")
+	q2.SetProjected(x)
+	if err := q2.AddDiseqValue(x, "Bob"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = ev.ResultsSimple(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"Alice"}) {
+		t.Fatalf("value diseq results = %v", res)
+	}
+}
+
+func TestSelfLoopMatching(t *testing.T) {
+	o := graph.New()
+	o.MustAddTriple("a", "self", "a")
+	o.MustAddTriple("a", "p", "b")
+	ev := eval.New(o)
+	q := query.NewSimple()
+	x := q.MustEnsureNode(query.Var("x"), "")
+	q.MustAddEdge(x, x, "self")
+	q.SetProjected(x)
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"a"}) {
+		t.Fatalf("self loop results = %v", res)
+	}
+	// A non-loop pattern must not match the loop edge incorrectly.
+	q2 := query.NewSimple()
+	u := q2.MustEnsureNode(query.Var("u"), "")
+	v := q2.MustEnsureNode(query.Var("v"), "")
+	q2.MustAddEdge(u, v, "self")
+	q2.SetProjected(v)
+	res, err = ev.ResultsSimple(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u and v may both map to a (homomorphism), so a is still a result.
+	if !reflect.DeepEqual(res, []string{"a"}) {
+		t.Fatalf("loop-compatible pattern results = %v", res)
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	o := paperfix.Ontology()
+	q := query.NewSimple()
+	x := q.MustEnsureNode(query.Var("x"), "Paper") // typed Paper
+	erdos := q.MustEnsureNode(query.Const("Erdos"), "")
+	q.MustAddEdge(x, erdos, "wb")
+	q.SetProjected(x)
+
+	ev := eval.New(o)
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("typed query found nothing")
+	}
+
+	// Mis-typed variable finds nothing when CheckTypes is on...
+	q2 := query.NewSimple()
+	y := q2.MustEnsureNode(query.Var("y"), "Author") // wrong: sources are papers
+	erdos2 := q2.MustEnsureNode(query.Const("Erdos"), "")
+	q2.MustAddEdge(y, erdos2, "wb")
+	q2.SetProjected(y)
+	res, err = ev.ResultsSimple(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("mis-typed query found %v", res)
+	}
+	// ... but matches when CheckTypes is off.
+	ev.CheckTypes = false
+	res, err = ev.ResultsSimple(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("type check not disabled")
+	}
+}
+
+func TestUnionResults(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	u := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	res, err := ev.Results(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Alice", "Felix", "Dave", "Harry"} {
+		if !contains(res, want) {
+			t.Errorf("union results missing %s: %v", want, res)
+		}
+	}
+	// William's chain avoids both spines: not a result of the union.
+	if contains(res, "William") {
+		t.Errorf("union results should not include William: %v", res)
+	}
+}
+
+func TestHasResultValue(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	u := query.NewUnion(paperfix.Q1())
+	ok, err := ev.HasResultValue(u, "William")
+	if err != nil || !ok {
+		t.Fatalf("William: ok=%v err=%v", ok, err)
+	}
+	ok, err = ev.HasResultValue(u, "paper1")
+	if err != nil || ok {
+		t.Fatalf("paper1: ok=%v err=%v", ok, err)
+	}
+	ok, err = ev.HasResultValue(u, "NoSuchValue")
+	if err != nil || ok {
+		t.Fatalf("missing value: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDifferenceExample55(t *testing.T) {
+	// Example 5.5's second step: Q1 − Union(Q3, Q4) contains William, whose
+	// Erdős chain avoids both constant spines.
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	diff, err := ev.Difference(query.NewUnion(paperfix.Q1()), query.NewUnion(paperfix.Q3(), paperfix.Q4()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(diff, "William") {
+		t.Fatalf("difference missing William: %v", diff)
+	}
+	if contains(diff, "Alice") || contains(diff, "Dave") {
+		t.Fatalf("difference leaked union results: %v", diff)
+	}
+}
+
+func TestProvenanceOfResult(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q1 := paperfix.Q1()
+	provs, err := ev.ProvenanceOf(q1, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(provs) == 0 {
+		t.Fatal("no provenance for Alice")
+	}
+	// Every provenance graph is a subgraph of the ontology, contains the
+	// result, and contains the Erdos anchor.
+	for _, p := range provs {
+		if !p.IsSubgraphOf(o) {
+			t.Fatal("provenance not a subgraph of the ontology")
+		}
+		if _, ok := p.NodeByValue("Alice"); !ok {
+			t.Fatal("provenance misses the result node")
+		}
+		if _, ok := p.NodeByValue("Erdos"); !ok {
+			t.Fatal("provenance misses the constant anchor")
+		}
+	}
+	// E1 (Alice's full Erdős-3 chain) is one of the provenance graphs.
+	e1 := paperfix.Explanations(o)[0]
+	found := false
+	for _, p := range provs {
+		if p.EqualSets(e1.Graph) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("E1 not among Alice's %d provenance graphs", len(provs))
+	}
+}
+
+func TestProvenanceLimit(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	all, err := ev.ProvenanceOf(paperfix.Q1(), "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Skipf("only %d provenance graphs; limit test needs 2", len(all))
+	}
+	one, err := ev.ProvenanceOf(paperfix.Q1(), "Alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Fatalf("limit 1 returned %d graphs", len(one))
+	}
+}
+
+func TestProvenanceOfUnionDedups(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	u := query.NewUnion(paperfix.Q3(), paperfix.Q3().Clone())
+	provs, err := ev.ProvenanceOfUnion(u, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range provs {
+		sig := p.Signature()
+		if seen[sig] {
+			t.Fatal("duplicate provenance graph across branches")
+		}
+		seen[sig] = true
+	}
+}
+
+func TestBindAndExplain(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	u := query.NewUnion(paperfix.Q1())
+	rp, err := ev.BindAndExplain(u, "William")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Value != "William" || rp.Provenance == nil {
+		t.Fatalf("BindAndExplain = %+v", rp)
+	}
+	if _, ok := rp.Provenance.NodeByValue("William"); !ok {
+		t.Fatal("explanation misses the bound result")
+	}
+	if _, err := ev.BindAndExplain(u, "paper1"); err == nil {
+		t.Fatal("non-result bind succeeded")
+	}
+}
+
+func TestPreBindingConflicts(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	q := query.NewSimple()
+	c := q.MustEnsureNode(query.Const("Alice"), "")
+	v := q.MustEnsureNode(query.Var("p"), "")
+	q.MustAddEdge(v, c, "wb")
+	q.SetProjected(v)
+	bob, _ := o.NodeByValue("Bob")
+	err := ev.MatchesInto(q, map[query.NodeID]graph.NodeID{c: bob.ID}, func(*eval.Match) bool { return true })
+	if err == nil {
+		t.Fatal("conflicting constant pre-binding accepted")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	o := graph.RandomOntology(rng, graph.RandomConfig{Nodes: 60, Edges: 600, Labels: []string{"p"}})
+	ev := eval.New(o)
+	ev.MaxSteps = 50 // absurdly small
+	q := query.NewSimple()
+	var prev query.NodeID = query.NoNode
+	for i := 0; i < 6; i++ {
+		cur := q.FreshVar("")
+		if prev != query.NoNode {
+			q.MustAddEdge(prev, cur, "p")
+		}
+		prev = cur
+	}
+	q.SetProjected(prev)
+	count := 0
+	err := ev.MatchesInto(q, nil, func(*eval.Match) bool { count++; return true })
+	if err != eval.ErrBudget {
+		t.Fatalf("err = %v (found %d), want eval.ErrBudget", err, count)
+	}
+}
+
+// Property: every match reported by the evaluator re-verifies Definition 2.2
+// directly, and its image is a valid subgraph containing the result.
+func TestMatchesVerifyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := graph.RandomOntology(rng, graph.RandomConfig{
+			Nodes: 15, Edges: 35, Labels: []string{"p", "q"},
+		})
+		sub, start := graph.RandomConnectedSubgraph(rng, o, 3)
+		if sub == nil {
+			return true
+		}
+		// Generalize the subgraph into a query: each node becomes a var
+		// with probability 1/2.
+		q := query.NewSimple()
+		ids := map[string]query.NodeID{}
+		for _, n := range sub.Nodes() {
+			var term query.Term
+			if rng.Intn(2) == 0 {
+				term = query.Var("x" + n.Value)
+			} else {
+				term = query.Const(n.Value)
+			}
+			id, err := q.EnsureNode(term, "")
+			if err != nil {
+				return false
+			}
+			ids[n.Value] = id
+		}
+		for _, e := range sub.Edges() {
+			from := ids[sub.Node(e.From).Value]
+			to := ids[sub.Node(e.To).Value]
+			if !q.HasEdgeTriple(from, to, e.Label) {
+				if _, err := q.AddEdge(from, to, e.Label); err != nil {
+					return false
+				}
+			}
+		}
+		q.SetProjected(ids[sub.Node(start).Value])
+
+		ev := eval.New(o)
+		okAll := true
+		checked := 0
+		err := ev.MatchesInto(q, nil, func(m *eval.Match) bool {
+			checked++
+			if !verifyMatch(o, q, m) {
+				okAll = false
+				return false
+			}
+			img, err := ev.MatchImage(q, m)
+			if err != nil || !img.IsSubgraphOf(o) {
+				okAll = false
+				return false
+			}
+			return checked < 50
+		})
+		if err != nil {
+			return false
+		}
+		// The identity assignment is always a match, so something was found.
+		return okAll && checked > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// verifyMatch re-checks Definition 2.2 naively.
+func verifyMatch(o *graph.Graph, q *query.Simple, m *eval.Match) bool {
+	for _, qn := range q.Nodes() {
+		on := m.Nodes[qn.ID]
+		if on == graph.NoNode {
+			if q.Degree(qn.ID) > 0 {
+				return false
+			}
+			continue
+		}
+		if !qn.Term.IsVar && o.Node(on).Value != qn.Term.Value {
+			return false
+		}
+	}
+	for _, qe := range q.Edges() {
+		oe := m.Edges[qe.ID]
+		if oe == graph.NoEdge {
+			return false
+		}
+		e := o.Edge(oe)
+		if e.Label != qe.Label {
+			return false
+		}
+		if e.From != m.Nodes[qe.From] || e.To != m.Nodes[qe.To] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: Results of a ground query built from a subgraph always contains
+// the subgraph's projected value (the identity match).
+func TestGroundQueryIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := graph.RandomOntology(rng, graph.RandomConfig{
+			Nodes: 12, Edges: 30, Labels: []string{"p", "q", "r"},
+		})
+		sub, start := graph.RandomConnectedSubgraph(rng, o, 4)
+		if sub == nil {
+			return true
+		}
+		q, err := query.FromExplanation(sub, start)
+		if err != nil {
+			return false
+		}
+		ev := eval.New(o)
+		res, err := ev.ResultsSimple(q)
+		if err != nil {
+			return false
+		}
+		return contains(res, sub.Node(start).Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// The paper's related work points to an (unpublished) companion line on
+// semiring provenance [32]. This file implements the classical
+// how-provenance reading for our query class: each result is annotated with
+// a polynomial over edge identifiers — one monomial per match (the
+// ⊕ of alternative derivations), each monomial the product of the ontology
+// edges the match uses (the ⊗ of joint use). The graph provenance of
+// Definition 2.4 is the support of this polynomial; the polynomial
+// additionally records multiplicities (how many matches share an image and
+// how often each edge is used within a match).
+
+// Monomial is a multiset of ontology edges used jointly by one match.
+type Monomial struct {
+	// Edges maps each edge id to its multiplicity within the match (a
+	// non-injective homomorphism can use one ontology edge for several
+	// query edges).
+	Edges map[graph.EdgeID]int
+}
+
+// key is a canonical form for deduplication.
+func (m Monomial) key() string {
+	ids := make([]graph.EdgeID, 0, len(m.Edges))
+	for id := range m.Edges {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d^%d", id, m.Edges[id])
+	}
+	return strings.Join(parts, "*")
+}
+
+// Degree is the total multiplicity (the number of query edges).
+func (m Monomial) Degree() int {
+	d := 0
+	for _, c := range m.Edges {
+		d += c
+	}
+	return d
+}
+
+// Term is a monomial with its coefficient: how many distinct matches use
+// exactly this multiset of edges.
+type Term struct {
+	Coefficient int
+	Monomial    Monomial
+}
+
+// Polynomial is the how-provenance annotation of one result.
+type Polynomial struct {
+	Terms []Term
+}
+
+// NumDerivations is the total number of matches (sum of coefficients).
+func (p Polynomial) NumDerivations() int {
+	n := 0
+	for _, t := range p.Terms {
+		n += t.Coefficient
+	}
+	return n
+}
+
+// render writes the polynomial over human-readable edge descriptions.
+func (p Polynomial) render(describe func(graph.EdgeID) string) string {
+	if len(p.Terms) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(p.Terms))
+	for i, t := range p.Terms {
+		ids := make([]graph.EdgeID, 0, len(t.Monomial.Edges))
+		for id := range t.Monomial.Edges {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return describe(ids[a]) < describe(ids[b]) })
+		factors := make([]string, 0, len(ids))
+		for _, id := range ids {
+			f := describe(id)
+			if c := t.Monomial.Edges[id]; c > 1 {
+				f = fmt.Sprintf("%s^%d", f, c)
+			}
+			factors = append(factors, f)
+		}
+		term := strings.Join(factors, "·")
+		if t.Coefficient > 1 {
+			term = fmt.Sprintf("%d·%s", t.Coefficient, term)
+		}
+		parts[i] = term
+	}
+	return strings.Join(parts, " + ")
+}
+
+// StringOver renders the polynomial using (from -label-> to) edge names of
+// the given ontology.
+func (p Polynomial) StringOver(o *graph.Graph) string {
+	return p.render(func(id graph.EdgeID) string {
+		e := o.Edge(id)
+		return fmt.Sprintf("(%s-%s->%s)", o.Node(e.From).Value, e.Label, o.Node(e.To).Value)
+	})
+}
+
+// HowProvenance computes the how-provenance polynomial of a result value
+// with respect to a simple query: one term per distinct edge multiset, the
+// coefficient counting the matches that use it. maxMatches > 0 bounds the
+// enumeration (0 = unbounded up to the evaluator budget).
+func (ev *Evaluator) HowProvenance(q *query.Simple, value string, maxMatches int) (Polynomial, error) {
+	proj := q.Projected()
+	if proj == query.NoNode {
+		return Polynomial{}, errNoProjected
+	}
+	pn := q.Node(proj)
+	var pre map[query.NodeID]graph.NodeID
+	if pn.Term.IsVar {
+		on, ok := ev.o.NodeByValue(value)
+		if !ok {
+			return Polynomial{}, nil
+		}
+		if !ev.nodeCompatible(pn, on.ID) {
+			return Polynomial{}, nil
+		}
+		pre = map[query.NodeID]graph.NodeID{proj: on.ID}
+	} else if pn.Term.Value != value {
+		return Polynomial{}, nil
+	}
+
+	coeff := map[string]*Term{}
+	var order []string
+	matches := 0
+	err := ev.MatchesInto(q, pre, func(m *Match) bool {
+		mono := Monomial{Edges: map[graph.EdgeID]int{}}
+		for qe, oe := range m.Edges {
+			if oe == graph.NoEdge {
+				if q.IsOptional(query.EdgeID(qe)) {
+					continue
+				}
+				return true // incomplete non-optional match: skip defensively
+			}
+			mono.Edges[oe]++
+		}
+		k := mono.key()
+		if t, ok := coeff[k]; ok {
+			t.Coefficient++
+		} else {
+			coeff[k] = &Term{Coefficient: 1, Monomial: mono}
+			order = append(order, k)
+		}
+		matches++
+		return maxMatches <= 0 || matches < maxMatches
+	})
+	if err != nil && matches == 0 {
+		return Polynomial{}, err
+	}
+	sort.Strings(order)
+	p := Polynomial{Terms: make([]Term, 0, len(order))}
+	for _, k := range order {
+		p.Terms = append(p.Terms, *coeff[k])
+	}
+	return p, nil
+}
+
+// HowProvenanceUnion sums the branch polynomials (union is ⊕).
+func (ev *Evaluator) HowProvenanceUnion(u *query.Union, value string, maxMatches int) (Polynomial, error) {
+	merged := map[string]*Term{}
+	var order []string
+	for _, b := range u.Branches() {
+		p, err := ev.HowProvenance(b, value, maxMatches)
+		if err != nil {
+			return Polynomial{}, err
+		}
+		for _, t := range p.Terms {
+			k := t.Monomial.key()
+			if existing, ok := merged[k]; ok {
+				existing.Coefficient += t.Coefficient
+			} else {
+				cp := t
+				merged[k] = &cp
+				order = append(order, k)
+			}
+		}
+	}
+	sort.Strings(order)
+	out := Polynomial{Terms: make([]Term, 0, len(order))}
+	for _, k := range order {
+		out.Terms = append(out.Terms, *merged[k])
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package eval_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+)
+
+// A single-derivation result yields one monomial with coefficient 1.
+func TestHowProvenanceSingleDerivation(t *testing.T) {
+	o := graph.New()
+	o.MustAddTriple("paper1", "wb", "Alice")
+	o.MustAddTriple("paper1", "wb", "Erdos")
+	ev := eval.New(o)
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Var("p"), "")
+	a := q.MustEnsureNode(query.Var("a"), "")
+	erdos := q.MustEnsureNode(query.Const("Erdos"), "")
+	q.MustAddEdge(p, a, "wb")
+	q.MustAddEdge(p, erdos, "wb")
+	q.SetProjected(a)
+
+	poly, err := ev.HowProvenance(q, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poly.Terms) != 1 || poly.Terms[0].Coefficient != 1 {
+		t.Fatalf("polynomial = %+v", poly)
+	}
+	if poly.Terms[0].Monomial.Degree() != 2 {
+		t.Fatalf("degree = %d, want 2", poly.Terms[0].Monomial.Degree())
+	}
+	s := poly.StringOver(o)
+	if !strings.Contains(s, "(paper1-wb->Alice)") || !strings.Contains(s, "(paper1-wb->Erdos)") {
+		t.Fatalf("rendering = %q", s)
+	}
+	// The collapsed a=Erdos match contributes to Erdos' polynomial with a
+	// squared factor (edge used for both query edges).
+	poly, err = ev.HowProvenance(q, "Erdos", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = poly.StringOver(o)
+	if !strings.Contains(s, "^2") {
+		t.Fatalf("collapsed match should square the edge: %q", s)
+	}
+}
+
+// Multiple derivations become multiple terms (or coefficients).
+func TestHowProvenanceMultipleDerivations(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	poly, err := ev.HowProvenance(paperfix.Q1(), "Dave", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.NumDerivations() < 2 {
+		t.Fatalf("Dave has %d derivations, expected several", poly.NumDerivations())
+	}
+	// The support of the polynomial corresponds to the graph provenance.
+	provs, err := ev.ProvenanceOf(paperfix.Q1(), "Dave", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poly.Terms) < len(provs) {
+		t.Fatalf("%d terms but %d provenance graphs", len(poly.Terms), len(provs))
+	}
+}
+
+func TestHowProvenanceNonResult(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	poly, err := ev.HowProvenance(paperfix.Q3(), "William", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poly.Terms) != 0 || poly.NumDerivations() != 0 {
+		t.Fatalf("non-result has polynomial %+v", poly)
+	}
+	if got := poly.StringOver(o); got != "0" {
+		t.Fatalf("empty polynomial renders %q", got)
+	}
+	if _, err := ev.HowProvenance(paperfix.Q3(), "NoSuchNode", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHowProvenanceUnionSums(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	u := query.NewUnion(paperfix.Q3(), paperfix.Q3().Clone())
+	single, err := ev.HowProvenance(paperfix.Q3(), "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := ev.HowProvenanceUnion(u, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if double.NumDerivations() != 2*single.NumDerivations() {
+		t.Fatalf("duplicated branch: %d vs 2x%d derivations",
+			double.NumDerivations(), single.NumDerivations())
+	}
+}
+
+func TestHowProvenanceMaxMatches(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	capped, err := ev.HowProvenance(paperfix.Q1(), "Alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.NumDerivations() != 1 {
+		t.Fatalf("cap ignored: %d derivations", capped.NumDerivations())
+	}
+}
+
+// Property: the number of derivations equals the number of matches the
+// evaluator reports, and every monomial's degree equals the number of
+// mandatory query edges.
+func TestHowProvenanceCountsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := graph.RandomOntology(rng, graph.RandomConfig{
+			Nodes: 10, Edges: 24, Labels: []string{"p", "q"},
+		})
+		sub, start := graph.RandomConnectedSubgraph(rng, o, 2)
+		if sub == nil {
+			return true
+		}
+		q, err := query.FromExplanation(sub, start)
+		if err != nil {
+			return false
+		}
+		ev := eval.New(o)
+		value := sub.Node(start).Value
+		poly, err := ev.HowProvenance(q, value, 0)
+		if err != nil {
+			return false
+		}
+		count := 0
+		pn, _ := o.NodeByValue(value)
+		err = ev.MatchesInto(q, map[query.NodeID]graph.NodeID{q.Projected(): pn.ID}, func(*eval.Match) bool {
+			count++
+			return true
+		})
+		if err != nil {
+			return false
+		}
+		if poly.NumDerivations() != count {
+			t.Logf("seed %d: %d derivations vs %d matches", seed, poly.NumDerivations(), count)
+			return false
+		}
+		for _, term := range poly.Terms {
+			if term.Monomial.Degree() != q.NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

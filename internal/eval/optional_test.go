@@ -1,0 +1,252 @@
+package eval_test
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+)
+
+// optOntology: papers by authors, some with homepages.
+func optOntology() *graph.Graph {
+	g := graph.New()
+	g.MustAddTriple("paper1", "wb", "Alice")
+	g.MustAddTriple("paper2", "wb", "Bob")
+	g.MustAddTriple("Alice", "homepage", "http://alice")
+	return g
+}
+
+// authorsWithOptionalHomepage: ?p wb ?a with OPTIONAL { ?a homepage ?h }.
+func authorsWithOptionalHomepage(t *testing.T) *query.Simple {
+	t.Helper()
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Var("p"), "")
+	a := q.MustEnsureNode(query.Var("a"), "")
+	h := q.MustEnsureNode(query.Var("h"), "")
+	q.MustAddEdge(p, a, "wb")
+	opt := q.MustAddEdge(a, h, "homepage")
+	if err := q.SetOptional(opt, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.SetProjected(a); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// OPTIONAL never restricts the result set.
+func TestOptionalDoesNotFilter(t *testing.T) {
+	o := optOntology()
+	ev := eval.New(o)
+	q := authorsWithOptionalHomepage(t)
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"Alice", "Bob"}) {
+		t.Fatalf("results = %v, want both authors", res)
+	}
+	// The mandatory version of the same edge filters Bob out.
+	q2 := q.Clone()
+	for _, e := range q2.Edges() {
+		q2.SetOptional(e.ID, false)
+	}
+	res, err = ev.ResultsSimple(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"Alice"}) {
+		t.Fatalf("mandatory results = %v, want only Alice", res)
+	}
+}
+
+// Provenance includes the optional context when it exists and omits it
+// otherwise (left-join maximality).
+func TestOptionalProvenance(t *testing.T) {
+	o := optOntology()
+	ev := eval.New(o)
+	q := authorsWithOptionalHomepage(t)
+
+	alice, err := ev.ProvenanceOf(q, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alice) != 1 {
+		t.Fatalf("Alice has %d provenance graphs", len(alice))
+	}
+	if _, ok := alice[0].NodeByValue("http://alice"); !ok {
+		t.Fatalf("optional homepage missing from provenance:\n%s", alice[0])
+	}
+
+	bob, err := ev.ProvenanceOf(q, "Bob", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bob) != 1 {
+		t.Fatalf("Bob has %d provenance graphs", len(bob))
+	}
+	if bob[0].NumEdges() != 1 {
+		t.Fatalf("Bob's provenance should be just his paper:\n%s", bob[0])
+	}
+}
+
+// Chained optional edges: the second depends on a node bound by the first.
+func TestOptionalChained(t *testing.T) {
+	g := graph.New()
+	g.MustAddTriple("paper1", "wb", "Alice")
+	g.MustAddTriple("Alice", "homepage", "http://alice")
+	g.MustAddTriple("http://alice", "host", "example.org")
+	g.MustAddTriple("paper2", "wb", "Bob")
+	g.MustAddTriple("Bob", "homepage", "http://bob") // no host
+	ev := eval.New(g)
+
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Var("p"), "")
+	a := q.MustEnsureNode(query.Var("a"), "")
+	h := q.MustEnsureNode(query.Var("h"), "")
+	s := q.MustEnsureNode(query.Var("s"), "")
+	q.MustAddEdge(p, a, "wb")
+	e1 := q.MustAddEdge(a, h, "homepage")
+	e2 := q.MustAddEdge(h, s, "host")
+	q.SetOptional(e1, true)
+	q.SetOptional(e2, true)
+	q.SetProjected(a)
+
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"Alice", "Bob"}) {
+		t.Fatalf("results = %v", res)
+	}
+	alice, err := ev.ProvenanceOf(q, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := alice[0].NodeByValue("example.org"); !ok {
+		t.Fatalf("chained optional missing:\n%s", alice[0])
+	}
+	bob, err := ev.ProvenanceOf(q, "Bob", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bob[0].NodeByValue("http://bob"); !ok {
+		t.Fatalf("first optional should bind for Bob:\n%s", bob[0])
+	}
+	if _, ok := bob[0].NodeByValue("example.org"); ok {
+		t.Fatalf("second optional must not bind for Bob:\n%s", bob[0])
+	}
+}
+
+// SPARQL round trip preserves OPTIONAL blocks.
+func TestOptionalSPARQLRoundTrip(t *testing.T) {
+	q := authorsWithOptionalHomepage(t)
+	text := q.SPARQL()
+	if !strings.Contains(text, "OPTIONAL { ?a <homepage> ?h . }") {
+		t.Fatalf("render missing OPTIONAL:\n%s", text)
+	}
+	back, err := query.ParseSPARQL(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !query.Isomorphic(q, back.Branch(0)) {
+		t.Fatalf("round trip broke OPTIONAL:\n%s\nvs\n%s", text, back.Branch(0).SPARQL())
+	}
+	// Optionality participates in isomorphism.
+	mand := q.Clone()
+	for _, e := range mand.Edges() {
+		mand.SetOptional(e.ID, false)
+	}
+	if query.Isomorphic(q, mand) {
+		t.Fatal("optional and mandatory variants considered isomorphic")
+	}
+	if q.Fingerprint() == mand.Fingerprint() {
+		t.Fatal("fingerprints ignore optionality")
+	}
+	if _, err := query.ParseSPARQL("SELECT ?x WHERE { ?x <p> ?y . OPTIONAL { } }"); err == nil {
+		t.Fatal("empty OPTIONAL accepted")
+	}
+}
+
+// Property: adding optional edges to a random query never changes its
+// result set.
+func TestOptionalNeverFiltersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := graph.RandomOntology(rng, graph.RandomConfig{
+			Nodes: 12, Edges: 30, Labels: []string{"p", "q"},
+		})
+		sub, start := graph.RandomConnectedSubgraph(rng, o, 2)
+		if sub == nil {
+			return true
+		}
+		q, err := query.FromExplanation(sub, start)
+		if err != nil {
+			return false
+		}
+		ev := eval.New(o)
+		base, err := ev.ResultsSimple(q)
+		if err != nil {
+			return false
+		}
+		// Attach a random optional edge from the projected node.
+		withOpt := q.Clone()
+		x := withOpt.FreshVar("")
+		e, err := withOpt.AddEdge(withOpt.Projected(), x, "q")
+		if err != nil {
+			return false
+		}
+		if err := withOpt.SetOptional(e, true); err != nil {
+			return false
+		}
+		got, err := ev.ResultsSimple(withOpt)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(base, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Optional edges stay out of the mandatory consistency machinery: the
+// running example still behaves identically.
+func TestOptionalLeavesPaperExampleIntact(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	res, err := ev.ResultsSimple(paperfix.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("running example broke")
+	}
+}
+
+// A projected variable whose only edges are optional behaves like an
+// isolated projected variable for candidate generation (optional edges
+// never constrain the result set).
+func TestOptionalOnlyProjectedVar(t *testing.T) {
+	o := optOntology()
+	ev := eval.New(o)
+	q := query.NewSimple()
+	a := q.MustEnsureNode(query.Var("a"), "")
+	h := q.MustEnsureNode(query.Var("h"), "")
+	e := q.MustAddEdge(a, h, "homepage")
+	q.SetOptional(e, true)
+	q.SetProjected(a)
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != o.NumNodes() {
+		t.Fatalf("optional-only projected var matched %d of %d nodes", len(res), o.NumNodes())
+	}
+}

@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// Graph reads are safe for concurrent use (the ontology is append-only and
+// the evaluator never mutates it), so the per-result existence probes of
+// ResultsSimple parallelize embarrassingly. ResultsParallel exploits that
+// for large candidate sets; results are identical to ResultsSimple.
+
+// parallelThreshold is the candidate-count below which the sequential path
+// is used (goroutine overhead dominates tiny probe sets).
+const parallelThreshold = 64
+
+// ResultsParallel is ResultsSimple with the per-candidate existence probes
+// fanned out over workers goroutines (<= 0 selects GOMAXPROCS). The first
+// error (budget exhaustion) wins; partial results are discarded on error.
+func (ev *Evaluator) ResultsParallel(q *query.Simple, workers int) ([]string, error) {
+	proj := q.Projected()
+	if proj == query.NoNode {
+		return nil, errNoProjected
+	}
+	pn := q.Node(proj)
+	if !pn.Term.IsVar {
+		return ev.ResultsSimple(q)
+	}
+	candidates := ev.projectedCandidates(q)
+	if len(candidates) < parallelThreshold {
+		return ev.ResultsSimple(q)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		out      []string
+		next     int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(candidates) {
+					mu.Unlock()
+					return
+				}
+				c := candidates[next]
+				next++
+				mu.Unlock()
+
+				ok, err := ev.hasAnyMatch(q, map[query.NodeID]graph.NodeID{proj: c})
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil && ok {
+					out = append(out, ev.o.Node(c).Value)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ResultsUnionParallel evaluates a union with ResultsParallel per branch.
+func (ev *Evaluator) ResultsUnionParallel(u *query.Union, workers int) ([]string, error) {
+	seen := map[string]bool{}
+	for _, b := range u.Branches() {
+		rs, err := ev.ResultsParallel(b, workers)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			seen[r] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out, nil
+}

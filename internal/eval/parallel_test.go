@@ -1,0 +1,138 @@
+package eval_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+)
+
+// ResultsParallel agrees with ResultsSimple on the running example.
+func TestResultsParallelSmall(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	for _, q := range []*query.Simple{paperfix.Q1(), paperfix.Q3(), paperfix.Q4()} {
+		seq, err := ev.ResultsSimple(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ev.ResultsParallel(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("parallel %v != sequential %v", par, seq)
+		}
+	}
+}
+
+// Ground projected node takes the sequential path.
+func TestResultsParallelGround(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	exs := paperfix.Explanations(o)
+	ground, err := query.FromExplanation(exs[0].Graph, exs[0].Distinguished)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ev.ResultsParallel(ground, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"Alice"}) {
+		t.Fatalf("ground parallel results = %v", res)
+	}
+}
+
+// Property: parallel and sequential evaluation agree on random queries over
+// graphs large enough to cross the parallel threshold.
+func TestResultsParallelAgreesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := graph.RandomOntology(rng, graph.RandomConfig{
+			Nodes: 300, Edges: 1200, Labels: []string{"p", "q"},
+		})
+		// A 2-edge variable pattern: plenty of candidates.
+		q := query.NewSimple()
+		a := q.MustEnsureNode(query.Var("a"), "")
+		b := q.MustEnsureNode(query.Var("b"), "")
+		c := q.MustEnsureNode(query.Var("c"), "")
+		q.MustAddEdge(a, b, "p")
+		q.MustAddEdge(b, c, "q")
+		q.SetProjected(b)
+
+		ev := eval.New(o)
+		seq, err := ev.ResultsSimple(q)
+		if err != nil {
+			return false
+		}
+		par, err := ev.ResultsParallel(q, 3)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(seq, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultsUnionParallel(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	u := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	seq, err := ev.Results(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ev.ResultsUnionParallel(u, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel union %v != sequential %v", par, seq)
+	}
+}
+
+func TestResultsParallelNoProjected(t *testing.T) {
+	ev := eval.New(paperfix.Ontology())
+	q := query.NewSimple()
+	q.MustEnsureNode(query.Var("x"), "")
+	if _, err := ev.ResultsParallel(q, 2); err == nil {
+		t.Fatal("missing projected node not reported")
+	}
+}
+
+func BenchmarkResultsParallelVsSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	o := graph.RandomOntology(rng, graph.RandomConfig{
+		Nodes: 2000, Edges: 9000, Labels: []string{"p", "q"},
+	})
+	q := query.NewSimple()
+	a := q.MustEnsureNode(query.Var("a"), "")
+	m := q.MustEnsureNode(query.Var("m"), "")
+	c := q.MustEnsureNode(query.Var("c"), "")
+	q.MustAddEdge(a, m, "p")
+	q.MustAddEdge(m, c, "q")
+	q.SetProjected(m)
+	ev := eval.New(o)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.ResultsSimple(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.ResultsParallel(q, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// planEdges orders the query edges for backtracking: greedily prefer edges
+// with the most already-bound endpoints (constants, pre-bindings, and nodes
+// covered by earlier plan entries), so the search stays anchored and join
+// candidates are enumerated through the (label, endpoint) indexes rather
+// than full label scans. Optional edges are always placed after every
+// mandatory edge (the left-join semantics of the OPTIONAL extension binds
+// them against a complete mandatory match).
+func planEdges(q *query.Simple, initial []graph.NodeID) []query.EdgeID {
+	nEdges := q.NumEdges()
+	plan := make([]query.EdgeID, 0, nEdges)
+	used := make([]bool, nEdges)
+	bound := make([]bool, q.NumNodes())
+	for i, b := range initial {
+		bound[i] = b != graph.NoNode
+	}
+	mandatoryLeft := 0
+	for _, e := range q.Edges() {
+		if !q.IsOptional(e.ID) {
+			mandatoryLeft++
+		}
+	}
+	for len(plan) < nEdges {
+		best := query.EdgeID(-1)
+		bestScore := -1
+		for _, e := range q.Edges() {
+			if used[e.ID] {
+				continue
+			}
+			if mandatoryLeft > 0 && q.IsOptional(e.ID) {
+				continue
+			}
+			score := 0
+			if bound[e.From] {
+				score += 2
+			}
+			if bound[e.To] {
+				score += 2
+			}
+			// Prefer lower-degree expansion slightly: edges touching the
+			// most-connected unbound node first, to fail early.
+			if !bound[e.From] {
+				score += min(q.Degree(e.From), 1)
+			}
+			if !bound[e.To] {
+				score += min(q.Degree(e.To), 1)
+			}
+			if score > bestScore {
+				bestScore = score
+				best = e.ID
+			}
+		}
+		e := q.Edge(best)
+		used[best] = true
+		bound[e.From] = true
+		bound[e.To] = true
+		if !q.IsOptional(best) {
+			mandatoryLeft--
+		}
+		plan = append(plan, best)
+	}
+	return plan
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"testing"
+
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// Plan ordering starts from bound (constant) endpoints and stays connected.
+func TestPlanEdgesAnchorsOnConstants(t *testing.T) {
+	q := query.NewSimple()
+	// chain: ?a -p-> ?b -p-> ?c -p-> Const
+	a := q.MustEnsureNode(query.Var("a"), "")
+	b := q.MustEnsureNode(query.Var("b"), "")
+	c := q.MustEnsureNode(query.Var("c"), "")
+	k := q.MustEnsureNode(query.Const("k"), "")
+	e1 := q.MustAddEdge(a, b, "p")
+	e2 := q.MustAddEdge(b, c, "p")
+	e3 := q.MustAddEdge(c, k, "p")
+	q.SetProjected(a)
+
+	initial := make([]graph.NodeID, q.NumNodes())
+	for i := range initial {
+		initial[i] = graph.NoNode
+	}
+	initial[k] = 0 // the constant is pre-bound by MatchesInto
+
+	plan := planEdges(q, initial)
+	if len(plan) != 3 {
+		t.Fatalf("plan has %d edges", len(plan))
+	}
+	if plan[0] != e3 {
+		t.Fatalf("plan starts at %d, want the constant-anchored edge %d", plan[0], e3)
+	}
+	if plan[1] != e2 || plan[2] != e1 {
+		t.Fatalf("plan not connected outward: %v", plan)
+	}
+}
+
+// Optional edges always come after every mandatory edge, regardless of how
+// well anchored they are.
+func TestPlanEdgesOptionalLast(t *testing.T) {
+	q := query.NewSimple()
+	a := q.MustEnsureNode(query.Var("a"), "")
+	b := q.MustEnsureNode(query.Var("b"), "")
+	k1 := q.MustEnsureNode(query.Const("k1"), "")
+	k2 := q.MustEnsureNode(query.Const("k2"), "")
+	// Optional edge with two constant endpoints (maximally anchored)...
+	opt := q.MustAddEdge(k1, k2, "p")
+	q.SetOptional(opt, true)
+	// ...and a barely-anchored mandatory edge.
+	mand := q.MustAddEdge(a, b, "p")
+	q.SetProjected(a)
+
+	initial := make([]graph.NodeID, q.NumNodes())
+	for i := range initial {
+		initial[i] = graph.NoNode
+	}
+	initial[k1], initial[k2] = 0, 1
+
+	plan := planEdges(q, initial)
+	if plan[0] != mand || plan[1] != opt {
+		t.Fatalf("optional edge not planned last: %v", plan)
+	}
+}
+
+// The plan covers every edge exactly once.
+func TestPlanEdgesCoversAll(t *testing.T) {
+	q := query.NewSimple()
+	var prev query.NodeID = query.NoNode
+	for i := 0; i < 6; i++ {
+		cur := q.FreshVar("")
+		if prev != query.NoNode {
+			q.MustAddEdge(prev, cur, "p")
+		}
+		prev = cur
+	}
+	q.SetProjected(prev)
+	initial := make([]graph.NodeID, q.NumNodes())
+	for i := range initial {
+		initial[i] = graph.NoNode
+	}
+	plan := planEdges(q, initial)
+	seen := map[query.EdgeID]bool{}
+	for _, e := range plan {
+		if seen[e] {
+			t.Fatalf("edge %d planned twice", e)
+		}
+		seen[e] = true
+	}
+	if len(seen) != q.NumEdges() {
+		t.Fatalf("plan covers %d of %d edges", len(seen), q.NumEdges())
+	}
+}

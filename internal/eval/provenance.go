@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// MatchImage materializes the image μ(Q) of a match — the provenance graph
+// of Definition 2.4 — as a fresh subgraph of the ontology. Unbound (isolated)
+// query nodes and unmatched OPTIONAL edges are omitted.
+func (ev *Evaluator) MatchImage(q *query.Simple, m *Match) (*graph.Graph, error) {
+	var edges []graph.EdgeID
+	for qe, oe := range m.Edges {
+		if oe == graph.NoEdge {
+			if q.IsOptional(query.EdgeID(qe)) {
+				continue // unmatched OPTIONAL edge: absent from the image
+			}
+			return nil, fmt.Errorf("eval: incomplete match (unbound edge)")
+		}
+		edges = append(edges, oe)
+	}
+	var nodes []graph.NodeID
+	for _, on := range m.Nodes {
+		if on != graph.NoNode {
+			nodes = append(nodes, on)
+		}
+	}
+	return ev.o.Subgraph(edges, nodes)
+}
+
+// ProvenanceOf computes prov(res) with respect to a simple query: the
+// distinct image subgraphs over all matches yielding the result value
+// (Definition 2.4). limit > 0 caps the number of distinct graphs returned.
+// The graphs are returned in a deterministic order (sorted by signature).
+func (ev *Evaluator) ProvenanceOf(q *query.Simple, value string, limit int) ([]*graph.Graph, error) {
+	proj := q.Projected()
+	if proj == query.NoNode {
+		return nil, errNoProjected
+	}
+	pn := q.Node(proj)
+	var pre map[query.NodeID]graph.NodeID
+	if pn.Term.IsVar {
+		on, ok := ev.o.NodeByValue(value)
+		if !ok {
+			return nil, nil
+		}
+		if !ev.nodeCompatible(pn, on.ID) {
+			return nil, nil
+		}
+		pre = map[query.NodeID]graph.NodeID{proj: on.ID}
+	} else if pn.Term.Value != value {
+		return nil, nil
+	}
+
+	type entry struct {
+		sig string
+		g   *graph.Graph
+	}
+	var entries []entry
+	seen := map[string]bool{}
+	var imgErr error
+	err := ev.MatchesInto(q, pre, func(m *Match) bool {
+		img, e := ev.MatchImage(q, m)
+		if e != nil {
+			imgErr = e
+			return false
+		}
+		sig := img.Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			entries = append(entries, entry{sig, img})
+		}
+		return limit <= 0 || len(entries) < limit
+	})
+	if imgErr != nil {
+		return nil, imgErr
+	}
+	if err != nil && len(entries) == 0 {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].sig < entries[j].sig })
+	out := make([]*graph.Graph, len(entries))
+	for i, e := range entries {
+		out[i] = e.g
+	}
+	return out, nil
+}
+
+// ProvenanceOfUnion computes prov(res) for a union query: the union of the
+// branch provenances (Section II-B). limit > 0 caps the total count.
+func (ev *Evaluator) ProvenanceOfUnion(u *query.Union, value string, limit int) ([]*graph.Graph, error) {
+	var out []*graph.Graph
+	seen := map[string]bool{}
+	for _, b := range u.Branches() {
+		rem := 0
+		if limit > 0 {
+			rem = limit - len(out)
+			if rem <= 0 {
+				break
+			}
+		}
+		gs, err := ev.ProvenanceOf(b, value, rem)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range gs {
+			sig := g.Signature()
+			if !seen[sig] {
+				seen[sig] = true
+				out = append(out, g)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ResultWithProvenance pairs a query result with one of its provenance
+// graphs; the "bind then explain" step of Algorithm 3 (lines 7-8).
+type ResultWithProvenance struct {
+	Value      string
+	Provenance *graph.Graph
+}
+
+// BindAndExplain binds a result value to the union query (the bind(Q, res)
+// of Algorithm 3) and returns the value with its first provenance graph.
+func (ev *Evaluator) BindAndExplain(u *query.Union, value string) (*ResultWithProvenance, error) {
+	gs, err := ev.ProvenanceOfUnion(u, value, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("eval: %q is not a result of the query", value)
+	}
+	return &ResultWithProvenance{Value: value, Provenance: gs[0]}, nil
+}

@@ -1,0 +1,231 @@
+package eval
+
+import (
+	"sort"
+
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// ResultsSimple evaluates a simple query and returns the distinct result
+// values in sorted order (Q(O) of Section II-A).
+func (ev *Evaluator) ResultsSimple(q *query.Simple) ([]string, error) {
+	proj := q.Projected()
+	if proj == query.NoNode {
+		return nil, errNoProjected
+	}
+	pn := q.Node(proj)
+	if !pn.Term.IsVar {
+		ok, err := ev.hasAnyMatch(q, nil)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return []string{pn.Term.Value}, nil
+		}
+		return nil, nil
+	}
+	candidates := ev.projectedCandidates(q)
+	var out []string
+	for _, c := range candidates {
+		ok, err := ev.hasAnyMatch(q, map[query.NodeID]graph.NodeID{proj: c})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, ev.o.Node(c).Value)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+var errNoProjected = errorString("eval: query has no projected node")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// hasAnyMatch reports whether at least one match exists from the given
+// pre-binding.
+func (ev *Evaluator) hasAnyMatch(q *query.Simple, pre map[query.NodeID]graph.NodeID) (bool, error) {
+	found := false
+	err := ev.MatchesInto(q, pre, func(*Match) bool {
+		found = true
+		return false
+	})
+	if found {
+		return true, nil // budget errors after a find are irrelevant
+	}
+	return false, err
+}
+
+// projectedCandidates computes a superset of the ontology nodes the
+// projected variable can map to, using the most selective adjacent edge,
+// falling back to all type-compatible nodes for an isolated projected
+// variable.
+func (ev *Evaluator) projectedCandidates(q *query.Simple) []graph.NodeID {
+	proj := q.Projected()
+	pn := q.Node(proj)
+	best := []graph.NodeID(nil)
+	bestSize := -1
+	consider := func(cands []graph.NodeID) {
+		if bestSize < 0 || len(cands) < bestSize {
+			best, bestSize = cands, len(cands)
+		}
+	}
+	for _, eid := range q.OutEdges(proj) {
+		if q.IsOptional(eid) {
+			continue // optional edges never constrain the projected node
+		}
+		e := q.Edge(eid)
+		other := q.Node(e.To)
+		var edges []graph.EdgeID
+		if !other.Term.IsVar {
+			on, ok := ev.o.NodeByValue(other.Term.Value)
+			if !ok {
+				return nil
+			}
+			edges = ev.o.EdgesByLabelTo(e.Label, on.ID)
+		} else {
+			edges = ev.o.EdgesByLabel(e.Label)
+		}
+		consider(dedupEndpoints(ev.o, edges, true))
+	}
+	for _, eid := range q.InEdges(proj) {
+		if q.IsOptional(eid) {
+			continue
+		}
+		e := q.Edge(eid)
+		other := q.Node(e.From)
+		var edges []graph.EdgeID
+		if !other.Term.IsVar {
+			on, ok := ev.o.NodeByValue(other.Term.Value)
+			if !ok {
+				return nil
+			}
+			edges = ev.o.EdgesByLabelFrom(e.Label, on.ID)
+		} else {
+			edges = ev.o.EdgesByLabel(e.Label)
+		}
+		consider(dedupEndpoints(ev.o, edges, false))
+	}
+	if bestSize >= 0 {
+		out := best[:0:0]
+		for _, c := range best {
+			if ev.nodeCompatible(pn, c) {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	// Isolated projected variable: every type-compatible node qualifies.
+	all := make([]graph.NodeID, 0, ev.o.NumNodes())
+	for _, n := range ev.o.Nodes() {
+		if ev.nodeCompatible(pn, n.ID) {
+			all = append(all, n.ID)
+		}
+	}
+	return all
+}
+
+// dedupEndpoints extracts the set of From (or To) endpoints of the edges.
+func dedupEndpoints(o *graph.Graph, edges []graph.EdgeID, from bool) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool, len(edges))
+	out := make([]graph.NodeID, 0, len(edges))
+	for _, eid := range edges {
+		e := o.Edge(eid)
+		n := e.To
+		if from {
+			n = e.From
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Results evaluates a union query: the union of its branches' result sets,
+// sorted (Section II-A).
+func (ev *Evaluator) Results(u *query.Union) ([]string, error) {
+	seen := map[string]bool{}
+	for _, b := range u.Branches() {
+		rs, err := ev.ResultsSimple(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			seen[r] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// HasResultValue reports whether value is a result of the union query; it
+// avoids enumerating the full result set.
+func (ev *Evaluator) HasResultValue(u *query.Union, value string) (bool, error) {
+	on, ok := ev.o.NodeByValue(value)
+	if !ok {
+		return false, nil
+	}
+	for _, b := range u.Branches() {
+		proj := b.Projected()
+		if proj == query.NoNode {
+			return false, errNoProjected
+		}
+		pn := b.Node(proj)
+		if !pn.Term.IsVar {
+			if pn.Term.Value != value {
+				continue
+			}
+			found, err := ev.hasAnyMatch(b, nil)
+			if err != nil {
+				return false, err
+			}
+			if found {
+				return true, nil
+			}
+			continue
+		}
+		if !ev.nodeCompatible(pn, on.ID) {
+			continue
+		}
+		found, err := ev.hasAnyMatch(b, map[query.NodeID]graph.NodeID{proj: on.ID})
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Difference evaluates the difference query a − b over result values
+// (Section V, "Difference Queries"): results of a that are not results of b.
+// Following the paper, the difference is computed without provenance
+// tracking; use ProvenanceOfUnion afterwards to bind a chosen result.
+func (ev *Evaluator) Difference(a, b *query.Union) ([]string, error) {
+	ra, err := ev.Results(a)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, r := range ra {
+		in, err := ev.HasResultValue(b, r)
+		if err != nil {
+			return nil, err
+		}
+		if !in {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"questpro/internal/core"
+	"questpro/internal/workload/sampling"
+)
+
+// AblationRow measures the effect of Algorithm 1's search knobs (the
+// design choices documented in DESIGN.md §4b) on the quality of the
+// inferred query: the first-pair sweep width and the number of diversified
+// restarts.
+type AblationRow struct {
+	Workload string
+	Query    string
+	Variant  string // "paper" (sweep=1, iter=3), "single-iter", "default"
+	// Cost of the inferred union under the experiment's cost weights.
+	Cost float64
+	// Vars is the total variable count of the inferred union.
+	Vars    int
+	Found   bool // extensionally equivalent to the target
+	Elapsed time.Duration
+}
+
+// ablationVariants enumerates the compared configurations.
+func ablationVariants(base core.Options) map[string]core.Options {
+	paper := base
+	paper.FirstPairSweep = 1
+	single := base
+	single.NumIter = 1
+	single.FirstPairSweep = 1
+	def := base
+	return map[string]core.Options{
+		"paper":       paper,  // the paper's single first-pair rule
+		"single-iter": single, // additionally without restarts
+		"default":     def,    // this implementation's defaults
+	}
+}
+
+// AblationVariantOrder fixes the render order.
+var AblationVariantOrder = []string{"paper", "single-iter", "default"}
+
+// RunAblation reverse-engineers every catalog query from the same sampled
+// example-set under each Algorithm-1 variant and reports the inferred
+// query's cost, variable count and semantic correctness.
+func RunAblation(w *Workload, opts core.Options, nExplanations int, seed int64) ([]AblationRow, error) {
+	ev := w.Evaluator()
+	var out []AblationRow
+	for _, bq := range w.Queries {
+		// One fixed example-set per query, shared across variants.
+		rng := rand.New(rand.NewSource(seed))
+		s := sampling.New(ev, bq.Query, rng)
+		rs, err := s.Results()
+		if err != nil {
+			return nil, err
+		}
+		n := nExplanations
+		if n > len(rs) {
+			n = len(rs)
+		}
+		if n < 2 {
+			continue
+		}
+		exs, err := s.ExampleSet(n)
+		if err != nil {
+			return nil, err
+		}
+		variants := ablationVariants(opts)
+		for _, name := range AblationVariantOrder {
+			vopts := variants[name]
+			start := time.Now()
+			cands, _, err := core.InferTopK(exs, vopts)
+			if err != nil {
+				return nil, err
+			}
+			row := AblationRow{
+				Workload: w.Name, Query: bq.Name, Variant: name,
+				Elapsed: time.Since(start),
+			}
+			if len(cands) > 0 {
+				row.Cost = cands[0].Cost
+				row.Vars = cands[0].Query.TotalVars()
+			}
+			row.Found, err = anyEquivalent(ev, cands, bq, exs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// RenderAblation renders the comparison.
+func RenderAblation(rows []AblationRow, csv bool) string {
+	header := []string{"workload", "query", "variant", "cost", "vars", "found", "time"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload, r.Query, r.Variant,
+			fmt.Sprintf("%.0f", r.Cost), fmt.Sprintf("%d", r.Vars),
+			fmt.Sprintf("%v", r.Found), fmtDur(r.Elapsed),
+		})
+	}
+	if csv {
+		return CSV(header, cells)
+	}
+	return Table(header, cells)
+}

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"questpro/internal/core"
+)
+
+// testScale keeps the generated ontologies small enough for fast tests
+// while preserving the anchors' density.
+const testScale = 0.35
+
+func loadTest(t *testing.T, name string) *Workload {
+	t.Helper()
+	w, err := Load(name, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLoadWorkloads(t *testing.T) {
+	for _, name := range []string{"sp2b", "bsbm", "dbpedia"} {
+		w := loadTest(t, name)
+		if w.Name != name || w.Ontology.NumEdges() == 0 || len(w.Queries) == 0 {
+			t.Fatalf("workload %s malformed", name)
+		}
+	}
+	if _, err := Load("nope", 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// E1 on a subset: the easy SP2B queries are recovered from two
+// explanations, matching the paper's "11 of the 15 were found with only 2".
+func TestExplanationsToInferEasyQueries(t *testing.T) {
+	w := loadTest(t, "sp2b")
+	// Keep the cheap queries only for test speed.
+	var subset []string
+	for _, bq := range w.Queries {
+		switch bq.Name {
+		case "q2", "q3b", "q6", "q11", "q12a":
+			subset = append(subset, bq.Name)
+		}
+	}
+	filtered := *w
+	filtered.Queries = nil
+	for _, name := range subset {
+		for _, bq := range w.Queries {
+			if bq.Name == name {
+				filtered.Queries = append(filtered.Queries, bq)
+			}
+		}
+	}
+	rs, err := RunExplanationsToInfer(&filtered, core.DefaultOptions(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(subset) {
+		t.Fatalf("got %d reports", len(rs))
+	}
+	twoShot := 0
+	for _, r := range rs {
+		if !r.Found {
+			t.Errorf("%s not inferred within 4 explanations", r.Query)
+			continue
+		}
+		if r.Explanations == 2 {
+			twoShot++
+		}
+	}
+	if twoShot < 3 {
+		t.Errorf("only %d/%d queries inferred from 2 explanations", twoShot, len(rs))
+	}
+	text := RenderInferReports(rs, false)
+	if !strings.Contains(text, "q2") || !strings.Contains(text, "explanations") {
+		t.Fatalf("render broken:\n%s", text)
+	}
+	if !strings.Contains(RenderInferReports(rs, true), "workload,query") {
+		t.Fatal("CSV render broken")
+	}
+}
+
+func TestTopKTiming(t *testing.T) {
+	w := loadTest(t, "bsbm")
+	w.Queries = w.Queries[:3] // q1v0, q2v0, q3v0
+	opts := core.DefaultOptions()
+	rs, err := RunTopKTiming(w, opts, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d rows", len(rs))
+	}
+	for _, r := range rs {
+		if r.Elapsed <= 0 || r.Algorithm1 <= 0 {
+			t.Errorf("%s: empty measurements %+v", r.Query, r)
+		}
+		if r.K != opts.K || r.Explanations != 4 {
+			t.Errorf("%s: config not propagated: %+v", r.Query, r)
+		}
+	}
+	if !strings.Contains(RenderTimingReports(rs, false), "q2v0") {
+		t.Fatal("render broken")
+	}
+}
+
+// Figure 6 shape: intermediates grow with the number of explanations.
+func TestIntermediateVsExplanationsGrows(t *testing.T) {
+	w := loadTest(t, "sp2b")
+	w.Queries = w.Queries[:1] // q2
+	pts, err := RunIntermediateVsExplanations(w, core.DefaultOptions(), []int{2, 5, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if !(pts[0].Y <= pts[1].Y && pts[1].Y <= pts[2].Y) {
+		t.Errorf("intermediates not monotone-ish: %v %v %v", pts[0].Y, pts[1].Y, pts[2].Y)
+	}
+	if pts[2].Y <= pts[0].Y {
+		t.Errorf("no growth from 2 to 8 explanations: %d -> %d", pts[0].Y, pts[2].Y)
+	}
+	table := RenderSweep(pts, "explanations", false)
+	if !strings.Contains(table, "q2") {
+		t.Fatalf("render broken:\n%s", table)
+	}
+	if !strings.Contains(RenderSweep(pts, "explanations", true), "intermediates") {
+		t.Fatal("CSV render broken")
+	}
+}
+
+// Figure 6c/6d shape: intermediates grow (moderately) with k.
+func TestIntermediateVsKGrows(t *testing.T) {
+	w := loadTest(t, "bsbm")
+	w.Queries = w.Queries[4:5] // q6v0, a cheap one
+	pts, err := RunIntermediateVsK(w, core.DefaultOptions(), []int{1, 3, 6}, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[2].Y < pts[0].Y {
+		t.Errorf("k=6 did less work than k=1: %d vs %d", pts[2].Y, pts[0].Y)
+	}
+}
+
+func TestRunTableI(t *testing.T) {
+	w := loadTest(t, "dbpedia")
+	w.Queries = w.Queries[:4] // basic queries for speed
+	rows, err := RunTableI(w, core.DefaultOptions(), 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	inferred := 0
+	for _, r := range rows {
+		if r.Results == 0 || r.SPARQL == "" || r.Description == "" {
+			t.Errorf("row incomplete: %+v", r)
+		}
+		if r.Inferred {
+			inferred++
+		}
+	}
+	if inferred < 3 {
+		t.Errorf("only %d/4 basic Table I queries inferred", inferred)
+	}
+	if !strings.Contains(RenderTableI(rows, false), "table1-1") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRunFeedbackConvergence(t *testing.T) {
+	w := loadTest(t, "dbpedia")
+	w.Queries = w.Queries[:3]
+	rs, err := RunFeedbackConvergence(w, core.DefaultOptions(), 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d reports", len(rs))
+	}
+	successes := 0
+	for _, r := range rs {
+		if r.Candidates == 0 {
+			t.Errorf("%s: no candidates", r.Query)
+		}
+		if r.Success {
+			successes++
+		}
+	}
+	if successes < 2 {
+		t.Errorf("only %d/3 feedback runs converged to the target", successes)
+	}
+	if !strings.Contains(RenderFeedbackReports(rs, false), "candidates") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRunUserStudySmall(t *testing.T) {
+	w := loadTest(t, "dbpedia")
+	cfg := DefaultStudyConfig()
+	cfg.Users = 3 // 12 interactions to stay fast
+	its, err := RunUserStudy(w, core.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(its) != cfg.Users*(cfg.BasicPerUser+cfg.ChallengePerUser) {
+		t.Fatalf("got %d interactions", len(its))
+	}
+	ok := 0
+	for _, it := range its {
+		if it.Outcome == Success || it.Outcome == RedoSuccess {
+			ok++
+		}
+	}
+	// The large majority of interactions succeed (Figure 8: 32 of 36).
+	if ok*3 < len(its)*2 {
+		t.Errorf("only %d/%d interactions succeeded", ok, len(its))
+	}
+	sums := Summarize(w, its)
+	total := 0
+	for _, s := range sums {
+		total += s.Success + s.RedoSuccess + s.Failures
+	}
+	if total != len(its) {
+		t.Fatalf("summary covers %d of %d interactions", total, len(its))
+	}
+	if !strings.Contains(RenderStudy(sums, false), "redo-success") {
+		t.Fatal("study render broken")
+	}
+	if !strings.Contains(RenderInteractions(its, false), "error-mode") {
+		t.Fatal("interaction render broken")
+	}
+}
+
+func TestRunRobustness(t *testing.T) {
+	w := loadTest(t, "dbpedia")
+	w.Queries = w.Queries[:3]
+	rows, err := RunRobustness(w, core.DefaultOptions(), 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 queries x 2 error modes
+		t.Fatalf("got %d rows", len(rows))
+	}
+	robustWins, plainWins := 0, 0
+	for _, r := range rows {
+		if r.RobustOK && !r.PlainOK {
+			robustWins++
+		}
+		if r.PlainOK && !r.RobustOK {
+			plainWins++
+		}
+	}
+	// The repair pipeline should help at least as often as it hurts.
+	if plainWins > robustWins {
+		t.Errorf("repair hurt more than it helped: plain-only %d vs robust-only %d", plainWins, robustWins)
+	}
+	if !strings.Contains(RenderRobustness(rows, false), "robust-ok") {
+		t.Fatal("render broken")
+	}
+	if !strings.Contains(RenderRobustness(rows, true), "workload,query") {
+		t.Fatal("CSV render broken")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	w := loadTest(t, "sp2b")
+	w.Queries = w.Queries[:2]
+	rows, err := RunAblation(w, core.DefaultOptions(), 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(AblationVariantOrder) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byVariant := map[string]int{}
+	for _, r := range rows {
+		byVariant[r.Variant]++
+		if r.Elapsed <= 0 {
+			t.Errorf("%s/%s: no time recorded", r.Query, r.Variant)
+		}
+	}
+	for _, v := range AblationVariantOrder {
+		if byVariant[v] != 2 {
+			t.Errorf("variant %s has %d rows", v, byVariant[v])
+		}
+	}
+	if !strings.Contains(RenderAblation(rows, false), "variant") {
+		t.Fatal("render broken")
+	}
+	if !strings.Contains(RenderAblation(rows, true), "workload,query") {
+		t.Fatal("CSV render broken")
+	}
+}
+
+func TestRunExplanationsToInferRepeated(t *testing.T) {
+	w := loadTest(t, "bsbm")
+	w.Queries = w.Queries[:2]
+	rs, err := RunExplanationsToInferRepeated(w, core.DefaultOptions(), 4, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d reports", len(rs))
+	}
+	for _, r := range rs {
+		if r.Repeats != 3 {
+			t.Fatalf("repeats = %d", r.Repeats)
+		}
+		if r.Found > 0 {
+			if r.MinExpl > r.MedianExpl || r.MedianExpl > r.MaxExpl {
+				t.Fatalf("summary out of order: %+v", r)
+			}
+			if r.MinExpl < 2 {
+				t.Fatalf("impossible explanation count: %+v", r)
+			}
+		}
+	}
+	if !strings.Contains(RenderRepeatedInferReports(rs, false), "median") {
+		t.Fatal("render broken")
+	}
+	if !strings.Contains(RenderRepeatedInferReports(rs, true), "workload,query") {
+		t.Fatal("CSV render broken")
+	}
+}

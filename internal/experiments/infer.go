@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/query"
+	"questpro/internal/workload"
+	"questpro/internal/workload/sampling"
+)
+
+// equalResults reports extensional equivalence of two queries over the
+// workload ontology — the success criterion of the automatic experiments
+// ("the inferred query has the same semantics"). Candidates so unselective
+// that they exhaust the evaluator's search budget are treated as
+// non-equivalent rather than failing the experiment.
+func equalResults(ev *eval.Evaluator, a, b *query.Union) (bool, error) {
+	rb, err := ev.Results(b)
+	if errors.Is(err, eval.ErrBudget) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return resultsMatch(ev, a, rb)
+}
+
+// resultsMatch compares a query's result set against a precomputed sorted
+// result list, avoiding the repeated target evaluations of equalResults.
+func resultsMatch(ev *eval.Evaluator, a *query.Union, want []string) (bool, error) {
+	ra, err := ev.Results(a)
+	if errors.Is(err, eval.ErrBudget) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if len(ra) != len(want) {
+		return false, nil
+	}
+	for i := range ra {
+		if ra[i] != want[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// InferOutcome is one attempt at reverse-engineering a benchmark query from
+// n sampled explanations.
+type InferOutcome struct {
+	Candidates []core.Candidate
+	Stats      core.Stats
+	Elapsed    time.Duration
+	// MatchIndex is the index of the first candidate extensionally
+	// equivalent to the target, or -1.
+	MatchIndex int
+	// Skipped is set when the target has fewer than two results, the
+	// paper's minimum for reproducing a query.
+	Skipped bool
+}
+
+// inferOnce samples n explanations for the target and runs top-k inference.
+// When the target has fewer than n results the sample is capped at the
+// result count (reproduction needs at least two explanations).
+func inferOnce(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.Options, rng *rand.Rand) (*InferOutcome, error) {
+	return inferAttempt(ev, bq, n, opts, rng, true)
+}
+
+// inferStats is inferOnce without the equivalence check — the Figure 6
+// sweeps only need the Algorithm-1 call counts, and evaluating every
+// candidate of a 14-explanation merge can be arbitrarily expensive.
+func inferStats(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.Options, rng *rand.Rand) (*InferOutcome, error) {
+	return inferAttempt(ev, bq, n, opts, rng, false)
+}
+
+func inferAttempt(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.Options, rng *rand.Rand, checkMatch bool) (*InferOutcome, error) {
+	s := sampling.New(ev, bq.Query, rng)
+	rs, err := s.Results()
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) < 2 {
+		return &InferOutcome{MatchIndex: -1, Skipped: true}, nil
+	}
+	if n > len(rs) {
+		n = len(rs)
+	}
+	exs, err := s.ExampleSet(n)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cands, stats, err := core.InferTopK(exs, opts)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	out := &InferOutcome{Candidates: cands, Stats: stats, Elapsed: elapsed, MatchIndex: -1}
+	if !checkMatch {
+		return out, nil
+	}
+	for i, c := range cands {
+		// The benchmark targets may carry disequalities; candidates gain
+		// theirs from the example-set before comparison. The target's
+		// result set rs is reused across all comparisons.
+		withD, err := core.WithDiseqsUnion(c.Query, exs)
+		if err != nil {
+			return nil, err
+		}
+		eq, err := resultsMatch(ev, withD, rs)
+		if err != nil {
+			return nil, err
+		}
+		if !eq {
+			// The relaxed form may be the equivalent one.
+			eq, err = resultsMatch(ev, c.Query, rs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !eq {
+			// Or a form with one disequality dropped — what a single
+			// relaxation question (Section V) would reach.
+			eq, err = equalAfterSingleRelaxation(ev, withD, rs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if eq {
+			out.MatchIndex = i
+			break
+		}
+	}
+	return out, nil
+}
+
+// equalAfterSingleRelaxation tries dropping each single disequality of a
+// one-branch candidate and reports whether some relaxation matches the
+// target's (precomputed) result set.
+func equalAfterSingleRelaxation(ev *eval.Evaluator, cand *query.Union, want []string) (bool, error) {
+	if cand.Size() != 1 {
+		return false, nil
+	}
+	b := cand.Branch(0)
+	ds := b.Diseqs()
+	if len(ds) == 0 || len(ds) > 8 {
+		return false, nil
+	}
+	for drop := range ds {
+		subset := make([]query.Diseq, 0, len(ds)-1)
+		for i, d := range ds {
+			if i != drop {
+				subset = append(subset, d)
+			}
+		}
+		eq, err := resultsMatch(ev, query.NewUnion(b.WithDiseqs(subset)), want)
+		if err != nil {
+			return false, err
+		}
+		if eq {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// InferReport is one row of the explanations-to-infer summary (the
+// "Summary" paragraph of Section VI-B): how many explanations the system
+// needed before some top-k candidate matched the target's semantics.
+type InferReport struct {
+	Workload     string
+	Query        string
+	Explanations int // explanations used on success; 0 when not found
+	Found        bool
+	Elapsed      time.Duration
+	Algorithm1   int // Algorithm-1 calls on the successful attempt
+}
+
+// RunExplanationsToInfer reproduces experiment E1: for every catalog query,
+// grow the example-set from 2 explanations up to maxExplanations until the
+// inferred top-k contains a query with the target's semantics.
+func RunExplanationsToInfer(w *Workload, opts core.Options, maxExplanations int, seed int64) ([]InferReport, error) {
+	ev := w.Evaluator()
+	var out []InferReport
+	for _, bq := range w.Queries {
+		rng := rand.New(rand.NewSource(seed))
+		report := InferReport{Workload: w.Name, Query: bq.Name}
+		for n := 2; n <= maxExplanations; n++ {
+			res, err := inferOnce(ev, bq, n, opts, rng)
+			if err != nil {
+				return nil, err
+			}
+			report.Elapsed += res.Elapsed
+			if res.MatchIndex >= 0 {
+				report.Found = true
+				report.Explanations = n
+				report.Algorithm1 = res.Stats.Algorithm1Calls
+				break
+			}
+		}
+		out = append(out, report)
+	}
+	return out, nil
+}
+
+// TimingReport is one row of the execution-time experiment (E2): top-k
+// inference time for a fixed number of explanations and k.
+type TimingReport struct {
+	Workload     string
+	Query        string
+	Explanations int
+	K            int
+	Elapsed      time.Duration
+	Algorithm1   int
+}
+
+// RunTopKTiming reproduces the execution-time paragraph of Section VI-B:
+// top-k inference (k fixed by opts.K, 7 explanations in the paper) timed
+// per query.
+func RunTopKTiming(w *Workload, opts core.Options, nExplanations int, seed int64) ([]TimingReport, error) {
+	ev := w.Evaluator()
+	var out []TimingReport
+	for _, bq := range w.Queries {
+		rng := rand.New(rand.NewSource(seed))
+		res, err := inferOnce(ev, bq, nExplanations, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TimingReport{
+			Workload:     w.Name,
+			Query:        bq.Name,
+			Explanations: nExplanations,
+			K:            opts.K,
+			Elapsed:      res.Elapsed,
+			Algorithm1:   res.Stats.Algorithm1Calls,
+		})
+	}
+	return out, nil
+}
+
+// SweepPoint is one (x, y) point of a Figure 6 series.
+type SweepPoint struct {
+	Workload string
+	Query    string
+	X        int // number of explanations (6a/6b) or k (6c/6d)
+	Y        int // intermediate queries = Algorithm-1 invocations
+	Elapsed  time.Duration
+}
+
+// RunIntermediateVsExplanations reproduces Figures 6a/6b: the number of
+// intermediate queries Algorithm 2 considers as the example-set grows, at
+// fixed k (the paper fixes k = 5).
+func RunIntermediateVsExplanations(w *Workload, opts core.Options, sizes []int, seed int64) ([]SweepPoint, error) {
+	ev := w.Evaluator()
+	var out []SweepPoint
+	for _, bq := range w.Queries {
+		rng := rand.New(rand.NewSource(seed))
+		for _, n := range sizes {
+			res, err := inferStats(ev, bq, n, opts, rng)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepPoint{
+				Workload: w.Name, Query: bq.Name, X: n,
+				Y: res.Stats.Algorithm1Calls, Elapsed: res.Elapsed,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RunIntermediateVsK reproduces Figures 6c/6d: the number of intermediate
+// queries as k grows, at a fixed example-set size (7 for SP2B, 10 for BSBM
+// in the paper).
+func RunIntermediateVsK(w *Workload, opts core.Options, ks []int, nExplanations int, seed int64) ([]SweepPoint, error) {
+	ev := w.Evaluator()
+	var out []SweepPoint
+	for _, bq := range w.Queries {
+		for _, k := range ks {
+			o := opts
+			o.K = k
+			rng := rand.New(rand.NewSource(seed))
+			res, err := inferStats(ev, bq, nExplanations, o, rng)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepPoint{
+				Workload: w.Name, Query: bq.Name, X: k,
+				Y: res.Stats.Algorithm1Calls, Elapsed: res.Elapsed,
+			})
+		}
+	}
+	return out, nil
+}

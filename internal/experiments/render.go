@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table renders rows of cells as an aligned text table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders rows as comma-separated values with a header (cells are
+// expected not to contain commas; experiment output never does).
+func CSV(header []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(header, ","))
+	sb.WriteString("\n")
+	for _, r := range rows {
+		sb.WriteString(strings.Join(r, ","))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// RenderInferReports renders the E1 summary table.
+func RenderInferReports(rs []InferReport, csv bool) string {
+	header := []string{"workload", "query", "explanations", "found", "alg1-calls", "time"}
+	var rows [][]string
+	for _, r := range rs {
+		expl := fmt.Sprintf("%d", r.Explanations)
+		if !r.Found {
+			expl = "-"
+		}
+		rows = append(rows, []string{
+			r.Workload, r.Query, expl, fmt.Sprintf("%v", r.Found),
+			fmt.Sprintf("%d", r.Algorithm1), fmtDur(r.Elapsed),
+		})
+	}
+	if csv {
+		return CSV(header, rows)
+	}
+	return Table(header, rows)
+}
+
+// RenderTimingReports renders the E2 timing table.
+func RenderTimingReports(rs []TimingReport, csv bool) string {
+	header := []string{"workload", "query", "explanations", "k", "time", "alg1-calls"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{
+			r.Workload, r.Query, fmt.Sprintf("%d", r.Explanations),
+			fmt.Sprintf("%d", r.K), fmtDur(r.Elapsed), fmt.Sprintf("%d", r.Algorithm1),
+		})
+	}
+	if csv {
+		return CSV(header, rows)
+	}
+	return Table(header, rows)
+}
+
+// RenderSweep renders a Figure 6 series: one row per query, one column per
+// x value, cell = intermediate-query count.
+func RenderSweep(points []SweepPoint, xLabel string, csv bool) string {
+	if csv {
+		header := []string{"workload", "query", xLabel, "intermediates", "time"}
+		var rows [][]string
+		for _, p := range points {
+			rows = append(rows, []string{
+				p.Workload, p.Query, fmt.Sprintf("%d", p.X),
+				fmt.Sprintf("%d", p.Y), fmtDur(p.Elapsed),
+			})
+		}
+		return CSV(header, rows)
+	}
+	// Pivot: queries x sorted X values.
+	xsSet := map[int]bool{}
+	queries := []string{}
+	seen := map[string]bool{}
+	for _, p := range points {
+		xsSet[p.X] = true
+		if !seen[p.Query] {
+			seen[p.Query] = true
+			queries = append(queries, p.Query)
+		}
+	}
+	xs := make([]int, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	header := []string{"query \\ " + xLabel}
+	for _, x := range xs {
+		header = append(header, fmt.Sprintf("%d", x))
+	}
+	cell := map[string]map[int]int{}
+	for _, p := range points {
+		if cell[p.Query] == nil {
+			cell[p.Query] = map[int]int{}
+		}
+		cell[p.Query][p.X] = p.Y
+	}
+	var rows [][]string
+	for _, q := range queries {
+		row := []string{q}
+		for _, x := range xs {
+			if v, ok := cell[q][x]; ok {
+				row = append(row, fmt.Sprintf("%d", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Table(header, rows)
+}
+
+// RenderTableI renders the regenerated Table I.
+func RenderTableI(rows []TableIRow, csv bool) string {
+	header := []string{"query", "description", "results", "inferred", "explanations", "time"}
+	var cells [][]string
+	for _, r := range rows {
+		expl := fmt.Sprintf("%d", r.Explanations)
+		if !r.Inferred {
+			expl = "-"
+		}
+		cells = append(cells, []string{
+			r.Name, r.Description, fmt.Sprintf("%d", r.Results),
+			fmt.Sprintf("%v", r.Inferred), expl, fmtDur(r.Elapsed),
+		})
+	}
+	if csv {
+		return CSV(header, cells)
+	}
+	return Table(header, cells)
+}
+
+// RenderStudy renders the Figure 8 per-query outcome bars as a table.
+func RenderStudy(sums []StudySummary, csv bool) string {
+	header := []string{"query", "success", "redo-success", "failure"}
+	var rows [][]string
+	for _, s := range sums {
+		rows = append(rows, []string{
+			s.Query, fmt.Sprintf("%d", s.Success),
+			fmt.Sprintf("%d", s.RedoSuccess), fmt.Sprintf("%d", s.Failures),
+		})
+	}
+	if csv {
+		return CSV(header, rows)
+	}
+	return Table(header, rows)
+}
+
+// RenderFeedbackReports renders the E9 feedback-convergence table.
+func RenderFeedbackReports(rs []FeedbackReport, csv bool) string {
+	header := []string{"workload", "query", "candidates", "questions", "success", "time"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{
+			r.Workload, r.Query, fmt.Sprintf("%d", r.Candidates),
+			fmt.Sprintf("%d", r.Questions), fmt.Sprintf("%v", r.Success), fmtDur(r.Elapsed),
+		})
+	}
+	if csv {
+		return CSV(header, rows)
+	}
+	return Table(header, rows)
+}
+
+// RenderInteractions renders the raw E8 interaction log.
+func RenderInteractions(its []Interaction, csv bool) string {
+	header := []string{"user", "query", "error-mode", "outcome", "questions", "time"}
+	var rows [][]string
+	for _, it := range its {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", it.User), it.Query, it.ErrorMode.String(),
+			it.Outcome.String(), fmt.Sprintf("%d", it.Questions), fmtDur(it.Elapsed),
+		})
+	}
+	if csv {
+		return CSV(header, rows)
+	}
+	return Table(header, rows)
+}

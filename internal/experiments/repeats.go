@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"questpro/internal/core"
+)
+
+// The paper notes that "the choice of examples matters a lot, and thus we
+// repeat each experiment" over fresh random samples. RepeatedInferReport
+// aggregates E1 over several sampling seeds.
+type RepeatedInferReport struct {
+	Workload string
+	Query    string
+	Repeats  int
+	// Found counts the repeats that reconstructed the query within budget.
+	Found int
+	// MinExpl / MedianExpl / MaxExpl summarize the explanations needed over
+	// the successful repeats (0s when none succeeded).
+	MinExpl, MedianExpl, MaxExpl int
+	Elapsed                      time.Duration
+}
+
+// RunExplanationsToInferRepeated runs E1 `repeats` times with distinct
+// seeds and reports the distribution of explanations needed per query.
+func RunExplanationsToInferRepeated(w *Workload, opts core.Options, maxExplanations, repeats int, seed int64) ([]RepeatedInferReport, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	ev := w.Evaluator()
+	var out []RepeatedInferReport
+	for _, bq := range w.Queries {
+		report := RepeatedInferReport{Workload: w.Name, Query: bq.Name, Repeats: repeats}
+		var needed []int
+		start := time.Now()
+		for r := 0; r < repeats; r++ {
+			rng := rand.New(rand.NewSource(seed + int64(r)))
+			for n := 2; n <= maxExplanations; n++ {
+				res, err := inferOnce(ev, bq, n, opts, rng)
+				if err != nil {
+					return nil, err
+				}
+				if res.Skipped {
+					break
+				}
+				if res.MatchIndex >= 0 {
+					report.Found++
+					needed = append(needed, n)
+					break
+				}
+			}
+		}
+		report.Elapsed = time.Since(start)
+		if len(needed) > 0 {
+			sort.Ints(needed)
+			report.MinExpl = needed[0]
+			report.MedianExpl = needed[len(needed)/2]
+			report.MaxExpl = needed[len(needed)-1]
+		}
+		out = append(out, report)
+	}
+	return out, nil
+}
+
+// RenderRepeatedInferReports renders the aggregated E1 table.
+func RenderRepeatedInferReports(rs []RepeatedInferReport, csv bool) string {
+	header := []string{"workload", "query", "found", "min", "median", "max", "time"}
+	var rows [][]string
+	for _, r := range rs {
+		med := "-"
+		min, max := "-", "-"
+		if r.Found > 0 {
+			min = fmt.Sprintf("%d", r.MinExpl)
+			med = fmt.Sprintf("%d", r.MedianExpl)
+			max = fmt.Sprintf("%d", r.MaxExpl)
+		}
+		rows = append(rows, []string{
+			r.Workload, r.Query,
+			fmt.Sprintf("%d/%d", r.Found, r.Repeats),
+			min, med, max, fmtDur(r.Elapsed),
+		})
+	}
+	if csv {
+		return CSV(header, rows)
+	}
+	return Table(header, rows)
+}

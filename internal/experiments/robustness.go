@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/feedback"
+	"questpro/internal/provenance"
+	"questpro/internal/workload"
+)
+
+// RobustnessRow compares plain top-k inference against the outlier-
+// repairing pipeline (core.InferRobust) on an example-set with one
+// corrupted explanation — the extension experiment for the paper's
+// "incorrect provenance" future-work item.
+type RobustnessRow struct {
+	Workload  string
+	Query     string
+	ErrorMode feedback.ErrorMode
+	PlainOK   bool
+	RobustOK  bool
+	Dropped   int
+	Elapsed   time.Duration
+}
+
+// RunRobustness corrupts one explanation per example-set (using the
+// simulated-user error machinery) and reports whether plain and robust
+// inference still recover the target's semantics.
+func RunRobustness(w *Workload, opts core.Options, nExplanations int, seed int64) ([]RobustnessRow, error) {
+	ev := w.Evaluator()
+	modes := []feedback.ErrorMode{feedback.WrongRelation, feedback.IncompleteExplanation}
+	var out []RobustnessRow
+	for _, bq := range w.Queries {
+		for _, mode := range modes {
+			rng := rand.New(rand.NewSource(seed))
+			user := &feedback.SimulatedUser{Ev: ev, Target: bq.Query, Rng: rng}
+			exs, err := user.FormulateExamples(nExplanations, mode)
+			if err != nil {
+				return nil, err
+			}
+			row := RobustnessRow{Workload: w.Name, Query: bq.Name, ErrorMode: mode}
+			start := time.Now()
+
+			plain, _, err := core.InferTopK(exs, opts)
+			if err != nil {
+				return nil, err
+			}
+			row.PlainOK, err = anyEquivalent(ev, plain, bq, exs)
+			if err != nil {
+				return nil, err
+			}
+
+			robust, dropped, _, err := core.InferRobust(exs, opts, core.DefaultOutlierOptions())
+			if err != nil {
+				return nil, err
+			}
+			row.Dropped = len(dropped)
+			row.RobustOK, err = anyEquivalent(ev, robust, bq, exs)
+			if err != nil {
+				return nil, err
+			}
+			row.Elapsed = time.Since(start)
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// anyEquivalent reports whether any candidate (as inferred, with inferred
+// disequalities, or after one relaxation) matches the target's semantics.
+func anyEquivalent(ev *eval.Evaluator, cands []core.Candidate, bq workload.BenchQuery, exs provenance.ExampleSet) (bool, error) {
+	want, err := ev.Results(bq.Query)
+	if err != nil {
+		return false, err
+	}
+	for _, c := range cands {
+		withD, err := core.WithDiseqsUnion(c.Query, exs)
+		if err != nil {
+			return false, err
+		}
+		eq, err := resultsMatch(ev, withD, want)
+		if err != nil {
+			return false, err
+		}
+		if !eq {
+			eq, err = resultsMatch(ev, c.Query, want)
+			if err != nil {
+				return false, err
+			}
+		}
+		if !eq {
+			eq, err = equalAfterSingleRelaxation(ev, withD, want)
+			if err != nil {
+				return false, err
+			}
+		}
+		if eq {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// RenderRobustness renders the comparison table.
+func RenderRobustness(rows []RobustnessRow, csv bool) string {
+	header := []string{"workload", "query", "error-mode", "plain-ok", "robust-ok", "dropped", "time"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload, r.Query, r.ErrorMode.String(),
+			fmt.Sprintf("%v", r.PlainOK), fmt.Sprintf("%v", r.RobustOK),
+			fmt.Sprintf("%d", r.Dropped), fmtDur(r.Elapsed),
+		})
+	}
+	if csv {
+		return CSV(header, cells)
+	}
+	return Table(header, cells)
+}

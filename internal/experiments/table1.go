@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"questpro/internal/core"
+	"questpro/internal/feedback"
+	"questpro/internal/query"
+	"questpro/internal/workload/sampling"
+)
+
+// TableIRow is one row of the regenerated Table I: the query text plus an
+// automatic inference check (simulated exact user, no error mode).
+type TableIRow struct {
+	Name         string
+	Description  string
+	SPARQL       string
+	Results      int
+	Inferred     bool
+	Explanations int
+	Elapsed      time.Duration
+}
+
+// RunTableI regenerates Table I over the DBpedia-movies workload: each of
+// the ten queries is listed with its description and checked end-to-end —
+// examples sampled as a correct user would give them, top-k inference, and
+// semantic comparison, growing the example-set until success or the budget
+// runs out.
+func RunTableI(w *Workload, opts core.Options, maxExplanations int, seed int64) ([]TableIRow, error) {
+	ev := w.Evaluator()
+	var out []TableIRow
+	for _, bq := range w.Queries {
+		row := TableIRow{
+			Name:        bq.Name,
+			Description: bq.Description,
+			SPARQL:      bq.Query.SPARQL(),
+		}
+		rs, err := ev.Results(bq.Query)
+		if err != nil {
+			return nil, err
+		}
+		row.Results = len(rs)
+		rng := rand.New(rand.NewSource(seed))
+		for n := 2; n <= maxExplanations && n <= len(rs); n++ {
+			res, err := inferOnce(ev, bq, n, opts, rng)
+			if err != nil {
+				return nil, err
+			}
+			row.Elapsed += res.Elapsed
+			if res.MatchIndex >= 0 {
+				row.Inferred = true
+				row.Explanations = n
+				break
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FeedbackReport is one row of the feedback-convergence experiment (E9):
+// how many questions Algorithm 3 needed to isolate a query with the
+// target's semantics from the top-k candidates.
+type FeedbackReport struct {
+	Workload   string
+	Query      string
+	Candidates int
+	Questions  int
+	Success    bool
+	Elapsed    time.Duration
+}
+
+// RunFeedbackConvergence reproduces the Section V workflow per benchmark
+// query: sample explanations, infer top-k candidates, run the feedback loop
+// with an exact oracle, and check the chosen query's semantics.
+func RunFeedbackConvergence(w *Workload, opts core.Options, nExplanations int, seed int64) ([]FeedbackReport, error) {
+	ev := w.Evaluator()
+	var out []FeedbackReport
+	for _, bq := range w.Queries {
+		rng := rand.New(rand.NewSource(seed))
+		start := time.Now()
+		res, err := inferOnce(ev, bq, nExplanations, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		report := FeedbackReport{Workload: w.Name, Query: bq.Name, Candidates: len(res.Candidates)}
+		if len(res.Candidates) > 0 {
+			unions := make([]*query.Union, len(res.Candidates))
+			for i, c := range res.Candidates {
+				unions[i] = c.Query
+			}
+			s := sampling.New(ev, bq.Query, rng)
+			rs, err := s.Results()
+			if err != nil {
+				return nil, err
+			}
+			n := nExplanations
+			if n > len(rs) {
+				n = len(rs) // reproduction needs at most one per result
+			}
+			exs, err := s.ExampleSet(n)
+			if err != nil {
+				return nil, err
+			}
+			session := &feedback.Session{
+				Ev:           ev,
+				Oracle:       &feedback.ExactOracle{Ev: ev, Target: bq.Query},
+				Ex:           exs,
+				MaxQuestions: 12,
+			}
+			idx, tr, err := session.ChooseQuery(unions)
+			if err != nil {
+				return nil, err
+			}
+			report.Questions = len(tr.Questions)
+			eq, err := equalResults(ev, unions[idx], bq.Query)
+			if err != nil {
+				return nil, err
+			}
+			if !eq {
+				withD, err := core.WithDiseqsUnion(unions[idx], exs)
+				if err != nil {
+					return nil, err
+				}
+				// Section V's final step: relax disequalities interactively.
+				if withD.Size() == 1 && withD.Branch(0).NumDiseqs() > 0 {
+					refined, tr2, err := session.RefineDiseqs(withD.Branch(0))
+					if err != nil {
+						return nil, err
+					}
+					report.Questions += len(tr2.Questions)
+					withD = query.NewUnion(refined)
+				}
+				eq, err = equalResults(ev, withD, bq.Query)
+				if err != nil {
+					return nil, err
+				}
+			}
+			report.Success = eq
+		}
+		report.Elapsed = time.Since(start)
+		out = append(out, report)
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/feedback"
+	"questpro/internal/query"
+	"questpro/internal/workload"
+)
+
+// Outcome classifies one simulated interaction (the Figure 8 categories).
+type Outcome int
+
+const (
+	// Success: the interaction produced a query with the target semantics.
+	Success Outcome = iota
+	// RedoSuccess: the first attempt failed, the user restarted and the
+	// second attempt succeeded (Figure 8's green bars).
+	RedoSuccess
+	// Failure: the interaction did not produce the intended query.
+	Failure
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "success"
+	case RedoSuccess:
+		return "redo-success"
+	case Failure:
+		return "failure"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Interaction records one simulated query-formulation attempt.
+type Interaction struct {
+	User      int
+	Query     string
+	ErrorMode feedback.ErrorMode
+	Outcome   Outcome
+	Questions int
+	Elapsed   time.Duration
+}
+
+// StudyConfig parameterizes the simulated user study (E8 / Figure 8).
+type StudyConfig struct {
+	Users            int     // the paper had 9
+	BasicPerUser     int     // queries chosen from 1-5 (paper: 2)
+	ChallengePerUser int     // queries chosen from 6-10 (paper: 2)
+	Examples         int     // explanations formulated per interaction
+	ErrorRate        float64 // probability an interaction commits an error
+	Seed             int64
+}
+
+// DefaultStudyConfig mirrors the paper's protocol: 9 users, 2 basic + 2
+// challenging queries each (36 interactions), with an error rate chosen so
+// the aggregate outcome counts resemble Figure 8.
+func DefaultStudyConfig() StudyConfig {
+	return StudyConfig{
+		Users:            9,
+		BasicPerUser:     2,
+		ChallengePerUser: 2,
+		Examples:         3,
+		ErrorRate:        0.17,
+		Seed:             15,
+	}
+}
+
+// errorModes are the mistake types a simulated user can commit, weighted
+// uniformly once an error happens.
+var errorModes = []feedback.ErrorMode{
+	feedback.IncompleteExplanation,
+	feedback.WrongRelation,
+	feedback.ForgottenExplanation,
+	feedback.OverSpecific,
+	feedback.UIConfusion,
+}
+
+// RunUserStudy reproduces experiment E8 (Figure 8): simulated users
+// formulate examples and explanations for Table I queries — sometimes
+// committing one of the observed error modes — the system infers top-k
+// candidates, the feedback loop picks one, and the outcome is judged by
+// extensional equivalence with the target. Recoverable first failures are
+// redone once without the error (the paper's redo interactions).
+func RunUserStudy(w *Workload, opts core.Options, cfg StudyConfig) ([]Interaction, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ev := w.Evaluator()
+	basic, challenge := splitCatalog(w.Queries)
+	var out []Interaction
+
+	for user := 0; user < cfg.Users; user++ {
+		chosen := append(
+			pick(rng, basic, cfg.BasicPerUser),
+			pick(rng, challenge, cfg.ChallengePerUser)...)
+		for _, bq := range chosen {
+			mode := feedback.NoError
+			if rng.Float64() < cfg.ErrorRate {
+				mode = errorModes[rng.Intn(len(errorModes))]
+			}
+			it := Interaction{User: user, Query: bq.Name, ErrorMode: mode}
+			start := time.Now()
+
+			ok, questions, err := runInteraction(w, ev, bq, opts, cfg.Examples, mode, rng)
+			if err != nil {
+				return nil, err
+			}
+			it.Questions = questions
+			switch {
+			case ok && mode == feedback.UIConfusion:
+				// The user restarted before completing the flow; the retry
+				// (same data, no confusion) is what succeeded.
+				it.Outcome = RedoSuccess
+			case ok:
+				it.Outcome = Success
+			default:
+				// Half the failed users redo the interaction carefully (the
+				// paper's redone-and-successful interactions); the rest do
+				// not recover — they misunderstood the query or the UI.
+				if rng.Float64() < 0.5 {
+					ok2, q2, err := runInteraction(w, ev, bq, opts, cfg.Examples, feedback.NoError, rng)
+					if err != nil {
+						return nil, err
+					}
+					it.Questions += q2
+					if ok2 {
+						it.Outcome = RedoSuccess
+					} else {
+						it.Outcome = Failure
+					}
+				} else {
+					it.Outcome = Failure
+				}
+			}
+			it.Elapsed = time.Since(start)
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+// runInteraction performs one formulate -> infer -> feedback cycle and
+// reports whether the chosen query has the target's semantics. A user in
+// an error mode is also confused when answering feedback questions — the
+// mistakes the paper observed were misunderstandings of the query or the
+// UI, not slips limited to the formulation step.
+func runInteraction(w *Workload, ev *eval.Evaluator, bq workload.BenchQuery, opts core.Options, nExamples int, mode feedback.ErrorMode, rng *rand.Rand) (bool, int, error) {
+	user := &feedback.SimulatedUser{Ev: ev, Target: bq.Query, Rng: rng}
+	if mode != feedback.NoError {
+		user.Confusion = 0.5
+	}
+	exs, err := user.FormulateExamples(nExamples, mode)
+	if err != nil {
+		return false, 0, err
+	}
+	cands, _, err := core.InferTopK(exs, opts)
+	if err != nil {
+		return false, 0, err
+	}
+	if len(cands) == 0 {
+		return false, 0, nil
+	}
+	unions := make([]*query.Union, len(cands))
+	for i, c := range cands {
+		unions[i] = c.Query
+	}
+	session := &feedback.Session{Ev: ev, Oracle: user, Ex: exs, MaxQuestions: 12}
+	idx, tr, err := session.ChooseQuery(unions)
+	if err != nil {
+		return false, 0, err
+	}
+	questions := len(tr.Questions)
+	chosen, err := core.WithDiseqsUnion(unions[idx], exs)
+	if err != nil {
+		return false, 0, err
+	}
+	// Section V's final step: relax the inferred disequalities through the
+	// user (the paper's fix for "incorrect disequalities").
+	if chosen.Size() == 1 && chosen.Branch(0).NumDiseqs() > 0 {
+		refined, tr2, err := session.RefineDiseqs(chosen.Branch(0))
+		if err != nil {
+			return false, 0, err
+		}
+		questions += len(tr2.Questions)
+		chosen = query.NewUnion(refined)
+	}
+	eq, err := equalResults(ev, chosen, bq.Query)
+	if err != nil {
+		return false, 0, err
+	}
+	if !eq {
+		eq, err = equalResults(ev, unions[idx], bq.Query)
+		if err != nil {
+			return false, 0, err
+		}
+	}
+	return eq, questions, nil
+}
+
+// splitCatalog separates Table I into its basic (1-5) and challenging
+// (6-10) halves by catalog order.
+func splitCatalog(qs []workload.BenchQuery) (basic, challenge []workload.BenchQuery) {
+	mid := len(qs) / 2
+	return qs[:mid], qs[mid:]
+}
+
+// pick samples n distinct entries.
+func pick(rng *rand.Rand, qs []workload.BenchQuery, n int) []workload.BenchQuery {
+	if n > len(qs) {
+		n = len(qs)
+	}
+	idx := rng.Perm(len(qs))[:n]
+	out := make([]workload.BenchQuery, n)
+	for i, j := range idx {
+		out[i] = qs[j]
+	}
+	return out
+}
+
+// StudySummary aggregates interactions per query for the Figure 8 bars.
+type StudySummary struct {
+	Query                          string
+	Success, RedoSuccess, Failures int
+}
+
+// Summarize groups interactions by query in catalog order.
+func Summarize(w *Workload, interactions []Interaction) []StudySummary {
+	byName := map[string]*StudySummary{}
+	var order []string
+	for _, bq := range w.Queries {
+		byName[bq.Name] = &StudySummary{Query: bq.Name}
+		order = append(order, bq.Name)
+	}
+	for _, it := range interactions {
+		s := byName[it.Query]
+		if s == nil {
+			continue
+		}
+		switch it.Outcome {
+		case Success:
+			s.Success++
+		case RedoSuccess:
+			s.RedoSuccess++
+		case Failure:
+			s.Failures++
+		}
+	}
+	out := make([]StudySummary, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Package experiments regenerates the paper's evaluation artifacts
+// (Section VI): the explanations-to-infer summary, the top-k timing table,
+// the Figure 6 intermediate-query sweeps, Table I, the Figure 8 simulated
+// user study, and the feedback-convergence walkthrough. See DESIGN.md's
+// per-experiment index for the mapping to tables and figures.
+package experiments
+
+import (
+	"fmt"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/workload"
+	"questpro/internal/workload/bsbm"
+	"questpro/internal/workload/dbpedia"
+	"questpro/internal/workload/sp2b"
+)
+
+// Workload bundles a generated ontology with its benchmark query catalog.
+type Workload struct {
+	Name     string
+	Ontology *graph.Graph
+	Queries  []workload.BenchQuery
+}
+
+// ExperimentMaxSteps caps per-evaluation backtracking work in the
+// experiment harness: hopeless candidate queries fail fast instead of
+// burning the evaluator's much larger default budget, while every genuine
+// benchmark evaluation stays far below the cap.
+const ExperimentMaxSteps = 10_000_000
+
+// Evaluator returns a fresh evaluator over the workload's ontology with the
+// experiment step budget.
+func (w *Workload) Evaluator() *eval.Evaluator {
+	ev := eval.New(w.Ontology)
+	ev.MaxSteps = ExperimentMaxSteps
+	return ev
+}
+
+// Scale shrinks or grows the default generator configs; 1.0 is the default
+// laptop scale used by tests, larger factors are used by benchmarks.
+func scaled(base int, factor float64) int {
+	v := int(float64(base) * factor)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// LoadSP2B generates the SP²B-style workload at the given scale factor.
+func LoadSP2B(factor float64) (*Workload, error) {
+	cfg := sp2b.DefaultConfig()
+	cfg.Persons = scaled(cfg.Persons, factor)
+	cfg.Articles = scaled(cfg.Articles, factor)
+	cfg.Inproceedings = scaled(cfg.Inproceedings, factor)
+	cfg.Journals = scaled(cfg.Journals, factor)
+	cfg.Proceedings = scaled(cfg.Proceedings, factor)
+	g, err := sp2b.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: "sp2b", Ontology: g, Queries: sp2b.Queries()}, nil
+}
+
+// LoadBSBM generates the BSBM-style workload at the given scale factor.
+func LoadBSBM(factor float64) (*Workload, error) {
+	cfg := bsbm.DefaultConfig()
+	cfg.Products = scaled(cfg.Products, factor)
+	cfg.Producers = scaled(cfg.Producers, factor)
+	cfg.Features = scaled(cfg.Features, factor)
+	cfg.Types = scaled(cfg.Types, factor)
+	cfg.Vendors = scaled(cfg.Vendors, factor)
+	cfg.Reviewers = scaled(cfg.Reviewers, factor)
+	g, err := bsbm.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: "bsbm", Ontology: g, Queries: bsbm.Queries()}, nil
+}
+
+// LoadDBpedia generates the DBpedia-movies workload at the given scale.
+func LoadDBpedia(factor float64) (*Workload, error) {
+	cfg := dbpedia.DefaultConfig()
+	cfg.Films = scaled(cfg.Films, factor)
+	cfg.Directors = scaled(cfg.Directors, factor)
+	cfg.Actors = scaled(cfg.Actors, factor)
+	g, err := dbpedia.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: "dbpedia", Ontology: g, Queries: dbpedia.Queries()}, nil
+}
+
+// Load resolves a workload by name at the given scale.
+func Load(name string, factor float64) (*Workload, error) {
+	switch name {
+	case "sp2b":
+		return LoadSP2B(factor)
+	case "bsbm":
+		return LoadBSBM(factor)
+	case "dbpedia":
+		return LoadDBpedia(factor)
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+}

@@ -1,0 +1,120 @@
+package feedback
+
+import (
+	"fmt"
+
+	"questpro/internal/query"
+)
+
+// RefineDiseqs implements the disequality-relaxation dialogue at the end of
+// Section V. Starting from the chosen pattern with all d inferred
+// disequalities, it repeatedly offers to drop constraints: Q_j carries the
+// current constraint set, Q_i the set with some non-approved constraints
+// removed, and the user is shown a result of Q_i − Q_j. A "yes" (the extra
+// results are wanted) commits the removal; a "no" marks every removed
+// constraint as approved — it stays in the final query and is never asked
+// about again (the paper's memoization). When single removals cannot be
+// distinguished, pairs are tried, then triples, and so on.
+func (s *Session) RefineDiseqs(q *query.Simple) (*query.Simple, *Transcript, error) {
+	if q == nil {
+		return nil, nil, fmt.Errorf("feedback: nil query")
+	}
+	tr := &Transcript{}
+	current := append([]query.Diseq(nil), q.Diseqs()...)
+	approved := map[query.Diseq]bool{}
+
+	for {
+		if s.MaxQuestions > 0 && len(tr.Questions) >= s.MaxQuestions {
+			break
+		}
+		removable := removableDiseqs(current, approved)
+		if len(removable) == 0 {
+			break
+		}
+		progressed := false
+		// Try dropping 1, 2, ... constraints at a time.
+	sizes:
+		for size := 1; size <= len(removable); size++ {
+			for _, drop := range combinations(removable, size) {
+				if s.MaxQuestions > 0 && len(tr.Questions) >= s.MaxQuestions {
+					break sizes
+				}
+				relaxed := without(current, drop)
+				qi := query.NewUnion(q.WithDiseqs(relaxed))
+				qj := query.NewUnion(q.WithDiseqs(current))
+				diff, err := s.Ev.Difference(qi, qj)
+				if err != nil {
+					return nil, nil, err
+				}
+				if len(diff) == 0 {
+					continue
+				}
+				res, err := s.Ev.BindAndExplain(qi, diff[0])
+				if err != nil {
+					return nil, nil, err
+				}
+				ans, err := s.Oracle.ShouldInclude(res)
+				if err != nil {
+					return nil, nil, err
+				}
+				tr.Questions = append(tr.Questions, Question{Result: res.Value, Answer: ans})
+				if ans {
+					current = relaxed
+				} else {
+					for _, d := range drop {
+						approved[d] = true
+					}
+				}
+				progressed = true
+				break sizes
+			}
+		}
+		if !progressed {
+			break // every relaxation is extensionally invisible
+		}
+	}
+	return q.WithDiseqs(current), tr, nil
+}
+
+// removableDiseqs lists the constraints that are still up for relaxation.
+func removableDiseqs(current []query.Diseq, approved map[query.Diseq]bool) []query.Diseq {
+	var out []query.Diseq
+	for _, d := range current {
+		if !approved[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// without returns current minus the dropped constraints.
+func without(current, drop []query.Diseq) []query.Diseq {
+	skip := map[query.Diseq]bool{}
+	for _, d := range drop {
+		skip[d] = true
+	}
+	var out []query.Diseq
+	for _, d := range current {
+		if !skip[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// combinations enumerates all size-k subsets in deterministic order.
+func combinations(xs []query.Diseq, k int) [][]query.Diseq {
+	var out [][]query.Diseq
+	var rec func(start int, acc []query.Diseq)
+	rec = func(start int, acc []query.Diseq) {
+		if len(acc) == k {
+			out = append(out, append([]query.Diseq(nil), acc...))
+			return
+		}
+		for i := start; i < len(xs); i++ {
+			rec(i+1, append(acc, xs[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}

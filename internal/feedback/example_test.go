@@ -1,0 +1,40 @@
+package feedback_test
+
+import (
+	"fmt"
+	"log"
+
+	"questpro/internal/eval"
+	"questpro/internal/feedback"
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+)
+
+// ExampleSession_ChooseQuery replays the elimination step of Example 5.5:
+// between the broad chain query Q1 and the intended Union(Q3, Q4), one
+// provenance question settles it.
+func ExampleSession_ChooseQuery() {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	target := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+
+	session := &feedback.Session{
+		Ev:     ev,
+		Oracle: &feedback.ExactOracle{Ev: ev, Target: target},
+		Ex:     paperfix.Explanations(o),
+	}
+	candidates := []*query.Union{
+		query.NewUnion(paperfix.Q1()), // broader: any Erdős-number-3-ish chain
+		target,
+	}
+	idx, tr, err := session.ChooseQuery(candidates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := tr.Questions[0]
+	fmt.Printf("asked about %s, answer %v\n", q.Result, q.Answer)
+	fmt.Printf("chose candidate %d after %d question(s)\n", idx, len(tr.Questions))
+	// Output:
+	// asked about Nina, answer false
+	// chose candidate 1 after 1 question(s)
+}

@@ -1,0 +1,166 @@
+// Package feedback implements Section V of the paper: choosing a single
+// query out of a set of candidates by asking a user about results of
+// difference queries together with their provenance (Algorithm 3), and the
+// follow-up interactive relaxation of disequality constraints.
+package feedback
+
+import (
+	"errors"
+	"fmt"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// Oracle abstracts the user: given a result of a difference query and its
+// provenance with respect to the candidate that produced it, should the
+// result (with that rationale) be part of the intended query's output?
+type Oracle interface {
+	ShouldInclude(res *eval.ResultWithProvenance) (bool, error)
+}
+
+// ExactOracle answers membership questions according to a known target
+// query — the synthetic stand-in for the paper's proficient users.
+type ExactOracle struct {
+	Ev     *eval.Evaluator
+	Target *query.Union
+}
+
+// ShouldInclude reports whether the value is a result of the target query.
+func (o *ExactOracle) ShouldInclude(res *eval.ResultWithProvenance) (bool, error) {
+	return o.Ev.HasResultValue(o.Target, res.Value)
+}
+
+// Question records one interaction of the feedback loop.
+type Question struct {
+	Kept, Dropped int // candidate indexes (into the original slice)
+	Result        string
+	Answer        bool
+}
+
+// Transcript is the full record of a feedback session.
+type Transcript struct {
+	Questions []Question
+	// Undistinguished lists candidate index pairs whose difference queries
+	// were empty in both directions (extensionally equivalent candidates).
+	Undistinguished [][2]int
+}
+
+// Session drives the feedback loop over a fixed ontology.
+type Session struct {
+	Ev     *eval.Evaluator
+	Oracle Oracle
+	// Ex is the example-set used to derive each candidate's Q^all form.
+	Ex provenance.ExampleSet
+	// MaxQuestions bounds the number of oracle questions (0 = no bound).
+	MaxQuestions int
+}
+
+// ChooseQuery implements Algorithm 3: it repeatedly takes a pair of
+// remaining candidates, evaluates the difference Q_i^all − Q_j^no (the
+// disequality-asymmetric form of Section V that lets one answer disqualify
+// every form of the losing query), shows the oracle a sample result bound
+// to Q_i^all with its provenance, and eliminates the refuted candidate.
+// Pairs that cannot be distinguished in either direction leave the
+// lower-indexed candidate in place. The returned index refers to the input
+// slice.
+func (s *Session) ChooseQuery(cands []*query.Union) (int, *Transcript, error) {
+	if len(cands) == 0 {
+		return -1, nil, fmt.Errorf("feedback: no candidates")
+	}
+	tr := &Transcript{}
+	remaining := make([]int, len(cands))
+	for i := range cands {
+		remaining[i] = i
+	}
+	// Precompute the Q^all form of every candidate.
+	all := make([]*query.Union, len(cands))
+	for i, c := range cands {
+		a, err := core.WithDiseqsUnion(c, s.Ex)
+		if err != nil {
+			return -1, nil, err
+		}
+		all[i] = a
+	}
+
+	for len(remaining) > 1 {
+		if s.MaxQuestions > 0 && len(tr.Questions) >= s.MaxQuestions {
+			break
+		}
+		i, j := remaining[0], remaining[1]
+		verdict, q, err := s.distinguish(all[i], cands[j].WithoutDiseqs(), i, j)
+		if err != nil {
+			return -1, nil, err
+		}
+		if verdict == verdictUndecided {
+			// Try the reversed difference (Example 5.5's second step).
+			verdict, q, err = s.distinguish(all[j], cands[i].WithoutDiseqs(), j, i)
+			if err != nil {
+				return -1, nil, err
+			}
+		}
+		switch verdict {
+		case verdictUndecided:
+			// Extensionally equivalent: keep the first, drop the second.
+			tr.Undistinguished = append(tr.Undistinguished, [2]int{i, j})
+			remaining = removeValue(remaining, j)
+		default:
+			tr.Questions = append(tr.Questions, *q)
+			remaining = removeValue(remaining, q.Dropped)
+		}
+	}
+	return remaining[0], tr, nil
+}
+
+type verdict int
+
+const (
+	verdictUndecided verdict = iota
+	verdictDecided
+)
+
+// distinguish runs one difference question: candidate `keep` (its Q^all
+// form) against candidate `drop` (its Q^no form). It returns
+// verdictUndecided when the difference is empty, or when evaluating it
+// exhausts the search budget (a hopelessly unselective candidate cannot be
+// used to pose a question).
+func (s *Session) distinguish(keepAll, dropNo *query.Union, keepIdx, dropIdx int) (verdict, *Question, error) {
+	diff, err := s.Ev.Difference(keepAll, dropNo)
+	if errors.Is(err, eval.ErrBudget) {
+		return verdictUndecided, nil, nil
+	}
+	if err != nil {
+		return verdictUndecided, nil, err
+	}
+	if len(diff) == 0 {
+		return verdictUndecided, nil, nil
+	}
+	// SampleRand of Algorithm 3, made deterministic: take the first result.
+	res, err := s.Ev.BindAndExplain(keepAll, diff[0])
+	if err != nil {
+		return verdictUndecided, nil, err
+	}
+	ans, err := s.Oracle.ShouldInclude(res)
+	if err != nil {
+		return verdictUndecided, nil, err
+	}
+	q := &Question{Result: res.Value, Answer: ans}
+	if ans {
+		q.Kept, q.Dropped = keepIdx, dropIdx
+	} else {
+		q.Kept, q.Dropped = dropIdx, keepIdx
+	}
+	return verdictDecided, q, nil
+}
+
+func removeValue(xs []int, v int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package feedback_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/feedback"
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+)
+
+// session builds a feedback session over the running example with an exact
+// oracle for the given target.
+func session(t *testing.T, target *query.Union) (*feedback.Session, *eval.Evaluator) {
+	t.Helper()
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	return &feedback.Session{
+		Ev:     ev,
+		Oracle: &feedback.ExactOracle{Ev: ev, Target: target},
+		Ex:     paperfix.Explanations(o),
+	}, ev
+}
+
+// Example 5.5: with the intended query Union(Q3, Q4), the feedback loop
+// must discard Q1 (its extra results, e.g. William, are refused) and keep
+// the union.
+func TestChooseQueryPrefersTarget(t *testing.T) {
+	target := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	s, _ := session(t, target)
+	cands := []*query.Union{
+		query.NewUnion(paperfix.Q1()),
+		target,
+	}
+	idx, tr, err := s.ChooseQuery(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("chose candidate %d, want 1 (the target)", idx)
+	}
+	if len(tr.Questions) == 0 {
+		t.Fatal("no questions were asked")
+	}
+	q := tr.Questions[0]
+	if q.Answer {
+		t.Fatalf("oracle accepted %q, which is not a target result", q.Result)
+	}
+	if q.Dropped != 0 {
+		t.Fatalf("question dropped candidate %d, want 0", q.Dropped)
+	}
+}
+
+// With the intended query Q1, the same candidate pair resolves the other way.
+func TestChooseQueryOtherDirection(t *testing.T) {
+	target := query.NewUnion(paperfix.Q1())
+	s, _ := session(t, target)
+	cands := []*query.Union{
+		query.NewUnion(paperfix.Q1()),
+		query.NewUnion(paperfix.Q3(), paperfix.Q4()),
+	}
+	idx, tr, err := s.ChooseQuery(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("chose candidate %d, want 0", idx)
+	}
+	if len(tr.Questions) != 1 || !tr.Questions[0].Answer {
+		t.Fatalf("transcript = %+v", tr)
+	}
+}
+
+// Three candidates shrink to one with at most two questions.
+func TestChooseQueryThreeCandidates(t *testing.T) {
+	target := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	s, _ := session(t, target)
+	ge := func(i int) *query.Simple {
+		exs := s.Ex
+		q, err := query.FromExplanation(exs[i].Graph, exs[i].Distinguished)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	cands := []*query.Union{
+		query.NewUnion(paperfix.Q1()),
+		query.NewUnion(paperfix.Q3(), paperfix.Q4()),
+		query.NewUnion(paperfix.Q4(), ge(0), ge(2)),
+	}
+	idx, tr, err := s.ChooseQuery(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Questions) > 2 {
+		t.Fatalf("asked %d questions for 3 candidates", len(tr.Questions))
+	}
+	// The chosen query must be extensionally correct.
+	got, err := s.Ev.Results(cands[idx])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Ev.Results(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chosen candidate %d returns %v, target returns %v", idx, got, want)
+	}
+}
+
+// Indistinguishable candidates (equal result sets in both directions) are
+// collapsed without questions.
+func TestChooseQueryUndistinguished(t *testing.T) {
+	target := query.NewUnion(paperfix.Q1())
+	s, _ := session(t, target)
+	cands := []*query.Union{
+		query.NewUnion(paperfix.Q1()),
+		query.NewUnion(paperfix.Q1().Clone()),
+	}
+	idx, tr, err := s.ChooseQuery(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 || len(tr.Questions) != 0 || len(tr.Undistinguished) != 1 {
+		t.Fatalf("idx=%d transcript=%+v", idx, tr)
+	}
+}
+
+func TestChooseQueryEmpty(t *testing.T) {
+	s, _ := session(t, query.NewUnion(paperfix.Q1()))
+	if _, _, err := s.ChooseQuery(nil); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+}
+
+func TestChooseQueryMaxQuestions(t *testing.T) {
+	target := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	s, _ := session(t, target)
+	s.MaxQuestions = 1
+	cands := []*query.Union{
+		query.NewUnion(paperfix.Q1()),
+		query.NewUnion(paperfix.Q3()),
+		query.NewUnion(paperfix.Q4()),
+	}
+	_, tr, err := s.ChooseQuery(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Questions) > 1 {
+		t.Fatalf("asked %d questions despite MaxQuestions=1", len(tr.Questions))
+	}
+}
+
+// buildDiseqProbe returns "authors of paper1" with the diseq ?x != Bob.
+func buildDiseqProbe(t *testing.T) *query.Simple {
+	t.Helper()
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Const("paper1"), "Paper")
+	x := q.MustEnsureNode(query.Var("x"), "Author")
+	q.MustAddEdge(p, x, "wb")
+	if err := q.SetProjected(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddDiseqValue(x, "Bob"); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// If the user wants Bob among the results, the relaxation dialogue drops
+// the diseq; if not, the diseq is approved and kept.
+func TestRefineDiseqs(t *testing.T) {
+	// Target includes Bob: authors of paper1 without constraints.
+	wantBob := query.NewSimple()
+	p := wantBob.MustEnsureNode(query.Const("paper1"), "Paper")
+	x := wantBob.MustEnsureNode(query.Var("x"), "Author")
+	wantBob.MustAddEdge(p, x, "wb")
+	wantBob.SetProjected(x)
+
+	s, _ := session(t, query.NewUnion(wantBob))
+	out, tr, err := s.RefineDiseqs(buildDiseqProbe(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDiseqs() != 0 {
+		t.Fatalf("diseq kept against user intent: %v", out.Diseqs())
+	}
+	if len(tr.Questions) != 1 || !tr.Questions[0].Answer || tr.Questions[0].Result != "Bob" {
+		t.Fatalf("transcript = %+v", tr)
+	}
+
+	// Target excludes Bob: the probe itself.
+	s2, _ := session(t, query.NewUnion(buildDiseqProbe(t)))
+	out2, tr2, err := s2.RefineDiseqs(buildDiseqProbe(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.NumDiseqs() != 1 {
+		t.Fatalf("diseq dropped against user intent: %v", out2.Diseqs())
+	}
+	if len(tr2.Questions) != 1 || tr2.Questions[0].Answer {
+		t.Fatalf("transcript = %+v", tr2)
+	}
+}
+
+func TestRefineDiseqsNoConstraints(t *testing.T) {
+	s, _ := session(t, query.NewUnion(paperfix.Q1()))
+	out, tr, err := s.RefineDiseqs(paperfix.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDiseqs() != 0 || len(tr.Questions) != 0 {
+		t.Fatalf("out=%v tr=%+v", out.Diseqs(), tr)
+	}
+}
+
+func TestSimulatedUserModes(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	target := query.NewUnion(paperfix.Q3())
+	for _, mode := range []feedback.ErrorMode{
+		feedback.NoError, feedback.IncompleteExplanation, feedback.WrongRelation,
+		feedback.ForgottenExplanation, feedback.OverSpecific, feedback.UIConfusion,
+	} {
+		u := &feedback.SimulatedUser{Ev: ev, Target: target, Rng: rand.New(rand.NewSource(11))}
+		exs, err := u.FormulateExamples(3, mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if err := exs.Validate(); err != nil {
+			t.Fatalf("%s produced invalid example-set: %v", mode, err)
+		}
+		switch mode {
+		case feedback.ForgottenExplanation:
+			if len(exs) != 2 {
+				t.Fatalf("forgotten mode gave %d explanations", len(exs))
+			}
+		default:
+			if len(exs) != 3 {
+				t.Fatalf("%s gave %d explanations", mode, len(exs))
+			}
+		}
+		if mode.String() == "" {
+			t.Fatal("empty mode name")
+		}
+	}
+	if feedback.ErrorMode(99).String() == "" {
+		t.Fatal("unknown mode has empty name")
+	}
+}
+
+// End-to-end pipeline on the running example: a correct simulated user
+// formulating explanations for Q3, inference producing top-k candidates,
+// and the feedback loop choosing a query extensionally equivalent to the
+// target — the paper's headline workflow.
+func TestEndToEndPipeline(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	target := query.NewUnion(paperfix.Q3())
+	u := &feedback.SimulatedUser{Ev: ev, Target: target, Rng: rand.New(rand.NewSource(3))}
+
+	exs, err := u.FormulateExamples(2, feedback.NoError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	cands, _, err := core.InferTopK(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates inferred")
+	}
+	unions := make([]*query.Union, len(cands))
+	for i, c := range cands {
+		unions[i] = c.Query
+	}
+	s := &feedback.Session{Ev: ev, Oracle: u, Ex: exs}
+	idx, _, err := s.ChooseQuery(unions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Results(unions[idx])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ev.Results(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen query must at least reproduce the examples; with the small
+	// running example the full result set should match.
+	for _, e := range exs {
+		if !containsStr(got, e.DistinguishedValue()) {
+			t.Fatalf("chosen query misses example %s", e.DistinguishedValue())
+		}
+	}
+	t.Logf("target results: %v", want)
+	t.Logf("chosen results: %v", got)
+	t.Logf("chosen query:\n%s", unions[idx].SPARQL())
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// The feedback loop must never eliminate the target when the oracle is
+// exact: whatever it returns has the target's result set.
+func TestFeedbackNeverEliminatesTarget(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	exs := paperfix.Explanations(o)
+	target := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	for seed := int64(0); seed < 5; seed++ {
+		// Candidate order shuffled per seed.
+		cands := []*query.Union{
+			query.NewUnion(paperfix.Q1()),
+			query.NewUnion(paperfix.Q2()),
+			target,
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		s := &feedback.Session{Ev: ev, Oracle: &feedback.ExactOracle{Ev: ev, Target: target}, Ex: exs}
+		idx, _, err := s.ChooseQuery(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ev.Results(cands[idx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ev.Results(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: chose %v, want %v", seed, got, want)
+		}
+	}
+}

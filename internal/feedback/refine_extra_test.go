@@ -1,0 +1,158 @@
+package feedback_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/feedback"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+)
+
+// twoDiseqProbe is "authors of paper5" with ?x != Greg and ?x != Harry.
+func twoDiseqProbe(t *testing.T) *query.Simple {
+	t.Helper()
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Const("paper5"), "Paper")
+	x := q.MustEnsureNode(query.Var("x"), "Author")
+	q.MustAddEdge(p, x, "wb")
+	if err := q.SetProjected(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddDiseqValue(x, "Greg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddDiseqValue(x, "Harry"); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// The user wants exactly one of the two constraints lifted.
+func TestRefineDiseqsPartialRelaxation(t *testing.T) {
+	// Intended: authors of paper5 except Harry (so Greg is wanted back).
+	intended := query.NewSimple()
+	p := intended.MustEnsureNode(query.Const("paper5"), "Paper")
+	x := intended.MustEnsureNode(query.Var("x"), "Author")
+	intended.MustAddEdge(p, x, "wb")
+	intended.SetProjected(x)
+	if err := intended.AddDiseqValue(x, "Harry"); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ev := session(t, query.NewUnion(intended))
+	out, tr, err := s.RefineDiseqs(twoDiseqProbe(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumDiseqs() != 1 {
+		t.Fatalf("kept %d diseqs, want 1 (%v)", out.NumDiseqs(), out.Diseqs())
+	}
+	if out.Diseqs()[0].YValue != "Harry" {
+		t.Fatalf("kept %v, want the Harry constraint", out.Diseqs())
+	}
+	if len(tr.Questions) == 0 {
+		t.Fatal("no questions asked")
+	}
+	got, err := ev.Results(query.NewUnion(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ev.Results(query.NewUnion(intended))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("refined results %v, want %v", got, want)
+	}
+}
+
+// When single removals are invisible, the multi-removal fallback fires.
+func TestRefineDiseqsMultiRemoval(t *testing.T) {
+	// Ontology where two diseqs only matter jointly: one paper with authors
+	// a and b; ?x != a and ?x != b leave nothing, and removing only one
+	// still excludes... actually removing one single constraint is visible
+	// here, so build the invisible case: constraints on values that are not
+	// authors of the paper at all — removing any subset changes nothing.
+	o := graph.New()
+	o.MustAddTriple("paper", "wb", "a")
+	ev := eval.New(o)
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Const("paper"), "")
+	x := q.MustEnsureNode(query.Var("x"), "")
+	q.MustAddEdge(p, x, "wb")
+	q.SetProjected(x)
+	if err := q.AddDiseqValue(x, "ghost1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddDiseqValue(x, "ghost2"); err != nil {
+		t.Fatal(err)
+	}
+	s := &feedback.Session{
+		Ev:     ev,
+		Oracle: &feedback.ExactOracle{Ev: ev, Target: query.NewUnion(q)},
+	}
+	out, tr, err := s.RefineDiseqs(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every relaxation is extensionally invisible; no questions are asked
+	// and the constraints stay as given.
+	if len(tr.Questions) != 0 {
+		t.Fatalf("asked %d questions about invisible constraints", len(tr.Questions))
+	}
+	if out.NumDiseqs() != 2 {
+		t.Fatalf("constraints changed: %v", out.Diseqs())
+	}
+}
+
+func TestRefineDiseqsMaxQuestions(t *testing.T) {
+	wantAll := query.NewSimple()
+	p := wantAll.MustEnsureNode(query.Const("paper5"), "Paper")
+	x := wantAll.MustEnsureNode(query.Var("x"), "Author")
+	wantAll.MustAddEdge(p, x, "wb")
+	wantAll.SetProjected(x)
+
+	s, _ := session(t, query.NewUnion(wantAll))
+	s.MaxQuestions = 1
+	_, tr, err := s.RefineDiseqs(twoDiseqProbe(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Questions) > 1 {
+		t.Fatalf("asked %d questions despite MaxQuestions=1", len(tr.Questions))
+	}
+}
+
+func TestRefineDiseqsNilQuery(t *testing.T) {
+	s, _ := session(t, query.NewUnion(paperfix.Q1()))
+	if _, _, err := s.RefineDiseqs(nil); err == nil {
+		t.Fatal("nil query accepted")
+	}
+}
+
+// Confused users flip answers with the configured probability.
+func TestSimulatedUserConfusion(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	target := query.NewUnion(paperfix.Q3())
+	u := &feedback.SimulatedUser{Ev: ev, Target: target, Rng: rand.New(rand.NewSource(4)), Confusion: 1}
+	rp, err := ev.BindAndExplain(target, "Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := u.ShouldInclude(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans {
+		t.Fatal("fully confused user answered correctly")
+	}
+	u.Confusion = 0
+	ans, err = u.ShouldInclude(rp)
+	if err != nil || !ans {
+		t.Fatalf("careful user wrong: %v %v", ans, err)
+	}
+}

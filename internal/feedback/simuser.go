@@ -1,0 +1,218 @@
+package feedback
+
+import (
+	"fmt"
+	"math/rand"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+	"questpro/internal/workload/sampling"
+)
+
+// ErrorMode enumerates the user mistakes observed in the paper's user study
+// (Section VI-C, Figure 8 discussion).
+type ErrorMode int
+
+const (
+	// NoError: the user formulates correct examples and explanations.
+	NoError ErrorMode = iota
+	// IncompleteExplanation: the user forgets part of an explanation (the
+	// query-9 failure: an edge of the rationale is missing).
+	IncompleteExplanation
+	// WrongRelation: the user confuses the direction/relation in the
+	// ontology and selects a different edge than intended (the query-9
+	// arrow-direction failure).
+	WrongRelation
+	// ForgottenExplanation: the user forgets to input one explanation
+	// entirely (the query-6 failure).
+	ForgottenExplanation
+	// OverSpecific: every explanation shares identical parts, so the
+	// inferred query carries an extra constant (the Tarantino example).
+	OverSpecific
+	// UIConfusion: the user does not understand the UI and restarts (the
+	// query-3 redo).
+	UIConfusion
+)
+
+// String names the error mode.
+func (m ErrorMode) String() string {
+	switch m {
+	case NoError:
+		return "none"
+	case IncompleteExplanation:
+		return "incomplete-explanation"
+	case WrongRelation:
+		return "wrong-relation"
+	case ForgottenExplanation:
+		return "forgotten-explanation"
+	case OverSpecific:
+		return "over-specific"
+	case UIConfusion:
+		return "ui-confusion"
+	default:
+		return fmt.Sprintf("ErrorMode(%d)", int(m))
+	}
+}
+
+// SimulatedUser stands in for the paper's nine SPARQL-proficient users: it
+// formulates example-sets for a known target query — possibly committing
+// one of the observed error modes — and answers feedback questions by
+// target membership, except that a confused user (one who "did not fully
+// understand the query", the paper's query-6 failure) sometimes answers
+// wrongly.
+type SimulatedUser struct {
+	Ev     *eval.Evaluator
+	Target *query.Union
+	Rng    *rand.Rand
+	// Confusion is the probability of answering a feedback question
+	// incorrectly. Zero for a careful user.
+	Confusion float64
+}
+
+// ShouldInclude answers feedback questions by target membership, flipped
+// with probability Confusion.
+func (u *SimulatedUser) ShouldInclude(res *eval.ResultWithProvenance) (bool, error) {
+	ans, err := u.Ev.HasResultValue(u.Target, res.Value)
+	if err != nil {
+		return false, err
+	}
+	if u.Confusion > 0 && u.Rng.Float64() < u.Confusion {
+		return !ans, nil
+	}
+	return ans, nil
+}
+
+// FormulateExamples samples n explanations for the target query, injecting
+// the given error mode. UIConfusion yields a valid example-set (the error
+// shows up as a restarted interaction, not as bad data).
+func (u *SimulatedUser) FormulateExamples(n int, mode ErrorMode) (provenance.ExampleSet, error) {
+	s := sampling.New(u.Ev, u.Target, u.Rng)
+	switch mode {
+	case ForgottenExplanation:
+		if n > 2 {
+			n--
+		}
+		return s.ExampleSet(n)
+	case OverSpecific:
+		return u.overSpecificExamples(s, n)
+	case IncompleteExplanation, WrongRelation:
+		exs, err := s.ExampleSet(n)
+		if err != nil {
+			return nil, err
+		}
+		idx := u.Rng.Intn(len(exs))
+		broken, err := u.breakExplanation(exs[idx], mode)
+		if err != nil {
+			return nil, err
+		}
+		exs[idx] = broken
+		return exs, nil
+	default:
+		return s.ExampleSet(n)
+	}
+}
+
+// overSpecificExamples biases every explanation toward the first one's
+// provenance, maximizing shared constants.
+func (u *SimulatedUser) overSpecificExamples(s *sampling.Sampler, n int) (provenance.ExampleSet, error) {
+	rs, err := s.Results()
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) < n {
+		return nil, fmt.Errorf("feedback: target has %d results, need %d", len(rs), n)
+	}
+	picks := u.Rng.Perm(len(rs))[:n]
+	first, err := s.Explain(rs[picks[0]])
+	if err != nil {
+		return nil, err
+	}
+	out := provenance.ExampleSet{first}
+	for _, idx := range picks[1:] {
+		ex, err := s.ExplainSharing(rs[idx], first.Graph)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}
+
+// breakExplanation injects a structural mistake into one explanation.
+func (u *SimulatedUser) breakExplanation(ex provenance.Explanation, mode ErrorMode) (provenance.Explanation, error) {
+	g := ex.Graph
+	if g.NumEdges() < 2 {
+		return ex, nil // too small to break while keeping the example usable
+	}
+	switch mode {
+	case IncompleteExplanation:
+		// Drop one random edge (not the last remaining one).
+		drop := graph.EdgeID(u.Rng.Intn(g.NumEdges()))
+		var keep []graph.EdgeID
+		for _, e := range g.Edges() {
+			if e.ID != drop {
+				keep = append(keep, e.ID)
+			}
+		}
+		sub, err := g.Subgraph(keep, []graph.NodeID{ex.Distinguished})
+		if err != nil {
+			return provenance.Explanation{}, err
+		}
+		return provenance.NewByValue(sub, ex.DistinguishedValue())
+	case WrongRelation:
+		// Replace one random edge with a different ontology edge incident
+		// to the same endpoint — the user picked a neighboring relation.
+		o := u.Ev.Ontology()
+		victim := g.Edge(graph.EdgeID(u.Rng.Intn(g.NumEdges())))
+		fromVal := g.Node(victim.From).Value
+		oFrom, ok := o.NodeByValue(fromVal)
+		if !ok {
+			return ex, nil
+		}
+		var alternatives []graph.EdgeID
+		for _, eid := range o.OutEdges(oFrom.ID) {
+			oe := o.Edge(eid)
+			toVal := o.Node(oe.To).Value
+			if gn, ok := g.NodeByValue(toVal); ok && gn.ID == victim.To && oe.Label == victim.Label {
+				continue // the original edge
+			}
+			alternatives = append(alternatives, eid)
+		}
+		for _, eid := range o.InEdges(oFrom.ID) {
+			alternatives = append(alternatives, eid)
+		}
+		if len(alternatives) == 0 {
+			return ex, nil
+		}
+		alt := o.Edge(alternatives[u.Rng.Intn(len(alternatives))])
+		rebuilt := graph.New()
+		for _, e := range g.Edges() {
+			if e.ID == victim.ID {
+				continue
+			}
+			if _, err := rebuilt.AddTriple(g.Node(e.From).Value, e.Label, g.Node(e.To).Value); err != nil {
+				return provenance.Explanation{}, err
+			}
+		}
+		fv := o.Node(alt.From).Value
+		tv := o.Node(alt.To).Value
+		if f, okF := rebuilt.NodeByValue(fv); okF {
+			if t, okT := rebuilt.NodeByValue(tv); okT && rebuilt.HasEdgeTriple(f.ID, t.ID, alt.Label) {
+				return provenance.NewByValue(rebuilt, ex.DistinguishedValue())
+			}
+		}
+		if _, err := rebuilt.AddTriple(fv, alt.Label, tv); err != nil {
+			return provenance.Explanation{}, err
+		}
+		if _, ok := rebuilt.NodeByValue(ex.DistinguishedValue()); !ok {
+			if _, err := rebuilt.EnsureNode(ex.DistinguishedValue(), ""); err != nil {
+				return provenance.Explanation{}, err
+			}
+		}
+		return provenance.NewByValue(rebuilt, ex.DistinguishedValue())
+	default:
+		return ex, nil
+	}
+}

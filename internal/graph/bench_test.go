@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, nodes, edges int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(23))
+	return RandomOntology(rng, RandomConfig{
+		Nodes:  nodes,
+		Edges:  edges,
+		Labels: []string{"p", "q", "r"},
+		Types:  []string{"A", "B"},
+	})
+}
+
+func BenchmarkAddTriple(b *testing.B) {
+	b.ReportAllocs()
+	g := New()
+	for i := 0; i < b.N; i++ {
+		from := fmt.Sprintf("n%d", i)
+		to := fmt.Sprintf("n%d", i+1)
+		if _, err := g.AddTriple(from, "p", to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgesByLabelFrom(b *testing.B) {
+	g := benchGraph(b, 2000, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.EdgesByLabelFrom("p", NodeID(i%g.NumNodes()))
+	}
+}
+
+func BenchmarkSubgraph(b *testing.B) {
+	g := benchGraph(b, 2000, 10000)
+	edges := make([]EdgeID, 50)
+	for i := range edges {
+		edges[i] = EdgeID(i * 3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Subgraph(edges, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	g := benchGraph(b, 200, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Signature()
+	}
+}
+
+func BenchmarkNeighborhood(b *testing.B) {
+	g := benchGraph(b, 2000, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Neighborhood(NodeID(i%g.NumNodes()), 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

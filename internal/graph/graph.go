@@ -1,0 +1,370 @@
+// Package graph implements the labeled-multigraph data model underlying
+// ontology databases (Section II-A of the paper): a directed graph whose
+// nodes carry unique values (and an optional type used for disequality
+// inference) and whose edges carry predicate labels. Between any two nodes
+// there may be several edges, but their labels must be distinct.
+//
+// A Graph is append-only: nodes and edges can be added but never removed.
+// Subgraphs (used to represent explanations and provenance) are materialized
+// as fresh Graph values sharing node values with the original.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a single Graph.
+type NodeID int32
+
+// EdgeID identifies an edge within a single Graph.
+type EdgeID int32
+
+// NoNode is the zero-ish sentinel for "no node".
+const NoNode NodeID = -1
+
+// NoEdge is the sentinel for "no edge".
+const NoEdge EdgeID = -1
+
+// Node is a vertex of an ontology graph. Value is the node's unique value
+// (the function L_V of the paper, required to be one-to-one). Type is an
+// optional ontology-level type annotation ("Author", "Paper", ...) used when
+// inferring disequalities between nodes of the same type.
+type Node struct {
+	ID    NodeID
+	Value string
+	Type  string
+}
+
+// Edge is a directed, labeled edge. Label is the predicate (the function L_E
+// of the paper).
+type Edge struct {
+	ID       EdgeID
+	From, To NodeID
+	Label    string
+}
+
+type endpointLabel struct {
+	node  NodeID
+	label string
+}
+
+// Graph is a directed labeled multigraph with unique node values.
+// The zero value is not usable; call New.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+
+	byValue map[string]NodeID
+	out     map[NodeID][]EdgeID
+	in      map[NodeID][]EdgeID
+
+	byLabel     map[string][]EdgeID
+	bySrcLabel  map[endpointLabel][]EdgeID
+	byTgtLabel  map[endpointLabel][]EdgeID
+	edgeTriples map[tripleKey]EdgeID
+}
+
+type tripleKey struct {
+	from, to NodeID
+	label    string
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		byValue:     make(map[string]NodeID),
+		out:         make(map[NodeID][]EdgeID),
+		in:          make(map[NodeID][]EdgeID),
+		byLabel:     make(map[string][]EdgeID),
+		bySrcLabel:  make(map[endpointLabel][]EdgeID),
+		byTgtLabel:  make(map[endpointLabel][]EdgeID),
+		edgeTriples: make(map[tripleKey]EdgeID),
+	}
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode inserts a node with the given unique value and optional type.
+// It fails if a node with the same value already exists.
+func (g *Graph) AddNode(value, typ string) (NodeID, error) {
+	if _, ok := g.byValue[value]; ok {
+		return NoNode, fmt.Errorf("graph: duplicate node value %q", value)
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Value: value, Type: typ})
+	g.byValue[value] = id
+	return id, nil
+}
+
+// EnsureNode returns the node with the given value, creating it (with the
+// given type) if absent. If the node exists with an empty type and typ is
+// non-empty, the type is filled in; a conflicting non-empty type is an error.
+func (g *Graph) EnsureNode(value, typ string) (NodeID, error) {
+	if id, ok := g.byValue[value]; ok {
+		n := &g.nodes[id]
+		if typ != "" && n.Type == "" {
+			n.Type = typ
+		} else if typ != "" && n.Type != typ {
+			return NoNode, fmt.Errorf("graph: node %q has type %q, conflicting type %q", value, n.Type, typ)
+		}
+		return id, nil
+	}
+	return g.AddNode(value, typ)
+}
+
+// SetNodeType sets the type of an existing node, overwriting any previous type.
+func (g *Graph) SetNodeType(id NodeID, typ string) error {
+	if !g.validNode(id) {
+		return fmt.Errorf("graph: invalid node id %d", id)
+	}
+	g.nodes[id].Type = typ
+	return nil
+}
+
+// AddEdge inserts a directed edge. It fails if either endpoint is invalid or
+// if an edge with the same endpoints and label already exists (the model
+// allows parallel edges only with distinct predicates).
+func (g *Graph) AddEdge(from, to NodeID, label string) (EdgeID, error) {
+	if !g.validNode(from) {
+		return NoEdge, fmt.Errorf("graph: invalid source node id %d", from)
+	}
+	if !g.validNode(to) {
+		return NoEdge, fmt.Errorf("graph: invalid target node id %d", to)
+	}
+	key := tripleKey{from: from, to: to, label: label}
+	if _, ok := g.edgeTriples[key]; ok {
+		return NoEdge, fmt.Errorf("graph: duplicate edge %s -%s-> %s",
+			g.nodes[from].Value, label, g.nodes[to].Value)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Label: label})
+	g.edgeTriples[key] = id
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	g.byLabel[label] = append(g.byLabel[label], id)
+	g.bySrcLabel[endpointLabel{from, label}] = append(g.bySrcLabel[endpointLabel{from, label}], id)
+	g.byTgtLabel[endpointLabel{to, label}] = append(g.byTgtLabel[endpointLabel{to, label}], id)
+	return id, nil
+}
+
+// AddTriple inserts the edge fromValue -label-> toValue, creating endpoint
+// nodes (with empty types) as needed. Existing duplicate triples are an error.
+func (g *Graph) AddTriple(fromValue, label, toValue string) (EdgeID, error) {
+	from, err := g.EnsureNode(fromValue, "")
+	if err != nil {
+		return NoEdge, err
+	}
+	to, err := g.EnsureNode(toValue, "")
+	if err != nil {
+		return NoEdge, err
+	}
+	return g.AddEdge(from, to, label)
+}
+
+// MustAddTriple is AddTriple that panics on error; intended for tests and
+// hand-built fixture graphs.
+func (g *Graph) MustAddTriple(fromValue, label, toValue string) EdgeID {
+	id, err := g.AddTriple(fromValue, label, toValue)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (g *Graph) validNode(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+func (g *Graph) validEdge(id EdgeID) bool { return id >= 0 && int(id) < len(g.edges) }
+
+// Node returns the node with the given id. It panics on invalid ids.
+func (g *Graph) Node(id NodeID) Node {
+	if !g.validNode(id) {
+		panic(fmt.Sprintf("graph: invalid node id %d", id))
+	}
+	return g.nodes[id]
+}
+
+// Edge returns the edge with the given id. It panics on invalid ids.
+func (g *Graph) Edge(id EdgeID) Edge {
+	if !g.validEdge(id) {
+		panic(fmt.Sprintf("graph: invalid edge id %d", id))
+	}
+	return g.edges[id]
+}
+
+// NodeByValue looks a node up by its unique value.
+func (g *Graph) NodeByValue(value string) (Node, bool) {
+	id, ok := g.byValue[value]
+	if !ok {
+		return Node{}, false
+	}
+	return g.nodes[id], true
+}
+
+// HasEdgeTriple reports whether the edge from -label-> to exists, by node ids.
+func (g *Graph) HasEdgeTriple(from, to NodeID, label string) bool {
+	_, ok := g.edgeTriples[tripleKey{from: from, to: to, label: label}]
+	return ok
+}
+
+// FindEdge returns the edge from -label-> to if it exists.
+func (g *Graph) FindEdge(from, to NodeID, label string) (Edge, bool) {
+	id, ok := g.edgeTriples[tripleKey{from: from, to: to, label: label}]
+	if !ok {
+		return Edge{}, false
+	}
+	return g.edges[id], true
+}
+
+// Nodes returns a copy of all nodes in id order.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Edges returns a copy of all edges in id order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// OutEdges returns the ids of edges whose source is n. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) OutEdges(n NodeID) []EdgeID { return g.out[n] }
+
+// InEdges returns the ids of edges whose target is n. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) InEdges(n NodeID) []EdgeID { return g.in[n] }
+
+// EdgesByLabel returns the ids of all edges carrying the given label.
+// The returned slice is shared with the graph and must not be modified.
+func (g *Graph) EdgesByLabel(label string) []EdgeID { return g.byLabel[label] }
+
+// EdgesByLabelFrom returns the ids of edges with the given label and source.
+// The returned slice is shared with the graph and must not be modified.
+func (g *Graph) EdgesByLabelFrom(label string, from NodeID) []EdgeID {
+	return g.bySrcLabel[endpointLabel{from, label}]
+}
+
+// EdgesByLabelTo returns the ids of edges with the given label and target.
+// The returned slice is shared with the graph and must not be modified.
+func (g *Graph) EdgesByLabelTo(label string, to NodeID) []EdgeID {
+	return g.byTgtLabel[endpointLabel{to, label}]
+}
+
+// Labels returns the set of edge labels in sorted order.
+func (g *Graph) Labels() []string {
+	labels := make([]string, 0, len(g.byLabel))
+	for l := range g.byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// LabelCount reports how many edges carry the given label.
+func (g *Graph) LabelCount(label string) int { return len(g.byLabel[label]) }
+
+// Degree reports the total (in + out) degree of a node.
+func (g *Graph) Degree(n NodeID) int { return len(g.out[n]) + len(g.in[n]) }
+
+// Clone returns a deep copy of the graph with identical ids.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.nodes = append([]Node(nil), g.nodes...)
+	c.edges = append([]Edge(nil), g.edges...)
+	for v, id := range g.byValue {
+		c.byValue[v] = id
+	}
+	for n, es := range g.out {
+		c.out[n] = append([]EdgeID(nil), es...)
+	}
+	for n, es := range g.in {
+		c.in[n] = append([]EdgeID(nil), es...)
+	}
+	for l, es := range g.byLabel {
+		c.byLabel[l] = append([]EdgeID(nil), es...)
+	}
+	for k, es := range g.bySrcLabel {
+		c.bySrcLabel[k] = append([]EdgeID(nil), es...)
+	}
+	for k, es := range g.byTgtLabel {
+		c.byTgtLabel[k] = append([]EdgeID(nil), es...)
+	}
+	for k, id := range g.edgeTriples {
+		c.edgeTriples[k] = id
+	}
+	return c
+}
+
+// Validate checks internal invariants: unique values, valid endpoints, no
+// duplicate (from, to, label) triples, consistent indexes.
+func (g *Graph) Validate() error {
+	seen := make(map[string]bool, len(g.nodes))
+	for i, n := range g.nodes {
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("graph: node %d has id %d", i, n.ID)
+		}
+		if seen[n.Value] {
+			return fmt.Errorf("graph: duplicate node value %q", n.Value)
+		}
+		seen[n.Value] = true
+		if got := g.byValue[n.Value]; got != n.ID {
+			return fmt.Errorf("graph: byValue[%q]=%d, want %d", n.Value, got, n.ID)
+		}
+	}
+	triples := make(map[tripleKey]bool, len(g.edges))
+	for i, e := range g.edges {
+		if e.ID != EdgeID(i) {
+			return fmt.Errorf("graph: edge %d has id %d", i, e.ID)
+		}
+		if !g.validNode(e.From) || !g.validNode(e.To) {
+			return fmt.Errorf("graph: edge %d has invalid endpoints (%d, %d)", i, e.From, e.To)
+		}
+		key := tripleKey{from: e.From, to: e.To, label: e.Label}
+		if triples[key] {
+			return fmt.Errorf("graph: duplicate triple %s -%s-> %s",
+				g.nodes[e.From].Value, e.Label, g.nodes[e.To].Value)
+		}
+		triples[key] = true
+	}
+	var indexed int
+	for _, es := range g.byLabel {
+		indexed += len(es)
+	}
+	if indexed != len(g.edges) {
+		return fmt.Errorf("graph: label index covers %d edges, want %d", indexed, len(g.edges))
+	}
+	return nil
+}
+
+// String renders a compact human-readable listing, stable across runs.
+func (g *Graph) String() string {
+	lines := make([]string, 0, len(g.edges)+1)
+	for _, e := range g.edges {
+		lines = append(lines, fmt.Sprintf("%s -%s-> %s",
+			g.nodes[e.From].Value, e.Label, g.nodes[e.To].Value))
+	}
+	sort.Strings(lines)
+	isolated := make([]string, 0)
+	for _, n := range g.nodes {
+		if g.Degree(n.ID) == 0 {
+			isolated = append(isolated, n.Value)
+		}
+	}
+	sort.Strings(isolated)
+	out := fmt.Sprintf("graph{%d nodes, %d edges}", len(g.nodes), len(g.edges))
+	for _, l := range lines {
+		out += "\n  " + l
+	}
+	for _, v := range isolated {
+		out += "\n  (" + v + ")"
+	}
+	return out
+}

@@ -1,0 +1,391 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddNodeUniqueValues(t *testing.T) {
+	g := New()
+	id, err := g.AddNode("Alice", "Author")
+	if err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if id != 0 {
+		t.Fatalf("first node id = %d, want 0", id)
+	}
+	if _, err := g.AddNode("Alice", "Author"); err == nil {
+		t.Fatal("duplicate AddNode succeeded, want error")
+	}
+	n, ok := g.NodeByValue("Alice")
+	if !ok || n.Type != "Author" {
+		t.Fatalf("NodeByValue = %+v, %v", n, ok)
+	}
+}
+
+func TestEnsureNodeTypeFill(t *testing.T) {
+	g := New()
+	if _, err := g.EnsureNode("x", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.EnsureNode("x", "T"); err != nil {
+		t.Fatalf("filling empty type: %v", err)
+	}
+	if n, _ := g.NodeByValue("x"); n.Type != "T" {
+		t.Fatalf("type = %q, want T", n.Type)
+	}
+	if _, err := g.EnsureNode("x", "U"); err == nil {
+		t.Fatal("conflicting type accepted, want error")
+	}
+	// Re-ensuring with empty or matching type succeeds.
+	if _, err := g.EnsureNode("x", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.EnsureNode("x", "T"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeRules(t *testing.T) {
+	g := New()
+	a, _ := g.AddNode("a", "")
+	b, _ := g.AddNode("b", "")
+	if _, err := g.AddEdge(a, b, "p"); err != nil {
+		t.Fatal(err)
+	}
+	// Parallel edge with same label is rejected.
+	if _, err := g.AddEdge(a, b, "p"); err == nil {
+		t.Fatal("duplicate (from,to,label) accepted")
+	}
+	// Parallel edge with a distinct label is allowed.
+	if _, err := g.AddEdge(a, b, "q"); err != nil {
+		t.Fatalf("distinct-label parallel edge rejected: %v", err)
+	}
+	// Self loops are allowed.
+	if _, err := g.AddEdge(a, a, "p"); err != nil {
+		t.Fatalf("self loop rejected: %v", err)
+	}
+	if _, err := g.AddEdge(a, NodeID(99), "p"); err == nil {
+		t.Fatal("invalid target accepted")
+	}
+	if _, err := g.AddEdge(NodeID(-1), b, "p"); err == nil {
+		t.Fatal("invalid source accepted")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	g := New()
+	g.MustAddTriple("a", "wb", "b")
+	g.MustAddTriple("a", "wb", "c")
+	g.MustAddTriple("b", "cites", "c")
+	a, _ := g.NodeByValue("a")
+	b, _ := g.NodeByValue("b")
+	c, _ := g.NodeByValue("c")
+
+	if got := len(g.EdgesByLabel("wb")); got != 2 {
+		t.Fatalf("EdgesByLabel(wb) = %d, want 2", got)
+	}
+	if got := len(g.EdgesByLabelFrom("wb", a.ID)); got != 2 {
+		t.Fatalf("EdgesByLabelFrom(wb,a) = %d, want 2", got)
+	}
+	if got := len(g.EdgesByLabelTo("wb", c.ID)); got != 1 {
+		t.Fatalf("EdgesByLabelTo(wb,c) = %d, want 1", got)
+	}
+	if got := len(g.OutEdges(a.ID)); got != 2 {
+		t.Fatalf("OutEdges(a) = %d, want 2", got)
+	}
+	if got := len(g.InEdges(c.ID)); got != 2 {
+		t.Fatalf("InEdges(c) = %d, want 2", got)
+	}
+	if got := g.Degree(b.ID); got != 2 {
+		t.Fatalf("Degree(b) = %d, want 2", got)
+	}
+	labels := g.Labels()
+	if len(labels) != 2 || labels[0] != "cites" || labels[1] != "wb" {
+		t.Fatalf("Labels = %v", labels)
+	}
+	if g.LabelCount("wb") != 2 || g.LabelCount("missing") != 0 {
+		t.Fatal("LabelCount mismatch")
+	}
+}
+
+func TestFindEdge(t *testing.T) {
+	g := New()
+	eid := g.MustAddTriple("a", "p", "b")
+	a, _ := g.NodeByValue("a")
+	b, _ := g.NodeByValue("b")
+	e, ok := g.FindEdge(a.ID, b.ID, "p")
+	if !ok || e.ID != eid {
+		t.Fatalf("FindEdge = %+v, %v", e, ok)
+	}
+	if _, ok := g.FindEdge(b.ID, a.ID, "p"); ok {
+		t.Fatal("reverse edge found")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New()
+	g.MustAddTriple("a", "p", "b")
+	c := g.Clone()
+	c.MustAddTriple("b", "p", "a")
+	if g.NumEdges() != 1 || c.NumEdges() != 2 {
+		t.Fatalf("edges: g=%d c=%d", g.NumEdges(), c.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSubgraphOf(c) || c.IsSubgraphOf(g) {
+		t.Fatal("subgraph relation wrong after clone mutation")
+	}
+}
+
+func TestSubgraphExtraction(t *testing.T) {
+	g := New()
+	e1 := g.MustAddTriple("a", "p", "b")
+	g.MustAddTriple("b", "q", "c")
+	g.MustAddTriple("c", "p", "a")
+	d, _ := g.AddNode("d", "T")
+
+	sub, err := g.Subgraph([]EdgeID{e1, e1}, []NodeID{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 3 || sub.NumEdges() != 1 {
+		t.Fatalf("subgraph has %d nodes, %d edges", sub.NumNodes(), sub.NumEdges())
+	}
+	if n, ok := sub.NodeByValue("d"); !ok || n.Type != "T" {
+		t.Fatalf("extra node not preserved: %+v %v", n, ok)
+	}
+	if !sub.IsSubgraphOf(g) {
+		t.Fatal("subgraph not contained in parent")
+	}
+	if g.IsSubgraphOf(sub) {
+		t.Fatal("parent contained in proper subgraph")
+	}
+	if _, err := g.Subgraph([]EdgeID{EdgeID(42)}, nil); err == nil {
+		t.Fatal("invalid edge id accepted")
+	}
+	if _, err := g.Subgraph(nil, []NodeID{NodeID(42)}); err == nil {
+		t.Fatal("invalid node id accepted")
+	}
+}
+
+func TestEqualSetsAndSignature(t *testing.T) {
+	build := func(order []int) *Graph {
+		g := New()
+		triples := [][3]string{{"a", "p", "b"}, {"b", "q", "c"}, {"a", "q", "c"}}
+		for _, i := range order {
+			tr := triples[i]
+			g.MustAddTriple(tr[0], tr[1], tr[2])
+		}
+		return g
+	}
+	g1 := build([]int{0, 1, 2})
+	g2 := build([]int{2, 0, 1})
+	if !g1.EqualSets(g2) {
+		t.Fatal("same triples in different order not EqualSets")
+	}
+	if g1.Signature() != g2.Signature() {
+		t.Fatal("signatures differ for equal graphs")
+	}
+	g3 := build([]int{0, 1})
+	if g1.EqualSets(g3) || g1.Signature() == g3.Signature() {
+		t.Fatal("different graphs compare equal")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	g := New()
+	g.MustAddTriple("a", "p", "b")
+	h := New()
+	h.MustAddTriple("a", "p", "b")
+	h.MustAddTriple("b", "p", "c")
+	if err := g.Merge(h); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("merged graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTypeConflict(t *testing.T) {
+	g := New()
+	if _, err := g.AddNode("x", "A"); err != nil {
+		t.Fatal(err)
+	}
+	h := New()
+	if _, err := h.AddNode("x", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Merge(h); err == nil {
+		t.Fatal("type conflict not reported")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := New()
+	g.MustAddTriple("a", "p", "b")
+	g.MustAddTriple("c", "p", "d")
+	if g.IsConnected() {
+		t.Fatal("two components reported connected")
+	}
+	a, _ := g.NodeByValue("a")
+	comp := g.ConnectedComponent(a.ID)
+	if len(comp) != 2 {
+		t.Fatalf("component size = %d, want 2", len(comp))
+	}
+	g.MustAddTriple("b", "p", "c")
+	if !g.IsConnected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	if !New().IsConnected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	// a -> b -> c -> d, radius 2 around a covers edges (a,b),(b,c).
+	g := New()
+	g.MustAddTriple("a", "p", "b")
+	g.MustAddTriple("b", "p", "c")
+	g.MustAddTriple("c", "p", "d")
+	a, _ := g.NodeByValue("a")
+	nb, err := g.Neighborhood(a.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.NumEdges() != 2 || nb.NumNodes() != 3 {
+		t.Fatalf("2-neighborhood: %d nodes %d edges", nb.NumNodes(), nb.NumEdges())
+	}
+	if _, ok := nb.NodeByValue("d"); ok {
+		t.Fatal("radius-2 neighborhood should not reach d")
+	}
+	// Radius 1 on an isolated node yields just that node.
+	iso, _ := g.AddNode("iso", "")
+	nb1, err := g.Neighborhood(iso, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb1.NumNodes() != 1 || nb1.NumEdges() != 0 {
+		t.Fatalf("isolated neighborhood: %d nodes %d edges", nb1.NumNodes(), nb1.NumEdges())
+	}
+	if _, err := g.Neighborhood(NodeID(99), 1); err == nil {
+		t.Fatal("invalid start accepted")
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	g := New()
+	g.MustAddTriple("b", "p", "c")
+	g.MustAddTriple("a", "p", "b")
+	g.AddNode("lonely", "")
+	s := g.String()
+	if !strings.Contains(s, "graph{4 nodes, 2 edges}") {
+		t.Fatalf("header missing in %q", s)
+	}
+	if !strings.Contains(s, "a -p-> b") || !strings.Contains(s, "(lonely)") {
+		t.Fatalf("listing missing entries: %q", s)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := New()
+	g.MustAddTriple("a", "p", "b")
+	g.nodes[1].Value = "a" // corrupt: duplicate value
+	if err := g.Validate(); err == nil {
+		t.Fatal("corrupted graph validated")
+	}
+}
+
+// Property: random ontologies always validate, and any random connected
+// subgraph is contained in its parent and is weakly connected.
+func TestRandomOntologyProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomOntology(rng, RandomConfig{
+			Nodes:  20 + rng.Intn(30),
+			Edges:  40 + rng.Intn(60),
+			Labels: []string{"p", "q", "r"},
+			Types:  []string{"A", "B"},
+		})
+		if err := g.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		sub, start := RandomConnectedSubgraph(rng, g, 5)
+		if sub == nil {
+			return true // start node had no incident edges
+		}
+		if start == NoNode {
+			return false
+		}
+		return sub.IsSubgraphOf(g) && sub.IsConnected() && sub.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subgraph of all edges reproduces an EqualSets-identical graph.
+func TestSubgraphOfEverythingIsEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomOntology(rng, RandomConfig{
+			Nodes: 10, Edges: 25, Labels: []string{"p", "q"},
+		})
+		all := make([]EdgeID, g.NumEdges())
+		for i := range all {
+			all[i] = EdgeID(i)
+		}
+		var nodes []NodeID
+		for i := 0; i < g.NumNodes(); i++ {
+			nodes = append(nodes, NodeID(i))
+		}
+		sub, err := g.Subgraph(all, nodes)
+		if err != nil {
+			return false
+		}
+		return sub.EqualSets(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := New()
+	g.MustAddTriple("a", "p", "b")
+	g.MustAddTriple("a", "p", "c")
+	g.MustAddTriple("a", "q", "b")
+	g.AddNode("iso", "T")
+	s := g.ComputeStats()
+	if s.Nodes != 4 || s.Edges != 3 || s.IsolatedNodes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Labels["p"] != 2 || s.Labels["q"] != 1 {
+		t.Fatalf("labels = %v", s.Labels)
+	}
+	if s.MaxOutDegree != 3 || s.MaxInDegree != 2 {
+		t.Fatalf("degrees = %d/%d", s.MaxOutDegree, s.MaxInDegree)
+	}
+	if s.Types["T"] != 1 || s.Types[""] != 3 {
+		t.Fatalf("types = %v", s.Types)
+	}
+	rep := s.String()
+	for _, want := range []string{"4 nodes, 3 edges", "p=2", "q=1", "(untyped)=3", "T=1"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

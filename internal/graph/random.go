@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig controls RandomOntology.
+type RandomConfig struct {
+	Nodes  int      // number of nodes to create
+	Edges  int      // number of distinct edges to attempt (duplicates are retried)
+	Labels []string // predicate vocabulary; must be non-empty when Edges > 0
+	Types  []string // optional node-type vocabulary; nodes cycle through it
+}
+
+// RandomOntology generates a pseudo-random ontology graph from the given
+// source. It is deterministic for a fixed seed and configuration, which the
+// property-based tests rely on. Node values are "n0", "n1", ...
+func RandomOntology(rng *rand.Rand, cfg RandomConfig) *Graph {
+	g := New()
+	for i := 0; i < cfg.Nodes; i++ {
+		typ := ""
+		if len(cfg.Types) > 0 {
+			typ = cfg.Types[i%len(cfg.Types)]
+		}
+		if _, err := g.AddNode(fmt.Sprintf("n%d", i), typ); err != nil {
+			panic(err) // unreachable: generated values are unique
+		}
+	}
+	if cfg.Nodes == 0 {
+		return g
+	}
+	added := 0
+	// Cap attempts so that dense configurations (more requested edges than
+	// distinct triples) terminate.
+	for attempts := 0; added < cfg.Edges && attempts < cfg.Edges*20+100; attempts++ {
+		from := NodeID(rng.Intn(cfg.Nodes))
+		to := NodeID(rng.Intn(cfg.Nodes))
+		label := cfg.Labels[rng.Intn(len(cfg.Labels))]
+		if g.HasEdgeTriple(from, to, label) {
+			continue
+		}
+		if _, err := g.AddEdge(from, to, label); err != nil {
+			panic(err)
+		}
+		added++
+	}
+	return g
+}
+
+// RandomConnectedSubgraph walks rng-random undirected steps from a random
+// start node and returns the subgraph induced by the visited edges (at most
+// maxEdges of them) together with the start node. It returns nil when the
+// graph has no edges reachable from the chosen start.
+func RandomConnectedSubgraph(rng *rand.Rand, g *Graph, maxEdges int) (*Graph, NodeID) {
+	if g.NumNodes() == 0 || maxEdges <= 0 {
+		return nil, NoNode
+	}
+	start := NodeID(rng.Intn(g.NumNodes()))
+	visited := map[EdgeID]bool{}
+	var picked []EdgeID
+	frontier := []NodeID{start}
+	for len(picked) < maxEdges {
+		// Collect candidate edges incident to the frontier.
+		var candidates []EdgeID
+		for _, n := range frontier {
+			for _, e := range g.OutEdges(n) {
+				if !visited[e] {
+					candidates = append(candidates, e)
+				}
+			}
+			for _, e := range g.InEdges(n) {
+				if !visited[e] {
+					candidates = append(candidates, e)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		e := candidates[rng.Intn(len(candidates))]
+		visited[e] = true
+		picked = append(picked, e)
+		edge := g.Edge(e)
+		frontier = append(frontier, edge.From, edge.To)
+	}
+	if len(picked) == 0 {
+		return nil, NoNode
+	}
+	sub, err := g.Subgraph(picked, []NodeID{start})
+	if err != nil {
+		panic(err) // unreachable: ids come from g itself
+	}
+	startNode, _ := sub.NodeByValue(g.Node(start).Value)
+	return sub, startNode.ID
+}

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a graph for inspection tooling (ontgen -stats, the REPL).
+type Stats struct {
+	Nodes, Edges int
+	// Labels maps each predicate to its edge count.
+	Labels map[string]int
+	// Types maps each node type (including "") to its node count.
+	Types map[string]int
+	// MaxOutDegree and MaxInDegree are the largest fan-outs/fan-ins.
+	MaxOutDegree, MaxInDegree int
+	// IsolatedNodes counts nodes with no incident edges.
+	IsolatedNodes int
+}
+
+// ComputeStats walks the graph once and tallies the summary.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Nodes:  g.NumNodes(),
+		Edges:  g.NumEdges(),
+		Labels: map[string]int{},
+		Types:  map[string]int{},
+	}
+	for _, l := range g.Labels() {
+		s.Labels[l] = g.LabelCount(l)
+	}
+	for _, n := range g.nodes {
+		s.Types[n.Type]++
+		out := len(g.out[n.ID])
+		in := len(g.in[n.ID])
+		if out > s.MaxOutDegree {
+			s.MaxOutDegree = out
+		}
+		if in > s.MaxInDegree {
+			s.MaxInDegree = in
+		}
+		if out+in == 0 {
+			s.IsolatedNodes++
+		}
+	}
+	return s
+}
+
+// String renders the stats as a compact multi-line report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d nodes, %d edges, %d isolated, max out-degree %d, max in-degree %d\n",
+		s.Nodes, s.Edges, s.IsolatedNodes, s.MaxOutDegree, s.MaxInDegree)
+	labels := make([]string, 0, len(s.Labels))
+	for l := range s.Labels {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(&sb, "predicates:")
+	for _, l := range labels {
+		fmt.Fprintf(&sb, " %s=%d", l, s.Labels[l])
+	}
+	sb.WriteString("\ntypes:")
+	types := make([]string, 0, len(s.Types))
+	for t := range s.Types {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		name := t
+		if name == "" {
+			name = "(untyped)"
+		}
+		fmt.Fprintf(&sb, " %s=%d", name, s.Types[t])
+	}
+	return sb.String()
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subgraph materializes the subgraph of g induced by the given edge ids plus
+// any extra isolated nodes. Node values and types are preserved; ids are
+// re-assigned densely in the new graph. Duplicate edge ids are tolerated.
+func (g *Graph) Subgraph(edgeIDs []EdgeID, extraNodes []NodeID) (*Graph, error) {
+	sub := New()
+	translate := func(id NodeID) (NodeID, error) {
+		n := g.Node(id)
+		return sub.EnsureNode(n.Value, n.Type)
+	}
+	seen := make(map[EdgeID]bool, len(edgeIDs))
+	for _, eid := range edgeIDs {
+		if seen[eid] {
+			continue
+		}
+		seen[eid] = true
+		if !g.validEdge(eid) {
+			return nil, fmt.Errorf("graph: invalid edge id %d in subgraph", eid)
+		}
+		e := g.edges[eid]
+		from, err := translate(e.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := translate(e.To)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sub.AddEdge(from, to, e.Label); err != nil {
+			return nil, err
+		}
+	}
+	for _, nid := range extraNodes {
+		if !g.validNode(nid) {
+			return nil, fmt.Errorf("graph: invalid node id %d in subgraph", nid)
+		}
+		if _, err := translate(nid); err != nil {
+			return nil, err
+		}
+	}
+	return sub, nil
+}
+
+// IsSubgraphOf reports whether every node value and every (value, label,
+// value) edge triple of g also occurs in other. Because ontology node values
+// are unique, this is subgraph containment up to the canonical value-based
+// identification.
+func (g *Graph) IsSubgraphOf(other *Graph) bool {
+	for _, n := range g.nodes {
+		if _, ok := other.NodeByValue(n.Value); !ok {
+			return false
+		}
+	}
+	for _, e := range g.edges {
+		fromVal := g.nodes[e.From].Value
+		toVal := g.nodes[e.To].Value
+		of, ok := other.NodeByValue(fromVal)
+		if !ok {
+			return false
+		}
+		ot, ok := other.NodeByValue(toVal)
+		if !ok {
+			return false
+		}
+		if !other.HasEdgeTriple(of.ID, ot.ID, e.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualSets reports whether two graphs have identical node-value sets and
+// edge-triple sets. For subgraphs of a common ontology (whose values are
+// unique), EqualSets coincides with graph isomorphism.
+func (g *Graph) EqualSets(other *Graph) bool {
+	if g.NumNodes() != other.NumNodes() || g.NumEdges() != other.NumEdges() {
+		return false
+	}
+	return g.IsSubgraphOf(other) && other.IsSubgraphOf(g)
+}
+
+// Signature returns a canonical string identifying the graph's node-value set
+// and edge-triple set. Two graphs have equal signatures iff EqualSets holds.
+func (g *Graph) Signature() string {
+	parts := make([]string, 0, len(g.nodes)+len(g.edges))
+	for _, n := range g.nodes {
+		parts = append(parts, "n\x00"+n.Value)
+	}
+	for _, e := range g.edges {
+		parts = append(parts, "e\x00"+g.nodes[e.From].Value+"\x00"+e.Label+"\x00"+g.nodes[e.To].Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x01")
+}
+
+// Merge adds every node and edge of other into g (matching by value),
+// skipping triples already present. It returns an error only on type
+// conflicts between same-valued nodes.
+func (g *Graph) Merge(other *Graph) error {
+	ids := make([]NodeID, other.NumNodes())
+	for _, n := range other.nodes {
+		id, err := g.EnsureNode(n.Value, n.Type)
+		if err != nil {
+			return err
+		}
+		ids[n.ID] = id
+	}
+	for _, e := range other.edges {
+		from, to := ids[e.From], ids[e.To]
+		if g.HasEdgeTriple(from, to, e.Label) {
+			continue
+		}
+		if _, err := g.AddEdge(from, to, e.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConnectedComponent returns the set of node ids reachable from start
+// ignoring edge direction.
+func (g *Graph) ConnectedComponent(start NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{start: true}
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range g.out[n] {
+			if t := g.edges[eid].To; !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+		for _, eid := range g.in[n] {
+			if f := g.edges[eid].From; !seen[f] {
+				seen[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return seen
+}
+
+// IsConnected reports whether the graph is weakly connected (or empty).
+func (g *Graph) IsConnected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	return len(g.ConnectedComponent(0)) == len(g.nodes)
+}
+
+// Neighborhood returns the subgraph induced by all edges within the given
+// number of undirected hops of start. A radius of 1 yields the paper's
+// "1-neighborhood" shown by the ontology visualizer.
+func (g *Graph) Neighborhood(start NodeID, radius int) (*Graph, error) {
+	if !g.validNode(start) {
+		return nil, fmt.Errorf("graph: invalid node id %d", start)
+	}
+	dist := map[NodeID]int{start: 0}
+	frontier := []NodeID{start}
+	var edgeIDs []EdgeID
+	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
+		var next []NodeID
+		for _, n := range frontier {
+			for _, eid := range g.out[n] {
+				edgeIDs = append(edgeIDs, eid)
+				t := g.edges[eid].To
+				if _, ok := dist[t]; !ok {
+					dist[t] = hop + 1
+					next = append(next, t)
+				}
+			}
+			for _, eid := range g.in[n] {
+				edgeIDs = append(edgeIDs, eid)
+				f := g.edges[eid].From
+				if _, ok := dist[f]; !ok {
+					dist[f] = hop + 1
+					next = append(next, f)
+				}
+			}
+		}
+		frontier = next
+	}
+	return g.Subgraph(edgeIDs, []NodeID{start})
+}

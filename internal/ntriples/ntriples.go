@@ -1,0 +1,161 @@
+// Package ntriples implements a small line-oriented text format for
+// ontology graphs, in the spirit of RDF N-Triples (the paper loads its
+// ontology fragments from RDF files; this format is our offline substitute).
+//
+// The grammar, one statement per line:
+//
+//	# comment                      -- ignored, as are blank lines
+//	@type <node> <type>            -- declares a node and its type
+//	<subject> <predicate> <object> .   -- a triple (trailing dot optional)
+//
+// Tokens are bare words without whitespace, or double-quoted strings using
+// Go escaping for values containing spaces or special characters.
+package ntriples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"questpro/internal/graph"
+)
+
+// Parse reads a graph from r. Parse errors include 1-based line numbers.
+func Parse(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tokens, err := tokenize(line)
+		if err != nil {
+			return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+		}
+		if len(tokens) == 0 {
+			continue
+		}
+		if tokens[0] == "@type" {
+			if len(tokens) != 3 {
+				return nil, fmt.Errorf("ntriples: line %d: @type wants 2 arguments, got %d", lineNo, len(tokens)-1)
+			}
+			typ := tokens[2]
+			if typ == "_" { // placeholder written for untyped isolated nodes
+				typ = ""
+			}
+			if _, err := g.EnsureNode(tokens[1], typ); err != nil {
+				return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		// Triple, optionally terminated by ".".
+		if len(tokens) == 4 && tokens[3] == "." {
+			tokens = tokens[:3]
+		}
+		if len(tokens) != 3 {
+			return nil, fmt.Errorf("ntriples: line %d: want 3 tokens in triple, got %d", lineNo, len(tokens))
+		}
+		if _, err := g.AddTriple(tokens[0], tokens[1], tokens[2]); err != nil {
+			return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ntriples: %w", err)
+	}
+	return g, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (*graph.Graph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Write serializes g to w: first all @type declarations (so every typed node
+// round-trips even when isolated), then all triples, in id order.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, n := range g.Nodes() {
+		if n.Type != "" || g.Degree(n.ID) == 0 {
+			typ := n.Type
+			if typ == "" {
+				typ = "_"
+			}
+			if _, err := fmt.Fprintf(bw, "@type %s %s\n", quote(n.Value), quote(typ)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		from := g.Node(e.From).Value
+		to := g.Node(e.To).Value
+		if _, err := fmt.Fprintf(bw, "%s %s %s .\n", quote(from), quote(e.Label), quote(to)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Format renders g as a string document.
+func Format(g *graph.Graph) string {
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return sb.String()
+}
+
+// quote returns the token form of a value: bare when safe, quoted otherwise.
+func quote(s string) string {
+	if s == "" || s == "." || strings.HasPrefix(s, "@") || strings.HasPrefix(s, "#") ||
+		strings.HasPrefix(s, `"`) || strings.ContainsAny(s, " \t\n\r\\") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// tokenize splits a statement line into bare and quoted tokens.
+func tokenize(line string) ([]string, error) {
+	var tokens []string
+	i := 0
+	for i < len(line) {
+		switch {
+		case line[i] == ' ' || line[i] == '\t':
+			i++
+		case line[i] == '"':
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quoted token")
+			}
+			tok, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted token %s: %v", line[i:j+1], err)
+			}
+			tokens = append(tokens, tok)
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+				j++
+			}
+			tokens = append(tokens, line[i:j])
+			i = j
+		}
+	}
+	return tokens, nil
+}

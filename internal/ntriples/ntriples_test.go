@@ -1,0 +1,128 @@
+package ntriples
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"questpro/internal/graph"
+)
+
+func TestParseBasic(t *testing.T) {
+	doc := `
+# a small publications ontology
+@type Alice Author
+@type paper1 Paper
+paper1 wb Alice .
+paper1 wb Bob
+`
+	g, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if n, _ := g.NodeByValue("Alice"); n.Type != "Author" {
+		t.Fatalf("Alice type = %q", n.Type)
+	}
+	if n, _ := g.NodeByValue("Bob"); n.Type != "" {
+		t.Fatalf("Bob type = %q, want empty", n.Type)
+	}
+}
+
+func TestParseQuotedTokens(t *testing.T) {
+	doc := `"New York" "located in" "United States" .` + "\n" +
+		`@type "New York" "City"` + "\n"
+	g, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := g.NodeByValue("New York")
+	if !ok || n.Type != "City" {
+		t.Fatalf("quoted node missing or untyped: %+v %v", n, ok)
+	}
+	us, _ := g.NodeByValue("United States")
+	if !g.HasEdgeTriple(n.ID, us.ID, "located in") {
+		t.Fatal("quoted triple missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"two tokens":         "a b\n",
+		"five tokens":        "a b c d e\n",
+		"bad @type arity":    "@type onlyone\n",
+		"unterminated quote": `"open b c .` + "\n",
+		"duplicate triple":   "a p b .\na p b .\n",
+		"bad escape":         `"\q" p b .` + "\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseString(doc); err == nil {
+			t.Errorf("%s: no error for %q", name, doc)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("%s: error lacks line number: %v", name, err)
+		}
+	}
+}
+
+func TestRoundTripHandWritten(t *testing.T) {
+	g := graph.New()
+	if _, err := g.AddNode("lonely node", "Misc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddNode("plainlonely", ""); err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddTriple("weird \"value\"", "has part", "x.y")
+	g.MustAddTriple("#hash", "@at", ".")
+
+	doc := Format(g)
+	back, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", doc, err)
+	}
+	if !back.EqualSets(g) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", g, back)
+	}
+	n, ok := back.NodeByValue("lonely node")
+	if !ok || n.Type != "Misc" {
+		t.Fatalf("typed isolated node lost: %+v %v", n, ok)
+	}
+	if _, ok := back.NodeByValue("plainlonely"); !ok {
+		t.Fatal("untyped isolated node lost")
+	}
+}
+
+// Property: Format/Parse round-trips random ontologies including types.
+func TestRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomOntology(rng, graph.RandomConfig{
+			Nodes:  15,
+			Edges:  30,
+			Labels: []string{"p", "has part", `"q"`},
+			Types:  []string{"A", "", "B C"},
+		})
+		back, err := ParseString(Format(g))
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		if !back.EqualSets(g) {
+			return false
+		}
+		// Types survive too.
+		for _, n := range g.Nodes() {
+			bn, ok := back.NodeByValue(n.Value)
+			if !ok || bn.Type != n.Type {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

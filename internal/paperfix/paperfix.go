@@ -1,0 +1,219 @@
+// Package paperfix reconstructs the paper's running example: the small
+// publications ontology of Figure 1, its four explanations E1–E4, and the
+// queries Q1–Q4 of Figures 2 and 4. The published figures are not included
+// in the available text, so the graphs are reconstructed from the worked
+// examples (2.3, 2.7, 3.3, 3.12, 3.14, 4.2–4.4, 5.1–5.5): the shapes below
+// make every claim of those examples hold under our implementation
+// (Q1 consistent with all four explanations, Q3 = merge(E1, E3) with two
+// variables, Q4 = merge(E2, E4) with two variables, William a result of Q1
+// but not of Union(Q3, Q4), ...).
+//
+// All edges are labeled "wb" (written by), oriented paper -> author.
+package paperfix
+
+import (
+	"questpro/internal/graph"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// Predicate is the single edge label of the running example.
+const Predicate = "wb"
+
+// Ontology builds the publications ontology of Figure 1 (extended with the
+// authors referenced by Section V's feedback walkthrough).
+func Ontology() *graph.Graph {
+	g := graph.New()
+	triples := [][2]string{
+		{"paper1", "Alice"}, {"paper1", "Bob"},
+		{"paper2", "Bob"}, {"paper2", "Carol"},
+		{"paper3", "Carol"}, {"paper3", "Erdos"},
+		{"paper4", "Dave"},
+		{"paper5", "Dave"}, {"paper5", "Greg"}, {"paper5", "Harry"},
+		{"paper6", "Harry"},
+		{"paper7", "Greg"}, {"paper7", "Erdos"},
+		{"paper8", "William"}, {"paper8", "Xavier"},
+		{"paper9", "Xavier"}, {"paper9", "Erdos"},
+		{"paper10", "Felix"}, {"paper10", "Bob"},
+		{"paper11", "Ivan"}, {"paper11", "Carol"},
+		// Nina's Erdős-number-3 chain through Oscar and Peter: a strict
+		// chain that avoids both the Bob/Carol and the Greg spines. It is
+		// the witness the feedback loop of Example 5.5 needs — a result of
+		// Q1 (even with all inferable disequalities) that is not a result
+		// of Union(Q3, Q4).
+		{"paper20", "Nina"}, {"paper20", "Oscar"},
+		{"paper21", "Oscar"}, {"paper21", "Peter"},
+		{"paper22", "Peter"}, {"paper22", "Erdos"},
+	}
+	for _, t := range triples {
+		g.MustAddTriple(t[0], Predicate, t[1])
+	}
+	for _, n := range g.Nodes() {
+		typ := "Author"
+		if len(n.Value) > 5 && n.Value[:5] == "paper" {
+			typ = "Paper"
+		}
+		if err := g.SetNodeType(n.ID, typ); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// explanation extracts the subgraph of o induced by the given
+// (paper, author) pairs, with the distinguished node looked up by value.
+func explanation(o *graph.Graph, pairs [][2]string, dis string) provenance.Explanation {
+	var edges []graph.EdgeID
+	for _, p := range pairs {
+		from, _ := o.NodeByValue(p[0])
+		to, _ := o.NodeByValue(p[1])
+		e, ok := o.FindEdge(from.ID, to.ID, Predicate)
+		if !ok {
+			panic("paperfix: missing ontology edge " + p[0] + "->" + p[1])
+		}
+		edges = append(edges, e.ID)
+	}
+	sub, err := o.Subgraph(edges, nil)
+	if err != nil {
+		panic(err)
+	}
+	ex, err := provenance.NewByValue(sub, dis)
+	if err != nil {
+		panic(err)
+	}
+	return ex
+}
+
+// Explanations builds the example-set {E1, E2, E3, E4} of Figure 1 over the
+// given ontology (which must be Ontology() or a supergraph of it).
+//
+//	E1: Alice's Erdős-number-3 chain through Bob and Carol (6 edges).
+//	E2: Dave's sole-authored paper4 plus his Erdős-number-2 chain through
+//	    Greg (5 edges).
+//	E3: Felix's Erdős-number-3 chain sharing Bob/paper2/Carol/paper3 with
+//	    E1 (6 edges).
+//	E4: Harry's sole-authored paper6 plus his Erdős-number-2 chain through
+//	    Greg, sharing paper5/Greg/paper7 with E2 (5 edges).
+func Explanations(o *graph.Graph) provenance.ExampleSet {
+	e1 := explanation(o, [][2]string{
+		{"paper1", "Alice"}, {"paper1", "Bob"},
+		{"paper2", "Bob"}, {"paper2", "Carol"},
+		{"paper3", "Carol"}, {"paper3", "Erdos"},
+	}, "Alice")
+	e2 := explanation(o, [][2]string{
+		{"paper4", "Dave"},
+		{"paper5", "Dave"}, {"paper5", "Greg"},
+		{"paper7", "Greg"}, {"paper7", "Erdos"},
+	}, "Dave")
+	e3 := explanation(o, [][2]string{
+		{"paper10", "Felix"}, {"paper10", "Bob"},
+		{"paper2", "Bob"}, {"paper2", "Carol"},
+		{"paper3", "Carol"}, {"paper3", "Erdos"},
+	}, "Felix")
+	e4 := explanation(o, [][2]string{
+		{"paper6", "Harry"},
+		{"paper5", "Harry"}, {"paper5", "Greg"},
+		{"paper7", "Greg"}, {"paper7", "Erdos"},
+	}, "Harry")
+	return provenance.ExampleSet{e1, e2, e3, e4}
+}
+
+// Q1 builds the chain query of Figure 2a — the "Erdős number (at most) 3"
+// pattern with six variables and the constant Erdos:
+//
+//	?p1 wb ?a1*   ?p1 wb ?a2   ?p2 wb ?a2
+//	?p2 wb ?a3    ?p3 wb ?a3   ?p3 wb Erdos
+func Q1() *query.Simple {
+	q := query.NewSimple()
+	p1 := q.MustEnsureNode(query.Var("p1"), "Paper")
+	p2 := q.MustEnsureNode(query.Var("p2"), "Paper")
+	p3 := q.MustEnsureNode(query.Var("p3"), "Paper")
+	a1 := q.MustEnsureNode(query.Var("a1"), "Author")
+	a2 := q.MustEnsureNode(query.Var("a2"), "Author")
+	a3 := q.MustEnsureNode(query.Var("a3"), "Author")
+	erdos := q.MustEnsureNode(query.Const("Erdos"), "Author")
+	q.MustAddEdge(p1, a1, Predicate)
+	q.MustAddEdge(p1, a2, Predicate)
+	q.MustAddEdge(p2, a2, Predicate)
+	q.MustAddEdge(p2, a3, Predicate)
+	q.MustAddEdge(p3, a3, Predicate)
+	q.MustAddEdge(p3, erdos, Predicate)
+	if err := q.SetProjected(a1); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Q2 builds the disjoint-edges query of Figure 2b produced by the trivial
+// construction of Proposition 3.1: six wb edges with all-fresh variables,
+// one of the author-side variables projected (12 variables total).
+func Q2() *query.Simple {
+	q := query.NewSimple()
+	var firstAuthor query.NodeID
+	for i := 1; i <= 6; i++ {
+		p := q.MustEnsureNode(query.Var("p"+itoa(i)), "")
+		a := q.MustEnsureNode(query.Var("a"+itoa(i)), "")
+		q.MustAddEdge(p, a, Predicate)
+		if i == 1 {
+			firstAuthor = a
+		}
+	}
+	if err := q.SetProjected(firstAuthor); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Q3 builds the merge of E1 and E3 (Figure 4a): two variables, the shared
+// Bob/paper2/Carol/paper3/Erdos spine as constants.
+//
+//	?pA wb ?aA*  ?pA wb Bob  paper2 wb Bob  paper2 wb Carol
+//	paper3 wb Carol  paper3 wb Erdos
+func Q3() *query.Simple {
+	q := query.NewSimple()
+	pA := q.MustEnsureNode(query.Var("pA"), "Paper")
+	aA := q.MustEnsureNode(query.Var("aA"), "Author")
+	bob := q.MustEnsureNode(query.Const("Bob"), "Author")
+	p2 := q.MustEnsureNode(query.Const("paper2"), "Paper")
+	carol := q.MustEnsureNode(query.Const("Carol"), "Author")
+	p3 := q.MustEnsureNode(query.Const("paper3"), "Paper")
+	erdos := q.MustEnsureNode(query.Const("Erdos"), "Author")
+	q.MustAddEdge(pA, aA, Predicate)
+	q.MustAddEdge(pA, bob, Predicate)
+	q.MustAddEdge(p2, bob, Predicate)
+	q.MustAddEdge(p2, carol, Predicate)
+	q.MustAddEdge(p3, carol, Predicate)
+	q.MustAddEdge(p3, erdos, Predicate)
+	if err := q.SetProjected(aA); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Q4 builds the merge of E2 and E4 (Figure 4b): two variables, the shared
+// paper5/Greg/paper7/Erdos spine as constants.
+//
+//	?pB wb ?aB*  paper5 wb ?aB  paper5 wb Greg
+//	paper7 wb Greg  paper7 wb Erdos
+func Q4() *query.Simple {
+	q := query.NewSimple()
+	pB := q.MustEnsureNode(query.Var("pB"), "Paper")
+	aB := q.MustEnsureNode(query.Var("aB"), "Author")
+	p5 := q.MustEnsureNode(query.Const("paper5"), "Paper")
+	greg := q.MustEnsureNode(query.Const("Greg"), "Author")
+	p7 := q.MustEnsureNode(query.Const("paper7"), "Paper")
+	erdos := q.MustEnsureNode(query.Const("Erdos"), "Author")
+	q.MustAddEdge(pB, aB, Predicate)
+	q.MustAddEdge(p5, aB, Predicate)
+	q.MustAddEdge(p5, greg, Predicate)
+	q.MustAddEdge(p7, greg, Predicate)
+	q.MustAddEdge(p7, erdos, Predicate)
+	if err := q.SetProjected(aB); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i))
+}

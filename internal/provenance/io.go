@@ -1,0 +1,138 @@
+package provenance
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"questpro/internal/ntriples"
+)
+
+// Example-set serialization: a line-oriented container around the ntriples
+// format, so users can save the explanations they formulated and reload
+// them in later sessions.
+//
+//	@explanation <distinguished-value>
+//	<ntriples statements...>
+//	@end
+//
+// The distinguished value token is bare or Go-quoted, like ntriples tokens.
+
+// WriteExampleSet serializes the example-set.
+func WriteExampleSet(w io.Writer, ex ExampleSet) error {
+	if err := ex.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for _, e := range ex {
+		if _, err := fmt.Fprintf(bw, "@explanation %s\n", quoteToken(e.DistinguishedValue())); err != nil {
+			return err
+		}
+		if err := ntriples.Write(bw, e.Graph); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(bw, "@end"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FormatExampleSet renders the example-set as a string document.
+func FormatExampleSet(ex ExampleSet) (string, error) {
+	var sb strings.Builder
+	if err := WriteExampleSet(&sb, ex); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// ReadExampleSet parses a document written by WriteExampleSet.
+func ReadExampleSet(r io.Reader) (ExampleSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		out     ExampleSet
+		current *strings.Builder
+		dis     string
+		lineNo  int
+	)
+	finish := func() error {
+		g, err := ntriples.ParseString(current.String())
+		if err != nil {
+			return err
+		}
+		ex, err := NewByValue(g, dis)
+		if err != nil {
+			return err
+		}
+		out = append(out, ex)
+		current = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "@explanation"):
+			if current != nil {
+				return nil, fmt.Errorf("provenance: line %d: nested @explanation", lineNo)
+			}
+			token := strings.TrimSpace(strings.TrimPrefix(line, "@explanation"))
+			var err error
+			dis, err = unquoteToken(token)
+			if err != nil {
+				return nil, fmt.Errorf("provenance: line %d: %w", lineNo, err)
+			}
+			current = &strings.Builder{}
+		case line == "@end":
+			if current == nil {
+				return nil, fmt.Errorf("provenance: line %d: @end without @explanation", lineNo)
+			}
+			if err := finish(); err != nil {
+				return nil, fmt.Errorf("provenance: line %d: %w", lineNo, err)
+			}
+		case current != nil:
+			current.WriteString(sc.Text())
+			current.WriteString("\n")
+		case line == "" || strings.HasPrefix(line, "#"):
+			// Blank lines and comments between sections.
+		default:
+			return nil, fmt.Errorf("provenance: line %d: statement outside @explanation", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if current != nil {
+		return nil, fmt.Errorf("provenance: unterminated @explanation")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("provenance: empty example-set document")
+	}
+	return out, nil
+}
+
+// ParseExampleSet is ReadExampleSet over an in-memory document.
+func ParseExampleSet(s string) (ExampleSet, error) {
+	return ReadExampleSet(strings.NewReader(s))
+}
+
+func quoteToken(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\"\\") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func unquoteToken(s string) (string, error) {
+	if strings.HasPrefix(s, `"`) {
+		return strconv.Unquote(s)
+	}
+	if s == "" {
+		return "", fmt.Errorf("missing distinguished value")
+	}
+	return s, nil
+}

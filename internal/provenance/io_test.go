@@ -1,0 +1,93 @@
+package provenance_test
+
+import (
+	"strings"
+	"testing"
+
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+)
+
+func TestExampleSetRoundTrip(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	doc, err := provenance.FormatExampleSet(exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := provenance.ParseExampleSet(doc)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", doc, err)
+	}
+	if len(back) != len(exs) {
+		t.Fatalf("round trip: %d explanations, want %d", len(back), len(exs))
+	}
+	for i := range exs {
+		if back[i].DistinguishedValue() != exs[i].DistinguishedValue() {
+			t.Fatalf("explanation %d distinguished %q, want %q",
+				i, back[i].DistinguishedValue(), exs[i].DistinguishedValue())
+		}
+		if !back[i].Graph.EqualSets(exs[i].Graph) {
+			t.Fatalf("explanation %d graph changed", i)
+		}
+		// Types survive through the embedded ntriples format.
+		for _, n := range exs[i].Graph.Nodes() {
+			bn, ok := back[i].Graph.NodeByValue(n.Value)
+			if !ok || bn.Type != n.Type {
+				t.Fatalf("explanation %d: node %q type %q -> %q", i, n.Value, n.Type, bn.Type)
+			}
+		}
+	}
+}
+
+func TestExampleSetQuotedDistinguished(t *testing.T) {
+	doc := "@explanation \"New York\"\n\"New York\" \"located in\" USA .\n@end\n"
+	exs, err := provenance.ParseExampleSet(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exs[0].DistinguishedValue() != "New York" {
+		t.Fatalf("distinguished = %q", exs[0].DistinguishedValue())
+	}
+}
+
+func TestExampleSetParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"statement outside": "a b c .\n",
+		"nested":            "@explanation x\n@explanation y\n@end\n",
+		"end without start": "@end\n",
+		"unterminated":      "@explanation x\na b x .\n",
+		"missing dis":       "@explanation\na b c .\n@end\n",
+		"dis not in graph":  "@explanation ghost\na b c .\n@end\n",
+		"bad quoted dis":    "@explanation \"open\na b c .\n@end\n",
+		"bad inner triple":  "@explanation x\nonly two\n@end\n",
+		"comments only":     "# nothing\n",
+	}
+	for name, doc := range cases {
+		if _, err := provenance.ParseExampleSet(doc); err == nil {
+			t.Errorf("%s: parse succeeded for %q", name, doc)
+		}
+	}
+}
+
+func TestExampleSetCommentsBetweenSections(t *testing.T) {
+	doc := strings.Join([]string{
+		"# saved session",
+		"",
+		"@explanation Alice",
+		"paper1 wb Alice .",
+		"@end",
+		"# second",
+		"@explanation Bob",
+		"paper2 wb Bob .",
+		"@end",
+	}, "\n") + "\n"
+	exs, err := provenance.ParseExampleSet(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 2 {
+		t.Fatalf("parsed %d explanations", len(exs))
+	}
+}

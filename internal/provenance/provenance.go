@@ -1,0 +1,234 @@
+// Package provenance implements the paper's provenance model (Section II-B):
+// explanations — ontology subgraphs with a distinguished node — example-sets,
+// and the consistency relation between queries and example-sets (Definition
+// 2.6). Consistency of a simple query with an explanation amounts to an
+// *onto* homomorphism from the query onto the explanation that maps the
+// projected node to the distinguished node (Section III).
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// Explanation is a subgraph of the ontology together with a distinguished
+// node: the output example plus the user's rationale (Definition 2.5).
+type Explanation struct {
+	Graph         *graph.Graph
+	Distinguished graph.NodeID
+}
+
+// New builds an explanation, validating that the distinguished node exists.
+func New(g *graph.Graph, distinguished graph.NodeID) (Explanation, error) {
+	e := Explanation{Graph: g, Distinguished: distinguished}
+	if err := e.Validate(); err != nil {
+		return Explanation{}, err
+	}
+	return e, nil
+}
+
+// NewByValue builds an explanation whose distinguished node is looked up by
+// value.
+func NewByValue(g *graph.Graph, value string) (Explanation, error) {
+	n, ok := g.NodeByValue(value)
+	if !ok {
+		return Explanation{}, fmt.Errorf("provenance: distinguished value %q not in explanation", value)
+	}
+	return New(g, n.ID)
+}
+
+// Validate checks the explanation's internal consistency.
+func (e Explanation) Validate() error {
+	if e.Graph == nil {
+		return fmt.Errorf("provenance: explanation without graph")
+	}
+	if err := e.Graph.Validate(); err != nil {
+		return err
+	}
+	if e.Distinguished < 0 || int(e.Distinguished) >= e.Graph.NumNodes() {
+		return fmt.Errorf("provenance: invalid distinguished node %d", e.Distinguished)
+	}
+	return nil
+}
+
+// DistinguishedValue returns the value of the distinguished node.
+func (e Explanation) DistinguishedValue() string {
+	return e.Graph.Node(e.Distinguished).Value
+}
+
+// String renders the explanation with the distinguished node marked.
+func (e Explanation) String() string {
+	return fmt.Sprintf("explanation[dis=%s] %s", e.DistinguishedValue(), e.Graph)
+}
+
+// ExampleSet is a set of explanations (Definition 2.5). The same
+// distinguished node may appear in several explanations.
+type ExampleSet []Explanation
+
+// Validate checks every explanation.
+func (ex ExampleSet) Validate() error {
+	if len(ex) == 0 {
+		return fmt.Errorf("provenance: empty example-set")
+	}
+	for i, e := range ex {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("explanation %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DistinguishedValues returns the distinguished values in order.
+func (ex ExampleSet) DistinguishedValues() []string {
+	out := make([]string, len(ex))
+	for i, e := range ex {
+		out[i] = e.DistinguishedValue()
+	}
+	return out
+}
+
+// String lists the explanations.
+func (ex ExampleSet) String() string {
+	parts := make([]string, len(ex))
+	for i, e := range ex {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Isomorphic reports isomorphism between two subgraphs of a common ontology.
+// Because ontology node values are unique, a label-preserving isomorphism
+// must map each node to the node with the same value, so isomorphism
+// coincides with node/edge set equality.
+func Isomorphic(a, b *graph.Graph) bool { return a.EqualSets(b) }
+
+// OntoMatch reports whether q has a match *onto* the explanation — every
+// node and edge of the explanation is covered by the image — with the
+// projected node mapped to the distinguished node. When it exists, the
+// witness match is returned. The query's disequality constraints are
+// enforced by the underlying evaluator.
+func OntoMatch(q *query.Simple, ex Explanation) (*eval.Match, bool, error) {
+	proj := q.Projected()
+	if proj == query.NoNode {
+		return nil, false, fmt.Errorf("provenance: query has no projected node")
+	}
+	ev := eval.New(ex.Graph)
+	pn := q.Node(proj)
+	var pre map[query.NodeID]graph.NodeID
+	if pn.Term.IsVar {
+		pre = map[query.NodeID]graph.NodeID{proj: ex.Distinguished}
+	} else if pn.Term.Value != ex.DistinguishedValue() {
+		return nil, false, nil
+	}
+
+	needEdges := ex.Graph.NumEdges()
+	needNodes := ex.Graph.NumNodes()
+	var witness *eval.Match
+	err := ev.MatchesInto(q, pre, func(m *eval.Match) bool {
+		if !coversAll(ex.Graph, m, needEdges, needNodes) {
+			return true // keep searching
+		}
+		witness = m.Clone()
+		return false
+	})
+	if witness != nil {
+		return witness, true, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return nil, false, nil
+}
+
+// coversAll reports whether the match image covers all nodes and edges of g.
+func coversAll(g *graph.Graph, m *eval.Match, needEdges, needNodes int) bool {
+	edgeSeen := make([]bool, needEdges)
+	edgeCount := 0
+	for _, oe := range m.Edges {
+		if oe == graph.NoEdge {
+			return false
+		}
+		if !edgeSeen[oe] {
+			edgeSeen[oe] = true
+			edgeCount++
+		}
+	}
+	if edgeCount != needEdges {
+		return false
+	}
+	nodeSeen := make([]bool, needNodes)
+	nodeCount := 0
+	mark := func(n graph.NodeID) {
+		if n != graph.NoNode && !nodeSeen[n] {
+			nodeSeen[n] = true
+			nodeCount++
+		}
+	}
+	for _, on := range m.Nodes {
+		mark(on)
+	}
+	return nodeCount == needNodes
+}
+
+// ConsistentSimple reports whether the simple query is consistent with the
+// single explanation (Definition 2.6 restricted to one branch).
+func ConsistentSimple(q *query.Simple, ex Explanation) (bool, error) {
+	_, ok, err := OntoMatch(q, ex)
+	return ok, err
+}
+
+// Consistent reports whether the union query is consistent with the
+// example-set: for every explanation E there is a branch whose provenance
+// for dis(E) contains a graph isomorphic to E (Definition 2.6). Since
+// provenance graphs and explanations live in the same ontology, this reduces
+// to an onto match of some branch onto E.
+func Consistent(u *query.Union, ex ExampleSet) (bool, error) {
+	for _, e := range ex {
+		found := false
+		for _, b := range u.Branches() {
+			ok, err := ConsistentSimple(b, e)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// WitnessAssignments returns, for each explanation, the values assigned to
+// every query node by some onto match (the L(?x) sets of Example 5.1). The
+// second return lists explanations with no onto match (by index); callers
+// treat a non-empty list as inconsistency.
+func WitnessAssignments(q *query.Simple, ex ExampleSet) ([][]string, []int, error) {
+	out := make([][]string, len(ex))
+	var missing []int
+	for i, e := range ex {
+		m, ok, err := OntoMatch(q, e)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			missing = append(missing, i)
+			continue
+		}
+		vals := make([]string, len(m.Nodes))
+		for nid, on := range m.Nodes {
+			if on != graph.NoNode {
+				vals[nid] = e.Graph.Node(on).Value
+			}
+		}
+		out[i] = vals
+	}
+	return out, missing, nil
+}

@@ -1,0 +1,340 @@
+package provenance_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+func TestExplanationConstruction(t *testing.T) {
+	g := graph.New()
+	g.MustAddTriple("paper1", "wb", "Alice")
+	ex, err := provenance.NewByValue(g, "Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.DistinguishedValue() != "Alice" {
+		t.Fatalf("distinguished = %q", ex.DistinguishedValue())
+	}
+	if !strings.Contains(ex.String(), "dis=Alice") {
+		t.Fatalf("String = %q", ex.String())
+	}
+	if _, err := provenance.NewByValue(g, "Bob"); err == nil {
+		t.Fatal("missing distinguished value accepted")
+	}
+	if _, err := provenance.New(g, graph.NodeID(99)); err == nil {
+		t.Fatal("invalid distinguished id accepted")
+	}
+	if err := (provenance.Explanation{}).Validate(); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestExampleSetValidate(t *testing.T) {
+	if err := (provenance.ExampleSet{}).Validate(); err == nil {
+		t.Fatal("empty example-set accepted")
+	}
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	if err := exs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vals := exs.DistinguishedValues()
+	want := []string{"Alice", "Dave", "Felix", "Harry"}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("distinguished values = %v", vals)
+		}
+	}
+}
+
+func TestIsomorphicSubgraphs(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	if !provenance.Isomorphic(exs[0].Graph, exs[0].Graph.Clone()) {
+		t.Fatal("clone not isomorphic")
+	}
+	if provenance.Isomorphic(exs[0].Graph, exs[1].Graph) {
+		t.Fatal("E1 and E2 reported isomorphic")
+	}
+}
+
+// Example 2.7: Q1 is consistent with the whole example-set, and so is the
+// trivial Q2.
+func TestConsistencyRunningExample(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	for name, q := range map[string]*query.Simple{"Q1": paperfix.Q1(), "Q2": paperfix.Q2()} {
+		for i, ex := range exs {
+			ok, err := provenance.ConsistentSimple(q, ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("%s inconsistent with E%d", name, i+1)
+			}
+		}
+	}
+}
+
+// Q3 covers E1/E3 only; Q4 covers E2/E4 only; their union covers everything.
+func TestConsistencyUnionBranches(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	q3, q4 := paperfix.Q3(), paperfix.Q4()
+
+	wantQ3 := []bool{true, false, true, false}
+	wantQ4 := []bool{false, true, false, true}
+	for i, ex := range exs {
+		ok, err := provenance.ConsistentSimple(q3, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantQ3[i] {
+			t.Errorf("Q3 vs E%d = %v, want %v", i+1, ok, wantQ3[i])
+		}
+		ok, err = provenance.ConsistentSimple(q4, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantQ4[i] {
+			t.Errorf("Q4 vs E%d = %v, want %v", i+1, ok, wantQ4[i])
+		}
+	}
+	ok, err := provenance.Consistent(query.NewUnion(q3, q4), exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Union(Q3, Q4) inconsistent with the example-set")
+	}
+	ok, err = provenance.Consistent(query.NewUnion(q3), exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Union(Q3) alone should be inconsistent")
+	}
+}
+
+// Onto-ness matters: a sub-pattern of an explanation matches it but not onto.
+func TestOntoRequirement(t *testing.T) {
+	o := paperfix.Ontology()
+	e1 := paperfix.Explanations(o)[0]
+	// ?p wb ?a (projected ?a): matches E1 but never covers all 6 edges.
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Var("p"), "Paper")
+	a := q.MustEnsureNode(query.Var("a"), "Author")
+	q.MustAddEdge(p, a, "wb")
+	q.SetProjected(a)
+	ok, err := provenance.ConsistentSimple(q, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("non-onto match accepted as consistent")
+	}
+}
+
+// The projected node must land on the distinguished node.
+func TestProjectionRequirement(t *testing.T) {
+	o := paperfix.Ontology()
+	e2 := paperfix.Explanations(o)[1] // dis = Dave
+	// Q4 with the projected node moved to the paper variable.
+	q := paperfix.Q4()
+	pB, _ := q.NodeByTerm(query.Var("pB"))
+	if err := q.SetProjected(pB.ID); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := provenance.ConsistentSimple(q, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("projection onto paper accepted for author example")
+	}
+}
+
+func TestGroundProjectedConsistency(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	// The explanation-as-query is consistent with its own explanation...
+	q, err := query.FromExplanation(exs[0].Graph, exs[0].Distinguished)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := provenance.ConsistentSimple(q, exs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("explanation-as-query inconsistent with itself")
+	}
+	// ... and inconsistent with any other (different distinguished value).
+	ok, err = provenance.ConsistentSimple(q, exs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ground query consistent with foreign explanation")
+	}
+}
+
+func TestDiseqAwareConsistency(t *testing.T) {
+	o := paperfix.Ontology()
+	e1 := paperfix.Explanations(o)[0]
+	q := paperfix.Q1()
+	a1, _ := q.NodeByTerm(query.Var("a1"))
+	a2, _ := q.NodeByTerm(query.Var("a2"))
+	// a1 != a2 holds in E1 (Alice vs Bob): still consistent.
+	if err := q.AddDiseqNodes(a1.ID, a2.ID); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := provenance.ConsistentSimple(q, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid diseq broke consistency")
+	}
+	// a1 != Alice contradicts the distinguished node: inconsistent.
+	q2 := paperfix.Q1()
+	a1b, _ := q2.NodeByTerm(query.Var("a1"))
+	if err := q2.AddDiseqValue(a1b.ID, "Alice"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = provenance.ConsistentSimple(q2, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("contradictory diseq kept consistency")
+	}
+}
+
+func TestWitnessAssignments(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	q1 := paperfix.Q1()
+	vals, missing, err := provenance.WitnessAssignments(q1, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing witnesses for %v", missing)
+	}
+	a1, _ := q1.NodeByTerm(query.Var("a1"))
+	// Example 5.1: L(?a1) = {Alice, Dave, Felix, Harry}.
+	want := []string{"Alice", "Dave", "Felix", "Harry"}
+	for i := range exs {
+		if got := vals[i][a1.ID]; got != want[i] {
+			t.Errorf("witness a1 in E%d = %q, want %q", i+1, got, want[i])
+		}
+	}
+	// Q3 has no witness for E2/E4.
+	_, missing, err = provenance.WitnessAssignments(paperfix.Q3(), exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 2 {
+		t.Fatalf("Q3 missing = %v, want two entries", missing)
+	}
+}
+
+// Property: a ground query built from a random explanation is always
+// consistent with it, and stays consistent after generalizing the
+// distinguished node to a variable.
+func TestConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := graph.RandomOntology(rng, graph.RandomConfig{
+			Nodes: 14, Edges: 30, Labels: []string{"p", "q"},
+		})
+		sub, start := graph.RandomConnectedSubgraph(rng, o, 4)
+		if sub == nil {
+			return true
+		}
+		ex, err := provenance.New(sub, start)
+		if err != nil {
+			return false
+		}
+		q, err := query.FromExplanation(sub, start)
+		if err != nil {
+			return false
+		}
+		ok, err := provenance.ConsistentSimple(q, ex)
+		if err != nil || !ok {
+			return false
+		}
+		// Generalize: replace the distinguished constant with a variable.
+		gen := generalizeProjected(q)
+		ok, err = provenance.ConsistentSimple(gen, ex)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// generalizeProjected rebuilds q with the projected constant replaced by a
+// fresh variable.
+func generalizeProjected(q *query.Simple) *query.Simple {
+	out := query.NewSimple()
+	proj := q.Projected()
+	mapTerm := func(n query.Node) query.Term {
+		if n.ID == proj {
+			return query.Var("proj")
+		}
+		return n.Term
+	}
+	ids := map[query.NodeID]query.NodeID{}
+	for _, n := range q.Nodes() {
+		id, err := out.EnsureNode(mapTerm(n), n.Type)
+		if err != nil {
+			panic(err)
+		}
+		ids[n.ID] = id
+	}
+	for _, e := range q.Edges() {
+		if !out.HasEdgeTriple(ids[e.From], ids[e.To], e.Label) {
+			out.MustAddEdge(ids[e.From], ids[e.To], e.Label)
+		}
+	}
+	if err := out.SetProjected(ids[proj]); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestOntoMatchRequiresProjected(t *testing.T) {
+	o := paperfix.Ontology()
+	e1 := paperfix.Explanations(o)[0]
+	q := query.NewSimple()
+	x := q.MustEnsureNode(query.Var("x"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	q.MustAddEdge(x, y, "wb")
+	// No projected node set.
+	if _, _, err := provenance.OntoMatch(q, e1); err == nil {
+		t.Fatal("query without projected node accepted")
+	}
+}
+
+func TestConsistentGroundProjectedMismatchShortCircuits(t *testing.T) {
+	o := paperfix.Ontology()
+	e1 := paperfix.Explanations(o)[0] // dis = Alice
+	q := query.NewSimple()
+	dave := q.MustEnsureNode(query.Const("Dave"), "")
+	p := q.MustEnsureNode(query.Var("p"), "")
+	q.MustAddEdge(p, dave, "wb")
+	q.SetProjected(dave)
+	ok, err := provenance.ConsistentSimple(q, e1)
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v, want false/nil", ok, err)
+	}
+}

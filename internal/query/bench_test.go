@@ -1,0 +1,69 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchChain builds an n-edge chain query with one constant anchor.
+func benchChain(n int) *Simple {
+	q := NewSimple()
+	prev := q.MustEnsureNode(Const("anchor"), "")
+	for i := 0; i < n; i++ {
+		next := q.MustEnsureNode(Var(fmt.Sprintf("x%d", i)), "T")
+		q.MustAddEdge(prev, next, "p")
+		prev = next
+	}
+	if err := q.SetProjected(prev); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func BenchmarkIsomorphicChain8(b *testing.B) {
+	x := benchChain(8)
+	y := benchChain(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Isomorphic(x, y) {
+			b.Fatal("chains should be isomorphic")
+		}
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	q := benchChain(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Fingerprint()
+	}
+}
+
+func BenchmarkSPARQLRender(b *testing.B) {
+	u := NewUnion(benchChain(6), benchChain(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = u.SPARQL()
+	}
+}
+
+func BenchmarkSPARQLParse(b *testing.B) {
+	text := NewUnion(benchChain(6), benchChain(4)).SPARQL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSPARQL(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	q := benchChain(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.Clone()
+	}
+}

@@ -1,0 +1,57 @@
+package query_test
+
+import (
+	"fmt"
+	"log"
+
+	"questpro/internal/query"
+)
+
+// ExampleParseSPARQL round-trips a query through its SPARQL text.
+func ExampleParseSPARQL() {
+	q := query.NewSimple()
+	p := q.MustEnsureNode(query.Var("p"), "")
+	a := q.MustEnsureNode(query.Var("a"), "")
+	erdos := q.MustEnsureNode(query.Const("Erdos"), "")
+	q.MustAddEdge(p, a, "wb")
+	q.MustAddEdge(p, erdos, "wb")
+	if err := q.SetProjected(a); err != nil {
+		log.Fatal(err)
+	}
+	if err := q.AddDiseqNodes(a, erdos); err != nil {
+		log.Fatal(err)
+	}
+
+	text := q.SPARQL()
+	fmt.Println(text)
+
+	back, err := query.ParseSPARQL(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round trip isomorphic:", query.Isomorphic(q, back.Branch(0)))
+	// Output:
+	// SELECT ?a WHERE {
+	//   ?p <wb> ?a .
+	//   ?p <wb> "Erdos" .
+	//   FILTER (?a != "Erdos")
+	// }
+	// round trip isomorphic: true
+}
+
+// ExampleUnion_Cost evaluates the minimum-generalization objective of
+// Definition 4.1.
+func ExampleUnion_Cost() {
+	branch := query.NewSimple()
+	p := branch.MustEnsureNode(query.Var("p"), "")
+	a := branch.MustEnsureNode(query.Var("a"), "")
+	branch.MustAddEdge(p, a, "wb")
+	if err := branch.SetProjected(a); err != nil {
+		log.Fatal(err)
+	}
+	u := query.NewUnion(branch, branch.Clone())
+	// f(Q) = w1 * total variables + w2 * branches = 1*4 + 7*2
+	fmt.Println(u.Cost(1, 7))
+	// Output:
+	// 18
+}

@@ -1,0 +1,201 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a cheap invariant of the query under variable
+// renaming: equal queries always have equal fingerprints, and unequal
+// fingerprints certify non-isomorphism. Used to prefilter candidate
+// deduplication before the exact Isomorphic check.
+func (q *Simple) Fingerprint() string {
+	describe := func(id NodeID) string {
+		n := q.nodes[id]
+		mark := ""
+		if id == q.projected {
+			mark = "*"
+		}
+		if n.Term.IsVar {
+			return fmt.Sprintf("V%s(%s|%d,%d)", mark, n.Type, len(q.out[id]), len(q.in[id]))
+		}
+		return fmt.Sprintf("C%s(%s)", mark, n.Term.Value)
+	}
+	parts := make([]string, 0, len(q.edges))
+	for _, e := range q.edges {
+		opt := ""
+		if q.IsOptional(e.ID) {
+			opt = "?"
+		}
+		parts = append(parts, describe(e.From)+"-"+e.Label+opt+"->"+describe(e.To))
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("n%d e%d v%d d%d|%s",
+		len(q.nodes), len(q.edges), q.NumVars(), len(q.diseqs), strings.Join(parts, ";"))
+}
+
+// Isomorphic reports whether a and b are the same query up to renaming of
+// variables: there is a bijection of nodes mapping constants to equal
+// constants, variables to variables with the same type, edges to edges with
+// the same label, projected node to projected node, and disequality sets to
+// each other.
+func Isomorphic(a, b *Simple) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() ||
+		a.NumVars() != b.NumVars() || len(a.diseqs) != len(b.diseqs) {
+		return false
+	}
+	if (a.projected == NoNode) != (b.projected == NoNode) {
+		return false
+	}
+	// Constants must match one-to-one by value; seed the mapping with them.
+	mapping := make([]NodeID, a.NumNodes())
+	used := make([]bool, b.NumNodes())
+	for i := range mapping {
+		mapping[i] = NoNode
+	}
+	for _, n := range a.nodes {
+		if n.Term.IsVar {
+			continue
+		}
+		bn, ok := b.NodeByTerm(n.Term)
+		if !ok || bn.Type != n.Type {
+			return false
+		}
+		mapping[n.ID] = bn.ID
+		used[bn.ID] = true
+	}
+	// Order a's variable nodes by decreasing degree for faster failure.
+	var vars []NodeID
+	for _, n := range a.nodes {
+		if n.Term.IsVar {
+			vars = append(vars, n.ID)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return a.Degree(vars[i]) > a.Degree(vars[j]) })
+
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(vars) {
+			return isoComplete(a, b, mapping)
+		}
+		av := vars[k]
+		an := a.nodes[av]
+		for _, bn := range b.nodes {
+			if !bn.Term.IsVar || used[bn.ID] || bn.Type != an.Type {
+				continue
+			}
+			if a.Degree(av) != b.Degree(bn.ID) ||
+				len(a.out[av]) != len(b.out[bn.ID]) {
+				continue
+			}
+			if (av == a.projected) != (bn.ID == b.projected) {
+				continue
+			}
+			mapping[av] = bn.ID
+			used[bn.ID] = true
+			if isoPartialOK(a, b, av, mapping) && rec(k+1) {
+				return true
+			}
+			mapping[av] = NoNode
+			used[bn.ID] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// isoPartialOK checks that every edge of a incident to the newly mapped node
+// whose other endpoint is already mapped has a matching edge in b.
+func isoPartialOK(a, b *Simple, v NodeID, mapping []NodeID) bool {
+	for _, eid := range a.out[v] {
+		e := a.edges[eid]
+		if mapping[e.To] != NoNode && !b.HasEdgeTriple(mapping[v], mapping[e.To], e.Label) {
+			return false
+		}
+	}
+	for _, eid := range a.in[v] {
+		e := a.edges[eid]
+		if mapping[e.From] != NoNode && !b.HasEdgeTriple(mapping[e.From], mapping[v], e.Label) {
+			return false
+		}
+	}
+	return true
+}
+
+// isoComplete verifies the full mapping: every edge of a maps to an edge of
+// b (counts being equal makes this a bijection), the projected nodes
+// correspond, and the disequality sets coincide under the mapping.
+func isoComplete(a, b *Simple, mapping []NodeID) bool {
+	for _, e := range a.edges {
+		be, ok := b.FindEdge(mapping[e.From], mapping[e.To], e.Label)
+		if !ok || b.IsOptional(be.ID) != a.IsOptional(e.ID) {
+			return false
+		}
+	}
+	if a.projected != NoNode && mapping[a.projected] != b.projected {
+		return false
+	}
+	key := func(d Diseq) string {
+		if d.YIsNode {
+			x, y := d.X, d.Y
+			if x > y {
+				x, y = y, x
+			}
+			return fmt.Sprintf("n%d|n%d", x, y)
+		}
+		return fmt.Sprintf("n%d|v%s", d.X, d.YValue)
+	}
+	want := map[string]int{}
+	for _, d := range b.diseqs {
+		want[key(d)]++
+	}
+	for _, d := range a.diseqs {
+		md := Diseq{X: mapping[d.X], Y: d.Y, YIsNode: d.YIsNode, YValue: d.YValue}
+		if d.YIsNode {
+			md.Y = mapping[d.Y]
+		}
+		k := key(md)
+		if want[k] == 0 {
+			return false
+		}
+		want[k]--
+	}
+	return true
+}
+
+// UnionIsomorphic reports whether two union queries have the same multiset
+// of branches up to isomorphism.
+func UnionIsomorphic(a, b *Union) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	matched := make([]bool, b.Size())
+	for _, ab := range a.branches {
+		found := false
+		for j, bb := range b.branches {
+			if matched[j] {
+				continue
+			}
+			if Isomorphic(ab, bb) {
+				matched[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionFingerprint is the sorted concatenation of branch fingerprints.
+func (u *Union) Fingerprint() string {
+	parts := make([]string, len(u.branches))
+	for i, b := range u.branches {
+		parts[i] = b.Fingerprint()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x02")
+}

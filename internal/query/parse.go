@@ -1,0 +1,491 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseSPARQL parses the SPARQL subset emitted by (*Simple).SPARQL and
+// (*Union).SPARQL: a single SELECT of one variable over triple patterns,
+// disequality FILTERs, equality BINDs, and top-level UNION groups. It always
+// returns a Union (with one branch for a plain simple query). Node type
+// annotations are not part of SPARQL text and are therefore empty in the
+// parsed query.
+func ParseSPARQL(text string) (*Union, error) {
+	toks, err := lexSPARQL(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &sparqlParser{toks: toks}
+	u, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("query: parse: %w", err)
+	}
+	return u, nil
+}
+
+type tokKind int
+
+const (
+	tokWord tokKind = iota // SELECT, WHERE, UNION, FILTER, BIND, AS
+	tokVar                 // ?name
+	tokIRI                 // <label>
+	tokStr                 // "literal"
+	tokSym                 // { } ( ) . != =
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lexSPARQL(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == '.':
+			toks = append(toks, token{tokSym, string(c), i})
+			i++
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokSym, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: lex: stray '!' at offset %d", i)
+			}
+		case c == '=':
+			toks = append(toks, token{tokSym, "=", i})
+			i++
+		case c == '?':
+			j := i + 1
+			for j < len(s) && (isWordByte(s[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("query: lex: empty variable at offset %d", i)
+			}
+			toks = append(toks, token{tokVar, s[i+1 : j], i})
+			i = j
+		case c == '<':
+			j := strings.IndexByte(s[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("query: lex: unterminated IRI at offset %d", i)
+			}
+			toks = append(toks, token{tokIRI, s[i+1 : i+j], i})
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			for j < len(s) {
+				if s[j] == '\\' {
+					j += 2
+					continue
+				}
+				if s[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("query: lex: unterminated string at offset %d", i)
+			}
+			lit, err := strconv.Unquote(s[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("query: lex: bad string at offset %d: %v", i, err)
+			}
+			toks = append(toks, token{tokStr, lit, i})
+			i = j + 1
+		default:
+			if !isWordByte(c) {
+				return nil, fmt.Errorf("query: lex: unexpected byte %q at offset %d", c, i)
+			}
+			j := i
+			for j < len(s) && isWordByte(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokWord, s[i:j], i})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b))
+}
+
+type sparqlParser struct {
+	toks []token
+	i    int
+}
+
+func (p *sparqlParser) peek() (token, bool) {
+	if p.i >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.i], true
+}
+
+func (p *sparqlParser) next() (token, error) {
+	t, ok := p.peek()
+	if !ok {
+		return token{}, fmt.Errorf("unexpected end of input")
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *sparqlParser) expectWord(w string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokWord || !strings.EqualFold(t.text, w) {
+		return fmt.Errorf("expected %s, got %q at offset %d", w, t.text, t.pos)
+	}
+	return nil
+}
+
+func (p *sparqlParser) expectSym(s string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokSym || t.text != s {
+		return fmt.Errorf("expected %q, got %q at offset %d", s, t.text, t.pos)
+	}
+	return nil
+}
+
+// branchAST is the staging form of one union branch before materialization.
+type branchAST struct {
+	triples  [][3]Term // subject, (unused middle), object
+	labels   []string
+	optional []bool // parallel to triples: inside an OPTIONAL block
+	diseqs   []diseqAST
+	binds    map[string]string // var name -> constant value
+}
+
+type diseqAST struct {
+	x      string // variable name
+	yVar   string // other variable, when yIsVar
+	yIsVar bool
+	yVal   string // literal otherwise
+}
+
+func (p *sparqlParser) parseQuery() (*Union, error) {
+	if err := p.expectWord("SELECT"); err != nil {
+		return nil, err
+	}
+	vt, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if vt.kind != tokVar {
+		return nil, fmt.Errorf("expected projected variable, got %q", vt.text)
+	}
+	outVar := vt.text
+	if err := p.expectWord("WHERE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+
+	var branches []*branchAST
+	if t, ok := p.peek(); ok && t.kind == tokSym && t.text == "{" {
+		// Union form: { group } (UNION { group })*
+		for {
+			if err := p.expectSym("{"); err != nil {
+				return nil, err
+			}
+			br, err := p.parseStatements()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym("}"); err != nil {
+				return nil, err
+			}
+			branches = append(branches, br)
+			t, ok := p.peek()
+			if ok && t.kind == tokWord && strings.EqualFold(t.text, "UNION") {
+				p.i++
+				continue
+			}
+			break
+		}
+	} else {
+		br, err := p.parseStatements()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, br)
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	if t, ok := p.peek(); ok {
+		return nil, fmt.Errorf("trailing input %q at offset %d", t.text, t.pos)
+	}
+
+	simple := make([]*Simple, 0, len(branches))
+	for _, br := range branches {
+		q, err := br.materialize(outVar)
+		if err != nil {
+			return nil, err
+		}
+		simple = append(simple, q)
+	}
+	return NewUnion(simple...), nil
+}
+
+func (p *sparqlParser) parseStatements() (*branchAST, error) {
+	br := &branchAST{binds: map[string]string{}}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("unexpected end of statements")
+		}
+		if t.kind == tokSym && t.text == "}" {
+			return br, nil
+		}
+		switch {
+		case t.kind == tokWord && strings.EqualFold(t.text, "FILTER"):
+			p.i++
+			if err := p.parseFilter(br); err != nil {
+				return nil, err
+			}
+		case t.kind == tokWord && strings.EqualFold(t.text, "BIND"):
+			p.i++
+			if err := p.parseBind(br); err != nil {
+				return nil, err
+			}
+		case t.kind == tokWord && strings.EqualFold(t.text, "OPTIONAL"):
+			p.i++
+			if err := p.parseOptional(br); err != nil {
+				return nil, err
+			}
+		case t.kind == tokVar || t.kind == tokStr:
+			if err := p.parseTriple(br, false); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unexpected token %q at offset %d", t.text, t.pos)
+		}
+	}
+}
+
+func (p *sparqlParser) parseTermTok() (Term, error) {
+	t, err := p.next()
+	if err != nil {
+		return Term{}, err
+	}
+	switch t.kind {
+	case tokVar:
+		return Var(t.text), nil
+	case tokStr:
+		return Const(t.text), nil
+	default:
+		return Term{}, fmt.Errorf("expected term, got %q at offset %d", t.text, t.pos)
+	}
+}
+
+// parseOptional parses OPTIONAL { triple+ }; every triple inside is marked
+// optional.
+func (p *sparqlParser) parseOptional(br *branchAST) error {
+	if err := p.expectSym("{"); err != nil {
+		return err
+	}
+	count := 0
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return fmt.Errorf("unexpected end inside OPTIONAL")
+		}
+		if t.kind == tokSym && t.text == "}" {
+			p.i++
+			if count == 0 {
+				return fmt.Errorf("empty OPTIONAL block")
+			}
+			return nil
+		}
+		if err := p.parseTriple(br, true); err != nil {
+			return err
+		}
+		count++
+	}
+}
+
+func (p *sparqlParser) parseTriple(br *branchAST, optional bool) error {
+	subj, err := p.parseTermTok()
+	if err != nil {
+		return err
+	}
+	pt, err := p.next()
+	if err != nil {
+		return err
+	}
+	if pt.kind != tokIRI {
+		return fmt.Errorf("expected predicate IRI, got %q at offset %d", pt.text, pt.pos)
+	}
+	obj, err := p.parseTermTok()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym("."); err != nil {
+		return err
+	}
+	br.triples = append(br.triples, [3]Term{subj, {}, obj})
+	br.labels = append(br.labels, pt.text)
+	br.optional = append(br.optional, optional)
+	return nil
+}
+
+func (p *sparqlParser) parseFilter(br *branchAST) error {
+	if err := p.expectSym("("); err != nil {
+		return err
+	}
+	left, err := p.next()
+	if err != nil {
+		return err
+	}
+	if left.kind != tokVar {
+		return fmt.Errorf("FILTER left side must be a variable, got %q", left.text)
+	}
+	op, err := p.next()
+	if err != nil {
+		return err
+	}
+	if op.kind != tokSym || (op.text != "!=" && op.text != "=") {
+		return fmt.Errorf("expected != or = in FILTER, got %q", op.text)
+	}
+	right, err := p.parseTermTok()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return err
+	}
+	if op.text == "=" {
+		if right.IsVar {
+			return fmt.Errorf("equality FILTER with variable right side unsupported")
+		}
+		br.binds[left.text] = right.Value
+		return nil
+	}
+	d := diseqAST{x: left.text}
+	if right.IsVar {
+		d.yIsVar, d.yVar = true, right.Value
+	} else {
+		d.yVal = right.Value
+	}
+	br.diseqs = append(br.diseqs, d)
+	return nil
+}
+
+func (p *sparqlParser) parseBind(br *branchAST) error {
+	if err := p.expectSym("("); err != nil {
+		return err
+	}
+	val, err := p.next()
+	if err != nil {
+		return err
+	}
+	if val.kind != tokStr {
+		return fmt.Errorf("BIND value must be a literal, got %q", val.text)
+	}
+	if err := p.expectWord("AS"); err != nil {
+		return err
+	}
+	v, err := p.next()
+	if err != nil {
+		return err
+	}
+	if v.kind != tokVar {
+		return fmt.Errorf("BIND target must be a variable, got %q", v.text)
+	}
+	if err := p.expectSym(")"); err != nil {
+		return err
+	}
+	br.binds[v.text] = val.text
+	return nil
+}
+
+// materialize builds the Simple query from the staged statements, applying
+// equality binds as substitutions and marking the projected node.
+func (br *branchAST) materialize(outVar string) (*Simple, error) {
+	subst := func(t Term) Term {
+		if t.IsVar {
+			if v, ok := br.binds[t.Value]; ok {
+				return Const(v)
+			}
+		}
+		return t
+	}
+	q := NewSimple()
+	for i, tr := range br.triples {
+		from, err := q.EnsureNode(subst(tr[0]), "")
+		if err != nil {
+			return nil, err
+		}
+		to, err := q.EnsureNode(subst(tr[2]), "")
+		if err != nil {
+			return nil, err
+		}
+		eid, err := q.AddEdge(from, to, br.labels[i])
+		if err != nil {
+			return nil, err
+		}
+		if br.optional[i] {
+			if err := q.SetOptional(eid, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Projected node: the output variable after substitution.
+	projTerm := subst(Var(outVar))
+	pid, err := q.EnsureNode(projTerm, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := q.SetProjected(pid); err != nil {
+		return nil, err
+	}
+	for _, d := range br.diseqs {
+		xt := subst(Var(d.x))
+		if !xt.IsVar {
+			return nil, fmt.Errorf("disequality on bound variable ?%s", d.x)
+		}
+		xn, ok := q.NodeByTerm(xt)
+		if !ok {
+			return nil, fmt.Errorf("disequality over unknown variable ?%s", d.x)
+		}
+		if d.yIsVar {
+			yt := subst(Var(d.yVar))
+			yn, ok := q.NodeByTerm(yt)
+			if !ok {
+				return nil, fmt.Errorf("disequality over unknown variable ?%s", d.yVar)
+			}
+			if err := q.AddDiseqNodes(xn.ID, yn.ID); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Literal right side: attach to the pattern node when the literal
+		// occurs in the query, else keep as a value constraint.
+		if yn, ok := q.NodeByTerm(Const(d.yVal)); ok {
+			if err := q.AddDiseqNodes(xn.ID, yn.ID); err != nil {
+				return nil, err
+			}
+		} else if err := q.AddDiseqValue(xn.ID, d.yVal); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}

@@ -1,0 +1,461 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"questpro/internal/graph"
+)
+
+// NodeID identifies a node within one Simple query.
+type NodeID int32
+
+// EdgeID identifies an edge within one Simple query.
+type EdgeID int32
+
+// NoNode is the sentinel "no node" id (also the initial projected node).
+const NoNode NodeID = -1
+
+// Node is a query node: a term plus an optional ontology type annotation
+// (used when inferring disequalities; see Section V).
+type Node struct {
+	ID   NodeID
+	Term Term
+	Type string
+}
+
+// Edge is a directed labeled query edge.
+type Edge struct {
+	ID       EdgeID
+	From, To NodeID
+	Label    string
+}
+
+// Diseq is a disequality constraint ?x != y where X is a variable node and
+// the right-hand side is either another query node (variable or constant) or
+// a literal constant value not necessarily present in the pattern.
+type Diseq struct {
+	X NodeID // always a variable node
+	// Y is the other node when YIsNode; otherwise YValue is a literal value.
+	Y       NodeID
+	YIsNode bool
+	YValue  string
+}
+
+// Simple is a simple SPARQL query: a basic graph pattern with one projected
+// node and optional disequalities. As a representational convenience the
+// projected node may be a constant (this arises for the trivial union query
+// of Section IV that turns each explanation into a constants-only pattern).
+type Simple struct {
+	nodes  []Node
+	edges  []Edge
+	byTerm map[string]NodeID
+
+	out map[NodeID][]EdgeID
+	in  map[NodeID][]EdgeID
+
+	edgeTriples map[qTripleKey]EdgeID
+
+	optional map[EdgeID]bool
+
+	projected NodeID
+	diseqs    []Diseq
+
+	varCounter int // for FreshVar
+}
+
+type qTripleKey struct {
+	from, to NodeID
+	label    string
+}
+
+// NewSimple returns an empty simple query with no projected node.
+func NewSimple() *Simple {
+	return &Simple{
+		byTerm:      make(map[string]NodeID),
+		out:         make(map[NodeID][]EdgeID),
+		in:          make(map[NodeID][]EdgeID),
+		edgeTriples: make(map[qTripleKey]EdgeID),
+		optional:    make(map[EdgeID]bool),
+		projected:   NoNode,
+	}
+}
+
+// NumNodes reports the number of query nodes.
+func (q *Simple) NumNodes() int { return len(q.nodes) }
+
+// NumEdges reports the number of query edges.
+func (q *Simple) NumEdges() int { return len(q.edges) }
+
+// NumVars reports the number of distinct variable nodes — the paper's
+// preference criterion for simple queries (Section III).
+func (q *Simple) NumVars() int {
+	n := 0
+	for _, node := range q.nodes {
+		if node.Term.IsVar {
+			n++
+		}
+	}
+	return n
+}
+
+// EnsureNode returns the node carrying the given term, creating it if
+// needed. A non-empty type fills an empty one; a conflicting non-empty type
+// is an error.
+func (q *Simple) EnsureNode(t Term, typ string) (NodeID, error) {
+	if id, ok := q.byTerm[t.key()]; ok {
+		n := &q.nodes[id]
+		if typ != "" && n.Type == "" {
+			n.Type = typ
+		} else if typ != "" && n.Type != typ {
+			return NoNode, fmt.Errorf("query: node %s has type %q, conflicting type %q", t, n.Type, typ)
+		}
+		return id, nil
+	}
+	id := NodeID(len(q.nodes))
+	q.nodes = append(q.nodes, Node{ID: id, Term: t, Type: typ})
+	q.byTerm[t.key()] = id
+	return id, nil
+}
+
+// MustEnsureNode is EnsureNode that panics on error; for fixtures and tests.
+func (q *Simple) MustEnsureNode(t Term, typ string) NodeID {
+	id, err := q.EnsureNode(t, typ)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// FreshVar creates a new variable node with an unused generated name.
+func (q *Simple) FreshVar(typ string) NodeID {
+	for {
+		q.varCounter++
+		t := Var(fmt.Sprintf("v%d", q.varCounter))
+		if _, ok := q.byTerm[t.key()]; ok {
+			continue
+		}
+		id, err := q.EnsureNode(t, typ)
+		if err != nil {
+			panic(err) // unreachable: name is fresh
+		}
+		return id
+	}
+}
+
+// AddEdge adds the edge from -label-> to. Duplicate (from, to, label)
+// triples are rejected, matching the ontology model.
+func (q *Simple) AddEdge(from, to NodeID, label string) (EdgeID, error) {
+	if !q.validNode(from) || !q.validNode(to) {
+		return -1, fmt.Errorf("query: invalid edge endpoints (%d, %d)", from, to)
+	}
+	key := qTripleKey{from: from, to: to, label: label}
+	if _, ok := q.edgeTriples[key]; ok {
+		return -1, fmt.Errorf("query: duplicate edge %s -%s-> %s",
+			q.nodes[from].Term, label, q.nodes[to].Term)
+	}
+	id := EdgeID(len(q.edges))
+	q.edges = append(q.edges, Edge{ID: id, From: from, To: to, Label: label})
+	q.edgeTriples[key] = id
+	q.out[from] = append(q.out[from], id)
+	q.in[to] = append(q.in[to], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (q *Simple) MustAddEdge(from, to NodeID, label string) EdgeID {
+	id, err := q.AddEdge(from, to, label)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// SetOptional marks an edge as OPTIONAL (an extension beyond the paper's
+// query class; the conclusion names OPTIONAL as future work). Optional
+// edges never restrict the result set: the evaluator binds them when a
+// compatible ontology edge exists and skips them otherwise, so they enrich
+// provenance with context rather than filter results.
+func (q *Simple) SetOptional(e EdgeID, optional bool) error {
+	if e < 0 || int(e) >= len(q.edges) {
+		return fmt.Errorf("query: invalid edge id %d", e)
+	}
+	if optional {
+		q.optional[e] = true
+	} else {
+		delete(q.optional, e)
+	}
+	return nil
+}
+
+// IsOptional reports whether the edge is OPTIONAL.
+func (q *Simple) IsOptional(e EdgeID) bool { return q.optional[e] }
+
+// NumOptionalEdges reports how many edges are OPTIONAL.
+func (q *Simple) NumOptionalEdges() int { return len(q.optional) }
+
+// HasEdgeTriple reports whether from -label-> to exists.
+func (q *Simple) HasEdgeTriple(from, to NodeID, label string) bool {
+	_, ok := q.edgeTriples[qTripleKey{from: from, to: to, label: label}]
+	return ok
+}
+
+// FindEdge returns the edge from -label-> to, if present.
+func (q *Simple) FindEdge(from, to NodeID, label string) (Edge, bool) {
+	id, ok := q.edgeTriples[qTripleKey{from: from, to: to, label: label}]
+	if !ok {
+		return Edge{}, false
+	}
+	return q.edges[id], true
+}
+
+func (q *Simple) validNode(id NodeID) bool { return id >= 0 && int(id) < len(q.nodes) }
+
+// Node returns the node with the given id; it panics on invalid ids.
+func (q *Simple) Node(id NodeID) Node {
+	if !q.validNode(id) {
+		panic(fmt.Sprintf("query: invalid node id %d", id))
+	}
+	return q.nodes[id]
+}
+
+// Edge returns the edge with the given id; it panics on invalid ids.
+func (q *Simple) Edge(id EdgeID) Edge {
+	if id < 0 || int(id) >= len(q.edges) {
+		panic(fmt.Sprintf("query: invalid edge id %d", id))
+	}
+	return q.edges[id]
+}
+
+// NodeByTerm looks a node up by its term.
+func (q *Simple) NodeByTerm(t Term) (Node, bool) {
+	id, ok := q.byTerm[t.key()]
+	if !ok {
+		return Node{}, false
+	}
+	return q.nodes[id], true
+}
+
+// Nodes returns a copy of all nodes in id order.
+func (q *Simple) Nodes() []Node {
+	out := make([]Node, len(q.nodes))
+	copy(out, q.nodes)
+	return out
+}
+
+// Edges returns a copy of all edges in id order.
+func (q *Simple) Edges() []Edge {
+	out := make([]Edge, len(q.edges))
+	copy(out, q.edges)
+	return out
+}
+
+// OutEdges returns the ids of edges with source n; shared slice, read-only.
+func (q *Simple) OutEdges(n NodeID) []EdgeID { return q.out[n] }
+
+// InEdges returns the ids of edges with target n; shared slice, read-only.
+func (q *Simple) InEdges(n NodeID) []EdgeID { return q.in[n] }
+
+// Degree reports the total degree of a node.
+func (q *Simple) Degree(n NodeID) int { return len(q.out[n]) + len(q.in[n]) }
+
+// SetProjected designates the projected (output) node.
+func (q *Simple) SetProjected(id NodeID) error {
+	if !q.validNode(id) {
+		return fmt.Errorf("query: invalid projected node id %d", id)
+	}
+	q.projected = id
+	return nil
+}
+
+// Projected returns the projected node id, or NoNode if unset.
+func (q *Simple) Projected() NodeID { return q.projected }
+
+// Labels returns the sorted set of edge labels.
+func (q *Simple) Labels() []string {
+	set := map[string]bool{}
+	for _, e := range q.edges {
+		set[e.Label] = true
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddDiseqNodes adds the disequality x != y between two query nodes. x must
+// be a variable node; if x is constant but y is a variable the pair is
+// swapped. Duplicates are ignored.
+func (q *Simple) AddDiseqNodes(x, y NodeID) error {
+	if !q.validNode(x) || !q.validNode(y) {
+		return fmt.Errorf("query: invalid disequality nodes (%d, %d)", x, y)
+	}
+	if !q.nodes[x].Term.IsVar {
+		if !q.nodes[y].Term.IsVar {
+			return fmt.Errorf("query: disequality between two constants %s, %s",
+				q.nodes[x].Term, q.nodes[y].Term)
+		}
+		x, y = y, x
+	}
+	if x == y {
+		return fmt.Errorf("query: disequality of a node with itself")
+	}
+	d := Diseq{X: x, Y: y, YIsNode: true}
+	// Canonical var-var orientation: lower id first, for dedup.
+	if q.nodes[y].Term.IsVar && y < x {
+		d = Diseq{X: y, Y: x, YIsNode: true}
+	}
+	for _, existing := range q.diseqs {
+		if existing == d {
+			return nil
+		}
+	}
+	q.diseqs = append(q.diseqs, d)
+	return nil
+}
+
+// AddDiseqValue adds the disequality x != value for a literal value.
+func (q *Simple) AddDiseqValue(x NodeID, value string) error {
+	if !q.validNode(x) {
+		return fmt.Errorf("query: invalid disequality node %d", x)
+	}
+	if !q.nodes[x].Term.IsVar {
+		return fmt.Errorf("query: disequality on constant node %s", q.nodes[x].Term)
+	}
+	d := Diseq{X: x, YValue: value}
+	for _, existing := range q.diseqs {
+		if existing == d {
+			return nil
+		}
+	}
+	q.diseqs = append(q.diseqs, d)
+	return nil
+}
+
+// Diseqs returns a copy of the disequality constraints.
+func (q *Simple) Diseqs() []Diseq {
+	out := make([]Diseq, len(q.diseqs))
+	copy(out, q.diseqs)
+	return out
+}
+
+// NumDiseqs reports the number of disequality constraints.
+func (q *Simple) NumDiseqs() int { return len(q.diseqs) }
+
+// Clone returns a deep copy.
+func (q *Simple) Clone() *Simple {
+	c := NewSimple()
+	c.nodes = append([]Node(nil), q.nodes...)
+	c.edges = append([]Edge(nil), q.edges...)
+	for k, v := range q.byTerm {
+		c.byTerm[k] = v
+	}
+	for n, es := range q.out {
+		c.out[n] = append([]EdgeID(nil), es...)
+	}
+	for n, es := range q.in {
+		c.in[n] = append([]EdgeID(nil), es...)
+	}
+	for k, v := range q.edgeTriples {
+		c.edgeTriples[k] = v
+	}
+	for k, v := range q.optional {
+		c.optional[k] = v
+	}
+	c.projected = q.projected
+	c.diseqs = append([]Diseq(nil), q.diseqs...)
+	c.varCounter = q.varCounter
+	return c
+}
+
+// WithoutDiseqs returns a copy of q with all disequalities removed — the
+// Q^no form used by the feedback loop (Section V).
+func (q *Simple) WithoutDiseqs() *Simple {
+	c := q.Clone()
+	c.diseqs = nil
+	return c
+}
+
+// WithDiseqs returns a copy of q whose disequalities are exactly the given
+// subset (which must be valid constraints of some query over the same nodes).
+func (q *Simple) WithDiseqs(ds []Diseq) *Simple {
+	c := q.Clone()
+	c.diseqs = append([]Diseq(nil), ds...)
+	return c
+}
+
+// IsGround reports whether the query has no variable nodes.
+func (q *Simple) IsGround() bool { return q.NumVars() == 0 }
+
+// Validate checks internal invariants.
+func (q *Simple) Validate() error {
+	seen := map[string]bool{}
+	for i, n := range q.nodes {
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("query: node %d has id %d", i, n.ID)
+		}
+		if seen[n.Term.key()] {
+			return fmt.Errorf("query: duplicate term %s", n.Term)
+		}
+		seen[n.Term.key()] = true
+	}
+	for i, e := range q.edges {
+		if e.ID != EdgeID(i) {
+			return fmt.Errorf("query: edge %d has id %d", i, e.ID)
+		}
+		if !q.validNode(e.From) || !q.validNode(e.To) {
+			return fmt.Errorf("query: edge %d has invalid endpoints", i)
+		}
+	}
+	if q.projected != NoNode && !q.validNode(q.projected) {
+		return fmt.Errorf("query: invalid projected node %d", q.projected)
+	}
+	for e := range q.optional {
+		if e < 0 || int(e) >= len(q.edges) {
+			return fmt.Errorf("query: optional flag on invalid edge %d", e)
+		}
+	}
+	for _, d := range q.diseqs {
+		if !q.validNode(d.X) || !q.nodes[d.X].Term.IsVar {
+			return fmt.Errorf("query: disequality left side %d is not a variable node", d.X)
+		}
+		if d.YIsNode && !q.validNode(d.Y) {
+			return fmt.Errorf("query: disequality right side %d invalid", d.Y)
+		}
+	}
+	return nil
+}
+
+// FromExplanation converts an ontology subgraph with a distinguished node
+// into a constants-only Simple query whose projected node carries the
+// distinguished node's value. This is both the trivial consistent pattern of
+// Section IV (the leaves of Algorithm 2's lattice) and the uniform
+// representation that lets Algorithm 1 merge explanations and intermediate
+// queries alike.
+func FromExplanation(g *graph.Graph, distinguished graph.NodeID) (*Simple, error) {
+	q := NewSimple()
+	ids := make([]NodeID, g.NumNodes())
+	for _, n := range g.Nodes() {
+		id, err := q.EnsureNode(Const(n.Value), n.Type)
+		if err != nil {
+			return nil, err
+		}
+		ids[n.ID] = id
+	}
+	for _, e := range g.Edges() {
+		if _, err := q.AddEdge(ids[e.From], ids[e.To], e.Label); err != nil {
+			return nil, err
+		}
+	}
+	dn := g.Node(distinguished)
+	pid, ok := q.NodeByTerm(Const(dn.Value))
+	if !ok {
+		return nil, fmt.Errorf("query: distinguished node %q missing", dn.Value)
+	}
+	if err := q.SetProjected(pid.ID); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

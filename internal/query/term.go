@@ -1,0 +1,47 @@
+// Package query implements the SPARQL query class of the paper (Section
+// II-A): simple queries — basic graph patterns over an ontology graph with a
+// single projected node — unions of simple queries, and disequality
+// constraints between nodes of the same ontology type (Section V).
+//
+// A query is itself a labeled graph whose nodes carry terms: either constant
+// ontology values or variables. Node identity coincides with term identity
+// (two occurrences of the same variable, or of the same constant, are the
+// same query node), which matches the homomorphism semantics of Definition
+// 2.2.
+package query
+
+import "strings"
+
+// Term is the label of a query node: a constant ontology value or a variable.
+type Term struct {
+	IsVar bool
+	// Value is the constant's ontology value, or the variable's name
+	// (without the leading "?").
+	Value string
+}
+
+// Const returns a constant term.
+func Const(value string) Term { return Term{Value: value} }
+
+// Var returns a variable term. A leading "?" is stripped for convenience.
+func Var(name string) Term {
+	return Term{IsVar: true, Value: strings.TrimPrefix(name, "?")}
+}
+
+// String renders the term in SPARQL-ish form: ?name for variables and the
+// raw value for constants.
+func (t Term) String() string {
+	if t.IsVar {
+		return "?" + t.Value
+	}
+	return t.Value
+}
+
+// key is the internal map key distinguishing variables from constants that
+// happen to share spelling.
+func (t Term) key() string {
+	if t.IsVar {
+		return "v\x00" + t.Value
+	}
+	return "c\x00" + t.Value
+}

@@ -1,0 +1,100 @@
+package query
+
+import "fmt"
+
+// Union is a SPARQL query that is a union of simple queries (Section II-A).
+// A Union with a single branch is semantically that simple query.
+type Union struct {
+	branches []*Simple
+}
+
+// NewUnion builds a union query over the given branches.
+func NewUnion(branches ...*Simple) *Union {
+	return &Union{branches: append([]*Simple(nil), branches...)}
+}
+
+// Branches returns the underlying simple queries; shared slice, read-only.
+func (u *Union) Branches() []*Simple { return u.branches }
+
+// Size reports the number of branches (|Q| in the cost function of Def 4.1).
+func (u *Union) Size() int { return len(u.branches) }
+
+// Branch returns the i-th branch.
+func (u *Union) Branch(i int) *Simple { return u.branches[i] }
+
+// TotalVars reports the total number of variables over all branches
+// (Σ_{q∈Q} |vars(q)| in Definition 4.1).
+func (u *Union) TotalVars() int {
+	n := 0
+	for _, b := range u.branches {
+		n += b.NumVars()
+	}
+	return n
+}
+
+// TotalDiseqs reports the total number of disequalities over all branches.
+func (u *Union) TotalDiseqs() int {
+	n := 0
+	for _, b := range u.branches {
+		n += b.NumDiseqs()
+	}
+	return n
+}
+
+// Cost evaluates the minimum-generalization objective of Definition 4.1:
+// f(Q) = w1 * Σ_{q∈Q} |vars(q)| + w2 * |Q|.
+func (u *Union) Cost(w1, w2 float64) float64 {
+	return w1*float64(u.TotalVars()) + w2*float64(u.Size())
+}
+
+// Clone deep-copies the union.
+func (u *Union) Clone() *Union {
+	out := make([]*Simple, len(u.branches))
+	for i, b := range u.branches {
+		out[i] = b.Clone()
+	}
+	return &Union{branches: out}
+}
+
+// WithoutDiseqs returns a copy with every branch's disequalities stripped
+// (the Q^no form of Section V).
+func (u *Union) WithoutDiseqs() *Union {
+	out := make([]*Simple, len(u.branches))
+	for i, b := range u.branches {
+		out[i] = b.WithoutDiseqs()
+	}
+	return &Union{branches: out}
+}
+
+// Replace returns a copy where branches i and j are removed and merged is
+// appended; used by Algorithm 2's merge step.
+func (u *Union) Replace(i, j int, merged *Simple) (*Union, error) {
+	if i == j || i < 0 || j < 0 || i >= len(u.branches) || j >= len(u.branches) {
+		return nil, fmt.Errorf("query: invalid branch indexes (%d, %d)", i, j)
+	}
+	out := make([]*Simple, 0, len(u.branches)-1)
+	for k, b := range u.branches {
+		if k == i || k == j {
+			continue
+		}
+		out = append(out, b)
+	}
+	out = append(out, merged)
+	return &Union{branches: out}, nil
+}
+
+// Validate checks every branch.
+func (u *Union) Validate() error {
+	if len(u.branches) == 0 {
+		return fmt.Errorf("query: empty union")
+	}
+	for i, b := range u.branches {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("branch %d: %w", i, err)
+		}
+		if b.Projected() == NoNode {
+			return fmt.Errorf("branch %d: no projected node", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package viz renders ontologies, explanations, queries and provenance
+// graphs as Graphviz DOT documents. It is the offline stand-in for the
+// paper's web UI (Section VI-A), which displays node neighborhoods during
+// explanation formulation and provenance graphs during feedback.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"questpro/internal/graph"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// escape quotes a DOT string literal.
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+// Options controls rendering.
+type Options struct {
+	// Name is the DOT graph name; "G" when empty.
+	Name string
+	// Highlight contains node values drawn with a distinct style (the
+	// distinguished node of an explanation, the result of a provenance
+	// question).
+	Highlight map[string]bool
+	// RankDir is Graphviz rankdir ("LR" when empty).
+	RankDir string
+}
+
+func (o Options) name() string {
+	if o.Name == "" {
+		return "G"
+	}
+	return o.Name
+}
+
+func (o Options) rankDir() string {
+	if o.RankDir == "" {
+		return "LR"
+	}
+	return o.RankDir
+}
+
+// Graph renders an ontology (sub)graph. Node types become tooltips; nodes
+// listed in Highlight are filled.
+func Graph(g *graph.Graph, opts Options) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=%s;\n  node [shape=ellipse];\n",
+		opts.name(), opts.rankDir())
+	nodes := g.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Value < nodes[j].Value })
+	for _, n := range nodes {
+		attrs := []string{fmt.Sprintf("label=\"%s\"", escape(n.Value))}
+		if n.Type != "" {
+			attrs = append(attrs, fmt.Sprintf("tooltip=\"%s\"", escape(n.Type)))
+		}
+		if opts.Highlight[n.Value] {
+			attrs = append(attrs, `style=filled`, `fillcolor=gold`, `penwidth=2`)
+		}
+		fmt.Fprintf(&sb, "  %q [%s];\n", n.Value, strings.Join(attrs, ", "))
+	}
+	lines := make([]string, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		lines = append(lines, fmt.Sprintf("  %q -> %q [label=\"%s\"];",
+			g.Node(e.From).Value, g.Node(e.To).Value, escape(e.Label)))
+	}
+	sort.Strings(lines)
+	sb.WriteString(strings.Join(lines, "\n"))
+	sb.WriteString("\n}\n")
+	return sb.String()
+}
+
+// Explanation renders an explanation with its distinguished node
+// highlighted — the provenance view the feedback loop shows users.
+func Explanation(ex provenance.Explanation, opts Options) string {
+	if opts.Highlight == nil {
+		opts.Highlight = map[string]bool{}
+	}
+	opts.Highlight[ex.DistinguishedValue()] = true
+	return Graph(ex.Graph, opts)
+}
+
+// queryBody writes the node and edge statements of one simple query with
+// the given indentation; node ids are prefixed so that several branches can
+// coexist in one document without colliding.
+func queryBody(sb *strings.Builder, q *query.Simple, indent, prefix string) {
+	id := func(n query.Node) string { return prefix + n.Term.String() }
+	nodes := q.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return id(nodes[i]) < id(nodes[j]) })
+	for _, n := range nodes {
+		attrs := []string{fmt.Sprintf("label=\"%s\"", escape(n.Term.String()))}
+		if n.Term.IsVar {
+			attrs = append(attrs, "shape=box")
+		} else {
+			attrs = append(attrs, "shape=ellipse")
+		}
+		if n.ID == q.Projected() {
+			attrs = append(attrs, "peripheries=2", "style=filled", "fillcolor=lightblue")
+		}
+		if n.Type != "" {
+			attrs = append(attrs, fmt.Sprintf("tooltip=\"%s\"", escape(n.Type)))
+		}
+		fmt.Fprintf(sb, "%s%q [%s];\n", indent, id(n), strings.Join(attrs, ", "))
+	}
+	var lines []string
+	for _, e := range q.Edges() {
+		style := ""
+		if q.IsOptional(e.ID) {
+			style = ", style=dashed"
+		}
+		lines = append(lines, fmt.Sprintf("%s%q -> %q [label=\"%s\"%s];",
+			indent, id(q.Node(e.From)), id(q.Node(e.To)), escape(e.Label), style))
+	}
+	for _, d := range q.Diseqs() {
+		x := id(q.Node(d.X))
+		var y string
+		if d.YIsNode {
+			y = id(q.Node(d.Y))
+		} else {
+			y = prefix + "lit:" + d.YValue
+			lines = append(lines, fmt.Sprintf("%s%q [label=\"%s\", shape=plaintext];",
+				indent, y, escape(d.YValue)))
+		}
+		lines = append(lines, fmt.Sprintf("%s%q -> %q [label=\"≠\", style=dotted, dir=none, constraint=false];",
+			indent, x, y))
+	}
+	sort.Strings(lines)
+	sb.WriteString(strings.Join(lines, "\n"))
+	sb.WriteString("\n")
+}
+
+// Query renders a simple query: variables as boxes, constants as ellipses,
+// the projected node doubled, optional edges dashed, and disequalities as
+// dotted constraint edges.
+func Query(q *query.Simple, opts Options) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=%s;\n", opts.name(), opts.rankDir())
+	queryBody(&sb, q, "  ", "")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Union renders a union query as one DOT document with a cluster per
+// branch.
+func Union(u *query.Union, opts Options) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=%s;\n  compound=true;\n", opts.name(), opts.rankDir())
+	for i, b := range u.Branches() {
+		fmt.Fprintf(&sb, "  subgraph \"cluster_%d\" {\n    label=\"branch %d\";\n", i, i+1)
+		queryBody(&sb, b, "    ", fmt.Sprintf("b%d/", i))
+		sb.WriteString("  }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

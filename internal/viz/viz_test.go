@@ -1,0 +1,128 @@
+package viz_test
+
+import (
+	"strings"
+	"testing"
+
+	"questpro/internal/paperfix"
+	"questpro/internal/query"
+	"questpro/internal/viz"
+)
+
+func TestGraphDOT(t *testing.T) {
+	o := paperfix.Ontology()
+	dot := viz.Graph(o, viz.Options{Name: "pubs", Highlight: map[string]bool{"Alice": true}})
+	for _, want := range []string{
+		`digraph "pubs" {`,
+		`rankdir=LR;`,
+		`"Alice" [label="Alice", tooltip="Author", style=filled, fillcolor=gold, penwidth=2];`,
+		`"paper1" -> "Alice" [label="wb"];`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("DOT not closed")
+	}
+}
+
+func TestGraphDOTDeterministic(t *testing.T) {
+	o := paperfix.Ontology()
+	a := viz.Graph(o, viz.Options{})
+	b := viz.Graph(o, viz.Options{})
+	if a != b {
+		t.Fatal("DOT rendering not deterministic")
+	}
+}
+
+func TestExplanationDOTHighlightsDistinguished(t *testing.T) {
+	o := paperfix.Ontology()
+	ex := paperfix.Explanations(o)[0]
+	dot := viz.Explanation(ex, viz.Options{})
+	if !strings.Contains(dot, `"Alice" [label="Alice", tooltip="Author", style=filled, fillcolor=gold, penwidth=2];`) {
+		t.Fatalf("distinguished node not highlighted:\n%s", dot)
+	}
+}
+
+func TestQueryDOT(t *testing.T) {
+	q := paperfix.Q1()
+	a1, _ := q.NodeByTerm(query.Var("a1"))
+	if err := q.AddDiseqValue(a1.ID, "Bob"); err != nil {
+		t.Fatal(err)
+	}
+	dot := viz.Query(q, viz.Options{RankDir: "TB"})
+	for _, want := range []string{
+		"rankdir=TB;",
+		`"?a1" [label="?a1", shape=box, peripheries=2, style=filled, fillcolor=lightblue, tooltip="Author"];`,
+		`"Erdos" [label="Erdos", shape=ellipse, tooltip="Author"];`,
+		`"?p3" -> "Erdos" [label="wb"];`,
+		`"lit:Bob" [label="Bob", shape=plaintext];`,
+		`"?a1" -> "lit:Bob" [label="≠", style=dotted, dir=none, constraint=false];`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("query DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestQueryDOTOptionalDashed(t *testing.T) {
+	q := query.NewSimple()
+	a := q.MustEnsureNode(query.Var("a"), "")
+	h := q.MustEnsureNode(query.Var("h"), "")
+	e := q.MustAddEdge(a, h, "homepage")
+	q.SetOptional(e, true)
+	q.SetProjected(a)
+	dot := viz.Query(q, viz.Options{})
+	if !strings.Contains(dot, `style=dashed`) {
+		t.Fatalf("optional edge not dashed:\n%s", dot)
+	}
+}
+
+func TestUnionDOTClusters(t *testing.T) {
+	u := query.NewUnion(paperfix.Q3(), paperfix.Q4())
+	dot := viz.Union(u, viz.Options{})
+	for _, want := range []string{
+		`subgraph "cluster_0" {`,
+		`subgraph "cluster_1" {`,
+		`label="branch 1";`,
+		`label="branch 2";`,
+		`"b0/?aA"`,
+		`"b1/?aB"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("union DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Shared constants stay distinct per branch (prefixing).
+	if strings.Count(dot, `"b0/Erdos"`) == 0 || strings.Count(dot, `"b1/Erdos"`) == 0 {
+		t.Fatalf("constants not prefixed per branch:\n%s", dot)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	q := query.NewSimple()
+	a := q.MustEnsureNode(query.Const(`weird "value"`), "")
+	b := q.MustEnsureNode(query.Var("x"), "")
+	q.MustAddEdge(a, b, `la"bel`)
+	q.SetProjected(b)
+	dot := viz.Query(q, viz.Options{})
+	if !strings.Contains(dot, `label="weird \"value\""`) {
+		t.Fatalf("value not escaped:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="la\"bel"`) {
+		t.Fatalf("edge label not escaped:\n%s", dot)
+	}
+}
+
+func TestGraphDOTRankDirAndUntyped(t *testing.T) {
+	g := paperfix.Ontology()
+	dot := viz.Graph(g, viz.Options{RankDir: "TB"})
+	if !strings.Contains(dot, "rankdir=TB;") {
+		t.Fatalf("rankdir not honored:\n%s", dot[:100])
+	}
+	// Default name "G" when unset.
+	if !strings.Contains(dot, `digraph "G" {`) {
+		t.Fatalf("default name missing:\n%s", dot[:60])
+	}
+}

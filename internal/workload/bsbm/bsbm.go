@@ -1,0 +1,188 @@
+// Package bsbm generates an e-commerce ontology modeled on the Berlin
+// SPARQL Benchmark the paper evaluates against (Section VI-B) — products,
+// producers, features, types, vendors, offers, reviews and reviewers —
+// together with the benchmark query catalog (q1v0, q2v0, q3v0, q5v0, q6v0,
+// q8v0, q10v0) re-expressed in the paper's query class. Queries 4v0, 7v0
+// and 9v0 are excluded, as in the paper, because they are designed to
+// output a single result.
+package bsbm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"questpro/internal/graph"
+)
+
+// Node types.
+const (
+	TypeProduct  = "Product"
+	TypeProducer = "Producer"
+	TypeFeature  = "ProductFeature"
+	TypePType    = "ProductType"
+	TypeVendor   = "Vendor"
+	TypeOffer    = "Offer"
+	TypeReview   = "Review"
+	TypePerson   = "Person"
+	TypeCountry  = "Country"
+)
+
+// Edge predicates, mirroring the BSBM vocabulary.
+const (
+	PredProducer  = "producer"  // product -> producer
+	PredFeature   = "feature"   // product -> feature
+	PredType      = "type"      // product -> product type
+	PredOffProd   = "product"   // offer -> product
+	PredVendor    = "vendor"    // offer -> vendor
+	PredReviewFor = "reviewFor" // review -> product
+	PredReviewer  = "reviewer"  // review -> person
+	PredCountry   = "country"   // vendor/person/producer -> country
+)
+
+// Config sizes the generated fragment.
+type Config struct {
+	Seed            int64
+	Products        int
+	Producers       int
+	Features        int
+	Types           int
+	Vendors         int
+	Reviewers       int
+	Countries       int
+	FeaturesPerProd int
+	OffersPerProd   int
+	ReviewsPerProd  int
+}
+
+// DefaultConfig returns a laptop-scale fragment (~40k triples). BSBM was
+// the paper's largest ontology (647.5 MB); proportionally this fragment is
+// the densest of the three workloads.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            2,
+		Products:        1800,
+		Producers:       60,
+		Features:        120,
+		Types:           30,
+		Vendors:         50,
+		Reviewers:       400,
+		Countries:       12,
+		FeaturesPerProd: 4,
+		OffersPerProd:   3,
+		ReviewsPerProd:  3,
+	}
+}
+
+// Generate builds the fragment deterministically from the config.
+func Generate(cfg Config) (*graph.Graph, error) {
+	if cfg.Products < 1 || cfg.Producers < 1 || cfg.Features < 1 || cfg.Types < 1 ||
+		cfg.Vendors < 1 || cfg.Reviewers < 1 || cfg.Countries < 1 {
+		return nil, fmt.Errorf("bsbm: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+
+	add := func(prefix string, n int, typ string) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s%d", prefix, i)
+			if _, err := g.AddNode(out[i], typ); err != nil {
+				panic(err) // unreachable: names are unique
+			}
+		}
+		return out
+	}
+	countries := add("country", cfg.Countries, TypeCountry)
+	producers := add("producer", cfg.Producers, TypeProducer)
+	features := add("feature", cfg.Features, TypeFeature)
+	ptypes := add("ptype", cfg.Types, TypePType)
+	vendors := add("vendor", cfg.Vendors, TypeVendor)
+	reviewers := add("reviewer", cfg.Reviewers, TypePerson)
+
+	triple := func(from, pred, to string) error {
+		f, err := g.EnsureNode(from, "")
+		if err != nil {
+			return err
+		}
+		t, err := g.EnsureNode(to, "")
+		if err != nil {
+			return err
+		}
+		if g.HasEdgeTriple(f, t, pred) {
+			return nil
+		}
+		_, err = g.AddEdge(f, t, pred)
+		return err
+	}
+
+	for _, p := range producers {
+		if err := triple(p, PredCountry, countries[rng.Intn(len(countries))]); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range vendors {
+		if err := triple(v, PredCountry, countries[rng.Intn(len(countries))]); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range reviewers {
+		if err := triple(r, PredCountry, countries[rng.Intn(len(countries))]); err != nil {
+			return nil, err
+		}
+	}
+
+	// skewed picks head-heavy indexes so that low-numbered anchors
+	// (producer0, feature0, ...) have dense extensions.
+	skewed := func(n int) int {
+		if rng.Intn(3) > 0 {
+			return rng.Intn(1 + n/6)
+		}
+		return rng.Intn(n)
+	}
+
+	offerID, reviewID := 0, 0
+	for i := 0; i < cfg.Products; i++ {
+		prod := fmt.Sprintf("product%d", i)
+		if _, err := g.AddNode(prod, TypeProduct); err != nil {
+			return nil, err
+		}
+		if err := triple(prod, PredProducer, producers[skewed(len(producers))]); err != nil {
+			return nil, err
+		}
+		if err := triple(prod, PredType, ptypes[skewed(len(ptypes))]); err != nil {
+			return nil, err
+		}
+		for f := 0; f < cfg.FeaturesPerProd; f++ {
+			if err := triple(prod, PredFeature, features[skewed(len(features))]); err != nil {
+				return nil, err
+			}
+		}
+		for o := rng.Intn(cfg.OffersPerProd + 1); o > 0; o-- {
+			offer := fmt.Sprintf("offer%d", offerID)
+			offerID++
+			if _, err := g.AddNode(offer, TypeOffer); err != nil {
+				return nil, err
+			}
+			if err := triple(offer, PredOffProd, prod); err != nil {
+				return nil, err
+			}
+			if err := triple(offer, PredVendor, vendors[skewed(len(vendors))]); err != nil {
+				return nil, err
+			}
+		}
+		for r := rng.Intn(cfg.ReviewsPerProd + 1); r > 0; r-- {
+			review := fmt.Sprintf("review%d", reviewID)
+			reviewID++
+			if _, err := g.AddNode(review, TypeReview); err != nil {
+				return nil, err
+			}
+			if err := triple(review, PredReviewFor, prod); err != nil {
+				return nil, err
+			}
+			if err := triple(review, PredReviewer, reviewers[skewed(len(reviewers))]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,103 @@
+package bsbm_test
+
+import (
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/workload"
+	"questpro/internal/workload/bsbm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := bsbm.DefaultConfig()
+	a, err := bsbm.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bsbm.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() != b.Signature() {
+		t.Fatal("generation not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	g, err := bsbm.Generate(bsbm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []string{
+		bsbm.PredProducer, bsbm.PredFeature, bsbm.PredType, bsbm.PredOffProd,
+		bsbm.PredVendor, bsbm.PredReviewFor, bsbm.PredReviewer, bsbm.PredCountry,
+	} {
+		if g.LabelCount(pred) == 0 {
+			t.Errorf("predicate %s missing", pred)
+		}
+	}
+	if g.NumEdges() < 10000 {
+		t.Fatalf("fragment too small: %d edges", g.NumEdges())
+	}
+	n, ok := g.NodeByValue("product0")
+	if !ok || n.Type != bsbm.TypeProduct {
+		t.Fatalf("product0 = %+v, %v", n, ok)
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := bsbm.Generate(bsbm.Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestQueriesCatalog(t *testing.T) {
+	g, err := bsbm.Generate(bsbm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := bsbm.Queries()
+	want := []string{"q1v0", "q2v0", "q3v0", "q5v0", "q6v0", "q8v0", "q10v0"}
+	if len(qs) != len(want) {
+		t.Fatalf("catalog has %d queries, want %d", len(qs), len(want))
+	}
+	for i, name := range want {
+		if qs[i].Name != name {
+			t.Fatalf("catalog[%d] = %s, want %s", i, qs[i].Name, name)
+		}
+	}
+	if err := workload.Validate(g, qs, 14); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueriesShapeRanges(t *testing.T) {
+	for _, bq := range bsbm.Queries() {
+		for _, b := range bq.Query.Branches() {
+			if b.NumEdges() < 1 || b.NumEdges() > 12 {
+				t.Errorf("%s: %d edges", bq.Name, b.NumEdges())
+			}
+			if b.NumVars() < 1 || b.NumVars() > 12 {
+				t.Errorf("%s: %d vars", bq.Name, b.NumVars())
+			}
+		}
+	}
+}
+
+func TestQueryResultCounts(t *testing.T) {
+	g, err := bsbm.Generate(bsbm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eval.New(g)
+	for _, bq := range bsbm.Queries() {
+		rs, err := ev.Results(bq.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", bq.Name, err)
+		}
+		t.Logf("%s: %d results", bq.Name, len(rs))
+	}
+}

@@ -1,0 +1,146 @@
+package bsbm
+
+import (
+	"questpro/internal/query"
+	"questpro/internal/workload"
+)
+
+type qb struct {
+	q *query.Simple
+}
+
+func newQB() *qb { return &qb{q: query.NewSimple()} }
+
+func (b *qb) v(name, typ string) query.NodeID {
+	return b.q.MustEnsureNode(query.Var(name), typ)
+}
+
+func (b *qb) c(value, typ string) query.NodeID {
+	return b.q.MustEnsureNode(query.Const(value), typ)
+}
+
+func (b *qb) edge(from query.NodeID, pred string, to query.NodeID) *qb {
+	b.q.MustAddEdge(from, to, pred)
+	return b
+}
+
+func (b *qb) project(n query.NodeID) *query.Union {
+	if err := b.q.SetProjected(n); err != nil {
+		panic(err)
+	}
+	return query.NewUnion(b.q)
+}
+
+// Queries returns the BSBM catalog of Section VI-B — q1v0, q2v0, q3v0,
+// q5v0, q6v0, q8v0, q10v0 — adapted to single-output-node basic graph
+// patterns over the generated fragment.
+func Queries() []workload.BenchQuery {
+	var out []workload.BenchQuery
+
+	{ // q1v0: products of a given type with a given feature.
+		b := newQB()
+		p := b.v("p", TypeProduct)
+		ty := b.c("ptype0", TypePType)
+		f := b.c("feature0", TypeFeature)
+		b.edge(p, PredType, ty).edge(p, PredFeature, f)
+		out = append(out, workload.BenchQuery{
+			Name:        "q1v0",
+			Description: "products of ptype0 carrying feature0",
+			Query:       b.project(p),
+		})
+	}
+	{ // q2v0: the wide product-details star (the paper's slowest query).
+		b := newQB()
+		p := b.v("p", TypeProduct)
+		pr := b.v("pr", TypeProducer)
+		f1 := b.c("feature1", TypeFeature)
+		f2 := b.v("f2", TypeFeature)
+		ty := b.v("ty", TypePType)
+		o := b.v("o", TypeOffer)
+		vd := b.v("vd", TypeVendor)
+		r := b.v("r", TypeReview)
+		u := b.v("u", TypePerson)
+		country := b.v("cy", TypeCountry)
+		b.edge(p, PredProducer, pr).
+			edge(p, PredFeature, f1).
+			edge(p, PredFeature, f2).
+			edge(p, PredType, ty).
+			edge(o, PredOffProd, p).
+			edge(o, PredVendor, vd).
+			edge(r, PredReviewFor, p).
+			edge(r, PredReviewer, u).
+			edge(pr, PredCountry, country)
+		out = append(out, workload.BenchQuery{
+			Name:        "q2v0",
+			Description: "fully described products: producer, features, type, offer, review",
+			Query:       b.project(p),
+		})
+	}
+	{ // q3v0: products with a feature whose producer is from a country.
+		b := newQB()
+		p := b.v("p", TypeProduct)
+		pr := b.v("pr", TypeProducer)
+		f := b.c("feature2", TypeFeature)
+		cy := b.c("country0", TypeCountry)
+		b.edge(p, PredFeature, f).edge(p, PredProducer, pr).edge(pr, PredCountry, cy)
+		out = append(out, workload.BenchQuery{
+			Name:        "q3v0",
+			Description: "products with feature2 made by a country0 producer",
+			Query:       b.project(p),
+		})
+	}
+	{ // q5v0: products similar to product0 (shared feature and type).
+		b := newQB()
+		p := b.v("p", TypeProduct)
+		ref := b.c("product0", TypeProduct)
+		f := b.v("f", TypeFeature)
+		ty := b.v("ty", TypePType)
+		b.edge(ref, PredFeature, f).edge(p, PredFeature, f).
+			edge(ref, PredType, ty).edge(p, PredType, ty)
+		out = append(out, workload.BenchQuery{
+			Name:        "q5v0",
+			Description: "products sharing a feature and the type with product0",
+			Query:       b.project(p),
+		})
+	}
+	{ // q6v0: products of a given producer.
+		b := newQB()
+		p := b.v("p", TypeProduct)
+		pr := b.c("producer0", TypeProducer)
+		b.edge(p, PredProducer, pr)
+		out = append(out, workload.BenchQuery{
+			Name:        "q6v0",
+			Description: "products made by producer0",
+			Query:       b.project(p),
+		})
+	}
+	{ // q8v0: reviewers of products made by a given producer.
+		b := newQB()
+		r := b.v("r", TypeReview)
+		p := b.v("p", TypeProduct)
+		u := b.v("u", TypePerson)
+		pr := b.c("producer1", TypeProducer)
+		b.edge(r, PredReviewFor, p).edge(p, PredProducer, pr).edge(r, PredReviewer, u)
+		out = append(out, workload.BenchQuery{
+			Name:        "q8v0",
+			Description: "reviewers who reviewed a producer1 product",
+			Query:       b.project(u),
+		})
+	}
+	{ // q10v0: offers for feature3 products sold by country1 vendors.
+		b := newQB()
+		o := b.v("o", TypeOffer)
+		p := b.v("p", TypeProduct)
+		vd := b.v("vd", TypeVendor)
+		f := b.c("feature3", TypeFeature)
+		cy := b.c("country1", TypeCountry)
+		b.edge(o, PredOffProd, p).edge(p, PredFeature, f).
+			edge(o, PredVendor, vd).edge(vd, PredCountry, cy)
+		out = append(out, workload.BenchQuery{
+			Name:        "q10v0",
+			Description: "offers for feature3 products from country1 vendors",
+			Query:       b.project(o),
+		})
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package dbpedia generates a movie-domain ontology modeled on the DBpedia
+// fragment of the paper's user study (Section VI-C) together with the ten
+// Table I queries (five basic, five more challenging). The published table
+// body is not part of the available paper text; the queries here match its
+// described difficulty split and the worked examples (Tarantino appears
+// explicitly in Section VI-C).
+package dbpedia
+
+import (
+	"fmt"
+	"math/rand"
+
+	"questpro/internal/graph"
+)
+
+// Node types.
+const (
+	TypeFilm    = "Film"
+	TypePerson  = "Person"
+	TypeCountry = "Country"
+	TypeStudio  = "Studio"
+	TypeGenre   = "Genre"
+)
+
+// Edge predicates, mirroring the DBpedia movie vocabulary.
+const (
+	PredDirector   = "director"   // film -> person
+	PredStarring   = "starring"   // film -> person
+	PredCountry    = "country"    // film -> country
+	PredStudio     = "studio"     // film -> studio
+	PredGenre      = "genre"      // film -> genre
+	PredBirthPlace = "birthPlace" // person -> country
+	PredSpouse     = "spouse"     // person -> person
+)
+
+// Config sizes the generated fragment.
+type Config struct {
+	Seed          int64
+	Films         int
+	Directors     int
+	Actors        int
+	Countries     int
+	Studios       int
+	Genres        int
+	ActorsPerFilm int
+}
+
+// DefaultConfig returns a laptop-scale movie fragment with a handful of
+// named anchor entities (Tarantino, PulpFiction, UmaThurman, France, ...)
+// wired densely enough for every Table I query to have many results.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          3,
+		Films:         700,
+		Directors:     60,
+		Actors:        500,
+		Countries:     15,
+		Studios:       25,
+		Genres:        12,
+		ActorsPerFilm: 5,
+	}
+}
+
+// Named anchor entities the Table I queries reference.
+const (
+	Tarantino   = "QuentinTarantino"
+	PulpFiction = "PulpFiction"
+	UmaThurman  = "UmaThurman"
+	France      = "France"
+	Miramax     = "Miramax"
+	CrimeGenre  = "CrimeFilm"
+)
+
+// Generate builds the fragment deterministically from the config.
+func Generate(cfg Config) (*graph.Graph, error) {
+	if cfg.Films < 10 || cfg.Directors < 2 || cfg.Actors < 10 ||
+		cfg.Countries < 2 || cfg.Studios < 2 || cfg.Genres < 2 || cfg.ActorsPerFilm < 1 {
+		return nil, fmt.Errorf("dbpedia: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+
+	countries := make([]string, cfg.Countries)
+	countries[0] = France
+	for i := 1; i < cfg.Countries; i++ {
+		countries[i] = fmt.Sprintf("country%d", i)
+	}
+	for _, c := range countries {
+		if _, err := g.AddNode(c, TypeCountry); err != nil {
+			return nil, err
+		}
+	}
+	studios := make([]string, cfg.Studios)
+	studios[0] = Miramax
+	for i := 1; i < cfg.Studios; i++ {
+		studios[i] = fmt.Sprintf("studio%d", i)
+	}
+	for _, s := range studios {
+		if _, err := g.AddNode(s, TypeStudio); err != nil {
+			return nil, err
+		}
+	}
+	genres := make([]string, cfg.Genres)
+	genres[0] = CrimeGenre
+	for i := 1; i < cfg.Genres; i++ {
+		genres[i] = fmt.Sprintf("genre%d", i)
+	}
+	for _, gn := range genres {
+		if _, err := g.AddNode(gn, TypeGenre); err != nil {
+			return nil, err
+		}
+	}
+
+	directors := make([]string, cfg.Directors)
+	directors[0] = Tarantino
+	for i := 1; i < cfg.Directors; i++ {
+		directors[i] = fmt.Sprintf("director%d", i)
+	}
+	actors := make([]string, cfg.Actors)
+	actors[0] = UmaThurman
+	for i := 1; i < cfg.Actors; i++ {
+		actors[i] = fmt.Sprintf("actor%d", i)
+	}
+	persons := append(append([]string(nil), directors...), actors...)
+	for _, p := range persons {
+		if _, err := g.AddNode(p, TypePerson); err != nil {
+			return nil, err
+		}
+	}
+
+	triple := func(from, pred, to string) error {
+		f, err := g.EnsureNode(from, "")
+		if err != nil {
+			return err
+		}
+		t, err := g.EnsureNode(to, "")
+		if err != nil {
+			return err
+		}
+		if g.HasEdgeTriple(f, t, pred) {
+			return nil
+		}
+		_, err = g.AddEdge(f, t, pred)
+		return err
+	}
+
+	for _, p := range persons {
+		if err := triple(p, PredBirthPlace, countries[rng.Intn(len(countries))]); err != nil {
+			return nil, err
+		}
+	}
+	// A sprinkling of spouse links among persons.
+	for i := 0; i < len(persons)/10; i++ {
+		a := persons[rng.Intn(len(persons))]
+		b := persons[rng.Intn(len(persons))]
+		if a != b {
+			if err := triple(a, PredSpouse, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	skewed := func(n int) int {
+		if rng.Intn(3) > 0 {
+			return rng.Intn(1 + n/6)
+		}
+		return rng.Intn(n)
+	}
+
+	films := make([]string, cfg.Films)
+	films[0] = PulpFiction
+	for i := 1; i < cfg.Films; i++ {
+		films[i] = fmt.Sprintf("film%d", i)
+	}
+	for i, f := range films {
+		if _, err := g.AddNode(f, TypeFilm); err != nil {
+			return nil, err
+		}
+		director := directors[skewed(len(directors))]
+		if i == 0 {
+			director = Tarantino // Pulp Fiction is a Tarantino movie.
+		}
+		if err := triple(f, PredDirector, director); err != nil {
+			return nil, err
+		}
+		if err := triple(f, PredCountry, countries[skewed(len(countries))]); err != nil {
+			return nil, err
+		}
+		if err := triple(f, PredStudio, studios[skewed(len(studios))]); err != nil {
+			return nil, err
+		}
+		if err := triple(f, PredGenre, genres[skewed(len(genres))]); err != nil {
+			return nil, err
+		}
+		n := 1 + rng.Intn(cfg.ActorsPerFilm)
+		if i == 0 {
+			n = cfg.ActorsPerFilm + 1 // Pulp Fiction gets a full cast.
+		}
+		for a := 0; a < n; a++ {
+			actor := actors[skewed(len(actors))]
+			if i == 0 && a == 0 {
+				actor = UmaThurman
+			}
+			if err := triple(f, PredStarring, actor); err != nil {
+				return nil, err
+			}
+		}
+		// Some directors act in their own movies (Table I query 9).
+		if rng.Intn(12) == 0 {
+			if err := triple(f, PredStarring, director); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,121 @@
+package dbpedia_test
+
+import (
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/workload"
+	"questpro/internal/workload/dbpedia"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := dbpedia.DefaultConfig()
+	a, err := dbpedia.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dbpedia.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() != b.Signature() {
+		t.Fatal("generation not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnchorsPresent(t *testing.T) {
+	g, err := dbpedia.Generate(dbpedia.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for value, typ := range map[string]string{
+		dbpedia.Tarantino:   dbpedia.TypePerson,
+		dbpedia.PulpFiction: dbpedia.TypeFilm,
+		dbpedia.UmaThurman:  dbpedia.TypePerson,
+		dbpedia.France:      dbpedia.TypeCountry,
+		dbpedia.Miramax:     dbpedia.TypeStudio,
+		dbpedia.CrimeGenre:  dbpedia.TypeGenre,
+	} {
+		n, ok := g.NodeByValue(value)
+		if !ok || n.Type != typ {
+			t.Errorf("%s = %+v, %v", value, n, ok)
+		}
+	}
+	// Pulp Fiction is a Tarantino movie starring Uma Thurman.
+	pf, _ := g.NodeByValue(dbpedia.PulpFiction)
+	tar, _ := g.NodeByValue(dbpedia.Tarantino)
+	uma, _ := g.NodeByValue(dbpedia.UmaThurman)
+	if !g.HasEdgeTriple(pf.ID, tar.ID, dbpedia.PredDirector) {
+		t.Error("Pulp Fiction not directed by Tarantino")
+	}
+	if !g.HasEdgeTriple(pf.ID, uma.ID, dbpedia.PredStarring) {
+		t.Error("Pulp Fiction not starring Uma Thurman")
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := dbpedia.Generate(dbpedia.Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestQueriesCatalog(t *testing.T) {
+	g, err := dbpedia.Generate(dbpedia.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dbpedia.Queries()
+	if len(qs) != 10 {
+		t.Fatalf("catalog has %d queries, want 10", len(qs))
+	}
+	for i, bq := range qs {
+		if bq.Name == "" || bq.Description == "" {
+			t.Fatalf("catalog[%d] incomplete: %+v", i, bq)
+		}
+	}
+	// Every Table I query needs at least a handful of results so that the
+	// simulated users can pick diverse examples.
+	if err := workload.Validate(g, qs, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryResultCounts(t *testing.T) {
+	g, err := dbpedia.Generate(dbpedia.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eval.New(g)
+	for _, bq := range dbpedia.Queries() {
+		rs, err := ev.Results(bq.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", bq.Name, err)
+		}
+		t.Logf("%s (%s): %d results", bq.Name, bq.Description, len(rs))
+	}
+}
+
+// Query 7's disequality matters: without it, single-movie Tarantino actors
+// leak into the results.
+func TestQuery7DiseqMatters(t *testing.T) {
+	g, err := dbpedia.Generate(dbpedia.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eval.New(g)
+	q7, _ := workload.Lookup(dbpedia.Queries(), "table1-7")
+	with, err := ev.Results(q7.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ev.Results(q7.Query.WithoutDiseqs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with) >= len(without) {
+		t.Fatalf("diseq did not restrict results: %d vs %d", len(with), len(without))
+	}
+}

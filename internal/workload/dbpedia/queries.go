@@ -1,0 +1,123 @@
+package dbpedia
+
+import (
+	"questpro/internal/query"
+	"questpro/internal/workload"
+)
+
+type qb struct {
+	q *query.Simple
+}
+
+func newQB() *qb { return &qb{q: query.NewSimple()} }
+
+func (b *qb) v(name, typ string) query.NodeID {
+	return b.q.MustEnsureNode(query.Var(name), typ)
+}
+
+func (b *qb) c(value, typ string) query.NodeID {
+	return b.q.MustEnsureNode(query.Const(value), typ)
+}
+
+func (b *qb) edge(from query.NodeID, pred string, to query.NodeID) *qb {
+	b.q.MustAddEdge(from, to, pred)
+	return b
+}
+
+func (b *qb) diseq(x, y query.NodeID) *qb {
+	if err := b.q.AddDiseqNodes(x, y); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (b *qb) project(n query.NodeID) *query.Union {
+	if err := b.q.SetProjected(n); err != nil {
+		panic(err)
+	}
+	return query.NewUnion(b.q)
+}
+
+// Queries returns the Table I catalog: queries 1-5 are basic, queries 6-10
+// are the more challenging half (Section VI-C).
+func Queries() []workload.BenchQuery {
+	var out []workload.BenchQuery
+	add := func(name, desc string, u *query.Union) {
+		out = append(out, workload.BenchQuery{Name: name, Description: desc, Query: u})
+	}
+
+	{ // 1. Movies directed by Quentin Tarantino.
+		b := newQB()
+		f := b.v("film", TypeFilm)
+		b.edge(f, PredDirector, b.c(Tarantino, TypePerson))
+		add("table1-1", "movies directed by Quentin Tarantino", b.project(f))
+	}
+	{ // 2. Actors starring in Pulp Fiction.
+		b := newQB()
+		a := b.v("actor", TypePerson)
+		b.edge(b.c(PulpFiction, TypeFilm), PredStarring, a)
+		add("table1-2", "actors who star in Pulp Fiction", b.project(a))
+	}
+	{ // 3. Movies produced in France.
+		b := newQB()
+		f := b.v("film", TypeFilm)
+		b.edge(f, PredCountry, b.c(France, TypeCountry))
+		add("table1-3", "movies produced in France", b.project(f))
+	}
+	{ // 4. Movies starring Uma Thurman.
+		b := newQB()
+		f := b.v("film", TypeFilm)
+		b.edge(f, PredStarring, b.c(UmaThurman, TypePerson))
+		add("table1-4", "movies starring Uma Thurman", b.project(f))
+	}
+	{ // 5. Directors of Miramax movies.
+		b := newQB()
+		f := b.v("film", TypeFilm)
+		d := b.v("director", TypePerson)
+		b.edge(f, PredStudio, b.c(Miramax, TypeStudio)).edge(f, PredDirector, d)
+		add("table1-5", "directors of Miramax movies", b.project(d))
+	}
+	{ // 6. Actors in a Tarantino movie.
+		b := newQB()
+		f := b.v("film", TypeFilm)
+		a := b.v("actor", TypePerson)
+		b.edge(f, PredDirector, b.c(Tarantino, TypePerson)).edge(f, PredStarring, a)
+		add("table1-6", "actors who played in a Tarantino movie", b.project(a))
+	}
+	{ // 7. Actors in more than one Tarantino movie (needs a disequality).
+		b := newQB()
+		f1 := b.v("f1", TypeFilm)
+		f2 := b.v("f2", TypeFilm)
+		a := b.v("actor", TypePerson)
+		tar := b.c(Tarantino, TypePerson)
+		b.edge(f1, PredDirector, tar).edge(f2, PredDirector, tar).
+			edge(f1, PredStarring, a).edge(f2, PredStarring, a).
+			diseq(f1, f2)
+		add("table1-7", "actors who played in more than one Tarantino movie", b.project(a))
+	}
+	{ // 8. Co-stars of Uma Thurman.
+		b := newQB()
+		f := b.v("film", TypeFilm)
+		a := b.v("actor", TypePerson)
+		uma := b.c(UmaThurman, TypePerson)
+		b.edge(f, PredStarring, uma).edge(f, PredStarring, a).diseq(a, uma)
+		add("table1-8", "actors who co-starred with Uma Thurman", b.project(a))
+	}
+	{ // 9. Directors who starred in their own movie.
+		b := newQB()
+		f := b.v("film", TypeFilm)
+		d := b.v("director", TypePerson)
+		b.edge(f, PredDirector, d).edge(f, PredStarring, d)
+		add("table1-9", "directors who starred in a movie they directed", b.project(d))
+	}
+	{ // 10. Crime movies whose director was born in France.
+		b := newQB()
+		f := b.v("film", TypeFilm)
+		d := b.v("director", TypePerson)
+		b.edge(f, PredGenre, b.c(CrimeGenre, TypeGenre)).
+			edge(f, PredDirector, d).
+			edge(d, PredBirthPlace, b.c(France, TypeCountry))
+		add("table1-10", "crime movies by a French-born director", b.project(f))
+	}
+	return out
+}

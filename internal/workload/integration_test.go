@@ -1,0 +1,103 @@
+package workload_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/provenance"
+	"questpro/internal/workload"
+	"questpro/internal/workload/bsbm"
+	"questpro/internal/workload/dbpedia"
+	"questpro/internal/workload/sampling"
+	"questpro/internal/workload/sp2b"
+)
+
+// catalogCase bundles a generated ontology with its query catalog.
+type catalogCase struct {
+	name     string
+	ontology func() ([]workload.BenchQuery, *eval.Evaluator)
+}
+
+func smallCatalogs(t *testing.T) []catalogCase {
+	t.Helper()
+	return []catalogCase{
+		{"sp2b", func() ([]workload.BenchQuery, *eval.Evaluator) {
+			cfg := sp2b.DefaultConfig()
+			cfg.Persons, cfg.Articles, cfg.Inproceedings = 300, 500, 500
+			g, err := sp2b.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sp2b.Queries(), eval.New(g)
+		}},
+		{"bsbm", func() ([]workload.BenchQuery, *eval.Evaluator) {
+			cfg := bsbm.DefaultConfig()
+			cfg.Products, cfg.Reviewers = 600, 150
+			g, err := bsbm.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return bsbm.Queries(), eval.New(g)
+		}},
+		{"dbpedia", func() ([]workload.BenchQuery, *eval.Evaluator) {
+			g, err := dbpedia.Generate(dbpedia.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dbpedia.Queries(), eval.New(g)
+		}},
+	}
+}
+
+// For every benchmark query of every workload: sampled explanations are
+// valid provenance of the target (the target is consistent with them), and
+// inference over them produces a consistent union — the end-to-end
+// invariant behind all automatic experiments.
+func TestEveryBenchmarkQueryRoundTrips(t *testing.T) {
+	for _, c := range smallCatalogs(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			queries, ev := c.ontology()
+			for _, bq := range queries {
+				rng := rand.New(rand.NewSource(5))
+				s := sampling.New(ev, bq.Query, rng)
+				rs, err := s.Results()
+				if err != nil {
+					t.Fatalf("%s: %v", bq.Name, err)
+				}
+				n := 3
+				if n > len(rs) {
+					n = len(rs)
+				}
+				if n < 2 {
+					t.Fatalf("%s: only %d results", bq.Name, len(rs))
+				}
+				exs, err := s.ExampleSet(n)
+				if err != nil {
+					t.Fatalf("%s: %v", bq.Name, err)
+				}
+				ok, err := provenance.Consistent(bq.Query, exs)
+				if err != nil {
+					t.Fatalf("%s: %v", bq.Name, err)
+				}
+				if !ok {
+					t.Errorf("%s: target inconsistent with its own samples", bq.Name)
+					continue
+				}
+				u, _, err := core.InferUnion(exs, core.DefaultOptions())
+				if err != nil {
+					t.Fatalf("%s: %v", bq.Name, err)
+				}
+				ok, err = provenance.Consistent(u, exs)
+				if err != nil {
+					t.Fatalf("%s: %v", bq.Name, err)
+				}
+				if !ok {
+					t.Errorf("%s: inferred union inconsistent with the samples", bq.Name)
+				}
+			}
+		})
+	}
+}

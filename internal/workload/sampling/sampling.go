@@ -1,0 +1,112 @@
+// Package sampling draws synthetic user input for the automatic experiments
+// of Section VI-B: it evaluates a target query with provenance tracking and
+// samples output examples together with one provenance graph each, which
+// become the explanations fed back into the inference algorithms.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// MaxProvenancePerResult caps how many distinct provenance graphs are
+// enumerated per sampled result before picking one.
+const MaxProvenancePerResult = 16
+
+// Sampler draws example-sets for a fixed target query over an ontology.
+type Sampler struct {
+	Ev     *eval.Evaluator
+	Target *query.Union
+	Rng    *rand.Rand
+
+	results []string // cached result values of the target
+}
+
+// New builds a sampler; rng drives all random choices (fixed seed = fixed
+// samples, which the experiments rely on for repeatability).
+func New(ev *eval.Evaluator, target *query.Union, rng *rand.Rand) *Sampler {
+	return &Sampler{Ev: ev, Target: target, Rng: rng}
+}
+
+// Results returns (and caches) the target query's full result set.
+func (s *Sampler) Results() ([]string, error) {
+	if s.results == nil {
+		rs, err := s.Ev.Results(s.Target)
+		if err != nil {
+			return nil, err
+		}
+		s.results = rs
+	}
+	return s.results, nil
+}
+
+// ExampleSet samples n explanations: n distinct random results of the
+// target (with replacement of the *provenance* choice, not the result) each
+// paired with one random provenance graph. It fails when the target has
+// fewer than n results — mirroring the paper's exclusion of single-result
+// benchmark queries.
+func (s *Sampler) ExampleSet(n int) (provenance.ExampleSet, error) {
+	rs, err := s.Results()
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) < n {
+		return nil, fmt.Errorf("sampling: target has %d results, need %d", len(rs), n)
+	}
+	picks := s.Rng.Perm(len(rs))[:n]
+	out := make(provenance.ExampleSet, 0, n)
+	for _, idx := range picks {
+		ex, err := s.Explain(rs[idx])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}
+
+// Explain picks one random provenance graph of the given result and wraps
+// it as an explanation.
+func (s *Sampler) Explain(value string) (provenance.Explanation, error) {
+	provs, err := s.Ev.ProvenanceOfUnion(s.Target, value, MaxProvenancePerResult)
+	if err != nil {
+		return provenance.Explanation{}, err
+	}
+	if len(provs) == 0 {
+		return provenance.Explanation{}, fmt.Errorf("sampling: %q has no provenance", value)
+	}
+	g := provs[s.Rng.Intn(len(provs))]
+	return provenance.NewByValue(g, value)
+}
+
+// ExplainSharing picks, among the result's provenance graphs, the one
+// sharing the most node values with the reference graph — used to simulate
+// the over-specific users of Section VI-C who give explanations with
+// identical parts.
+func (s *Sampler) ExplainSharing(value string, ref *graph.Graph) (provenance.Explanation, error) {
+	provs, err := s.Ev.ProvenanceOfUnion(s.Target, value, MaxProvenancePerResult)
+	if err != nil {
+		return provenance.Explanation{}, err
+	}
+	if len(provs) == 0 {
+		return provenance.Explanation{}, fmt.Errorf("sampling: %q has no provenance", value)
+	}
+	best, bestShared := provs[0], -1
+	for _, p := range provs {
+		shared := 0
+		for _, n := range p.Nodes() {
+			if _, ok := ref.NodeByValue(n.Value); ok {
+				shared++
+			}
+		}
+		if shared > bestShared {
+			best, bestShared = p, shared
+		}
+	}
+	return provenance.NewByValue(best, value)
+}

@@ -1,0 +1,121 @@
+package sampling_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+	"questpro/internal/workload/sampling"
+)
+
+func TestExampleSetBasics(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	target := query.NewUnion(paperfix.Q3())
+	s := sampling.New(ev, target, rand.New(rand.NewSource(5)))
+
+	exs, err := s.ExampleSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != 2 {
+		t.Fatalf("got %d explanations", len(exs))
+	}
+	if err := exs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A sampled explanation is a provenance image of the target, so the
+	// target is consistent with the sampled example-set by construction.
+	ok, err := provenance.Consistent(target, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("target inconsistent with its own samples:\n%s", exs)
+	}
+	// Distinguished values are distinct results of the target.
+	rs, err := s.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, e := range exs {
+		v := e.DistinguishedValue()
+		if seen[v] {
+			t.Fatalf("duplicate sampled result %s", v)
+		}
+		seen[v] = true
+		if !contains(rs, v) {
+			t.Fatalf("sampled %s is not a target result", v)
+		}
+	}
+}
+
+func TestExampleSetTooMany(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	target := query.NewUnion(paperfix.Q4()) // 3 results: Dave, Greg, Harry
+	s := sampling.New(ev, target, rand.New(rand.NewSource(1)))
+	if _, err := s.ExampleSet(100); err == nil {
+		t.Fatal("oversized sample accepted")
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	target := query.NewUnion(paperfix.Q1())
+	a, err := sampling.New(ev, target, rand.New(rand.NewSource(9))).ExampleSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampling.New(ev, target, rand.New(rand.NewSource(9))).ExampleSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].DistinguishedValue() != b[i].DistinguishedValue() ||
+			a[i].Graph.Signature() != b[i].Graph.Signature() {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestExplainSharing(t *testing.T) {
+	o := paperfix.Ontology()
+	ev := eval.New(o)
+	target := query.NewUnion(paperfix.Q1())
+	s := sampling.New(ev, target, rand.New(rand.NewSource(2)))
+	ref, err := s.Explain("Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := s.ExplainSharing("Felix", ref.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	for _, n := range ex.Graph.Nodes() {
+		if _, ok := ref.Graph.NodeByValue(n.Value); ok {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("sharing-biased explanation shares nothing")
+	}
+	if _, err := s.Explain("NotAResult"); err == nil {
+		t.Fatal("non-result explained")
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

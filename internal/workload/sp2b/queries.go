@@ -1,0 +1,155 @@
+package sp2b
+
+import (
+	"questpro/internal/query"
+	"questpro/internal/workload"
+)
+
+// qb is a small builder for anchored benchmark queries.
+type qb struct {
+	q *query.Simple
+}
+
+func newQB() *qb { return &qb{q: query.NewSimple()} }
+
+func (b *qb) v(name, typ string) query.NodeID {
+	return b.q.MustEnsureNode(query.Var(name), typ)
+}
+
+func (b *qb) c(value, typ string) query.NodeID {
+	return b.q.MustEnsureNode(query.Const(value), typ)
+}
+
+func (b *qb) edge(from query.NodeID, pred string, to query.NodeID) *qb {
+	b.q.MustAddEdge(from, to, pred)
+	return b
+}
+
+func (b *qb) project(n query.NodeID) *query.Union {
+	if err := b.q.SetProjected(n); err != nil {
+		panic(err)
+	}
+	return query.NewUnion(b.q)
+}
+
+// Queries returns the SP²B benchmark catalog of Section VI-B — queries 2,
+// 3a, 3b, 6, 8a, 8b, 11 and 12a — adapted to single-output-node basic graph
+// patterns over the generated fragment (queries 4 and 7 are excluded, as in
+// the paper, because they target single-result outputs). Constant anchors
+// reference the generator's skewed head entities so that every query has a
+// rich result set.
+func Queries() []workload.BenchQuery {
+	var out []workload.BenchQuery
+
+	{ // q2: authors publishing in a given journal.
+		b := newQB()
+		art := b.v("article", TypeArticle)
+		auth := b.v("author", TypePerson)
+		j := b.c("journal0", TypeJournal)
+		b.edge(art, PredJournal, j).edge(art, PredCreator, auth)
+		out = append(out, workload.BenchQuery{
+			Name:        "q2",
+			Description: "authors of articles published in journal0",
+			Query:       b.project(auth),
+		})
+	}
+	{ // q3a: documents citing a document by a given author.
+		b := newQB()
+		x := b.v("x", "")
+		y := b.v("y", "")
+		p := b.c("person0", TypePerson)
+		b.edge(x, PredCites, y).edge(y, PredCreator, p)
+		out = append(out, workload.BenchQuery{
+			Name:        "q3a",
+			Description: "documents citing a document authored by person0",
+			Query:       b.project(x),
+		})
+	}
+	{ // q3b: authors of documents cited from a given journal's articles.
+		b := newQB()
+		x := b.v("x", TypeArticle)
+		y := b.v("y", "")
+		p := b.v("p", TypePerson)
+		j := b.c("journal1", TypeJournal)
+		b.edge(x, PredJournal, j).edge(x, PredCites, y).edge(y, PredCreator, p)
+		out = append(out, workload.BenchQuery{
+			Name:        "q3b",
+			Description: "authors cited by articles of journal1",
+			Query:       b.project(p),
+		})
+	}
+	{ // q6: co-authors of a given person.
+		b := newQB()
+		d := b.v("d", "")
+		p := b.v("p", TypePerson)
+		a := b.c("person1", TypePerson)
+		b.edge(d, PredCreator, a).edge(d, PredCreator, p)
+		out = append(out, workload.BenchQuery{
+			Name:        "q6",
+			Description: "co-authors of person1",
+			Query:       b.project(p),
+		})
+	}
+	{ // q8a: co-authorship distance <= 2 from person0 (the Erdős pattern).
+		b := newQB()
+		d1 := b.v("d1", "")
+		d2 := b.v("d2", "")
+		m := b.v("m", TypePerson)
+		p := b.v("p", TypePerson)
+		anchor := b.c("person0", TypePerson)
+		b.edge(d1, PredCreator, anchor).edge(d1, PredCreator, m).
+			edge(d2, PredCreator, m).edge(d2, PredCreator, p)
+		out = append(out, workload.BenchQuery{
+			Name:        "q8a",
+			Description: "persons within co-authorship distance 2 of person0",
+			Query:       b.project(p),
+		})
+	}
+	{ // q8b: co-authorship distance <= 3 (the paper's hardest SP2B query).
+		b := newQB()
+		d1 := b.v("d1", "")
+		d2 := b.v("d2", "")
+		d3 := b.v("d3", "")
+		m1 := b.v("m1", TypePerson)
+		m2 := b.v("m2", TypePerson)
+		p := b.v("p", TypePerson)
+		anchor := b.c("person0", TypePerson)
+		b.edge(d1, PredCreator, anchor).edge(d1, PredCreator, m1).
+			edge(d2, PredCreator, m1).edge(d2, PredCreator, m2).
+			edge(d3, PredCreator, m2).edge(d3, PredCreator, p)
+		out = append(out, workload.BenchQuery{
+			Name:        "q8b",
+			Description: "persons within co-authorship distance 3 of person0",
+			Query:       b.project(p),
+		})
+	}
+	{ // q11: editors of proceedings where a given person published.
+		b := newQB()
+		ip := b.v("ip", TypeInproceedings)
+		proc := b.v("proc", TypeProceedings)
+		e := b.v("e", TypePerson)
+		a := b.c("person2", TypePerson)
+		b.edge(ip, PredPartOf, proc).edge(ip, PredCreator, a).edge(proc, PredEditor, e)
+		out = append(out, workload.BenchQuery{
+			Name:        "q11",
+			Description: "editors of proceedings in which person2 published",
+			Query:       b.project(e),
+		})
+	}
+	{ // q12a: authors with both a journal0 article and a proc0 paper.
+		b := newQB()
+		art := b.v("art", TypeArticle)
+		ip := b.v("ip", TypeInproceedings)
+		p := b.v("p", TypePerson)
+		j := b.c("journal0", TypeJournal)
+		proc := b.c("proc0", TypeProceedings)
+		b.edge(art, PredJournal, j).edge(art, PredCreator, p).
+			edge(ip, PredPartOf, proc).edge(ip, PredCreator, p)
+		out = append(out, workload.BenchQuery{
+			Name:        "q12a",
+			Description: "authors with both a journal0 article and a proc0 inproceedings",
+			Query:       b.project(p),
+		})
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package sp2b generates a DBLP-style publications ontology modeled on the
+// SP²Bench benchmark the paper evaluates against (Section VI-B), together
+// with the benchmark queries (q2, q3a, q3b, q6, q8a, q8b, q11, q12a)
+// re-expressed in the paper's query class: basic graph patterns with a
+// single output node. The paper used a 67 MB SP²B fragment; the generator
+// is scale-parameterized and deterministic — what matters for the
+// experiments is enough result/provenance variety per query, not absolute
+// size (see DESIGN.md, substitution 2).
+package sp2b
+
+import (
+	"fmt"
+	"math/rand"
+
+	"questpro/internal/graph"
+)
+
+// Node types.
+const (
+	TypePerson        = "Person"
+	TypeArticle       = "Article"
+	TypeInproceedings = "Inproceedings"
+	TypeJournal       = "Journal"
+	TypeProceedings   = "Proceedings"
+)
+
+// Edge predicates, mirroring SP²B's DC/SWRC vocabulary.
+const (
+	PredCreator   = "creator"   // document -> person
+	PredCites     = "cites"     // document -> document
+	PredJournal   = "journal"   // article -> journal
+	PredPartOf    = "partOf"    // inproceedings -> proceedings
+	PredEditor    = "editor"    // proceedings -> person
+	PredHomepage  = "homepage"  // person -> webpage value node
+	PredSameEvent = "sameEvent" // proceedings -> proceedings (series)
+)
+
+// Config sizes the generated fragment. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	Seed           int64
+	Persons        int
+	Journals       int
+	Proceedings    int
+	Articles       int
+	Inproceedings  int
+	MaxAuthors     int // max creators per document (>= 1)
+	MaxCites       int // max citations per document
+	HomepageShare  float64
+	EditorsPerProc int
+}
+
+// DefaultConfig returns a laptop-scale fragment (~20k triples) with enough
+// variety for up to 14 sampled explanations per benchmark query.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Persons:        900,
+		Journals:       25,
+		Proceedings:    40,
+		Articles:       1400,
+		Inproceedings:  1600,
+		MaxAuthors:     4,
+		MaxCites:       3,
+		HomepageShare:  0.3,
+		EditorsPerProc: 2,
+	}
+}
+
+// Generate builds the fragment deterministically from the config.
+func Generate(cfg Config) (*graph.Graph, error) {
+	if cfg.Persons < 1 || cfg.Articles < 1 || cfg.Inproceedings < 0 ||
+		cfg.Journals < 1 || cfg.Proceedings < 1 || cfg.MaxAuthors < 1 {
+		return nil, fmt.Errorf("sp2b: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+
+	persons := make([]string, cfg.Persons)
+	for i := range persons {
+		persons[i] = fmt.Sprintf("person%d", i)
+		if _, err := g.AddNode(persons[i], TypePerson); err != nil {
+			return nil, err
+		}
+	}
+	journals := make([]string, cfg.Journals)
+	for i := range journals {
+		journals[i] = fmt.Sprintf("journal%d", i)
+		if _, err := g.AddNode(journals[i], TypeJournal); err != nil {
+			return nil, err
+		}
+	}
+	procs := make([]string, cfg.Proceedings)
+	for i := range procs {
+		procs[i] = fmt.Sprintf("proc%d", i)
+		if _, err := g.AddNode(procs[i], TypeProceedings); err != nil {
+			return nil, err
+		}
+	}
+
+	// Editors: each proceedings gets EditorsPerProc editors.
+	for _, p := range procs {
+		for e := 0; e < cfg.EditorsPerProc; e++ {
+			person := persons[rng.Intn(len(persons))]
+			if err := addTripleIgnoringDup(g, p, PredEditor, person); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Proceedings series links.
+	for i := 1; i < len(procs); i++ {
+		if i%4 == 0 {
+			if err := addTripleIgnoringDup(g, procs[i], PredSameEvent, procs[i-4+rng.Intn(4)]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// pickAuthors samples 1..MaxAuthors distinct authors with a skew toward
+	// low person indexes (prolific authors), producing the dense
+	// co-authorship neighborhoods the chain queries (q8a/q8b) need.
+	pickAuthors := func() []string {
+		n := 1 + rng.Intn(cfg.MaxAuthors)
+		seen := map[string]bool{}
+		var out []string
+		for len(out) < n {
+			idx := rng.Intn(len(persons))
+			if rng.Intn(3) > 0 { // skew: 2/3 of draws come from the first 15%
+				idx = rng.Intn(1 + len(persons)/7)
+			}
+			p := persons[idx]
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+
+	docs := make([]string, 0, cfg.Articles+cfg.Inproceedings)
+	for i := 0; i < cfg.Articles; i++ {
+		a := fmt.Sprintf("article%d", i)
+		if _, err := g.AddNode(a, TypeArticle); err != nil {
+			return nil, err
+		}
+		docs = append(docs, a)
+		if err := addTripleIgnoringDup(g, a, PredJournal, journals[rng.Intn(len(journals))]); err != nil {
+			return nil, err
+		}
+		for _, p := range pickAuthors() {
+			if err := addTripleIgnoringDup(g, a, PredCreator, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < cfg.Inproceedings; i++ {
+		ip := fmt.Sprintf("inproc%d", i)
+		if _, err := g.AddNode(ip, TypeInproceedings); err != nil {
+			return nil, err
+		}
+		docs = append(docs, ip)
+		if err := addTripleIgnoringDup(g, ip, PredPartOf, procs[rng.Intn(len(procs))]); err != nil {
+			return nil, err
+		}
+		for _, p := range pickAuthors() {
+			if err := addTripleIgnoringDup(g, ip, PredCreator, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Citations between documents.
+	for _, d := range docs {
+		for c := rng.Intn(cfg.MaxCites + 1); c > 0; c-- {
+			target := docs[rng.Intn(len(docs))]
+			if target == d {
+				continue
+			}
+			if err := addTripleIgnoringDup(g, d, PredCites, target); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Homepages.
+	for i, p := range persons {
+		if rng.Float64() < cfg.HomepageShare {
+			hp := fmt.Sprintf("http://people.example.org/%d", i)
+			if _, err := g.AddNode(hp, "Webpage"); err != nil {
+				return nil, err
+			}
+			if err := addTripleIgnoringDup(g, p, PredHomepage, hp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// addTripleIgnoringDup inserts the triple unless it already exists (random
+// generation may redraw the same pair).
+func addTripleIgnoringDup(g *graph.Graph, from, pred, to string) error {
+	f, err := g.EnsureNode(from, "")
+	if err != nil {
+		return err
+	}
+	t, err := g.EnsureNode(to, "")
+	if err != nil {
+		return err
+	}
+	if g.HasEdgeTriple(f, t, pred) {
+		return nil
+	}
+	_, err = g.AddEdge(f, t, pred)
+	return err
+}

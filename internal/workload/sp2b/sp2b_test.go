@@ -1,0 +1,121 @@
+package sp2b_test
+
+import (
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/workload"
+	"questpro/internal/workload/sp2b"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := sp2b.DefaultConfig()
+	a, err := sp2b.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp2b.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() != b.Signature() {
+		t.Fatal("generation not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c, err := sp2b.Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() == c.Signature() {
+		t.Fatal("different seeds produced identical fragments")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	g, err := sp2b.Generate(sp2b.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LabelCount(sp2b.PredCreator) == 0 || g.LabelCount(sp2b.PredJournal) == 0 ||
+		g.LabelCount(sp2b.PredPartOf) == 0 || g.LabelCount(sp2b.PredEditor) == 0 ||
+		g.LabelCount(sp2b.PredCites) == 0 {
+		t.Fatalf("missing predicates: %v", g.Labels())
+	}
+	n, ok := g.NodeByValue("person0")
+	if !ok || n.Type != sp2b.TypePerson {
+		t.Fatalf("person0 = %+v, %v", n, ok)
+	}
+	if g.NumEdges() < 5000 {
+		t.Fatalf("fragment too small: %d edges", g.NumEdges())
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := sp2b.Generate(sp2b.Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+// The catalog must contain exactly the paper's 8 SP2B queries, each with
+// enough results to sample the Figure-6 sweep's 14 explanations.
+func TestQueriesCatalog(t *testing.T) {
+	g, err := sp2b.Generate(sp2b.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := sp2b.Queries()
+	want := []string{"q2", "q3a", "q3b", "q6", "q8a", "q8b", "q11", "q12a"}
+	if len(qs) != len(want) {
+		t.Fatalf("catalog has %d queries, want %d", len(qs), len(want))
+	}
+	for i, name := range want {
+		if qs[i].Name != name {
+			t.Fatalf("catalog[%d] = %s, want %s", i, qs[i].Name, name)
+		}
+		if qs[i].Description == "" {
+			t.Fatalf("%s has no description", name)
+		}
+	}
+	if err := workload.Validate(g, qs, 14); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := workload.Lookup(qs, "q8b"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := workload.Lookup(qs, "nope"); ok {
+		t.Fatal("Lookup found a ghost")
+	}
+}
+
+// Edge/variable counts stay in the paper's reported 1-12 range.
+func TestQueriesShapeRanges(t *testing.T) {
+	for _, bq := range sp2b.Queries() {
+		for _, b := range bq.Query.Branches() {
+			if b.NumEdges() < 1 || b.NumEdges() > 12 {
+				t.Errorf("%s: %d edges", bq.Name, b.NumEdges())
+			}
+			if b.NumVars() < 1 || b.NumVars() > 12 {
+				t.Errorf("%s: %d vars", bq.Name, b.NumVars())
+			}
+		}
+	}
+}
+
+func TestQueryResultCounts(t *testing.T) {
+	g, err := sp2b.Generate(sp2b.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eval.New(g)
+	for _, bq := range sp2b.Queries() {
+		rs, err := ev.Results(bq.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", bq.Name, err)
+		}
+		t.Logf("%s: %d results", bq.Name, len(rs))
+	}
+}

@@ -1,0 +1,56 @@
+// Package workload defines the shared shape of benchmark workloads: a
+// generated ontology plus a catalog of named benchmark queries, re-expressed
+// in the paper's query class. Concrete workloads live in the sp2b, bsbm and
+// dbpedia subpackages.
+package workload
+
+import (
+	"fmt"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// BenchQuery is one catalog entry: a named target query over a workload
+// ontology, used as the ground truth the inference algorithms try to
+// reverse-engineer.
+type BenchQuery struct {
+	// Name is the benchmark identifier (e.g. "q8b", "q2v0", "table1-7").
+	Name string
+	// Description is the human-readable intent shown to (simulated) users.
+	Description string
+	// Query is the target, anchored to constants of the generated ontology.
+	Query *query.Union
+}
+
+// Validate checks a catalog against its ontology: every query must be
+// well-formed and have at least minResults results (the paper excludes
+// benchmark queries designed to return a single result, since reproducing a
+// query needs at least two explanations).
+func Validate(o *graph.Graph, queries []BenchQuery, minResults int) error {
+	ev := eval.New(o)
+	for _, bq := range queries {
+		if err := bq.Query.Validate(); err != nil {
+			return fmt.Errorf("workload: %s: %w", bq.Name, err)
+		}
+		rs, err := ev.Results(bq.Query)
+		if err != nil {
+			return fmt.Errorf("workload: %s: %w", bq.Name, err)
+		}
+		if len(rs) < minResults {
+			return fmt.Errorf("workload: %s has %d results, want >= %d", bq.Name, len(rs), minResults)
+		}
+	}
+	return nil
+}
+
+// Lookup finds a catalog entry by name.
+func Lookup(queries []BenchQuery, name string) (BenchQuery, bool) {
+	for _, q := range queries {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return BenchQuery{}, false
+}

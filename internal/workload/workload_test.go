@@ -1,0 +1,51 @@
+package workload_test
+
+import (
+	"testing"
+
+	"questpro/internal/graph"
+	"questpro/internal/query"
+	"questpro/internal/workload"
+)
+
+func tinyCatalog(t *testing.T) (*graph.Graph, []workload.BenchQuery) {
+	t.Helper()
+	g := graph.New()
+	g.MustAddTriple("p1", "wb", "A")
+	g.MustAddTriple("p2", "wb", "B")
+	q := query.NewSimple()
+	pv := q.MustEnsureNode(query.Var("p"), "")
+	av := q.MustEnsureNode(query.Var("a"), "")
+	q.MustAddEdge(pv, av, "wb")
+	if err := q.SetProjected(av); err != nil {
+		t.Fatal(err)
+	}
+	return g, []workload.BenchQuery{{
+		Name:        "tiny",
+		Description: "all authors",
+		Query:       query.NewUnion(q),
+	}}
+}
+
+func TestValidateAndLookup(t *testing.T) {
+	g, qs := tinyCatalog(t)
+	if err := workload.Validate(g, qs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Validate(g, qs, 3); err == nil {
+		t.Fatal("min-results threshold not enforced")
+	}
+	if _, ok := workload.Lookup(qs, "tiny"); !ok {
+		t.Fatal("Lookup missed an entry")
+	}
+	if _, ok := workload.Lookup(qs, "ghost"); ok {
+		t.Fatal("Lookup invented an entry")
+	}
+	// A malformed query (no projected node) is rejected.
+	bad := query.NewSimple()
+	bad.MustEnsureNode(query.Var("x"), "")
+	qs2 := []workload.BenchQuery{{Name: "bad", Query: query.NewUnion(bad)}}
+	if err := workload.Validate(g, qs2, 0); err == nil {
+		t.Fatal("union without projected node validated")
+	}
+}
