@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples clean
+.PHONY: all build test race cover bench bench-json experiments examples clean
 
 all: build test
 
@@ -26,6 +26,11 @@ cover:
 # One testing.B benchmark per table/figure plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable inference perf baseline (ns/op + merge-cache counters)
+# for the bench trajectory. See cmd/qpbench/benchjson.go for the schema.
+bench-json: build
+	bin/qpbench -exp benchjson -scale 0.35 -explanations 8 -out BENCH_core_infer.json
 
 # Regenerate every evaluation artifact at full scale (see EXPERIMENTS.md).
 experiments: build

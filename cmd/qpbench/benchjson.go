@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"questpro/internal/core"
+	"questpro/internal/experiments"
+	"questpro/internal/workload/sampling"
+)
+
+// benchjson times the inference hot paths (InferSimple, InferUnion,
+// InferTopK) on one sampled example-set per workload and writes the
+// measurements as machine-readable JSON, so the bench trajectory can track
+// inference speedups across versions. Alongside ns/op it records the merge
+// engine's counters: logical Algorithm-1 evaluations, actual MergePair
+// executions (cache misses), the work avoided (cache hits), observed peak
+// parallelism and per-round wall times.
+
+// benchEntry is one (workload, algorithm) measurement.
+type benchEntry struct {
+	Workload        string  `json:"workload"`
+	Query           string  `json:"query"`
+	Algorithm       string  `json:"algorithm"`
+	Explanations    int     `json:"explanations"`
+	K               int     `json:"k,omitempty"`
+	Reps            int     `json:"reps"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	Algorithm1Calls int     `json:"algorithm1_calls"`
+	CacheHits       int     `json:"cache_hits"`
+	CacheMisses     int     `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	Rounds          int     `json:"rounds"`
+	PeakParallelism int     `json:"peak_parallelism"`
+	RoundWallNs     []int64 `json:"round_wall_ns"`
+}
+
+// benchFile is the top-level JSON document.
+type benchFile struct {
+	Schema  string       `json:"schema"`
+	Scale   float64      `json:"scale"`
+	Seed    int64        `json:"seed"`
+	Workers int          `json:"workers"`
+	Entries []benchEntry `json:"entries"`
+}
+
+// benchJSON runs the inference benchmarks and writes them to path.
+func (r *runner) benchJSON(path string) error {
+	const reps = 3
+	opts := r.opts(3)
+	doc := benchFile{
+		Schema:  "qpbench/core-infer/v1",
+		Scale:   r.scale,
+		Seed:    r.seed,
+		Workers: opts.Workers,
+	}
+	for _, name := range []string{"sp2b", "bsbm", "dbpedia"} {
+		w, err := experiments.Load(name, r.scale)
+		if err != nil {
+			return err
+		}
+		ev := w.Evaluator()
+		for _, bq := range w.Queries {
+			s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(r.seed)))
+			rs, err := s.Results()
+			if err != nil {
+				return err
+			}
+			if len(rs) < r.nExpl {
+				continue
+			}
+			exs, err := s.ExampleSet(r.nExpl)
+			if err != nil {
+				return err
+			}
+			runs := []struct {
+				algorithm string
+				run       func() (core.Stats, error)
+			}{
+				{"InferSimple", func() (core.Stats, error) {
+					_, st, _, err := core.InferSimple(exs, opts)
+					return st, err
+				}},
+				{"InferUnion", func() (core.Stats, error) {
+					_, st, err := core.InferUnion(exs, opts)
+					return st, err
+				}},
+				{"InferTopK", func() (core.Stats, error) {
+					_, st, err := core.InferTopK(exs, opts)
+					return st, err
+				}},
+			}
+			for _, alg := range runs {
+				entry := benchEntry{
+					Workload:     name,
+					Query:        bq.Name,
+					Algorithm:    alg.algorithm,
+					Explanations: r.nExpl,
+					Reps:         reps,
+				}
+				if alg.algorithm == "InferTopK" {
+					entry.K = opts.K
+				}
+				var elapsed time.Duration
+				for rep := 0; rep < reps; rep++ {
+					start := time.Now()
+					stats, err := alg.run()
+					elapsed += time.Since(start)
+					if err != nil {
+						return fmt.Errorf("benchjson: %s/%s/%s: %w", name, bq.Name, alg.algorithm, err)
+					}
+					if rep == 0 {
+						entry.Algorithm1Calls = stats.Algorithm1Calls
+						entry.CacheHits = stats.CacheHits
+						entry.CacheMisses = stats.CacheMisses
+						if stats.Algorithm1Calls > 0 {
+							entry.CacheHitRate = float64(stats.CacheHits) / float64(stats.Algorithm1Calls)
+						}
+						entry.Rounds = stats.Rounds
+						entry.PeakParallelism = stats.PeakParallelism
+						for _, d := range stats.RoundWall {
+							entry.RoundWallNs = append(entry.RoundWallNs, d.Nanoseconds())
+						}
+					}
+				}
+				entry.NsPerOp = elapsed.Nanoseconds() / reps
+				doc.Entries = append(doc.Entries, entry)
+			}
+			break // one query per workload keeps the artifact small and fast
+		}
+	}
+	if len(doc.Entries) == 0 {
+		return fmt.Errorf("benchjson: no benchmark query has %d results at scale %g; lower -explanations or raise -scale", r.nExpl, r.scale)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	if !r.csv {
+		fmt.Printf("== benchjson: wrote %d entries to %s ==\n\n", len(doc.Entries), path)
+	}
+	return nil
+}

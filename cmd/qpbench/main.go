@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: e1, e2, fig6a, fig6b, fig6c, fig6d, table1, fig8, feedback, robust, ablation, e1rep, all")
+		exp     = flag.String("exp", "all", "experiment: e1, e2, fig6a, fig6b, fig6c, fig6d, table1, fig8, feedback, robust, ablation, e1rep, benchjson, all")
 		wlName  = flag.String("workload", "", "restrict e1/e2/feedback to one workload (sp2b or bsbm)")
 		scale   = flag.Float64("scale", 1.0, "ontology scale factor")
 		seed    = flag.Int64("seed", 1, "random seed for example sampling")
@@ -30,6 +30,7 @@ func main() {
 		nExpl   = flag.Int("explanations", 7, "explanations for e2/feedback and fig6c")
 		repeats = flag.Int("repeats", 5, "sampling repeats for e1rep")
 		k       = flag.Int("k", 0, "top-k beam width (0 = paper defaults per experiment)")
+		out     = flag.String("out", "BENCH_core_infer.json", "output path for benchjson")
 	)
 	flag.Parse()
 
@@ -47,6 +48,9 @@ func main() {
 		"robust":   r.robustness,
 		"ablation": func() error { return r.ablation(*wlName) },
 		"e1rep":    func() error { return r.e1Repeated(*wlName) },
+		// benchjson is not part of "all": it is the perf-baseline artifact,
+		// regenerated on demand via `make bench-json`.
+		"benchjson": func() error { return r.benchJSON(*out) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"e1", "e2", "fig6a", "fig6b", "fig6c", "fig6d", "table1", "fig8", "feedback", "robust", "ablation", "e1rep"} {

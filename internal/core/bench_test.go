@@ -1,12 +1,15 @@
 package core_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"questpro/internal/core"
+	"questpro/internal/experiments"
 	"questpro/internal/paperfix"
 	"questpro/internal/provenance"
 	"questpro/internal/query"
+	"questpro/internal/workload/sampling"
 )
 
 func groundPair(b *testing.B, i, j int) (*query.Simple, *query.Simple, provenance.ExampleSet) {
@@ -84,6 +87,99 @@ func BenchmarkInferTopK(b *testing.B) {
 		if _, _, err := core.InferTopK(exs, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// workloadExampleSet samples n explanations from the first benchmark query
+// of the named workload that has at least n results (fixed seed: the same
+// example-set every run).
+func workloadExampleSet(b *testing.B, name string, n int) provenance.ExampleSet {
+	b.Helper()
+	w, err := experiments.Load(name, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := w.Evaluator()
+	for _, bq := range w.Queries {
+		s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(1)))
+		rs, err := s.Results()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) < n {
+			continue
+		}
+		exs, err := s.ExampleSet(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return exs
+	}
+	b.Fatalf("no %s query with %d results", name, n)
+	return nil
+}
+
+// The incremental engine against the sequential pre-cache implementation
+// (inferUnionSequential, a verbatim port kept in equivalence_test.go), on
+// 8-explanation samples of each workload. The "engine" variants are the
+// shipping InferUnion/InferSimple.
+func BenchmarkInferUnionSequentialVsEngine(b *testing.B) {
+	for _, name := range []string{"sp2b", "bsbm", "dbpedia"} {
+		b.Run(name, func(b *testing.B) {
+			exs := workloadExampleSet(b, name, 8)
+			opts := core.DefaultOptions()
+			b.Run("sequential", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					inferUnionSequential(b, exs, opts)
+				}
+			})
+			b.Run("engine", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.InferUnion(exs, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkInferSimpleSequentialVsEngine(b *testing.B) {
+	for _, name := range []string{"sp2b", "bsbm", "dbpedia"} {
+		b.Run(name, func(b *testing.B) {
+			exs := workloadExampleSet(b, name, 8)
+			opts := core.DefaultOptions()
+			b.Run("sequential", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					inferSimpleSequential(b, exs, opts) // ok=false is valid: both variants agree
+				}
+			})
+			b.Run("engine", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, _, err := core.InferSimple(exs, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// The beam search on workload samples — the configuration where cross-state
+// cache sharing saves the most MergePair executions (see
+// TestTopKCacheReductionEightExplanations for the measured reduction).
+func BenchmarkInferTopKWorkloads(b *testing.B) {
+	for _, name := range []string{"sp2b", "bsbm", "dbpedia"} {
+		b.Run(name, func(b *testing.B) {
+			exs := workloadExampleSet(b, name, 8)
+			opts := core.DefaultOptions()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.InferTopK(exs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

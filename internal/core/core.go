@@ -15,7 +15,11 @@
 //   - Section V disequality inference: WithDiseqs / InferUnionDiseqs.
 package core
 
-import "questpro/internal/query"
+import (
+	"time"
+
+	"questpro/internal/query"
+)
 
 // DefaultGainWeights are the gain-function weights (w1, w2, w3) the paper
 // fixes in Section VI: 3, 15, 1.
@@ -41,6 +45,12 @@ type Options struct {
 	// tries as the forced first selection (see DefaultFirstPairSweep).
 	// 0 selects the default; 1 reproduces the paper's single-choice rule.
 	FirstPairSweep int
+
+	// Workers bounds the goroutine pool the merge engine uses to compute a
+	// round's fresh pairwise merges. <= 0 selects GOMAXPROCS; 1 forces
+	// sequential computation. Results are identical regardless of the value
+	// (selection is replayed deterministically after all merges are cached).
+	Workers int
 }
 
 // DefaultOptions returns the paper's parameterization: gain weights
@@ -58,10 +68,45 @@ func DefaultOptions() Options {
 
 // Stats records the work performed by an inference run. Algorithm1Calls is
 // the "number of intermediate queries" metric of Figure 6: how many times
-// Algorithm 2 (or its top-k variant) invoked Algorithm 1.
+// Algorithm 2 (or its top-k variant) *logically* invoked Algorithm 1 — the
+// count the pre-cache implementation would have executed, kept stable so the
+// Figure 6 trajectories remain comparable across versions. The actual number
+// of MergePair executions after memoization is CacheMisses; CacheHits is the
+// work the incremental engine avoided (Algorithm1Calls = CacheHits +
+// CacheMisses).
 type Stats struct {
 	Algorithm1Calls int
 	Rounds          int
+
+	// CacheHits and CacheMisses split Algorithm1Calls into pair evaluations
+	// served from the merge cache vs fresh MergePair executions. Both are
+	// deterministic for a fixed input and options.
+	CacheHits   int
+	CacheMisses int
+
+	// PeakParallelism is the maximum number of MergePair computations that
+	// were observed in flight simultaneously. Scheduling-dependent; excluded
+	// from determinism comparisons.
+	PeakParallelism int
+
+	// RoundWall is the wall-clock time of each inference round (index =
+	// round-1). Timing only: excluded from determinism comparisons.
+	RoundWall []time.Duration
+}
+
+// TotalWall sums the per-round wall times.
+func (s Stats) TotalWall() time.Duration {
+	var t time.Duration
+	for _, d := range s.RoundWall {
+		t += d
+	}
+	return t
+}
+
+// CoreCounters returns the deterministic portion of the stats (everything
+// except timings and observed parallelism); useful for equality assertions.
+func (s Stats) CoreCounters() [4]int {
+	return [4]int{s.Algorithm1Calls, s.Rounds, s.CacheHits, s.CacheMisses}
 }
 
 // Candidate pairs an inferred union query with its cost under the options'

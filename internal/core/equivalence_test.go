@@ -1,0 +1,233 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+	"questpro/internal/query"
+)
+
+// This file pins the merge engine's central guarantee: InferSimple and
+// InferUnion produce byte-identical SPARQL to the sequential, cache-free
+// implementation they replaced. The reference implementations below are
+// verbatim ports of the pre-engine code paths (re-running MergePair on every
+// pair in every round), kept in-tree so the equivalence is checked on every
+// run — including under -race, where it also exercises the parallel
+// prefetch for data races.
+
+func seqGroundPatterns(t testing.TB, ex provenance.ExampleSet) []*query.Simple {
+	t.Helper()
+	if err := ex.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*query.Simple, len(ex))
+	for i, e := range ex {
+		q, err := query.FromExplanation(e.Graph, e.Distinguished)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// inferSimpleSequential is the pre-engine InferSimple: every pair, every
+// round, no cache, no parallelism.
+func inferSimpleSequential(t testing.TB, ex provenance.ExampleSet, opts core.Options) (*query.Simple, bool) {
+	t.Helper()
+	patterns := seqGroundPatterns(t, ex)
+	for len(patterns) > 1 {
+		bestI, bestJ := -1, -1
+		var best core.MergeResult
+		for i := 0; i < len(patterns); i++ {
+			for j := i + 1; j < len(patterns); j++ {
+				res, ok, err := core.MergePair(patterns[i], patterns[j], opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					continue
+				}
+				if bestI < 0 || res.Gain > best.Gain {
+					bestI, bestJ, best = i, j, res
+				}
+			}
+		}
+		if bestI < 0 {
+			return nil, false
+		}
+		next := patterns[:0:0]
+		for k, p := range patterns {
+			if k != bestI && k != bestJ {
+				next = append(next, p)
+			}
+		}
+		patterns = append(next, best.Query)
+	}
+	return patterns[0], true
+}
+
+// inferUnionSequential is the pre-engine InferUnion/mergeBestTwo.
+func inferUnionSequential(t testing.TB, ex provenance.ExampleSet, opts core.Options) *query.Union {
+	t.Helper()
+	patterns := seqGroundPatterns(t, ex)
+	u := query.NewUnion(patterns...)
+	costCur := u.Cost(opts.CostW1, opts.CostW2)
+	for u.Size() > 1 {
+		bestI, bestJ := -1, -1
+		var best core.MergeResult
+		for i := 0; i < u.Size(); i++ {
+			for j := i + 1; j < u.Size(); j++ {
+				res, ok, err := core.MergePair(u.Branch(i), u.Branch(j), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					continue
+				}
+				better := bestI < 0 ||
+					res.Query.NumVars() < best.Query.NumVars() ||
+					(res.Query.NumVars() == best.Query.NumVars() && res.Gain > best.Gain)
+				if better {
+					bestI, bestJ, best = i, j, res
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		merged, err := u.Replace(bestI, bestJ, best.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := merged.Cost(opts.CostW1, opts.CostW2)
+		if cost >= costCur {
+			break
+		}
+		u, costCur = merged, cost
+	}
+	return u
+}
+
+// randomExampleSet samples n explanations as random connected subgraphs of a
+// random ontology (the same construction TestInferenceConsistencyProperty
+// uses); returns nil when the seed cannot produce one.
+func randomExampleSet(t testing.TB, seed int64, n int) provenance.ExampleSet {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	o := graph.RandomOntology(rng, graph.RandomConfig{
+		Nodes: 24, Edges: 60, Labels: []string{"p", "q", "r"}, Types: []string{"A", "B"},
+	})
+	var exs provenance.ExampleSet
+	for len(exs) < n {
+		sub, start := graph.RandomConnectedSubgraph(rng, o, 1+rng.Intn(4))
+		if sub == nil {
+			return nil
+		}
+		ex, err := provenance.New(sub, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exs = append(exs, ex)
+	}
+	return exs
+}
+
+// The engine-backed InferSimple/InferUnion render byte-identical SPARQL to
+// the sequential implementation across seeded random example-sets, for both
+// the sequential (Workers=1) and the parallel engine configuration.
+func TestEngineMatchesSequentialRandom(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		exs := randomExampleSet(t, seed, 3+int(seed%4))
+		if exs == nil {
+			continue
+		}
+		for _, workers := range []int{1, 4} {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+
+			wantQ, wantOK := inferSimpleSequential(t, exs, opts)
+			gotQ, _, gotOK, err := core.InferSimple(exs, opts)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: InferSimple: %v", seed, workers, err)
+			}
+			if gotOK != wantOK {
+				t.Fatalf("seed %d workers %d: InferSimple ok=%v, sequential ok=%v",
+					seed, workers, gotOK, wantOK)
+			}
+			if gotOK && gotQ.SPARQL() != wantQ.SPARQL() {
+				t.Fatalf("seed %d workers %d: InferSimple diverged:\nengine:\n%s\nsequential:\n%s",
+					seed, workers, gotQ.SPARQL(), wantQ.SPARQL())
+			}
+
+			wantU := inferUnionSequential(t, exs, opts)
+			gotU, _, err := core.InferUnion(exs, opts)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: InferUnion: %v", seed, workers, err)
+			}
+			if gotU.SPARQL() != wantU.SPARQL() {
+				t.Fatalf("seed %d workers %d: InferUnion diverged:\nengine:\n%s\nsequential:\n%s",
+					seed, workers, gotU.SPARQL(), wantU.SPARQL())
+			}
+		}
+	}
+}
+
+// Same equivalence on the paper's running example (the four explanations of
+// Figure 2), where the expected outputs are known queries.
+func TestEngineMatchesSequentialRunningExample(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+	opts.Workers = 4
+
+	wantQ, wantOK := inferSimpleSequential(t, exs, opts)
+	gotQ, _, gotOK, err := core.InferSimple(exs, opts)
+	if err != nil || gotOK != wantOK {
+		t.Fatalf("InferSimple: ok=%v want %v err=%v", gotOK, wantOK, err)
+	}
+	if gotQ.SPARQL() != wantQ.SPARQL() {
+		t.Fatalf("InferSimple diverged:\n%s\nvs\n%s", gotQ.SPARQL(), wantQ.SPARQL())
+	}
+
+	wantU := inferUnionSequential(t, exs, opts)
+	gotU, _, err := core.InferUnion(exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotU.SPARQL() != wantU.SPARQL() {
+		t.Fatalf("InferUnion diverged:\n%s\nvs\n%s", gotU.SPARQL(), wantU.SPARQL())
+	}
+}
+
+// Worker-count invariance: the engine returns identical queries and
+// identical deterministic counters for any pool size.
+func TestEngineWorkerCountInvariance(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	var baseU string
+	var baseStats [4]int
+	for i, workers := range []int{1, 2, 3, 8} {
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		u, stats, err := core.InferUnion(exs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			baseU, baseStats = u.SPARQL(), stats.CoreCounters()
+			continue
+		}
+		if u.SPARQL() != baseU {
+			t.Fatalf("workers=%d produced a different query", workers)
+		}
+		if stats.CoreCounters() != baseStats {
+			t.Fatalf("workers=%d produced different counters: %v vs %v",
+				workers, stats.CoreCounters(), baseStats)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"questpro/internal/provenance"
 	"questpro/internal/query"
@@ -30,20 +31,35 @@ func groundPatterns(ex provenance.ExampleSet) ([]*query.Simple, error) {
 // intermediate queries alike) and greedily merges the pair whose complete
 // relation has maximal gain, until a single simple query remains. ok is
 // false when some explanations cannot be merged into one simple pattern.
+//
+// Pair merges are memoized in a MergeCache: after the first round only the
+// pairs involving the previous round's merged query are computed (in
+// parallel, see Options.Workers); selection replays the pair scan in index
+// order, so the result is identical to the sequential pre-cache
+// implementation.
 func InferSimple(ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, bool, error) {
 	var stats Stats
 	patterns, err := groundPatterns(ex)
 	if err != nil {
 		return nil, stats, false, err
 	}
+	cache := NewMergeCache(opts)
 	for len(patterns) > 1 {
 		stats.Rounds++
+		roundStart := time.Now()
+		pairs := allPairs(patterns)
+		fresh, err := cache.Prefetch(pairs, &stats)
+		if err != nil {
+			return nil, stats, false, err
+		}
+		stats.Algorithm1Calls += len(pairs)
+		stats.CacheMisses += fresh
+		stats.CacheHits += len(pairs) - fresh
 		bestI, bestJ := -1, -1
 		var best MergeResult
 		for i := 0; i < len(patterns); i++ {
 			for j := i + 1; j < len(patterns); j++ {
-				stats.Algorithm1Calls++
-				res, ok, err := MergePair(patterns[i], patterns[j], opts)
+				res, ok, err := cache.Lookup(patterns[i], patterns[j])
 				if err != nil {
 					return nil, stats, false, err
 				}
@@ -55,6 +71,7 @@ func InferSimple(ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, 
 				}
 			}
 		}
+		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
 		if bestI < 0 {
 			return nil, stats, false, nil
 		}
@@ -72,18 +89,22 @@ func InferSimple(ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, 
 // InferUnion implements Algorithm 2 (FindConsistentUnion): starting from
 // the trivial union of constants-only patterns, repeatedly merge the two
 // branches whose consistent simple query has the fewest variables, as long
-// as the cost f(Q) = CostW1 * Σ vars + CostW2 * |Q| decreases.
+// as the cost f(Q) = CostW1 * Σ vars + CostW2 * |Q| decreases. Branch merges
+// are memoized and computed in parallel exactly as in InferSimple.
 func InferUnion(ex provenance.ExampleSet, opts Options) (*query.Union, Stats, error) {
 	var stats Stats
 	patterns, err := groundPatterns(ex)
 	if err != nil {
 		return nil, stats, err
 	}
+	cache := NewMergeCache(opts)
 	u := query.NewUnion(patterns...)
 	costCur := u.Cost(opts.CostW1, opts.CostW2)
 	for u.Size() > 1 {
 		stats.Rounds++
-		merged, err := mergeBestTwo(u, opts, &stats)
+		roundStart := time.Now()
+		merged, err := mergeBestTwo(u, cache, &stats)
+		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
 		if err != nil {
 			return nil, stats, err
 		}
@@ -99,16 +120,26 @@ func InferUnion(ex provenance.ExampleSet, opts Options) (*query.Union, Stats, er
 	return u, stats, nil
 }
 
-// mergeBestTwo implements procedure MergeBestTwo: run Algorithm 1 on every
-// pair of branches and return the union produced by the merge with the
-// minimum number of variables (nil when no pair can be merged).
-func mergeBestTwo(u *query.Union, opts Options, stats *Stats) (*query.Union, error) {
+// mergeBestTwo implements procedure MergeBestTwo: evaluate Algorithm 1 on
+// every pair of branches (through the merge cache — only pairs not seen in
+// an earlier round are actually computed) and return the union produced by
+// the merge with the minimum number of variables (nil when no pair can be
+// merged). Ties break on gain, then on the lowest branch-index pair, a fixed
+// order independent of goroutine scheduling.
+func mergeBestTwo(u *query.Union, cache *MergeCache, stats *Stats) (*query.Union, error) {
+	pairs := branchPairs(u)
+	fresh, err := cache.Prefetch(pairs, stats)
+	if err != nil {
+		return nil, err
+	}
+	stats.Algorithm1Calls += len(pairs)
+	stats.CacheMisses += fresh
+	stats.CacheHits += len(pairs) - fresh
 	bestI, bestJ := -1, -1
 	var best MergeResult
 	for i := 0; i < u.Size(); i++ {
 		for j := i + 1; j < u.Size(); j++ {
-			stats.Algorithm1Calls++
-			res, ok, err := MergePair(u.Branch(i), u.Branch(j), opts)
+			res, ok, err := cache.Lookup(u.Branch(i), u.Branch(j))
 			if err != nil {
 				return nil, err
 			}

@@ -399,7 +399,9 @@ func TestInferenceDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sa != sb || len(a) != len(b) {
+	// RoundWall and PeakParallelism are timing/scheduling observations; the
+	// counter portion of the stats must be bit-identical across runs.
+	if sa.CoreCounters() != sb.CoreCounters() || len(a) != len(b) {
 		t.Fatalf("stats or lengths differ: %+v vs %+v", sa, sb)
 	}
 	for i := range a {

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync"
+
+	"questpro/internal/query"
+)
+
+// This file implements the incremental pairwise-merge engine. Algorithm 2
+// (and the n-explanation extension of Algorithm 1, and the top-k beam) all
+// share the same hot loop: evaluate MergePair on every pair of patterns,
+// pick one pair, replace it with the merged query, repeat. A round only
+// replaces two patterns with one, so every pair result not involving those
+// two is unchanged — re-running MergePair on them is pure waste. The
+// MergeCache memoizes MergePair outcomes across rounds (and, for the beam
+// search, across beam states, which share branch pointers), turning the
+// per-round MergePair work from O(n²) to O(n).
+//
+// Keying and determinism: patterns are keyed by pointer identity, which is
+// stable for the whole inference run — query.Union.Replace and the
+// pattern-slice rebuild in InferSimple keep the surviving *query.Simple
+// pointers and append the merged query, and no inference path mutates a
+// pattern after construction. MergePair is a pure function of (a, b, opts),
+// so a cached entry is byte-identical to a recomputation. Selection is never
+// performed concurrently: each round first fills the cache (in parallel, in
+// any order) and then replays the pair scan sequentially in index order with
+// the same strict-improvement comparisons as the pre-cache code, so the
+// chosen pair — including tie-breaks — is a fixed function of the input and
+// options, independent of goroutine scheduling.
+
+// pairKey identifies an ordered pattern pair by pointer identity.
+type pairKey struct {
+	a, b *query.Simple
+}
+
+// mergeEntry is one memoized MergePair outcome.
+type mergeEntry struct {
+	res MergeResult
+	ok  bool
+}
+
+// MergeCache memoizes MergePair results across inference rounds. It is safe
+// for concurrent use; the zero value is not usable, construct with
+// NewMergeCache.
+type MergeCache struct {
+	opts Options
+
+	mu      sync.Mutex
+	entries map[pairKey]mergeEntry
+}
+
+// NewMergeCache returns an empty cache computing merges under opts.
+func NewMergeCache(opts Options) *MergeCache {
+	return &MergeCache{opts: opts, entries: make(map[pairKey]mergeEntry)}
+}
+
+// Len reports the number of memoized pairs.
+func (c *MergeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// missing filters pairs down to the ones not yet cached, deduplicated,
+// preserving first-occurrence order (which callers build in index order, so
+// error reporting stays deterministic).
+func (c *MergeCache) missing(pairs []pairKey) []pairKey {
+	var out []pairKey
+	seen := make(map[pairKey]struct{})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, k := range pairs {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		if _, ok := c.entries[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// store records computed entries under their keys.
+func (c *MergeCache) store(keys []pairKey, entries []mergeEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, k := range keys {
+		c.entries[k] = entries[i]
+	}
+}
+
+// Prefetch computes and caches MergePair for every listed pair that is not
+// cached yet, fanning the fresh computations out over the engine's worker
+// pool (see Options.Workers). It returns the number of fresh MergePair
+// executions — the round's cache misses; the remaining listed pairs are
+// hits. When several pairs fail, the error of the earliest-listed failing
+// pair is returned, matching the error a sequential scan would have hit
+// first. stats (optional) receives the observed peak parallelism.
+func (c *MergeCache) Prefetch(pairs []pairKey, stats *Stats) (int, error) {
+	fresh := c.missing(pairs)
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	entries, peak, err := computePairs(fresh, c.opts)
+	if stats != nil && peak > stats.PeakParallelism {
+		stats.PeakParallelism = peak
+	}
+	if err != nil {
+		return len(fresh), err
+	}
+	c.store(fresh, entries)
+	return len(fresh), nil
+}
+
+// Lookup returns the memoized merge outcome for (a, b), computing and
+// caching it on the spot on a miss (the selection scans always run after a
+// Prefetch of the same pairs, so in the inference drivers this is a pure
+// cache read).
+func (c *MergeCache) Lookup(a, b *query.Simple) (MergeResult, bool, error) {
+	k := pairKey{a, b}
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	c.mu.Unlock()
+	if ok {
+		return e.res, e.ok, nil
+	}
+	res, mok, err := MergePair(a, b, c.opts)
+	if err != nil {
+		return MergeResult{}, false, err
+	}
+	c.store([]pairKey{k}, []mergeEntry{{res: res, ok: mok}})
+	return res, mok, nil
+}
+
+// allPairs lists every (i, j), i < j, pattern pair in index order.
+func allPairs(patterns []*query.Simple) []pairKey {
+	n := len(patterns)
+	out := make([]pairKey, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, pairKey{patterns[i], patterns[j]})
+		}
+	}
+	return out
+}
+
+// branchPairs lists every branch pair of a union in index order.
+func branchPairs(u *query.Union) []pairKey {
+	n := u.Size()
+	out := make([]pairKey, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, pairKey{u.Branch(i), u.Branch(j)})
+		}
+	}
+	return out
+}

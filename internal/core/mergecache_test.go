@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/experiments"
+	"questpro/internal/paperfix"
+	"questpro/internal/workload/sampling"
+)
+
+// Counter bookkeeping on the running example: every logical Algorithm-1
+// evaluation is either a hit or a miss, later rounds reuse earlier rounds'
+// merges, and the timing/parallelism observations are populated.
+func TestMergeCacheCountersInferSimple(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	_, stats, ok, err := core.InferSimple(exs, core.DefaultOptions())
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if stats.Algorithm1Calls != stats.CacheHits+stats.CacheMisses {
+		t.Fatalf("counter invariant broken: %d != %d + %d",
+			stats.Algorithm1Calls, stats.CacheHits, stats.CacheMisses)
+	}
+	// 4 explanations, full merge: rounds scan 6+3+1 = 10 pairs, of which
+	// only 6 + 2 + 1 = 9 involve a pattern not seen before.
+	if stats.Algorithm1Calls != 10 || stats.CacheMisses != 9 || stats.CacheHits != 1 {
+		t.Fatalf("unexpected counters: %+v", stats)
+	}
+	if len(stats.RoundWall) != stats.Rounds {
+		t.Fatalf("%d round timings for %d rounds", len(stats.RoundWall), stats.Rounds)
+	}
+	if stats.TotalWall() <= 0 {
+		t.Fatalf("non-positive total wall time: %v", stats.TotalWall())
+	}
+	if stats.PeakParallelism < 1 {
+		t.Fatalf("peak parallelism %d", stats.PeakParallelism)
+	}
+}
+
+// The acceptance benchmark of the incremental engine: on an 8-explanation
+// workload sample, the beam search executes MergePair at most half as often
+// as the pre-cache implementation would have (Algorithm1Calls counts the
+// logical evaluations the old code performed; CacheMisses counts the actual
+// executions after memoization).
+func TestTopKCacheReductionEightExplanations(t *testing.T) {
+	w, err := experiments.Load("sp2b", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := w.Evaluator()
+	for _, bq := range w.Queries {
+		s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(1)))
+		rs, err := s.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) < 8 {
+			continue
+		}
+		exs, err := s.ExampleSet(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands, stats, err := core.InferTopK(exs, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) == 0 {
+			t.Fatalf("%s: no candidates", bq.Name)
+		}
+		if stats.Algorithm1Calls != stats.CacheHits+stats.CacheMisses {
+			t.Fatalf("%s: counter invariant broken: %+v", bq.Name, stats)
+		}
+		if stats.CacheMisses*2 > stats.Algorithm1Calls {
+			t.Fatalf("%s: cache saved too little: %d MergePair executions for %d logical calls",
+				bq.Name, stats.CacheMisses, stats.Algorithm1Calls)
+		}
+		t.Logf("%s: %d logical Algorithm-1 calls, %d executed (%.1fx reduction), peak parallelism %d",
+			bq.Name, stats.Algorithm1Calls, stats.CacheMisses,
+			float64(stats.Algorithm1Calls)/float64(stats.CacheMisses), stats.PeakParallelism)
+		return
+	}
+	t.Fatal("no sp2b benchmark query with >= 8 results at scale 0.3")
+}
+
+// DetectOutliers goes through the same engine; its verdicts must be
+// identical for any worker count.
+func TestOutlierDetectionWorkerInvariance(t *testing.T) {
+	exs := randomExampleSet(t, 5, 5)
+	if exs == nil {
+		t.Skip("seed produced no example set")
+	}
+	opts := core.DefaultOptions()
+	base, err := core.DetectOutliers(exs, opts, core.DefaultOutlierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 6
+	par, err := core.DetectOutliers(exs, opts, core.DefaultOutlierOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(par) {
+		t.Fatalf("score counts differ: %d vs %d", len(base), len(par))
+	}
+	for i := range base {
+		if base[i] != par[i] {
+			t.Fatalf("score %d differs: %+v vs %+v", i, base[i], par[i])
+		}
+	}
+}

@@ -58,10 +58,16 @@ func DetectOutliers(ex provenance.ExampleSet, opts Options, oopts OutlierOptions
 		vars int
 		ok   bool
 	}
+	// All pairwise merges are independent; compute them through the merge
+	// engine's worker pool and read the memoized results back in order.
+	cache := NewMergeCache(opts)
+	if _, err := cache.Prefetch(allPairs(patterns), nil); err != nil {
+		return nil, err
+	}
 	merged := make(map[[2]int]cell, n*n/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			res, ok, err := MergePair(patterns[i], patterns[j], opts)
+			res, ok, err := cache.Lookup(patterns[i], patterns[j])
 			if err != nil {
 				return nil, err
 			}

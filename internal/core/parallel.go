@@ -1,0 +1,74 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// computePairs runs MergePair for each key over a bounded worker pool and
+// returns the entries in key order plus the peak number of concurrently
+// running MergePair calls. MergePair only reads its inputs (patterns are
+// immutable once built and the gain computation allocates per-call state),
+// so the fan-out needs no locking beyond the work distribution. When several
+// pairs error, the lowest-indexed error is returned so callers see the same
+// error a sequential in-order scan would have surfaced first.
+func computePairs(keys []pairKey, opts Options) ([]mergeEntry, int, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+
+	entries := make([]mergeEntry, len(keys))
+	if workers <= 1 {
+		for i, k := range keys {
+			res, ok, err := MergePair(k.a, k.b, opts)
+			if err != nil {
+				return nil, 1, err
+			}
+			entries[i] = mergeEntry{res: res, ok: ok}
+		}
+		return entries, 1, nil
+	}
+
+	errs := make([]error, len(keys))
+	var (
+		next   atomic.Int64
+		active atomic.Int64
+		peak   atomic.Int64
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				cur := active.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				res, ok, err := MergePair(keys[i].a, keys[i].b, opts)
+				active.Add(-1)
+				entries[i] = mergeEntry{res: res, ok: ok}
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, int(peak.Load()), err
+		}
+	}
+	return entries, int(peak.Load()), nil
+}

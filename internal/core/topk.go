@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"questpro/internal/provenance"
 	"questpro/internal/query"
@@ -14,6 +15,11 @@ import (
 // 4.4's Union(Q4, E1, E3)), deduplicates up to isomorphism, and retains the
 // k cheapest states. The search stops at a fixed point. Results are sorted
 // by cost.
+//
+// Beam states descend from one initial union and share branch pointers, so
+// one MergeCache serves the whole search: a branch pair evaluated for any
+// state (in any earlier round) is never recomputed, and each round's fresh
+// pairs across all states are computed in one parallel batch.
 func InferTopK(ex provenance.ExampleSet, opts Options) ([]Candidate, Stats, error) {
 	var stats Stats
 	k := opts.K
@@ -24,15 +30,28 @@ func InferTopK(ex provenance.ExampleSet, opts Options) ([]Candidate, Stats, erro
 	if err != nil {
 		return nil, stats, err
 	}
+	cache := NewMergeCache(opts)
 	start := query.NewUnion(patterns...)
 	beam := []Candidate{{Query: start, Cost: start.Cost(opts.CostW1, opts.CostW2)}}
 
 	for round := 0; round < len(ex); round++ {
 		stats.Rounds++
+		roundStart := time.Now()
+		var pairs []pairKey
+		for _, state := range beam {
+			pairs = append(pairs, branchPairs(state.Query)...)
+		}
+		fresh, err := cache.Prefetch(pairs, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Algorithm1Calls += len(pairs)
+		stats.CacheMisses += fresh
+		stats.CacheHits += len(pairs) - fresh
 		pool := append([]Candidate(nil), beam...)
 		expanded := false
 		for _, state := range beam {
-			cands, err := topMerges(state.Query, k, opts, &stats)
+			cands, err := topMerges(state.Query, k, opts, cache)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -41,6 +60,7 @@ func InferTopK(ex provenance.ExampleSet, opts Options) ([]Candidate, Stats, erro
 			}
 			pool = append(pool, cands...)
 		}
+		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
 		if !expanded {
 			break
 		}
@@ -54,13 +74,12 @@ func InferTopK(ex provenance.ExampleSet, opts Options) ([]Candidate, Stats, erro
 }
 
 // topMerges returns up to k merge candidates of the union state, cheapest
-// first.
-func topMerges(u *query.Union, k int, opts Options, stats *Stats) ([]Candidate, error) {
+// first, reading every pair merge from the cache (prefetched by InferTopK).
+func topMerges(u *query.Union, k int, opts Options, cache *MergeCache) ([]Candidate, error) {
 	var out []Candidate
 	for i := 0; i < u.Size(); i++ {
 		for j := i + 1; j < u.Size(); j++ {
-			stats.Algorithm1Calls++
-			res, ok, err := MergePair(u.Branch(i), u.Branch(j), opts)
+			res, ok, err := cache.Lookup(u.Branch(i), u.Branch(j))
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,134 @@
+package eval_test
+
+import (
+	"reflect"
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// These tests pin the isolated-variable semantics of disequality filtering:
+// a disequality whose variable is unbound on a complete match (an isolated
+// query node, or a node only reachable through an unmatched OPTIONAL edge)
+// is skipped, never a failure. They guard the diseqsHold refactor that
+// hoisted the ontology value lookup into the value-disequality branch.
+
+func diseqOntology() *graph.Graph {
+	g := graph.New()
+	g.MustAddTriple("A", "p", "B")
+	g.MustAddTriple("C", "p", "D")
+	return g
+}
+
+// An unbound X in a value-disequality is skipped, not a failure.
+func TestDiseqIsolatedVarValueSkipped(t *testing.T) {
+	o := diseqOntology()
+	ev := eval.New(o)
+
+	q := query.NewSimple()
+	x := q.MustEnsureNode(query.Var("x"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	z := q.MustEnsureNode(query.Var("z"), "") // isolated: never bound
+	q.MustAddEdge(x, y, "p")
+	q.SetProjected(x)
+	if err := q.AddDiseqValue(z, "A"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"A", "C"}) {
+		t.Fatalf("isolated-variable value diseq filtered results: %v", res)
+	}
+}
+
+// An unbound endpoint of a node–node disequality is skipped, whichever side
+// it is on.
+func TestDiseqIsolatedVarNodeSkipped(t *testing.T) {
+	o := diseqOntology()
+	ev := eval.New(o)
+
+	// z gets the lowest id so AddDiseqNodes keeps it on the X side.
+	q := query.NewSimple()
+	z := q.MustEnsureNode(query.Var("z"), "")
+	x := q.MustEnsureNode(query.Var("x"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	q.MustAddEdge(x, y, "p")
+	q.SetProjected(x)
+	if err := q.AddDiseqNodes(z, x); err != nil {
+		t.Fatal(err) // stored as ?z != ?x: X side unbound
+	}
+	if err := q.AddDiseqNodes(x, z); err != nil {
+		t.Fatal(err) // canonicalized duplicate; exercises dedup too
+	}
+
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"A", "C"}) {
+		t.Fatalf("node diseq with unbound side filtered results: %v", res)
+	}
+
+	// Y side unbound: ?x != ?w with w isolated (w has the higher id, so it
+	// stays on the Y side).
+	q2 := query.NewSimple()
+	x2 := q2.MustEnsureNode(query.Var("x"), "")
+	y2 := q2.MustEnsureNode(query.Var("y"), "")
+	w2 := q2.MustEnsureNode(query.Var("w"), "")
+	q2.MustAddEdge(x2, y2, "p")
+	q2.SetProjected(x2)
+	if err := q2.AddDiseqNodes(x2, w2); err != nil {
+		t.Fatal(err)
+	}
+	res, err = ev.ResultsSimple(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []string{"A", "C"}) {
+		t.Fatalf("node diseq with unbound Y filtered results: %v", res)
+	}
+}
+
+// A variable left unbound by an unmatched OPTIONAL edge is skipped by its
+// disequalities. Per the documented OPTIONAL semantics (SetOptional:
+// "optional edges never restrict the result set"), a bound optional variant
+// that fails a disequality falls back to the unbound variant, so the result
+// is never filtered out.
+func TestDiseqOptionalUnboundSkipped(t *testing.T) {
+	g := graph.New()
+	g.MustAddTriple("A", "p", "B")
+	g.MustAddTriple("B", "q", "E")
+	g.MustAddTriple("C", "p", "D")
+	// D has no outgoing q edge: the optional edge stays unmatched there.
+	ev := eval.New(g)
+
+	q := query.NewSimple()
+	x := q.MustEnsureNode(query.Var("x"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	w := q.MustEnsureNode(query.Var("w"), "")
+	q.MustAddEdge(x, y, "p")
+	opt := q.MustAddEdge(y, w, "q")
+	if err := q.SetOptional(opt, true); err != nil {
+		t.Fatal(err)
+	}
+	q.SetProjected(x)
+	if err := q.AddDiseqValue(w, "E"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ev.ResultsSimple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A's bound variant (w=E) fails the disequality, so the evaluator falls
+	// back to the unbound optional variant, where the disequality is
+	// skipped; C's match leaves w unbound outright. Both survive.
+	if !reflect.DeepEqual(res, []string{"A", "C"}) {
+		t.Fatalf("optional-unbound diseq semantics broken: %v", res)
+	}
+}

@@ -241,8 +241,9 @@ func (st *state) diseqsHold() bool {
 		if x == graph.NoNode {
 			continue // unconstrained isolated variable
 		}
-		xv := st.ev.o.Node(x).Value
 		if d.YIsNode {
+			// Node–node disequalities compare ids only (ontology node values
+			// are unique); no value lookup needed.
 			y := st.match.Nodes[d.Y]
 			if y == graph.NoNode {
 				continue
@@ -252,7 +253,7 @@ func (st *state) diseqsHold() bool {
 			}
 			continue
 		}
-		if xv == d.YValue {
+		if st.ev.o.Node(x).Value == d.YValue {
 			return false
 		}
 	}

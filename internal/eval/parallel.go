@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"questpro/internal/graph"
 	"questpro/internal/query"
@@ -82,14 +83,49 @@ func (ev *Evaluator) ResultsParallel(q *query.Simple, workers int) ([]string, er
 	return out, nil
 }
 
-// ResultsUnionParallel evaluates a union with ResultsParallel per branch.
+// ResultsUnionParallel evaluates a union with the branches fanned out over
+// workers goroutines (<= 0 selects GOMAXPROCS) and each branch evaluated
+// with ResultsParallel, so a union of many small branches — each below
+// parallelThreshold — still uses the pool. Per-branch result lists are
+// deduplicated into the union afterwards in branch order; output (sorted,
+// deduplicated) and error behavior (the error of the earliest failing
+// branch wins, later results are discarded) are identical to evaluating the
+// branches sequentially.
 func (ev *Evaluator) ResultsUnionParallel(u *query.Union, workers int) ([]string, error) {
-	seen := map[string]bool{}
-	for _, b := range u.Branches() {
-		rs, err := ev.ResultsParallel(b, workers)
+	branches := u.Branches()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := workers
+	if pool > len(branches) {
+		pool = len(branches)
+	}
+
+	perBranch := make([][]string, len(branches))
+	errs := make([]error, len(branches))
+	var next int32
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt32(&next, 1)) - 1
+				if i >= len(branches) {
+					return
+				}
+				perBranch[i], errs[i] = ev.ResultsParallel(branches[i], workers)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	seen := map[string]bool{}
+	for _, rs := range perBranch {
 		for _, r := range rs {
 			seen[r] = true
 		}

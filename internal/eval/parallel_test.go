@@ -1,6 +1,7 @@
 package eval_test
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -96,6 +97,73 @@ func TestResultsUnionParallel(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("parallel union %v != sequential %v", par, seq)
+	}
+}
+
+// A union of many branches that are each below parallelThreshold still uses
+// the pool (branch-level fan-out) and agrees exactly with the sequential
+// union evaluation.
+func TestResultsUnionParallelManySmallBranches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	o := graph.RandomOntology(rng, graph.RandomConfig{
+		Nodes: 120, Edges: 400, Labels: []string{"p", "q"},
+	})
+	var branches []*query.Simple
+	for _, n := range o.Nodes() {
+		if len(branches) == 40 {
+			break
+		}
+		q := query.NewSimple()
+		x := q.MustEnsureNode(query.Var("x"), "")
+		k := q.MustEnsureNode(query.Const(n.Value), "")
+		q.MustAddEdge(x, k, "p")
+		q.SetProjected(x)
+		branches = append(branches, q)
+	}
+	u := query.NewUnion(branches...)
+	ev := eval.New(o)
+	seq, err := ev.Results(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		par, err := ev.ResultsUnionParallel(u, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel union %v != sequential %v", workers, par, seq)
+		}
+	}
+}
+
+// Budget exhaustion in a branch surfaces the same error the sequential path
+// reports, with no partial results.
+func TestResultsUnionParallelBudgetError(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	o := graph.RandomOntology(rng, graph.RandomConfig{
+		Nodes: 200, Edges: 900, Labels: []string{"p"},
+	})
+	q := query.NewSimple()
+	a := q.MustEnsureNode(query.Var("a"), "")
+	b := q.MustEnsureNode(query.Var("b"), "")
+	c := q.MustEnsureNode(query.Var("c"), "")
+	q.MustAddEdge(a, b, "p")
+	q.MustAddEdge(b, c, "p")
+	q.SetProjected(a)
+	u := query.NewUnion(q, q.Clone())
+
+	ev := eval.New(o)
+	ev.MaxSteps = 3
+	if _, err := ev.Results(u); !errors.Is(err, eval.ErrBudget) {
+		t.Fatalf("sequential union error = %v, want budget exhaustion", err)
+	}
+	rs, err := ev.ResultsUnionParallel(u, 4)
+	if !errors.Is(err, eval.ErrBudget) {
+		t.Fatalf("parallel union error = %v, want budget exhaustion", err)
+	}
+	if rs != nil {
+		t.Fatalf("partial results returned alongside error: %v", rs)
 	}
 }
 

@@ -21,6 +21,15 @@ func planEdges(q *query.Simple, initial []graph.NodeID) []query.EdgeID {
 		bound[i] = b != graph.NoNode
 	}
 	mandatoryLeft := 0
+	// Each bound endpoint must outweigh any achievable degree sum, so that
+	// anchoring always dominates and the degree term only breaks ties.
+	boundWeight := 1
+	for _, n := range q.Nodes() {
+		if d := q.Degree(n.ID); d >= boundWeight {
+			boundWeight = d + 1
+		}
+	}
+	boundWeight *= 2
 	for _, e := range q.Edges() {
 		if !q.IsOptional(e.ID) {
 			mandatoryLeft++
@@ -38,18 +47,20 @@ func planEdges(q *query.Simple, initial []graph.NodeID) []query.EdgeID {
 			}
 			score := 0
 			if bound[e.From] {
-				score += 2
+				score += boundWeight
 			}
 			if bound[e.To] {
-				score += 2
+				score += boundWeight
 			}
-			// Prefer lower-degree expansion slightly: edges touching the
-			// most-connected unbound node first, to fail early.
+			// Tie-break among equally anchored edges by the actual degree of
+			// the unbound endpoints: edges touching the most-connected
+			// unbound node first, so star joins expand through their hub and
+			// fail early.
 			if !bound[e.From] {
-				score += min(q.Degree(e.From), 1)
+				score += q.Degree(e.From)
 			}
 			if !bound[e.To] {
-				score += min(q.Degree(e.To), 1)
+				score += q.Degree(e.To)
 			}
 			if score > bestScore {
 				bestScore = score
@@ -66,11 +77,4 @@ func planEdges(q *query.Simple, initial []graph.NodeID) []query.EdgeID {
 		plan = append(plan, best)
 	}
 	return plan
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

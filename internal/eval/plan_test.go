@@ -65,6 +65,70 @@ func TestPlanEdgesOptionalLast(t *testing.T) {
 	}
 }
 
+// Regression: the degree tie-break must use the actual node degree, not a
+// binary cap. With nothing pre-bound, a star join must anchor on an edge
+// through its hub (the most-connected unbound node), not on whichever
+// low-degree periphery edge happens to have the lowest id.
+func TestPlanEdgesAnchorsOnHighestDegreeNode(t *testing.T) {
+	q := query.NewSimple()
+	// Periphery pair first so it gets the lowest edge id...
+	p1 := q.MustEnsureNode(query.Var("p1"), "")
+	p2 := q.MustEnsureNode(query.Var("p2"), "")
+	side := q.MustAddEdge(p1, p2, "p")
+	// ...then a 3-edge star around hub ?h.
+	h := q.MustEnsureNode(query.Var("h"), "")
+	a := q.MustEnsureNode(query.Var("a"), "")
+	b := q.MustEnsureNode(query.Var("b"), "")
+	c := q.MustEnsureNode(query.Var("c"), "")
+	hub1 := q.MustAddEdge(h, a, "p")
+	hub2 := q.MustAddEdge(h, b, "p")
+	hub3 := q.MustAddEdge(h, c, "p")
+	q.SetProjected(h)
+
+	initial := make([]graph.NodeID, q.NumNodes())
+	for i := range initial {
+		initial[i] = graph.NoNode
+	}
+
+	plan := planEdges(q, initial)
+	if plan[0] != hub1 {
+		t.Fatalf("plan starts at edge %d, want hub edge %d (binary degree cap regression)", plan[0], hub1)
+	}
+	// The whole star is expanded (anchored on the now-bound hub) before the
+	// disconnected periphery edge.
+	if plan[1] != hub2 || plan[2] != hub3 || plan[3] != side {
+		t.Fatalf("star not expanded before periphery: %v", plan)
+	}
+}
+
+// Boundness still dominates the degree tie-break: a constant-anchored chain
+// edge beats a higher-degree fully-unbound edge.
+func TestPlanEdgesBoundnessDominatesDegree(t *testing.T) {
+	q := query.NewSimple()
+	// High-degree hub, fully unbound.
+	h := q.MustEnsureNode(query.Var("h"), "")
+	for i := 0; i < 4; i++ {
+		leaf := q.FreshVar("")
+		q.MustAddEdge(h, leaf, "p")
+	}
+	// Low-degree edge touching a constant.
+	x := q.MustEnsureNode(query.Var("x"), "")
+	k := q.MustEnsureNode(query.Const("k"), "")
+	anchored := q.MustAddEdge(x, k, "p")
+	q.SetProjected(h)
+
+	initial := make([]graph.NodeID, q.NumNodes())
+	for i := range initial {
+		initial[i] = graph.NoNode
+	}
+	initial[k] = 0 // constants are pre-bound by MatchesInto
+
+	plan := planEdges(q, initial)
+	if plan[0] != anchored {
+		t.Fatalf("plan starts at %d, want the constant-anchored edge %d", plan[0], anchored)
+	}
+}
+
 // The plan covers every edge exactly once.
 func TestPlanEdgesCoversAll(t *testing.T) {
 	q := query.NewSimple()
