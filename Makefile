@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json experiments examples clean
+.PHONY: all build test race cover bench bench-json experiments examples serve clean
 
 all: build test
 
@@ -13,12 +13,16 @@ build:
 	$(GO) build -o bin/questpro ./cmd/questpro
 	$(GO) build -o bin/qpbench ./cmd/qpbench
 	$(GO) build -o bin/ontgen ./cmd/ontgen
+	$(GO) build -o bin/questprod ./cmd/questprod
 
 test:
+	$(GO) vet ./...
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/eval/ ./internal/core/ ./internal/feedback/
+	$(GO) test -race ./internal/eval/ ./internal/core/ ./internal/feedback/ ./internal/service/
 
 cover:
 	$(GO) test -cover ./...
@@ -35,6 +39,11 @@ bench-json: build
 # Regenerate every evaluation artifact at full scale (see EXPERIMENTS.md).
 experiments: build
 	bin/qpbench -exp all -scale 1.0 | tee results_full.txt
+
+# Run the inference service (HTTP/JSON; see DESIGN.md §7 and README.md for
+# the API and a curl walkthrough).
+serve: build
+	bin/questprod -addr 127.0.0.1:8370
 
 examples:
 	$(GO) run ./examples/quickstart

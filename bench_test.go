@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -17,6 +18,10 @@ import (
 
 // benchScale keeps per-iteration work around tens of milliseconds.
 const benchScale = 0.35
+
+// bg is the benchmarks' root context; cancellation behavior has dedicated
+// tests in the packages under internal/.
+var bg = context.Background()
 
 var (
 	loadOnce  sync.Once
@@ -55,7 +60,7 @@ func BenchmarkExplanationsToInfer(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			w := load(b, name)
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.RunExplanationsToInfer(w, topKOpts(), 5, 1); err != nil {
+				if _, err := experiments.RunExplanationsToInfer(bg, w, topKOpts(), 5, 1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -75,7 +80,7 @@ func BenchmarkTopKInference(b *testing.B) {
 				sub.Queries = []workload.BenchQuery{bq}
 				b.Run(bq.Name, func(b *testing.B) {
 					for i := 0; i < b.N; i++ {
-						if _, err := experiments.RunTopKTiming(&sub, topKOpts(), 7, 1); err != nil {
+						if _, err := experiments.RunTopKTiming(bg, &sub, topKOpts(), 7, 1); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -101,7 +106,7 @@ func benchSweepExplanations(b *testing.B, name string) {
 	opts := core.DefaultOptions()
 	opts.K = 5
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunIntermediateVsExplanations(w, opts, []int{2, 6, 10, 14}, 1); err != nil {
+		if _, err := experiments.RunIntermediateVsExplanations(bg, w, opts, []int{2, 6, 10, 14}, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -122,7 +127,7 @@ func BenchmarkFig6dKSweep(b *testing.B) {
 func benchSweepK(b *testing.B, name string, nExpl int) {
 	w := load(b, name)
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunIntermediateVsK(w, core.DefaultOptions(), []int{1, 3, 5, 7, 10}, nExpl, 1); err != nil {
+		if _, err := experiments.RunIntermediateVsK(bg, w, core.DefaultOptions(), []int{1, 3, 5, 7, 10}, nExpl, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -133,7 +138,7 @@ func benchSweepK(b *testing.B, name string, nExpl int) {
 func BenchmarkTableI(b *testing.B) {
 	w := load(b, "dbpedia")
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunTableI(w, topKOpts(), 5, 1); err != nil {
+		if _, err := experiments.RunTableI(bg, w, topKOpts(), 5, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -145,7 +150,7 @@ func BenchmarkFig8UserStudy(b *testing.B) {
 	w := load(b, "dbpedia")
 	cfg := experiments.DefaultStudyConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunUserStudy(w, topKOpts(), cfg); err != nil {
+		if _, err := experiments.RunUserStudy(bg, w, topKOpts(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +163,7 @@ func BenchmarkFeedbackConvergence(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			w := load(b, name)
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.RunFeedbackConvergence(w, topKOpts(), 4, 1); err != nil {
+				if _, err := experiments.RunFeedbackConvergence(bg, w, topKOpts(), 4, 1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -171,7 +176,7 @@ func BenchmarkFeedbackConvergence(b *testing.B) {
 func BenchmarkRobustness(b *testing.B) {
 	w := load(b, "dbpedia")
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunRobustness(w, topKOpts(), 4, 7); err != nil {
+		if _, err := experiments.RunRobustness(bg, w, topKOpts(), 4, 7); err != nil {
 			b.Fatal(err)
 		}
 	}

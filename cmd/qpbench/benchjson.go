@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -9,6 +11,7 @@ import (
 
 	"questpro/internal/core"
 	"questpro/internal/experiments"
+	"questpro/internal/qerr"
 	"questpro/internal/workload/sampling"
 )
 
@@ -48,7 +51,7 @@ type benchFile struct {
 }
 
 // benchJSON runs the inference benchmarks and writes them to path.
-func (r *runner) benchJSON(path string) error {
+func (r *runner) benchJSON(ctx context.Context, path string) error {
 	const reps = 3
 	opts := r.opts(3)
 	doc := benchFile{
@@ -65,14 +68,14 @@ func (r *runner) benchJSON(path string) error {
 		ev := w.Evaluator()
 		for _, bq := range w.Queries {
 			s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(r.seed)))
-			rs, err := s.Results()
+			rs, err := s.Results(ctx)
 			if err != nil {
 				return err
 			}
 			if len(rs) < r.nExpl {
 				continue
 			}
-			exs, err := s.ExampleSet(r.nExpl)
+			exs, err := s.ExampleSet(ctx, r.nExpl)
 			if err != nil {
 				return err
 			}
@@ -81,15 +84,19 @@ func (r *runner) benchJSON(path string) error {
 				run       func() (core.Stats, error)
 			}{
 				{"InferSimple", func() (core.Stats, error) {
-					_, st, _, err := core.InferSimple(exs, opts)
+					_, st, err := core.InferSimple(ctx, exs, opts)
+					if errors.Is(err, qerr.ErrNoConsistentQuery) {
+						// An unmergeable sample still yields timings.
+						err = nil
+					}
 					return st, err
 				}},
 				{"InferUnion", func() (core.Stats, error) {
-					_, st, err := core.InferUnion(exs, opts)
+					_, st, err := core.InferUnion(ctx, exs, opts)
 					return st, err
 				}},
 				{"InferTopK", func() (core.Stats, error) {
-					_, st, err := core.InferTopK(exs, opts)
+					_, st, err := core.InferTopK(ctx, exs, opts)
 					return st, err
 				}},
 			}
@@ -113,13 +120,14 @@ func (r *runner) benchJSON(path string) error {
 						return fmt.Errorf("benchjson: %s/%s/%s: %w", name, bq.Name, alg.algorithm, err)
 					}
 					if rep == 0 {
-						entry.Algorithm1Calls = stats.Algorithm1Calls
-						entry.CacheHits = stats.CacheHits
-						entry.CacheMisses = stats.CacheMisses
-						if stats.Algorithm1Calls > 0 {
-							entry.CacheHitRate = float64(stats.CacheHits) / float64(stats.Algorithm1Calls)
+						c := stats.Counters()
+						entry.Algorithm1Calls = c.Algorithm1Calls
+						entry.CacheHits = c.CacheHits
+						entry.CacheMisses = c.CacheMisses
+						if c.Algorithm1Calls > 0 {
+							entry.CacheHitRate = float64(c.CacheHits) / float64(c.Algorithm1Calls)
 						}
-						entry.Rounds = stats.Rounds
+						entry.Rounds = c.Rounds
 						entry.PeakParallelism = stats.PeakParallelism
 						for _, d := range stats.RoundWall {
 							entry.RoundWallNs = append(entry.RoundWallNs, d.Nanoseconds())

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,10 @@ import (
 	"questpro/internal/core"
 	"questpro/internal/experiments"
 )
+
+// bg is the CLI's root context: qpbench runs to completion, so plain
+// Background suffices (cancellation matters for the service, not here).
+var bg = context.Background()
 
 func main() {
 	var (
@@ -50,7 +55,7 @@ func main() {
 		"e1rep":    func() error { return r.e1Repeated(*wlName) },
 		// benchjson is not part of "all": it is the perf-baseline artifact,
 		// regenerated on demand via `make bench-json`.
-		"benchjson": func() error { return r.benchJSON(*out) },
+		"benchjson": func() error { return r.benchJSON(bg, *out) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"e1", "e2", "fig6a", "fig6b", "fig6c", "fig6d", "table1", "fig8", "feedback", "robust", "ablation", "e1rep"} {
@@ -118,7 +123,7 @@ func (r *runner) e1(restrict string) error {
 	}
 	r.header(fmt.Sprintf("E1: explanations needed to infer each query (budget %d, k=3)", r.maxExpl))
 	for _, w := range ws {
-		rs, err := experiments.RunExplanationsToInfer(w, r.opts(3), r.maxExpl, r.seed)
+		rs, err := experiments.RunExplanationsToInfer(bg, w, r.opts(3), r.maxExpl, r.seed)
 		if err != nil {
 			return err
 		}
@@ -136,7 +141,7 @@ func (r *runner) e2(restrict string) error {
 	}
 	r.header(fmt.Sprintf("E2: top-k inference time (%d explanations, k=3)", r.nExpl))
 	for _, w := range ws {
-		rs, err := experiments.RunTopKTiming(w, r.opts(3), r.nExpl, r.seed)
+		rs, err := experiments.RunTopKTiming(bg, w, r.opts(3), r.nExpl, r.seed)
 		if err != nil {
 			return err
 		}
@@ -154,7 +159,7 @@ func (r *runner) fig6Explanations(name string) error {
 	}
 	sizes := []int{2, 4, 6, 8, 10, 12, 14}
 	r.header(fmt.Sprintf("Figure 6 (%s): intermediate queries vs #explanations (k=5)", name))
-	pts, err := experiments.RunIntermediateVsExplanations(w, r.opts(5), sizes, r.seed)
+	pts, err := experiments.RunIntermediateVsExplanations(bg, w, r.opts(5), sizes, r.seed)
 	if err != nil {
 		return err
 	}
@@ -171,7 +176,7 @@ func (r *runner) fig6K(name string, nExpl int) error {
 	}
 	ks := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	r.header(fmt.Sprintf("Figure 6 (%s): intermediate queries vs k (%d explanations)", name, nExpl))
-	pts, err := experiments.RunIntermediateVsK(w, r.opts(5), ks, nExpl, r.seed)
+	pts, err := experiments.RunIntermediateVsK(bg, w, r.opts(5), ks, nExpl, r.seed)
 	if err != nil {
 		return err
 	}
@@ -187,7 +192,7 @@ func (r *runner) table1() error {
 		return err
 	}
 	r.header("Table I: DBpedia movie queries (with automatic inference check)")
-	rows, err := experiments.RunTableI(w, r.opts(3), r.maxExpl, r.seed)
+	rows, err := experiments.RunTableI(bg, w, r.opts(3), r.maxExpl, r.seed)
 	if err != nil {
 		return err
 	}
@@ -208,7 +213,7 @@ func (r *runner) fig8() error {
 	}
 	r.header(fmt.Sprintf("Figure 8: simulated user study (%d users, %d interactions)",
 		cfg.Users, cfg.Users*(cfg.BasicPerUser+cfg.ChallengePerUser)))
-	its, err := experiments.RunUserStudy(w, r.opts(3), cfg)
+	its, err := experiments.RunUserStudy(bg, w, r.opts(3), cfg)
 	if err != nil {
 		return err
 	}
@@ -230,7 +235,7 @@ func (r *runner) feedback(restrict string) error {
 	}
 	r.header(fmt.Sprintf("Feedback convergence (%d explanations, exact oracle)", r.nExpl))
 	for _, w := range ws {
-		rs, err := experiments.RunFeedbackConvergence(w, r.opts(3), r.nExpl, r.seed)
+		rs, err := experiments.RunFeedbackConvergence(bg, w, r.opts(3), r.nExpl, r.seed)
 		if err != nil {
 			return err
 		}
@@ -248,7 +253,7 @@ func (r *runner) robustness() error {
 		return err
 	}
 	r.header("Robustness: plain vs repair-first inference with one corrupted explanation")
-	rows, err := experiments.RunRobustness(w, r.opts(3), 4, r.seed)
+	rows, err := experiments.RunRobustness(bg, w, r.opts(3), 4, r.seed)
 	if err != nil {
 		return err
 	}
@@ -266,7 +271,7 @@ func (r *runner) ablation(restrict string) error {
 	}
 	r.header(fmt.Sprintf("Ablation: Algorithm-1 variants (%d explanations)", r.nExpl))
 	for _, w := range ws {
-		rows, err := experiments.RunAblation(w, r.opts(3), r.nExpl, r.seed)
+		rows, err := experiments.RunAblation(bg, w, r.opts(3), r.nExpl, r.seed)
 		if err != nil {
 			return err
 		}
@@ -285,7 +290,7 @@ func (r *runner) e1Repeated(restrict string) error {
 	}
 	r.header(fmt.Sprintf("E1 (repeated x%d): explanations needed, min/median/max", r.repeats))
 	for _, w := range ws {
-		rs, err := experiments.RunExplanationsToInferRepeated(w, r.opts(3), r.maxExpl, r.repeats, r.seed)
+		rs, err := experiments.RunExplanationsToInferRepeated(bg, w, r.opts(3), r.maxExpl, r.repeats, r.seed)
 		if err != nil {
 			return err
 		}

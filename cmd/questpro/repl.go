@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -17,6 +18,10 @@ import (
 	"questpro/internal/query"
 	"questpro/internal/viz"
 )
+
+// bg is the REPL's root context: the interactive loop has no deadline, and
+// ctrl-C simply kills the process.
+var bg = context.Background()
 
 // repl holds the interactive session state.
 type repl struct {
@@ -263,14 +268,14 @@ func (r *repl) infer(args []string) {
 	}
 	opts := core.DefaultOptions()
 	opts.K = k
-	cands, stats, err := core.InferTopK(r.examples, opts)
+	cands, stats, err := core.InferTopK(bg, r.examples, opts)
 	if err != nil {
 		r.printf("inference failed: %v\n", err)
 		return
 	}
 	// Attach disequalities to each candidate (the Q^all forms users see).
 	for i, c := range cands {
-		withD, err := core.WithDiseqsUnion(c.Query, r.examples)
+		withD, err := core.WithDiseqsUnion(bg, c.Query, r.examples)
 		if err == nil {
 			cands[i].Query = withD
 		}
@@ -302,7 +307,7 @@ func (r *repl) robust(args []string) {
 	}
 	opts := core.DefaultOptions()
 	opts.K = k
-	cands, dropped, stats, err := core.InferRobust(r.examples, opts, core.DefaultOutlierOptions())
+	cands, dropped, stats, err := core.InferRobust(bg, r.examples, opts, core.DefaultOutlierOptions())
 	if err != nil {
 		r.printf("robust inference failed: %v\n", err)
 		return
@@ -341,7 +346,7 @@ func (r *repl) refine() {
 		return
 	}
 	session := &feedback.Session{Ev: r.ev, Oracle: stdinOracle{r}, Ex: r.examples}
-	refined, tr, err := session.RefineDiseqs(branch)
+	refined, tr, err := session.RefineDiseqs(bg, branch)
 	if err != nil {
 		r.printf("refinement failed: %v\n", err)
 		return
@@ -379,7 +384,7 @@ func (r *repl) results(args []string) {
 	if !ok {
 		return
 	}
-	rs, err := r.ev.Results(u)
+	rs, err := r.ev.Results(bg, u)
 	if err != nil {
 		r.printf("error: %v\n", err)
 		return
@@ -475,7 +480,7 @@ func (r *repl) load(args []string) {
 // stdinOracle asks the human the Algorithm 3 questions.
 type stdinOracle struct{ r *repl }
 
-func (o stdinOracle) ShouldInclude(res *eval.ResultWithProvenance) (bool, error) {
+func (o stdinOracle) ShouldInclude(_ context.Context, res *eval.ResultWithProvenance) (bool, error) {
 	o.r.printf("should %q be in the results, given this rationale?\n%s\n[y/n]> ",
 		res.Value, res.Provenance)
 	for o.r.in.Scan() {
@@ -501,7 +506,7 @@ func (r *repl) feedback() {
 		unions[i] = c.Query
 	}
 	session := &feedback.Session{Ev: r.ev, Oracle: stdinOracle{r}, Ex: r.examples}
-	idx, tr, err := session.ChooseQuery(unions)
+	idx, tr, err := session.ChooseQuery(bg, unions)
 	if err != nil {
 		r.printf("feedback failed: %v\n", err)
 		return

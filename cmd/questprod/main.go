@@ -1,0 +1,71 @@
+// Command questprod serves the inference engine as a long-running
+// HTTP/JSON service: clients create a session with an ontology, submit an
+// example-set, run simple/union/top-k inference and drive the feedback
+// dialogue of Algorithm 3 over plain POSTs. See DESIGN.md §service for
+// the API and README.md for a curl walkthrough.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// get a drain window, every session context is canceled (aborting
+// inference mid-search), and all session goroutines are reaped before the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"questpro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8370", "listen address")
+	workers := flag.Int("workers", 0, "global inference worker budget (0 = GOMAXPROCS)")
+	ttl := flag.Duration("session-ttl", service.DefaultSessionTTL, "idle session eviction TTL")
+	maxSessions := flag.Int("max-sessions", service.DefaultMaxSessions, "live session cap")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	flag.Parse()
+
+	reg := service.NewRegistry(service.Config{
+		TotalWorkers: *workers,
+		SessionTTL:   *ttl,
+		MaxSessions:  *maxSessions,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("questprod listening on %s (worker budget %d)", *addr, reg.Budget().Size())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("questprod: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("questprod: shutting down (drain %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("questprod: drain: %v", err)
+	}
+	reg.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("questprod: %v", err)
+	}
+	fmt.Println("questprod: bye")
+}

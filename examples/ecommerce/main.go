@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,6 +20,8 @@ import (
 	"questpro/internal/workload/bsbm"
 	"questpro/internal/workload/sampling"
 )
+
+var bg = context.Background()
 
 func main() {
 	cfg := bsbm.DefaultConfig()
@@ -44,7 +47,7 @@ func main() {
 	// query had been run once and only its trace survived. (With fewer,
 	// more uniform examples the inferred query tends to keep spurious
 	// constants, the over-fitting the paper's Section VI-C reports.)
-	exs, err := sampler.ExampleSet(4)
+	exs, err := sampler.ExampleSet(bg, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +56,7 @@ func main() {
 		fmt.Printf("[%d] %s\n", i+1, e)
 	}
 
-	cands, stats, err := core.InferTopK(exs, core.DefaultOptions())
+	cands, stats, err := core.InferTopK(bg, exs, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,18 +73,18 @@ func main() {
 		Ex:           exs,
 		MaxQuestions: 10,
 	}
-	idx, tr, err := session.ChooseQuery(unions)
+	idx, tr, err := session.ChooseQuery(bg, unions)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nfeedback asked %d question(s); chosen query:\n%s\n",
 		len(tr.Questions), unions[idx].SPARQL())
 
-	got, err := ev.Results(unions[idx])
+	got, err := ev.Results(bg, unions[idx])
 	if err != nil {
 		log.Fatal(err)
 	}
-	want, err := ev.Results(target.Query)
+	want, err := ev.Results(bg, target.Query)
 	if err != nil {
 		log.Fatal(err)
 	}

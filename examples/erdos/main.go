@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,8 @@ import (
 	"questpro/internal/provenance"
 	"questpro/internal/query"
 )
+
+var bg = context.Background()
 
 func main() {
 	o := paperfix.Ontology()
@@ -61,7 +64,7 @@ func main() {
 	fmt.Printf("merge(E2, E4) -> Q4 (%d variables):\n%s\n", q4.Query.NumVars(), q4.Query.SPARQL())
 
 	fmt.Println("== Algorithm 2 (top-k): candidate union queries ==")
-	cands, stats, err := core.InferTopK(exs, opts)
+	cands, stats, err := core.InferTopK(bg, exs, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +74,7 @@ func main() {
 	}
 
 	fmt.Println("\n== Section V: disequality inference (Example 5.1) ==")
-	q3all, err := core.WithDiseqs(paperfix.Q3(), exs)
+	q3all, err := core.WithDiseqs(bg, paperfix.Q3(), exs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,19 +94,19 @@ func main() {
 		Oracle: &loggingOracle{inner: &feedback.ExactOracle{Ev: ev, Target: target}},
 		Ex:     exs,
 	}
-	idx, tr, err := session.ChooseQuery(candidates)
+	idx, tr, err := session.ChooseQuery(bg, candidates)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("chosen after %d question(s):\n%s\n", len(tr.Questions), candidates[idx].SPARQL())
 
-	results, err := ev.Results(candidates[idx])
+	results, err := ev.Results(bg, candidates[idx])
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nfinal results: %v\n", results)
 
-	consistent, err := provenance.Consistent(candidates[idx], exs)
+	consistent, err := provenance.Consistent(bg, candidates[idx], exs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,11 +120,11 @@ type loggingOracle struct {
 	n     int
 }
 
-func (o *loggingOracle) ShouldInclude(res *eval.ResultWithProvenance) (bool, error) {
+func (o *loggingOracle) ShouldInclude(ctx context.Context, res *eval.ResultWithProvenance) (bool, error) {
 	o.n++
 	fmt.Printf("question %d: should %q be a result, given this rationale?\n%s\n",
 		o.n, res.Value, res.Provenance)
-	ans, err := o.inner.ShouldInclude(res)
+	ans, err := o.inner.ShouldInclude(ctx, res)
 	if err == nil {
 		fmt.Printf("user answers: %v\n\n", ans)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,6 +20,8 @@ import (
 	"questpro/internal/workload"
 	"questpro/internal/workload/dbpedia"
 )
+
+var bg = context.Background()
 
 func main() {
 	o, err := dbpedia.Generate(dbpedia.DefaultConfig())
@@ -43,7 +46,7 @@ func main() {
 	} {
 		fmt.Printf("\n=== %s ===\n", scenario.label)
 		user := &feedback.SimulatedUser{Ev: ev, Target: target.Query, Rng: rand.New(rand.NewSource(7))}
-		exs, err := user.FormulateExamples(3, scenario.mode)
+		exs, err := user.FormulateExamples(bg, 3, scenario.mode)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +55,7 @@ func main() {
 				i+1, e.DistinguishedValue(), e.Graph.NumEdges())
 		}
 
-		cands, _, err := core.InferTopK(exs, core.DefaultOptions())
+		cands, _, err := core.InferTopK(bg, exs, core.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,18 +64,18 @@ func main() {
 			unions[i] = c.Query
 		}
 		session := &feedback.Session{Ev: ev, Oracle: user, Ex: exs, MaxQuestions: 10}
-		idx, tr, err := session.ChooseQuery(unions)
+		idx, tr, err := session.ChooseQuery(bg, unions)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("after %d feedback question(s) the system proposes:\n%s\n",
 			len(tr.Questions), unions[idx].SPARQL())
 
-		got, err := ev.Results(unions[idx])
+		got, err := ev.Results(bg, unions[idx])
 		if err != nil {
 			log.Fatal(err)
 		}
-		want, err := ev.Results(target.Query)
+		want, err := ev.Results(bg, target.Query)
 		if err != nil {
 			log.Fatal(err)
 		}

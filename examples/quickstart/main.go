@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,6 +30,8 @@ paper3 wb Carol .
 paper3 wb Erdos .
 paper4 wb Alice .
 `
+
+var bg = context.Background()
 
 func main() {
 	// 1. Load the ontology.
@@ -60,7 +63,7 @@ func main() {
 
 	// 3. Infer a union query minimizing the generalization cost
 	// (Algorithm 2 of the paper).
-	q, stats, err := core.InferUnion(examples, core.DefaultOptions())
+	q, stats, err := core.InferUnion(bg, examples, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +71,7 @@ func main() {
 
 	// 4. Evaluate the inferred query.
 	ev := eval.New(o)
-	results, err := ev.Results(q)
+	results, err := ev.Results(bg, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +79,7 @@ func main() {
 
 	// 5. Inspect the provenance of a result — the same structure the
 	// feedback loop would show a user.
-	rp, err := ev.BindAndExplain(q, results[0])
+	rp, err := ev.BindAndExplain(bg, q, results[0])
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,74 @@
+// Package conc centralizes the worker-pool conventions shared by the
+// parallel fan-outs of the eval and core layers and by the inference
+// service's global budget. Every parallelism knob in the codebase
+// (core.Options.Workers, the eval Results*Parallel worker arguments,
+// service.Config.TotalWorkers) resolves through Workers, so "<= 0 means
+// GOMAXPROCS" holds uniformly.
+package conc
+
+import (
+	"context"
+	"runtime"
+
+	"questpro/internal/qerr"
+)
+
+// Workers resolves a worker-count knob: n if positive, otherwise
+// runtime.GOMAXPROCS(0). This is the single shared default for all
+// parallel fan-outs.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Budget is a counting semaphore bounding the total number of inference
+// workers in flight across concurrent sessions. The zero value is not
+// usable; construct with NewBudget.
+type Budget struct {
+	tokens chan struct{}
+}
+
+// NewBudget returns a budget of Workers(n) tokens.
+func NewBudget(n int) *Budget {
+	size := Workers(n)
+	b := &Budget{tokens: make(chan struct{}, size)}
+	for i := 0; i < size; i++ {
+		b.tokens <- struct{}{}
+	}
+	return b
+}
+
+// Size reports the total number of tokens.
+func (b *Budget) Size() int { return cap(b.tokens) }
+
+// Acquire takes n tokens, blocking until they are available or the context
+// is done (in which case any partially acquired tokens are returned and a
+// qerr.ErrCanceled-wrapped error is reported). Requests above the budget
+// size are clamped to it, so a single oversized request cannot deadlock;
+// the clamped count is returned for the matching Release.
+func (b *Budget) Acquire(ctx context.Context, n int) (int, error) {
+	if n > cap(b.tokens) {
+		n = cap(b.tokens)
+	}
+	if n < 1 {
+		n = 1
+	}
+	for got := 0; got < n; got++ {
+		select {
+		case <-b.tokens:
+		case <-ctx.Done():
+			b.Release(got)
+			return 0, qerr.Canceled(ctx.Err())
+		}
+	}
+	return n, nil
+}
+
+// Release returns n tokens to the budget.
+func (b *Budget) Release(n int) {
+	for i := 0; i < n; i++ {
+		b.tokens <- struct{}{}
+	}
+}

@@ -1,0 +1,76 @@
+package conc_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"questpro/internal/conc"
+	"questpro/internal/qerr"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := conc.Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := conc.Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := conc.Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestBudgetClampsOversizedRequest(t *testing.T) {
+	b := conc.NewBudget(2)
+	got, err := b.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("Acquire clamped to %d, want 2", got)
+	}
+	b.Release(got)
+}
+
+func TestBudgetAcquireCanceled(t *testing.T) {
+	b := conc.NewBudget(1)
+	got, err := b.Acquire(context.Background(), 1)
+	if err != nil || got != 1 {
+		t.Fatalf("first acquire: got=%d err=%v", got, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := b.Acquire(ctx, 1); !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("blocked acquire returned %v, want ErrCanceled", err)
+	}
+	b.Release(got)
+	// The token released by the failed acquire must be usable again.
+	if got, err := b.Acquire(context.Background(), 1); err != nil || got != 1 {
+		t.Fatalf("post-cancel acquire: got=%d err=%v", got, err)
+	}
+}
+
+func TestBudgetConcurrentUse(t *testing.T) {
+	b := conc.NewBudget(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := b.Acquire(context.Background(), 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b.Release(n)
+		}()
+	}
+	wg.Wait()
+	if got, err := b.Acquire(context.Background(), 4); err != nil || got != 4 {
+		t.Fatalf("budget leaked tokens: got=%d err=%v", got, err)
+	}
+}

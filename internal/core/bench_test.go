@@ -72,7 +72,7 @@ func BenchmarkInferUnion(b *testing.B) {
 	opts := core.DefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.InferUnion(exs, opts); err != nil {
+		if _, _, err := core.InferUnion(bg, exs, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -84,7 +84,7 @@ func BenchmarkInferTopK(b *testing.B) {
 	opts := core.DefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.InferTopK(exs, opts); err != nil {
+		if _, _, err := core.InferTopK(bg, exs, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,14 +102,14 @@ func workloadExampleSet(b *testing.B, name string, n int) provenance.ExampleSet 
 	ev := w.Evaluator()
 	for _, bq := range w.Queries {
 		s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(1)))
-		rs, err := s.Results()
+		rs, err := s.Results(bg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(rs) < n {
 			continue
 		}
-		exs, err := s.ExampleSet(n)
+		exs, err := s.ExampleSet(bg, n)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +135,7 @@ func BenchmarkInferUnionSequentialVsEngine(b *testing.B) {
 			})
 			b.Run("engine", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, _, err := core.InferUnion(exs, opts); err != nil {
+					if _, _, err := core.InferUnion(bg, exs, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -156,7 +156,7 @@ func BenchmarkInferSimpleSequentialVsEngine(b *testing.B) {
 			})
 			b.Run("engine", func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, _, _, err := core.InferSimple(exs, opts); err != nil {
+					if _, _, err := core.InferSimple(bg, exs, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -175,7 +175,7 @@ func BenchmarkInferTopKWorkloads(b *testing.B) {
 			opts := core.DefaultOptions()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.InferTopK(exs, opts); err != nil {
+				if _, _, err := core.InferTopK(bg, exs, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -200,7 +200,7 @@ func BenchmarkWithDiseqs(b *testing.B) {
 	q := paperfix.Q1()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.WithDiseqs(q, exs); err != nil {
+		if _, err := core.WithDiseqs(bg, q, exs); err != nil {
 			b.Fatal(err)
 		}
 	}

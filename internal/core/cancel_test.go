@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"questpro/internal/core"
+	"questpro/internal/experiments"
+	"questpro/internal/paperfix"
+	"questpro/internal/qerr"
+	"questpro/internal/workload/sampling"
+)
+
+// An already-canceled context stops inference in the first round.
+func TestInferSimpleCanceled(t *testing.T) {
+	exs := paperfix.Explanations(paperfix.Ontology())
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, _, err := core.InferSimple(ctx, exs, core.DefaultOptions())
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("underlying context.Canceled not preserved: %v", err)
+	}
+}
+
+// A 50ms deadline aborts a multi-hundred-millisecond sp2b inference
+// mid-search, surfacing as ErrCanceled wrapping DeadlineExceeded — the
+// guarantee the service's request timeouts build on.
+func TestInferTopKDeadlineSP2B(t *testing.T) {
+	w, err := experiments.Load("sp2b", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target = w.Queries[0].Query
+	for _, bq := range w.Queries {
+		if bq.Name == "q8b" { // the workload's slowest inference target
+			target = bq.Query
+		}
+	}
+	sampler := sampling.New(w.Evaluator(), target, rand.New(rand.NewSource(7)))
+	exs, err := sampler.ExampleSet(bg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.NumIter = 60 // inflate per-pair work so 50ms is mid-search for sure
+
+	ctx, cancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = core.InferTopK(ctx, exs, opts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled after %s, got %v", elapsed, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("underlying DeadlineExceeded not preserved: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline enforced only after %s", elapsed)
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"questpro/internal/query"
@@ -47,9 +48,12 @@ type Options struct {
 	FirstPairSweep int
 
 	// Workers bounds the goroutine pool the merge engine uses to compute a
-	// round's fresh pairwise merges. <= 0 selects GOMAXPROCS; 1 forces
-	// sequential computation. Results are identical regardless of the value
-	// (selection is replayed deterministically after all merges are cached).
+	// round's fresh pairwise merges. It resolves through conc.Workers — the
+	// one default shared with the eval layer's parallel fan-outs
+	// (Results*Parallel) and the service's global budget: <= 0 selects
+	// GOMAXPROCS; 1 forces sequential computation. Results are identical
+	// regardless of the value (selection is replayed deterministically after
+	// all merges are cached).
 	Workers int
 }
 
@@ -64,6 +68,27 @@ func DefaultOptions() Options {
 		CostW2:      7,
 		K:           3,
 	}
+}
+
+// Validate rejects option values that would silently misbehave: negative
+// worker counts (only 0 has a defined meaning, "use the shared default")
+// and beam widths below one. The inference entry points tolerate a zero K
+// by clamping; services accepting options from clients should Validate
+// first so nonsense is rejected at the boundary instead.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d (use 0 for the shared default)", o.Workers)
+	}
+	if o.K < 1 {
+		return fmt.Errorf("core: K must be >= 1, got %d", o.K)
+	}
+	if o.NumIter < 1 {
+		return fmt.Errorf("core: NumIter must be >= 1, got %d", o.NumIter)
+	}
+	if o.FirstPairSweep < 0 {
+		return fmt.Errorf("core: negative FirstPairSweep %d (use 0 for the default sweep)", o.FirstPairSweep)
+	}
+	return nil
 }
 
 // Stats records the work performed by an inference run. Algorithm1Calls is
@@ -103,10 +128,33 @@ func (s Stats) TotalWall() time.Duration {
 	return t
 }
 
-// CoreCounters returns the deterministic portion of the stats (everything
-// except timings and observed parallelism); useful for equality assertions.
-func (s Stats) CoreCounters() [4]int {
-	return [4]int{s.Algorithm1Calls, s.Rounds, s.CacheHits, s.CacheMisses}
+// CountersSnapshot is the deterministic portion of the stats — everything
+// except timings and observed parallelism. Comparable with ==, so it serves
+// directly in equality assertions and as a metrics export unit.
+type CountersSnapshot struct {
+	Algorithm1Calls int
+	Rounds          int
+	CacheHits       int
+	CacheMisses     int
+}
+
+// Counters returns the deterministic counters as a named-field snapshot.
+func (s Stats) Counters() CountersSnapshot {
+	return CountersSnapshot{
+		Algorithm1Calls: s.Algorithm1Calls,
+		Rounds:          s.Rounds,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+	}
+}
+
+// Add accumulates another snapshot into this one (used by the service's
+// aggregate metrics).
+func (c *CountersSnapshot) Add(o CountersSnapshot) {
+	c.Algorithm1Calls += o.Algorithm1Calls
+	c.Rounds += o.Rounds
+	c.CacheHits += o.CacheHits
+	c.CacheMisses += o.CacheMisses
 }
 
 // Candidate pairs an inferred union query with its cost under the options'

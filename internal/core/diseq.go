@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"questpro/internal/provenance"
 	"questpro/internal/query"
 )
@@ -15,8 +17,8 @@ import (
 // Explanations the query has no onto match for are ignored, which makes the
 // function directly usable on the branches of a union query (each branch
 // only covers part of the example-set).
-func WithDiseqs(q *query.Simple, ex provenance.ExampleSet) (*query.Simple, error) {
-	covered, witnesses, err := coveredWitnesses(q, ex)
+func WithDiseqs(ctx context.Context, q *query.Simple, ex provenance.ExampleSet) (*query.Simple, error) {
+	covered, witnesses, err := coveredWitnesses(ctx, q, ex)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +47,7 @@ func WithDiseqs(q *query.Simple, ex provenance.ExampleSet) (*query.Simple, error
 			if err := trial.AddDiseqNodes(x.ID, y.ID); err != nil {
 				return nil, err
 			}
-			ok, err := consistentWithAll(trial, covered)
+			ok, err := consistentWithAll(ctx, trial, covered)
 			if err != nil {
 				return nil, err
 			}
@@ -59,8 +61,8 @@ func WithDiseqs(q *query.Simple, ex provenance.ExampleSet) (*query.Simple, error
 
 // coveredWitnesses returns the explanations q covers and one witness
 // assignment (query node -> explanation value) per covered explanation.
-func coveredWitnesses(q *query.Simple, ex provenance.ExampleSet) (provenance.ExampleSet, [][]string, error) {
-	assignments, missing, err := provenance.WitnessAssignments(q, ex)
+func coveredWitnesses(ctx context.Context, q *query.Simple, ex provenance.ExampleSet) (provenance.ExampleSet, [][]string, error) {
+	assignments, missing, err := provenance.WitnessAssignments(ctx, q, ex)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -91,9 +93,9 @@ func differsEverywhere(witnesses [][]string, x, y query.NodeID) bool {
 	return true
 }
 
-func consistentWithAll(q *query.Simple, ex provenance.ExampleSet) (bool, error) {
+func consistentWithAll(ctx context.Context, q *query.Simple, ex provenance.ExampleSet) (bool, error) {
 	for _, e := range ex {
-		ok, err := provenance.ConsistentSimple(q, e)
+		ok, err := provenance.ConsistentSimple(ctx, q, e)
 		if err != nil {
 			return false, err
 		}
@@ -106,10 +108,10 @@ func consistentWithAll(q *query.Simple, ex provenance.ExampleSet) (bool, error) 
 
 // WithDiseqsUnion applies WithDiseqs to every branch of a union query,
 // producing the union's Q^all form.
-func WithDiseqsUnion(u *query.Union, ex provenance.ExampleSet) (*query.Union, error) {
+func WithDiseqsUnion(ctx context.Context, u *query.Union, ex provenance.ExampleSet) (*query.Union, error) {
 	branches := make([]*query.Simple, u.Size())
 	for i, b := range u.Branches() {
-		wb, err := WithDiseqs(b, ex)
+		wb, err := WithDiseqs(ctx, b, ex)
 		if err != nil {
 			return nil, err
 		}

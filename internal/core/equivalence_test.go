@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"questpro/internal/graph"
 	"questpro/internal/paperfix"
 	"questpro/internal/provenance"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
@@ -151,10 +153,11 @@ func TestEngineMatchesSequentialRandom(t *testing.T) {
 			opts.Workers = workers
 
 			wantQ, wantOK := inferSimpleSequential(t, exs, opts)
-			gotQ, _, gotOK, err := core.InferSimple(exs, opts)
-			if err != nil {
+			gotQ, _, err := core.InferSimple(bg, exs, opts)
+			if err != nil && !errors.Is(err, qerr.ErrNoConsistentQuery) {
 				t.Fatalf("seed %d workers %d: InferSimple: %v", seed, workers, err)
 			}
+			gotOK := err == nil
 			if gotOK != wantOK {
 				t.Fatalf("seed %d workers %d: InferSimple ok=%v, sequential ok=%v",
 					seed, workers, gotOK, wantOK)
@@ -165,7 +168,7 @@ func TestEngineMatchesSequentialRandom(t *testing.T) {
 			}
 
 			wantU := inferUnionSequential(t, exs, opts)
-			gotU, _, err := core.InferUnion(exs, opts)
+			gotU, _, err := core.InferUnion(bg, exs, opts)
 			if err != nil {
 				t.Fatalf("seed %d workers %d: InferUnion: %v", seed, workers, err)
 			}
@@ -186,8 +189,9 @@ func TestEngineMatchesSequentialRunningExample(t *testing.T) {
 	opts.Workers = 4
 
 	wantQ, wantOK := inferSimpleSequential(t, exs, opts)
-	gotQ, _, gotOK, err := core.InferSimple(exs, opts)
-	if err != nil || gotOK != wantOK {
+	gotQ, _, err := core.InferSimple(bg, exs, opts)
+	gotOK := err == nil
+	if (err != nil && !errors.Is(err, qerr.ErrNoConsistentQuery)) || gotOK != wantOK {
 		t.Fatalf("InferSimple: ok=%v want %v err=%v", gotOK, wantOK, err)
 	}
 	if gotQ.SPARQL() != wantQ.SPARQL() {
@@ -195,7 +199,7 @@ func TestEngineMatchesSequentialRunningExample(t *testing.T) {
 	}
 
 	wantU := inferUnionSequential(t, exs, opts)
-	gotU, _, err := core.InferUnion(exs, opts)
+	gotU, _, err := core.InferUnion(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,24 +214,24 @@ func TestEngineWorkerCountInvariance(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 	var baseU string
-	var baseStats [4]int
+	var baseStats core.CountersSnapshot
 	for i, workers := range []int{1, 2, 3, 8} {
 		opts := core.DefaultOptions()
 		opts.Workers = workers
-		u, stats, err := core.InferUnion(exs, opts)
+		u, stats, err := core.InferUnion(bg, exs, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if i == 0 {
-			baseU, baseStats = u.SPARQL(), stats.CoreCounters()
+			baseU, baseStats = u.SPARQL(), stats.Counters()
 			continue
 		}
 		if u.SPARQL() != baseU {
 			t.Fatalf("workers=%d produced a different query", workers)
 		}
-		if stats.CoreCounters() != baseStats {
+		if stats.Counters() != baseStats {
 			t.Fatalf("workers=%d produced different counters: %v vs %v",
-				workers, stats.CoreCounters(), baseStats)
+				workers, stats.Counters(), baseStats)
 		}
 	}
 }

@@ -29,7 +29,7 @@ func ExampleInferUnion() {
 		explain("paper2", "Bob"),
 		explain("paper3", "Carol"),
 	}
-	q, stats, err := core.InferUnion(examples, core.DefaultOptions())
+	q, stats, err := core.InferUnion(bg, examples, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

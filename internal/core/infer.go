@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"questpro/internal/provenance"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
@@ -26,31 +28,46 @@ func groundPatterns(ex provenance.ExampleSet) ([]*query.Simple, error) {
 	return out, nil
 }
 
+// roundCanceled is the merge-engine round loop's cancellation check: every
+// inference round starts by polling the context so a canceled request stops
+// between rounds even when each individual round is cheap.
+func roundCanceled(ctx context.Context, round int) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: round %d: %w", round, qerr.Canceled(err))
+	}
+	return nil
+}
+
 // InferSimple implements the n-explanation extension of Section III: it
 // repeatedly runs Algorithm 1 on every pair of patterns (explanations and
 // intermediate queries alike) and greedily merges the pair whose complete
-// relation has maximal gain, until a single simple query remains. ok is
-// false when some explanations cannot be merged into one simple pattern.
+// relation has maximal gain, until a single simple query remains. When some
+// explanations cannot be merged into one simple pattern the error matches
+// qerr.ErrNoConsistentQuery; when the context is canceled mid-inference it
+// matches qerr.ErrCanceled (and the underlying context error).
 //
 // Pair merges are memoized in a MergeCache: after the first round only the
 // pairs involving the previous round's merged query are computed (in
 // parallel, see Options.Workers); selection replays the pair scan in index
 // order, so the result is identical to the sequential pre-cache
 // implementation.
-func InferSimple(ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, bool, error) {
+func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, error) {
 	var stats Stats
 	patterns, err := groundPatterns(ex)
 	if err != nil {
-		return nil, stats, false, err
+		return nil, stats, err
 	}
 	cache := NewMergeCache(opts)
 	for len(patterns) > 1 {
 		stats.Rounds++
+		if err := roundCanceled(ctx, stats.Rounds); err != nil {
+			return nil, stats, err
+		}
 		roundStart := time.Now()
 		pairs := allPairs(patterns)
-		fresh, err := cache.Prefetch(pairs, &stats)
+		fresh, err := cache.Prefetch(ctx, pairs, &stats)
 		if err != nil {
-			return nil, stats, false, err
+			return nil, stats, err
 		}
 		stats.Algorithm1Calls += len(pairs)
 		stats.CacheMisses += fresh
@@ -61,7 +78,7 @@ func InferSimple(ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, 
 			for j := i + 1; j < len(patterns); j++ {
 				res, ok, err := cache.Lookup(patterns[i], patterns[j])
 				if err != nil {
-					return nil, stats, false, err
+					return nil, stats, err
 				}
 				if !ok {
 					continue
@@ -73,7 +90,8 @@ func InferSimple(ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, 
 		}
 		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
 		if bestI < 0 {
-			return nil, stats, false, nil
+			return nil, stats, fmt.Errorf("core: %d explanations left unmergeable: %w",
+				len(patterns), qerr.ErrNoConsistentQuery)
 		}
 		next := patterns[:0:0]
 		for k, p := range patterns {
@@ -83,7 +101,7 @@ func InferSimple(ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, 
 		}
 		patterns = append(next, best.Query)
 	}
-	return patterns[0], stats, true, nil
+	return patterns[0], stats, nil
 }
 
 // InferUnion implements Algorithm 2 (FindConsistentUnion): starting from
@@ -91,7 +109,7 @@ func InferSimple(ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, 
 // branches whose consistent simple query has the fewest variables, as long
 // as the cost f(Q) = CostW1 * Σ vars + CostW2 * |Q| decreases. Branch merges
 // are memoized and computed in parallel exactly as in InferSimple.
-func InferUnion(ex provenance.ExampleSet, opts Options) (*query.Union, Stats, error) {
+func InferUnion(ctx context.Context, ex provenance.ExampleSet, opts Options) (*query.Union, Stats, error) {
 	var stats Stats
 	patterns, err := groundPatterns(ex)
 	if err != nil {
@@ -102,8 +120,11 @@ func InferUnion(ex provenance.ExampleSet, opts Options) (*query.Union, Stats, er
 	costCur := u.Cost(opts.CostW1, opts.CostW2)
 	for u.Size() > 1 {
 		stats.Rounds++
+		if err := roundCanceled(ctx, stats.Rounds); err != nil {
+			return nil, stats, err
+		}
 		roundStart := time.Now()
-		merged, err := mergeBestTwo(u, cache, &stats)
+		merged, err := mergeBestTwo(ctx, u, cache, &stats)
 		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
 		if err != nil {
 			return nil, stats, err
@@ -126,9 +147,9 @@ func InferUnion(ex provenance.ExampleSet, opts Options) (*query.Union, Stats, er
 // the merge with the minimum number of variables (nil when no pair can be
 // merged). Ties break on gain, then on the lowest branch-index pair, a fixed
 // order independent of goroutine scheduling.
-func mergeBestTwo(u *query.Union, cache *MergeCache, stats *Stats) (*query.Union, error) {
+func mergeBestTwo(ctx context.Context, u *query.Union, cache *MergeCache, stats *Stats) (*query.Union, error) {
 	pairs := branchPairs(u)
-	fresh, err := cache.Prefetch(pairs, stats)
+	fresh, err := cache.Prefetch(ctx, pairs, stats)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -9,12 +10,13 @@ import (
 	"questpro/internal/graph"
 	"questpro/internal/paperfix"
 	"questpro/internal/provenance"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
 func mustConsistent(t *testing.T, u *query.Union, ex provenance.ExampleSet, what string) {
 	t.Helper()
-	ok, err := provenance.Consistent(u, ex)
+	ok, err := provenance.Consistent(bg, u, ex)
 	if err != nil {
 		t.Fatalf("%s: %v", what, err)
 	}
@@ -139,9 +141,9 @@ func TestMergePairIncompatible(t *testing.T) {
 func TestInferSimpleRunningExample(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
-	q, stats, ok, err := core.InferSimple(exs, core.DefaultOptions())
-	if err != nil || !ok {
-		t.Fatalf("InferSimple: ok=%v err=%v", ok, err)
+	q, stats, err := core.InferSimple(bg, exs, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("InferSimple: %v", err)
 	}
 	mustConsistent(t, query.NewUnion(q), exs, "InferSimple result")
 	if stats.Algorithm1Calls == 0 || stats.Rounds != 3 {
@@ -157,9 +159,9 @@ func TestInferSimpleRunningExample(t *testing.T) {
 func TestInferSimpleTwoExplanations(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
-	q, _, ok, err := core.InferSimple(provenance.ExampleSet{exs[0], exs[2]}, core.DefaultOptions())
-	if err != nil || !ok {
-		t.Fatalf("ok=%v err=%v", ok, err)
+	q, _, err := core.InferSimple(bg, provenance.ExampleSet{exs[0], exs[2]}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
 	}
 	if !query.Isomorphic(q, paperfix.Q3()) {
 		t.Fatalf("InferSimple(E1,E3) != Q3:\n%s", q.SPARQL())
@@ -173,12 +175,9 @@ func TestInferSimpleImpossible(t *testing.T) {
 	g2 := graph.New()
 	g2.MustAddTriple("B", "cites", "p2")
 	e2, _ := provenance.NewByValue(g2, "B")
-	_, _, ok, err := core.InferSimple(provenance.ExampleSet{e1, e2}, core.DefaultOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ok {
-		t.Fatal("InferSimple merged unmergeable explanations")
+	_, _, err := core.InferSimple(bg, provenance.ExampleSet{e1, e2}, core.DefaultOptions())
+	if !errors.Is(err, qerr.ErrNoConsistentQuery) {
+		t.Fatalf("want ErrNoConsistentQuery, got %v", err)
 	}
 }
 
@@ -190,7 +189,7 @@ func TestInferUnionRunningExample(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 	opts := core.DefaultOptions() // CostW1=1, CostW2=7
-	u, stats, err := core.InferUnion(exs, opts)
+	u, stats, err := core.InferUnion(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +218,7 @@ func TestInferUnionStopsWhenCostRises(t *testing.T) {
 	exs := paperfix.Explanations(o)
 	opts := core.DefaultOptions()
 	opts.CostW1, opts.CostW2 = 4, 1 // variables are expensive: keep branches
-	u, _, err := core.InferUnion(exs, opts)
+	u, _, err := core.InferUnion(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +233,7 @@ func TestInferTopKRunningExample(t *testing.T) {
 	exs := paperfix.Explanations(o)
 	opts := core.DefaultOptions()
 	opts.K = 3
-	cands, stats, err := core.InferTopK(exs, opts)
+	cands, stats, err := core.InferTopK(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +248,7 @@ func TestInferTopKRunningExample(t *testing.T) {
 	}
 	// The best candidate matches the single-track Algorithm 2 result or
 	// improves on it.
-	u, _, err := core.InferUnion(exs, opts)
+	u, _, err := core.InferUnion(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,12 +274,12 @@ func TestInferTopKMoreCandidatesWithLargerK(t *testing.T) {
 	exs := paperfix.Explanations(o)
 	opts := core.DefaultOptions()
 	opts.K = 1
-	_, s1, err := core.InferTopK(exs, opts)
+	_, s1, err := core.InferTopK(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.K = 5
-	c5, s5, err := core.InferTopK(exs, opts)
+	c5, s5, err := core.InferTopK(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +298,7 @@ func TestWithDiseqs(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 
-	q3all, err := core.WithDiseqs(paperfix.Q3(), exs)
+	q3all, err := core.WithDiseqs(bg, paperfix.Q3(), exs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,13 +315,13 @@ func TestWithDiseqs(t *testing.T) {
 	}
 	// The augmented query stays consistent with the explanations it covers.
 	for _, i := range []int{0, 2} {
-		ok, err := provenance.ConsistentSimple(q3all, exs[i])
+		ok, err := provenance.ConsistentSimple(bg, q3all, exs[i])
 		if err != nil || !ok {
 			t.Fatalf("Q3^all inconsistent with E%d: %v", i+1, err)
 		}
 	}
 
-	q1all, err := core.WithDiseqs(paperfix.Q1(), exs)
+	q1all, err := core.WithDiseqs(bg, paperfix.Q1(), exs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +342,7 @@ func TestWithDiseqsGroundQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := core.WithDiseqs(ground, exs)
+	out, err := core.WithDiseqs(bg, ground, exs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +355,7 @@ func TestWithDiseqsUnion(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 	u := query.NewUnion(paperfix.Q3(), paperfix.Q4())
-	all, err := core.WithDiseqsUnion(u, exs)
+	all, err := core.WithDiseqsUnion(bg, u, exs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +374,7 @@ func TestConsistentCandidates(t *testing.T) {
 	exs := paperfix.Explanations(o)
 	good := query.NewUnion(paperfix.Q1())
 	bad := query.NewUnion(paperfix.Q3()) // misses E2/E4
-	out, err := core.ConsistentCandidates([]core.Candidate{
+	out, err := core.ConsistentCandidates(bg, []core.Candidate{
 		{Query: good}, {Query: bad},
 	}, exs)
 	if err != nil {
@@ -391,17 +390,17 @@ func TestInferenceDeterministic(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 	opts := core.DefaultOptions()
-	a, sa, err := core.InferTopK(exs, opts)
+	a, sa, err := core.InferTopK(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, sb, err := core.InferTopK(exs, opts)
+	b, sb, err := core.InferTopK(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// RoundWall and PeakParallelism are timing/scheduling observations; the
 	// counter portion of the stats must be bit-identical across runs.
-	if sa.CoreCounters() != sb.CoreCounters() || len(a) != len(b) {
+	if sa.Counters() != sb.Counters() || len(a) != len(b) {
 		t.Fatalf("stats or lengths differ: %+v vs %+v", sa, sb)
 	}
 	for i := range a {
@@ -434,33 +433,33 @@ func TestInferenceConsistencyProperty(t *testing.T) {
 			exs = append(exs, ex)
 		}
 		opts := core.DefaultOptions()
-		u, _, err := core.InferUnion(exs, opts)
+		u, _, err := core.InferUnion(bg, exs, opts)
 		if err != nil {
 			t.Logf("seed %d: InferUnion: %v", seed, err)
 			return false
 		}
-		ok, err := provenance.Consistent(u, exs)
+		ok, err := provenance.Consistent(bg, u, exs)
 		if err != nil || !ok {
 			t.Logf("seed %d: union inconsistent (err=%v)", seed, err)
 			return false
 		}
-		q, _, sok, err := core.InferSimple(exs, opts)
-		if err != nil {
+		q, _, serr := core.InferSimple(bg, exs, opts)
+		if serr != nil && !errors.Is(serr, qerr.ErrNoConsistentQuery) {
 			return false
 		}
-		if sok {
-			ok, err := provenance.Consistent(query.NewUnion(q), exs)
+		if serr == nil {
+			ok, err := provenance.Consistent(bg, query.NewUnion(q), exs)
 			if err != nil || !ok {
 				t.Logf("seed %d: simple inconsistent (err=%v)", seed, err)
 				return false
 			}
 		}
 		// Diseq augmentation preserves consistency as well.
-		all, err := core.WithDiseqsUnion(u, exs)
+		all, err := core.WithDiseqsUnion(bg, u, exs)
 		if err != nil {
 			return false
 		}
-		ok, err = provenance.Consistent(all, exs)
+		ok, err = provenance.Consistent(bg, all, exs)
 		if err != nil || !ok {
 			t.Logf("seed %d: diseq-augmented union inconsistent (err=%v)", seed, err)
 			return false
@@ -501,13 +500,13 @@ func TestFirstPairSweepAblation(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 	def := core.DefaultOptions()
-	u1, _, err := core.InferUnion(exs, def)
+	u1, _, err := core.InferUnion(bg, exs, def)
 	if err != nil {
 		t.Fatal(err)
 	}
 	paperOpts := def
 	paperOpts.FirstPairSweep = 1
-	u2, _, err := core.InferUnion(exs, paperOpts)
+	u2, _, err := core.InferUnion(bg, exs, paperOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -524,15 +523,15 @@ func TestFirstPairSweepAblation(t *testing.T) {
 func TestInferSimpleSingleExplanation(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)[:1]
-	q, stats, ok, err := core.InferSimple(exs, core.DefaultOptions())
-	if err != nil || !ok {
-		t.Fatalf("ok=%v err=%v", ok, err)
+	q, stats, err := core.InferSimple(bg, exs, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
 	}
 	if stats.Algorithm1Calls != 0 || !q.IsGround() {
 		t.Fatalf("single-explanation inference: stats=%+v ground=%v", stats, q.IsGround())
 	}
 	mustConsistent(t, query.NewUnion(q), exs, "single-explanation result")
-	u, _, err := core.InferUnion(exs, core.DefaultOptions())
+	u, _, err := core.InferUnion(bg, exs, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -543,13 +542,13 @@ func TestInferSimpleSingleExplanation(t *testing.T) {
 
 // Inference rejects empty example-sets up front.
 func TestInferRejectsEmptyExampleSet(t *testing.T) {
-	if _, _, _, err := core.InferSimple(nil, core.DefaultOptions()); err == nil {
+	if _, _, err := core.InferSimple(bg, nil, core.DefaultOptions()); err == nil {
 		t.Fatal("InferSimple accepted empty example-set")
 	}
-	if _, _, err := core.InferUnion(nil, core.DefaultOptions()); err == nil {
+	if _, _, err := core.InferUnion(bg, nil, core.DefaultOptions()); err == nil {
 		t.Fatal("InferUnion accepted empty example-set")
 	}
-	if _, _, err := core.InferTopK(nil, core.DefaultOptions()); err == nil {
+	if _, _, err := core.InferTopK(bg, nil, core.DefaultOptions()); err == nil {
 		t.Fatal("InferTopK accepted empty example-set")
 	}
 }

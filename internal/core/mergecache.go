@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"questpro/internal/query"
@@ -97,13 +98,15 @@ func (c *MergeCache) store(keys []pairKey, entries []mergeEntry) {
 // executions — the round's cache misses; the remaining listed pairs are
 // hits. When several pairs fail, the error of the earliest-listed failing
 // pair is returned, matching the error a sequential scan would have hit
-// first. stats (optional) receives the observed peak parallelism.
-func (c *MergeCache) Prefetch(pairs []pairKey, stats *Stats) (int, error) {
+// first. stats (optional) receives the observed peak parallelism. Workers
+// poll ctx between pairs, so canceling aborts the batch without waiting for
+// the remaining merges.
+func (c *MergeCache) Prefetch(ctx context.Context, pairs []pairKey, stats *Stats) (int, error) {
 	fresh := c.missing(pairs)
 	if len(fresh) == 0 {
 		return 0, nil
 	}
-	entries, peak, err := computePairs(fresh, c.opts)
+	entries, peak, err := computePairs(ctx, fresh, c.opts)
 	if stats != nil && peak > stats.PeakParallelism {
 		stats.PeakParallelism = peak
 	}

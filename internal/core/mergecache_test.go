@@ -16,9 +16,9 @@ import (
 func TestMergeCacheCountersInferSimple(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
-	_, stats, ok, err := core.InferSimple(exs, core.DefaultOptions())
-	if err != nil || !ok {
-		t.Fatalf("ok=%v err=%v", ok, err)
+	_, stats, err := core.InferSimple(bg, exs, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
 	}
 	if stats.Algorithm1Calls != stats.CacheHits+stats.CacheMisses {
 		t.Fatalf("counter invariant broken: %d != %d + %d",
@@ -53,18 +53,18 @@ func TestTopKCacheReductionEightExplanations(t *testing.T) {
 	ev := w.Evaluator()
 	for _, bq := range w.Queries {
 		s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(1)))
-		rs, err := s.Results()
+		rs, err := s.Results(bg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(rs) < 8 {
 			continue
 		}
-		exs, err := s.ExampleSet(8)
+		exs, err := s.ExampleSet(bg, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cands, stats, err := core.InferTopK(exs, core.DefaultOptions())
+		cands, stats, err := core.InferTopK(bg, exs, core.DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,12 +94,12 @@ func TestOutlierDetectionWorkerInvariance(t *testing.T) {
 		t.Skip("seed produced no example set")
 	}
 	opts := core.DefaultOptions()
-	base, err := core.DetectOutliers(exs, opts, core.DefaultOutlierOptions())
+	base, err := core.DetectOutliers(bg, exs, opts, core.DefaultOutlierOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Workers = 6
-	par, err := core.DetectOutliers(exs, opts, core.DefaultOutlierOptions())
+	par, err := core.DetectOutliers(bg, exs, opts, core.DefaultOutlierOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -41,7 +42,7 @@ type OutlierScore struct {
 // DetectOutliers scores every explanation of the example-set and flags
 // probable incorrect provenance. It needs at least three explanations —
 // with two there is no majority to defer to.
-func DetectOutliers(ex provenance.ExampleSet, opts Options, oopts OutlierOptions) ([]OutlierScore, error) {
+func DetectOutliers(ctx context.Context, ex provenance.ExampleSet, opts Options, oopts OutlierOptions) ([]OutlierScore, error) {
 	patterns, err := groundPatterns(ex)
 	if err != nil {
 		return nil, err
@@ -61,7 +62,7 @@ func DetectOutliers(ex provenance.ExampleSet, opts Options, oopts OutlierOptions
 	// All pairwise merges are independent; compute them through the merge
 	// engine's worker pool and read the memoized results back in order.
 	cache := NewMergeCache(opts)
-	if _, err := cache.Prefetch(allPairs(patterns), nil); err != nil {
+	if _, err := cache.Prefetch(ctx, allPairs(patterns), nil); err != nil {
 		return nil, err
 	}
 	merged := make(map[[2]int]cell, n*n/2)
@@ -122,8 +123,8 @@ func DetectOutliers(ex provenance.ExampleSet, opts Options, oopts OutlierOptions
 // cleaned set together with the indexes (into the original set) that were
 // dropped. At least two explanations are always retained: if flagging would
 // leave fewer, the least-suspicious flagged ones are kept.
-func Repair(ex provenance.ExampleSet, opts Options, oopts OutlierOptions) (provenance.ExampleSet, []int, error) {
-	scores, err := DetectOutliers(ex, opts, oopts)
+func Repair(ctx context.Context, ex provenance.ExampleSet, opts Options, oopts OutlierOptions) (provenance.ExampleSet, []int, error) {
+	scores, err := DetectOutliers(ctx, ex, opts, oopts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -160,12 +161,12 @@ func Repair(ex provenance.ExampleSet, opts Options, oopts OutlierOptions) (prove
 // InferRobust is InferTopK preceded by Repair: the pipeline for example-sets
 // that may contain incorrect provenance. It returns the candidates, the
 // dropped explanation indexes, and the inference stats.
-func InferRobust(ex provenance.ExampleSet, opts Options, oopts OutlierOptions) ([]Candidate, []int, Stats, error) {
-	clean, dropped, err := Repair(ex, opts, oopts)
+func InferRobust(ctx context.Context, ex provenance.ExampleSet, opts Options, oopts OutlierOptions) ([]Candidate, []int, Stats, error) {
+	clean, dropped, err := Repair(ctx, ex, opts, oopts)
 	if err != nil {
 		return nil, nil, Stats{}, err
 	}
-	cands, stats, err := InferTopK(clean, opts)
+	cands, stats, err := InferTopK(ctx, clean, opts)
 	if err != nil {
 		return nil, nil, stats, err
 	}
@@ -173,7 +174,7 @@ func InferRobust(ex provenance.ExampleSet, opts Options, oopts OutlierOptions) (
 	// by construction, asserted cheaply here for defense in depth.
 	var out []Candidate
 	for _, c := range cands {
-		ok, err := provenance.Consistent(c.Query, clean)
+		ok, err := provenance.Consistent(ctx, c.Query, clean)
 		if err != nil {
 			return nil, nil, stats, err
 		}

@@ -43,7 +43,7 @@ func TestDetectOutliersUnmergeable(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 	exs = append(exs, corruptExplanation(t))
-	scores, err := core.DetectOutliers(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	scores, err := core.DetectOutliers(bg, exs, core.DefaultOptions(), core.DefaultOutlierOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestDetectOutliersVarHeavy(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 	exs = append(exs, lopsidedExplanation(t, o))
-	scores, err := core.DetectOutliers(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	scores, err := core.DetectOutliers(bg, exs, core.DefaultOptions(), core.DefaultOutlierOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestDetectOutliersVarHeavy(t *testing.T) {
 func TestDetectOutliersNeedsThree(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)[:2]
-	scores, err := core.DetectOutliers(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	scores, err := core.DetectOutliers(bg, exs, core.DefaultOptions(), core.DefaultOutlierOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestRepairDropsOnlyOutliers(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 	exs = append(exs, corruptExplanation(t))
-	clean, dropped, err := core.Repair(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	clean, dropped, err := core.Repair(bg, exs, core.DefaultOptions(), core.DefaultOutlierOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestRepairKeepsAtLeastTwo(t *testing.T) {
 		return ex
 	}
 	exs := provenance.ExampleSet{mk("p"), mk("q"), mk("r")}
-	clean, dropped, err := core.Repair(exs, core.DefaultOptions(), core.DefaultOutlierOptions())
+	clean, dropped, err := core.Repair(bg, exs, core.DefaultOptions(), core.DefaultOutlierOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestInferRobustRecovery(t *testing.T) {
 	dirty = append(dirty, corruptExplanation(t))
 
 	opts := core.DefaultOptions()
-	cands, dropped, stats, err := core.InferRobust(dirty, opts, core.DefaultOutlierOptions())
+	cands, dropped, stats, err := core.InferRobust(bg, dirty, opts, core.DefaultOutlierOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestInferRobustRecovery(t *testing.T) {
 		t.Fatalf("no candidates or no work: %d cands, %+v", len(cands), stats)
 	}
 	// The best candidate matches what inference on the clean set gives.
-	cleanCands, _, err := core.InferTopK(exs, opts)
+	cleanCands, _, err := core.InferTopK(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestInferRobustRecovery(t *testing.T) {
 		t.Fatalf("robust best cost %v != clean best cost %v", cands[0].Cost, cleanCands[0].Cost)
 	}
 	// Consistency with the cleaned set holds.
-	ok, err := provenance.Consistent(cands[0].Query, exs)
+	ok, err := provenance.Consistent(bg, cands[0].Query, exs)
 	if err != nil || !ok {
 		t.Fatalf("robust candidate inconsistent: %v", err)
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
-	"runtime"
+	"context"
 	"sync"
 	"sync/atomic"
+
+	"questpro/internal/conc"
+	"questpro/internal/qerr"
 )
 
 // computePairs runs MergePair for each key over a bounded worker pool and
@@ -12,12 +15,11 @@ import (
 // immutable once built and the gain computation allocates per-call state),
 // so the fan-out needs no locking beyond the work distribution. When several
 // pairs error, the lowest-indexed error is returned so callers see the same
-// error a sequential in-order scan would have surfaced first.
-func computePairs(keys []pairKey, opts Options) ([]mergeEntry, int, error) {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// error a sequential in-order scan would have surfaced first. Workers poll
+// the context before each pair; cancellation surfaces as a
+// qerr.ErrCanceled-wrapped error once already-started merges finish.
+func computePairs(ctx context.Context, keys []pairKey, opts Options) ([]mergeEntry, int, error) {
+	workers := conc.Workers(opts.Workers)
 	if workers > len(keys) {
 		workers = len(keys)
 	}
@@ -25,6 +27,9 @@ func computePairs(keys []pairKey, opts Options) ([]mergeEntry, int, error) {
 	entries := make([]mergeEntry, len(keys))
 	if workers <= 1 {
 		for i, k := range keys {
+			if err := ctx.Err(); err != nil {
+				return nil, 1, qerr.Canceled(err)
+			}
 			res, ok, err := MergePair(k.a, k.b, opts)
 			if err != nil {
 				return nil, 1, err
@@ -48,6 +53,10 @@ func computePairs(keys []pairKey, opts Options) ([]mergeEntry, int, error) {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(keys) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = qerr.Canceled(err)
 					return
 				}
 				cur := active.Add(1)

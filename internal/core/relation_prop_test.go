@@ -68,7 +68,7 @@ func TestMergePairSoundProperty(t *testing.T) {
 			return false
 		}
 		for _, e := range []provenance.Explanation{ea, eb} {
-			cons, err := provenance.ConsistentSimple(res.Query, e)
+			cons, err := provenance.ConsistentSimple(bg, res.Query, e)
 			if err != nil || !cons {
 				t.Logf("seed %d: merged query inconsistent (err=%v)", seed, err)
 				return false
@@ -115,7 +115,7 @@ func TestMergePairMatchesTrivialExistence(t *testing.T) {
 			cons := true
 			q, _, _ := core.MergePair(ga, gb, core.DefaultOptions())
 			for _, e := range ex {
-				c, err := provenance.ConsistentSimple(q.Query, e)
+				c, err := provenance.ConsistentSimple(bg, q.Query, e)
 				if err != nil || !c {
 					cons = false
 				}
@@ -208,7 +208,7 @@ func TestInferredQueriesRoundTripSPARQL(t *testing.T) {
 		if !ok {
 			return true
 		}
-		cands, _, err := core.InferTopK(provenance.ExampleSet{ea, eb}, core.DefaultOptions())
+		cands, _, err := core.InferTopK(bg, provenance.ExampleSet{ea, eb}, core.DefaultOptions())
 		if err != nil {
 			return false
 		}

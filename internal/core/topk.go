@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -20,7 +21,7 @@ import (
 // one MergeCache serves the whole search: a branch pair evaluated for any
 // state (in any earlier round) is never recomputed, and each round's fresh
 // pairs across all states are computed in one parallel batch.
-func InferTopK(ex provenance.ExampleSet, opts Options) ([]Candidate, Stats, error) {
+func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) ([]Candidate, Stats, error) {
 	var stats Stats
 	k := opts.K
 	if k < 1 {
@@ -36,12 +37,15 @@ func InferTopK(ex provenance.ExampleSet, opts Options) ([]Candidate, Stats, erro
 
 	for round := 0; round < len(ex); round++ {
 		stats.Rounds++
+		if err := roundCanceled(ctx, stats.Rounds); err != nil {
+			return nil, stats, err
+		}
 		roundStart := time.Now()
 		var pairs []pairKey
 		for _, state := range beam {
 			pairs = append(pairs, branchPairs(state.Query)...)
 		}
-		fresh, err := cache.Prefetch(pairs, &stats)
+		fresh, err := cache.Prefetch(ctx, pairs, &stats)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -149,10 +153,10 @@ func sameBeam(a, b []Candidate) bool {
 // example-set (Definition 2.6). InferTopK's states are consistent by
 // construction, so this is a safety net used by callers that post-process
 // candidates (e.g. after adding disequalities).
-func ConsistentCandidates(cands []Candidate, ex provenance.ExampleSet) ([]Candidate, error) {
+func ConsistentCandidates(ctx context.Context, cands []Candidate, ex provenance.ExampleSet) ([]Candidate, error) {
 	var out []Candidate
 	for _, c := range cands {
-		ok, err := provenance.Consistent(c.Query, ex)
+		ok, err := provenance.Consistent(ctx, c.Query, ex)
 		if err != nil {
 			return nil, err
 		}

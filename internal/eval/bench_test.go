@@ -43,7 +43,7 @@ func BenchmarkResultsChain3(b *testing.B) {
 	q := chain(o, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ev.ResultsSimple(q); err != nil {
+		if _, err := ev.ResultsSimple(bg, q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,7 +63,7 @@ func BenchmarkResultsStar(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ev.ResultsSimple(q); err != nil {
+		if _, err := ev.ResultsSimple(bg, q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -75,7 +75,7 @@ func BenchmarkResultsErdosChain(b *testing.B) {
 	q := paperfix.Q1()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ev.ResultsSimple(q); err != nil {
+		if _, err := ev.ResultsSimple(bg, q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +87,7 @@ func BenchmarkProvenanceOf(b *testing.B) {
 	q := paperfix.Q1()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ev.ProvenanceOf(q, "Alice", 0); err != nil {
+		if _, err := ev.ProvenanceOf(bg, q, "Alice", 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -100,7 +100,7 @@ func BenchmarkDifference(b *testing.B) {
 	c := query.NewUnion(paperfix.Q3(), paperfix.Q4())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ev.Difference(a, c); err != nil {
+		if _, err := ev.Difference(bg, a, c); err != nil {
 			b.Fatal(err)
 		}
 	}

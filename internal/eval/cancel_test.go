@@ -1,0 +1,35 @@
+package eval_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/paperfix"
+	"questpro/internal/qerr"
+)
+
+// A canceled context aborts the backtracking search and surfaces as both
+// the typed sentinel and the underlying context error.
+func TestMatchesIntoCanceled(t *testing.T) {
+	ev := eval.New(paperfix.Ontology())
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	err := ev.MatchesInto(ctx, paperfix.Q1(), nil, func(*eval.Match) bool { return true })
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("underlying context.Canceled not preserved: %v", err)
+	}
+}
+
+func TestResultsCanceled(t *testing.T) {
+	ev := eval.New(paperfix.Ontology())
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if _, err := ev.ResultsSimple(ctx, paperfix.Q1()); !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}

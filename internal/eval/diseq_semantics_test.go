@@ -37,7 +37,7 @@ func TestDiseqIsolatedVarValueSkipped(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestDiseqIsolatedVarNodeSkipped(t *testing.T) {
 		t.Fatal(err) // canonicalized duplicate; exercises dedup too
 	}
 
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestDiseqIsolatedVarNodeSkipped(t *testing.T) {
 	if err := q2.AddDiseqNodes(x2, w2); err != nil {
 		t.Fatal(err)
 	}
-	res, err = ev.ResultsSimple(q2)
+	res, err = ev.ResultsSimple(bg, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestDiseqOptionalUnboundSkipped(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}

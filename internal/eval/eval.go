@@ -6,15 +6,22 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"questpro/internal/graph"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
 // ErrBudget is returned when a search exceeds the evaluator's step budget.
 var ErrBudget = errors.New("eval: search budget exhausted")
+
+// cancelCheckMask controls how often the backtracking recursion polls the
+// context: every (mask+1) steps. A power-of-two mask keeps the check a
+// single AND on the hot path.
+const cancelCheckMask = 0x3ff
 
 // DefaultMaxSteps bounds the number of backtracking steps per evaluation.
 const DefaultMaxSteps = 50_000_000
@@ -57,27 +64,36 @@ func (m *Match) Clone() *Match {
 
 // state carries one in-flight backtracking search.
 type state struct {
-	ev    *Evaluator
-	q     *query.Simple
-	plan  []query.EdgeID
-	match Match
-	steps int
-	max   int
-	visit func(*Match) bool
-	done  bool
-	found int // complete matches emitted so far
+	ev       *Evaluator
+	ctx      context.Context
+	q        *query.Simple
+	plan     []query.EdgeID
+	match    Match
+	steps    int
+	max      int
+	visit    func(*Match) bool
+	done     bool
+	found    int // complete matches emitted so far
+	canceled bool
 }
 
 // MatchesInto enumerates matches of q into the ontology, starting from the
 // given pre-binding (query node -> ontology node; may be nil). The visit
 // callback receives a shared *Match that must be cloned if retained;
 // returning false stops the enumeration. Disequality constraints of q are
-// enforced. The error is non-nil only if the step budget is exhausted or
-// the pre-binding is inconsistent with a constant node.
-func (ev *Evaluator) MatchesInto(q *query.Simple, pre map[query.NodeID]graph.NodeID, visit func(*Match) bool) error {
+// enforced. The error is non-nil only if the step budget is exhausted, the
+// context is canceled mid-search (a qerr.ErrCanceled-wrapped error), or the
+// pre-binding is inconsistent with a constant node.
+func (ev *Evaluator) MatchesInto(ctx context.Context, q *query.Simple, pre map[query.NodeID]graph.NodeID, visit func(*Match) bool) error {
+	// Poll once up front: searches smaller than the in-search polling
+	// interval must still notice an already-canceled context.
+	if err := ctx.Err(); err != nil {
+		return qerr.Canceled(err)
+	}
 	n := q.NumNodes()
 	st := &state{
 		ev:    ev,
+		ctx:   ctx,
 		q:     q,
 		match: Match{Nodes: make([]graph.NodeID, n), Edges: make([]graph.EdgeID, q.NumEdges())},
 		max:   ev.MaxSteps,
@@ -119,6 +135,9 @@ func (ev *Evaluator) MatchesInto(q *query.Simple, pre map[query.NodeID]graph.Nod
 	}
 	st.plan = planEdges(q, st.match.Nodes)
 	st.rec(0)
+	if st.canceled {
+		return qerr.Canceled(ctx.Err())
+	}
 	if st.steps >= st.max {
 		return ErrBudget
 	}
@@ -135,12 +154,18 @@ func (ev *Evaluator) nodeCompatible(qn query.Node, oid graph.NodeID) bool {
 }
 
 // rec extends the match over plan[k:]. It returns false when the visit
-// callback has requested a stop or the budget is exhausted.
+// callback has requested a stop, the budget is exhausted, or the context is
+// canceled (polled every cancelCheckMask+1 steps so a request deadline
+// actually aborts a runaway search).
 func (st *state) rec(k int) bool {
 	if st.steps >= st.max {
 		return false
 	}
 	st.steps++
+	if st.steps&cancelCheckMask == 0 && st.ctx.Err() != nil {
+		st.canceled = true
+		return false
+	}
 	if k == len(st.plan) {
 		if !st.diseqsHold() {
 			return true
@@ -224,14 +249,14 @@ func (st *state) rec(k int) bool {
 			}
 		}
 	}
-	if optional && !st.done && st.steps < st.max && st.found == foundBefore {
+	if optional && !st.done && !st.canceled && st.steps < st.max && st.found == foundBefore {
 		// OPTIONAL left-join: no ontology edge fits, so the edge stays
 		// unbound and the rest of the pattern proceeds without it.
 		if !st.rec(k + 1) {
 			return false
 		}
 	}
-	return !st.done && st.steps < st.max
+	return !st.done && !st.canceled && st.steps < st.max
 }
 
 // diseqsHold checks the query's disequality constraints on a complete match.

@@ -17,7 +17,7 @@ func TestIsolatedProjectedVariable(t *testing.T) {
 	q := query.NewSimple()
 	x := q.MustEnsureNode(query.Var("x"), "")
 	q.SetProjected(x)
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestIsolatedProjectedVariable(t *testing.T) {
 	q2 := query.NewSimple()
 	y := q2.MustEnsureNode(query.Var("y"), "Author")
 	q2.SetProjected(y)
-	res, err = ev.ResultsSimple(q2)
+	res, err = ev.ResultsSimple(bg, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,12 +50,12 @@ func TestHasResultValueGroundBranch(t *testing.T) {
 		t.Fatal(err)
 	}
 	u := query.NewUnion(ground)
-	ok, err := ev.HasResultValue(u, "Alice")
+	ok, err := ev.HasResultValue(bg, u, "Alice")
 	if err != nil || !ok {
 		t.Fatalf("Alice: ok=%v err=%v", ok, err)
 	}
 	// The ground branch never yields another value.
-	ok, err = ev.HasResultValue(u, "Dave")
+	ok, err = ev.HasResultValue(bg, u, "Dave")
 	if err != nil || ok {
 		t.Fatalf("Dave: ok=%v err=%v", ok, err)
 	}
@@ -69,7 +69,7 @@ func TestProvenanceOfGroundProjected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	provs, err := ev.ProvenanceOf(ground, "Alice", 0)
+	provs, err := ev.ProvenanceOf(bg, ground, "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,12 +77,12 @@ func TestProvenanceOfGroundProjected(t *testing.T) {
 		t.Fatalf("ground provenance = %v", provs)
 	}
 	// Wrong value short-circuits.
-	provs, err = ev.ProvenanceOf(ground, "Dave", 0)
+	provs, err = ev.ProvenanceOf(bg, ground, "Dave", 0)
 	if err != nil || provs != nil {
 		t.Fatalf("foreign value: %v %v", provs, err)
 	}
 	// Value absent from the ontology.
-	provs, err = ev.ProvenanceOf(paperfix.Q1(), "NoSuch", 0)
+	provs, err = ev.ProvenanceOf(bg, paperfix.Q1(), "NoSuch", 0)
 	if err != nil || provs != nil {
 		t.Fatalf("missing value: %v %v", provs, err)
 	}
@@ -92,21 +92,21 @@ func TestProvenanceOfUnionLimit(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	u := query.NewUnion(paperfix.Q1(), paperfix.Q3())
-	all, err := ev.ProvenanceOfUnion(u, "Alice", 0)
+	all, err := ev.ProvenanceOfUnion(bg, u, "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(all) < 2 {
 		t.Skipf("need >= 2 provenance graphs, have %d", len(all))
 	}
-	one, err := ev.ProvenanceOfUnion(u, "Alice", 1)
+	one, err := ev.ProvenanceOfUnion(bg, u, "Alice", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(one) != 1 {
 		t.Fatalf("limit 1 -> %d graphs", len(one))
 	}
-	capped, err := ev.ProvenanceOfUnion(u, "Alice", len(all)-1)
+	capped, err := ev.ProvenanceOfUnion(bg, u, "Alice", len(all)-1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestDiseqVarVarSameNode(t *testing.T) {
 	if err := q.AddDiseqNodes(x, y); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestDifferenceEdgeCases(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	q1 := query.NewUnion(paperfix.Q1())
-	diff, err := ev.Difference(q1, q1)
+	diff, err := ev.Difference(bg, q1, q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestDifferenceEdgeCases(t *testing.T) {
 	x := empty.MustEnsureNode(query.Var("x"), "")
 	empty.MustAddEdge(x, p, "nosuchlabel")
 	empty.SetProjected(x)
-	diff, err = ev.Difference(query.NewUnion(empty), q1)
+	diff, err = ev.Difference(bg, query.NewUnion(empty), q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestUnionResultsDedup(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	u := query.NewUnion(paperfix.Q3(), paperfix.Q3().Clone())
-	res, err := ev.Results(u)
+	res, err := ev.Results(bg, u)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestUnionResultsDedup(t *testing.T) {
 		}
 		seen[v] = true
 	}
-	single, err := ev.Results(query.NewUnion(paperfix.Q3()))
+	single, err := ev.Results(bg, query.NewUnion(paperfix.Q3()))
 	if err != nil {
 		t.Fatal(err)
 	}

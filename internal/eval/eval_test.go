@@ -27,7 +27,7 @@ func TestResultsSimpleRunningExample(t *testing.T) {
 	// authors with a collapsed chain to Erdos).
 	o := paperfix.Ontology()
 	ev := eval.New(o)
-	res, err := ev.ResultsSimple(paperfix.Q1())
+	res, err := ev.ResultsSimple(bg, paperfix.Q1())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestResultsGroundProjected(t *testing.T) {
 	a := q.MustEnsureNode(query.Const("Alice"), "Author")
 	q.MustAddEdge(p, a, "wb")
 	q.SetProjected(a)
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestResultsGroundProjected(t *testing.T) {
 	e2 := q2.MustEnsureNode(query.Const("Erdos"), "Author")
 	q2.MustAddEdge(p2, e2, "wb")
 	q2.SetProjected(e2)
-	res, err = ev.ResultsSimple(q2)
+	res, err = ev.ResultsSimple(bg, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestMissingConstantYieldsNoResults(t *testing.T) {
 	x := q.MustEnsureNode(query.Const("NoSuchValue"), "")
 	q.MustAddEdge(p, x, "wb")
 	q.SetProjected(p)
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil || len(res) != 0 {
 		t.Fatalf("res=%v err=%v", res, err)
 	}
@@ -92,7 +92,7 @@ func TestNoProjectedNodeError(t *testing.T) {
 	ev := eval.New(paperfix.Ontology())
 	q := query.NewSimple()
 	q.MustEnsureNode(query.Var("x"), "")
-	if _, err := ev.ResultsSimple(q); err == nil {
+	if _, err := ev.ResultsSimple(bg, q); err == nil {
 		t.Fatal("missing projected node not reported")
 	}
 }
@@ -109,7 +109,7 @@ func TestHomomorphismNotInjective(t *testing.T) {
 	q.MustAddEdge(p, a1, "wb")
 	q.MustAddEdge(p, a2, "wb")
 	q.SetProjected(a1)
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestDiseqFiltering(t *testing.T) {
 	if err := q.AddDiseqNodes(a1, a2); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestDiseqFiltering(t *testing.T) {
 	if err := q2.AddDiseqValue(x, "Bob"); err != nil {
 		t.Fatal(err)
 	}
-	res, err = ev.ResultsSimple(q2)
+	res, err = ev.ResultsSimple(bg, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestSelfLoopMatching(t *testing.T) {
 	x := q.MustEnsureNode(query.Var("x"), "")
 	q.MustAddEdge(x, x, "self")
 	q.SetProjected(x)
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestSelfLoopMatching(t *testing.T) {
 	v := q2.MustEnsureNode(query.Var("v"), "")
 	q2.MustAddEdge(u, v, "self")
 	q2.SetProjected(v)
-	res, err = ev.ResultsSimple(q2)
+	res, err = ev.ResultsSimple(bg, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestTypeChecking(t *testing.T) {
 	q.SetProjected(x)
 
 	ev := eval.New(o)
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestTypeChecking(t *testing.T) {
 	erdos2 := q2.MustEnsureNode(query.Const("Erdos"), "")
 	q2.MustAddEdge(y, erdos2, "wb")
 	q2.SetProjected(y)
-	res, err = ev.ResultsSimple(q2)
+	res, err = ev.ResultsSimple(bg, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestTypeChecking(t *testing.T) {
 	}
 	// ... but matches when CheckTypes is off.
 	ev.CheckTypes = false
-	res, err = ev.ResultsSimple(q2)
+	res, err = ev.ResultsSimple(bg, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestUnionResults(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	u := query.NewUnion(paperfix.Q3(), paperfix.Q4())
-	res, err := ev.Results(u)
+	res, err := ev.Results(bg, u)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,15 +257,15 @@ func TestHasResultValue(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	u := query.NewUnion(paperfix.Q1())
-	ok, err := ev.HasResultValue(u, "William")
+	ok, err := ev.HasResultValue(bg, u, "William")
 	if err != nil || !ok {
 		t.Fatalf("William: ok=%v err=%v", ok, err)
 	}
-	ok, err = ev.HasResultValue(u, "paper1")
+	ok, err = ev.HasResultValue(bg, u, "paper1")
 	if err != nil || ok {
 		t.Fatalf("paper1: ok=%v err=%v", ok, err)
 	}
-	ok, err = ev.HasResultValue(u, "NoSuchValue")
+	ok, err = ev.HasResultValue(bg, u, "NoSuchValue")
 	if err != nil || ok {
 		t.Fatalf("missing value: ok=%v err=%v", ok, err)
 	}
@@ -276,7 +276,7 @@ func TestDifferenceExample55(t *testing.T) {
 	// Erdős chain avoids both constant spines.
 	o := paperfix.Ontology()
 	ev := eval.New(o)
-	diff, err := ev.Difference(query.NewUnion(paperfix.Q1()), query.NewUnion(paperfix.Q3(), paperfix.Q4()))
+	diff, err := ev.Difference(bg, query.NewUnion(paperfix.Q1()), query.NewUnion(paperfix.Q3(), paperfix.Q4()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestProvenanceOfResult(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	q1 := paperfix.Q1()
-	provs, err := ev.ProvenanceOf(q1, "Alice", 0)
+	provs, err := ev.ProvenanceOf(bg, q1, "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,14 +329,14 @@ func TestProvenanceOfResult(t *testing.T) {
 func TestProvenanceLimit(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
-	all, err := ev.ProvenanceOf(paperfix.Q1(), "Alice", 0)
+	all, err := ev.ProvenanceOf(bg, paperfix.Q1(), "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(all) < 2 {
 		t.Skipf("only %d provenance graphs; limit test needs 2", len(all))
 	}
-	one, err := ev.ProvenanceOf(paperfix.Q1(), "Alice", 1)
+	one, err := ev.ProvenanceOf(bg, paperfix.Q1(), "Alice", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +349,7 @@ func TestProvenanceOfUnionDedups(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	u := query.NewUnion(paperfix.Q3(), paperfix.Q3().Clone())
-	provs, err := ev.ProvenanceOfUnion(u, "Alice", 0)
+	provs, err := ev.ProvenanceOfUnion(bg, u, "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,7 @@ func TestBindAndExplain(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	u := query.NewUnion(paperfix.Q1())
-	rp, err := ev.BindAndExplain(u, "William")
+	rp, err := ev.BindAndExplain(bg, u, "William")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +377,7 @@ func TestBindAndExplain(t *testing.T) {
 	if _, ok := rp.Provenance.NodeByValue("William"); !ok {
 		t.Fatal("explanation misses the bound result")
 	}
-	if _, err := ev.BindAndExplain(u, "paper1"); err == nil {
+	if _, err := ev.BindAndExplain(bg, u, "paper1"); err == nil {
 		t.Fatal("non-result bind succeeded")
 	}
 }
@@ -391,7 +391,7 @@ func TestPreBindingConflicts(t *testing.T) {
 	q.MustAddEdge(v, c, "wb")
 	q.SetProjected(v)
 	bob, _ := o.NodeByValue("Bob")
-	err := ev.MatchesInto(q, map[query.NodeID]graph.NodeID{c: bob.ID}, func(*eval.Match) bool { return true })
+	err := ev.MatchesInto(bg, q, map[query.NodeID]graph.NodeID{c: bob.ID}, func(*eval.Match) bool { return true })
 	if err == nil {
 		t.Fatal("conflicting constant pre-binding accepted")
 	}
@@ -413,7 +413,7 @@ func TestBudgetExhaustion(t *testing.T) {
 	}
 	q.SetProjected(prev)
 	count := 0
-	err := ev.MatchesInto(q, nil, func(*eval.Match) bool { count++; return true })
+	err := ev.MatchesInto(bg, q, nil, func(*eval.Match) bool { count++; return true })
 	if err != eval.ErrBudget {
 		t.Fatalf("err = %v (found %d), want eval.ErrBudget", err, count)
 	}
@@ -462,7 +462,7 @@ func TestMatchesVerifyProperty(t *testing.T) {
 		ev := eval.New(o)
 		okAll := true
 		checked := 0
-		err := ev.MatchesInto(q, nil, func(m *eval.Match) bool {
+		err := ev.MatchesInto(bg, q, nil, func(m *eval.Match) bool {
 			checked++
 			if !verifyMatch(o, q, m) {
 				okAll = false
@@ -533,7 +533,7 @@ func TestGroundQueryIdentityProperty(t *testing.T) {
 			return false
 		}
 		ev := eval.New(o)
-		res, err := ev.ResultsSimple(q)
+		res, err := ev.ResultsSimple(bg, q)
 		if err != nil {
 			return false
 		}

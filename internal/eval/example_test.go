@@ -31,7 +31,7 @@ paper2 wb Erdos .
 	}
 
 	ev := eval.New(o)
-	results, err := ev.Results(query.NewUnion(q))
+	results, err := ev.Results(bg, query.NewUnion(q))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +61,7 @@ paper2 wb Erdos .
 	}
 
 	ev := eval.New(o)
-	provs, err := ev.ProvenanceOf(q, "Bob", 0)
+	provs, err := ev.ProvenanceOf(bg, q, "Bob", 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +95,7 @@ paper5 wb Erdos .
 	}
 
 	ev := eval.New(o)
-	poly, err := ev.HowProvenance(q, "Bob", 0)
+	poly, err := ev.HowProvenance(bg, q, "Bob", 0)
 	if err != nil {
 		log.Fatal(err)
 	}

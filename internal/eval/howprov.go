@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -113,7 +114,7 @@ func (p Polynomial) StringOver(o *graph.Graph) string {
 // with respect to a simple query: one term per distinct edge multiset, the
 // coefficient counting the matches that use it. maxMatches > 0 bounds the
 // enumeration (0 = unbounded up to the evaluator budget).
-func (ev *Evaluator) HowProvenance(q *query.Simple, value string, maxMatches int) (Polynomial, error) {
+func (ev *Evaluator) HowProvenance(ctx context.Context, q *query.Simple, value string, maxMatches int) (Polynomial, error) {
 	proj := q.Projected()
 	if proj == query.NoNode {
 		return Polynomial{}, errNoProjected
@@ -136,7 +137,7 @@ func (ev *Evaluator) HowProvenance(q *query.Simple, value string, maxMatches int
 	coeff := map[string]*Term{}
 	var order []string
 	matches := 0
-	err := ev.MatchesInto(q, pre, func(m *Match) bool {
+	err := ev.MatchesInto(ctx, q, pre, func(m *Match) bool {
 		mono := Monomial{Edges: map[graph.EdgeID]int{}}
 		for qe, oe := range m.Edges {
 			if oe == graph.NoEdge {
@@ -169,11 +170,11 @@ func (ev *Evaluator) HowProvenance(q *query.Simple, value string, maxMatches int
 }
 
 // HowProvenanceUnion sums the branch polynomials (union is ⊕).
-func (ev *Evaluator) HowProvenanceUnion(u *query.Union, value string, maxMatches int) (Polynomial, error) {
+func (ev *Evaluator) HowProvenanceUnion(ctx context.Context, u *query.Union, value string, maxMatches int) (Polynomial, error) {
 	merged := map[string]*Term{}
 	var order []string
 	for _, b := range u.Branches() {
-		p, err := ev.HowProvenance(b, value, maxMatches)
+		p, err := ev.HowProvenance(ctx, b, value, maxMatches)
 		if err != nil {
 			return Polynomial{}, err
 		}

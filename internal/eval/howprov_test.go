@@ -26,7 +26,7 @@ func TestHowProvenanceSingleDerivation(t *testing.T) {
 	q.MustAddEdge(p, erdos, "wb")
 	q.SetProjected(a)
 
-	poly, err := ev.HowProvenance(q, "Alice", 0)
+	poly, err := ev.HowProvenance(bg, q, "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestHowProvenanceSingleDerivation(t *testing.T) {
 	}
 	// The collapsed a=Erdos match contributes to Erdos' polynomial with a
 	// squared factor (edge used for both query edges).
-	poly, err = ev.HowProvenance(q, "Erdos", 0)
+	poly, err = ev.HowProvenance(bg, q, "Erdos", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestHowProvenanceSingleDerivation(t *testing.T) {
 func TestHowProvenanceMultipleDerivations(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
-	poly, err := ev.HowProvenance(paperfix.Q1(), "Dave", 0)
+	poly, err := ev.HowProvenance(bg, paperfix.Q1(), "Dave", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestHowProvenanceMultipleDerivations(t *testing.T) {
 		t.Fatalf("Dave has %d derivations, expected several", poly.NumDerivations())
 	}
 	// The support of the polynomial corresponds to the graph provenance.
-	provs, err := ev.ProvenanceOf(paperfix.Q1(), "Dave", 0)
+	provs, err := ev.ProvenanceOf(bg, paperfix.Q1(), "Dave", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestHowProvenanceMultipleDerivations(t *testing.T) {
 func TestHowProvenanceNonResult(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
-	poly, err := ev.HowProvenance(paperfix.Q3(), "William", 0)
+	poly, err := ev.HowProvenance(bg, paperfix.Q3(), "William", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestHowProvenanceNonResult(t *testing.T) {
 	if got := poly.StringOver(o); got != "0" {
 		t.Fatalf("empty polynomial renders %q", got)
 	}
-	if _, err := ev.HowProvenance(paperfix.Q3(), "NoSuchNode", 0); err != nil {
+	if _, err := ev.HowProvenance(bg, paperfix.Q3(), "NoSuchNode", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -95,11 +95,11 @@ func TestHowProvenanceUnionSums(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	u := query.NewUnion(paperfix.Q3(), paperfix.Q3().Clone())
-	single, err := ev.HowProvenance(paperfix.Q3(), "Alice", 0)
+	single, err := ev.HowProvenance(bg, paperfix.Q3(), "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	double, err := ev.HowProvenanceUnion(u, "Alice", 0)
+	double, err := ev.HowProvenanceUnion(bg, u, "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestHowProvenanceUnionSums(t *testing.T) {
 func TestHowProvenanceMaxMatches(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
-	capped, err := ev.HowProvenance(paperfix.Q1(), "Alice", 1)
+	capped, err := ev.HowProvenance(bg, paperfix.Q1(), "Alice", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,13 +140,13 @@ func TestHowProvenanceCountsProperty(t *testing.T) {
 		}
 		ev := eval.New(o)
 		value := sub.Node(start).Value
-		poly, err := ev.HowProvenance(q, value, 0)
+		poly, err := ev.HowProvenance(bg, q, value, 0)
 		if err != nil {
 			return false
 		}
 		count := 0
 		pn, _ := o.NodeByValue(value)
-		err = ev.MatchesInto(q, map[query.NodeID]graph.NodeID{q.Projected(): pn.ID}, func(*eval.Match) bool {
+		err = ev.MatchesInto(bg, q, map[query.NodeID]graph.NodeID{q.Projected(): pn.ID}, func(*eval.Match) bool {
 			count++
 			return true
 		})

@@ -45,7 +45,7 @@ func TestOptionalDoesNotFilter(t *testing.T) {
 	o := optOntology()
 	ev := eval.New(o)
 	q := authorsWithOptionalHomepage(t)
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestOptionalDoesNotFilter(t *testing.T) {
 	for _, e := range q2.Edges() {
 		q2.SetOptional(e.ID, false)
 	}
-	res, err = ev.ResultsSimple(q2)
+	res, err = ev.ResultsSimple(bg, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestOptionalProvenance(t *testing.T) {
 	ev := eval.New(o)
 	q := authorsWithOptionalHomepage(t)
 
-	alice, err := ev.ProvenanceOf(q, "Alice", 0)
+	alice, err := ev.ProvenanceOf(bg, q, "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestOptionalProvenance(t *testing.T) {
 		t.Fatalf("optional homepage missing from provenance:\n%s", alice[0])
 	}
 
-	bob, err := ev.ProvenanceOf(q, "Bob", 0)
+	bob, err := ev.ProvenanceOf(bg, q, "Bob", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,21 +118,21 @@ func TestOptionalChained(t *testing.T) {
 	q.SetOptional(e2, true)
 	q.SetProjected(a)
 
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(res, []string{"Alice", "Bob"}) {
 		t.Fatalf("results = %v", res)
 	}
-	alice, err := ev.ProvenanceOf(q, "Alice", 0)
+	alice, err := ev.ProvenanceOf(bg, q, "Alice", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := alice[0].NodeByValue("example.org"); !ok {
 		t.Fatalf("chained optional missing:\n%s", alice[0])
 	}
-	bob, err := ev.ProvenanceOf(q, "Bob", 0)
+	bob, err := ev.ProvenanceOf(bg, q, "Bob", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestOptionalNeverFiltersProperty(t *testing.T) {
 			return false
 		}
 		ev := eval.New(o)
-		base, err := ev.ResultsSimple(q)
+		base, err := ev.ResultsSimple(bg, q)
 		if err != nil {
 			return false
 		}
@@ -205,7 +205,7 @@ func TestOptionalNeverFiltersProperty(t *testing.T) {
 		if err := withOpt.SetOptional(e, true); err != nil {
 			return false
 		}
-		got, err := ev.ResultsSimple(withOpt)
+		got, err := ev.ResultsSimple(bg, withOpt)
 		if err != nil {
 			return false
 		}
@@ -221,7 +221,7 @@ func TestOptionalNeverFiltersProperty(t *testing.T) {
 func TestOptionalLeavesPaperExampleIntact(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
-	res, err := ev.ResultsSimple(paperfix.Q1())
+	res, err := ev.ResultsSimple(bg, paperfix.Q1())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestOptionalOnlyProjectedVar(t *testing.T) {
 	e := q.MustAddEdge(a, h, "homepage")
 	q.SetOptional(e, true)
 	q.SetProjected(a)
-	res, err := ev.ResultsSimple(q)
+	res, err := ev.ResultsSimple(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}

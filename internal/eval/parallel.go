@@ -1,12 +1,14 @@
 package eval
 
 import (
-	"runtime"
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"questpro/internal/conc"
 	"questpro/internal/graph"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
@@ -20,24 +22,25 @@ import (
 const parallelThreshold = 64
 
 // ResultsParallel is ResultsSimple with the per-candidate existence probes
-// fanned out over workers goroutines (<= 0 selects GOMAXPROCS). The first
-// error (budget exhaustion) wins; partial results are discarded on error.
-func (ev *Evaluator) ResultsParallel(q *query.Simple, workers int) ([]string, error) {
+// fanned out over workers goroutines (resolved through conc.Workers: <= 0
+// selects GOMAXPROCS, the default shared with core.Options.Workers). The
+// first error (budget exhaustion or cancellation) wins; partial results are
+// discarded on error. Workers also poll the context between probes so a
+// canceled request stops enqueueing work.
+func (ev *Evaluator) ResultsParallel(ctx context.Context, q *query.Simple, workers int) ([]string, error) {
 	proj := q.Projected()
 	if proj == query.NoNode {
 		return nil, errNoProjected
 	}
 	pn := q.Node(proj)
 	if !pn.Term.IsVar {
-		return ev.ResultsSimple(q)
+		return ev.ResultsSimple(ctx, q)
 	}
 	candidates := ev.projectedCandidates(q)
 	if len(candidates) < parallelThreshold {
-		return ev.ResultsSimple(q)
+		return ev.ResultsSimple(ctx, q)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = conc.Workers(workers)
 	if workers > len(candidates) {
 		workers = len(candidates)
 	}
@@ -63,7 +66,13 @@ func (ev *Evaluator) ResultsParallel(q *query.Simple, workers int) ([]string, er
 				next++
 				mu.Unlock()
 
-				ok, err := ev.hasAnyMatch(q, map[query.NodeID]graph.NodeID{proj: c})
+				var ok bool
+				err := ctx.Err()
+				if err != nil {
+					err = qerr.Canceled(err)
+				} else {
+					ok, err = ev.hasAnyMatch(ctx, q, map[query.NodeID]graph.NodeID{proj: c})
+				}
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = err
@@ -72,6 +81,9 @@ func (ev *Evaluator) ResultsParallel(q *query.Simple, workers int) ([]string, er
 					out = append(out, ev.o.Node(c).Value)
 				}
 				mu.Unlock()
+				if err != nil {
+					return
+				}
 			}
 		}()
 	}
@@ -84,18 +96,16 @@ func (ev *Evaluator) ResultsParallel(q *query.Simple, workers int) ([]string, er
 }
 
 // ResultsUnionParallel evaluates a union with the branches fanned out over
-// workers goroutines (<= 0 selects GOMAXPROCS) and each branch evaluated
-// with ResultsParallel, so a union of many small branches — each below
-// parallelThreshold — still uses the pool. Per-branch result lists are
-// deduplicated into the union afterwards in branch order; output (sorted,
-// deduplicated) and error behavior (the error of the earliest failing
-// branch wins, later results are discarded) are identical to evaluating the
-// branches sequentially.
-func (ev *Evaluator) ResultsUnionParallel(u *query.Union, workers int) ([]string, error) {
+// workers goroutines (resolved through conc.Workers; <= 0 selects
+// GOMAXPROCS) and each branch evaluated with ResultsParallel, so a union of
+// many small branches — each below parallelThreshold — still uses the pool.
+// Per-branch result lists are deduplicated into the union afterwards in
+// branch order; output (sorted, deduplicated) and error behavior (the error
+// of the earliest failing branch wins, later results are discarded) are
+// identical to evaluating the branches sequentially.
+func (ev *Evaluator) ResultsUnionParallel(ctx context.Context, u *query.Union, workers int) ([]string, error) {
 	branches := u.Branches()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = conc.Workers(workers)
 	pool := workers
 	if pool > len(branches) {
 		pool = len(branches)
@@ -114,7 +124,7 @@ func (ev *Evaluator) ResultsUnionParallel(u *query.Union, workers int) ([]string
 				if i >= len(branches) {
 					return
 				}
-				perBranch[i], errs[i] = ev.ResultsParallel(branches[i], workers)
+				perBranch[i], errs[i] = ev.ResultsParallel(ctx, branches[i], workers)
 			}
 		}()
 	}

@@ -18,11 +18,11 @@ func TestResultsParallelSmall(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	for _, q := range []*query.Simple{paperfix.Q1(), paperfix.Q3(), paperfix.Q4()} {
-		seq, err := ev.ResultsSimple(q)
+		seq, err := ev.ResultsSimple(bg, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := ev.ResultsParallel(q, 4)
+		par, err := ev.ResultsParallel(bg, q, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +41,7 @@ func TestResultsParallelGround(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ev.ResultsParallel(ground, 8)
+	res, err := ev.ResultsParallel(bg, ground, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +68,11 @@ func TestResultsParallelAgreesProperty(t *testing.T) {
 		q.SetProjected(b)
 
 		ev := eval.New(o)
-		seq, err := ev.ResultsSimple(q)
+		seq, err := ev.ResultsSimple(bg, q)
 		if err != nil {
 			return false
 		}
-		par, err := ev.ResultsParallel(q, 3)
+		par, err := ev.ResultsParallel(bg, q, 3)
 		if err != nil {
 			return false
 		}
@@ -87,11 +87,11 @@ func TestResultsUnionParallel(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	u := query.NewUnion(paperfix.Q3(), paperfix.Q4())
-	seq, err := ev.Results(u)
+	seq, err := ev.Results(bg, u)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := ev.ResultsUnionParallel(u, 4)
+	par, err := ev.ResultsUnionParallel(bg, u, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,12 +122,12 @@ func TestResultsUnionParallelManySmallBranches(t *testing.T) {
 	}
 	u := query.NewUnion(branches...)
 	ev := eval.New(o)
-	seq, err := ev.Results(u)
+	seq, err := ev.Results(bg, u)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 2, 8, 0} {
-		par, err := ev.ResultsUnionParallel(u, workers)
+		par, err := ev.ResultsUnionParallel(bg, u, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,10 +155,10 @@ func TestResultsUnionParallelBudgetError(t *testing.T) {
 
 	ev := eval.New(o)
 	ev.MaxSteps = 3
-	if _, err := ev.Results(u); !errors.Is(err, eval.ErrBudget) {
+	if _, err := ev.Results(bg, u); !errors.Is(err, eval.ErrBudget) {
 		t.Fatalf("sequential union error = %v, want budget exhaustion", err)
 	}
-	rs, err := ev.ResultsUnionParallel(u, 4)
+	rs, err := ev.ResultsUnionParallel(bg, u, 4)
 	if !errors.Is(err, eval.ErrBudget) {
 		t.Fatalf("parallel union error = %v, want budget exhaustion", err)
 	}
@@ -171,7 +171,7 @@ func TestResultsParallelNoProjected(t *testing.T) {
 	ev := eval.New(paperfix.Ontology())
 	q := query.NewSimple()
 	q.MustEnsureNode(query.Var("x"), "")
-	if _, err := ev.ResultsParallel(q, 2); err == nil {
+	if _, err := ev.ResultsParallel(bg, q, 2); err == nil {
 		t.Fatal("missing projected node not reported")
 	}
 }
@@ -191,14 +191,14 @@ func BenchmarkResultsParallelVsSequential(b *testing.B) {
 	ev := eval.New(o)
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := ev.ResultsSimple(q); err != nil {
+			if _, err := ev.ResultsSimple(bg, q); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := ev.ResultsParallel(q, 0); err != nil {
+			if _, err := ev.ResultsParallel(bg, q, 0); err != nil {
 				b.Fatal(err)
 			}
 		}

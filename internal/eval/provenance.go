@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,7 +36,7 @@ func (ev *Evaluator) MatchImage(q *query.Simple, m *Match) (*graph.Graph, error)
 // distinct image subgraphs over all matches yielding the result value
 // (Definition 2.4). limit > 0 caps the number of distinct graphs returned.
 // The graphs are returned in a deterministic order (sorted by signature).
-func (ev *Evaluator) ProvenanceOf(q *query.Simple, value string, limit int) ([]*graph.Graph, error) {
+func (ev *Evaluator) ProvenanceOf(ctx context.Context, q *query.Simple, value string, limit int) ([]*graph.Graph, error) {
 	proj := q.Projected()
 	if proj == query.NoNode {
 		return nil, errNoProjected
@@ -62,7 +63,7 @@ func (ev *Evaluator) ProvenanceOf(q *query.Simple, value string, limit int) ([]*
 	var entries []entry
 	seen := map[string]bool{}
 	var imgErr error
-	err := ev.MatchesInto(q, pre, func(m *Match) bool {
+	err := ev.MatchesInto(ctx, q, pre, func(m *Match) bool {
 		img, e := ev.MatchImage(q, m)
 		if e != nil {
 			imgErr = e
@@ -91,7 +92,7 @@ func (ev *Evaluator) ProvenanceOf(q *query.Simple, value string, limit int) ([]*
 
 // ProvenanceOfUnion computes prov(res) for a union query: the union of the
 // branch provenances (Section II-B). limit > 0 caps the total count.
-func (ev *Evaluator) ProvenanceOfUnion(u *query.Union, value string, limit int) ([]*graph.Graph, error) {
+func (ev *Evaluator) ProvenanceOfUnion(ctx context.Context, u *query.Union, value string, limit int) ([]*graph.Graph, error) {
 	var out []*graph.Graph
 	seen := map[string]bool{}
 	for _, b := range u.Branches() {
@@ -102,7 +103,7 @@ func (ev *Evaluator) ProvenanceOfUnion(u *query.Union, value string, limit int) 
 				break
 			}
 		}
-		gs, err := ev.ProvenanceOf(b, value, rem)
+		gs, err := ev.ProvenanceOf(ctx, b, value, rem)
 		if err != nil {
 			return nil, err
 		}
@@ -126,8 +127,8 @@ type ResultWithProvenance struct {
 
 // BindAndExplain binds a result value to the union query (the bind(Q, res)
 // of Algorithm 3) and returns the value with its first provenance graph.
-func (ev *Evaluator) BindAndExplain(u *query.Union, value string) (*ResultWithProvenance, error) {
-	gs, err := ev.ProvenanceOfUnion(u, value, 1)
+func (ev *Evaluator) BindAndExplain(ctx context.Context, u *query.Union, value string) (*ResultWithProvenance, error) {
+	gs, err := ev.ProvenanceOfUnion(ctx, u, value, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,22 +1,24 @@
 package eval
 
 import (
+	"context"
 	"sort"
 
 	"questpro/internal/graph"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
 // ResultsSimple evaluates a simple query and returns the distinct result
 // values in sorted order (Q(O) of Section II-A).
-func (ev *Evaluator) ResultsSimple(q *query.Simple) ([]string, error) {
+func (ev *Evaluator) ResultsSimple(ctx context.Context, q *query.Simple) ([]string, error) {
 	proj := q.Projected()
 	if proj == query.NoNode {
 		return nil, errNoProjected
 	}
 	pn := q.Node(proj)
 	if !pn.Term.IsVar {
-		ok, err := ev.hasAnyMatch(q, nil)
+		ok, err := ev.hasAnyMatch(ctx, q, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -28,7 +30,13 @@ func (ev *Evaluator) ResultsSimple(q *query.Simple) ([]string, error) {
 	candidates := ev.projectedCandidates(q)
 	var out []string
 	for _, c := range candidates {
-		ok, err := ev.hasAnyMatch(q, map[query.NodeID]graph.NodeID{proj: c})
+		// The matcher polls only every cancelCheckMask+1 steps, so cheap
+		// probes could otherwise outrun a canceled context for a long
+		// candidate list; poll once per candidate too.
+		if err := ctx.Err(); err != nil {
+			return nil, qerr.Canceled(err)
+		}
+		ok, err := ev.hasAnyMatch(ctx, q, map[query.NodeID]graph.NodeID{proj: c})
 		if err != nil {
 			return nil, err
 		}
@@ -48,14 +56,14 @@ func (e errorString) Error() string { return string(e) }
 
 // hasAnyMatch reports whether at least one match exists from the given
 // pre-binding.
-func (ev *Evaluator) hasAnyMatch(q *query.Simple, pre map[query.NodeID]graph.NodeID) (bool, error) {
+func (ev *Evaluator) hasAnyMatch(ctx context.Context, q *query.Simple, pre map[query.NodeID]graph.NodeID) (bool, error) {
 	found := false
-	err := ev.MatchesInto(q, pre, func(*Match) bool {
+	err := ev.MatchesInto(ctx, q, pre, func(*Match) bool {
 		found = true
 		return false
 	})
 	if found {
-		return true, nil // budget errors after a find are irrelevant
+		return true, nil // budget/cancel errors after a find are irrelevant
 	}
 	return false, err
 }
@@ -149,10 +157,10 @@ func dedupEndpoints(o *graph.Graph, edges []graph.EdgeID, from bool) []graph.Nod
 
 // Results evaluates a union query: the union of its branches' result sets,
 // sorted (Section II-A).
-func (ev *Evaluator) Results(u *query.Union) ([]string, error) {
+func (ev *Evaluator) Results(ctx context.Context, u *query.Union) ([]string, error) {
 	seen := map[string]bool{}
 	for _, b := range u.Branches() {
-		rs, err := ev.ResultsSimple(b)
+		rs, err := ev.ResultsSimple(ctx, b)
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +178,7 @@ func (ev *Evaluator) Results(u *query.Union) ([]string, error) {
 
 // HasResultValue reports whether value is a result of the union query; it
 // avoids enumerating the full result set.
-func (ev *Evaluator) HasResultValue(u *query.Union, value string) (bool, error) {
+func (ev *Evaluator) HasResultValue(ctx context.Context, u *query.Union, value string) (bool, error) {
 	on, ok := ev.o.NodeByValue(value)
 	if !ok {
 		return false, nil
@@ -185,7 +193,7 @@ func (ev *Evaluator) HasResultValue(u *query.Union, value string) (bool, error) 
 			if pn.Term.Value != value {
 				continue
 			}
-			found, err := ev.hasAnyMatch(b, nil)
+			found, err := ev.hasAnyMatch(ctx, b, nil)
 			if err != nil {
 				return false, err
 			}
@@ -197,7 +205,7 @@ func (ev *Evaluator) HasResultValue(u *query.Union, value string) (bool, error) 
 		if !ev.nodeCompatible(pn, on.ID) {
 			continue
 		}
-		found, err := ev.hasAnyMatch(b, map[query.NodeID]graph.NodeID{proj: on.ID})
+		found, err := ev.hasAnyMatch(ctx, b, map[query.NodeID]graph.NodeID{proj: on.ID})
 		if err != nil {
 			return false, err
 		}
@@ -212,14 +220,14 @@ func (ev *Evaluator) HasResultValue(u *query.Union, value string) (bool, error) 
 // (Section V, "Difference Queries"): results of a that are not results of b.
 // Following the paper, the difference is computed without provenance
 // tracking; use ProvenanceOfUnion afterwards to bind a chosen result.
-func (ev *Evaluator) Difference(a, b *query.Union) ([]string, error) {
-	ra, err := ev.Results(a)
+func (ev *Evaluator) Difference(ctx context.Context, a, b *query.Union) ([]string, error) {
+	ra, err := ev.Results(ctx, a)
 	if err != nil {
 		return nil, err
 	}
 	var out []string
 	for _, r := range ra {
-		in, err := ev.HasResultValue(b, r)
+		in, err := ev.HasResultValue(ctx, b, r)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -46,14 +47,14 @@ var AblationVariantOrder = []string{"paper", "single-iter", "default"}
 // RunAblation reverse-engineers every catalog query from the same sampled
 // example-set under each Algorithm-1 variant and reports the inferred
 // query's cost, variable count and semantic correctness.
-func RunAblation(w *Workload, opts core.Options, nExplanations int, seed int64) ([]AblationRow, error) {
+func RunAblation(ctx context.Context, w *Workload, opts core.Options, nExplanations int, seed int64) ([]AblationRow, error) {
 	ev := w.Evaluator()
 	var out []AblationRow
 	for _, bq := range w.Queries {
 		// One fixed example-set per query, shared across variants.
 		rng := rand.New(rand.NewSource(seed))
 		s := sampling.New(ev, bq.Query, rng)
-		rs, err := s.Results()
+		rs, err := s.Results(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +65,7 @@ func RunAblation(w *Workload, opts core.Options, nExplanations int, seed int64) 
 		if n < 2 {
 			continue
 		}
-		exs, err := s.ExampleSet(n)
+		exs, err := s.ExampleSet(ctx, n)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +73,7 @@ func RunAblation(w *Workload, opts core.Options, nExplanations int, seed int64) 
 		for _, name := range AblationVariantOrder {
 			vopts := variants[name]
 			start := time.Now()
-			cands, _, err := core.InferTopK(exs, vopts)
+			cands, _, err := core.InferTopK(ctx, exs, vopts)
 			if err != nil {
 				return nil, err
 			}
@@ -84,7 +85,7 @@ func RunAblation(w *Workload, opts core.Options, nExplanations int, seed int64) 
 				row.Cost = cands[0].Cost
 				row.Vars = cands[0].Query.TotalVars()
 			}
-			row.Found, err = anyEquivalent(ev, cands, bq, exs)
+			row.Found, err = anyEquivalent(ctx, ev, cands, bq, exs)
 			if err != nil {
 				return nil, err
 			}

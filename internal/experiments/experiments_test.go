@@ -53,7 +53,7 @@ func TestExplanationsToInferEasyQueries(t *testing.T) {
 			}
 		}
 	}
-	rs, err := RunExplanationsToInfer(&filtered, core.DefaultOptions(), 4, 1)
+	rs, err := RunExplanationsToInfer(bg, &filtered, core.DefaultOptions(), 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestTopKTiming(t *testing.T) {
 	w := loadTest(t, "bsbm")
 	w.Queries = w.Queries[:3] // q1v0, q2v0, q3v0
 	opts := core.DefaultOptions()
-	rs, err := RunTopKTiming(w, opts, 4, 2)
+	rs, err := RunTopKTiming(bg, w, opts, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestTopKTiming(t *testing.T) {
 func TestIntermediateVsExplanationsGrows(t *testing.T) {
 	w := loadTest(t, "sp2b")
 	w.Queries = w.Queries[:1] // q2
-	pts, err := RunIntermediateVsExplanations(w, core.DefaultOptions(), []int{2, 5, 8}, 3)
+	pts, err := RunIntermediateVsExplanations(bg, w, core.DefaultOptions(), []int{2, 5, 8}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestIntermediateVsExplanationsGrows(t *testing.T) {
 func TestIntermediateVsKGrows(t *testing.T) {
 	w := loadTest(t, "bsbm")
 	w.Queries = w.Queries[4:5] // q6v0, a cheap one
-	pts, err := RunIntermediateVsK(w, core.DefaultOptions(), []int{1, 3, 6}, 5, 4)
+	pts, err := RunIntermediateVsK(bg, w, core.DefaultOptions(), []int{1, 3, 6}, 5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestIntermediateVsKGrows(t *testing.T) {
 func TestRunTableI(t *testing.T) {
 	w := loadTest(t, "dbpedia")
 	w.Queries = w.Queries[:4] // basic queries for speed
-	rows, err := RunTableI(w, core.DefaultOptions(), 4, 5)
+	rows, err := RunTableI(bg, w, core.DefaultOptions(), 4, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestRunTableI(t *testing.T) {
 func TestRunFeedbackConvergence(t *testing.T) {
 	w := loadTest(t, "dbpedia")
 	w.Queries = w.Queries[:3]
-	rs, err := RunFeedbackConvergence(w, core.DefaultOptions(), 3, 6)
+	rs, err := RunFeedbackConvergence(bg, w, core.DefaultOptions(), 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestRunUserStudySmall(t *testing.T) {
 	w := loadTest(t, "dbpedia")
 	cfg := DefaultStudyConfig()
 	cfg.Users = 3 // 12 interactions to stay fast
-	its, err := RunUserStudy(w, core.DefaultOptions(), cfg)
+	its, err := RunUserStudy(bg, w, core.DefaultOptions(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestRunUserStudySmall(t *testing.T) {
 func TestRunRobustness(t *testing.T) {
 	w := loadTest(t, "dbpedia")
 	w.Queries = w.Queries[:3]
-	rows, err := RunRobustness(w, core.DefaultOptions(), 4, 7)
+	rows, err := RunRobustness(bg, w, core.DefaultOptions(), 4, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestRunRobustness(t *testing.T) {
 func TestRunAblation(t *testing.T) {
 	w := loadTest(t, "sp2b")
 	w.Queries = w.Queries[:2]
-	rows, err := RunAblation(w, core.DefaultOptions(), 3, 9)
+	rows, err := RunAblation(bg, w, core.DefaultOptions(), 3, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestRunAblation(t *testing.T) {
 func TestRunExplanationsToInferRepeated(t *testing.T) {
 	w := loadTest(t, "bsbm")
 	w.Queries = w.Queries[:2]
-	rs, err := RunExplanationsToInferRepeated(w, core.DefaultOptions(), 4, 3, 11)
+	rs, err := RunExplanationsToInferRepeated(bg, w, core.DefaultOptions(), 4, 3, 11)
 	if err != nil {
 		t.Fatal(err)
 	}

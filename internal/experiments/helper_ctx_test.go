@@ -1,0 +1,6 @@
+package experiments
+
+import "context"
+
+// bg is the tests' root context; cancellation behavior has dedicated tests.
+var bg = context.Background()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"time"
@@ -17,21 +18,21 @@ import (
 // ("the inferred query has the same semantics"). Candidates so unselective
 // that they exhaust the evaluator's search budget are treated as
 // non-equivalent rather than failing the experiment.
-func equalResults(ev *eval.Evaluator, a, b *query.Union) (bool, error) {
-	rb, err := ev.Results(b)
+func equalResults(ctx context.Context, ev *eval.Evaluator, a, b *query.Union) (bool, error) {
+	rb, err := ev.Results(ctx, b)
 	if errors.Is(err, eval.ErrBudget) {
 		return false, nil
 	}
 	if err != nil {
 		return false, err
 	}
-	return resultsMatch(ev, a, rb)
+	return resultsMatch(ctx, ev, a, rb)
 }
 
 // resultsMatch compares a query's result set against a precomputed sorted
 // result list, avoiding the repeated target evaluations of equalResults.
-func resultsMatch(ev *eval.Evaluator, a *query.Union, want []string) (bool, error) {
-	ra, err := ev.Results(a)
+func resultsMatch(ctx context.Context, ev *eval.Evaluator, a *query.Union, want []string) (bool, error) {
+	ra, err := ev.Results(ctx, a)
 	if errors.Is(err, eval.ErrBudget) {
 		return false, nil
 	}
@@ -66,20 +67,20 @@ type InferOutcome struct {
 // inferOnce samples n explanations for the target and runs top-k inference.
 // When the target has fewer than n results the sample is capped at the
 // result count (reproduction needs at least two explanations).
-func inferOnce(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.Options, rng *rand.Rand) (*InferOutcome, error) {
-	return inferAttempt(ev, bq, n, opts, rng, true)
+func inferOnce(ctx context.Context, ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.Options, rng *rand.Rand) (*InferOutcome, error) {
+	return inferAttempt(ctx, ev, bq, n, opts, rng, true)
 }
 
 // inferStats is inferOnce without the equivalence check — the Figure 6
 // sweeps only need the Algorithm-1 call counts, and evaluating every
 // candidate of a 14-explanation merge can be arbitrarily expensive.
-func inferStats(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.Options, rng *rand.Rand) (*InferOutcome, error) {
-	return inferAttempt(ev, bq, n, opts, rng, false)
+func inferStats(ctx context.Context, ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.Options, rng *rand.Rand) (*InferOutcome, error) {
+	return inferAttempt(ctx, ev, bq, n, opts, rng, false)
 }
 
-func inferAttempt(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.Options, rng *rand.Rand, checkMatch bool) (*InferOutcome, error) {
+func inferAttempt(ctx context.Context, ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.Options, rng *rand.Rand, checkMatch bool) (*InferOutcome, error) {
 	s := sampling.New(ev, bq.Query, rng)
-	rs, err := s.Results()
+	rs, err := s.Results(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -89,12 +90,12 @@ func inferAttempt(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.O
 	if n > len(rs) {
 		n = len(rs)
 	}
-	exs, err := s.ExampleSet(n)
+	exs, err := s.ExampleSet(ctx, n)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	cands, stats, err := core.InferTopK(exs, opts)
+	cands, stats, err := core.InferTopK(ctx, exs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -107,17 +108,17 @@ func inferAttempt(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.O
 		// The benchmark targets may carry disequalities; candidates gain
 		// theirs from the example-set before comparison. The target's
 		// result set rs is reused across all comparisons.
-		withD, err := core.WithDiseqsUnion(c.Query, exs)
+		withD, err := core.WithDiseqsUnion(ctx, c.Query, exs)
 		if err != nil {
 			return nil, err
 		}
-		eq, err := resultsMatch(ev, withD, rs)
+		eq, err := resultsMatch(ctx, ev, withD, rs)
 		if err != nil {
 			return nil, err
 		}
 		if !eq {
 			// The relaxed form may be the equivalent one.
-			eq, err = resultsMatch(ev, c.Query, rs)
+			eq, err = resultsMatch(ctx, ev, c.Query, rs)
 			if err != nil {
 				return nil, err
 			}
@@ -125,7 +126,7 @@ func inferAttempt(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.O
 		if !eq {
 			// Or a form with one disequality dropped — what a single
 			// relaxation question (Section V) would reach.
-			eq, err = equalAfterSingleRelaxation(ev, withD, rs)
+			eq, err = equalAfterSingleRelaxation(ctx, ev, withD, rs)
 			if err != nil {
 				return nil, err
 			}
@@ -141,7 +142,7 @@ func inferAttempt(ev *eval.Evaluator, bq workload.BenchQuery, n int, opts core.O
 // equalAfterSingleRelaxation tries dropping each single disequality of a
 // one-branch candidate and reports whether some relaxation matches the
 // target's (precomputed) result set.
-func equalAfterSingleRelaxation(ev *eval.Evaluator, cand *query.Union, want []string) (bool, error) {
+func equalAfterSingleRelaxation(ctx context.Context, ev *eval.Evaluator, cand *query.Union, want []string) (bool, error) {
 	if cand.Size() != 1 {
 		return false, nil
 	}
@@ -157,7 +158,7 @@ func equalAfterSingleRelaxation(ev *eval.Evaluator, cand *query.Union, want []st
 				subset = append(subset, d)
 			}
 		}
-		eq, err := resultsMatch(ev, query.NewUnion(b.WithDiseqs(subset)), want)
+		eq, err := resultsMatch(ctx, ev, query.NewUnion(b.WithDiseqs(subset)), want)
 		if err != nil {
 			return false, err
 		}
@@ -183,14 +184,14 @@ type InferReport struct {
 // RunExplanationsToInfer reproduces experiment E1: for every catalog query,
 // grow the example-set from 2 explanations up to maxExplanations until the
 // inferred top-k contains a query with the target's semantics.
-func RunExplanationsToInfer(w *Workload, opts core.Options, maxExplanations int, seed int64) ([]InferReport, error) {
+func RunExplanationsToInfer(ctx context.Context, w *Workload, opts core.Options, maxExplanations int, seed int64) ([]InferReport, error) {
 	ev := w.Evaluator()
 	var out []InferReport
 	for _, bq := range w.Queries {
 		rng := rand.New(rand.NewSource(seed))
 		report := InferReport{Workload: w.Name, Query: bq.Name}
 		for n := 2; n <= maxExplanations; n++ {
-			res, err := inferOnce(ev, bq, n, opts, rng)
+			res, err := inferOnce(ctx, ev, bq, n, opts, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -221,12 +222,12 @@ type TimingReport struct {
 // RunTopKTiming reproduces the execution-time paragraph of Section VI-B:
 // top-k inference (k fixed by opts.K, 7 explanations in the paper) timed
 // per query.
-func RunTopKTiming(w *Workload, opts core.Options, nExplanations int, seed int64) ([]TimingReport, error) {
+func RunTopKTiming(ctx context.Context, w *Workload, opts core.Options, nExplanations int, seed int64) ([]TimingReport, error) {
 	ev := w.Evaluator()
 	var out []TimingReport
 	for _, bq := range w.Queries {
 		rng := rand.New(rand.NewSource(seed))
-		res, err := inferOnce(ev, bq, nExplanations, opts, rng)
+		res, err := inferOnce(ctx, ev, bq, nExplanations, opts, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -254,13 +255,13 @@ type SweepPoint struct {
 // RunIntermediateVsExplanations reproduces Figures 6a/6b: the number of
 // intermediate queries Algorithm 2 considers as the example-set grows, at
 // fixed k (the paper fixes k = 5).
-func RunIntermediateVsExplanations(w *Workload, opts core.Options, sizes []int, seed int64) ([]SweepPoint, error) {
+func RunIntermediateVsExplanations(ctx context.Context, w *Workload, opts core.Options, sizes []int, seed int64) ([]SweepPoint, error) {
 	ev := w.Evaluator()
 	var out []SweepPoint
 	for _, bq := range w.Queries {
 		rng := rand.New(rand.NewSource(seed))
 		for _, n := range sizes {
-			res, err := inferStats(ev, bq, n, opts, rng)
+			res, err := inferStats(ctx, ev, bq, n, opts, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -276,7 +277,7 @@ func RunIntermediateVsExplanations(w *Workload, opts core.Options, sizes []int, 
 // RunIntermediateVsK reproduces Figures 6c/6d: the number of intermediate
 // queries as k grows, at a fixed example-set size (7 for SP2B, 10 for BSBM
 // in the paper).
-func RunIntermediateVsK(w *Workload, opts core.Options, ks []int, nExplanations int, seed int64) ([]SweepPoint, error) {
+func RunIntermediateVsK(ctx context.Context, w *Workload, opts core.Options, ks []int, nExplanations int, seed int64) ([]SweepPoint, error) {
 	ev := w.Evaluator()
 	var out []SweepPoint
 	for _, bq := range w.Queries {
@@ -284,7 +285,7 @@ func RunIntermediateVsK(w *Workload, opts core.Options, ks []int, nExplanations 
 			o := opts
 			o.K = k
 			rng := rand.New(rand.NewSource(seed))
-			res, err := inferStats(ev, bq, nExplanations, o, rng)
+			res, err := inferStats(ctx, ev, bq, nExplanations, o, rng)
 			if err != nil {
 				return nil, err
 			}

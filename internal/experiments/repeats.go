@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -26,7 +27,7 @@ type RepeatedInferReport struct {
 
 // RunExplanationsToInferRepeated runs E1 `repeats` times with distinct
 // seeds and reports the distribution of explanations needed per query.
-func RunExplanationsToInferRepeated(w *Workload, opts core.Options, maxExplanations, repeats int, seed int64) ([]RepeatedInferReport, error) {
+func RunExplanationsToInferRepeated(ctx context.Context, w *Workload, opts core.Options, maxExplanations, repeats int, seed int64) ([]RepeatedInferReport, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -39,7 +40,7 @@ func RunExplanationsToInferRepeated(w *Workload, opts core.Options, maxExplanati
 		for r := 0; r < repeats; r++ {
 			rng := rand.New(rand.NewSource(seed + int64(r)))
 			for n := 2; n <= maxExplanations; n++ {
-				res, err := inferOnce(ev, bq, n, opts, rng)
+				res, err := inferOnce(ctx, ev, bq, n, opts, rng)
 				if err != nil {
 					return nil, err
 				}

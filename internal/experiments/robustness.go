@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -29,7 +30,7 @@ type RobustnessRow struct {
 // RunRobustness corrupts one explanation per example-set (using the
 // simulated-user error machinery) and reports whether plain and robust
 // inference still recover the target's semantics.
-func RunRobustness(w *Workload, opts core.Options, nExplanations int, seed int64) ([]RobustnessRow, error) {
+func RunRobustness(ctx context.Context, w *Workload, opts core.Options, nExplanations int, seed int64) ([]RobustnessRow, error) {
 	ev := w.Evaluator()
 	modes := []feedback.ErrorMode{feedback.WrongRelation, feedback.IncompleteExplanation}
 	var out []RobustnessRow
@@ -37,28 +38,28 @@ func RunRobustness(w *Workload, opts core.Options, nExplanations int, seed int64
 		for _, mode := range modes {
 			rng := rand.New(rand.NewSource(seed))
 			user := &feedback.SimulatedUser{Ev: ev, Target: bq.Query, Rng: rng}
-			exs, err := user.FormulateExamples(nExplanations, mode)
+			exs, err := user.FormulateExamples(ctx, nExplanations, mode)
 			if err != nil {
 				return nil, err
 			}
 			row := RobustnessRow{Workload: w.Name, Query: bq.Name, ErrorMode: mode}
 			start := time.Now()
 
-			plain, _, err := core.InferTopK(exs, opts)
+			plain, _, err := core.InferTopK(ctx, exs, opts)
 			if err != nil {
 				return nil, err
 			}
-			row.PlainOK, err = anyEquivalent(ev, plain, bq, exs)
+			row.PlainOK, err = anyEquivalent(ctx, ev, plain, bq, exs)
 			if err != nil {
 				return nil, err
 			}
 
-			robust, dropped, _, err := core.InferRobust(exs, opts, core.DefaultOutlierOptions())
+			robust, dropped, _, err := core.InferRobust(ctx, exs, opts, core.DefaultOutlierOptions())
 			if err != nil {
 				return nil, err
 			}
 			row.Dropped = len(dropped)
-			row.RobustOK, err = anyEquivalent(ev, robust, bq, exs)
+			row.RobustOK, err = anyEquivalent(ctx, ev, robust, bq, exs)
 			if err != nil {
 				return nil, err
 			}
@@ -71,28 +72,28 @@ func RunRobustness(w *Workload, opts core.Options, nExplanations int, seed int64
 
 // anyEquivalent reports whether any candidate (as inferred, with inferred
 // disequalities, or after one relaxation) matches the target's semantics.
-func anyEquivalent(ev *eval.Evaluator, cands []core.Candidate, bq workload.BenchQuery, exs provenance.ExampleSet) (bool, error) {
-	want, err := ev.Results(bq.Query)
+func anyEquivalent(ctx context.Context, ev *eval.Evaluator, cands []core.Candidate, bq workload.BenchQuery, exs provenance.ExampleSet) (bool, error) {
+	want, err := ev.Results(ctx, bq.Query)
 	if err != nil {
 		return false, err
 	}
 	for _, c := range cands {
-		withD, err := core.WithDiseqsUnion(c.Query, exs)
+		withD, err := core.WithDiseqsUnion(ctx, c.Query, exs)
 		if err != nil {
 			return false, err
 		}
-		eq, err := resultsMatch(ev, withD, want)
+		eq, err := resultsMatch(ctx, ev, withD, want)
 		if err != nil {
 			return false, err
 		}
 		if !eq {
-			eq, err = resultsMatch(ev, c.Query, want)
+			eq, err = resultsMatch(ctx, ev, c.Query, want)
 			if err != nil {
 				return false, err
 			}
 		}
 		if !eq {
-			eq, err = equalAfterSingleRelaxation(ev, withD, want)
+			eq, err = equalAfterSingleRelaxation(ctx, ev, withD, want)
 			if err != nil {
 				return false, err
 			}

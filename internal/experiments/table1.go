@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -27,7 +28,7 @@ type TableIRow struct {
 // examples sampled as a correct user would give them, top-k inference, and
 // semantic comparison, growing the example-set until success or the budget
 // runs out.
-func RunTableI(w *Workload, opts core.Options, maxExplanations int, seed int64) ([]TableIRow, error) {
+func RunTableI(ctx context.Context, w *Workload, opts core.Options, maxExplanations int, seed int64) ([]TableIRow, error) {
 	ev := w.Evaluator()
 	var out []TableIRow
 	for _, bq := range w.Queries {
@@ -36,14 +37,14 @@ func RunTableI(w *Workload, opts core.Options, maxExplanations int, seed int64) 
 			Description: bq.Description,
 			SPARQL:      bq.Query.SPARQL(),
 		}
-		rs, err := ev.Results(bq.Query)
+		rs, err := ev.Results(ctx, bq.Query)
 		if err != nil {
 			return nil, err
 		}
 		row.Results = len(rs)
 		rng := rand.New(rand.NewSource(seed))
 		for n := 2; n <= maxExplanations && n <= len(rs); n++ {
-			res, err := inferOnce(ev, bq, n, opts, rng)
+			res, err := inferOnce(ctx, ev, bq, n, opts, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -74,13 +75,13 @@ type FeedbackReport struct {
 // RunFeedbackConvergence reproduces the Section V workflow per benchmark
 // query: sample explanations, infer top-k candidates, run the feedback loop
 // with an exact oracle, and check the chosen query's semantics.
-func RunFeedbackConvergence(w *Workload, opts core.Options, nExplanations int, seed int64) ([]FeedbackReport, error) {
+func RunFeedbackConvergence(ctx context.Context, w *Workload, opts core.Options, nExplanations int, seed int64) ([]FeedbackReport, error) {
 	ev := w.Evaluator()
 	var out []FeedbackReport
 	for _, bq := range w.Queries {
 		rng := rand.New(rand.NewSource(seed))
 		start := time.Now()
-		res, err := inferOnce(ev, bq, nExplanations, opts, rng)
+		res, err := inferOnce(ctx, ev, bq, nExplanations, opts, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +92,7 @@ func RunFeedbackConvergence(w *Workload, opts core.Options, nExplanations int, s
 				unions[i] = c.Query
 			}
 			s := sampling.New(ev, bq.Query, rng)
-			rs, err := s.Results()
+			rs, err := s.Results(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +100,7 @@ func RunFeedbackConvergence(w *Workload, opts core.Options, nExplanations int, s
 			if n > len(rs) {
 				n = len(rs) // reproduction needs at most one per result
 			}
-			exs, err := s.ExampleSet(n)
+			exs, err := s.ExampleSet(ctx, n)
 			if err != nil {
 				return nil, err
 			}
@@ -109,30 +110,30 @@ func RunFeedbackConvergence(w *Workload, opts core.Options, nExplanations int, s
 				Ex:           exs,
 				MaxQuestions: 12,
 			}
-			idx, tr, err := session.ChooseQuery(unions)
+			idx, tr, err := session.ChooseQuery(ctx, unions)
 			if err != nil {
 				return nil, err
 			}
 			report.Questions = len(tr.Questions)
-			eq, err := equalResults(ev, unions[idx], bq.Query)
+			eq, err := equalResults(ctx, ev, unions[idx], bq.Query)
 			if err != nil {
 				return nil, err
 			}
 			if !eq {
-				withD, err := core.WithDiseqsUnion(unions[idx], exs)
+				withD, err := core.WithDiseqsUnion(ctx, unions[idx], exs)
 				if err != nil {
 					return nil, err
 				}
 				// Section V's final step: relax disequalities interactively.
 				if withD.Size() == 1 && withD.Branch(0).NumDiseqs() > 0 {
-					refined, tr2, err := session.RefineDiseqs(withD.Branch(0))
+					refined, tr2, err := session.RefineDiseqs(ctx, withD.Branch(0))
 					if err != nil {
 						return nil, err
 					}
 					report.Questions += len(tr2.Questions)
 					withD = query.NewUnion(refined)
 				}
-				eq, err = equalResults(ev, withD, bq.Query)
+				eq, err = equalResults(ctx, ev, withD, bq.Query)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -89,7 +90,7 @@ var errorModes = []feedback.ErrorMode{
 // candidates, the feedback loop picks one, and the outcome is judged by
 // extensional equivalence with the target. Recoverable first failures are
 // redone once without the error (the paper's redo interactions).
-func RunUserStudy(w *Workload, opts core.Options, cfg StudyConfig) ([]Interaction, error) {
+func RunUserStudy(ctx context.Context, w *Workload, opts core.Options, cfg StudyConfig) ([]Interaction, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ev := w.Evaluator()
 	basic, challenge := splitCatalog(w.Queries)
@@ -107,7 +108,7 @@ func RunUserStudy(w *Workload, opts core.Options, cfg StudyConfig) ([]Interactio
 			it := Interaction{User: user, Query: bq.Name, ErrorMode: mode}
 			start := time.Now()
 
-			ok, questions, err := runInteraction(w, ev, bq, opts, cfg.Examples, mode, rng)
+			ok, questions, err := runInteraction(ctx, w, ev, bq, opts, cfg.Examples, mode, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +125,7 @@ func RunUserStudy(w *Workload, opts core.Options, cfg StudyConfig) ([]Interactio
 				// paper's redone-and-successful interactions); the rest do
 				// not recover — they misunderstood the query or the UI.
 				if rng.Float64() < 0.5 {
-					ok2, q2, err := runInteraction(w, ev, bq, opts, cfg.Examples, feedback.NoError, rng)
+					ok2, q2, err := runInteraction(ctx, w, ev, bq, opts, cfg.Examples, feedback.NoError, rng)
 					if err != nil {
 						return nil, err
 					}
@@ -150,16 +151,16 @@ func RunUserStudy(w *Workload, opts core.Options, cfg StudyConfig) ([]Interactio
 // an error mode is also confused when answering feedback questions — the
 // mistakes the paper observed were misunderstandings of the query or the
 // UI, not slips limited to the formulation step.
-func runInteraction(w *Workload, ev *eval.Evaluator, bq workload.BenchQuery, opts core.Options, nExamples int, mode feedback.ErrorMode, rng *rand.Rand) (bool, int, error) {
+func runInteraction(ctx context.Context, w *Workload, ev *eval.Evaluator, bq workload.BenchQuery, opts core.Options, nExamples int, mode feedback.ErrorMode, rng *rand.Rand) (bool, int, error) {
 	user := &feedback.SimulatedUser{Ev: ev, Target: bq.Query, Rng: rng}
 	if mode != feedback.NoError {
 		user.Confusion = 0.5
 	}
-	exs, err := user.FormulateExamples(nExamples, mode)
+	exs, err := user.FormulateExamples(ctx, nExamples, mode)
 	if err != nil {
 		return false, 0, err
 	}
-	cands, _, err := core.InferTopK(exs, opts)
+	cands, _, err := core.InferTopK(ctx, exs, opts)
 	if err != nil {
 		return false, 0, err
 	}
@@ -171,31 +172,31 @@ func runInteraction(w *Workload, ev *eval.Evaluator, bq workload.BenchQuery, opt
 		unions[i] = c.Query
 	}
 	session := &feedback.Session{Ev: ev, Oracle: user, Ex: exs, MaxQuestions: 12}
-	idx, tr, err := session.ChooseQuery(unions)
+	idx, tr, err := session.ChooseQuery(ctx, unions)
 	if err != nil {
 		return false, 0, err
 	}
 	questions := len(tr.Questions)
-	chosen, err := core.WithDiseqsUnion(unions[idx], exs)
+	chosen, err := core.WithDiseqsUnion(ctx, unions[idx], exs)
 	if err != nil {
 		return false, 0, err
 	}
 	// Section V's final step: relax the inferred disequalities through the
 	// user (the paper's fix for "incorrect disequalities").
 	if chosen.Size() == 1 && chosen.Branch(0).NumDiseqs() > 0 {
-		refined, tr2, err := session.RefineDiseqs(chosen.Branch(0))
+		refined, tr2, err := session.RefineDiseqs(ctx, chosen.Branch(0))
 		if err != nil {
 			return false, 0, err
 		}
 		questions += len(tr2.Questions)
 		chosen = query.NewUnion(refined)
 	}
-	eq, err := equalResults(ev, chosen, bq.Query)
+	eq, err := equalResults(ctx, ev, chosen, bq.Query)
 	if err != nil {
 		return false, 0, err
 	}
 	if !eq {
-		eq, err = equalResults(ev, unions[idx], bq.Query)
+		eq, err = equalResults(ctx, ev, unions[idx], bq.Query)
 		if err != nil {
 			return false, 0, err
 		}

@@ -1,6 +1,7 @@
 package feedback
 
 import (
+	"context"
 	"fmt"
 
 	"questpro/internal/query"
@@ -14,8 +15,10 @@ import (
 // results are wanted) commits the removal; a "no" marks every removed
 // constraint as approved — it stays in the final query and is never asked
 // about again (the paper's memoization). When single removals cannot be
-// distinguished, pairs are tried, then triples, and so on.
-func (s *Session) RefineDiseqs(q *query.Simple) (*query.Simple, *Transcript, error) {
+// distinguished, pairs are tried, then triples, and so on. Exhausting
+// MaxQuestions here is not an error: the current constraint set is a valid
+// final query, just less relaxed than an unbounded dialogue might reach.
+func (s *Session) RefineDiseqs(ctx context.Context, q *query.Simple) (*query.Simple, *Transcript, error) {
 	if q == nil {
 		return nil, nil, fmt.Errorf("feedback: nil query")
 	}
@@ -42,18 +45,18 @@ func (s *Session) RefineDiseqs(q *query.Simple) (*query.Simple, *Transcript, err
 				relaxed := without(current, drop)
 				qi := query.NewUnion(q.WithDiseqs(relaxed))
 				qj := query.NewUnion(q.WithDiseqs(current))
-				diff, err := s.Ev.Difference(qi, qj)
+				diff, err := s.Ev.Difference(ctx, qi, qj)
 				if err != nil {
 					return nil, nil, err
 				}
 				if len(diff) == 0 {
 					continue
 				}
-				res, err := s.Ev.BindAndExplain(qi, diff[0])
+				res, err := s.Ev.BindAndExplain(ctx, qi, diff[0])
 				if err != nil {
 					return nil, nil, err
 				}
-				ans, err := s.Oracle.ShouldInclude(res)
+				ans, err := s.Oracle.ShouldInclude(ctx, res)
 				if err != nil {
 					return nil, nil, err
 				}

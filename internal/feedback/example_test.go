@@ -27,7 +27,7 @@ func ExampleSession_ChooseQuery() {
 		query.NewUnion(paperfix.Q1()), // broader: any Erdős-number-3-ish chain
 		target,
 	}
-	idx, tr, err := session.ChooseQuery(candidates)
+	idx, tr, err := session.ChooseQuery(bg, candidates)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,20 +5,24 @@
 package feedback
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"questpro/internal/core"
 	"questpro/internal/eval"
 	"questpro/internal/provenance"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
 // Oracle abstracts the user: given a result of a difference query and its
 // provenance with respect to the candidate that produced it, should the
-// result (with that rationale) be part of the intended query's output?
+// result (with that rationale) be part of the intended query's output? The
+// context covers one question; oracles backed by a remote user (the service)
+// block on it and must return its error when it is canceled.
 type Oracle interface {
-	ShouldInclude(res *eval.ResultWithProvenance) (bool, error)
+	ShouldInclude(ctx context.Context, res *eval.ResultWithProvenance) (bool, error)
 }
 
 // ExactOracle answers membership questions according to a known target
@@ -29,8 +33,8 @@ type ExactOracle struct {
 }
 
 // ShouldInclude reports whether the value is a result of the target query.
-func (o *ExactOracle) ShouldInclude(res *eval.ResultWithProvenance) (bool, error) {
-	return o.Ev.HasResultValue(o.Target, res.Value)
+func (o *ExactOracle) ShouldInclude(ctx context.Context, res *eval.ResultWithProvenance) (bool, error) {
+	return o.Ev.HasResultValue(ctx, o.Target, res.Value)
 }
 
 // Question records one interaction of the feedback loop.
@@ -66,7 +70,12 @@ type Session struct {
 // Pairs that cannot be distinguished in either direction leave the
 // lower-indexed candidate in place. The returned index refers to the input
 // slice.
-func (s *Session) ChooseQuery(cands []*query.Union) (int, *Transcript, error) {
+//
+// When MaxQuestions questions have been asked and more than one candidate
+// remains, the leading candidate's index and the transcript are returned
+// together with an error matching qerr.ErrMaxQuestions, so callers can
+// distinguish a converged answer from a budget-truncated one.
+func (s *Session) ChooseQuery(ctx context.Context, cands []*query.Union) (int, *Transcript, error) {
 	if len(cands) == 0 {
 		return -1, nil, fmt.Errorf("feedback: no candidates")
 	}
@@ -78,7 +87,7 @@ func (s *Session) ChooseQuery(cands []*query.Union) (int, *Transcript, error) {
 	// Precompute the Q^all form of every candidate.
 	all := make([]*query.Union, len(cands))
 	for i, c := range cands {
-		a, err := core.WithDiseqsUnion(c, s.Ex)
+		a, err := core.WithDiseqsUnion(ctx, c, s.Ex)
 		if err != nil {
 			return -1, nil, err
 		}
@@ -87,16 +96,18 @@ func (s *Session) ChooseQuery(cands []*query.Union) (int, *Transcript, error) {
 
 	for len(remaining) > 1 {
 		if s.MaxQuestions > 0 && len(tr.Questions) >= s.MaxQuestions {
-			break
+			return remaining[0], tr, fmt.Errorf(
+				"feedback: %d candidates undecided after %d questions: %w",
+				len(remaining), len(tr.Questions), qerr.ErrMaxQuestions)
 		}
 		i, j := remaining[0], remaining[1]
-		verdict, q, err := s.distinguish(all[i], cands[j].WithoutDiseqs(), i, j)
+		verdict, q, err := s.distinguish(ctx, all[i], cands[j].WithoutDiseqs(), i, j)
 		if err != nil {
 			return -1, nil, err
 		}
 		if verdict == verdictUndecided {
 			// Try the reversed difference (Example 5.5's second step).
-			verdict, q, err = s.distinguish(all[j], cands[i].WithoutDiseqs(), j, i)
+			verdict, q, err = s.distinguish(ctx, all[j], cands[i].WithoutDiseqs(), j, i)
 			if err != nil {
 				return -1, nil, err
 			}
@@ -126,8 +137,8 @@ const (
 // verdictUndecided when the difference is empty, or when evaluating it
 // exhausts the search budget (a hopelessly unselective candidate cannot be
 // used to pose a question).
-func (s *Session) distinguish(keepAll, dropNo *query.Union, keepIdx, dropIdx int) (verdict, *Question, error) {
-	diff, err := s.Ev.Difference(keepAll, dropNo)
+func (s *Session) distinguish(ctx context.Context, keepAll, dropNo *query.Union, keepIdx, dropIdx int) (verdict, *Question, error) {
+	diff, err := s.Ev.Difference(ctx, keepAll, dropNo)
 	if errors.Is(err, eval.ErrBudget) {
 		return verdictUndecided, nil, nil
 	}
@@ -138,11 +149,11 @@ func (s *Session) distinguish(keepAll, dropNo *query.Union, keepIdx, dropIdx int
 		return verdictUndecided, nil, nil
 	}
 	// SampleRand of Algorithm 3, made deterministic: take the first result.
-	res, err := s.Ev.BindAndExplain(keepAll, diff[0])
+	res, err := s.Ev.BindAndExplain(ctx, keepAll, diff[0])
 	if err != nil {
 		return verdictUndecided, nil, err
 	}
-	ans, err := s.Oracle.ShouldInclude(res)
+	ans, err := s.Oracle.ShouldInclude(ctx, res)
 	if err != nil {
 		return verdictUndecided, nil, err
 	}

@@ -1,6 +1,7 @@
 package feedback_test
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"questpro/internal/eval"
 	"questpro/internal/feedback"
 	"questpro/internal/paperfix"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
@@ -35,7 +37,7 @@ func TestChooseQueryPrefersTarget(t *testing.T) {
 		query.NewUnion(paperfix.Q1()),
 		target,
 	}
-	idx, tr, err := s.ChooseQuery(cands)
+	idx, tr, err := s.ChooseQuery(bg, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func TestChooseQueryOtherDirection(t *testing.T) {
 		query.NewUnion(paperfix.Q1()),
 		query.NewUnion(paperfix.Q3(), paperfix.Q4()),
 	}
-	idx, tr, err := s.ChooseQuery(cands)
+	idx, tr, err := s.ChooseQuery(bg, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestChooseQueryThreeCandidates(t *testing.T) {
 		query.NewUnion(paperfix.Q3(), paperfix.Q4()),
 		query.NewUnion(paperfix.Q4(), ge(0), ge(2)),
 	}
-	idx, tr, err := s.ChooseQuery(cands)
+	idx, tr, err := s.ChooseQuery(bg, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,11 +101,11 @@ func TestChooseQueryThreeCandidates(t *testing.T) {
 		t.Fatalf("asked %d questions for 3 candidates", len(tr.Questions))
 	}
 	// The chosen query must be extensionally correct.
-	got, err := s.Ev.Results(cands[idx])
+	got, err := s.Ev.Results(bg, cands[idx])
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := s.Ev.Results(target)
+	want, err := s.Ev.Results(bg, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +123,7 @@ func TestChooseQueryUndistinguished(t *testing.T) {
 		query.NewUnion(paperfix.Q1()),
 		query.NewUnion(paperfix.Q1().Clone()),
 	}
-	idx, tr, err := s.ChooseQuery(cands)
+	idx, tr, err := s.ChooseQuery(bg, cands)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +134,7 @@ func TestChooseQueryUndistinguished(t *testing.T) {
 
 func TestChooseQueryEmpty(t *testing.T) {
 	s, _ := session(t, query.NewUnion(paperfix.Q1()))
-	if _, _, err := s.ChooseQuery(nil); err == nil {
+	if _, _, err := s.ChooseQuery(bg, nil); err == nil {
 		t.Fatal("empty candidate set accepted")
 	}
 }
@@ -146,9 +148,12 @@ func TestChooseQueryMaxQuestions(t *testing.T) {
 		query.NewUnion(paperfix.Q3()),
 		query.NewUnion(paperfix.Q4()),
 	}
-	_, tr, err := s.ChooseQuery(cands)
-	if err != nil {
-		t.Fatal(err)
+	idx, tr, err := s.ChooseQuery(bg, cands)
+	if !errors.Is(err, qerr.ErrMaxQuestions) {
+		t.Fatalf("want ErrMaxQuestions, got %v", err)
+	}
+	if idx < 0 || idx >= len(cands) {
+		t.Fatalf("leading candidate index %d out of range", idx)
 	}
 	if len(tr.Questions) > 1 {
 		t.Fatalf("asked %d questions despite MaxQuestions=1", len(tr.Questions))
@@ -182,7 +187,7 @@ func TestRefineDiseqs(t *testing.T) {
 	wantBob.SetProjected(x)
 
 	s, _ := session(t, query.NewUnion(wantBob))
-	out, tr, err := s.RefineDiseqs(buildDiseqProbe(t))
+	out, tr, err := s.RefineDiseqs(bg, buildDiseqProbe(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +200,7 @@ func TestRefineDiseqs(t *testing.T) {
 
 	// Target excludes Bob: the probe itself.
 	s2, _ := session(t, query.NewUnion(buildDiseqProbe(t)))
-	out2, tr2, err := s2.RefineDiseqs(buildDiseqProbe(t))
+	out2, tr2, err := s2.RefineDiseqs(bg, buildDiseqProbe(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +214,7 @@ func TestRefineDiseqs(t *testing.T) {
 
 func TestRefineDiseqsNoConstraints(t *testing.T) {
 	s, _ := session(t, query.NewUnion(paperfix.Q1()))
-	out, tr, err := s.RefineDiseqs(paperfix.Q1())
+	out, tr, err := s.RefineDiseqs(bg, paperfix.Q1())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +232,7 @@ func TestSimulatedUserModes(t *testing.T) {
 		feedback.ForgottenExplanation, feedback.OverSpecific, feedback.UIConfusion,
 	} {
 		u := &feedback.SimulatedUser{Ev: ev, Target: target, Rng: rand.New(rand.NewSource(11))}
-		exs, err := u.FormulateExamples(3, mode)
+		exs, err := u.FormulateExamples(bg, 3, mode)
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
@@ -263,12 +268,12 @@ func TestEndToEndPipeline(t *testing.T) {
 	target := query.NewUnion(paperfix.Q3())
 	u := &feedback.SimulatedUser{Ev: ev, Target: target, Rng: rand.New(rand.NewSource(3))}
 
-	exs, err := u.FormulateExamples(2, feedback.NoError)
+	exs, err := u.FormulateExamples(bg, 2, feedback.NoError)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := core.DefaultOptions()
-	cands, _, err := core.InferTopK(exs, opts)
+	cands, _, err := core.InferTopK(bg, exs, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,15 +285,15 @@ func TestEndToEndPipeline(t *testing.T) {
 		unions[i] = c.Query
 	}
 	s := &feedback.Session{Ev: ev, Oracle: u, Ex: exs}
-	idx, _, err := s.ChooseQuery(unions)
+	idx, _, err := s.ChooseQuery(bg, unions)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ev.Results(unions[idx])
+	got, err := ev.Results(bg, unions[idx])
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ev.Results(target)
+	want, err := ev.Results(bg, target)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,15 +335,15 @@ func TestFeedbackNeverEliminatesTarget(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
 		s := &feedback.Session{Ev: ev, Oracle: &feedback.ExactOracle{Ev: ev, Target: target}, Ex: exs}
-		idx, _, err := s.ChooseQuery(cands)
+		idx, _, err := s.ChooseQuery(bg, cands)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := ev.Results(cands[idx])
+		got, err := ev.Results(bg, cands[idx])
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := ev.Results(target)
+		want, err := ev.Results(bg, target)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -43,7 +43,7 @@ func TestRefineDiseqsPartialRelaxation(t *testing.T) {
 	}
 
 	s, ev := session(t, query.NewUnion(intended))
-	out, tr, err := s.RefineDiseqs(twoDiseqProbe(t))
+	out, tr, err := s.RefineDiseqs(bg, twoDiseqProbe(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +56,11 @@ func TestRefineDiseqsPartialRelaxation(t *testing.T) {
 	if len(tr.Questions) == 0 {
 		t.Fatal("no questions asked")
 	}
-	got, err := ev.Results(query.NewUnion(out))
+	got, err := ev.Results(bg, query.NewUnion(out))
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ev.Results(query.NewUnion(intended))
+	want, err := ev.Results(bg, query.NewUnion(intended))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestRefineDiseqsMultiRemoval(t *testing.T) {
 		Ev:     ev,
 		Oracle: &feedback.ExactOracle{Ev: ev, Target: query.NewUnion(q)},
 	}
-	out, tr, err := s.RefineDiseqs(q)
+	out, tr, err := s.RefineDiseqs(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestRefineDiseqsMaxQuestions(t *testing.T) {
 
 	s, _ := session(t, query.NewUnion(wantAll))
 	s.MaxQuestions = 1
-	_, tr, err := s.RefineDiseqs(twoDiseqProbe(t))
+	_, tr, err := s.RefineDiseqs(bg, twoDiseqProbe(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestRefineDiseqsMaxQuestions(t *testing.T) {
 
 func TestRefineDiseqsNilQuery(t *testing.T) {
 	s, _ := session(t, query.NewUnion(paperfix.Q1()))
-	if _, _, err := s.RefineDiseqs(nil); err == nil {
+	if _, _, err := s.RefineDiseqs(bg, nil); err == nil {
 		t.Fatal("nil query accepted")
 	}
 }
@@ -139,11 +139,11 @@ func TestSimulatedUserConfusion(t *testing.T) {
 	ev := eval.New(o)
 	target := query.NewUnion(paperfix.Q3())
 	u := &feedback.SimulatedUser{Ev: ev, Target: target, Rng: rand.New(rand.NewSource(4)), Confusion: 1}
-	rp, err := ev.BindAndExplain(target, "Alice")
+	rp, err := ev.BindAndExplain(bg, target, "Alice")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ans, err := u.ShouldInclude(rp)
+	ans, err := u.ShouldInclude(bg, rp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestSimulatedUserConfusion(t *testing.T) {
 		t.Fatal("fully confused user answered correctly")
 	}
 	u.Confusion = 0
-	ans, err = u.ShouldInclude(rp)
+	ans, err = u.ShouldInclude(bg, rp)
 	if err != nil || !ans {
 		t.Fatalf("careful user wrong: %v %v", ans, err)
 	}

@@ -1,6 +1,7 @@
 package feedback
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -73,8 +74,8 @@ type SimulatedUser struct {
 
 // ShouldInclude answers feedback questions by target membership, flipped
 // with probability Confusion.
-func (u *SimulatedUser) ShouldInclude(res *eval.ResultWithProvenance) (bool, error) {
-	ans, err := u.Ev.HasResultValue(u.Target, res.Value)
+func (u *SimulatedUser) ShouldInclude(ctx context.Context, res *eval.ResultWithProvenance) (bool, error) {
+	ans, err := u.Ev.HasResultValue(ctx, u.Target, res.Value)
 	if err != nil {
 		return false, err
 	}
@@ -87,18 +88,18 @@ func (u *SimulatedUser) ShouldInclude(res *eval.ResultWithProvenance) (bool, err
 // FormulateExamples samples n explanations for the target query, injecting
 // the given error mode. UIConfusion yields a valid example-set (the error
 // shows up as a restarted interaction, not as bad data).
-func (u *SimulatedUser) FormulateExamples(n int, mode ErrorMode) (provenance.ExampleSet, error) {
+func (u *SimulatedUser) FormulateExamples(ctx context.Context, n int, mode ErrorMode) (provenance.ExampleSet, error) {
 	s := sampling.New(u.Ev, u.Target, u.Rng)
 	switch mode {
 	case ForgottenExplanation:
 		if n > 2 {
 			n--
 		}
-		return s.ExampleSet(n)
+		return s.ExampleSet(ctx, n)
 	case OverSpecific:
-		return u.overSpecificExamples(s, n)
+		return u.overSpecificExamples(ctx, s, n)
 	case IncompleteExplanation, WrongRelation:
-		exs, err := s.ExampleSet(n)
+		exs, err := s.ExampleSet(ctx, n)
 		if err != nil {
 			return nil, err
 		}
@@ -110,14 +111,14 @@ func (u *SimulatedUser) FormulateExamples(n int, mode ErrorMode) (provenance.Exa
 		exs[idx] = broken
 		return exs, nil
 	default:
-		return s.ExampleSet(n)
+		return s.ExampleSet(ctx, n)
 	}
 }
 
 // overSpecificExamples biases every explanation toward the first one's
 // provenance, maximizing shared constants.
-func (u *SimulatedUser) overSpecificExamples(s *sampling.Sampler, n int) (provenance.ExampleSet, error) {
-	rs, err := s.Results()
+func (u *SimulatedUser) overSpecificExamples(ctx context.Context, s *sampling.Sampler, n int) (provenance.ExampleSet, error) {
+	rs, err := s.Results(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -125,13 +126,13 @@ func (u *SimulatedUser) overSpecificExamples(s *sampling.Sampler, n int) (proven
 		return nil, fmt.Errorf("feedback: target has %d results, need %d", len(rs), n)
 	}
 	picks := u.Rng.Perm(len(rs))[:n]
-	first, err := s.Explain(rs[picks[0]])
+	first, err := s.Explain(ctx, rs[picks[0]])
 	if err != nil {
 		return nil, err
 	}
 	out := provenance.ExampleSet{first}
 	for _, idx := range picks[1:] {
-		ex, err := s.ExplainSharing(rs[idx], first.Graph)
+		ex, err := s.ExplainSharing(ctx, rs[idx], first.Graph)
 		if err != nil {
 			return nil, err
 		}

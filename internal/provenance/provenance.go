@@ -7,6 +7,7 @@
 package provenance
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -111,7 +112,7 @@ func Isomorphic(a, b *graph.Graph) bool { return a.EqualSets(b) }
 // projected node mapped to the distinguished node. When it exists, the
 // witness match is returned. The query's disequality constraints are
 // enforced by the underlying evaluator.
-func OntoMatch(q *query.Simple, ex Explanation) (*eval.Match, bool, error) {
+func OntoMatch(ctx context.Context, q *query.Simple, ex Explanation) (*eval.Match, bool, error) {
 	proj := q.Projected()
 	if proj == query.NoNode {
 		return nil, false, fmt.Errorf("provenance: query has no projected node")
@@ -128,7 +129,7 @@ func OntoMatch(q *query.Simple, ex Explanation) (*eval.Match, bool, error) {
 	needEdges := ex.Graph.NumEdges()
 	needNodes := ex.Graph.NumNodes()
 	var witness *eval.Match
-	err := ev.MatchesInto(q, pre, func(m *eval.Match) bool {
+	err := ev.MatchesInto(ctx, q, pre, func(m *eval.Match) bool {
 		if !coversAll(ex.Graph, m, needEdges, needNodes) {
 			return true // keep searching
 		}
@@ -176,8 +177,8 @@ func coversAll(g *graph.Graph, m *eval.Match, needEdges, needNodes int) bool {
 
 // ConsistentSimple reports whether the simple query is consistent with the
 // single explanation (Definition 2.6 restricted to one branch).
-func ConsistentSimple(q *query.Simple, ex Explanation) (bool, error) {
-	_, ok, err := OntoMatch(q, ex)
+func ConsistentSimple(ctx context.Context, q *query.Simple, ex Explanation) (bool, error) {
+	_, ok, err := OntoMatch(ctx, q, ex)
 	return ok, err
 }
 
@@ -186,11 +187,11 @@ func ConsistentSimple(q *query.Simple, ex Explanation) (bool, error) {
 // for dis(E) contains a graph isomorphic to E (Definition 2.6). Since
 // provenance graphs and explanations live in the same ontology, this reduces
 // to an onto match of some branch onto E.
-func Consistent(u *query.Union, ex ExampleSet) (bool, error) {
+func Consistent(ctx context.Context, u *query.Union, ex ExampleSet) (bool, error) {
 	for _, e := range ex {
 		found := false
 		for _, b := range u.Branches() {
-			ok, err := ConsistentSimple(b, e)
+			ok, err := ConsistentSimple(ctx, b, e)
 			if err != nil {
 				return false, err
 			}
@@ -210,11 +211,11 @@ func Consistent(u *query.Union, ex ExampleSet) (bool, error) {
 // every query node by some onto match (the L(?x) sets of Example 5.1). The
 // second return lists explanations with no onto match (by index); callers
 // treat a non-empty list as inconsistency.
-func WitnessAssignments(q *query.Simple, ex ExampleSet) ([][]string, []int, error) {
+func WitnessAssignments(ctx context.Context, q *query.Simple, ex ExampleSet) ([][]string, []int, error) {
 	out := make([][]string, len(ex))
 	var missing []int
 	for i, e := range ex {
-		m, ok, err := OntoMatch(q, e)
+		m, ok, err := OntoMatch(ctx, q, e)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -72,7 +72,7 @@ func TestConsistencyRunningExample(t *testing.T) {
 	exs := paperfix.Explanations(o)
 	for name, q := range map[string]*query.Simple{"Q1": paperfix.Q1(), "Q2": paperfix.Q2()} {
 		for i, ex := range exs {
-			ok, err := provenance.ConsistentSimple(q, ex)
+			ok, err := provenance.ConsistentSimple(bg, q, ex)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -92,14 +92,14 @@ func TestConsistencyUnionBranches(t *testing.T) {
 	wantQ3 := []bool{true, false, true, false}
 	wantQ4 := []bool{false, true, false, true}
 	for i, ex := range exs {
-		ok, err := provenance.ConsistentSimple(q3, ex)
+		ok, err := provenance.ConsistentSimple(bg, q3, ex)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if ok != wantQ3[i] {
 			t.Errorf("Q3 vs E%d = %v, want %v", i+1, ok, wantQ3[i])
 		}
-		ok, err = provenance.ConsistentSimple(q4, ex)
+		ok, err = provenance.ConsistentSimple(bg, q4, ex)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,14 +107,14 @@ func TestConsistencyUnionBranches(t *testing.T) {
 			t.Errorf("Q4 vs E%d = %v, want %v", i+1, ok, wantQ4[i])
 		}
 	}
-	ok, err := provenance.Consistent(query.NewUnion(q3, q4), exs)
+	ok, err := provenance.Consistent(bg, query.NewUnion(q3, q4), exs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Error("Union(Q3, Q4) inconsistent with the example-set")
 	}
-	ok, err = provenance.Consistent(query.NewUnion(q3), exs)
+	ok, err = provenance.Consistent(bg, query.NewUnion(q3), exs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestOntoRequirement(t *testing.T) {
 	a := q.MustEnsureNode(query.Var("a"), "Author")
 	q.MustAddEdge(p, a, "wb")
 	q.SetProjected(a)
-	ok, err := provenance.ConsistentSimple(q, e1)
+	ok, err := provenance.ConsistentSimple(bg, q, e1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestProjectionRequirement(t *testing.T) {
 	if err := q.SetProjected(pB.ID); err != nil {
 		t.Fatal(err)
 	}
-	ok, err := provenance.ConsistentSimple(q, e2)
+	ok, err := provenance.ConsistentSimple(bg, q, e2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestGroundProjectedConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := provenance.ConsistentSimple(q, exs[0])
+	ok, err := provenance.ConsistentSimple(bg, q, exs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestGroundProjectedConsistency(t *testing.T) {
 		t.Fatal("explanation-as-query inconsistent with itself")
 	}
 	// ... and inconsistent with any other (different distinguished value).
-	ok, err = provenance.ConsistentSimple(q, exs[1])
+	ok, err = provenance.ConsistentSimple(bg, q, exs[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestDiseqAwareConsistency(t *testing.T) {
 	if err := q.AddDiseqNodes(a1.ID, a2.ID); err != nil {
 		t.Fatal(err)
 	}
-	ok, err := provenance.ConsistentSimple(q, e1)
+	ok, err := provenance.ConsistentSimple(bg, q, e1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestDiseqAwareConsistency(t *testing.T) {
 	if err := q2.AddDiseqValue(a1b.ID, "Alice"); err != nil {
 		t.Fatal(err)
 	}
-	ok, err = provenance.ConsistentSimple(q2, e1)
+	ok, err = provenance.ConsistentSimple(bg, q2, e1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestWitnessAssignments(t *testing.T) {
 	o := paperfix.Ontology()
 	exs := paperfix.Explanations(o)
 	q1 := paperfix.Q1()
-	vals, missing, err := provenance.WitnessAssignments(q1, exs)
+	vals, missing, err := provenance.WitnessAssignments(bg, q1, exs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestWitnessAssignments(t *testing.T) {
 		}
 	}
 	// Q3 has no witness for E2/E4.
-	_, missing, err = provenance.WitnessAssignments(paperfix.Q3(), exs)
+	_, missing, err = provenance.WitnessAssignments(bg, paperfix.Q3(), exs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,13 +268,13 @@ func TestConsistencyProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		ok, err := provenance.ConsistentSimple(q, ex)
+		ok, err := provenance.ConsistentSimple(bg, q, ex)
 		if err != nil || !ok {
 			return false
 		}
 		// Generalize: replace the distinguished constant with a variable.
 		gen := generalizeProjected(q)
-		ok, err = provenance.ConsistentSimple(gen, ex)
+		ok, err = provenance.ConsistentSimple(bg, gen, ex)
 		return err == nil && ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -320,7 +320,7 @@ func TestOntoMatchRequiresProjected(t *testing.T) {
 	y := q.MustEnsureNode(query.Var("y"), "")
 	q.MustAddEdge(x, y, "wb")
 	// No projected node set.
-	if _, _, err := provenance.OntoMatch(q, e1); err == nil {
+	if _, _, err := provenance.OntoMatch(bg, q, e1); err == nil {
 		t.Fatal("query without projected node accepted")
 	}
 }
@@ -333,7 +333,7 @@ func TestConsistentGroundProjectedMismatchShortCircuits(t *testing.T) {
 	p := q.MustEnsureNode(query.Var("p"), "")
 	q.MustAddEdge(p, dave, "wb")
 	q.SetProjected(dave)
-	ok, err := provenance.ConsistentSimple(q, e1)
+	ok, err := provenance.ConsistentSimple(bg, q, e1)
 	if err != nil || ok {
 		t.Fatalf("ok=%v err=%v, want false/nil", ok, err)
 	}

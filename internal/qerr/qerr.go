@@ -1,0 +1,48 @@
+// Package qerr defines the typed sentinel errors shared by the inference
+// stack (eval, core, feedback, service). Callers branch on them with
+// errors.Is; the packages producing them wrap with fmt.Errorf("...: %w", ...)
+// so messages stay descriptive while the sentinel stays matchable.
+package qerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrNoConsistentQuery is returned by core.InferSimple when the
+	// example-set admits no single consistent simple query (the explanations
+	// cannot be merged into one pattern; Proposition 3.13).
+	ErrNoConsistentQuery = errors.New("no consistent simple query")
+
+	// ErrCanceled is returned by the long-running inference and evaluation
+	// APIs when their context is canceled or its deadline expires. Errors
+	// carrying it also match the underlying context error (context.Canceled
+	// or context.DeadlineExceeded) via errors.Is.
+	ErrCanceled = errors.New("inference canceled")
+
+	// ErrMaxQuestions is returned by feedback.Session.ChooseQuery when the
+	// question budget runs out before a single candidate remains. The
+	// leading candidate so far is still returned alongside the error.
+	ErrMaxQuestions = errors.New("question budget exhausted")
+)
+
+// Canceled wraps cause (typically ctx.Err()) so the result matches both
+// ErrCanceled and cause under errors.Is. A nil cause yields a bare
+// ErrCanceled.
+func Canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return &canceledError{cause: cause}
+}
+
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrCanceled, e.cause)
+}
+
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+
+func (e *canceledError) Unwrap() error { return e.cause }

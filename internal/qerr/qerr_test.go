@@ -1,0 +1,47 @@
+package qerr_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"questpro/internal/qerr"
+)
+
+func TestCanceledMatchesBothSentinels(t *testing.T) {
+	err := qerr.Canceled(context.DeadlineExceeded)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatal("Canceled(DeadlineExceeded) does not match ErrCanceled")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("Canceled(DeadlineExceeded) does not match context.DeadlineExceeded")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("Canceled(DeadlineExceeded) must not match context.Canceled")
+	}
+}
+
+func TestCanceledNilCause(t *testing.T) {
+	if !errors.Is(qerr.Canceled(nil), qerr.ErrCanceled) {
+		t.Fatal("Canceled(nil) does not match ErrCanceled")
+	}
+}
+
+func TestCanceledSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("core: round 3: %w", qerr.Canceled(context.Canceled))
+	if !errors.Is(err, qerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("wrapped cancellation lost its sentinels: %v", err)
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{qerr.ErrNoConsistentQuery, qerr.ErrCanceled, qerr.ErrMaxQuestions}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Fatalf("sentinel identity broken between %v and %v", a, b)
+			}
+		}
+	}
+}

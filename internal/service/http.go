@@ -1,0 +1,368 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"questpro/internal/core"
+	"questpro/internal/ntriples"
+	"questpro/internal/provenance"
+	"questpro/internal/qerr"
+)
+
+// NewServer wires the registry into an http.Handler. The API is JSON over
+// the following routes (see DESIGN.md §service for the request/response
+// shapes and README.md for a curl walkthrough):
+//
+//	POST   /v1/sessions                      create session (ontology + options)
+//	DELETE /v1/sessions/{id}                 evict a session
+//	GET    /v1/sessions/{id}/stats           per-session counters
+//	POST   /v1/sessions/{id}/examples        submit the example-set
+//	POST   /v1/sessions/{id}/infer           run simple/union/topk inference
+//	POST   /v1/sessions/{id}/feedback        start the feedback dialogue
+//	POST   /v1/sessions/{id}/feedback/answer answer the pending question
+//	GET    /healthz                          liveness
+//	GET    /metrics                          plain-text gauges
+func NewServer(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		handleCreate(reg, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !reg.Delete(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown session"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", withSession(reg, handleStats))
+	mux.HandleFunc("POST /v1/sessions/{id}/examples", withSession(reg, handleExamples))
+	mux.HandleFunc("POST /v1/sessions/{id}/infer", withSession(reg, handleInfer))
+	mux.HandleFunc("POST /v1/sessions/{id}/feedback", withSession(reg, handleFeedback))
+	mux.HandleFunc("POST /v1/sessions/{id}/feedback/answer", withSession(reg, handleAnswer))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeMetrics(w, reg.Metrics())
+	})
+	return mux
+}
+
+// withSession resolves the {id} path segment before invoking h.
+func withSession(reg *Registry, h func(*Session, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s, ok := reg.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown session"))
+			return
+		}
+		h(s, w, r)
+	}
+}
+
+// createRequest creates a session. Ontology is the graph in the repo's
+// N-Triples dialect (see internal/ntriples). Zero-valued option fields
+// keep the paper's defaults; Workers stays a per-session preference that
+// is still clamped by the registry's global budget.
+type createRequest struct {
+	Ontology string `json:"ontology"`
+	Options  struct {
+		NumIter        int     `json:"num_iter"`
+		K              int     `json:"k"`
+		Workers        int     `json:"workers"`
+		FirstPairSweep int     `json:"first_pair_sweep"`
+		CostW1         float64 `json:"cost_w1"`
+		CostW2         float64 `json:"cost_w2"`
+	} `json:"options"`
+}
+
+func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	onto, err := ntriples.ParseString(req.Ontology)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.DefaultOptions()
+	if v := req.Options.NumIter; v != 0 {
+		opts.NumIter = v
+	}
+	if v := req.Options.K; v != 0 {
+		opts.K = v
+	}
+	if v := req.Options.Workers; v != 0 {
+		opts.Workers = v
+	}
+	if v := req.Options.FirstPairSweep; v != 0 {
+		opts.FirstPairSweep = v
+	}
+	if v := req.Options.CostW1; v != 0 {
+		opts.CostW1 = v
+	}
+	if v := req.Options.CostW2; v != 0 {
+		opts.CostW2 = v
+	}
+	s, err := reg.Create(onto, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"session_id": s.ID})
+}
+
+// examplesRequest submits the example-set: each example is a provenance
+// subgraph (same N-Triples dialect) plus the distinguished node's value.
+type examplesRequest struct {
+	Examples []struct {
+		Triples       string `json:"triples"`
+		Distinguished string `json:"distinguished"`
+	} `json:"examples"`
+}
+
+func handleExamples(s *Session, w http.ResponseWriter, r *http.Request) {
+	var req examplesRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	exs := make(provenance.ExampleSet, 0, len(req.Examples))
+	for i, e := range req.Examples {
+		g, err := ntriples.ParseString(e.Triples)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("example %d: %w", i, err))
+			return
+		}
+		ex, err := provenance.NewByValue(g, e.Distinguished)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("example %d: %w", i, err))
+			return
+		}
+		exs = append(exs, ex)
+	}
+	if err := s.SetExamples(exs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"examples": len(exs)})
+}
+
+// inferRequest runs inference. TimeoutMS (optional) bounds the run: a
+// request exceeding it aborts mid-search with a cancellation error rather
+// than holding workers.
+type inferRequest struct {
+	Mode      string `json:"mode"`
+	TimeoutMS int    `json:"timeout_ms"`
+}
+
+type candidateJSON struct {
+	SPARQL string  `json:"sparql"`
+	Cost   float64 `json:"cost"`
+}
+
+type inferResponse struct {
+	Mode       string          `json:"mode"`
+	SPARQL     string          `json:"sparql"`
+	Candidates []candidateJSON `json:"candidates,omitempty"`
+	Stats      statsJSON       `json:"stats"`
+}
+
+type statsJSON struct {
+	Algorithm1Calls int   `json:"algorithm1_calls"`
+	Rounds          int   `json:"rounds"`
+	CacheHits       int   `json:"cache_hits"`
+	CacheMisses     int   `json:"cache_misses"`
+	WallMS          int64 `json:"wall_ms"`
+}
+
+func handleInfer(s *Session, w http.ResponseWriter, r *http.Request) {
+	var req inferRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.Infer(ctx, req.Mode)
+	if err != nil {
+		writeInferError(w, err)
+		return
+	}
+	c := res.Stats.Counters()
+	resp := inferResponse{
+		Mode:   res.Mode,
+		SPARQL: res.Query.SPARQL(),
+		Stats: statsJSON{
+			Algorithm1Calls: c.Algorithm1Calls,
+			Rounds:          c.Rounds,
+			CacheHits:       c.CacheHits,
+			CacheMisses:     c.CacheMisses,
+			WallMS:          res.Stats.TotalWall().Milliseconds(),
+		},
+	}
+	for _, cand := range res.Candidates {
+		resp.Candidates = append(resp.Candidates, candidateJSON{
+			SPARQL: cand.Query.SPARQL(),
+			Cost:   cand.Cost,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// feedbackRequest starts the dialogue; MaxQuestions 0 means unbounded.
+type feedbackRequest struct {
+	MaxQuestions int `json:"max_questions"`
+}
+
+type answerRequest struct {
+	Include bool `json:"include"`
+}
+
+type feedbackResponse struct {
+	Done bool `json:"done"`
+	// Pending question, when !Done.
+	Result     string `json:"result,omitempty"`
+	Provenance string `json:"provenance,omitempty"`
+	// Decision, when Done.
+	Chosen    int    `json:"chosen,omitempty"`
+	SPARQL    string `json:"sparql,omitempty"`
+	Questions int    `json:"questions"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+func handleFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	ev, err := s.StartFeedback(r.Context(), req.MaxQuestions)
+	if err != nil {
+		writeInferError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
+}
+
+func handleAnswer(s *Session, w http.ResponseWriter, r *http.Request) {
+	var req answerRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	ev, err := s.AnswerFeedback(r.Context(), req.Include)
+	if err != nil {
+		writeInferError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
+}
+
+func feedbackEventJSON(ev FeedbackEvent) feedbackResponse {
+	if !ev.Done {
+		return feedbackResponse{
+			Result:     ev.Question.Value,
+			Provenance: ntriples.Format(ev.Question.Provenance),
+			Questions:  ev.Questions,
+		}
+	}
+	return feedbackResponse{
+		Done:      true,
+		Chosen:    ev.Chosen,
+		SPARQL:    ev.Query.SPARQL(),
+		Questions: ev.Questions,
+		Truncated: ev.Truncated,
+	}
+}
+
+func handleStats(s *Session, w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"infers":    st.Infers,
+		"examples":  st.Examples,
+		"has_query": st.HasQuery,
+		"counters": map[string]int{
+			"algorithm1_calls": st.Counters.Algorithm1Calls,
+			"rounds":           st.Counters.Rounds,
+			"cache_hits":       st.Counters.CacheHits,
+			"cache_misses":     st.Counters.CacheMisses,
+		},
+	})
+}
+
+// writeMetrics renders the registry gauges in the Prometheus text
+// exposition format (hand-rolled: the repo takes no dependencies).
+func writeMetrics(w http.ResponseWriter, m Metrics) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	gauges := []struct {
+		name string
+		val  int
+	}{
+		{"questprod_sessions_active", m.SessionsActive},
+		{"questprod_sessions_created_total", m.SessionsCreated},
+		{"questprod_sessions_evicted_total", m.SessionsEvicted},
+		{"questprod_infer_total", m.InferTotal},
+		{"questprod_worker_budget", m.WorkerBudget},
+		{"questprod_peak_parallelism", m.PeakParallelism},
+		{"questprod_algorithm1_calls_total", m.Counters.Algorithm1Calls},
+		{"questprod_rounds_total", m.Counters.Rounds},
+		{"questprod_cache_hits_total", m.Counters.CacheHits},
+		{"questprod_cache_misses_total", m.Counters.CacheMisses},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "%s %d\n", g.name, g.val)
+	}
+}
+
+// writeInferError maps inference failures onto HTTP statuses: impossible
+// merges are the client's data (422), cancellations are timeouts (504),
+// anything else is a bad request.
+func writeInferError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, qerr.ErrNoConsistentQuery):
+		writeError(w, http.StatusUnprocessableEntity, err)
+	case errors.Is(err, qerr.ErrCanceled):
+		writeError(w, http.StatusGatewayTimeout, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if len(body) == 0 {
+		return true // all request bodies are optional; zero values apply
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

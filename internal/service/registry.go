@@ -1,0 +1,265 @@
+// Package service hosts concurrent inference sessions behind a small
+// HTTP/JSON API (served by cmd/questprod). A session owns one ontology,
+// one example-set and the state of at most one feedback dialogue; the
+// registry owns the sessions, evicts the idle ones after a TTL, and
+// bounds the total number of inference workers across all sessions with
+// one shared conc.Budget, so a burst of concurrent requests degrades to
+// queueing instead of oversubscribing the machine.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"questpro/internal/conc"
+	"questpro/internal/core"
+	"questpro/internal/graph"
+)
+
+// Config sizes a registry. The zero value selects every default.
+type Config struct {
+	// TotalWorkers bounds the inference workers in flight across all
+	// sessions; it resolves through conc.Workers (<= 0 means GOMAXPROCS).
+	TotalWorkers int
+
+	// SessionTTL is how long an idle session survives before the janitor
+	// evicts it. <= 0 selects DefaultSessionTTL.
+	SessionTTL time.Duration
+
+	// MaxSessions caps live sessions; Create fails beyond it. <= 0 selects
+	// DefaultMaxSessions.
+	MaxSessions int
+
+	// JanitorInterval is how often the janitor scans for expired sessions.
+	// <= 0 selects SessionTTL / 4 (clamped to at least a second).
+	JanitorInterval time.Duration
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultSessionTTL  = 30 * time.Minute
+	DefaultMaxSessions = 1024
+)
+
+func (c Config) withDefaults() Config {
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = DefaultSessionTTL
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.JanitorInterval <= 0 {
+		c.JanitorInterval = c.SessionTTL / 4
+		if c.JanitorInterval < time.Second {
+			c.JanitorInterval = time.Second
+		}
+	}
+	return c
+}
+
+// Registry owns the live sessions. Construct with NewRegistry and release
+// with Close; the zero value is not usable.
+type Registry struct {
+	cfg    Config
+	budget *conc.Budget
+
+	// ctx is the registry-scoped root context: every session context is a
+	// child, so Close cancels all in-flight inference and feedback work.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	janitorDone chan struct{}
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+
+	// Aggregate counters over every inference ever run, including in
+	// sessions since evicted. Guarded by mu.
+	totals       core.CountersSnapshot
+	peakParallel int
+	inferTotal   int
+	createdTotal int
+	evictedTotal int
+}
+
+// NewRegistry starts a registry (and its eviction janitor) sized by cfg.
+func NewRegistry(cfg Config) *Registry {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Registry{
+		cfg:         cfg,
+		budget:      conc.NewBudget(cfg.TotalWorkers),
+		ctx:         ctx,
+		cancel:      cancel,
+		janitorDone: make(chan struct{}),
+		sessions:    make(map[string]*Session),
+	}
+	go r.janitor()
+	return r
+}
+
+// janitor periodically evicts sessions idle past the TTL.
+func (r *Registry) janitor() {
+	defer close(r.janitorDone)
+	t := time.NewTicker(r.cfg.JanitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			r.evictExpired(time.Now())
+		}
+	}
+}
+
+// evictExpired removes every session idle since before now-TTL. Split from
+// the janitor loop so tests can drive it deterministically.
+func (r *Registry) evictExpired(now time.Time) int {
+	cutoff := now.Add(-r.cfg.SessionTTL)
+	var expired []*Session
+	r.mu.Lock()
+	for id, s := range r.sessions {
+		if s.lastUsed().Before(cutoff) {
+			delete(r.sessions, id)
+			expired = append(expired, s)
+			r.evictedTotal++
+		}
+	}
+	r.mu.Unlock()
+	for _, s := range expired {
+		s.close()
+	}
+	return len(expired)
+}
+
+// newID returns a 128-bit random session identifier.
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: reading random id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create registers a session over the ontology with the given inference
+// options (validated here, at the service boundary).
+func (r *Registry) Create(onto *graph.Graph, opts core.Options) (*Session, error) {
+	if onto == nil || onto.NumNodes() == 0 {
+		return nil, fmt.Errorf("service: empty ontology")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("service: registry is closed")
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		return nil, fmt.Errorf("service: session limit %d reached", r.cfg.MaxSessions)
+	}
+	s := newSession(r, newID(), onto, opts)
+	r.sessions[s.ID] = s
+	r.createdTotal++
+	return s, nil
+}
+
+// Get looks a session up and marks it used (resetting its TTL clock).
+func (r *Registry) Get(id string) (*Session, bool) {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	r.mu.Unlock()
+	if ok {
+		s.touch()
+	}
+	return s, ok
+}
+
+// Delete evicts a session, canceling its in-flight work.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	delete(r.sessions, id)
+	r.mu.Unlock()
+	if ok {
+		s.close()
+	}
+	return ok
+}
+
+// Len reports the number of live sessions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// Budget exposes the shared worker budget (used by tests and metrics).
+func (r *Registry) Budget() *conc.Budget { return r.budget }
+
+// Close cancels every session, stops the janitor and waits for all
+// session-owned goroutines (feedback dialogues) to exit, so a server
+// shutdown leaks nothing.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.janitorDone
+		return
+	}
+	r.closed = true
+	all := make([]*Session, 0, len(r.sessions))
+	for id, s := range r.sessions {
+		delete(r.sessions, id)
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	r.cancel()
+	for _, s := range all {
+		s.close()
+	}
+	<-r.janitorDone
+}
+
+// recordInfer folds one inference run into the registry-wide totals.
+func (r *Registry) recordInfer(st core.Stats) {
+	r.mu.Lock()
+	r.totals.Add(st.Counters())
+	if st.PeakParallelism > r.peakParallel {
+		r.peakParallel = st.PeakParallelism
+	}
+	r.inferTotal++
+	r.mu.Unlock()
+}
+
+// Metrics is the registry-wide gauge snapshot exported at /metrics.
+type Metrics struct {
+	SessionsActive  int
+	SessionsCreated int
+	SessionsEvicted int
+	InferTotal      int
+	WorkerBudget    int
+	PeakParallelism int // largest in-flight MergePair count ever observed
+	Counters        core.CountersSnapshot
+}
+
+// Metrics returns the current aggregate counters.
+func (r *Registry) Metrics() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Metrics{
+		SessionsActive:  len(r.sessions),
+		SessionsCreated: r.createdTotal,
+		SessionsEvicted: r.evictedTotal,
+		InferTotal:      r.inferTotal,
+		WorkerBudget:    r.budget.Size(),
+		PeakParallelism: r.peakParallel,
+		Counters:        r.totals,
+	}
+}

@@ -1,0 +1,383 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"questpro/internal/conc"
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/feedback"
+	"questpro/internal/graph"
+	"questpro/internal/provenance"
+	"questpro/internal/qerr"
+	"questpro/internal/query"
+)
+
+// Session is one client's inference state: an ontology (fixed at creation),
+// an example-set, the last inference outcome and at most one feedback
+// dialogue. Methods serialize on an internal mutex, so concurrent requests
+// against the same session queue instead of racing; distinct sessions only
+// share the registry's worker budget.
+type Session struct {
+	ID string
+
+	reg *Registry
+
+	// ctx is the session-scoped context: a child of the registry's root,
+	// canceled when the session is evicted or the registry closes. The
+	// feedback dialogue's goroutine runs under it, which is what makes
+	// shutdown goroutine-leak-free.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// last is the last-use time in unix nanoseconds, updated lock-free so
+	// the TTL janitor never contends with a long-running inference.
+	last atomic.Int64
+
+	mu     sync.Mutex
+	ev     *eval.Evaluator
+	opts   core.Options
+	ex     provenance.ExampleSet
+	result *query.Union     // last inferred (or feedback-chosen) query
+	cands  []core.Candidate // last top-k candidates
+	fb     *feedbackRun
+
+	counters core.CountersSnapshot
+	infers   int
+}
+
+func newSession(r *Registry, id string, onto *graph.Graph, opts core.Options) *Session {
+	ctx, cancel := context.WithCancel(r.ctx)
+	s := &Session{
+		ID:     id,
+		reg:    r,
+		ctx:    ctx,
+		cancel: cancel,
+		ev:     eval.New(onto),
+		opts:   opts,
+	}
+	s.touch()
+	return s
+}
+
+func (s *Session) touch()              { s.last.Store(time.Now().UnixNano()) }
+func (s *Session) lastUsed() time.Time { return time.Unix(0, s.last.Load()) }
+
+// close cancels the session's context and waits for its feedback goroutine
+// (if any) to exit.
+func (s *Session) close() {
+	s.cancel()
+	s.mu.Lock()
+	fb := s.fb
+	s.fb = nil
+	s.mu.Unlock()
+	if fb != nil {
+		<-fb.exited
+	}
+}
+
+// SetExamples validates and installs the example-set, resetting any
+// previous inference outcome and aborting a feedback dialogue in progress.
+func (s *Session) SetExamples(exs provenance.ExampleSet) error {
+	if err := exs.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.abortFeedbackLocked()
+	s.ex = exs
+	s.result = nil
+	s.cands = nil
+	return nil
+}
+
+// InferResult is one inference outcome.
+type InferResult struct {
+	Mode  string
+	Query *query.Union // the inferred query (best candidate for top-k)
+	// Candidates is the cost-sorted beam, top-k mode only.
+	Candidates []core.Candidate
+	Stats      core.Stats
+}
+
+// Infer runs one of the inference algorithms ("simple", "union" or "topk")
+// over the session's example-set. The worker count is leased from the
+// registry's shared budget for the duration of the run: under load a
+// request blocks in Acquire (honoring ctx) rather than oversubscribing
+// the machine. Cancellation — the HTTP client going away, a request
+// deadline, or session eviction — surfaces as a qerr.ErrCanceled-wrapped
+// error from inside the merge engine's round loop.
+func (s *Session) Infer(ctx context.Context, mode string) (InferResult, error) {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ex) == 0 {
+		return InferResult{}, fmt.Errorf("service: no example-set submitted")
+	}
+	s.abortFeedbackLocked()
+
+	// A canceled session must abort the run even when the request context
+	// is healthy (e.g. the registry is shutting down).
+	ctx, cancel := mergeCancel(ctx, s.ctx)
+	defer cancel()
+
+	opts := s.opts
+	got, err := s.reg.budget.Acquire(ctx, conc.Workers(opts.Workers))
+	if err != nil {
+		return InferResult{}, err
+	}
+	defer s.reg.budget.Release(got)
+	opts.Workers = got
+
+	res := InferResult{Mode: mode}
+	var stats core.Stats
+	switch mode {
+	case "simple":
+		q, st, err := core.InferSimple(ctx, s.ex, opts)
+		if err != nil {
+			return InferResult{}, err
+		}
+		res.Query, stats = query.NewUnion(q), st
+	case "union":
+		u, st, err := core.InferUnion(ctx, s.ex, opts)
+		if err != nil {
+			return InferResult{}, err
+		}
+		res.Query, stats = u, st
+	case "topk":
+		cands, st, err := core.InferTopK(ctx, s.ex, opts)
+		if err != nil {
+			return InferResult{}, err
+		}
+		if len(cands) == 0 {
+			return InferResult{}, fmt.Errorf("service: top-k search produced no candidates")
+		}
+		res.Query, res.Candidates, stats = cands[0].Query, cands, st
+	default:
+		return InferResult{}, fmt.Errorf("service: unknown inference mode %q", mode)
+	}
+	res.Stats = stats
+	s.result = res.Query
+	s.cands = res.Candidates
+	s.counters.Add(stats.Counters())
+	s.infers++
+	s.reg.recordInfer(stats)
+	return res, nil
+}
+
+// mergeCancel derives a context from primary that is additionally canceled
+// when secondary is.
+func mergeCancel(primary, secondary context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(primary)
+	stop := context.AfterFunc(secondary, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// FeedbackEvent is one step of the feedback dialogue as seen over HTTP:
+// either the next membership question or the final decision.
+type FeedbackEvent struct {
+	Done bool
+
+	// Question (when !Done) is the result the user must accept or refuse.
+	Question *eval.ResultWithProvenance
+
+	// Chosen and Query (when Done) identify the winning candidate.
+	// Truncated reports that the question budget ran out first (the query
+	// is the leading candidate, not a confirmed winner).
+	Chosen    int
+	Query     *query.Union
+	Questions int
+	Truncated bool
+}
+
+// feedbackRun is the channel plumbing between HTTP handlers and the
+// goroutine driving feedback.Session.ChooseQuery. The oracle blocks in
+// question/answer sends until the next HTTP request arrives — or until the
+// session context is canceled, which is how eviction and shutdown reap the
+// goroutine.
+type feedbackRun struct {
+	questions chan *eval.ResultWithProvenance
+	answers   chan bool
+	outcome   chan feedbackOutcome // buffered: the goroutine never blocks on it
+	exited    chan struct{}
+	asked     int
+}
+
+type feedbackOutcome struct {
+	idx int
+	tr  *feedback.Transcript
+	err error
+}
+
+// chanOracle bridges ChooseQuery's synchronous oracle calls onto the run's
+// channels.
+type chanOracle struct{ run *feedbackRun }
+
+func (o *chanOracle) ShouldInclude(ctx context.Context, res *eval.ResultWithProvenance) (bool, error) {
+	select {
+	case o.run.questions <- res:
+	case <-ctx.Done():
+		return false, qerr.Canceled(ctx.Err())
+	}
+	select {
+	case ans := <-o.run.answers:
+		return ans, nil
+	case <-ctx.Done():
+		return false, qerr.Canceled(ctx.Err())
+	}
+}
+
+// abortFeedbackLocked cancels a dialogue in progress by draining it with a
+// throwaway context watcher; callers hold s.mu. The goroutine observes the
+// session context only through oracle calls, so we interrupt it by
+// replacing the answer it is waiting for with a canceled error via the
+// session context — which we cannot cancel here (the session lives on), so
+// instead we spin a drainer that answers "exclude" until the loop ends.
+func (s *Session) abortFeedbackLocked() {
+	fb := s.fb
+	if fb == nil {
+		return
+	}
+	s.fb = nil
+	go func() {
+		for {
+			select {
+			case <-fb.questions:
+			case fb.answers <- false:
+			case <-fb.exited:
+				return
+			}
+		}
+	}()
+}
+
+// StartFeedback begins Algorithm 3 over the candidates of the last top-k
+// inference and returns the first event: usually the first question, or an
+// immediate decision when the candidates are indistinguishable. max bounds
+// the number of questions (0 = unbounded).
+func (s *Session) StartFeedback(ctx context.Context, max int) (FeedbackEvent, error) {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cands) == 0 {
+		return FeedbackEvent{}, fmt.Errorf("service: no candidates: run a top-k inference first")
+	}
+	s.abortFeedbackLocked()
+
+	run := &feedbackRun{
+		questions: make(chan *eval.ResultWithProvenance),
+		answers:   make(chan bool),
+		outcome:   make(chan feedbackOutcome, 1),
+		exited:    make(chan struct{}),
+	}
+	fs := &feedback.Session{
+		Ev:           s.ev,
+		Oracle:       &chanOracle{run: run},
+		Ex:           s.ex,
+		MaxQuestions: max,
+	}
+	cands := make([]*query.Union, len(s.cands))
+	for i, c := range s.cands {
+		cands[i] = c.Query
+	}
+	s.fb = run
+	go func() {
+		defer close(run.exited)
+		idx, tr, err := fs.ChooseQuery(s.ctx, cands)
+		run.outcome <- feedbackOutcome{idx: idx, tr: tr, err: err}
+	}()
+	return s.nextEventLocked(ctx, run, cands)
+}
+
+// AnswerFeedback relays the user's verdict on the pending question and
+// returns the next event.
+func (s *Session) AnswerFeedback(ctx context.Context, include bool) (FeedbackEvent, error) {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run := s.fb
+	if run == nil {
+		return FeedbackEvent{}, fmt.Errorf("service: no feedback dialogue in progress")
+	}
+	cands := make([]*query.Union, len(s.cands))
+	for i, c := range s.cands {
+		cands[i] = c.Query
+	}
+	select {
+	case run.answers <- include:
+	case <-ctx.Done():
+		return FeedbackEvent{}, qerr.Canceled(ctx.Err())
+	case <-s.ctx.Done():
+		return FeedbackEvent{}, qerr.Canceled(s.ctx.Err())
+	}
+	return s.nextEventLocked(ctx, run, cands)
+}
+
+// nextEventLocked waits for the dialogue's next question or its outcome;
+// callers hold s.mu.
+func (s *Session) nextEventLocked(ctx context.Context, run *feedbackRun, cands []*query.Union) (FeedbackEvent, error) {
+	select {
+	case q := <-run.questions:
+		run.asked++
+		return FeedbackEvent{Question: q, Questions: run.asked}, nil
+	case out := <-run.outcome:
+		s.fb = nil
+		truncated := false
+		if out.err != nil {
+			if !errors.Is(out.err, qerr.ErrMaxQuestions) {
+				return FeedbackEvent{}, out.err
+			}
+			truncated = true
+		}
+		s.result = cands[out.idx]
+		asked := 0
+		if out.tr != nil {
+			asked = len(out.tr.Questions)
+		}
+		return FeedbackEvent{
+			Done:      true,
+			Chosen:    out.idx,
+			Query:     cands[out.idx],
+			Questions: asked,
+			Truncated: truncated,
+		}, nil
+	case <-ctx.Done():
+		return FeedbackEvent{}, qerr.Canceled(ctx.Err())
+	case <-s.ctx.Done():
+		return FeedbackEvent{}, qerr.Canceled(s.ctx.Err())
+	}
+}
+
+// SessionStats is the per-session counter snapshot served at
+// /v1/sessions/{id}/stats.
+type SessionStats struct {
+	Infers   int
+	Counters core.CountersSnapshot
+	Examples int
+	HasQuery bool
+}
+
+// Stats returns the session's accumulated counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{
+		Infers:   s.infers,
+		Counters: s.counters,
+		Examples: len(s.ex),
+		HasQuery: s.result != nil,
+	}
+}
+
+// Result returns the session's current query (last inferred or
+// feedback-chosen), or nil.
+func (s *Session) Result() *query.Union {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.result
+}

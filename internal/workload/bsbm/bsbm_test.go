@@ -69,7 +69,7 @@ func TestQueriesCatalog(t *testing.T) {
 			t.Fatalf("catalog[%d] = %s, want %s", i, qs[i].Name, name)
 		}
 	}
-	if err := workload.Validate(g, qs, 14); err != nil {
+	if err := workload.Validate(bg, g, qs, 14); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -94,7 +94,7 @@ func TestQueryResultCounts(t *testing.T) {
 	}
 	ev := eval.New(g)
 	for _, bq := range bsbm.Queries() {
-		rs, err := ev.Results(bq.Query)
+		rs, err := ev.Results(bg, bq.Query)
 		if err != nil {
 			t.Fatalf("%s: %v", bq.Name, err)
 		}

@@ -78,7 +78,7 @@ func TestQueriesCatalog(t *testing.T) {
 	}
 	// Every Table I query needs at least a handful of results so that the
 	// simulated users can pick diverse examples.
-	if err := workload.Validate(g, qs, 4); err != nil {
+	if err := workload.Validate(bg, g, qs, 4); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -90,7 +90,7 @@ func TestQueryResultCounts(t *testing.T) {
 	}
 	ev := eval.New(g)
 	for _, bq := range dbpedia.Queries() {
-		rs, err := ev.Results(bq.Query)
+		rs, err := ev.Results(bg, bq.Query)
 		if err != nil {
 			t.Fatalf("%s: %v", bq.Name, err)
 		}
@@ -107,11 +107,11 @@ func TestQuery7DiseqMatters(t *testing.T) {
 	}
 	ev := eval.New(g)
 	q7, _ := workload.Lookup(dbpedia.Queries(), "table1-7")
-	with, err := ev.Results(q7.Query)
+	with, err := ev.Results(bg, q7.Query)
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := ev.Results(q7.Query.WithoutDiseqs())
+	without, err := ev.Results(bg, q7.Query.WithoutDiseqs())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -63,7 +63,7 @@ func TestEveryBenchmarkQueryRoundTrips(t *testing.T) {
 			for _, bq := range queries {
 				rng := rand.New(rand.NewSource(5))
 				s := sampling.New(ev, bq.Query, rng)
-				rs, err := s.Results()
+				rs, err := s.Results(bg)
 				if err != nil {
 					t.Fatalf("%s: %v", bq.Name, err)
 				}
@@ -74,11 +74,11 @@ func TestEveryBenchmarkQueryRoundTrips(t *testing.T) {
 				if n < 2 {
 					t.Fatalf("%s: only %d results", bq.Name, len(rs))
 				}
-				exs, err := s.ExampleSet(n)
+				exs, err := s.ExampleSet(bg, n)
 				if err != nil {
 					t.Fatalf("%s: %v", bq.Name, err)
 				}
-				ok, err := provenance.Consistent(bq.Query, exs)
+				ok, err := provenance.Consistent(bg, bq.Query, exs)
 				if err != nil {
 					t.Fatalf("%s: %v", bq.Name, err)
 				}
@@ -86,11 +86,11 @@ func TestEveryBenchmarkQueryRoundTrips(t *testing.T) {
 					t.Errorf("%s: target inconsistent with its own samples", bq.Name)
 					continue
 				}
-				u, _, err := core.InferUnion(exs, core.DefaultOptions())
+				u, _, err := core.InferUnion(bg, exs, core.DefaultOptions())
 				if err != nil {
 					t.Fatalf("%s: %v", bq.Name, err)
 				}
-				ok, err = provenance.Consistent(u, exs)
+				ok, err = provenance.Consistent(bg, u, exs)
 				if err != nil {
 					t.Fatalf("%s: %v", bq.Name, err)
 				}

@@ -5,6 +5,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -34,9 +35,9 @@ func New(ev *eval.Evaluator, target *query.Union, rng *rand.Rand) *Sampler {
 }
 
 // Results returns (and caches) the target query's full result set.
-func (s *Sampler) Results() ([]string, error) {
+func (s *Sampler) Results(ctx context.Context) ([]string, error) {
 	if s.results == nil {
-		rs, err := s.Ev.Results(s.Target)
+		rs, err := s.Ev.Results(ctx, s.Target)
 		if err != nil {
 			return nil, err
 		}
@@ -50,8 +51,8 @@ func (s *Sampler) Results() ([]string, error) {
 // paired with one random provenance graph. It fails when the target has
 // fewer than n results — mirroring the paper's exclusion of single-result
 // benchmark queries.
-func (s *Sampler) ExampleSet(n int) (provenance.ExampleSet, error) {
-	rs, err := s.Results()
+func (s *Sampler) ExampleSet(ctx context.Context, n int) (provenance.ExampleSet, error) {
+	rs, err := s.Results(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +62,7 @@ func (s *Sampler) ExampleSet(n int) (provenance.ExampleSet, error) {
 	picks := s.Rng.Perm(len(rs))[:n]
 	out := make(provenance.ExampleSet, 0, n)
 	for _, idx := range picks {
-		ex, err := s.Explain(rs[idx])
+		ex, err := s.Explain(ctx, rs[idx])
 		if err != nil {
 			return nil, err
 		}
@@ -72,8 +73,8 @@ func (s *Sampler) ExampleSet(n int) (provenance.ExampleSet, error) {
 
 // Explain picks one random provenance graph of the given result and wraps
 // it as an explanation.
-func (s *Sampler) Explain(value string) (provenance.Explanation, error) {
-	provs, err := s.Ev.ProvenanceOfUnion(s.Target, value, MaxProvenancePerResult)
+func (s *Sampler) Explain(ctx context.Context, value string) (provenance.Explanation, error) {
+	provs, err := s.Ev.ProvenanceOfUnion(ctx, s.Target, value, MaxProvenancePerResult)
 	if err != nil {
 		return provenance.Explanation{}, err
 	}
@@ -88,8 +89,8 @@ func (s *Sampler) Explain(value string) (provenance.Explanation, error) {
 // sharing the most node values with the reference graph — used to simulate
 // the over-specific users of Section VI-C who give explanations with
 // identical parts.
-func (s *Sampler) ExplainSharing(value string, ref *graph.Graph) (provenance.Explanation, error) {
-	provs, err := s.Ev.ProvenanceOfUnion(s.Target, value, MaxProvenancePerResult)
+func (s *Sampler) ExplainSharing(ctx context.Context, value string, ref *graph.Graph) (provenance.Explanation, error) {
+	provs, err := s.Ev.ProvenanceOfUnion(ctx, s.Target, value, MaxProvenancePerResult)
 	if err != nil {
 		return provenance.Explanation{}, err
 	}

@@ -17,7 +17,7 @@ func TestExampleSetBasics(t *testing.T) {
 	target := query.NewUnion(paperfix.Q3())
 	s := sampling.New(ev, target, rand.New(rand.NewSource(5)))
 
-	exs, err := s.ExampleSet(2)
+	exs, err := s.ExampleSet(bg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestExampleSetBasics(t *testing.T) {
 	}
 	// A sampled explanation is a provenance image of the target, so the
 	// target is consistent with the sampled example-set by construction.
-	ok, err := provenance.Consistent(target, exs)
+	ok, err := provenance.Consistent(bg, target, exs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestExampleSetBasics(t *testing.T) {
 		t.Fatalf("target inconsistent with its own samples:\n%s", exs)
 	}
 	// Distinguished values are distinct results of the target.
-	rs, err := s.Results()
+	rs, err := s.Results(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestExampleSetTooMany(t *testing.T) {
 	ev := eval.New(o)
 	target := query.NewUnion(paperfix.Q4()) // 3 results: Dave, Greg, Harry
 	s := sampling.New(ev, target, rand.New(rand.NewSource(1)))
-	if _, err := s.ExampleSet(100); err == nil {
+	if _, err := s.ExampleSet(bg, 100); err == nil {
 		t.Fatal("oversized sample accepted")
 	}
 }
@@ -68,11 +68,11 @@ func TestSamplingDeterministic(t *testing.T) {
 	o := paperfix.Ontology()
 	ev := eval.New(o)
 	target := query.NewUnion(paperfix.Q1())
-	a, err := sampling.New(ev, target, rand.New(rand.NewSource(9))).ExampleSet(3)
+	a, err := sampling.New(ev, target, rand.New(rand.NewSource(9))).ExampleSet(bg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := sampling.New(ev, target, rand.New(rand.NewSource(9))).ExampleSet(3)
+	b, err := sampling.New(ev, target, rand.New(rand.NewSource(9))).ExampleSet(bg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +89,11 @@ func TestExplainSharing(t *testing.T) {
 	ev := eval.New(o)
 	target := query.NewUnion(paperfix.Q1())
 	s := sampling.New(ev, target, rand.New(rand.NewSource(2)))
-	ref, err := s.Explain("Alice")
+	ref, err := s.Explain(bg, "Alice")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := s.ExplainSharing("Felix", ref.Graph)
+	ex, err := s.ExplainSharing(bg, "Felix", ref.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestExplainSharing(t *testing.T) {
 	if shared == 0 {
 		t.Fatal("sharing-biased explanation shares nothing")
 	}
-	if _, err := s.Explain("NotAResult"); err == nil {
+	if _, err := s.Explain(bg, "NotAResult"); err == nil {
 		t.Fatal("non-result explained")
 	}
 }

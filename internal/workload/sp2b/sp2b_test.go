@@ -80,7 +80,7 @@ func TestQueriesCatalog(t *testing.T) {
 			t.Fatalf("%s has no description", name)
 		}
 	}
-	if err := workload.Validate(g, qs, 14); err != nil {
+	if err := workload.Validate(bg, g, qs, 14); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := workload.Lookup(qs, "q8b"); !ok {
@@ -112,7 +112,7 @@ func TestQueryResultCounts(t *testing.T) {
 	}
 	ev := eval.New(g)
 	for _, bq := range sp2b.Queries() {
-		rs, err := ev.Results(bq.Query)
+		rs, err := ev.Results(bg, bq.Query)
 		if err != nil {
 			t.Fatalf("%s: %v", bq.Name, err)
 		}

@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"questpro/internal/eval"
@@ -28,13 +29,13 @@ type BenchQuery struct {
 // well-formed and have at least minResults results (the paper excludes
 // benchmark queries designed to return a single result, since reproducing a
 // query needs at least two explanations).
-func Validate(o *graph.Graph, queries []BenchQuery, minResults int) error {
+func Validate(ctx context.Context, o *graph.Graph, queries []BenchQuery, minResults int) error {
 	ev := eval.New(o)
 	for _, bq := range queries {
 		if err := bq.Query.Validate(); err != nil {
 			return fmt.Errorf("workload: %s: %w", bq.Name, err)
 		}
-		rs, err := ev.Results(bq.Query)
+		rs, err := ev.Results(ctx, bq.Query)
 		if err != nil {
 			return fmt.Errorf("workload: %s: %w", bq.Name, err)
 		}

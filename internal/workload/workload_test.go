@@ -29,10 +29,10 @@ func tinyCatalog(t *testing.T) (*graph.Graph, []workload.BenchQuery) {
 
 func TestValidateAndLookup(t *testing.T) {
 	g, qs := tinyCatalog(t)
-	if err := workload.Validate(g, qs, 2); err != nil {
+	if err := workload.Validate(bg, g, qs, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := workload.Validate(g, qs, 3); err == nil {
+	if err := workload.Validate(bg, g, qs, 3); err == nil {
 		t.Fatal("min-results threshold not enforced")
 	}
 	if _, ok := workload.Lookup(qs, "tiny"); !ok {
@@ -45,7 +45,7 @@ func TestValidateAndLookup(t *testing.T) {
 	bad := query.NewSimple()
 	bad.MustEnsureNode(query.Var("x"), "")
 	qs2 := []workload.BenchQuery{{Name: "bad", Query: query.NewUnion(bad)}}
-	if err := workload.Validate(g, qs2, 0); err == nil {
+	if err := workload.Validate(bg, g, qs2, 0); err == nil {
 		t.Fatal("union without projected node validated")
 	}
 }
