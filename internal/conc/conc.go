@@ -7,8 +7,10 @@
 package conc
 
 import (
+	"container/list"
 	"context"
 	"runtime"
+	"sync"
 
 	"questpro/internal/qerr"
 )
@@ -23,52 +25,114 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Budget is a counting semaphore bounding the total number of inference
-// workers in flight across concurrent sessions. The zero value is not
+// Budget is a weighted counting semaphore bounding the total number of
+// inference workers in flight across concurrent sessions. Grants are
+// all-or-nothing and FIFO (in the style of golang.org/x/sync/semaphore):
+// a multi-token request either takes all its tokens atomically or joins a
+// waiter queue, so concurrent multi-token acquirers can never deadlock by
+// each holding a partial grant, and a large request at the head of the
+// queue is not starved by a stream of smaller ones. The zero value is not
 // usable; construct with NewBudget.
 type Budget struct {
-	tokens chan struct{}
+	size int
+
+	mu      sync.Mutex
+	used    int       // tokens currently granted
+	waiters list.List // of *budgetWaiter, FIFO
+}
+
+// budgetWaiter is one queued Acquire: ready is closed once the whole
+// request has been granted.
+type budgetWaiter struct {
+	n     int
+	ready chan struct{}
 }
 
 // NewBudget returns a budget of Workers(n) tokens.
 func NewBudget(n int) *Budget {
-	size := Workers(n)
-	b := &Budget{tokens: make(chan struct{}, size)}
-	for i := 0; i < size; i++ {
-		b.tokens <- struct{}{}
-	}
-	return b
+	return &Budget{size: Workers(n)}
 }
 
 // Size reports the total number of tokens.
-func (b *Budget) Size() int { return cap(b.tokens) }
+func (b *Budget) Size() int { return b.size }
 
-// Acquire takes n tokens, blocking until they are available or the context
-// is done (in which case any partially acquired tokens are returned and a
+// Acquire takes n tokens, blocking until all n are available at once or
+// the context is done (in which case no tokens are held and a
 // qerr.ErrCanceled-wrapped error is reported). Requests above the budget
 // size are clamped to it, so a single oversized request cannot deadlock;
 // the clamped count is returned for the matching Release.
 func (b *Budget) Acquire(ctx context.Context, n int) (int, error) {
-	if n > cap(b.tokens) {
-		n = cap(b.tokens)
+	if n > b.size {
+		n = b.size
 	}
 	if n < 1 {
 		n = 1
 	}
-	for got := 0; got < n; got++ {
-		select {
-		case <-b.tokens:
-		case <-ctx.Done():
-			b.Release(got)
-			return 0, qerr.Canceled(ctx.Err())
-		}
+	b.mu.Lock()
+	if b.used+n <= b.size && b.waiters.Len() == 0 {
+		b.used += n
+		b.mu.Unlock()
+		return n, nil
 	}
-	return n, nil
+	w := &budgetWaiter{n: n, ready: make(chan struct{})}
+	elem := b.waiters.PushBack(w)
+	b.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return n, nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between ctx firing and taking the lock: give the
+			// tokens back (waking anyone they now satisfy) and report the
+			// cancellation.
+			b.used -= n
+			b.grantWaitersLocked()
+			b.mu.Unlock()
+		default:
+			front := b.waiters.Front() == elem
+			b.waiters.Remove(elem)
+			// Removing the (possibly large) head request may unblock the
+			// smaller ones queued behind it.
+			if front {
+				b.grantWaitersLocked()
+			}
+			b.mu.Unlock()
+		}
+		return 0, qerr.Canceled(ctx.Err())
+	}
 }
 
-// Release returns n tokens to the budget.
+// Release returns n tokens to the budget, waking queued acquirers whose
+// whole request now fits.
 func (b *Budget) Release(n int) {
-	for i := 0; i < n; i++ {
-		b.tokens <- struct{}{}
+	b.mu.Lock()
+	b.used -= n
+	if b.used < 0 {
+		b.mu.Unlock()
+		panic("conc: Budget.Release of more tokens than acquired")
+	}
+	b.grantWaitersLocked()
+	b.mu.Unlock()
+}
+
+// grantWaitersLocked grants queued requests in FIFO order while they fit,
+// stopping at the first that does not (so a big request cannot be starved).
+// Callers hold b.mu.
+func (b *Budget) grantWaitersLocked() {
+	for {
+		front := b.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*budgetWaiter)
+		if b.used+w.n > b.size {
+			return
+		}
+		b.used += w.n
+		b.waiters.Remove(front)
+		close(w.ready)
 	}
 }

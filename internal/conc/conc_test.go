@@ -74,3 +74,78 @@ func TestBudgetConcurrentUse(t *testing.T) {
 		t.Fatalf("budget leaked tokens: got=%d err=%v", got, err)
 	}
 }
+
+// TestBudgetMultiTokenNoDeadlock is the partial-acquisition deadlock repro:
+// with token-at-a-time acquisition, 32 goroutines each wanting 3 of 4
+// tokens end up holding 1-2 tokens apiece and hang forever. All-or-nothing
+// grants must let every one of them through.
+func TestBudgetMultiTokenNoDeadlock(t *testing.T) {
+	b := conc.NewBudget(4)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := b.Acquire(context.Background(), 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b.Release(n)
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("multi-token acquirers deadlocked")
+	}
+	if got, err := b.Acquire(context.Background(), 4); err != nil || got != 4 {
+		t.Fatalf("budget leaked tokens: got=%d err=%v", got, err)
+	}
+}
+
+// A canceled waiter at the head of the queue must not wedge the queue:
+// the smaller request behind it gets the tokens.
+func TestBudgetCanceledHeadUnblocksQueue(t *testing.T) {
+	b := conc.NewBudget(4)
+	got, err := b.Acquire(context.Background(), 3)
+	if err != nil || got != 3 {
+		t.Fatalf("setup acquire: got=%d err=%v", got, err)
+	}
+	// Head waiter: wants 4, can never fit while 3 are out.
+	headCtx, cancelHead := context.WithCancel(context.Background())
+	headErr := make(chan error, 1)
+	go func() {
+		_, err := b.Acquire(headCtx, 4)
+		headErr <- err
+	}()
+	// Second waiter: wants 1, fits right now but must queue behind the head.
+	tail := make(chan error, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond) // let the head enqueue first
+		n, err := b.Acquire(context.Background(), 1)
+		if err == nil {
+			b.Release(n)
+		}
+		tail <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancelHead()
+	if err := <-headErr; !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("canceled head returned %v, want ErrCanceled", err)
+	}
+	select {
+	case err := <-tail:
+		if err != nil {
+			t.Fatalf("queued acquire after canceled head: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled head waiter wedged the queue")
+	}
+	b.Release(got)
+	if got, err := b.Acquire(context.Background(), 4); err != nil || got != 4 {
+		t.Fatalf("budget leaked tokens: got=%d err=%v", got, err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 //	POST   /v1/sessions/{id}/examples        submit the example-set
 //	POST   /v1/sessions/{id}/infer           run simple/union/topk inference
 //	POST   /v1/sessions/{id}/feedback        start the feedback dialogue
+//	GET    /v1/sessions/{id}/feedback        re-read the pending question
 //	POST   /v1/sessions/{id}/feedback/answer answer the pending question
 //	GET    /healthz                          liveness
 //	GET    /metrics                          plain-text gauges
@@ -44,6 +45,7 @@ func NewServer(reg *Registry) http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/examples", withSession(reg, handleExamples))
 	mux.HandleFunc("POST /v1/sessions/{id}/infer", withSession(reg, handleInfer))
 	mux.HandleFunc("POST /v1/sessions/{id}/feedback", withSession(reg, handleFeedback))
+	mux.HandleFunc("GET /v1/sessions/{id}/feedback", withSession(reg, handlePendingFeedback))
 	mux.HandleFunc("POST /v1/sessions/{id}/feedback/answer", withSession(reg, handleAnswer))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -239,6 +241,9 @@ type feedbackResponse struct {
 	SPARQL    string `json:"sparql,omitempty"`
 	Questions int    `json:"questions"`
 	Truncated bool   `json:"truncated,omitempty"`
+	// Redelivered: the answer was not consumed (no question was awaiting
+	// one); answer the event returned here instead.
+	Redelivered bool `json:"redelivered,omitempty"`
 }
 
 func handleFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
@@ -247,6 +252,18 @@ func handleFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ev, err := s.StartFeedback(r.Context(), req.MaxQuestions)
+	if err != nil {
+		writeInferError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
+}
+
+// handlePendingFeedback re-reads the dialogue's current event without
+// answering — the recovery path for a client whose previous feedback
+// request was canceled before the question reached it.
+func handlePendingFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
+	ev, err := s.PendingFeedback(r.Context())
 	if err != nil {
 		writeInferError(w, err)
 		return
@@ -270,17 +287,19 @@ func handleAnswer(s *Session, w http.ResponseWriter, r *http.Request) {
 func feedbackEventJSON(ev FeedbackEvent) feedbackResponse {
 	if !ev.Done {
 		return feedbackResponse{
-			Result:     ev.Question.Value,
-			Provenance: ntriples.Format(ev.Question.Provenance),
-			Questions:  ev.Questions,
+			Result:      ev.Question.Value,
+			Provenance:  ntriples.Format(ev.Question.Provenance),
+			Questions:   ev.Questions,
+			Redelivered: ev.Redelivered,
 		}
 	}
 	return feedbackResponse{
-		Done:      true,
-		Chosen:    ev.Chosen,
-		SPARQL:    ev.Query.SPARQL(),
-		Questions: ev.Questions,
-		Truncated: ev.Truncated,
+		Done:        true,
+		Chosen:      ev.Chosen,
+		SPARQL:      ev.Query.SPARQL(),
+		Questions:   ev.Questions,
+		Truncated:   ev.Truncated,
+		Redelivered: ev.Redelivered,
 	}
 }
 

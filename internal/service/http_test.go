@@ -233,6 +233,52 @@ func TestHTTPHealthz(t *testing.T) {
 	}
 }
 
+// GET …/feedback re-reads the pending question without consuming it, and
+// answering afterwards still converges.
+func TestHTTPPendingFeedbackReread(t *testing.T) {
+	c := newTestServer(t, service.Config{})
+	status, resp := c.post("/v1/sessions", map[string]any{
+		"ontology": ntriples.Format(paperfix.Ontology()),
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	base := "/v1/sessions/" + resp["session_id"].(string)
+	if status, _ = c.post(base+"/examples", paperfixExamples()); status != http.StatusOK {
+		t.Fatalf("examples: status %d", status)
+	}
+	if status, _ = c.post(base+"/infer", map[string]any{"mode": "topk"}); status != http.StatusOK {
+		t.Fatalf("infer: status %d", status)
+	}
+	status, resp = c.post(base+"/feedback", nil)
+	if status != http.StatusOK {
+		t.Fatalf("feedback: status %d", status)
+	}
+	if done, _ := resp["done"].(bool); done {
+		t.Skip("candidates collapsed without questions")
+	}
+	want, _ := resp["result"].(string)
+	for i := 0; i < 3; i++ {
+		status, again := c.do(http.MethodGet, base+"/feedback", nil)
+		if status != http.StatusOK {
+			t.Fatalf("pending read: status %d (%v)", status, again)
+		}
+		if got, _ := again["result"].(string); got != want {
+			t.Fatalf("pending read %d returned %q, want %q", i, got, want)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if done, _ := resp["done"].(bool); done {
+			return
+		}
+		status, resp = c.post(base+"/feedback/answer", map[string]any{"include": false})
+		if status != http.StatusOK {
+			t.Fatalf("answer: status %d (%v)", status, resp)
+		}
+	}
+	t.Fatal("dialogue did not converge after pending re-reads")
+}
+
 func TestHTTPUnknownSession(t *testing.T) {
 	c := newTestServer(t, service.Config{})
 	if status, _ := c.post("/v1/sessions/deadbeef/infer", nil); status != http.StatusNotFound {

@@ -118,13 +118,20 @@ func (r *Registry) janitor() {
 	}
 }
 
-// evictExpired removes every session idle since before now-TTL. Split from
-// the janitor loop so tests can drive it deterministically.
+// evictExpired removes every session idle since before now-TTL. A session
+// with an operation in flight is never expired, even when the operation —
+// a long inference, or a request queued on the exhausted worker budget —
+// outlives the TTL: idleness is measured from completed work (operations
+// re-touch the clock when they finish). Split from the janitor loop so
+// tests can drive it deterministically.
 func (r *Registry) evictExpired(now time.Time) int {
 	cutoff := now.Add(-r.cfg.SessionTTL)
 	var expired []*Session
 	r.mu.Lock()
 	for id, s := range r.sessions {
+		if s.busy() {
+			continue
+		}
 		if s.lastUsed().Before(cutoff) {
 			delete(r.sessions, id)
 			expired = append(expired, s)

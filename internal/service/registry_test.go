@@ -231,6 +231,118 @@ func TestFeedbackRestart(t *testing.T) {
 	}
 }
 
+// A feedback request canceled before the question reaches the client must
+// not strand the dialogue: the question waits in the buffer, a blind
+// AnswerFeedback re-delivers it (without consuming the verdict) instead of
+// deadlocking on the oracle channel, and the dialogue still converges.
+func TestFeedbackCanceledRequestRecovers(t *testing.T) {
+	r := newTestRegistry(t, Config{})
+	s := createPaperfix(t, r)
+	if _, err := s.Infer(context.Background(), "topk"); err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	// With an already-canceled context the select usually loses the
+	// question; retry a few times in case it races the other way (each
+	// StartFeedback aborts the previous dialogue).
+	stranded := false
+	for i := 0; i < 50 && !stranded; i++ {
+		ev, err := s.StartFeedback(canceled, 0)
+		if err != nil {
+			stranded = true
+			break
+		}
+		if ev.Done {
+			t.Skip("candidates collapsed without questions")
+		}
+	}
+	if !stranded {
+		t.Skip("cancellation never won the race against the first question")
+	}
+
+	// The dialogue is live with an undelivered question. The answer must
+	// not be consumed: it comes back as a redelivered event.
+	ev, err := s.AnswerFeedback(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Redelivered {
+		t.Fatalf("answer with no delivered question consumed: %+v", ev)
+	}
+	if !ev.Done && ev.Question == nil {
+		t.Fatalf("redelivered event has no question: %+v", ev)
+	}
+	for i := 0; !ev.Done && i < 32; i++ {
+		ev, err = s.AnswerFeedback(context.Background(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ev.Done {
+		t.Fatal("dialogue did not converge after recovery")
+	}
+	if s.Result() == nil {
+		t.Fatal("no chosen query recorded")
+	}
+}
+
+// PendingFeedback re-reads the delivered-but-unanswered question without
+// consuming anything, and the dialogue continues normally afterwards.
+func TestPendingFeedbackIdempotentRead(t *testing.T) {
+	r := newTestRegistry(t, Config{})
+	s := createPaperfix(t, r)
+	if _, err := s.Infer(context.Background(), "topk"); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.StartFeedback(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Done {
+		t.Skip("candidates collapsed without questions")
+	}
+	for i := 0; i < 3; i++ {
+		again, err := s.PendingFeedback(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Done || again.Question != ev.Question || again.Questions != ev.Questions {
+			t.Fatalf("pending read %d diverged: %+v vs %+v", i, again, ev)
+		}
+	}
+	for i := 0; !ev.Done && i < 32; i++ {
+		ev, err = s.AnswerFeedback(context.Background(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ev.Done {
+		t.Fatal("dialogue did not converge")
+	}
+}
+
+// The janitor must not evict a session whose operation is still in flight,
+// however stale its last-used clock; and completing the operation restarts
+// the idle clock.
+func TestEvictionSkipsBusySessions(t *testing.T) {
+	r := newTestRegistry(t, Config{SessionTTL: time.Minute})
+	s := createPaperfix(t, r)
+	s.begin()
+	s.last.Store(time.Now().Add(-time.Hour).UnixNano())
+	if n := r.evictExpired(time.Now()); n != 0 {
+		t.Fatalf("busy session evicted (%d)", n)
+	}
+	s.end()
+	if n := r.evictExpired(time.Now()); n != 0 {
+		t.Fatal("completing the operation did not reset the idle clock")
+	}
+	s.last.Store(time.Now().Add(-time.Hour).UnixNano())
+	if n := r.evictExpired(time.Now()); n != 1 {
+		t.Fatalf("idle expired session kept (%d)", n)
+	}
+}
+
 func TestAnswerWithoutDialogue(t *testing.T) {
 	r := newTestRegistry(t, Config{})
 	s := createPaperfix(t, r)

@@ -39,6 +39,11 @@ type Session struct {
 	// the TTL janitor never contends with a long-running inference.
 	last atomic.Int64
 
+	// inflight counts client operations in progress (including ones queued
+	// on the worker budget); the janitor skips busy sessions, so an
+	// inference outliving the TTL is not evicted mid-run.
+	inflight atomic.Int64
+
 	mu     sync.Mutex
 	ev     *eval.Evaluator
 	opts   core.Options
@@ -68,6 +73,16 @@ func newSession(r *Registry, id string, onto *graph.Graph, opts core.Options) *S
 func (s *Session) touch()              { s.last.Store(time.Now().UnixNano()) }
 func (s *Session) lastUsed() time.Time { return time.Unix(0, s.last.Load()) }
 
+// begin/end bracket one client operation. The end-side touch restarts the
+// idle clock when the operation finishes, so a session is idle-for-TTL
+// only relative to its last completed work, not the request that started
+// it; the inflight count lets the janitor skip sessions mid-operation.
+func (s *Session) begin() { s.inflight.Add(1); s.touch() }
+func (s *Session) end()   { s.inflight.Add(-1); s.touch() }
+
+// busy reports whether a client operation is in flight.
+func (s *Session) busy() bool { return s.inflight.Load() > 0 }
+
 // close cancels the session's context and waits for its feedback goroutine
 // (if any) to exit.
 func (s *Session) close() {
@@ -84,6 +99,8 @@ func (s *Session) close() {
 // SetExamples validates and installs the example-set, resetting any
 // previous inference outcome and aborting a feedback dialogue in progress.
 func (s *Session) SetExamples(exs provenance.ExampleSet) error {
+	s.begin()
+	defer s.end()
 	if err := exs.Validate(); err != nil {
 		return err
 	}
@@ -113,7 +130,8 @@ type InferResult struct {
 // deadline, or session eviction — surfaces as a qerr.ErrCanceled-wrapped
 // error from inside the merge engine's round loop.
 func (s *Session) Infer(ctx context.Context, mode string) (InferResult, error) {
-	s.touch()
+	s.begin()
+	defer s.end()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.ex) == 0 {
@@ -193,19 +211,32 @@ type FeedbackEvent struct {
 	Query     *query.Union
 	Questions int
 	Truncated bool
+
+	// Redelivered reports that an AnswerFeedback verdict was NOT consumed
+	// because no delivered question was awaiting one (the request that
+	// should have delivered it was canceled mid-dialogue); the client must
+	// answer the returned question instead.
+	Redelivered bool
 }
 
 // feedbackRun is the channel plumbing between HTTP handlers and the
-// goroutine driving feedback.Session.ChooseQuery. The oracle blocks in
-// question/answer sends until the next HTTP request arrives — or until the
-// session context is canceled, which is how eviction and shutdown reap the
-// goroutine.
+// goroutine driving feedback.Session.ChooseQuery. questions is buffered
+// (capacity 1) so the goroutine never blocks delivering a question: if the
+// HTTP request that should have picked it up is canceled first, the
+// question waits in the buffer for the next request instead of stranding
+// the dialogue. The goroutine does block waiting for each answer — or for
+// the session context to be canceled, which is how eviction and shutdown
+// reap it.
 type feedbackRun struct {
 	questions chan *eval.ResultWithProvenance
 	answers   chan bool
 	outcome   chan feedbackOutcome // buffered: the goroutine never blocks on it
 	exited    chan struct{}
 	asked     int
+
+	// pending is the question delivered to the client and awaiting an
+	// answer (nil when none). Guarded by the session mutex.
+	pending *eval.ResultWithProvenance
 }
 
 type feedbackOutcome struct {
@@ -261,7 +292,8 @@ func (s *Session) abortFeedbackLocked() {
 // immediate decision when the candidates are indistinguishable. max bounds
 // the number of questions (0 = unbounded).
 func (s *Session) StartFeedback(ctx context.Context, max int) (FeedbackEvent, error) {
-	s.touch()
+	s.begin()
+	defer s.end()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.cands) == 0 {
@@ -270,7 +302,7 @@ func (s *Session) StartFeedback(ctx context.Context, max int) (FeedbackEvent, er
 	s.abortFeedbackLocked()
 
 	run := &feedbackRun{
-		questions: make(chan *eval.ResultWithProvenance),
+		questions: make(chan *eval.ResultWithProvenance, 1),
 		answers:   make(chan bool),
 		outcome:   make(chan feedbackOutcome, 1),
 		exited:    make(chan struct{}),
@@ -295,9 +327,14 @@ func (s *Session) StartFeedback(ctx context.Context, max int) (FeedbackEvent, er
 }
 
 // AnswerFeedback relays the user's verdict on the pending question and
-// returns the next event.
+// returns the next event. If no delivered question is awaiting an answer —
+// the request that should have delivered it was canceled mid-dialogue —
+// the verdict is NOT consumed (it has no question to apply to); instead
+// the pending event is (re)delivered with Redelivered set, and the client
+// answers that. PendingFeedback offers the same recovery as a read.
 func (s *Session) AnswerFeedback(ctx context.Context, include bool) (FeedbackEvent, error) {
-	s.touch()
+	s.begin()
+	defer s.end()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	run := s.fb
@@ -308,12 +345,44 @@ func (s *Session) AnswerFeedback(ctx context.Context, include bool) (FeedbackEve
 	for i, c := range s.cands {
 		cands[i] = c.Query
 	}
+	if run.pending == nil {
+		ev, err := s.nextEventLocked(ctx, run, cands)
+		if err == nil {
+			ev.Redelivered = true
+		}
+		return ev, err
+	}
 	select {
 	case run.answers <- include:
+		run.pending = nil
 	case <-ctx.Done():
 		return FeedbackEvent{}, qerr.Canceled(ctx.Err())
 	case <-s.ctx.Done():
 		return FeedbackEvent{}, qerr.Canceled(s.ctx.Err())
+	}
+	return s.nextEventLocked(ctx, run, cands)
+}
+
+// PendingFeedback returns the dialogue's current event without consuming
+// an answer: the already-delivered question when one awaits a verdict,
+// otherwise the next question or the outcome. This is how a client whose
+// previous request was canceled mid-dialogue re-fetches the question it
+// lost.
+func (s *Session) PendingFeedback(ctx context.Context) (FeedbackEvent, error) {
+	s.begin()
+	defer s.end()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run := s.fb
+	if run == nil {
+		return FeedbackEvent{}, fmt.Errorf("service: no feedback dialogue in progress")
+	}
+	if run.pending != nil {
+		return FeedbackEvent{Question: run.pending, Questions: run.asked}, nil
+	}
+	cands := make([]*query.Union, len(s.cands))
+	for i, c := range s.cands {
+		cands[i] = c.Query
 	}
 	return s.nextEventLocked(ctx, run, cands)
 }
@@ -324,6 +393,7 @@ func (s *Session) nextEventLocked(ctx context.Context, run *feedbackRun, cands [
 	select {
 	case q := <-run.questions:
 		run.asked++
+		run.pending = q
 		return FeedbackEvent{Question: q, Questions: run.asked}, nil
 	case out := <-run.outcome:
 		s.fb = nil
