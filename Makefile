@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json experiments examples serve clean
+.PHONY: all build test race chaos cover bench bench-json experiments examples serve clean
 
 all: build test
 
@@ -20,9 +20,20 @@ test:
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test ./...
+	@$(MAKE) --no-print-directory chaos
 
 race:
 	$(GO) test -race ./internal/eval/ ./internal/core/ ./internal/feedback/ ./internal/service/
+
+# Chaos harness (DESIGN.md §8): drive the full HTTP service under -race
+# while the faults package injects errors and panics at every registered
+# point, plus the fault-tolerance tests of the layers below (guarded
+# degradation, panic isolation, load shedding, retrying client).
+chaos:
+	$(GO) test -race -count=2 \
+		-run 'Chaos|Fault|Panic|Shed|Degraded|Overload|Guard|Retr' \
+		./internal/faults/ ./internal/conc/ ./internal/eval/ \
+		./internal/core/ ./internal/service/ ./internal/client/
 
 cover:
 	$(GO) test -cover ./...

@@ -31,12 +31,18 @@ func main() {
 	ttl := flag.Duration("session-ttl", service.DefaultSessionTTL, "idle session eviction TTL")
 	maxSessions := flag.Int("max-sessions", service.DefaultMaxSessions, "live session cap")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	admissionWait := flag.Duration("admission-wait", service.DefaultAdmissionWait,
+		"max time an inference request may queue on the worker budget before a 429 (negative = wait forever)")
+	retryAfter := flag.Duration("retry-after", service.DefaultRetryAfter,
+		"Retry-After hint on shed (429) responses")
 	flag.Parse()
 
 	reg := service.NewRegistry(service.Config{
-		TotalWorkers: *workers,
-		SessionTTL:   *ttl,
-		MaxSessions:  *maxSessions,
+		TotalWorkers:  *workers,
+		SessionTTL:    *ttl,
+		MaxSessions:   *maxSessions,
+		AdmissionWait: *admissionWait,
+		RetryAfter:    *retryAfter,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,321 @@
+// Package client is a retry-aware Go client for the questprod HTTP API —
+// the consumer half of the service's load-shedding contract. The server
+// sheds saturated requests with 429 + Retry-After (see internal/service);
+// this client backs off with capped exponential delays and seeded jitter,
+// honors Retry-After as a floor, and replays the request body verbatim on
+// every attempt, so a burst of clients against a saturated server drains
+// as a staggered queue instead of a synchronized retry storm.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"questpro/internal/qerr"
+)
+
+// Config sizes a Client. The zero value of every field selects its default.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8370". Required.
+	BaseURL string
+
+	// MaxRetries bounds the retry attempts after the first try (so a request
+	// is sent at most MaxRetries+1 times). 0 selects DefaultMaxRetries;
+	// negative disables retrying.
+	MaxRetries int
+
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt up to MaxDelay. 0 selects DefaultBaseDelay / DefaultMaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	// Seed seeds the jitter source, so tests replay identical schedules.
+	Seed int64
+
+	// HTTPClient overrides the transport (httptest servers, custom
+	// timeouts). nil selects http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultMaxRetries = 6
+	DefaultBaseDelay  = 100 * time.Millisecond
+	DefaultMaxDelay   = 5 * time.Second
+)
+
+// Client talks to one questprod server. Safe for concurrent use; construct
+// with New.
+type Client struct {
+	base    string
+	retries int
+	baseD   time.Duration
+	maxD    time.Duration
+	httpc   *http.Client
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	retried atomic.Int64
+}
+
+// New builds a client over cfg.
+func New(cfg Config) *Client {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = DefaultBaseDelay
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = DefaultMaxDelay
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	return &Client{
+		base:    strings.TrimRight(cfg.BaseURL, "/"),
+		retries: cfg.MaxRetries,
+		baseD:   cfg.BaseDelay,
+		maxD:    cfg.MaxDelay,
+		httpc:   cfg.HTTPClient,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Retries reports the total number of retry waits this client has
+// performed, across all requests (test observability).
+func (c *Client) Retries() int64 { return c.retried.Load() }
+
+// APIError is a non-2xx response: the status, the server's error message,
+// and the parsed Retry-After hint (zero when absent). It matches
+// qerr.ErrOverloaded under errors.Is when the status is 429, so callers
+// can branch on shedding without importing net/http statuses.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+func (e *APIError) Is(target error) bool {
+	return target == qerr.ErrOverloaded && e.Status == http.StatusTooManyRequests
+}
+
+// retryable reports whether the failure is worth another attempt: load
+// shedding (429) and transient unavailability (503). Everything else —
+// including 504, which means the request's own deadline died server-side —
+// is the caller's problem.
+func (e *APIError) retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// nextDelay computes the wait before retry attempt (0-based): capped
+// exponential backoff with equal jitter (half fixed, half uniform-random),
+// floored at the server's Retry-After hint when one was sent.
+func (c *Client) nextDelay(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.baseD << attempt
+	if d > c.maxD || d <= 0 { // <= 0: shift overflow
+		d = c.maxD
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if jittered < retryAfter {
+		jittered = retryAfter
+	}
+	return jittered
+}
+
+// sleep waits d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do sends one JSON request with retries and decodes a 2xx response into
+// out (skipped when out is nil). The body is marshaled exactly once and
+// replayed from the same bytes on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		apiErr, err := c.once(ctx, method, path, body, out)
+		if err == nil && apiErr == nil {
+			return nil
+		}
+		retryAfter := time.Duration(0)
+		if apiErr != nil {
+			if !apiErr.retryable() {
+				return apiErr
+			}
+			retryAfter = apiErr.RetryAfter
+		}
+		if attempt >= c.retries {
+			if apiErr != nil {
+				return fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, apiErr)
+			}
+			return fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, err)
+		}
+		if err := sleep(ctx, c.nextDelay(attempt, retryAfter)); err != nil {
+			return fmt.Errorf("client: canceled while backing off: %w", err)
+		}
+		c.retried.Add(1)
+	}
+}
+
+// once performs a single attempt. A transport failure comes back in err;
+// a non-2xx response in apiErr; success is (nil, nil).
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (*APIError, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The caller's context died; retrying cannot help.
+			return nil, fmt.Errorf("client: %w", ctx.Err())
+		}
+		return nil, fmt.Errorf("client: transport: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode/100 == 2 {
+		if out == nil || len(raw) == 0 {
+			return nil, nil
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return nil, fmt.Errorf("client: decoding response: %w", err)
+		}
+		return nil, nil
+	}
+	ae := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	var wire struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &wire) == nil && wire.Error != "" {
+		ae.Message = wire.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae, nil
+}
+
+// Options mirrors the create-request option block (zero fields keep the
+// server's defaults; see internal/service createRequest).
+type Options struct {
+	NumIter        int     `json:"num_iter,omitempty"`
+	K              int     `json:"k,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	FirstPairSweep int     `json:"first_pair_sweep,omitempty"`
+	CostW1         float64 `json:"cost_w1,omitempty"`
+	CostW2         float64 `json:"cost_w2,omitempty"`
+	MaxSteps       int64   `json:"max_steps,omitempty"`
+	MaxResults     int64   `json:"max_results,omitempty"`
+	MaxBytes       int64   `json:"max_bytes,omitempty"`
+}
+
+// Example is one provenance example on the wire.
+type Example struct {
+	Triples       string `json:"triples"`
+	Distinguished string `json:"distinguished"`
+}
+
+// Candidate is one top-k candidate.
+type Candidate struct {
+	SPARQL string  `json:"sparql"`
+	Cost   float64 `json:"cost"`
+}
+
+// InferResult is the inference response.
+type InferResult struct {
+	Mode       string      `json:"mode"`
+	SPARQL     string      `json:"sparql"`
+	Degraded   bool        `json:"degraded"`
+	Candidates []Candidate `json:"candidates"`
+}
+
+// CreateSession creates a session over the ontology (N-Triples text) and
+// returns its id. opts may be nil.
+func (c *Client) CreateSession(ctx context.Context, ontology string, opts *Options) (string, error) {
+	req := map[string]any{"ontology": ontology}
+	if opts != nil {
+		req["options"] = opts
+	}
+	var resp struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp); err != nil {
+		return "", err
+	}
+	if resp.SessionID == "" {
+		return "", fmt.Errorf("client: server returned no session id")
+	}
+	return resp.SessionID, nil
+}
+
+// SetExamples submits the session's example-set.
+func (c *Client) SetExamples(ctx context.Context, sessionID string, exs []Example) error {
+	return c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/examples",
+		map[string]any{"examples": exs}, nil)
+}
+
+// Infer runs inference ("simple", "union" or "topk"); timeout bounds the
+// run server-side (0 = none).
+func (c *Client) Infer(ctx context.Context, sessionID, mode string, timeout time.Duration) (*InferResult, error) {
+	req := map[string]any{"mode": mode}
+	if timeout > 0 {
+		req["timeout_ms"] = int(timeout / time.Millisecond)
+	}
+	var resp InferResult
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/infer", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeleteSession evicts the session.
+func (c *Client) DeleteSession(ctx context.Context, sessionID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+sessionID, nil, nil)
+}

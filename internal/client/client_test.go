@@ -1,0 +1,208 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"questpro/internal/ntriples"
+	"questpro/internal/paperfix"
+	"questpro/internal/qerr"
+	"questpro/internal/service"
+)
+
+var bg = context.Background()
+
+// fastCfg points a quick-retrying client at url.
+func fastCfg(url string) Config {
+	return Config{
+		BaseURL:    url,
+		MaxRetries: 5,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   5 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+// Transient 503s are retried until the server recovers, and the request
+// body is replayed byte-identically on every attempt.
+func TestRetriesTransientFailures(t *testing.T) {
+	var attempts atomic.Int64
+	var firstBody atomic.Pointer[string]
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		s := string(body)
+		if prev := firstBody.Load(); prev == nil {
+			firstBody.Store(&s)
+		} else if *prev != s {
+			t.Errorf("attempt %d body %q differs from first %q", attempts.Load()+1, s, *prev)
+		}
+		if attempts.Add(1) <= 2 {
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"session_id":"abc123"}`))
+	}))
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	id, err := c.CreateSession(bg, "o1 p o2\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "abc123" {
+		t.Fatalf("session id %q, want abc123", id)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+// Client errors (400) are not retried; the typed APIError carries the
+// server's message.
+func TestNoRetryOnClientError(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"no such ontology"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	_, err := c.CreateSession(bg, "x\n", nil)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	if ae.Status != http.StatusBadRequest || ae.Message != "no such ontology" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if attempts.Load() != 1 || c.Retries() != 0 {
+		t.Fatalf("attempts = %d, retries = %d; want 1, 0", attempts.Load(), c.Retries())
+	}
+}
+
+// A 429 APIError matches qerr.ErrOverloaded so callers can branch on
+// shedding without comparing HTTP statuses; other statuses do not.
+func TestAPIErrorMatchesOverloaded(t *testing.T) {
+	if !errors.Is(&APIError{Status: http.StatusTooManyRequests}, qerr.ErrOverloaded) {
+		t.Fatal("429 APIError does not match ErrOverloaded")
+	}
+	if errors.Is(&APIError{Status: http.StatusServiceUnavailable}, qerr.ErrOverloaded) {
+		t.Fatal("503 APIError matches ErrOverloaded")
+	}
+}
+
+// nextDelay: exponential growth under the cap, equal jitter within
+// [d/2, d], and the server's Retry-After hint as a floor.
+func TestNextDelaySchedule(t *testing.T) {
+	c := New(Config{BaseURL: "http://x", BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: 7})
+	for attempt, want := range []time.Duration{
+		time.Millisecond,     // 1ms
+		2 * time.Millisecond, // 2ms
+		4 * time.Millisecond, // 4ms (cap)
+		4 * time.Millisecond, // still capped
+	} {
+		for i := 0; i < 50; i++ {
+			d := c.nextDelay(attempt, 0)
+			if d < want/2 || d > want {
+				t.Fatalf("nextDelay(%d) = %s outside [%s, %s]", attempt, d, want/2, want)
+			}
+		}
+	}
+	if d := c.nextDelay(0, 2*time.Second); d != 2*time.Second {
+		t.Fatalf("nextDelay with Retry-After floor = %s, want 2s", d)
+	}
+	// An absurd attempt count must not overflow into a negative delay.
+	if d := c.nextDelay(62, 0); d < 0 || d > 4*time.Millisecond {
+		t.Fatalf("nextDelay(62) = %s", d)
+	}
+}
+
+// Exhausted retries surface the last failure, with the attempt count.
+func TestGivesUpAfterMaxRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	ts.Close() // transport errors from the first attempt on
+
+	cfg := fastCfg(ts.URL)
+	cfg.MaxRetries = 2
+	c := New(cfg)
+	_, err := c.CreateSession(bg, "x\n", nil)
+	if err == nil {
+		t.Fatal("CreateSession against a dead server succeeded")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("error %q does not report the attempt count", err)
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// Cancellation interrupts a backoff sleep promptly.
+func TestCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: 3, BaseDelay: 10 * time.Second, Seed: 1})
+	ctx, cancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.CreateSession(ctx, "x\n", nil)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %s; backoff sleep not interrupted", elapsed)
+	}
+}
+
+// The typed helpers drive a real service end to end: create, examples,
+// union inference, delete.
+func TestEndToEndAgainstService(t *testing.T) {
+	reg := service.NewRegistry(service.Config{})
+	t.Cleanup(reg.Close)
+	ts := httptest.NewServer(service.NewServer(reg))
+	t.Cleanup(ts.Close)
+
+	c := New(fastCfg(ts.URL))
+	id, err := c.CreateSession(bg, ntriples.Format(paperfix.Ontology()), &Options{NumIter: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := paperfix.Ontology()
+	var exs []Example
+	for _, e := range paperfix.Explanations(o) {
+		exs = append(exs, Example{
+			Triples:       ntriples.Format(e.Graph),
+			Distinguished: e.DistinguishedValue(),
+		})
+	}
+	if err := c.SetExamples(bg, id, exs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Infer(bg, id, "union", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.SPARQL, "SELECT") {
+		t.Fatalf("implausible sparql %q", res.SPARQL)
+	}
+	if res.Degraded {
+		t.Fatalf("unguarded inference reported degraded")
+	}
+	if err := c.DeleteSession(bg, id); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("session survived deletion")
+	}
+}

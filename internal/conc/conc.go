@@ -9,9 +9,12 @@ package conc
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"questpro/internal/faults"
 	"questpro/internal/qerr"
 )
 
@@ -103,6 +106,58 @@ func (b *Budget) Acquire(ctx context.Context, n int) (int, error) {
 		}
 		return 0, qerr.Canceled(ctx.Err())
 	}
+}
+
+// TryAcquire takes n tokens (clamped like Acquire) only when they are
+// immediately available and no earlier request is queued; it never blocks.
+// It reports the granted count and whether the grant happened.
+func (b *Budget) TryAcquire(n int) (int, bool) {
+	if n > b.size {
+		n = b.size
+	}
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.used+n <= b.size && b.waiters.Len() == 0 {
+		b.used += n
+		return n, true
+	}
+	return 0, false
+}
+
+// AcquireWithin is Acquire with bounded patience — the admission-control
+// primitive behind the service's load shedding. It waits at most wait for
+// the whole grant; if the budget stays saturated past the wait while the
+// caller's own context is still live, it reports a qerr.ErrOverloaded-
+// wrapped error (shed the request, tell the client to retry later) instead
+// of ErrCanceled. wait == 0 degenerates to TryAcquire; wait < 0 waits
+// forever (plain Acquire). The faults.BudgetAcquire injection point fires
+// here, surfacing as an overload.
+func (b *Budget) AcquireWithin(ctx context.Context, n int, wait time.Duration) (int, error) {
+	if err := faults.Fire(faults.BudgetAcquire); err != nil {
+		return 0, fmt.Errorf("conc: budget admission: %v: %w", err, qerr.ErrOverloaded)
+	}
+	if wait < 0 {
+		return b.Acquire(ctx, n)
+	}
+	if got, ok := b.TryAcquire(n); ok {
+		return got, nil
+	}
+	if wait == 0 {
+		return 0, fmt.Errorf("conc: budget saturated: %w", qerr.ErrOverloaded)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	got, err := b.Acquire(waitCtx, n)
+	if err != nil {
+		if ctx.Err() == nil && waitCtx.Err() == context.DeadlineExceeded {
+			return 0, fmt.Errorf("conc: budget saturated after %s: %w", wait, qerr.ErrOverloaded)
+		}
+		return 0, err
+	}
+	return got, nil
 }
 
 // Release returns n tokens to the budget, waking queued acquirers whose

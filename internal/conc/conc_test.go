@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"questpro/internal/conc"
+	"questpro/internal/faults"
 	"questpro/internal/qerr"
 )
 
@@ -147,5 +148,118 @@ func TestBudgetCanceledHeadUnblocksQueue(t *testing.T) {
 	b.Release(got)
 	if got, err := b.Acquire(context.Background(), 4); err != nil || got != 4 {
 		t.Fatalf("budget leaked tokens: got=%d err=%v", got, err)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	b := conc.NewBudget(2)
+	got, ok := b.TryAcquire(2)
+	if !ok || got != 2 {
+		t.Fatalf("TryAcquire on idle budget: got=%d ok=%v", got, ok)
+	}
+	if _, ok := b.TryAcquire(1); ok {
+		t.Fatal("TryAcquire succeeded on a saturated budget")
+	}
+	b.Release(got)
+	if got, ok := b.TryAcquire(10); !ok || got != 2 {
+		t.Fatalf("TryAcquire did not clamp: got=%d ok=%v", got, ok)
+	}
+	b.Release(2)
+}
+
+// TryAcquire must not jump the FIFO queue: while a waiter is parked, even a
+// fitting request is denied.
+func TestTryAcquireRespectsWaiters(t *testing.T) {
+	b := conc.NewBudget(4)
+	got, err := b.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterIn := make(chan struct{})
+	waiterOut := make(chan error, 1)
+	go func() {
+		close(waiterIn)
+		n, err := b.Acquire(context.Background(), 3)
+		if err == nil {
+			b.Release(n)
+		}
+		waiterOut <- err
+	}()
+	<-waiterIn
+	time.Sleep(50 * time.Millisecond) // let the waiter enqueue
+	if _, ok := b.TryAcquire(1); ok {
+		t.Fatal("TryAcquire overtook a queued waiter")
+	}
+	b.Release(got)
+	if err := <-waiterOut; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcquireWithinShedsOnSaturation(t *testing.T) {
+	b := conc.NewBudget(1)
+	got, err := b.AcquireWithin(context.Background(), 1, 50*time.Millisecond)
+	if err != nil || got != 1 {
+		t.Fatalf("idle AcquireWithin: got=%d err=%v", got, err)
+	}
+	start := time.Now()
+	_, err = b.AcquireWithin(context.Background(), 1, 50*time.Millisecond)
+	if !errors.Is(err, qerr.ErrOverloaded) {
+		t.Fatalf("saturated AcquireWithin = %v, want ErrOverloaded", err)
+	}
+	if errors.Is(err, qerr.ErrCanceled) {
+		t.Fatal("overload must not be reported as cancellation")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("bounded wait was not bounded")
+	}
+	// wait == 0 is TryAcquire semantics.
+	if _, err := b.AcquireWithin(context.Background(), 1, 0); !errors.Is(err, qerr.ErrOverloaded) {
+		t.Fatalf("zero-wait saturated AcquireWithin = %v, want ErrOverloaded", err)
+	}
+	b.Release(got)
+	if got, err := b.AcquireWithin(context.Background(), 1, 0); err != nil || got != 1 {
+		t.Fatalf("post-release zero-wait: got=%d err=%v", got, err)
+	}
+	b.Release(1)
+}
+
+// A caller whose own context dies during the bounded wait sees cancellation,
+// not overload: the two must stay distinguishable (504 vs 429 upstream).
+func TestAcquireWithinCanceledCallerIsNotOverload(t *testing.T) {
+	b := conc.NewBudget(1)
+	got, err := b.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = b.AcquireWithin(ctx, 1, 10*time.Second)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("canceled-caller AcquireWithin = %v, want ErrCanceled", err)
+	}
+	if errors.Is(err, qerr.ErrOverloaded) {
+		t.Fatal("cancellation must not be reported as overload")
+	}
+	b.Release(got)
+}
+
+func TestAcquireWithinFaultInjection(t *testing.T) {
+	restore := faults.Activate(faults.NewInjector(1,
+		faults.Rule{Point: faults.BudgetAcquire, FirstN: 2}))
+	defer restore()
+	b := conc.NewBudget(4)
+	for i := 0; i < 2; i++ {
+		if _, err := b.AcquireWithin(context.Background(), 1, time.Second); !errors.Is(err, qerr.ErrOverloaded) {
+			t.Fatalf("injected admission fault %d = %v, want ErrOverloaded", i, err)
+		}
+	}
+	got, err := b.AcquireWithin(context.Background(), 1, time.Second)
+	if err != nil || got != 1 {
+		t.Fatalf("post-fault acquire: got=%d err=%v", got, err)
+	}
+	b.Release(got)
+	if got, err := b.Acquire(context.Background(), 4); err != nil || got != 4 {
+		t.Fatalf("injected faults leaked tokens: got=%d err=%v", got, err)
 	}
 }

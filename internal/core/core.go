@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"questpro/internal/eval"
 	"questpro/internal/query"
 )
 
@@ -55,6 +56,15 @@ type Options struct {
 	// regardless of the value (selection is replayed deterministically after
 	// all merges are cached).
 	Workers int
+
+	// Guard bounds the resources one inference operation may consume (see
+	// eval.Guard). The zero value disables guarding — the pre-guard behavior,
+	// byte-identical results included. When the guard runs out mid-inference,
+	// InferUnion and InferTopK return the best consistent state reached so
+	// far with Stats.Degraded set and an error matching
+	// qerr.ErrBudgetExhausted; InferSimple, whose intermediate states are not
+	// consistent queries, returns only the error.
+	Guard eval.Guard
 }
 
 // DefaultOptions returns the paper's parameterization: gain weights
@@ -88,6 +98,9 @@ func (o Options) Validate() error {
 	if o.FirstPairSweep < 0 {
 		return fmt.Errorf("core: negative FirstPairSweep %d (use 0 for the default sweep)", o.FirstPairSweep)
 	}
+	if err := o.Guard.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 
@@ -117,6 +130,18 @@ type Stats struct {
 	// RoundWall is the wall-clock time of each inference round (index =
 	// round-1). Timing only: excluded from determinism comparisons.
 	RoundWall []time.Duration
+
+	// Degraded records that the run exhausted its Options.Guard budget and
+	// the returned query is a best-effort partial state, not the fixpoint.
+	// Excluded from CountersSnapshot: a degraded run did strictly less work,
+	// so its counters are not comparable to a full run's anyway.
+	Degraded bool
+
+	// GuardUsage is the final reading of the run's guard meter (zero when no
+	// guard was configured). Timing-like observability; excluded from
+	// determinism comparisons because step charges depend on scheduling only
+	// in degraded runs.
+	GuardUsage eval.Usage
 }
 
 // TotalWall sums the per-round wall times.

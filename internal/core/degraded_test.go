@@ -1,0 +1,183 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/faults"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+	"questpro/internal/qerr"
+	"questpro/internal/workload/sampling"
+	"questpro/internal/workload/sp2b"
+)
+
+// sp2bExamples samples n explanations of one sp2b benchmark query over a
+// small generated ontology — the same construction the workload integration
+// test uses.
+func sp2bExamples(t *testing.T, n int) provenance.ExampleSet {
+	t.Helper()
+	cfg := sp2b.DefaultConfig()
+	cfg.Persons, cfg.Articles, cfg.Inproceedings = 300, 500, 500
+	g, err := sp2b.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq := sp2b.Queries()[0]
+	s := sampling.New(eval.New(g), bq.Query, rand.New(rand.NewSource(5)))
+	exs, err := s.ExampleSet(bg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exs
+}
+
+// The degraded-inference contract on a real workload: a tight step budget
+// yields a partial but consistent union (never a hang, never empty with a
+// nil error), and disabling the guard reproduces the unguarded engine's
+// output byte for byte.
+func TestInferUnionDegradedOnSp2b(t *testing.T) {
+	exs := sp2bExamples(t, 4)
+	opts := core.DefaultOptions()
+
+	// Reference: the unguarded engine equals the sequential pre-engine port.
+	want := inferUnionSequential(t, exs, opts)
+	full, fullStats, err := core.InferUnion(bg, exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.SPARQL() != want.SPARQL() {
+		t.Fatalf("unguarded engine diverged from sequential:\n%s\nvs\n%s", full.SPARQL(), want.SPARQL())
+	}
+	if fullStats.Degraded {
+		t.Fatal("unguarded run reported Degraded")
+	}
+
+	// A generous guard that never exhausts must not change a single byte.
+	roomy := opts
+	roomy.Guard = eval.Guard{MaxSteps: 1 << 40}
+	got, gotStats, err := core.InferUnion(bg, exs, roomy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SPARQL() != full.SPARQL() {
+		t.Fatalf("roomy guard changed the result:\n%s\nvs\n%s", got.SPARQL(), full.SPARQL())
+	}
+	if gotStats.Degraded || gotStats.GuardUsage.Steps == 0 {
+		t.Fatalf("roomy guard stats wrong: Degraded=%v usage=%+v", gotStats.Degraded, gotStats.GuardUsage)
+	}
+	if gotStats.Counters() != fullStats.Counters() {
+		t.Fatalf("roomy guard changed deterministic counters: %+v vs %+v",
+			gotStats.Counters(), fullStats.Counters())
+	}
+
+	// Tight budgets across several orders of magnitude: every run terminates
+	// with a non-empty union that is still consistent with the examples.
+	for _, budget := range []int64{1, 50, 500, 5000} {
+		tight := opts
+		tight.Guard = eval.Guard{MaxSteps: budget}
+		u, stats, err := core.InferUnion(bg, exs, tight)
+		if err == nil {
+			// Budget happened to suffice; the result must equal the full run.
+			if u.SPARQL() != full.SPARQL() {
+				t.Fatalf("budget %d: un-degraded run diverged", budget)
+			}
+			continue
+		}
+		if !errors.Is(err, qerr.ErrBudgetExhausted) {
+			t.Fatalf("budget %d: err = %v, want ErrBudgetExhausted", budget, err)
+		}
+		if u == nil || u.Size() == 0 {
+			t.Fatalf("budget %d: degraded run returned no partial union", budget)
+		}
+		if !stats.Degraded {
+			t.Fatalf("budget %d: Degraded flag not set on partial result", budget)
+		}
+		ok, cerr := provenance.Consistent(bg, u, exs)
+		if cerr != nil {
+			t.Fatalf("budget %d: consistency check: %v", budget, cerr)
+		}
+		if !ok {
+			t.Fatalf("budget %d: degraded union inconsistent with the examples:\n%s", budget, u.SPARQL())
+		}
+	}
+}
+
+// InferTopK degrades to its current beam; InferSimple (whose intermediates
+// are not consistent queries) fails cleanly with a nil query.
+func TestInferTopKAndSimpleUnderTightGuard(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+	opts.Guard = eval.Guard{MaxSteps: 1}
+
+	beam, stats, err := core.InferTopK(bg, exs, opts)
+	if !errors.Is(err, qerr.ErrBudgetExhausted) {
+		t.Fatalf("InferTopK err = %v, want ErrBudgetExhausted", err)
+	}
+	if len(beam) == 0 || !stats.Degraded {
+		t.Fatalf("InferTopK degraded badly: beam=%d Degraded=%v", len(beam), stats.Degraded)
+	}
+	for _, c := range beam {
+		ok, cerr := provenance.Consistent(bg, c.Query, exs)
+		if cerr != nil || !ok {
+			t.Fatalf("degraded beam state inconsistent (ok=%v err=%v):\n%s", ok, cerr, c.Query.SPARQL())
+		}
+	}
+
+	q, _, err := core.InferSimple(bg, exs, opts)
+	if !errors.Is(err, qerr.ErrBudgetExhausted) {
+		t.Fatalf("InferSimple err = %v, want ErrBudgetExhausted", err)
+	}
+	if q != nil {
+		t.Fatal("InferSimple returned a query alongside a budget error")
+	}
+}
+
+// A panic inside MergePair — injected at the merge.pair fault point, on
+// worker goroutines included — is recovered into a qerr.ErrInternal error
+// instead of crashing the test process.
+func TestMergePanicIsIsolated(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	for _, workers := range []int{1, 4} {
+		restore := faults.Activate(faults.NewInjector(7,
+			faults.Rule{Point: faults.MergePair, OnNth: 2, Panic: true}))
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		_, _, err := core.InferUnion(bg, exs, opts)
+		restore()
+		if !errors.Is(err, qerr.ErrInternal) {
+			t.Fatalf("workers=%d: err = %v, want ErrInternal", workers, err)
+		}
+		var ie *qerr.InternalError
+		if !errors.As(err, &ie) || ie.Stack == "" {
+			t.Fatalf("workers=%d: internal error carries no stack: %v", workers, err)
+		}
+	}
+}
+
+// An injected error (not panic) at merge.pair propagates as-is.
+func TestMergeFaultErrorPropagates(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	restore := faults.Activate(faults.NewInjector(7,
+		faults.Rule{Point: faults.MergePair, OnNth: 1}))
+	defer restore()
+	_, _, err := core.InferUnion(bg, exs, core.DefaultOptions())
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+// Options.Validate rejects malformed guards at the boundary.
+func TestValidateRejectsNegativeGuard(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Guard = eval.Guard{MaxBytes: -3}
+	if err := opts.Validate(); err == nil {
+		t.Fatal("negative guard budget accepted")
+	}
+}

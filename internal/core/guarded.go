@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"questpro/internal/eval"
+	"questpro/internal/faults"
+	"questpro/internal/qerr"
+	"questpro/internal/query"
+)
+
+// pairCost estimates the work of one MergePair in guard steps: the size of
+// the complete-relation table Algorithm 1 scans, |V(a)+1| * |V(b)+1|
+// (Definition 3.6 relations range over nodes plus the "unmatched" slot).
+func pairCost(a, b *query.Simple) int64 {
+	return int64(a.NumNodes()+1) * int64(b.NumNodes()+1)
+}
+
+// safeMergePair is the merge engine's recovery boundary around MergePair: a
+// panic in the merge algebra — on any worker goroutine — is converted to a
+// qerr.ErrInternal-matching error with a sanitized stack instead of killing
+// the process, and the faults.MergePair injection point fires first so the
+// chaos harness can fail or panic exactly here. The meter (nil when the
+// operation is unguarded) is charged pairCost up front; an exhausted guard
+// surfaces as the meter's qerr.ErrBudgetExhausted-matching error without
+// running the merge.
+func safeMergePair(a, b *query.Simple, opts Options, m *eval.Meter) (res MergeResult, ok bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, ok = MergeResult{}, false
+			err = fmt.Errorf("core: merge pair: %w", qerr.Internal(r, debug.Stack()))
+		}
+	}()
+	if !m.ChargeSteps(pairCost(a, b)) {
+		return MergeResult{}, false, m.Err()
+	}
+	if e := faults.Fire(faults.MergePair); e != nil {
+		return MergeResult{}, false, fmt.Errorf("core: merge pair: %w", e)
+	}
+	return MergePair(a, b, opts)
+}

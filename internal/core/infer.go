@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -38,6 +39,13 @@ func roundCanceled(ctx context.Context, round int) error {
 	return nil
 }
 
+// recordGuard copies the cache meter's final reading into the stats.
+func recordGuard(stats *Stats, cache *MergeCache) {
+	if m := cache.Meter(); m != nil {
+		stats.GuardUsage = m.Snapshot()
+	}
+}
+
 // InferSimple implements the n-explanation extension of Section III: it
 // repeatedly runs Algorithm 1 on every pair of patterns (explanations and
 // intermediate queries alike) and greedily merges the pair whose complete
@@ -51,13 +59,18 @@ func roundCanceled(ctx context.Context, round int) error {
 // parallel, see Options.Workers); selection replays the pair scan in index
 // order, so the result is identical to the sequential pre-cache
 // implementation.
-func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (*query.Simple, Stats, error) {
-	var stats Stats
+//
+// An exhausted Options.Guard aborts with an error matching
+// qerr.ErrBudgetExhausted and a nil query: unlike InferUnion, the
+// intermediate states here are not consistent queries, so there is no
+// meaningful partial to degrade to.
+func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ *query.Simple, stats Stats, _ error) {
 	patterns, err := groundPatterns(ex)
 	if err != nil {
 		return nil, stats, err
 	}
 	cache := NewMergeCache(opts)
+	defer recordGuard(&stats, cache)
 	for len(patterns) > 1 {
 		stats.Rounds++
 		if err := roundCanceled(ctx, stats.Rounds); err != nil {
@@ -109,13 +122,20 @@ func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (*
 // branches whose consistent simple query has the fewest variables, as long
 // as the cost f(Q) = CostW1 * Σ vars + CostW2 * |Q| decreases. Branch merges
 // are memoized and computed in parallel exactly as in InferSimple.
-func InferUnion(ctx context.Context, ex provenance.ExampleSet, opts Options) (*query.Union, Stats, error) {
-	var stats Stats
+//
+// Every intermediate state of Algorithm 2 is itself a consistent union
+// (each example's ground pattern is subsumed by some branch), so when
+// Options.Guard runs out mid-inference the current union is returned as a
+// degraded-but-correct answer: Stats.Degraded is set and the error matches
+// qerr.ErrBudgetExhausted. Callers that treat any non-nil error as fatal
+// keep working; callers that understand degradation get a usable query.
+func InferUnion(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ *query.Union, stats Stats, _ error) {
 	patterns, err := groundPatterns(ex)
 	if err != nil {
 		return nil, stats, err
 	}
 	cache := NewMergeCache(opts)
+	defer recordGuard(&stats, cache)
 	u := query.NewUnion(patterns...)
 	costCur := u.Cost(opts.CostW1, opts.CostW2)
 	for u.Size() > 1 {
@@ -127,6 +147,10 @@ func InferUnion(ctx context.Context, ex provenance.ExampleSet, opts Options) (*q
 		merged, err := mergeBestTwo(ctx, u, cache, &stats)
 		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
 		if err != nil {
+			if errors.Is(err, qerr.ErrBudgetExhausted) {
+				stats.Degraded = true
+				return u, stats, fmt.Errorf("core: inference degraded after round %d: %w", stats.Rounds, err)
+			}
 			return nil, stats, err
 		}
 		if merged == nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"questpro/internal/eval"
 	"questpro/internal/query"
 )
 
@@ -46,14 +47,24 @@ type mergeEntry struct {
 type MergeCache struct {
 	opts Options
 
+	// meter guards the cache's fresh MergePair work (nil when opts.Guard is
+	// disabled). One cache = one inference operation = one meter; cache hits
+	// are free, so a degraded re-run that hits the cache gets further.
+	meter *eval.Meter
+
 	mu      sync.Mutex
 	entries map[pairKey]mergeEntry
 }
 
-// NewMergeCache returns an empty cache computing merges under opts.
+// NewMergeCache returns an empty cache computing merges under opts, guarded
+// by a fresh meter over opts.Guard (no meter when the guard is disabled).
 func NewMergeCache(opts Options) *MergeCache {
-	return &MergeCache{opts: opts, entries: make(map[pairKey]mergeEntry)}
+	return &MergeCache{opts: opts, meter: opts.Guard.NewMeter(), entries: make(map[pairKey]mergeEntry)}
 }
+
+// Meter exposes the cache's guard meter (nil when unguarded) so drivers can
+// record final usage in Stats.
+func (c *MergeCache) Meter() *eval.Meter { return c.meter }
 
 // Len reports the number of memoized pairs.
 func (c *MergeCache) Len() int {
@@ -106,7 +117,7 @@ func (c *MergeCache) Prefetch(ctx context.Context, pairs []pairKey, stats *Stats
 	if len(fresh) == 0 {
 		return 0, nil
 	}
-	entries, peak, err := computePairs(ctx, fresh, c.opts)
+	entries, peak, err := computePairs(ctx, fresh, c.opts, c.meter)
 	if stats != nil && peak > stats.PeakParallelism {
 		stats.PeakParallelism = peak
 	}
@@ -129,7 +140,7 @@ func (c *MergeCache) Lookup(a, b *query.Simple) (MergeResult, bool, error) {
 	if ok {
 		return e.res, e.ok, nil
 	}
-	res, mok, err := MergePair(a, b, c.opts)
+	res, mok, err := safeMergePair(a, b, c.opts, c.meter)
 	if err != nil {
 		return MergeResult{}, false, err
 	}

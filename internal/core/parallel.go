@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"questpro/internal/conc"
+	"questpro/internal/eval"
 	"questpro/internal/qerr"
 )
 
@@ -13,12 +14,16 @@ import (
 // returns the entries in key order plus the peak number of concurrently
 // running MergePair calls. MergePair only reads its inputs (patterns are
 // immutable once built and the gain computation allocates per-call state),
-// so the fan-out needs no locking beyond the work distribution. When several
-// pairs error, the lowest-indexed error is returned so callers see the same
-// error a sequential in-order scan would have surfaced first. Workers poll
-// the context before each pair; cancellation surfaces as a
-// qerr.ErrCanceled-wrapped error once already-started merges finish.
-func computePairs(ctx context.Context, keys []pairKey, opts Options) ([]mergeEntry, int, error) {
+// so the fan-out needs no locking beyond the work distribution. Every pair
+// runs through safeMergePair — the recovery boundary that turns a panic on a
+// worker goroutine into a qerr.ErrInternal error instead of killing the
+// process, charges the guard meter (nil when unguarded), and hosts the
+// faults.MergePair injection point. When several pairs error, the
+// lowest-indexed error is returned so callers see the same error a
+// sequential in-order scan would have surfaced first. Workers poll the
+// context before each pair; cancellation surfaces as a qerr.ErrCanceled-
+// wrapped error once already-started merges finish.
+func computePairs(ctx context.Context, keys []pairKey, opts Options, m *eval.Meter) ([]mergeEntry, int, error) {
 	workers := conc.Workers(opts.Workers)
 	if workers > len(keys) {
 		workers = len(keys)
@@ -30,7 +35,7 @@ func computePairs(ctx context.Context, keys []pairKey, opts Options) ([]mergeEnt
 			if err := ctx.Err(); err != nil {
 				return nil, 1, qerr.Canceled(err)
 			}
-			res, ok, err := MergePair(k.a, k.b, opts)
+			res, ok, err := safeMergePair(k.a, k.b, opts, m)
 			if err != nil {
 				return nil, 1, err
 			}
@@ -66,7 +71,7 @@ func computePairs(ctx context.Context, keys []pairKey, opts Options) ([]mergeEnt
 						break
 					}
 				}
-				res, ok, err := MergePair(keys[i].a, keys[i].b, opts)
+				res, ok, err := safeMergePair(keys[i].a, keys[i].b, opts, m)
 				active.Add(-1)
 				entries[i] = mergeEntry{res: res, ok: ok}
 				errs[i] = err

@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sort"
 	"time"
 
 	"questpro/internal/provenance"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
@@ -21,8 +24,11 @@ import (
 // one MergeCache serves the whole search: a branch pair evaluated for any
 // state (in any earlier round) is never recomputed, and each round's fresh
 // pairs across all states are computed in one parallel batch.
-func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) ([]Candidate, Stats, error) {
-	var stats Stats
+//
+// Beam states are consistent unions, so an exhausted Options.Guard degrades
+// gracefully: the current beam is returned with Stats.Degraded set and an
+// error matching qerr.ErrBudgetExhausted.
+func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ []Candidate, stats Stats, _ error) {
 	k := opts.K
 	if k < 1 {
 		k = 1
@@ -32,8 +38,13 @@ func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) ([]C
 		return nil, stats, err
 	}
 	cache := NewMergeCache(opts)
+	defer recordGuard(&stats, cache)
 	start := query.NewUnion(patterns...)
 	beam := []Candidate{{Query: start, Cost: start.Cost(opts.CostW1, opts.CostW2)}}
+	degrade := func(err error) ([]Candidate, Stats, error) {
+		stats.Degraded = true
+		return beam, stats, fmt.Errorf("core: top-k inference degraded in round %d: %w", stats.Rounds, err)
+	}
 
 	for round := 0; round < len(ex); round++ {
 		stats.Rounds++
@@ -47,6 +58,9 @@ func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) ([]C
 		}
 		fresh, err := cache.Prefetch(ctx, pairs, &stats)
 		if err != nil {
+			if errors.Is(err, qerr.ErrBudgetExhausted) {
+				return degrade(err)
+			}
 			return nil, stats, err
 		}
 		stats.Algorithm1Calls += len(pairs)
@@ -57,6 +71,9 @@ func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) ([]C
 		for _, state := range beam {
 			cands, err := topMerges(state.Query, k, opts, cache)
 			if err != nil {
+				if errors.Is(err, qerr.ErrBudgetExhausted) {
+					return degrade(err)
+				}
 				return nil, stats, err
 			}
 			if len(cands) > 0 {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"questpro/internal/faults"
 	"questpro/internal/graph"
 	"questpro/internal/qerr"
 	"questpro/internal/query"
@@ -37,11 +38,28 @@ type Evaluator struct {
 	// an ontology node with a different non-empty type. Query constants are
 	// matched by value regardless.
 	CheckTypes bool
+
+	// meter, when non-nil, charges the operation's resource guard (see
+	// Guard); install one per operation with Guarded.
+	meter *Meter
 }
 
 // New returns an evaluator over the given ontology.
 func New(o *graph.Graph) *Evaluator {
 	return &Evaluator{o: o, CheckTypes: true}
+}
+
+// Guarded returns a shallow copy of the evaluator whose searches charge m.
+// A nil meter returns the receiver unchanged, so callers can pass their
+// (possibly nil) meter unconditionally. The ontology is shared; the copy is
+// cheap and per-operation.
+func (ev *Evaluator) Guarded(m *Meter) *Evaluator {
+	if m == nil {
+		return ev
+	}
+	g := *ev
+	g.meter = m
+	return &g
 }
 
 // Ontology returns the ontology graph being evaluated against.
@@ -64,17 +82,19 @@ func (m *Match) Clone() *Match {
 
 // state carries one in-flight backtracking search.
 type state struct {
-	ev       *Evaluator
-	ctx      context.Context
-	q        *query.Simple
-	plan     []query.EdgeID
-	match    Match
-	steps    int
-	max      int
-	visit    func(*Match) bool
-	done     bool
-	found    int // complete matches emitted so far
-	canceled bool
+	ev        *Evaluator
+	ctx       context.Context
+	q         *query.Simple
+	plan      []query.EdgeID
+	match     Match
+	steps     int
+	max       int
+	visit     func(*Match) bool
+	done      bool
+	found     int // complete matches emitted so far
+	canceled  bool
+	exhausted bool  // the guard meter ran out mid-search
+	fault     error // injected fault (faults.MatcherStep)
 }
 
 // MatchesInto enumerates matches of q into the ontology, starting from the
@@ -82,13 +102,25 @@ type state struct {
 // callback receives a shared *Match that must be cloned if retained;
 // returning false stops the enumeration. Disequality constraints of q are
 // enforced. The error is non-nil only if the step budget is exhausted, the
-// context is canceled mid-search (a qerr.ErrCanceled-wrapped error), or the
-// pre-binding is inconsistent with a constant node.
+// guard meter runs out (a qerr.ErrBudgetExhausted-wrapped error; matches
+// emitted before exhaustion were already delivered to visit), an injected
+// fault fires, the context is canceled mid-search (a qerr.ErrCanceled-
+// wrapped error), or the pre-binding is inconsistent with a constant node.
 func (ev *Evaluator) MatchesInto(ctx context.Context, q *query.Simple, pre map[query.NodeID]graph.NodeID, visit func(*Match) bool) error {
 	// Poll once up front: searches smaller than the in-search polling
 	// interval must still notice an already-canceled context.
 	if err := ctx.Err(); err != nil {
 		return qerr.Canceled(err)
+	}
+	// Charge the invocation so per-candidate probe loops (each probe far
+	// below the in-search quantum) still drain an exhausted guard promptly;
+	// poll the fault point for the same reason — a search smaller than the
+	// in-search quantum would otherwise never reach an injection site.
+	if !ev.meter.ChargeSteps(1) {
+		return ev.meter.Err()
+	}
+	if err := faults.Fire(faults.MatcherStep); err != nil {
+		return fmt.Errorf("eval: matcher: %w", err)
 	}
 	n := q.NumNodes()
 	st := &state{
@@ -138,6 +170,12 @@ func (ev *Evaluator) MatchesInto(ctx context.Context, q *query.Simple, pre map[q
 	if st.canceled {
 		return qerr.Canceled(ctx.Err())
 	}
+	if st.fault != nil {
+		return fmt.Errorf("eval: matcher: %w", st.fault)
+	}
+	if st.exhausted {
+		return ev.meter.Err()
+	}
 	if st.steps >= st.max {
 		return ErrBudget
 	}
@@ -154,21 +192,36 @@ func (ev *Evaluator) nodeCompatible(qn query.Node, oid graph.NodeID) bool {
 }
 
 // rec extends the match over plan[k:]. It returns false when the visit
-// callback has requested a stop, the budget is exhausted, or the context is
-// canceled (polled every cancelCheckMask+1 steps so a request deadline
-// actually aborts a runaway search).
+// callback has requested a stop, a budget (MaxSteps or the guard meter) is
+// exhausted, an injected fault fired, or the context is canceled (all
+// polled every cancelCheckMask+1 steps so a request deadline actually
+// aborts a runaway search).
 func (st *state) rec(k int) bool {
 	if st.steps >= st.max {
 		return false
 	}
 	st.steps++
-	if st.steps&cancelCheckMask == 0 && st.ctx.Err() != nil {
-		st.canceled = true
-		return false
+	if st.steps&cancelCheckMask == 0 {
+		if st.ctx.Err() != nil {
+			st.canceled = true
+			return false
+		}
+		if err := faults.Fire(faults.MatcherStep); err != nil {
+			st.fault = err
+			return false
+		}
+		if !st.ev.meter.ChargeSteps(cancelCheckMask + 1) {
+			st.exhausted = true
+			return false
+		}
 	}
 	if k == len(st.plan) {
 		if !st.diseqsHold() {
 			return true
+		}
+		if !st.ev.meter.ChargeResults(1) {
+			st.exhausted = true
+			return false
 		}
 		st.found++
 		if !st.visit(&st.match) {
@@ -249,14 +302,20 @@ func (st *state) rec(k int) bool {
 			}
 		}
 	}
-	if optional && !st.done && !st.canceled && st.steps < st.max && st.found == foundBefore {
+	if optional && !st.stopped() && st.found == foundBefore {
 		// OPTIONAL left-join: no ontology edge fits, so the edge stays
 		// unbound and the rest of the pattern proceeds without it.
 		if !st.rec(k + 1) {
 			return false
 		}
 	}
-	return !st.done && !st.canceled && st.steps < st.max
+	return !st.stopped()
+}
+
+// stopped reports whether the search must unwind (visit stop, cancellation,
+// fault, or any budget exhaustion).
+func (st *state) stopped() bool {
+	return st.done || st.canceled || st.exhausted || st.fault != nil || st.steps >= st.max
 }
 
 // diseqsHold checks the query's disequality constraints on a complete match.

@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"questpro/internal/qerr"
+)
+
+// Guard bounds the resources one logical operation (an inference run, a
+// result enumeration, a provenance materialization) may consume before it
+// degrades. The zero value disables every limit. Budgets are approximate —
+// charges happen in quanta on hot paths — and are shared across all the
+// goroutines of the operation via a Meter.
+//
+// Exhaustion is not failure: guarded APIs return the partial results
+// gathered so far alongside a qerr.ErrBudgetExhausted-matching error, the
+// "degraded-but-useful answers" mode of Gilad & Moskovitch (2020).
+type Guard struct {
+	// MaxSteps bounds algorithmic work: backtracking steps in the matcher
+	// (charged in cancelCheckMask+1 quanta plus one per search), and
+	// pattern-size-weighted pair-merge work in the merge engine.
+	MaxSteps int64
+
+	// MaxResults bounds how many results (matches, result values,
+	// provenance graphs) the operation may emit.
+	MaxResults int64
+
+	// MaxBytes approximately bounds the memory materialized for results
+	// (provenance subgraphs, merged patterns), charged at a fixed estimate
+	// per node and edge.
+	MaxBytes int64
+}
+
+// Enabled reports whether any limit is set.
+func (g Guard) Enabled() bool {
+	return g.MaxSteps > 0 || g.MaxResults > 0 || g.MaxBytes > 0
+}
+
+// Validate rejects negative limits (0 means unlimited).
+func (g Guard) Validate() error {
+	if g.MaxSteps < 0 || g.MaxResults < 0 || g.MaxBytes < 0 {
+		return fmt.Errorf("eval: negative guard limit (steps=%d results=%d bytes=%d); use 0 for unlimited",
+			g.MaxSteps, g.MaxResults, g.MaxBytes)
+	}
+	return nil
+}
+
+// NewMeter returns the usage accumulator for one operation under the guard,
+// or nil when the guard is disabled. A nil *Meter is valid everywhere and
+// charges nothing.
+func (g Guard) NewMeter() *Meter {
+	if !g.Enabled() {
+		return nil
+	}
+	return &Meter{guard: g}
+}
+
+// Meter accumulates an operation's resource usage against its Guard. Safe
+// for concurrent use by the operation's worker goroutines; all methods are
+// nil-receiver-safe.
+type Meter struct {
+	guard     Guard
+	steps     atomic.Int64
+	results   atomic.Int64
+	bytes     atomic.Int64
+	exhausted atomic.Bool
+}
+
+// charge adds n to counter and reports whether the budget still holds.
+func (m *Meter) charge(counter *atomic.Int64, limit, n int64) bool {
+	if m == nil {
+		return true
+	}
+	if m.exhausted.Load() {
+		return false
+	}
+	if counter.Add(n) > limit && limit > 0 {
+		m.exhausted.Store(true)
+		return false
+	}
+	return true
+}
+
+// ChargeSteps charges n units of algorithmic work.
+func (m *Meter) ChargeSteps(n int64) bool {
+	if m == nil {
+		return true
+	}
+	return m.charge(&m.steps, m.guard.MaxSteps, n)
+}
+
+// ChargeResults charges n emitted results.
+func (m *Meter) ChargeResults(n int64) bool {
+	if m == nil {
+		return true
+	}
+	return m.charge(&m.results, m.guard.MaxResults, n)
+}
+
+// ChargeBytes charges n bytes of materialized result memory.
+func (m *Meter) ChargeBytes(n int64) bool {
+	if m == nil {
+		return true
+	}
+	return m.charge(&m.bytes, m.guard.MaxBytes, n)
+}
+
+// Exhausted reports whether any budget ran out.
+func (m *Meter) Exhausted() bool { return m != nil && m.exhausted.Load() }
+
+// Err returns a qerr.ErrBudgetExhausted-wrapped error describing the usage
+// when the meter is exhausted, nil otherwise.
+func (m *Meter) Err() error {
+	if !m.Exhausted() {
+		return nil
+	}
+	return fmt.Errorf("eval: guard spent (steps %d/%d, results %d/%d, bytes %d/%d): %w",
+		m.steps.Load(), m.guard.MaxSteps,
+		m.results.Load(), m.guard.MaxResults,
+		m.bytes.Load(), m.guard.MaxBytes,
+		qerr.ErrBudgetExhausted)
+}
+
+// Usage is a point-in-time snapshot of a meter's counters.
+type Usage struct {
+	Steps, Results, Bytes int64
+	Exhausted             bool
+}
+
+// Snapshot reads the current usage (zero for a nil meter).
+func (m *Meter) Snapshot() Usage {
+	if m == nil {
+		return Usage{}
+	}
+	return Usage{
+		Steps:     m.steps.Load(),
+		Results:   m.results.Load(),
+		Bytes:     m.bytes.Load(),
+		Exhausted: m.exhausted.Load(),
+	}
+}
+
+// graphBytes is the fixed per-element estimate ChargeBytes uses for graph
+// materializations: roughly two words of ids plus the value header per
+// node/edge.
+const graphBytes = 48

@@ -1,0 +1,192 @@
+package eval_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/faults"
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/qerr"
+	"questpro/internal/query"
+)
+
+func TestMeterNilIsNoop(t *testing.T) {
+	var m *eval.Meter
+	if !m.ChargeSteps(1_000_000) || !m.ChargeResults(1) || !m.ChargeBytes(1<<40) {
+		t.Fatal("nil meter must accept every charge")
+	}
+	if m.Exhausted() {
+		t.Fatal("nil meter exhausted")
+	}
+	if m.Err() != nil {
+		t.Fatal("nil meter has an error")
+	}
+	if m.Snapshot() != (eval.Usage{}) {
+		t.Fatal("nil meter snapshot not zero")
+	}
+	if (eval.Guard{}).NewMeter() != nil {
+		t.Fatal("disabled guard must yield a nil meter")
+	}
+}
+
+func TestMeterExhaustsAndSticks(t *testing.T) {
+	m := eval.Guard{MaxSteps: 10}.NewMeter()
+	if !m.ChargeSteps(10) {
+		t.Fatal("charge within budget rejected")
+	}
+	if m.ChargeSteps(1) {
+		t.Fatal("charge over budget accepted")
+	}
+	if !m.Exhausted() {
+		t.Fatal("meter not exhausted after overrun")
+	}
+	if m.ChargeResults(1) || m.ChargeBytes(1) {
+		t.Fatal("exhaustion must be sticky across every dimension")
+	}
+	if !errors.Is(m.Err(), qerr.ErrBudgetExhausted) {
+		t.Fatalf("meter error %v does not match ErrBudgetExhausted", m.Err())
+	}
+}
+
+func TestGuardValidate(t *testing.T) {
+	if err := (eval.Guard{MaxSteps: -1}).Validate(); err == nil {
+		t.Fatal("negative MaxSteps accepted")
+	}
+	if err := (eval.Guard{MaxSteps: 5, MaxResults: 2, MaxBytes: 100}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hubGraph is a star of n out-edges — a search wide enough to cross the
+// matcher's polling quantum, with one distinct match (and provenance graph)
+// per leaf.
+func hubGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		if _, err := g.AddTriple("hub", "p", fmt.Sprintf("leaf%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func hubQuery() *query.Simple {
+	q := query.NewSimple()
+	h := q.MustEnsureNode(query.Const("hub"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	q.MustAddEdge(h, y, "p")
+	q.SetProjected(y)
+	return q
+}
+
+// A result budget stops the enumeration with the values found so far plus
+// the typed error: partial, never empty-with-nil-error.
+func TestResultsSimpleDegradesOnResultBudget(t *testing.T) {
+	g := hubGraph(t, 200)
+	m := eval.Guard{MaxResults: 50}.NewMeter()
+	ev := eval.New(g).Guarded(m)
+	res, err := ev.ResultsSimple(bg, hubQuery())
+	if !errors.Is(err, qerr.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if len(res) == 0 {
+		t.Fatal("degraded enumeration returned no partial results")
+	}
+	if len(res) > 50 {
+		t.Fatalf("result budget 50 let %d results through", len(res))
+	}
+	if !sort.StringsAreSorted(res) {
+		t.Fatal("partial results not sorted")
+	}
+}
+
+// A step budget cuts a wide search short the same way.
+func TestResultsSimpleDegradesOnStepBudget(t *testing.T) {
+	g := hubGraph(t, 2000)
+	m := eval.Guard{MaxSteps: 64}.NewMeter()
+	ev := eval.New(g).Guarded(m)
+	res, err := ev.ResultsSimple(bg, hubQuery())
+	if !errors.Is(err, qerr.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	_ = res // partial set may be empty on a step budget this tight; no hang is the point
+}
+
+// An ungoverned evaluator must behave exactly as before: same results, nil
+// error, regardless of the guard plumbing.
+func TestUngovernedEvaluatorUnchanged(t *testing.T) {
+	o := paperfix.Ontology()
+	plain := eval.New(o)
+	guarded := eval.New(o).Guarded(nil)
+	a, errA := plain.ResultsSimple(bg, paperfix.Q1())
+	b, errB := guarded.ResultsSimple(bg, paperfix.Q1())
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("Guarded(nil) changed results: %v vs %v", a, b)
+	}
+}
+
+// A byte budget bounds provenance materialization: the graphs gathered
+// before exhaustion come back with the typed error.
+func TestProvenanceOfDegradesOnByteBudget(t *testing.T) {
+	g := hubGraph(t, 64)
+	q := query.NewSimple()
+	h := q.MustEnsureNode(query.Var("h"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	q.MustAddEdge(h, y, "p")
+	q.SetProjected(h)
+	m := eval.Guard{MaxBytes: 500}.NewMeter()
+	ev := eval.New(g).Guarded(m)
+	gs, err := ev.ProvenanceOf(bg, q, "hub", 0)
+	if !errors.Is(err, qerr.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if len(gs) == 0 {
+		t.Fatal("no partial provenance graphs before byte exhaustion")
+	}
+	if len(gs) >= 64 {
+		t.Fatalf("byte budget 500 did not bound the %d graphs", len(gs))
+	}
+}
+
+// The matcher.step injection point converts to a clean error from
+// MatchesInto, not a hang or a panic.
+func TestMatcherStepFaultSurfacesAsError(t *testing.T) {
+	restore := faults.Activate(faults.NewInjector(1,
+		faults.Rule{Point: faults.MatcherStep, FirstN: 1}))
+	defer restore()
+	g := hubGraph(t, 2000)
+	ev := eval.New(g)
+	err := ev.MatchesInto(bg, hubQuery(), nil, func(*eval.Match) bool { return true })
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+// The provenance.io injection point aborts image materialization with the
+// injected error while keeping earlier images.
+func TestProvenanceIOFault(t *testing.T) {
+	restore := faults.Activate(faults.NewInjector(1,
+		faults.Rule{Point: faults.ProvenanceIO, OnNth: 3}))
+	defer restore()
+	g := hubGraph(t, 8)
+	q := query.NewSimple()
+	h := q.MustEnsureNode(query.Var("h"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	q.MustAddEdge(h, y, "p")
+	q.SetProjected(h)
+	gs, err := eval.New(g).ProvenanceOf(bg, q, "hub", 0)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("expected the 2 images before the fault, got %d", len(gs))
+	}
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,13 @@ func (ev *Evaluator) ResultsParallel(ctx context.Context, q *query.Simple, worke
 	}
 	wg.Wait()
 	if firstErr != nil {
+		if errors.Is(firstErr, qerr.ErrBudgetExhausted) {
+			// Degraded: keep the values probed before exhaustion. The
+			// subset is scheduling-dependent, unlike the sequential path —
+			// degraded output is best-effort by definition.
+			sort.Strings(out)
+			return out, firstErr
+		}
 		return nil, firstErr
 	}
 	sort.Strings(out)
@@ -129,10 +137,18 @@ func (ev *Evaluator) ResultsUnionParallel(ctx context.Context, u *query.Union, w
 		}()
 	}
 	wg.Wait()
+	var budgetErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, qerr.ErrBudgetExhausted) {
+			if budgetErr == nil {
+				budgetErr = err
+			}
+			continue
+		}
+		return nil, err
 	}
 	seen := map[string]bool{}
 	for _, rs := range perBranch {
@@ -145,5 +161,5 @@ func (ev *Evaluator) ResultsUnionParallel(ctx context.Context, u *query.Union, w
 		out = append(out, r)
 	}
 	sort.Strings(out)
-	return out, nil
+	return out, budgetErr
 }

@@ -2,10 +2,13 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"questpro/internal/faults"
 	"questpro/internal/graph"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
@@ -34,8 +37,12 @@ func (ev *Evaluator) MatchImage(q *query.Simple, m *Match) (*graph.Graph, error)
 
 // ProvenanceOf computes prov(res) with respect to a simple query: the
 // distinct image subgraphs over all matches yielding the result value
-// (Definition 2.4). limit > 0 caps the number of distinct graphs returned.
-// The graphs are returned in a deterministic order (sorted by signature).
+// (Definition 2.4). limit > 0 caps the number of distinct graphs returned;
+// once the cap is reached the enumeration stops cleanly (nil error). If the
+// search is cut short — cancellation, budget/guard exhaustion — the graphs
+// gathered so far are returned alongside the error, so callers can degrade
+// instead of discarding partial provenance. The graphs are returned in a
+// deterministic order (sorted by signature).
 func (ev *Evaluator) ProvenanceOf(ctx context.Context, q *query.Simple, value string, limit int) ([]*graph.Graph, error) {
 	proj := q.Projected()
 	if proj == query.NoNode {
@@ -64,6 +71,10 @@ func (ev *Evaluator) ProvenanceOf(ctx context.Context, q *query.Simple, value st
 	seen := map[string]bool{}
 	var imgErr error
 	err := ev.MatchesInto(ctx, q, pre, func(m *Match) bool {
+		if e := faults.Fire(faults.ProvenanceIO); e != nil {
+			imgErr = fmt.Errorf("eval: provenance image: %w", e)
+			return false
+		}
 		img, e := ev.MatchImage(q, m)
 		if e != nil {
 			imgErr = e
@@ -71,27 +82,33 @@ func (ev *Evaluator) ProvenanceOf(ctx context.Context, q *query.Simple, value st
 		}
 		sig := img.Signature()
 		if !seen[sig] {
+			if !ev.meter.ChargeBytes(int64(img.NumNodes()+img.NumEdges()) * graphBytes) {
+				imgErr = ev.meter.Err()
+				return false
+			}
 			seen[sig] = true
 			entries = append(entries, entry{sig, img})
 		}
 		return limit <= 0 || len(entries) < limit
 	})
 	if imgErr != nil {
-		return nil, imgErr
-	}
-	if err != nil && len(entries) == 0 {
-		return nil, err
+		err = imgErr
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].sig < entries[j].sig })
 	out := make([]*graph.Graph, len(entries))
 	for i, e := range entries {
 		out[i] = e.g
 	}
-	return out, nil
+	if len(out) == 0 {
+		out = nil
+	}
+	return out, err
 }
 
 // ProvenanceOfUnion computes prov(res) for a union query: the union of the
-// branch provenances (Section II-B). limit > 0 caps the total count.
+// branch provenances (Section II-B). limit > 0 caps the total count. Like
+// ProvenanceOf, a cut-short enumeration returns the graphs gathered so far
+// alongside the error.
 func (ev *Evaluator) ProvenanceOfUnion(ctx context.Context, u *query.Union, value string, limit int) ([]*graph.Graph, error) {
 	var out []*graph.Graph
 	seen := map[string]bool{}
@@ -104,15 +121,15 @@ func (ev *Evaluator) ProvenanceOfUnion(ctx context.Context, u *query.Union, valu
 			}
 		}
 		gs, err := ev.ProvenanceOf(ctx, b, value, rem)
-		if err != nil {
-			return nil, err
-		}
 		for _, g := range gs {
 			sig := g.Signature()
 			if !seen[sig] {
 				seen[sig] = true
 				out = append(out, g)
 			}
+		}
+		if err != nil {
+			return out, err
 		}
 	}
 	return out, nil
@@ -126,14 +143,19 @@ type ResultWithProvenance struct {
 }
 
 // BindAndExplain binds a result value to the union query (the bind(Q, res)
-// of Algorithm 3) and returns the value with its first provenance graph.
+// of Algorithm 3) and returns the value with its first provenance graph. A
+// guard-exhausted enumeration that still produced a graph is served as a
+// normal answer (one explanation is all this needs).
 func (ev *Evaluator) BindAndExplain(ctx context.Context, u *query.Union, value string) (*ResultWithProvenance, error) {
 	gs, err := ev.ProvenanceOfUnion(ctx, u, value, 1)
-	if err != nil {
-		return nil, err
-	}
 	if len(gs) == 0 {
+		if err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("eval: %q is not a result of the query", value)
+	}
+	if err != nil && !errors.Is(err, qerr.ErrBudgetExhausted) {
+		return nil, err
 	}
 	return &ResultWithProvenance{Value: value, Provenance: gs[0]}, nil
 }

@@ -1,0 +1,187 @@
+package eval_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"questpro/internal/eval"
+	"questpro/internal/qerr"
+	"questpro/internal/query"
+)
+
+// These tests pin the exact-cap contract of ProvenanceOf/ProvenanceOfUnion
+// with limit > 0 — the cap counts DISTINCT provenance graphs and a capped run
+// is a clean success (nil error) — and the partial-plus-error contract when
+// the enumeration is cancelled mid-flight.
+
+// fanQuery projects ?h over ?h -p-> ?y, so "hub" is the single result of a
+// hubGraph and every leaf contributes one distinct provenance graph.
+func fanQuery() *query.Simple {
+	q := query.NewSimple()
+	h := q.MustEnsureNode(query.Var("h"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	q.MustAddEdge(h, y, "p")
+	q.SetProjected(h)
+	return q
+}
+
+func TestProvenanceOfExactCap(t *testing.T) {
+	g := hubGraph(t, 12)
+	ev := eval.New(g)
+	q := fanQuery()
+
+	all, err := ev.ProvenanceOf(bg, q, "hub", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 12 {
+		t.Fatalf("limit=0 returned %d graphs, want all 12", len(all))
+	}
+
+	for _, limit := range []int{1, 2, 5, 12, 40} {
+		gs, err := ev.ProvenanceOf(bg, q, "hub", limit)
+		if err != nil {
+			t.Fatalf("limit=%d: %v", limit, err)
+		}
+		want := limit
+		if want > 12 {
+			want = 12
+		}
+		if len(gs) != want {
+			t.Fatalf("limit=%d returned %d graphs, want exactly %d", limit, len(gs), want)
+		}
+	}
+}
+
+func TestProvenanceOfUnionExactCapAcrossBranches(t *testing.T) {
+	g := hubGraph(t, 6)
+	// A second branch reaches the same leaves through a different label, so
+	// its provenance graphs are distinct from the first branch's.
+	for i := 0; i < 6; i++ {
+		if _, err := g.AddTriple("hub", "q", fmt.Sprintf("leaf%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b2 := query.NewSimple()
+	h := b2.MustEnsureNode(query.Var("h"), "")
+	y := b2.MustEnsureNode(query.Var("y"), "")
+	b2.MustAddEdge(h, y, "q")
+	b2.SetProjected(h)
+	u := query.NewUnion(fanQuery(), b2)
+	ev := eval.New(g)
+
+	all, err := ev.ProvenanceOfUnion(bg, u, "hub", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 12 {
+		t.Fatalf("limit=0 returned %d graphs, want 12 (6 per branch)", len(all))
+	}
+	// A limit inside the first branch stops there; a limit past it spills
+	// into the second branch for exactly the remainder.
+	for _, limit := range []int{1, 4, 6, 9, 12, 99} {
+		gs, err := ev.ProvenanceOfUnion(bg, u, "hub", limit)
+		if err != nil {
+			t.Fatalf("limit=%d: %v", limit, err)
+		}
+		want := limit
+		if want > 12 {
+			want = 12
+		}
+		if len(gs) != want {
+			t.Fatalf("limit=%d returned %d graphs, want exactly %d", limit, len(gs), want)
+		}
+	}
+}
+
+// flipCtx reports nil from Err() for the first n calls, then a cancellation —
+// a deterministic stand-in for "the deadline fires mid-enumeration". The
+// matcher polls once on entry and then every 1024 steps, so the flip count
+// selects how deep into the search the cut lands.
+type flipCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newFlipCtx(n int64) *flipCtx {
+	c := &flipCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *flipCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *flipCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestProvenanceOfCancellationMidEnumeration(t *testing.T) {
+	// 3000 leaves: the matcher crosses its polling quantum several times, so
+	// a context flipping to Canceled partway is observed in-search. Flip on
+	// the second in-search poll (entry poll + 2), well before the 3000th
+	// match.
+	g := hubGraph(t, 3000)
+	ev := eval.New(g)
+
+	ctx := newFlipCtx(2)
+	gs, err := ev.ProvenanceOf(ctx, fanQuery(), "hub", 0)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(gs) == 0 {
+		t.Fatal("mid-enumeration cancellation discarded the graphs gathered so far")
+	}
+	if len(gs) >= 3000 {
+		t.Fatalf("cancellation mid-enumeration still returned all %d graphs", len(gs))
+	}
+}
+
+func TestProvenanceOfUnionCancellationKeepsEarlierBranches(t *testing.T) {
+	g := hubGraph(t, 3000)
+	for i := 0; i < 3000; i++ {
+		if _, err := g.AddTriple("hub", "q", fmt.Sprintf("leaf%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b2 := query.NewSimple()
+	h := b2.MustEnsureNode(query.Var("h"), "")
+	y := b2.MustEnsureNode(query.Var("y"), "")
+	b2.MustAddEdge(h, y, "q")
+	b2.SetProjected(h)
+	u := query.NewUnion(fanQuery(), b2)
+
+	// The first branch finishes within 3 Err polls; a budget of 5 lets it
+	// complete and cancels the second branch mid-enumeration.
+	ctx := newFlipCtx(5)
+	gs, err := eval.New(g).ProvenanceOfUnion(ctx, u, "hub", 0)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(gs) < 3000 {
+		t.Fatalf("cancellation in the second branch lost the first branch's graphs (%d < 3000)", len(gs))
+	}
+	if len(gs) >= 6000 {
+		t.Fatalf("cancellation still returned all graphs (%d)", len(gs))
+	}
+}
+
+// An already-cancelled context yields no graphs and the canonical error.
+func TestProvenanceOfAlreadyCancelled(t *testing.T) {
+	g := hubGraph(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gs, err := eval.New(g).ProvenanceOf(ctx, fanQuery(), "hub", 0)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(gs) != 0 {
+		t.Fatalf("pre-cancelled enumeration produced %d graphs", len(gs))
+	}
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"sort"
 
 	"questpro/internal/graph"
@@ -10,7 +11,10 @@ import (
 )
 
 // ResultsSimple evaluates a simple query and returns the distinct result
-// values in sorted order (Q(O) of Section II-A).
+// values in sorted order (Q(O) of Section II-A). When a guard meter runs
+// out mid-enumeration, the values found so far are returned (sorted)
+// alongside the qerr.ErrBudgetExhausted-matching error — a degraded but
+// consistent partial answer.
 func (ev *Evaluator) ResultsSimple(ctx context.Context, q *query.Simple) ([]string, error) {
 	proj := q.Projected()
 	if proj == query.NoNode {
@@ -38,6 +42,10 @@ func (ev *Evaluator) ResultsSimple(ctx context.Context, q *query.Simple) ([]stri
 		}
 		ok, err := ev.hasAnyMatch(ctx, q, map[query.NodeID]graph.NodeID{proj: c})
 		if err != nil {
+			if errors.Is(err, qerr.ErrBudgetExhausted) {
+				sort.Strings(out)
+				return out, err
+			}
 			return nil, err
 		}
 		if ok {
@@ -156,24 +164,31 @@ func dedupEndpoints(o *graph.Graph, edges []graph.EdgeID, from bool) []graph.Nod
 }
 
 // Results evaluates a union query: the union of its branches' result sets,
-// sorted (Section II-A).
+// sorted (Section II-A). Guard exhaustion mid-union returns the values
+// accumulated so far with the qerr.ErrBudgetExhausted-matching error.
 func (ev *Evaluator) Results(ctx context.Context, u *query.Union) ([]string, error) {
 	seen := map[string]bool{}
+	flatten := func() []string {
+		out := make([]string, 0, len(seen))
+		for r := range seen {
+			out = append(out, r)
+		}
+		sort.Strings(out)
+		return out
+	}
 	for _, b := range u.Branches() {
 		rs, err := ev.ResultsSimple(ctx, b)
-		if err != nil {
-			return nil, err
-		}
 		for _, r := range rs {
 			seen[r] = true
 		}
+		if err != nil {
+			if errors.Is(err, qerr.ErrBudgetExhausted) {
+				return flatten(), err
+			}
+			return nil, err
+		}
 	}
-	out := make([]string, 0, len(seen))
-	for r := range seen {
-		out = append(out, r)
-	}
-	sort.Strings(out)
-	return out, nil
+	return flatten(), nil
 }
 
 // HasResultValue reports whether value is a result of the union query; it

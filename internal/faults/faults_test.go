@@ -1,0 +1,170 @@
+package faults_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"questpro/internal/faults"
+)
+
+func TestFireNoInjectorIsNil(t *testing.T) {
+	for _, p := range faults.Points() {
+		if err := faults.Fire(p); err != nil {
+			t.Fatalf("Fire(%s) with no injector = %v, want nil", p, err)
+		}
+	}
+}
+
+func TestOnNthFiresExactlyOnce(t *testing.T) {
+	in := faults.NewInjector(1, faults.Rule{Point: faults.MergePair, OnNth: 3})
+	restore := faults.Activate(in)
+	defer restore()
+	for i := 1; i <= 10; i++ {
+		err := faults.Fire(faults.MergePair)
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+		if err != nil && !errors.Is(err, faults.ErrInjected) {
+			t.Fatalf("injected error %v does not match ErrInjected", err)
+		}
+	}
+	if got := in.Fired(faults.MergePair); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	if got := in.Hits(faults.MergePair); got != 10 {
+		t.Fatalf("Hits = %d, want 10", got)
+	}
+}
+
+func TestFirstNAndEveryN(t *testing.T) {
+	in := faults.NewInjector(1,
+		faults.Rule{Point: faults.BudgetAcquire, FirstN: 2},
+		faults.Rule{Point: faults.MatcherStep, EveryN: 4},
+	)
+	restore := faults.Activate(in)
+	defer restore()
+	for i := 1; i <= 5; i++ {
+		err := faults.Fire(faults.BudgetAcquire)
+		if (i <= 2) != (err != nil) {
+			t.Fatalf("budget hit %d: err = %v", i, err)
+		}
+	}
+	fired := 0
+	for i := 1; i <= 12; i++ {
+		if faults.Fire(faults.MatcherStep) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("EveryN=4 fired %d times over 12 hits, want 3", fired)
+	}
+}
+
+func TestProbIsSeedDeterministic(t *testing.T) {
+	schedule := func() []bool {
+		in := faults.NewInjector(42, faults.Rule{Point: faults.ProvenanceIO, Prob: 0.3})
+		restore := faults.Activate(in)
+		defer restore()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = faults.Fire(faults.ProvenanceIO) != nil
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	anyFired := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical seeds", i)
+		}
+		anyFired = anyFired || a[i]
+	}
+	if !anyFired {
+		t.Fatal("Prob=0.3 never fired in 64 hits")
+	}
+}
+
+func TestMaxFiresCapsRule(t *testing.T) {
+	in := faults.NewInjector(1, faults.Rule{Point: faults.SessionSnapshot, FirstN: 100, MaxFires: 2})
+	restore := faults.Activate(in)
+	defer restore()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if faults.Fire(faults.SessionSnapshot) != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("MaxFires=2 let %d firings through", fired)
+	}
+}
+
+func TestPanicRuleCarriesPanicValue(t *testing.T) {
+	in := faults.NewInjector(1, faults.Rule{Point: faults.MergePair, OnNth: 1, Panic: true})
+	restore := faults.Activate(in)
+	defer restore()
+	defer func() {
+		p := recover()
+		pv, ok := p.(faults.PanicValue)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want PanicValue", p, p)
+		}
+		if pv.Point != faults.MergePair {
+			t.Fatalf("panic at point %s, want merge.pair", pv.Point)
+		}
+	}()
+	_ = faults.Fire(faults.MergePair)
+	t.Fatal("panic rule did not panic")
+}
+
+func TestCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	in := faults.NewInjector(1, faults.Rule{Point: faults.ProvenanceIO, FirstN: 1, Err: custom})
+	restore := faults.Activate(in)
+	defer restore()
+	if err := faults.Fire(faults.ProvenanceIO); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+}
+
+func TestConcurrentFireIsSafe(t *testing.T) {
+	in := faults.NewInjector(7, faults.Rule{Point: faults.MatcherStep, Prob: 0.5, MaxFires: 100})
+	restore := faults.Activate(in)
+	defer restore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = faults.Fire(faults.MatcherStep)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits(faults.MatcherStep); got != 1600 {
+		t.Fatalf("Hits = %d, want 1600", got)
+	}
+	if got := in.Fired(faults.MatcherStep); got != 100 {
+		t.Fatalf("Fired = %d, want 100 (MaxFires)", got)
+	}
+}
+
+func TestRestoreReinstatesPrevious(t *testing.T) {
+	a := faults.NewInjector(1, faults.Rule{Point: faults.MergePair, FirstN: 1000})
+	b := faults.NewInjector(1)
+	restoreA := faults.Activate(a)
+	restoreB := faults.Activate(b)
+	if err := faults.Fire(faults.MergePair); err != nil {
+		t.Fatal("inner injector has no rules but fired")
+	}
+	restoreB()
+	if err := faults.Fire(faults.MergePair); err == nil {
+		t.Fatal("restore did not reinstate the outer injector")
+	}
+	restoreA()
+	if err := faults.Fire(faults.MergePair); err != nil {
+		t.Fatal("final restore did not clear the injector")
+	}
+}

@@ -7,6 +7,7 @@ package qerr
 import (
 	"errors"
 	"fmt"
+	"regexp"
 )
 
 var (
@@ -25,6 +26,25 @@ var (
 	// question budget runs out before a single candidate remains. The
 	// leading candidate so far is still returned alongside the error.
 	ErrMaxQuestions = errors.New("question budget exhausted")
+
+	// ErrBudgetExhausted is returned when a resource guard (eval.Guard:
+	// step, result or memory budget) runs out mid-operation. APIs that can
+	// degrade gracefully return their partial results *alongside* this
+	// error; callers that receive both should treat the results as
+	// degraded-but-useful rather than discard them.
+	ErrBudgetExhausted = errors.New("resource budget exhausted")
+
+	// ErrOverloaded is returned by admission control (conc.Budget
+	// bounded-wait acquisition) when the server is saturated and the
+	// request is shed instead of queued. The HTTP layer maps it to 429
+	// with a Retry-After hint.
+	ErrOverloaded = errors.New("server overloaded")
+
+	// ErrInternal marks a recovered panic (or an unrecoverable internal
+	// fault such as a failed random read). The recovery boundaries in the
+	// service convert panics into errors matching this sentinel, poisoning
+	// only the affected operation while the process keeps running.
+	ErrInternal = errors.New("internal error")
 )
 
 // Canceled wraps cause (typically ctx.Err()) so the result matches both
@@ -46,3 +66,36 @@ func (e *canceledError) Error() string {
 func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
 
 func (e *canceledError) Unwrap() error { return e.cause }
+
+// InternalError is a recovered panic as a typed error: the recovered value's
+// rendering plus a sanitized stack (addresses stripped, length-capped) safe
+// to store in session state and server logs. It matches ErrInternal under
+// errors.Is. The stack is deliberately NOT part of Error(), so writing the
+// error to an HTTP response never leaks frames.
+type InternalError struct {
+	Recovered string
+	Stack     string
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("%v: panic: %s", ErrInternal, e.Recovered)
+}
+
+func (e *InternalError) Is(target error) bool { return target == ErrInternal }
+
+// maxStack caps the sanitized stack stored per recovered panic.
+const maxStack = 8 << 10
+
+// hexAddr matches the pointer addresses runtime stacks embed; they carry no
+// diagnostic value and make otherwise-identical panics look distinct.
+var hexAddr = regexp.MustCompile(`0x[0-9a-f]+`)
+
+// Internal converts a recovered panic value and its debug.Stack() capture
+// into an *InternalError.
+func Internal(recovered any, stack []byte) error {
+	s := hexAddr.ReplaceAllString(string(stack), "0x?")
+	if len(s) > maxStack {
+		s = s[:maxStack] + "\n...[truncated]"
+	}
+	return &InternalError{Recovered: fmt.Sprint(recovered), Stack: s}
+}

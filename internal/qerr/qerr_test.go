@@ -1,9 +1,11 @@
 package qerr_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"questpro/internal/qerr"
@@ -35,8 +37,56 @@ func TestCanceledSurvivesWrapping(t *testing.T) {
 	}
 }
 
+func TestInternalMatchesSentinelAndSanitizesStack(t *testing.T) {
+	stack := []byte("goroutine 1 [running]:\nmain.boom(0xc000123456, 0x10)\n\t/src/main.go:42 +0x1f\n")
+	err := qerr.Internal("index out of range [3]", stack)
+	if !errors.Is(err, qerr.ErrInternal) {
+		t.Fatal("Internal() does not match ErrInternal")
+	}
+	var ie *qerr.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Internal() is %T, want *InternalError", err)
+	}
+	if strings.Contains(ie.Stack, "0xc000123456") || strings.Contains(ie.Stack, "0x1f") {
+		t.Fatalf("stack not sanitized: %q", ie.Stack)
+	}
+	if !strings.Contains(ie.Stack, "main.boom") || !strings.Contains(ie.Stack, "main.go:42") {
+		t.Fatalf("sanitization dropped frames: %q", ie.Stack)
+	}
+	if strings.Contains(err.Error(), "main.boom") {
+		t.Fatalf("Error() leaks the stack: %q", err.Error())
+	}
+	if !strings.Contains(err.Error(), "index out of range [3]") {
+		t.Fatalf("Error() lost the recovered value: %q", err.Error())
+	}
+}
+
+func TestInternalTruncatesHugeStack(t *testing.T) {
+	err := qerr.Internal("boom", bytes.Repeat([]byte("frame\n"), 10_000))
+	var ie *qerr.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatal("not an InternalError")
+	}
+	if len(ie.Stack) > 9<<10 {
+		t.Fatalf("stack not truncated: %d bytes", len(ie.Stack))
+	}
+	if !strings.HasSuffix(ie.Stack, "[truncated]") {
+		t.Fatal("truncated stack not marked")
+	}
+}
+
+func TestInternalSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("service: infer: %w", qerr.Internal("boom", nil))
+	if !errors.Is(err, qerr.ErrInternal) {
+		t.Fatal("wrapped internal error lost its sentinel")
+	}
+}
+
 func TestSentinelsAreDistinct(t *testing.T) {
-	sentinels := []error{qerr.ErrNoConsistentQuery, qerr.ErrCanceled, qerr.ErrMaxQuestions}
+	sentinels := []error{
+		qerr.ErrNoConsistentQuery, qerr.ErrCanceled, qerr.ErrMaxQuestions,
+		qerr.ErrBudgetExhausted, qerr.ErrOverloaded, qerr.ErrInternal,
+	}
 	for i, a := range sentinels {
 		for j, b := range sentinels {
 			if (i == j) != errors.Is(a, b) {

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"questpro/internal/core"
+	"questpro/internal/eval"
 	"questpro/internal/ntriples"
 	"questpro/internal/provenance"
 	"questpro/internal/qerr"
@@ -82,6 +84,14 @@ type createRequest struct {
 		FirstPairSweep int     `json:"first_pair_sweep"`
 		CostW1         float64 `json:"cost_w1"`
 		CostW2         float64 `json:"cost_w2"`
+
+		// Resource guard (core.Options.Guard): per-inference budgets for
+		// merge/matcher steps, emitted results and provenance bytes. Zero
+		// disables the corresponding budget; an exhausted budget degrades
+		// the run (200 + "degraded":true) instead of failing it.
+		MaxSteps   int64 `json:"max_steps"`
+		MaxResults int64 `json:"max_results"`
+		MaxBytes   int64 `json:"max_bytes"`
 	} `json:"options"`
 }
 
@@ -114,8 +124,17 @@ func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
 	if v := req.Options.CostW2; v != 0 {
 		opts.CostW2 = v
 	}
+	opts.Guard = eval.Guard{
+		MaxSteps:   req.Options.MaxSteps,
+		MaxResults: req.Options.MaxResults,
+		MaxBytes:   req.Options.MaxBytes,
+	}
 	s, err := reg.Create(onto, opts)
 	if err != nil {
+		if errors.Is(err, qerr.ErrInternal) {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -171,8 +190,11 @@ type candidateJSON struct {
 }
 
 type inferResponse struct {
-	Mode       string          `json:"mode"`
-	SPARQL     string          `json:"sparql"`
+	Mode   string `json:"mode"`
+	SPARQL string `json:"sparql"`
+	// Degraded: the run exhausted its resource guard; SPARQL is the best
+	// consistent partial state, not the fixpoint.
+	Degraded   bool            `json:"degraded,omitempty"`
 	Candidates []candidateJSON `json:"candidates,omitempty"`
 	Stats      statsJSON       `json:"stats"`
 }
@@ -183,6 +205,7 @@ type statsJSON struct {
 	CacheHits       int   `json:"cache_hits"`
 	CacheMisses     int   `json:"cache_misses"`
 	WallMS          int64 `json:"wall_ms"`
+	GuardSteps      int64 `json:"guard_steps,omitempty"`
 }
 
 func handleInfer(s *Session, w http.ResponseWriter, r *http.Request) {
@@ -198,19 +221,21 @@ func handleInfer(s *Session, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Infer(ctx, req.Mode)
 	if err != nil {
-		writeInferError(w, err)
+		writeInferError(w, err, s.reg.retryAfter())
 		return
 	}
 	c := res.Stats.Counters()
 	resp := inferResponse{
-		Mode:   res.Mode,
-		SPARQL: res.Query.SPARQL(),
+		Mode:     res.Mode,
+		SPARQL:   res.Query.SPARQL(),
+		Degraded: res.Degraded,
 		Stats: statsJSON{
 			Algorithm1Calls: c.Algorithm1Calls,
 			Rounds:          c.Rounds,
 			CacheHits:       c.CacheHits,
 			CacheMisses:     c.CacheMisses,
 			WallMS:          res.Stats.TotalWall().Milliseconds(),
+			GuardSteps:      res.Stats.GuardUsage.Steps,
 		},
 	}
 	for _, cand := range res.Candidates {
@@ -253,7 +278,7 @@ func handleFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
 	}
 	ev, err := s.StartFeedback(r.Context(), req.MaxQuestions)
 	if err != nil {
-		writeInferError(w, err)
+		writeInferError(w, err, s.reg.retryAfter())
 		return
 	}
 	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
@@ -265,7 +290,7 @@ func handleFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
 func handlePendingFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
 	ev, err := s.PendingFeedback(r.Context())
 	if err != nil {
-		writeInferError(w, err)
+		writeInferError(w, err, s.reg.retryAfter())
 		return
 	}
 	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
@@ -278,7 +303,7 @@ func handleAnswer(s *Session, w http.ResponseWriter, r *http.Request) {
 	}
 	ev, err := s.AnswerFeedback(r.Context(), req.Include)
 	if err != nil {
-		writeInferError(w, err)
+		writeInferError(w, err, s.reg.retryAfter())
 		return
 	}
 	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
@@ -305,7 +330,7 @@ func feedbackEventJSON(ev FeedbackEvent) feedbackResponse {
 
 func handleStats(s *Session, w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"infers":    st.Infers,
 		"examples":  st.Examples,
 		"has_query": st.HasQuery,
@@ -315,7 +340,11 @@ func handleStats(s *Session, w http.ResponseWriter, _ *http.Request) {
 			"cache_hits":       st.Counters.CacheHits,
 			"cache_misses":     st.Counters.CacheMisses,
 		},
-	})
+	}
+	if st.LastError != "" {
+		resp["last_error"] = st.LastError
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeMetrics renders the registry gauges in the Prometheus text
@@ -336,18 +365,32 @@ func writeMetrics(w http.ResponseWriter, m Metrics) {
 		{"questprod_rounds_total", m.Counters.Rounds},
 		{"questprod_cache_hits_total", m.Counters.CacheHits},
 		{"questprod_cache_misses_total", m.Counters.CacheMisses},
+		{"questprod_panics_recovered_total", m.PanicsRecovered},
+		{"questprod_load_shed_total", m.LoadShed},
+		{"questprod_degraded_total", m.DegradedInfer},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "%s %d\n", g.name, g.val)
 	}
 }
 
-// writeInferError maps inference failures onto HTTP statuses: impossible
-// merges are the client's data (422), cancellations are timeouts (504),
-// anything else is a bad request.
-func writeInferError(w http.ResponseWriter, err error) {
+// writeInferError maps inference failures onto HTTP statuses — the error
+// taxonomy of DESIGN.md §8: impossible merges are the client's data (422),
+// an exhausted guard with nothing to degrade to is too (422), cancellations
+// are timeouts (504), load shedding is 429 with a Retry-After hint,
+// recovered panics are 500, anything else is a bad request.
+func writeInferError(w http.ResponseWriter, err error, retryAfter time.Duration) {
 	switch {
-	case errors.Is(err, qerr.ErrNoConsistentQuery):
+	case errors.Is(err, qerr.ErrOverloaded):
+		secs := int(retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, qerr.ErrInternal):
+		writeError(w, http.StatusInternalServerError, err)
+	case errors.Is(err, qerr.ErrNoConsistentQuery), errors.Is(err, qerr.ErrBudgetExhausted):
 		writeError(w, http.StatusUnprocessableEntity, err)
 	case errors.Is(err, qerr.ErrCanceled):
 		writeError(w, http.StatusGatewayTimeout, err)
@@ -356,10 +399,22 @@ func writeInferError(w http.ResponseWriter, err error) {
 	}
 }
 
+// maxRequestBody caps request bodies; a package variable so tests can
+// exercise the 413 path without building a 64MB payload.
+var maxRequestBody int64 = 64 << 20
+
 func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	// Read one byte past the cap: a LimitReader alone would silently
+	// truncate an oversized body and hand the parser a prefix — a confusing
+	// 400 at best, a silently misread request at worst. Detect and refuse.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if int64(len(body)) > maxRequestBody {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("service: request body exceeds %d bytes", maxRequestBody))
 		return false
 	}
 	if len(body) == 0 {

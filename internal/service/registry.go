@@ -12,12 +12,15 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"questpro/internal/conc"
 	"questpro/internal/core"
+	"questpro/internal/faults"
 	"questpro/internal/graph"
+	"questpro/internal/qerr"
 )
 
 // Config sizes a registry. The zero value selects every default.
@@ -37,12 +40,25 @@ type Config struct {
 	// JanitorInterval is how often the janitor scans for expired sessions.
 	// <= 0 selects SessionTTL / 4 (clamped to at least a second).
 	JanitorInterval time.Duration
+
+	// AdmissionWait bounds how long an inference request may queue on the
+	// shared worker budget before the server sheds it with 429 (load
+	// shedding; see conc.Budget.AcquireWithin). 0 selects
+	// DefaultAdmissionWait; negative waits without bound — the pre-shedding
+	// behavior.
+	AdmissionWait time.Duration
+
+	// RetryAfter is the hint sent in the Retry-After header of shed (429)
+	// responses. <= 0 selects DefaultRetryAfter.
+	RetryAfter time.Duration
 }
 
 // Defaults for Config's zero fields.
 const (
-	DefaultSessionTTL  = 30 * time.Minute
-	DefaultMaxSessions = 1024
+	DefaultSessionTTL    = 30 * time.Minute
+	DefaultMaxSessions   = 1024
+	DefaultAdmissionWait = 2 * time.Second
+	DefaultRetryAfter    = time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -57,6 +73,12 @@ func (c Config) withDefaults() Config {
 		if c.JanitorInterval < time.Second {
 			c.JanitorInterval = time.Second
 		}
+	}
+	if c.AdmissionWait == 0 {
+		c.AdmissionWait = DefaultAdmissionWait
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
 	}
 	return c
 }
@@ -85,6 +107,14 @@ type Registry struct {
 	inferTotal   int
 	createdTotal int
 	evictedTotal int
+
+	// Fault-tolerance counters: panics converted to errors by a session's
+	// recovery boundary, inference requests shed for load, and inferences
+	// that returned a degraded (guard-exhausted) partial result. Guarded by
+	// mu.
+	panicsTotal   int
+	shedTotal     int
+	degradedTotal int
 }
 
 // NewRegistry starts a registry (and its eviction janitor) sized by cfg.
@@ -145,13 +175,26 @@ func (r *Registry) evictExpired(now time.Time) int {
 	return len(expired)
 }
 
-// newID returns a 128-bit random session identifier.
-func newID() string {
-	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("service: reading random id: %v", err))
+// idRand is the entropy source behind session identifiers; a package
+// variable so tests can exercise the failure path without breaking the
+// process's crypto/rand.
+var idRand io.Reader = rand.Reader
+
+// newID returns a 128-bit random session identifier. An entropy failure —
+// nearly impossible on a healthy host, but exactly the kind of "can't
+// happen" that used to panic here — surfaces as a qerr.ErrInternal-matching
+// error the HTTP layer maps to 500, keeping the server up. The
+// faults.SessionSnapshot injection point fires first so the chaos harness
+// can force this path.
+func newID() (string, error) {
+	if err := faults.Fire(faults.SessionSnapshot); err != nil {
+		return "", fmt.Errorf("service: minting session id: %v: %w", err, qerr.ErrInternal)
 	}
-	return hex.EncodeToString(b[:])
+	var b [16]byte
+	if _, err := io.ReadFull(idRand, b[:]); err != nil {
+		return "", fmt.Errorf("service: reading random id: %v: %w", err, qerr.ErrInternal)
+	}
+	return hex.EncodeToString(b[:]), nil
 }
 
 // Create registers a session over the ontology with the given inference
@@ -163,6 +206,10 @@ func (r *Registry) Create(onto *graph.Graph, opts core.Options) (*Session, error
 	if err := opts.Validate(); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
+	id, err := newID()
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -171,7 +218,7 @@ func (r *Registry) Create(onto *graph.Graph, opts core.Options) (*Session, error
 	if len(r.sessions) >= r.cfg.MaxSessions {
 		return nil, fmt.Errorf("service: session limit %d reached", r.cfg.MaxSessions)
 	}
-	s := newSession(r, newID(), onto, opts)
+	s := newSession(r, id, onto, opts)
 	r.sessions[s.ID] = s
 	r.createdTotal++
 	return s, nil
@@ -242,8 +289,31 @@ func (r *Registry) recordInfer(st core.Stats) {
 		r.peakParallel = st.PeakParallelism
 	}
 	r.inferTotal++
+	if st.Degraded {
+		r.degradedTotal++
+	}
 	r.mu.Unlock()
 }
+
+// recordPanic counts one panic converted to an error by a recovery boundary.
+func (r *Registry) recordPanic() {
+	r.mu.Lock()
+	r.panicsTotal++
+	r.mu.Unlock()
+}
+
+// recordShed counts one inference request shed for load (429).
+func (r *Registry) recordShed() {
+	r.mu.Lock()
+	r.shedTotal++
+	r.mu.Unlock()
+}
+
+// admissionWait resolves the bounded-admission wait (negative = unbounded).
+func (r *Registry) admissionWait() time.Duration { return r.cfg.AdmissionWait }
+
+// retryAfter is the Retry-After hint for shed responses.
+func (r *Registry) retryAfter() time.Duration { return r.cfg.RetryAfter }
 
 // Metrics is the registry-wide gauge snapshot exported at /metrics.
 type Metrics struct {
@@ -254,6 +324,11 @@ type Metrics struct {
 	WorkerBudget    int
 	PeakParallelism int // largest in-flight MergePair count ever observed
 	Counters        core.CountersSnapshot
+
+	// Fault-tolerance counters (see the matching questprod_* gauges).
+	PanicsRecovered int
+	LoadShed        int
+	DegradedInfer   int
 }
 
 // Metrics returns the current aggregate counters.
@@ -268,5 +343,8 @@ func (r *Registry) Metrics() Metrics {
 		WorkerBudget:    r.budget.Size(),
 		PeakParallelism: r.peakParallel,
 		Counters:        r.totals,
+		PanicsRecovered: r.panicsTotal,
+		LoadShed:        r.shedTotal,
+		DegradedInfer:   r.degradedTotal,
 	}
 }

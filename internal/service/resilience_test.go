@@ -1,0 +1,207 @@
+package service_test
+
+// Fault-tolerance tests for the HTTP service: load shedding under a
+// saturated worker budget, panic isolation (merge-engine workers and the
+// request goroutine itself), and guard-exhausted degraded inference. The
+// chaos suite in chaos_test.go composes these failure modes; here each is
+// pinned in isolation.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"questpro/internal/faults"
+	"questpro/internal/ntriples"
+	"questpro/internal/paperfix"
+	"questpro/internal/service"
+)
+
+// createPaperfixSession creates a session over the running example's
+// ontology (with the given create options, may be nil), submits the
+// example-set, and returns the session's base path.
+func createPaperfixSession(t *testing.T, c *client, options map[string]any) string {
+	t.Helper()
+	body := map[string]any{"ontology": ntriples.Format(paperfix.Ontology())}
+	if options != nil {
+		body["options"] = options
+	}
+	status, resp := c.post("/v1/sessions", body)
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d (%v)", status, resp)
+	}
+	base := "/v1/sessions/" + resp["session_id"].(string)
+	if status, resp := c.post(base+"/examples", paperfixExamples()); status != http.StatusOK {
+		t.Fatalf("examples: status %d (%v)", status, resp)
+	}
+	return base
+}
+
+// metricsText fetches /metrics as raw text.
+func metricsText(t *testing.T, c *client) string {
+	t.Helper()
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// A saturated worker budget sheds inference requests with 429 and a
+// Retry-After hint instead of queueing them unboundedly; once the budget
+// frees up the same request succeeds.
+func TestHTTPLoadShedSaturatedBudget(t *testing.T) {
+	reg := service.NewRegistry(service.Config{
+		TotalWorkers:  2,
+		AdmissionWait: 50 * time.Millisecond,
+		RetryAfter:    3 * time.Second,
+	})
+	t.Cleanup(reg.Close)
+	ts := httptest.NewServer(service.NewServer(reg))
+	t.Cleanup(ts.Close)
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+
+	base := createPaperfixSession(t, c, nil)
+
+	// Hold the whole budget, standing in for long inferences in flight.
+	held, err := reg.Budget().Acquire(bg, reg.Budget().Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.http.Post(c.base+base+"/infer", "application/json",
+		strings.NewReader(`{"mode": "union"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("infer under saturation: status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want %q", ra, "3")
+	}
+
+	reg.Budget().Release(held)
+	status, out := c.post(base+"/infer", map[string]any{"mode": "union"})
+	if status != http.StatusOK {
+		t.Fatalf("infer after release: status %d (%v)", status, out)
+	}
+	if s, _ := out["sparql"].(string); !strings.Contains(s, "SELECT") {
+		t.Fatalf("infer after release: implausible sparql %q", s)
+	}
+
+	if m := metricsText(t, c); !strings.Contains(m, "questprod_load_shed_total 1") {
+		t.Fatalf("metrics missing shed count:\n%s", m)
+	}
+}
+
+// A panic on a merge-engine worker goroutine is recovered in-goroutine and
+// surfaces as a 500 on the one request that hit it; the session stays
+// usable and other sessions are untouched.
+func TestHTTPMergePanicIsolatedToSession(t *testing.T) {
+	c := newTestServer(t, service.Config{})
+	baseA := createPaperfixSession(t, c, nil)
+	baseB := createPaperfixSession(t, c, nil)
+
+	restore := faults.Activate(faults.NewInjector(1,
+		faults.Rule{Point: faults.MergePair, FirstN: 1 << 30, Panic: true}))
+	status, resp := c.post(baseA+"/infer", map[string]any{"mode": "union"})
+	restore()
+	if status != http.StatusInternalServerError {
+		t.Fatalf("infer under merge panics: status %d (%v), want 500", status, resp)
+	}
+	if msg, _ := resp["error"].(string); !strings.Contains(msg, "injected panic") {
+		t.Fatalf("error %q does not name the recovered panic", resp["error"])
+	}
+
+	// The poisoned session recovered; the other one never noticed.
+	if status, resp := c.post(baseA+"/infer", map[string]any{"mode": "union"}); status != http.StatusOK {
+		t.Fatalf("infer after recovery: status %d (%v)", status, resp)
+	}
+	if status, resp := c.post(baseB+"/infer", map[string]any{"mode": "topk"}); status != http.StatusOK {
+		t.Fatalf("sibling session infer: status %d (%v)", status, resp)
+	}
+}
+
+// A panic on the request goroutine itself (here: injected at worker-budget
+// admission) hits the session's recovery boundary: 500 to the client, the
+// sanitized message in the session's stats, the registry's panic counter
+// bumped — and the session still serves the next request.
+func TestHTTPRequestPanicRecordedInStats(t *testing.T) {
+	c := newTestServer(t, service.Config{})
+	base := createPaperfixSession(t, c, nil)
+
+	restore := faults.Activate(faults.NewInjector(1,
+		faults.Rule{Point: faults.BudgetAcquire, OnNth: 1, Panic: true}))
+	status, resp := c.post(base+"/infer", map[string]any{"mode": "union"})
+	restore()
+	if status != http.StatusInternalServerError {
+		t.Fatalf("infer under admission panic: status %d (%v), want 500", status, resp)
+	}
+
+	status, stats := c.do(http.MethodGet, base+"/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	lastErr, _ := stats["last_error"].(string)
+	if !strings.Contains(lastErr, "injected panic") {
+		t.Fatalf("stats last_error = %q, want the recovered panic", lastErr)
+	}
+	if strings.Contains(lastErr, "goroutine") {
+		t.Fatalf("stats last_error leaks a stack trace: %q", lastErr)
+	}
+
+	if m := metricsText(t, c); !strings.Contains(m, "questprod_panics_recovered_total 1") {
+		t.Fatalf("metrics missing panic count:\n%s", m)
+	}
+
+	if status, resp := c.post(base+"/infer", map[string]any{"mode": "union"}); status != http.StatusOK {
+		t.Fatalf("infer after recovery: status %d (%v)", status, resp)
+	}
+}
+
+// An exhausted resource guard degrades inference instead of failing it:
+// 200 with "degraded": true and a usable (partial) query. A roomy guard
+// meters without degrading and reports its usage in the stats.
+func TestHTTPDegradedInferenceJSON(t *testing.T) {
+	c := newTestServer(t, service.Config{})
+
+	tight := createPaperfixSession(t, c, map[string]any{"max_steps": 1})
+	status, resp := c.post(tight+"/infer", map[string]any{"mode": "union"})
+	if status != http.StatusOK {
+		t.Fatalf("tight-guard infer: status %d (%v), want 200", status, resp)
+	}
+	if d, _ := resp["degraded"].(bool); !d {
+		t.Fatalf(`tight-guard infer: "degraded" not set in %v`, resp)
+	}
+	if s, _ := resp["sparql"].(string); !strings.Contains(s, "SELECT") {
+		t.Fatalf("tight-guard infer: implausible partial sparql %q", s)
+	}
+
+	roomy := createPaperfixSession(t, c, map[string]any{"max_steps": float64(1 << 40)})
+	status, resp = c.post(roomy+"/infer", map[string]any{"mode": "union"})
+	if status != http.StatusOK {
+		t.Fatalf("roomy-guard infer: status %d (%v)", status, resp)
+	}
+	if d, _ := resp["degraded"].(bool); d {
+		t.Fatalf("roomy-guard infer reported degraded: %v", resp)
+	}
+	st, _ := resp["stats"].(map[string]any)
+	if gs, _ := st["guard_steps"].(float64); gs <= 0 {
+		t.Fatalf("roomy-guard infer: guard_steps = %v, want > 0", st["guard_steps"])
+	}
+
+	if m := metricsText(t, c); !strings.Contains(m, "questprod_degraded_total 1") {
+		t.Fatalf("metrics missing degraded count:\n%s", m)
+	}
+}

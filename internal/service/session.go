@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,12 @@ type Session struct {
 	// inference outliving the TTL is not evicted mid-run.
 	inflight atomic.Int64
 
+	// lastErr records the session's most recent internal error (a recovered
+	// panic), for the stats endpoint. An atomic pointer, not a mutex field:
+	// the recovery boundary stores it while the stack is unwinding, at a
+	// point where s.mu may already have been released by an earlier defer.
+	lastErr atomic.Pointer[qerr.InternalError]
+
 	mu     sync.Mutex
 	ev     *eval.Evaluator
 	opts   core.Options
@@ -83,6 +90,29 @@ func (s *Session) end()   { s.inflight.Add(-1); s.touch() }
 // busy reports whether a client operation is in flight.
 func (s *Session) busy() bool { return s.inflight.Load() > 0 }
 
+// recoverOp is the session's recovery boundary: deferred FIRST in every
+// client-facing operation (so it runs last during an unwind, after the
+// mutex and inflight defers have already released their state), it converts
+// a panic anywhere below into a qerr.ErrInternal-matching error on the
+// operation's named return value. The panic poisons only this call: the
+// session stays usable, the sanitized stack is kept as the session's last
+// error, and the registry counts the recovery. Panics on merge-engine
+// worker goroutines never reach here — they are recovered at safeMergePair
+// and arrive as ordinary errors; this boundary covers the request
+// goroutine itself.
+func (s *Session) recoverOp(op string, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	ie := qerr.Internal(r, debug.Stack())
+	if x, ok := ie.(*qerr.InternalError); ok {
+		s.lastErr.Store(x)
+	}
+	s.reg.recordPanic()
+	*errp = fmt.Errorf("service: %s: %w", op, ie)
+}
+
 // close cancels the session's context and waits for its feedback goroutine
 // (if any) to exit.
 func (s *Session) close() {
@@ -98,7 +128,8 @@ func (s *Session) close() {
 
 // SetExamples validates and installs the example-set, resetting any
 // previous inference outcome and aborting a feedback dialogue in progress.
-func (s *Session) SetExamples(exs provenance.ExampleSet) error {
+func (s *Session) SetExamples(exs provenance.ExampleSet) (err error) {
+	defer s.recoverOp("set examples", &err)
 	s.begin()
 	defer s.end()
 	if err := exs.Validate(); err != nil {
@@ -120,16 +151,25 @@ type InferResult struct {
 	// Candidates is the cost-sorted beam, top-k mode only.
 	Candidates []core.Candidate
 	Stats      core.Stats
+
+	// Degraded reports that the run exhausted its resource guard and Query
+	// is the best consistent partial state, not the fixpoint (see
+	// core.Options.Guard). Served with 200 + "degraded":true.
+	Degraded bool
 }
 
 // Infer runs one of the inference algorithms ("simple", "union" or "topk")
 // over the session's example-set. The worker count is leased from the
 // registry's shared budget for the duration of the run: under load a
-// request blocks in Acquire (honoring ctx) rather than oversubscribing
-// the machine. Cancellation — the HTTP client going away, a request
-// deadline, or session eviction — surfaces as a qerr.ErrCanceled-wrapped
-// error from inside the merge engine's round loop.
-func (s *Session) Infer(ctx context.Context, mode string) (InferResult, error) {
+// request queues for at most the registry's admission wait and is then
+// shed with a qerr.ErrOverloaded-matching error (429 over HTTP) instead of
+// piling up unboundedly. Cancellation — the HTTP client going away, a
+// request deadline, or session eviction — surfaces as a qerr.ErrCanceled-
+// wrapped error from inside the merge engine's round loop. A run that
+// exhausts its resource guard but still produced a consistent partial
+// query returns it with Degraded set and a nil error.
+func (s *Session) Infer(ctx context.Context, mode string) (_ InferResult, err error) {
+	defer s.recoverOp("infer", &err)
 	s.begin()
 	defer s.end()
 	s.mu.Lock()
@@ -145,8 +185,11 @@ func (s *Session) Infer(ctx context.Context, mode string) (InferResult, error) {
 	defer cancel()
 
 	opts := s.opts
-	got, err := s.reg.budget.Acquire(ctx, conc.Workers(opts.Workers))
+	got, err := s.reg.budget.AcquireWithin(ctx, conc.Workers(opts.Workers), s.reg.admissionWait())
 	if err != nil {
+		if errors.Is(err, qerr.ErrOverloaded) {
+			s.reg.recordShed()
+		}
 		return InferResult{}, err
 	}
 	defer s.reg.budget.Release(got)
@@ -164,13 +207,19 @@ func (s *Session) Infer(ctx context.Context, mode string) (InferResult, error) {
 	case "union":
 		u, st, err := core.InferUnion(ctx, s.ex, opts)
 		if err != nil {
-			return InferResult{}, err
+			if u == nil || !errors.Is(err, qerr.ErrBudgetExhausted) {
+				return InferResult{}, err
+			}
+			res.Degraded = true // guard ran out; u is a consistent partial
 		}
 		res.Query, stats = u, st
 	case "topk":
 		cands, st, err := core.InferTopK(ctx, s.ex, opts)
 		if err != nil {
-			return InferResult{}, err
+			if len(cands) == 0 || !errors.Is(err, qerr.ErrBudgetExhausted) {
+				return InferResult{}, err
+			}
+			res.Degraded = true
 		}
 		if len(cands) == 0 {
 			return InferResult{}, fmt.Errorf("service: top-k search produced no candidates")
@@ -291,7 +340,8 @@ func (s *Session) abortFeedbackLocked() {
 // inference and returns the first event: usually the first question, or an
 // immediate decision when the candidates are indistinguishable. max bounds
 // the number of questions (0 = unbounded).
-func (s *Session) StartFeedback(ctx context.Context, max int) (FeedbackEvent, error) {
+func (s *Session) StartFeedback(ctx context.Context, max int) (_ FeedbackEvent, err error) {
+	defer s.recoverOp("start feedback", &err)
 	s.begin()
 	defer s.end()
 	s.mu.Lock()
@@ -319,7 +369,22 @@ func (s *Session) StartFeedback(ctx context.Context, max int) (FeedbackEvent, er
 	}
 	s.fb = run
 	go func() {
+		// A panic on this goroutine would kill the whole process (no HTTP-
+		// layer recover covers it), so it gets its own recovery boundary:
+		// the panic becomes the dialogue's outcome error, delivered through
+		// the usual channel before exited closes. outcome is buffered, so
+		// the send never blocks even with no request waiting.
 		defer close(run.exited)
+		defer func() {
+			if r := recover(); r != nil {
+				ie := qerr.Internal(r, debug.Stack())
+				if x, ok := ie.(*qerr.InternalError); ok {
+					s.lastErr.Store(x)
+				}
+				s.reg.recordPanic()
+				run.outcome <- feedbackOutcome{idx: -1, err: fmt.Errorf("service: feedback dialogue: %w", ie)}
+			}
+		}()
 		idx, tr, err := fs.ChooseQuery(s.ctx, cands)
 		run.outcome <- feedbackOutcome{idx: idx, tr: tr, err: err}
 	}()
@@ -332,7 +397,8 @@ func (s *Session) StartFeedback(ctx context.Context, max int) (FeedbackEvent, er
 // the verdict is NOT consumed (it has no question to apply to); instead
 // the pending event is (re)delivered with Redelivered set, and the client
 // answers that. PendingFeedback offers the same recovery as a read.
-func (s *Session) AnswerFeedback(ctx context.Context, include bool) (FeedbackEvent, error) {
+func (s *Session) AnswerFeedback(ctx context.Context, include bool) (_ FeedbackEvent, err error) {
+	defer s.recoverOp("answer feedback", &err)
 	s.begin()
 	defer s.end()
 	s.mu.Lock()
@@ -368,7 +434,8 @@ func (s *Session) AnswerFeedback(ctx context.Context, include bool) (FeedbackEve
 // otherwise the next question or the outcome. This is how a client whose
 // previous request was canceled mid-dialogue re-fetches the question it
 // lost.
-func (s *Session) PendingFeedback(ctx context.Context) (FeedbackEvent, error) {
+func (s *Session) PendingFeedback(ctx context.Context) (_ FeedbackEvent, err error) {
+	defer s.recoverOp("pending feedback", &err)
 	s.begin()
 	defer s.end()
 	s.mu.Lock()
@@ -430,18 +497,26 @@ type SessionStats struct {
 	Counters core.CountersSnapshot
 	Examples int
 	HasQuery bool
+
+	// LastError is the session's most recent recovered panic (sanitized
+	// message, no stack), empty when none ever fired.
+	LastError string
 }
 
 // Stats returns the session's accumulated counters.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return SessionStats{
+	st := SessionStats{
 		Infers:   s.infers,
 		Counters: s.counters,
 		Examples: len(s.ex),
 		HasQuery: s.result != nil,
 	}
+	if ie := s.lastErr.Load(); ie != nil {
+		st.LastError = ie.Error()
+	}
+	return st
 }
 
 // Result returns the session's current query (last inferred or
