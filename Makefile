@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos cover bench bench-json experiments examples serve clean
+.PHONY: all build test race chaos cover bench bench-json bench-merge bench-compare profile experiments examples serve clean
 
 all: build test
 
@@ -46,6 +46,31 @@ bench:
 # for the bench trajectory. See cmd/qpbench/benchjson.go for the schema.
 bench-json: build
 	bin/qpbench -exp benchjson -scale 0.35 -explanations 8 -out BENCH_core_infer.json
+
+# Merge-kernel baseline: ns/op, gain evaluations (incremental heap vs the
+# reference scan), restarts and allocs/op. See cmd/qpbench/benchmerge.go.
+bench-merge: build
+	bin/qpbench -exp benchmerge -scale 0.35 -out BENCH_core_merge.json
+
+# Perf-regression gate: regenerate both bench artifacts into a scratch dir
+# and diff them against the committed baselines; fails on a >15% ns/op
+# regression after normalizing by each artifact's calibration_ns anchor
+# (cancels uniform machine-speed drift between runs). Deliberately NOT part
+# of `make test` — it is a wall-clock measurement, not a correctness test.
+bench-compare: build
+	mkdir -p bin/bench
+	bin/qpbench -exp benchjson -scale 0.35 -explanations 8 -out bin/bench/BENCH_core_infer.json
+	bin/qpbench -exp benchmerge -scale 0.35 -out bin/bench/BENCH_core_merge.json
+	bin/qpbench compare BENCH_core_infer.json bin/bench/BENCH_core_infer.json
+	bin/qpbench compare BENCH_core_merge.json bin/bench/BENCH_core_merge.json
+
+# Capture a 10s CPU profile from a running questprod started with
+# -pprof-addr (see README "Operating questprod"). Override PPROF_ADDR to
+# match the server's flag.
+PPROF_ADDR ?= 127.0.0.1:8371
+profile:
+	$(GO) tool pprof -seconds 10 -proto -output cpu.pprof http://$(PPROF_ADDR)/debug/pprof/profile
+	@echo "wrote cpu.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
 # Regenerate every evaluation artifact at full scale (see EXPERIMENTS.md).
 experiments: build

@@ -43,22 +43,72 @@ type benchEntry struct {
 
 // benchFile is the top-level JSON document.
 type benchFile struct {
-	Schema  string       `json:"schema"`
-	Scale   float64      `json:"scale"`
-	Seed    int64        `json:"seed"`
-	Workers int          `json:"workers"`
-	Entries []benchEntry `json:"entries"`
+	Schema        string       `json:"schema"`
+	Scale         float64      `json:"scale"`
+	Seed          int64        `json:"seed"`
+	Workers       int          `json:"workers"`
+	CalibrationNs int64        `json:"calibration_ns"`
+	Entries       []benchEntry `json:"entries"`
+}
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink uint64
+
+// calibrate times a fixed pure-CPU reference loop. Recorded as
+// calibration_ns in every artifact, it lets compare normalize ns/op by the
+// machine-speed ratio between the two measurement times: on shared or
+// frequency-scaled hosts the whole suite drifts uniformly by tens of
+// percent between runs, which would swamp a 15% gate on raw wall clock.
+func calibrate() int64 {
+	d, _ := minBench(5, func() error {
+		sum := calibSink
+		for i := uint64(0); i < 1<<21; i++ {
+			sum = sum*2654435761 + i
+		}
+		calibSink = sum
+		return nil
+	})
+	return d.Nanoseconds()
+}
+
+// minBench reports the smallest per-op duration over reps batches. Each
+// batch runs op repeatedly until at least minBatch has elapsed —
+// testing.B-style calibration — so sub-millisecond operations are averaged
+// over enough iterations that timer resolution and GC pauses cannot
+// dominate; the minimum across batches then discards the noise that
+// remains, since contention only ever adds time. This is what keeps the
+// compare gate stable on busy single-core machines.
+func minBench(reps int, op func() error) (time.Duration, error) {
+	const minBatch = 30 * time.Millisecond
+	var best time.Duration
+	for rep := 0; rep < reps; rep++ {
+		iters := 0
+		start := time.Now()
+		elapsed := time.Duration(0)
+		for elapsed < minBatch {
+			if err := op(); err != nil {
+				return 0, err
+			}
+			iters++
+			elapsed = time.Since(start)
+		}
+		if per := elapsed / time.Duration(iters); rep == 0 || per < best {
+			best = per
+		}
+	}
+	return best, nil
 }
 
 // benchJSON runs the inference benchmarks and writes them to path.
 func (r *runner) benchJSON(ctx context.Context, path string) error {
-	const reps = 3
+	const reps = 5
 	opts := r.opts(3)
 	doc := benchFile{
-		Schema:  "qpbench/core-infer/v1",
-		Scale:   r.scale,
-		Seed:    r.seed,
-		Workers: opts.Workers,
+		Schema:        "qpbench/core-infer/v1",
+		Scale:         r.scale,
+		Seed:          r.seed,
+		Workers:       opts.Workers,
+		CalibrationNs: calibrate(),
 	}
 	for _, name := range []string{"sp2b", "bsbm", "dbpedia"} {
 		w, err := experiments.Load(name, r.scale)
@@ -111,30 +161,33 @@ func (r *runner) benchJSON(ctx context.Context, path string) error {
 				if alg.algorithm == "InferTopK" {
 					entry.K = opts.K
 				}
-				var elapsed time.Duration
-				for rep := 0; rep < reps; rep++ {
-					start := time.Now()
-					stats, err := alg.run()
-					elapsed += time.Since(start)
-					if err != nil {
-						return fmt.Errorf("benchjson: %s/%s/%s: %w", name, bq.Name, alg.algorithm, err)
-					}
-					if rep == 0 {
-						c := stats.Counters()
-						entry.Algorithm1Calls = c.Algorithm1Calls
-						entry.CacheHits = c.CacheHits
-						entry.CacheMisses = c.CacheMisses
-						if c.Algorithm1Calls > 0 {
-							entry.CacheHitRate = float64(c.CacheHits) / float64(c.Algorithm1Calls)
-						}
-						entry.Rounds = c.Rounds
-						entry.PeakParallelism = stats.PeakParallelism
-						for _, d := range stats.RoundWall {
-							entry.RoundWallNs = append(entry.RoundWallNs, d.Nanoseconds())
-						}
-					}
+				// One untimed run collects the merge-engine counters (they are
+				// deterministic, so any run's values do); minBench then times
+				// ns_per_op noise-robustly.
+				stats, err := alg.run()
+				if err != nil {
+					return fmt.Errorf("benchjson: %s/%s/%s: %w", name, bq.Name, alg.algorithm, err)
 				}
-				entry.NsPerOp = elapsed.Nanoseconds() / reps
+				c := stats.Counters()
+				entry.Algorithm1Calls = c.Algorithm1Calls
+				entry.CacheHits = c.CacheHits
+				entry.CacheMisses = c.CacheMisses
+				if c.Algorithm1Calls > 0 {
+					entry.CacheHitRate = float64(c.CacheHits) / float64(c.Algorithm1Calls)
+				}
+				entry.Rounds = c.Rounds
+				entry.PeakParallelism = stats.PeakParallelism
+				for _, d := range stats.RoundWall {
+					entry.RoundWallNs = append(entry.RoundWallNs, d.Nanoseconds())
+				}
+				best, err := minBench(reps, func() error {
+					_, err := alg.run()
+					return err
+				})
+				if err != nil {
+					return fmt.Errorf("benchjson: %s/%s/%s: %w", name, bq.Name, alg.algorithm, err)
+				}
+				entry.NsPerOp = best.Nanoseconds()
 				doc.Entries = append(doc.Entries, entry)
 			}
 			break // one query per workload keeps the artifact small and fast

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/experiments"
+	"questpro/internal/workload"
+	"questpro/internal/workload/sampling"
+)
+
+// benchmerge measures the merge kernel itself: InferUnion over a fixed
+// 8-explanation sample per workload, timed with the incremental lazy-heap
+// kernel and counter-compared against the retained reference-scan kernel.
+// GainEvals is the kernel's machine-independent unit of work (gain-function
+// evaluations, Definition 3.11), so gain_eval_ratio — scan evals over heap
+// evals on the identical input — is the incremental-maintenance speedup
+// claim in a form that survives hardware changes. Allocations per op come
+// from testing.AllocsPerRun on the heap-kernel run.
+
+// mergeBenchExplanations fixes the sample size: 8 explanations is the
+// acceptance workload (large enough that the candidate tables and restart
+// grids dominate, small enough to regenerate in seconds).
+const mergeBenchExplanations = 8
+
+// mergeBenchEntry is one workload measurement of the merge kernel.
+type mergeBenchEntry struct {
+	Workload      string  `json:"workload"`
+	Query         string  `json:"query"`
+	Algorithm     string  `json:"algorithm"`
+	Explanations  int     `json:"explanations"`
+	Reps          int     `json:"reps"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	GainEvals     int64   `json:"gain_evals"`
+	GainEvalsScan int64   `json:"gain_evals_scan"`
+	GainEvalRatio float64 `json:"gain_eval_ratio"`
+	Restarts      int     `json:"restarts"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+}
+
+// mergeBenchFile is the top-level BENCH_core_merge.json document.
+type mergeBenchFile struct {
+	Schema        string            `json:"schema"`
+	Scale         float64           `json:"scale"`
+	Seed          int64             `json:"seed"`
+	Workers       int               `json:"workers"`
+	CalibrationNs int64             `json:"calibration_ns"`
+	Entries       []mergeBenchEntry `json:"entries"`
+}
+
+// benchMerge runs the merge-kernel benchmark and writes it to path.
+func (r *runner) benchMerge(ctx context.Context, path string) error {
+	const reps = 5
+	opts := r.opts(3)
+	doc := mergeBenchFile{
+		Schema:        "qpbench/core-merge/v1",
+		Scale:         r.scale,
+		Seed:          r.seed,
+		Workers:       opts.Workers,
+		CalibrationNs: calibrate(),
+	}
+	for _, name := range []string{"sp2b", "bsbm"} {
+		w, err := experiments.Load(name, r.scale)
+		if err != nil {
+			return err
+		}
+		ev := w.Evaluator()
+		// Benchmark the most merge-heavy query (most pattern edges) that has
+		// enough results: small star queries produce near-empty candidate
+		// tables where there is no incremental work to measure.
+		var pick *workload.BenchQuery
+		for i := range w.Queries {
+			bq := &w.Queries[i]
+			s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(r.seed)))
+			rs, err := s.Results(ctx)
+			if err != nil {
+				return err
+			}
+			if len(rs) < mergeBenchExplanations {
+				continue
+			}
+			if pick == nil || bq.Query.Branch(0).NumEdges() > pick.Query.Branch(0).NumEdges() {
+				pick = bq
+			}
+		}
+		if pick != nil {
+			bq := *pick
+			s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(r.seed)))
+			exs, err := s.ExampleSet(ctx, mergeBenchExplanations)
+			if err != nil {
+				return err
+			}
+			entry := mergeBenchEntry{
+				Workload:     name,
+				Query:        bq.Name,
+				Algorithm:    "InferUnion",
+				Explanations: mergeBenchExplanations,
+				Reps:         reps,
+			}
+			// One untimed run collects the deterministic counters; minBench
+			// (benchjson.go) then times ns_per_op noise-robustly.
+			_, stats, err := core.InferUnion(ctx, exs, opts)
+			if err != nil {
+				return fmt.Errorf("benchmerge: %s/%s: %w", name, bq.Name, err)
+			}
+			c := stats.Counters()
+			entry.GainEvals = c.GainEvals
+			entry.Restarts = c.Restarts
+			best, err := minBench(reps, func() error {
+				_, _, err := core.InferUnion(ctx, exs, opts)
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("benchmerge: %s/%s: %w", name, bq.Name, err)
+			}
+			entry.NsPerOp = best.Nanoseconds()
+			scanOpts := opts
+			scanOpts.ReferenceScan = true
+			_, scanStats, err := core.InferUnion(ctx, exs, scanOpts)
+			if err != nil {
+				return fmt.Errorf("benchmerge: %s/%s (reference scan): %w", name, bq.Name, err)
+			}
+			entry.GainEvalsScan = scanStats.Counters().GainEvals
+			if entry.GainEvals > 0 {
+				entry.GainEvalRatio = float64(entry.GainEvalsScan) / float64(entry.GainEvals)
+			}
+			entry.AllocsPerOp = testing.AllocsPerRun(1, func() {
+				if _, _, err := core.InferUnion(ctx, exs, opts); err != nil {
+					panic(err)
+				}
+			})
+			doc.Entries = append(doc.Entries, entry)
+		}
+	}
+	if len(doc.Entries) == 0 {
+		return fmt.Errorf("benchmerge: no benchmark query has %d results at scale %g; raise -scale", mergeBenchExplanations, r.scale)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	if !r.csv {
+		fmt.Printf("== benchmerge: wrote %d entries to %s ==\n", len(doc.Entries), path)
+		for _, e := range doc.Entries {
+			fmt.Printf("  %s/%s: %d gain evals (scan: %d, ratio %.1fx), %d restarts, %.0f allocs/op\n",
+				e.Workload, e.Query, e.GainEvals, e.GainEvalsScan, e.GainEvalRatio, e.Restarts, e.AllocsPerOp)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// qpbench compare diffs two bench JSON artifacts (any qpbench schema whose
+// entries carry workload/query/algorithm/ns_per_op) and exits non-zero when
+// any matched entry regressed by more than regressionThreshold in ns/op —
+// the CI gate behind `make bench-compare`. When both artifacts carry a
+// calibration_ns anchor (the time of a fixed pure-CPU loop measured
+// alongside the suite), current ns/op values are first divided by the
+// calibration ratio, cancelling uniform machine-speed drift between the
+// two measurement times. Counter fields are reported for context but never
+// gate: they are deterministic, so a change there is a behavior change the
+// test suite must judge, not a perf regression.
+
+// regressionThreshold is the tolerated relative ns/op increase; wall-clock
+// noise on shared machines makes a tighter bound flaky.
+const regressionThreshold = 0.15
+
+// compareEntry is the schema-agnostic slice of one bench entry.
+type compareEntry struct {
+	Workload  string `json:"workload"`
+	Query     string `json:"query"`
+	Algorithm string `json:"algorithm"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	GainEvals int64  `json:"gain_evals"`
+}
+
+// compareFile is the schema-agnostic top-level document.
+type compareFile struct {
+	Schema        string         `json:"schema"`
+	CalibrationNs int64          `json:"calibration_ns"`
+	Entries       []compareEntry `json:"entries"`
+}
+
+func loadCompareFile(path string) (*compareFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f compareFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("%s: no entries", path)
+	}
+	return &f, nil
+}
+
+func entryKey(e compareEntry) string {
+	return e.Workload + "/" + e.Query + "/" + e.Algorithm
+}
+
+// runCompare implements `qpbench compare [-threshold f] baseline.json current.json`.
+// It returns the process exit code.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", regressionThreshold,
+		"tolerated relative ns/op increase before failing")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: qpbench compare [-threshold f] baseline.json current.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := loadCompareFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpbench compare:", err)
+		return 2
+	}
+	cur, err := loadCompareFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpbench compare:", err)
+		return 2
+	}
+	if base.Schema != cur.Schema {
+		fmt.Fprintf(os.Stderr, "qpbench compare: schema mismatch: %q vs %q\n", base.Schema, cur.Schema)
+		return 2
+	}
+	baseByKey := make(map[string]compareEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseByKey[entryKey(e)] = e
+	}
+	// Machine-speed normalization: scale > 1 means the current run's machine
+	// was slower than the baseline's, and raw ns/op inflates by that factor
+	// across the board.
+	scale := 1.0
+	if base.CalibrationNs > 0 && cur.CalibrationNs > 0 {
+		scale = float64(cur.CalibrationNs) / float64(base.CalibrationNs)
+	}
+	fmt.Printf("== compare %s: %s -> %s (threshold %+.0f%%, machine-speed scale %.2f) ==\n",
+		base.Schema, fs.Arg(0), fs.Arg(1), *threshold*100, scale)
+	failed := false
+	matched := 0
+	for _, e := range cur.Entries {
+		b, ok := baseByKey[entryKey(e)]
+		if !ok {
+			fmt.Printf("  %-40s NEW  %12d ns/op\n", entryKey(e), e.NsPerOp)
+			continue
+		}
+		matched++
+		delta := (float64(e.NsPerOp)/scale - float64(b.NsPerOp)) / float64(b.NsPerOp)
+		verdict := "ok"
+		if delta > *threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-40s %+6.1f%% %12d -> %12d ns/op  %s\n",
+			entryKey(e), delta*100, b.NsPerOp, e.NsPerOp, verdict)
+		if b.GainEvals != 0 && e.GainEvals != b.GainEvals {
+			fmt.Printf("  %-40s note: gain_evals %d -> %d (deterministic counter changed)\n",
+				"", b.GainEvals, e.GainEvals)
+		}
+	}
+	curKeys := make(map[string]bool, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curKeys[entryKey(e)] = true
+	}
+	for _, b := range base.Entries {
+		if !curKeys[entryKey(b)] {
+			fmt.Printf("  %-40s MISSING from current\n", entryKey(b))
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "qpbench compare: no entries in common")
+		return 2
+	}
+	if failed {
+		fmt.Println("compare: FAIL (ns/op regression beyond threshold)")
+		return 1
+	}
+	fmt.Println("compare: OK")
+	return 0
+}

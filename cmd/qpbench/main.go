@@ -8,6 +8,7 @@
 //	qpbench -exp e1 -workload sp2b
 //	qpbench -exp fig6a            # intermediates vs explanations, SP2B
 //	qpbench -exp all -csv
+//	qpbench compare BENCH_core_infer.json new.json   # perf-regression gate
 package main
 
 import (
@@ -25,8 +26,13 @@ import (
 var bg = context.Background()
 
 func main() {
+	// The compare subcommand has its own flag set; intercept it before the
+	// experiment flags parse.
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	var (
-		exp     = flag.String("exp", "all", "experiment: e1, e2, fig6a, fig6b, fig6c, fig6d, table1, fig8, feedback, robust, ablation, e1rep, benchjson, all")
+		exp     = flag.String("exp", "all", "experiment: e1, e2, fig6a, fig6b, fig6c, fig6d, table1, fig8, feedback, robust, ablation, e1rep, benchjson, benchmerge, all")
 		wlName  = flag.String("workload", "", "restrict e1/e2/feedback to one workload (sp2b or bsbm)")
 		scale   = flag.Float64("scale", 1.0, "ontology scale factor")
 		seed    = flag.Int64("seed", 1, "random seed for example sampling")
@@ -35,9 +41,15 @@ func main() {
 		nExpl   = flag.Int("explanations", 7, "explanations for e2/feedback and fig6c")
 		repeats = flag.Int("repeats", 5, "sampling repeats for e1rep")
 		k       = flag.Int("k", 0, "top-k beam width (0 = paper defaults per experiment)")
-		out     = flag.String("out", "BENCH_core_infer.json", "output path for benchjson")
+		out     = flag.String("out", "", "output path for benchjson/benchmerge (default BENCH_core_infer.json / BENCH_core_merge.json)")
 	)
 	flag.Parse()
+	outPath := func(def string) string {
+		if *out != "" {
+			return *out
+		}
+		return def
+	}
 
 	r := &runner{scale: *scale, seed: *seed, csv: *csv, maxExpl: *maxExpl, nExpl: *nExpl, k: *k, repeats: *repeats}
 	names := map[string]func() error{
@@ -53,9 +65,11 @@ func main() {
 		"robust":   r.robustness,
 		"ablation": func() error { return r.ablation(*wlName) },
 		"e1rep":    func() error { return r.e1Repeated(*wlName) },
-		// benchjson is not part of "all": it is the perf-baseline artifact,
-		// regenerated on demand via `make bench-json`.
-		"benchjson": func() error { return r.benchJSON(bg, *out) },
+		// benchjson/benchmerge are not part of "all": they are the
+		// perf-baseline artifacts, regenerated on demand via `make
+		// bench-json` / `make bench-merge`.
+		"benchjson":  func() error { return r.benchJSON(bg, outPath("BENCH_core_infer.json")) },
+		"benchmerge": func() error { return r.benchMerge(bg, outPath("BENCH_core_merge.json")) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"e1", "e2", "fig6a", "fig6b", "fig6c", "fig6d", "table1", "fig8", "feedback", "robust", "ablation", "e1rep"} {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +36,8 @@ func main() {
 		"max time an inference request may queue on the worker budget before a 429 (negative = wait forever)")
 	retryAfter := flag.Duration("retry-after", service.DefaultRetryAfter,
 		"Retry-After hint on shed (429) responses")
+	pprofAddr := flag.String("pprof-addr", "",
+		"listen address for net/http/pprof (e.g. 127.0.0.1:8371; empty = profiling off)")
 	flag.Parse()
 
 	reg := service.NewRegistry(service.Config{
@@ -48,6 +51,28 @@ func main() {
 		Addr:              *addr,
 		Handler:           service.NewServer(reg),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Profiling listens on its own address so the debug endpoints are never
+	// reachable through the service port (and never intercepted by the API
+	// mux); off unless explicitly enabled. Registration is on a private mux
+	// — importing net/http/pprof for its side effect would pollute
+	// http.DefaultServeMux, which this process never serves.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("questprod pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("questprod: pprof: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -68,6 +93,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("questprod: drain: %v", err)
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("questprod: pprof drain: %v", err)
+		}
 	}
 	reg.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

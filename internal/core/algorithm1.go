@@ -1,8 +1,13 @@
 package core
 
 import (
-	"sort"
+	"context"
+	"sync"
+	"sync/atomic"
 
+	"questpro/internal/conc"
+	"questpro/internal/eval"
+	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
 
@@ -13,6 +18,13 @@ type MergeResult struct {
 	Query    *query.Simple
 	Relation *Relation
 	Gain     float64
+
+	// GainEvals and Restarts record the kernel work this merge performed:
+	// evaluations of the Definition 3.11 gain function (the kernel's unit
+	// of work) and greedy restarts executed. Both are deterministic for
+	// fixed inputs and options, independent of worker count.
+	GainEvals int64
+	Restarts  int
 }
 
 // DefaultFirstPairSweep is the default number of distinguished-adjacent
@@ -43,145 +55,176 @@ func firstPairSweep(opts Options) int {
 // returns ok = false when no complete relation exists — by Proposition 3.13
 // this only happens when no consistent simple query exists for the pair.
 func MergePair(a, b *query.Simple, opts Options) (MergeResult, bool, error) {
+	return MergePairCtx(context.Background(), a, b, opts)
+}
+
+// MergePairCtx is MergePair with cancellation and restart-level
+// parallelism: the numIter × sweep restart grid fans out over
+// conc.Workers(opts.Workers) goroutines (the restarts are independent; the
+// best outcome is chosen by a sequential replay over the grid in its fixed
+// order, so results — tie-breaks included — are byte-identical for every
+// worker count), and the context is polled between restarts so a canceled
+// call aborts mid-grid with a qerr.ErrCanceled-matching error.
+func MergePairCtx(ctx context.Context, a, b *query.Simple, opts Options) (MergeResult, bool, error) {
+	return mergePair(ctx, a, b, opts, conc.Workers(opts.Workers), nil)
+}
+
+// restartOutcome is one grid cell's result; the grid is indexed
+// iter*sweep + f so the sequential replay visits cells in the exact order
+// the original nested restart loop did.
+type restartOutcome struct {
+	q         *query.Simple
+	rel       *Relation
+	gain      float64
+	ok        bool // produced a complete relation
+	ran       bool
+	gainEvals int64
+	err       error
+}
+
+// mergePair runs the restart grid with up to workers goroutines. m, when
+// non-nil, is the operation's guard meter: restarts are not charged here
+// (safeMergePair charges the whole pair up front) but the grid aborts
+// early once the meter is exhausted — by another goroutine of the same
+// operation included — so a spent budget stops intra-merge work promptly.
+func mergePair(ctx context.Context, a, b *query.Simple, opts Options, workers int, m *eval.Meter) (MergeResult, bool, error) {
 	numIter := opts.NumIter
 	if numIter < 1 {
 		numIter = 1
 	}
-	candidates := compatiblePairs(a, b)
-	if len(candidates) == 0 {
+	sh, ok := newMergeShared(a, b, opts.GainWeights)
+	if !ok {
 		return MergeResult{}, false, nil
 	}
-
-	// Rank the distinguished-adjacent pairs by initial gain; they are the
-	// possible first selections (lines 10-12 of the paper's listing).
-	seed := newRelationState(a, b, opts.GainWeights)
-	type ranked struct {
-		p    EdgePair
-		gain float64
-	}
-	var disPairs []ranked
-	for _, p := range candidates {
-		if pairProjects(a, b, a.Edge(p.A), b.Edge(p.B)) {
-			disPairs = append(disPairs, ranked{p, seed.Gain(p.A, p.B)})
-		}
-	}
-	if len(disPairs) == 0 {
-		return MergeResult{}, false, nil // Lemma 3.2
-	}
-	sort.SliceStable(disPairs, func(i, j int) bool { return disPairs[i].gain > disPairs[j].gain })
 	sweep := firstPairSweep(opts)
-	if sweep > len(disPairs) {
-		sweep = len(disPairs)
+	if sweep > len(sh.disPairs) {
+		sweep = len(sh.disPairs)
+	}
+	cells := numIter * sweep
+	outcomes := make([]restartOutcome, cells)
+	scan := opts.ReferenceScan
+
+	runCell := func(sc *restartScratch, i int) {
+		o := &outcomes[i]
+		o.ran = true
+		sc.evals = 0
+		iter, f := i/sweep, i%sweep
+		var pairs []EdgePair
+		var gain float64
+		var rok bool
+		if scan {
+			pairs, gain, rok = sc.runScan(sh, iter, sh.disPairs[f])
+		} else {
+			pairs, gain, rok = sc.runHeap(sh, iter, sh.disPairs[f])
+		}
+		o.gainEvals = sc.evals
+		if !rok {
+			return
+		}
+		rel := &Relation{A: a, B: b, Pairs: pairs}
+		q, err := BuildQuery(rel)
+		if err != nil {
+			o.err = err
+			return
+		}
+		o.q, o.rel, o.gain, o.ok = q, rel, gain, true
 	}
 
-	var best *MergeResult
-	for iter := 0; iter < numIter; iter++ {
-		for f := 0; f < sweep; f++ {
-			st := runIteration(a, b, opts.GainWeights, candidates, iter, disPairs[f].p)
-			if st == nil {
-				continue
+	if workers > cells {
+		workers = cells
+	}
+	if workers <= 1 {
+		sc := newRestartScratch(sh)
+		for i := 0; i < cells; i++ {
+			if err := ctx.Err(); err != nil {
+				return MergeResult{}, false, qerr.Canceled(err)
 			}
-			rel := &Relation{A: a, B: b, Pairs: st.pairs}
-			q, err := BuildQuery(rel)
-			if err != nil {
-				return MergeResult{}, false, err
+			if m.Exhausted() {
+				return MergeResult{}, false, m.Err()
 			}
-			res := MergeResult{Query: q, Relation: rel, Gain: st.gain}
-			if best == nil ||
-				q.NumVars() < best.Query.NumVars() ||
-				(q.NumVars() == best.Query.NumVars() && st.gain > best.Gain) {
-				best = &res
-			}
+			runCell(sc, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var sc *restartScratch
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= cells {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						outcomes[i].err = qerr.Canceled(err)
+						return
+					}
+					if m.Exhausted() {
+						outcomes[i].err = m.Err()
+						return
+					}
+					if sc == nil {
+						sc = newRestartScratch(sh)
+					}
+					runCell(sc, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Sequential replay in grid order: the same strict-improvement
+	// comparisons as the original nested loop, so the chosen restart —
+	// ties included — is a fixed function of the input and options,
+	// independent of goroutine scheduling; the earliest cell's error wins,
+	// matching what an in-order run would have surfaced first.
+	var best *restartOutcome
+	evals := sh.sharedEvals
+	restarts := 0
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil {
+			return MergeResult{}, false, o.err
+		}
+		if !o.ran {
+			continue
+		}
+		restarts++
+		evals += o.gainEvals
+		if !o.ok {
+			continue
+		}
+		if best == nil ||
+			o.q.NumVars() < best.q.NumVars() ||
+			(o.q.NumVars() == best.q.NumVars() && o.gain > best.gain) {
+			best = o
 		}
 	}
 	if best == nil {
-		return MergeResult{}, false, nil
+		return MergeResult{GainEvals: evals, Restarts: restarts}, false, nil
 	}
-	return *best, true, nil
+	return MergeResult{
+		Query: best.q, Relation: best.rel, Gain: best.gain,
+		GainEvals: evals, Restarts: restarts,
+	}, true, nil
 }
 
 // compatiblePairs lists every label-compatible edge pair in deterministic
-// order.
+// order: for each edge of A in edge order, every same-label edge of B in
+// edge order. B's edges are bucketed by label first, so the cost is
+// |A| + |B| + |output| rather than the full |A|·|B| cross-product scan.
 func compatiblePairs(a, b *query.Simple) []EdgePair {
+	byLabel := make(map[string][]query.EdgeID, b.NumEdges())
+	for _, eb := range b.Edges() {
+		byLabel[eb.Label] = append(byLabel[eb.Label], eb.ID)
+	}
 	var out []EdgePair
 	for _, ea := range a.Edges() {
-		for _, eb := range b.Edges() {
-			if ea.Label == eb.Label {
-				out = append(out, EdgePair{ea.ID, eb.ID})
-			}
+		for _, ebID := range byLabel[ea.Label] {
+			out = append(out, EdgePair{ea.ID, ebID})
 		}
 	}
 	return out
-}
-
-// runIteration performs one greedy pass (the body of Algorithm 1's main
-// loop). skip removes the top-`skip` initially ranked pairs to diversify
-// across restarts (line 5 of the paper's listing); first forces the initial
-// distinguished-adjacent selection. It returns nil when the pass fails to
-// produce a complete relation.
-func runIteration(a, b *query.Simple, weights [3]float64, candidates []EdgePair, skip int, first EdgePair) *relationState {
-	st := newRelationState(a, b, weights)
-
-	type ranked struct {
-		p    EdgePair
-		gain float64
-	}
-	initial := make([]ranked, len(candidates))
-	for i, p := range candidates {
-		initial[i] = ranked{p, st.Gain(p.A, p.B)}
-	}
-	sort.SliceStable(initial, func(i, j int) bool { return initial[i].gain > initial[j].gain })
-	if skip >= len(initial) {
-		return nil
-	}
-	pool := make([]EdgePair, 0, len(initial)-skip)
-	hasFirst := false
-	for _, r := range initial[skip:] {
-		pool = append(pool, r.p)
-		if r.p == first {
-			hasFirst = true
-		}
-	}
-	if !hasFirst {
-		return nil // diversification removed the forced first pair
-	}
-	alive := make([]bool, len(pool))
-	for i := range alive {
-		alive[i] = true
-	}
-
-	st.add(first.A, first.B)
-	remaining := len(pool) - 1
-	for i, p := range pool {
-		if p == first {
-			alive[i] = false
-			break
-		}
-	}
-
-	// Greedy loop: pop the highest-gain pair until every edge is paired or
-	// the pool runs dry (lines 13-18 with gains recomputed dynamically).
-	for remaining > 0 && !st.allPaired() {
-		bestIdx := -1
-		bestGain := -1.0
-		for i, p := range pool {
-			if !alive[i] {
-				continue
-			}
-			if g := st.Gain(p.A, p.B); g > bestGain {
-				bestGain = g
-				bestIdx = i
-			}
-		}
-		if bestIdx < 0 {
-			break
-		}
-		st.add(pool[bestIdx].A, pool[bestIdx].B)
-		alive[bestIdx] = false
-		remaining--
-	}
-	if !st.allPaired() {
-		return nil
-	}
-	return st
 }

@@ -49,13 +49,23 @@ type Options struct {
 	FirstPairSweep int
 
 	// Workers bounds the goroutine pool the merge engine uses to compute a
-	// round's fresh pairwise merges. It resolves through conc.Workers — the
-	// one default shared with the eval layer's parallel fan-outs
-	// (Results*Parallel) and the service's global budget: <= 0 selects
-	// GOMAXPROCS; 1 forces sequential computation. Results are identical
-	// regardless of the value (selection is replayed deterministically after
-	// all merges are cached).
+	// round's fresh pairwise merges and, within each merge, Algorithm 1's
+	// restart grid (when a round has fewer fresh pairs than workers, the
+	// spare workers parallelize the restarts of the pairs in flight). It
+	// resolves through conc.Workers — the one default shared with the eval
+	// layer's parallel fan-outs (Results*Parallel) and the service's global
+	// budget: <= 0 selects GOMAXPROCS; 1 forces sequential computation.
+	// Results are identical regardless of the value (pair selection and
+	// restart selection are both replayed deterministically in a fixed
+	// order).
 	Workers int
+
+	// ReferenceScan, when true, runs Algorithm 1's greedy selection with
+	// the retained full-rescan reference kernel instead of the incremental
+	// lazy-heap kernel. Results are byte-identical (the determinism suite
+	// pins this); only Stats.GainEvals differs. An ablation/validation
+	// knob — leave false in production.
+	ReferenceScan bool
 
 	// Guard bounds the resources one inference operation may consume (see
 	// eval.Guard). The zero value disables guarding — the pre-guard behavior,
@@ -122,6 +132,14 @@ type Stats struct {
 	CacheHits   int
 	CacheMisses int
 
+	// GainEvals counts the gain-function evaluations (Definition 3.11 —
+	// the merge kernel's unit of work) performed by the run's fresh
+	// MergePair executions; Restarts counts the greedy restarts they ran.
+	// Both are deterministic for a fixed input and options (cache hits
+	// contribute nothing: the work was counted when it was performed).
+	GainEvals int64
+	Restarts  int
+
 	// PeakParallelism is the maximum number of MergePair computations that
 	// were observed in flight simultaneously. Scheduling-dependent; excluded
 	// from determinism comparisons.
@@ -161,6 +179,8 @@ type CountersSnapshot struct {
 	Rounds          int
 	CacheHits       int
 	CacheMisses     int
+	GainEvals       int64
+	Restarts        int
 }
 
 // Counters returns the deterministic counters as a named-field snapshot.
@@ -170,6 +190,8 @@ func (s Stats) Counters() CountersSnapshot {
 		Rounds:          s.Rounds,
 		CacheHits:       s.CacheHits,
 		CacheMisses:     s.CacheMisses,
+		GainEvals:       s.GainEvals,
+		Restarts:        s.Restarts,
 	}
 }
 
@@ -180,6 +202,8 @@ func (c *CountersSnapshot) Add(o CountersSnapshot) {
 	c.Rounds += o.Rounds
 	c.CacheHits += o.CacheHits
 	c.CacheMisses += o.CacheMisses
+	c.GainEvals += o.GainEvals
+	c.Restarts += o.Restarts
 }
 
 // Candidate pairs an inferred union query with its cost under the options'

@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"questpro/internal/core"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+	"questpro/internal/qerr"
+)
+
+// This file pins the incremental merge kernel's two load-bearing claims:
+//
+//  1. The lazy-heap kernel selects the exact candidate sequence the full
+//     rescan did — so queries, gains, and every deterministic counter except
+//     GainEvals are byte-identical with Options.ReferenceScan on or off.
+//  2. Restart-grid parallelism is invisible: any worker count yields the
+//     same bytes and counters, because the winning restart is chosen by a
+//     sequential replay over the grid in a fixed order.
+//
+// Run under -race this doubles as the data-race check for the restart
+// fan-out.
+
+// kernelConfigs is the cross of worker counts and kernel implementations
+// every determinism assertion runs over.
+func kernelConfigs() []core.Options {
+	var out []core.Options
+	for _, workers := range []int{1, 4, 16} {
+		for _, ref := range []bool{false, true} {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			opts.ReferenceScan = ref
+			out = append(out, opts)
+		}
+	}
+	return out
+}
+
+func configName(o core.Options) string {
+	kernel := "heap"
+	if o.ReferenceScan {
+		kernel = "scan"
+	}
+	return fmt.Sprintf("workers=%d/%s", o.Workers, kernel)
+}
+
+func determinismFixtures(t *testing.T) map[string]provenance.ExampleSet {
+	t.Helper()
+	fixtures := map[string]provenance.ExampleSet{
+		"paperfix": paperfix.Explanations(paperfix.Ontology()),
+	}
+	for _, seed := range []int64{3, 7} {
+		if exs := randomExampleSet(t, seed, 4); exs != nil {
+			fixtures[fmt.Sprintf("random-%d", seed)] = exs
+		}
+	}
+	return fixtures
+}
+
+// MergePair emits byte-identical queries, gains, and restart counts across
+// worker counts and kernels; GainEvals is worker-invariant per kernel, and
+// the lazy heap performs strictly fewer gain evaluations than the scan.
+func TestMergePairKernelDeterminism(t *testing.T) {
+	for name, exs := range determinismFixtures(t) {
+		patterns := seqGroundPatterns(t, exs)
+		a, b := patterns[0], patterns[1]
+		type baseline struct {
+			sparql string
+			gain   float64
+			ok     bool
+			evals  int64
+		}
+		var base *baseline
+		evalsByKernel := map[bool]int64{}
+		for _, opts := range kernelConfigs() {
+			res, ok, err := core.MergePairCtx(bg, a, b, opts)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, configName(opts), err)
+			}
+			var sparql string
+			if ok {
+				sparql = res.Query.SPARQL()
+			}
+			if base == nil {
+				base = &baseline{sparql: sparql, gain: res.Gain, ok: ok, evals: res.GainEvals}
+			} else if sparql != base.sparql || res.Gain != base.gain || ok != base.ok {
+				t.Fatalf("%s %s: diverged from baseline\ngot:\n%s\nwant:\n%s",
+					name, configName(opts), sparql, base.sparql)
+			}
+			if prev, seen := evalsByKernel[opts.ReferenceScan]; seen && prev != res.GainEvals {
+				t.Fatalf("%s %s: GainEvals=%d not worker-invariant (saw %d)",
+					name, configName(opts), res.GainEvals, prev)
+			}
+			evalsByKernel[opts.ReferenceScan] = res.GainEvals
+		}
+		if base.ok && evalsByKernel[false] >= evalsByKernel[true] {
+			t.Fatalf("%s: heap kernel did %d gain evals, scan %d; incremental maintenance is not saving work",
+				name, evalsByKernel[false], evalsByKernel[true])
+		}
+	}
+}
+
+// InferUnion and InferTopK emit byte-identical SPARQL (and costs) across
+// worker counts and kernels, and all deterministic counters except
+// GainEvals match between the kernels.
+func TestInferenceKernelDeterminism(t *testing.T) {
+	for name, exs := range determinismFixtures(t) {
+		var baseUnion string
+		var baseTopK []string
+		var baseCounters core.CountersSnapshot
+		first := true
+		for _, opts := range kernelConfigs() {
+			u, stats, err := core.InferUnion(bg, exs, opts)
+			if err != nil {
+				t.Fatalf("%s %s: InferUnion: %v", name, configName(opts), err)
+			}
+			cands, _, err := core.InferTopK(bg, exs, opts)
+			if err != nil {
+				t.Fatalf("%s %s: InferTopK: %v", name, configName(opts), err)
+			}
+			topk := make([]string, len(cands))
+			for i, c := range cands {
+				topk[i] = fmt.Sprintf("cost=%v\n%s", c.Cost, c.Query.SPARQL())
+			}
+			counters := stats.Counters()
+			if first {
+				baseUnion, baseTopK, baseCounters = u.SPARQL(), topk, counters
+				first = false
+				continue
+			}
+			if u.SPARQL() != baseUnion {
+				t.Fatalf("%s %s: InferUnion diverged", name, configName(opts))
+			}
+			if len(topk) != len(baseTopK) {
+				t.Fatalf("%s %s: InferTopK returned %d candidates, want %d",
+					name, configName(opts), len(topk), len(baseTopK))
+			}
+			for i := range topk {
+				if topk[i] != baseTopK[i] {
+					t.Fatalf("%s %s: InferTopK candidate %d diverged:\n%s\nvs\n%s",
+						name, configName(opts), i, topk[i], baseTopK[i])
+				}
+			}
+			// GainEvals legitimately differs between kernels; everything
+			// else must not.
+			got, want := counters, baseCounters
+			got.GainEvals, want.GainEvals = 0, 0
+			if got != want {
+				t.Fatalf("%s %s: counters diverged: %+v vs %+v", name, configName(opts), got, want)
+			}
+		}
+	}
+}
+
+// countdownCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err calls — a deterministic stand-in for a deadline that
+// expires mid-restart-grid. Done is never closed; the merge kernel polls
+// Err directly.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// Cancellation between restarts of a single MergePair surfaces as a
+// qerr.ErrCanceled-matching error, for the sequential and the parallel
+// grid alike.
+func TestMergePairMidRestartCancel(t *testing.T) {
+	exs := paperfix.Explanations(paperfix.Ontology())
+	patterns := seqGroundPatterns(t, exs)
+	a, b := patterns[0], patterns[1]
+	opts := core.DefaultOptions()
+	opts.NumIter = 8 // a 8 x sweep grid: plenty of between-cell polls
+
+	// Sequential grid, deterministic flip: the kernel polls Err once per
+	// grid cell, so a countdown of 3 cancels exactly at the fourth cell.
+	opts.Workers = 1
+	ctx := &countdownCtx{Context: bg}
+	ctx.remaining.Store(3)
+	if _, _, err := core.MergePairCtx(ctx, a, b, opts); !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("sequential mid-grid cancel: want ErrCanceled, got %v", err)
+	}
+
+	// Parallel grid, pre-canceled: every worker observes the cancellation
+	// on its first poll.
+	opts.Workers = 4
+	canceled, cancel := context.WithCancel(bg)
+	cancel()
+	if _, _, err := core.MergePairCtx(canceled, a, b, opts); !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("parallel pre-canceled: want ErrCanceled, got %v", err)
+	}
+	if _, _, err := core.MergePairCtx(canceled, a, b, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("underlying context.Canceled not preserved: %v", err)
+	}
+}

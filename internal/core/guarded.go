@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 
@@ -17,15 +18,18 @@ func pairCost(a, b *query.Simple) int64 {
 	return int64(a.NumNodes()+1) * int64(b.NumNodes()+1)
 }
 
-// safeMergePair is the merge engine's recovery boundary around MergePair: a
-// panic in the merge algebra — on any worker goroutine — is converted to a
-// qerr.ErrInternal-matching error with a sanitized stack instead of killing
-// the process, and the faults.MergePair injection point fires first so the
-// chaos harness can fail or panic exactly here. The meter (nil when the
-// operation is unguarded) is charged pairCost up front; an exhausted guard
-// surfaces as the meter's qerr.ErrBudgetExhausted-matching error without
-// running the merge.
-func safeMergePair(a, b *query.Simple, opts Options, m *eval.Meter) (res MergeResult, ok bool, err error) {
+// safeMergePair is the merge engine's recovery boundary around the merge
+// kernel: a panic in the merge algebra — on any worker goroutine — is
+// converted to a qerr.ErrInternal-matching error with a sanitized stack
+// instead of killing the process, and the faults.MergePair injection point
+// fires first so the chaos harness can fail or panic exactly here. The
+// meter (nil when the operation is unguarded) is charged pairCost up front;
+// an exhausted guard surfaces as the meter's qerr.ErrBudgetExhausted-
+// matching error without running the merge. restartWorkers bounds the
+// restart-grid fan-out inside the merge (computePairs splits the
+// operation's worker allowance between pairs in flight and restarts within
+// each pair); ctx is polled between restarts.
+func safeMergePair(ctx context.Context, a, b *query.Simple, opts Options, restartWorkers int, m *eval.Meter) (res MergeResult, ok bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, ok = MergeResult{}, false
@@ -38,5 +42,5 @@ func safeMergePair(a, b *query.Simple, opts Options, m *eval.Meter) (res MergeRe
 	if e := faults.Fire(faults.MergePair); e != nil {
 		return MergeResult{}, false, fmt.Errorf("core: merge pair: %w", e)
 	}
-	return MergePair(a, b, opts)
+	return mergePair(ctx, a, b, opts, restartWorkers, m)
 }

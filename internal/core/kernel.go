@@ -1,0 +1,435 @@
+package core
+
+// This file implements the Algorithm-1 merge kernel: the restart-invariant
+// precomputation shared by every greedy restart of one MergePair call
+// (mergeShared), the pooled per-worker scratch (restartScratch), and the
+// two selection kernels — the incremental lazy-heap kernel used by default,
+// and the retained full-rescan reference kernel (Options.ReferenceScan)
+// kept for ablation and for the determinism suite. DESIGN.md §4d states
+// the gain-dirtiness invariant both kernels rely on and the argument for
+// why their selections are byte-identical.
+
+import (
+	"math"
+	"sort"
+
+	"questpro/internal/query"
+)
+
+// sharedCand is the restart-invariant view of one candidate edge pair: the
+// static shared-constant count c1 of Definition 3.11 and the flattened
+// endpoint node-pair indices the pair would induce.
+type sharedCand struct {
+	p      EdgePair
+	c1     int8
+	npFrom int32
+	npTo   int32
+}
+
+// mergeShared is the per-MergePair precomputation reused across the whole
+// numIter × sweep restart grid. The candidate set is fixed for the call, so
+// three things the original implementation redid per restart are computed
+// exactly once: the initial gain ranking (on the empty state every gain is
+// w1·c1 + 2·w2 — restart-independent, so each restart's stable sort yields
+// the same permutation), the distinguished-pair ranking, and the dirtiness
+// adjacency used by the incremental kernel.
+type mergeShared struct {
+	a, b    *query.Simple
+	weights [3]float64
+
+	// cands holds the candidates in the shared initial ranking (gain
+	// descending, ties by position in compatiblePairs order); initGain is
+	// aligned with it. "Ranked position" below always indexes these.
+	cands    []sharedCand
+	initGain []float64
+
+	// rankOf maps a candidate pair to its ranked position.
+	rankOf map[EdgePair]int32
+
+	// byNP[np] lists the ranked positions of candidates inducing endpoint
+	// node pair np. It is the increase half of the gain-dirtiness
+	// adjacency: add(pa, pb) can only *raise* the gain of candidates in
+	// byNP of a newly induced endpoint pair (the c3 term) — those must get
+	// fresh heap bounds or they could be starved. Gains can only *fall*
+	// through the c2 term (a candidate's edge getting paired away), and a
+	// fallen gain needs no bookkeeping at all: its heap entries merely
+	// become stale upper bounds, settled by pop-time validation.
+	byNP [][]int32
+
+	// disPairs are the distinguished-adjacent pairs ranked by seed gain —
+	// the forced first selections of the sweep (lines 10-12 of Algorithm 1).
+	disPairs []EdgePair
+
+	// sharedEvals counts the gain evaluations performed here (candidate
+	// ranking + distinguished ranking), charged once per MergePair.
+	sharedEvals int64
+}
+
+// newMergeShared builds the shared precomputation; ok is false when no
+// candidate pairs or no distinguished-adjacent pairs exist (Lemma 3.2: no
+// complete relation, hence no consistent simple query, can exist).
+func newMergeShared(a, b *query.Simple, weights [3]float64) (*mergeShared, bool) {
+	candidates := compatiblePairs(a, b)
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	seed := newRelationState(a, b, weights)
+	type ranked struct {
+		p    EdgePair
+		gain float64
+	}
+	evals := int64(0)
+	var disRanked []ranked
+	for _, p := range candidates {
+		if pairProjects(a, b, a.Edge(p.A), b.Edge(p.B)) {
+			disRanked = append(disRanked, ranked{p, seed.Gain(p.A, p.B)})
+			evals++
+		}
+	}
+	if len(disRanked) == 0 {
+		return nil, false // Lemma 3.2
+	}
+	sort.SliceStable(disRanked, func(i, j int) bool { return disRanked[i].gain > disRanked[j].gain })
+
+	initial := make([]ranked, len(candidates))
+	for i, p := range candidates {
+		initial[i] = ranked{p, seed.Gain(p.A, p.B)}
+		evals++
+	}
+	sort.SliceStable(initial, func(i, j int) bool { return initial[i].gain > initial[j].gain })
+
+	sh := &mergeShared{
+		a: a, b: b, weights: weights,
+		cands:       make([]sharedCand, len(initial)),
+		initGain:    make([]float64, len(initial)),
+		rankOf:      make(map[EdgePair]int32, len(initial)),
+		byNP:        make([][]int32, a.NumNodes()*b.NumNodes()),
+		sharedEvals: evals,
+	}
+	stride := b.NumNodes()
+	for r, rc := range initial {
+		ea, eb := a.Edge(rc.p.A), b.Edge(rc.p.B)
+		c1 := int8(0)
+		if sameConstant(a.Node(ea.From), b.Node(eb.From)) {
+			c1++
+		}
+		if sameConstant(a.Node(ea.To), b.Node(eb.To)) {
+			c1++
+		}
+		npFrom := int32(int(ea.From)*stride + int(eb.From))
+		npTo := int32(int(ea.To)*stride + int(eb.To))
+		sh.cands[r] = sharedCand{p: rc.p, c1: c1, npFrom: npFrom, npTo: npTo}
+		sh.initGain[r] = rc.gain
+		sh.rankOf[rc.p] = int32(r)
+		sh.byNP[npFrom] = append(sh.byNP[npFrom], int32(r))
+		if npTo != npFrom {
+			sh.byNP[npTo] = append(sh.byNP[npTo], int32(r))
+		}
+	}
+	sh.disPairs = make([]EdgePair, len(disRanked))
+	for i, r := range disRanked {
+		sh.disPairs[i] = r.p
+	}
+	return sh, true
+}
+
+// heapEntry is one (gain bound, ranked position) heap element. Entries are
+// immutable once pushed and carry upper bounds, not necessarily exact
+// gains; the pop loop settles the exact value with one gain evaluation
+// before a candidate can be selected.
+type heapEntry struct {
+	gain float64
+	pos  int32
+}
+
+// before reports whether x pops before y: gain descending, ranked position
+// ascending — exactly the "first strict maximum" order of the reference
+// scan, so the heap's top valid entry is the candidate the scan selects.
+func (x heapEntry) before(y heapEntry) bool {
+	return x.gain > y.gain || (x.gain == y.gain && x.pos < y.pos)
+}
+
+// restartScratch is one worker's pooled restart state: the dense relation
+// state plus the kernel bookkeeping, all reset in place between restarts so
+// a restart allocates nothing beyond the winning pair list.
+type restartScratch struct {
+	st      *relationState
+	alive   []bool      // by ranked position
+	curGain []float64   // by ranked position; an upper bound on the true gain
+	heap    []heapEntry // max-heap in before order
+	evals   int64       // gain evaluations performed since last cell start
+}
+
+func newRestartScratch(sh *mergeShared) *restartScratch {
+	return &restartScratch{
+		st:      newRelationState(sh.a, sh.b, sh.weights),
+		alive:   make([]bool, len(sh.cands)),
+		curGain: make([]float64, len(sh.cands)),
+		heap:    make([]heapEntry, 0, 2*len(sh.cands)),
+	}
+}
+
+// gainOf evaluates the dynamic gain of candidate c against the scratch
+// state with the exact arithmetic and term order of relationState.Gain
+// (label mismatch is impossible: compatiblePairs filters candidates), so
+// comparisons — and hence selections — are bitwise-identical across
+// kernels and versions.
+func (sc *restartScratch) gainOf(c *sharedCand) float64 {
+	st := sc.st
+	c2 := 0
+	if !st.pairedA[c.p.A] {
+		c2++
+	}
+	if !st.pairedB[c.p.B] {
+		c2++
+	}
+	c3 := 0
+	if st.nodePairs[c.npFrom] {
+		c3++
+	}
+	if st.nodePairs[c.npTo] {
+		c3++
+	}
+	w := st.weights
+	return w[0]*float64(c.c1) + w[1]*float64(c2) + w[2]*float64(c3)
+}
+
+func (sc *restartScratch) push(e heapEntry) {
+	sc.heap = append(sc.heap, e)
+	h := sc.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].before(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (sc *restartScratch) pop() {
+	h := sc.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	sc.heap = h[:n]
+	h = sc.heap
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && h[l].before(h[m]) {
+			m = l
+		}
+		if r < n && h[r].before(h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// selectCand applies the greedy selection of ranked candidate pos: record
+// the pair in the relation state, then repair the heap's bound invariant
+// for the state changes this add made. Only gain *increases* need work —
+// candidates sharing a newly induced endpoint node pair get a bumped
+// upper-bound entry (no gain evaluation). Gain decreases (the selected
+// edges getting paired away from their other candidates) leave existing
+// entries as stale upper bounds for pop-time validation to settle.
+func (sc *restartScratch) selectCand(sh *mergeShared, pos int32) {
+	c := &sh.cands[pos]
+	st := sc.st
+	newFrom := !st.nodePairs[c.npFrom]
+	newTo := !st.nodePairs[c.npTo]
+	st.add(c.p.A, c.p.B)
+	sc.evals++ // the add's own gain evaluation
+	sc.alive[pos] = false
+	if newFrom {
+		sc.bump(sh, c.npFrom)
+	}
+	if newTo && c.npTo != c.npFrom {
+		sc.bump(sh, c.npTo)
+	}
+}
+
+// bump raises the cached bound of every alive candidate inducing node pair
+// np, which just entered the relation: the candidate's c3 term grew by one
+// per endpoint mapped to np, so its gain rose by that many w3 increments.
+// The refreshed entry is pushed as a certified upper bound computed
+// without evaluating the gain function — upperAdd rounds up whenever the
+// float addition is inexact — so the heap invariant (every alive candidate
+// has an entry ≥ its true gain) is maintained at zero evaluation cost.
+func (sc *restartScratch) bump(sh *mergeShared, np int32) {
+	w3 := sh.weights[2]
+	for _, r := range sh.byNP[np] {
+		if !sc.alive[r] {
+			continue
+		}
+		inc := w3
+		if c := &sh.cands[r]; c.npFrom == np && c.npTo == np {
+			inc = w3 + w3
+		}
+		b := upperAdd(sc.curGain[r], inc)
+		sc.curGain[r] = b
+		sc.push(heapEntry{b, r})
+	}
+}
+
+// upperAdd returns a float64 guaranteed ≥ the exact real sum a+b, and
+// equal to fl(a+b) whenever that rounding did not lose anything (with the
+// default integer-valued gain weights it never does, so bounds stay exact
+// and validation hits on the first pop). The rounding error of s is
+// recovered exactly with Knuth's 2Sum; a positive residual means s rounded
+// below the true sum, so the next float up restores the upper bound.
+func upperAdd(a, b float64) float64 {
+	s := a + b
+	ap := s - b
+	bp := s - ap
+	if (a-ap)+(b-bp) > 0 {
+		return math.Nextafter(s, math.Inf(1))
+	}
+	return s
+}
+
+// begin validates and prepares one restart cell shared by both kernels:
+// skip removes the top-skip ranked candidates (restart diversification),
+// first is the forced initial selection. It returns the forced pair's
+// ranked position and false when the cell cannot run (pool empty after
+// diversification, or the forced pair diversified away).
+func (sc *restartScratch) begin(sh *mergeShared, skip int, first EdgePair) (int32, bool) {
+	if skip >= len(sh.cands) {
+		return 0, false
+	}
+	firstPos := sh.rankOf[first]
+	if int(firstPos) < skip {
+		return 0, false // diversification removed the forced first pair
+	}
+	sc.st.reset()
+	return firstPos, true
+}
+
+// finish extracts the completed relation, or fails when edges remain
+// uncovered. The pair list is copied out: the scratch is reused by the next
+// cell, but the winning relation escapes into the MergeResult.
+func (sc *restartScratch) finish() ([]EdgePair, float64, bool) {
+	if !sc.st.allPaired() {
+		return nil, 0, false
+	}
+	return append([]EdgePair(nil), sc.st.pairs...), sc.st.gain, true
+}
+
+// runHeap performs one greedy restart with the incremental bound-heap
+// kernel. Candidates enter the heap at their shared initial gains (the
+// ranked array is sorted in before order, so it is already a valid heap),
+// which are exact; from then on entries are upper bounds maintained by
+// selectCand/bump. The selection loop pops the top entry, discards it if
+// dead, and otherwise settles the candidate's exact gain with one
+// evaluation. If the exact entry still dominates the rest of the heap it
+// is the selection: every other alive candidate's true gain sits below one
+// of the remaining entries, and the (gain, rank) order of before breaks
+// ties at equal gain by ranked position — exactly the reference scan's
+// "first strict maximum", byte for byte. Otherwise the corrected entry is
+// requeued to contend at its true gain.
+func (sc *restartScratch) runHeap(sh *mergeShared, skip int, first EdgePair) ([]EdgePair, float64, bool) {
+	firstPos, ok := sc.begin(sh, skip, first)
+	if !ok {
+		return nil, 0, false
+	}
+	n := len(sh.cands)
+	sc.heap = sc.heap[:0]
+	for r := 0; r < skip; r++ {
+		sc.alive[r] = false
+	}
+	for r := skip; r < n; r++ {
+		sc.alive[r] = true
+		sc.curGain[r] = sh.initGain[r]
+		sc.heap = append(sc.heap, heapEntry{sh.initGain[r], int32(r)})
+	}
+	sc.selectCand(sh, firstPos)
+	remaining := (n - skip) - 1
+	st := sc.st
+	for remaining > 0 && !st.allPaired() {
+		pos := int32(-1)
+		for len(sc.heap) > 0 {
+			top := sc.heap[0]
+			if !sc.alive[top.pos] {
+				sc.pop() // dead entry
+				continue
+			}
+			g := sc.gainOf(&sh.cands[top.pos])
+			sc.evals++
+			sc.pop()
+			if ent := (heapEntry{g, top.pos}); g != top.gain && len(sc.heap) > 0 && !ent.before(sc.heap[0]) {
+				// The settled gain no longer dominates: requeue the exact
+				// entry and let the new top contend.
+				sc.curGain[top.pos] = g
+				sc.push(ent)
+				continue
+			}
+			if g > -1.0 {
+				pos = top.pos
+			}
+			break
+		}
+		if pos < 0 {
+			break // no candidate beats the scan's -1 floor
+		}
+		sc.selectCand(sh, pos)
+		remaining--
+	}
+	return sc.finish()
+}
+
+// runScan is the retained reference kernel: the original full-rescan greedy
+// loop, selecting by a linear scan over the alive pool every step. Kept for
+// the determinism suite (heap vs scan byte-equality) and as the honest
+// baseline for the gain-evaluation counter — including the per-restart
+// initial ranking pass the original performed, which the shared
+// precomputation now hoists.
+func (sc *restartScratch) runScan(sh *mergeShared, skip int, first EdgePair) ([]EdgePair, float64, bool) {
+	firstPos, ok := sc.begin(sh, skip, first)
+	if !ok {
+		return nil, 0, false
+	}
+	n := len(sh.cands)
+	for r := 0; r < n; r++ {
+		sc.alive[r] = r >= skip
+		// The original ranked the pool by evaluating every candidate's gain
+		// on the empty state each restart; the ranking is shared now, but
+		// the reference kernel still performs the evaluations so its
+		// counter reflects the pre-incremental cost faithfully.
+		_ = sc.gainOf(&sh.cands[r])
+		sc.evals++
+	}
+	st := sc.st
+	st.add(first.A, first.B)
+	sc.evals++
+	sc.alive[firstPos] = false
+	remaining := (n - skip) - 1
+	for remaining > 0 && !st.allPaired() {
+		bestIdx := -1
+		bestGain := -1.0
+		for r := skip; r < n; r++ {
+			if !sc.alive[r] {
+				continue
+			}
+			g := sc.gainOf(&sh.cands[r])
+			sc.evals++
+			if g > bestGain {
+				bestGain = g
+				bestIdx = r
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		c := &sh.cands[bestIdx]
+		st.add(c.p.A, c.p.B)
+		sc.evals++
+		sc.alive[bestIdx] = false
+		remaining--
+	}
+	return sc.finish()
+}

@@ -109,9 +109,12 @@ func (c *MergeCache) store(keys []pairKey, entries []mergeEntry) {
 // executions — the round's cache misses; the remaining listed pairs are
 // hits. When several pairs fail, the error of the earliest-listed failing
 // pair is returned, matching the error a sequential scan would have hit
-// first. stats (optional) receives the observed peak parallelism. Workers
-// poll ctx between pairs, so canceling aborts the batch without waiting for
-// the remaining merges.
+// first. stats (optional) receives the observed peak parallelism and the
+// kernel-work counters (gain evaluations, restarts) of the fresh merges —
+// fresh ones only, so the counters measure work performed, not work
+// avoided, and stay deterministic (the fresh set is a fixed function of
+// the input). Workers poll ctx between pairs, so canceling aborts the
+// batch without waiting for the remaining merges.
 func (c *MergeCache) Prefetch(ctx context.Context, pairs []pairKey, stats *Stats) (int, error) {
 	fresh := c.missing(pairs)
 	if len(fresh) == 0 {
@@ -123,6 +126,12 @@ func (c *MergeCache) Prefetch(ctx context.Context, pairs []pairKey, stats *Stats
 	}
 	if err != nil {
 		return len(fresh), err
+	}
+	if stats != nil {
+		for i := range entries {
+			stats.GainEvals += entries[i].res.GainEvals
+			stats.Restarts += entries[i].res.Restarts
+		}
 	}
 	c.store(fresh, entries)
 	return len(fresh), nil
@@ -140,7 +149,7 @@ func (c *MergeCache) Lookup(a, b *query.Simple) (MergeResult, bool, error) {
 	if ok {
 		return e.res, e.ok, nil
 	}
-	res, mok, err := safeMergePair(a, b, c.opts, c.meter)
+	res, mok, err := safeMergePair(context.Background(), a, b, c.opts, 1, c.meter)
 	if err != nil {
 		return MergeResult{}, false, err
 	}

@@ -12,21 +12,32 @@ import (
 
 // computePairs runs MergePair for each key over a bounded worker pool and
 // returns the entries in key order plus the peak number of concurrently
-// running MergePair calls. MergePair only reads its inputs (patterns are
-// immutable once built and the gain computation allocates per-call state),
-// so the fan-out needs no locking beyond the work distribution. Every pair
-// runs through safeMergePair — the recovery boundary that turns a panic on a
+// running MergePair calls. The merge kernel only reads its inputs (patterns
+// are immutable once built and restart state is per-worker scratch), so the
+// fan-out needs no locking beyond the work distribution. Every pair runs
+// through safeMergePair — the recovery boundary that turns a panic on a
 // worker goroutine into a qerr.ErrInternal error instead of killing the
 // process, charges the guard meter (nil when unguarded), and hosts the
 // faults.MergePair injection point. When several pairs error, the
 // lowest-indexed error is returned so callers see the same error a
 // sequential in-order scan would have surfaced first. Workers poll the
-// context before each pair; cancellation surfaces as a qerr.ErrCanceled-
-// wrapped error once already-started merges finish.
+// context before each pair (and the kernel polls between restarts);
+// cancellation surfaces as a qerr.ErrCanceled-wrapped error once
+// already-started merges finish.
+//
+// The operation's worker allowance is split across the two levels of
+// parallelism: up to min(workers, |keys|) pairs run concurrently, and the
+// leftover allowance parallelizes each pair's restart grid — so a round
+// with fewer fresh pairs than workers (the common late-round shape, and
+// every Lookup of a single pair) still uses the full allowance.
 func computePairs(ctx context.Context, keys []pairKey, opts Options, m *eval.Meter) ([]mergeEntry, int, error) {
 	workers := conc.Workers(opts.Workers)
 	if workers > len(keys) {
 		workers = len(keys)
+	}
+	restartW := 1
+	if workers > 0 {
+		restartW = conc.Workers(opts.Workers) / workers
 	}
 
 	entries := make([]mergeEntry, len(keys))
@@ -35,7 +46,7 @@ func computePairs(ctx context.Context, keys []pairKey, opts Options, m *eval.Met
 			if err := ctx.Err(); err != nil {
 				return nil, 1, qerr.Canceled(err)
 			}
-			res, ok, err := safeMergePair(k.a, k.b, opts, m)
+			res, ok, err := safeMergePair(ctx, k.a, k.b, opts, restartW, m)
 			if err != nil {
 				return nil, 1, err
 			}
@@ -71,7 +82,7 @@ func computePairs(ctx context.Context, keys []pairKey, opts Options, m *eval.Met
 						break
 					}
 				}
-				res, ok, err := safeMergePair(keys[i].a, keys[i].b, opts, m)
+				res, ok, err := safeMergePair(ctx, keys[i].a, keys[i].b, opts, restartW, m)
 				active.Add(-1)
 				entries[i] = mergeEntry{res: res, ok: ok}
 				errs[i] = err

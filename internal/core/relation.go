@@ -89,10 +89,10 @@ func (st *relationState) Gain(pa, pb query.EdgeID) float64 {
 		c2++
 	}
 	c3 := 0
-	if st.nodePairs[nodePair{ea.From, eb.From}] {
+	if st.nodePairs[st.npIndex(ea.From, eb.From)] {
 		c3++
 	}
-	if st.nodePairs[nodePair{ea.To, eb.To}] {
+	if st.nodePairs[st.npIndex(ea.To, eb.To)] {
 		c3++
 	}
 	w := st.weights
@@ -106,39 +106,87 @@ func sameConstant(a, b query.Node) bool {
 }
 
 // relationState tracks one in-flight greedy construction of a relation.
+// Storage is dense and reset-in-place so the merge kernel can pool one
+// state per worker across restarts (see reset): pairedA/pairedB are indexed
+// by EdgeID, nodePairs by the flattened (a-node, b-node) index, and only
+// the entries touched since the last reset are cleared.
 type relationState struct {
-	a, b      *query.Simple
-	weights   [3]float64
-	pairedA   map[query.EdgeID]bool
-	pairedB   map[query.EdgeID]bool
-	nodePairs map[nodePair]bool
-	pairs     []EdgePair
-	gain      float64
+	a, b    *query.Simple
+	weights [3]float64
+
+	pairedA, pairedB           []bool // indexed by EdgeID
+	pairedACount, pairedBCount int
+
+	nodePairs []bool  // indexed by npIndex
+	npStride  int     // NumNodes(b); npIndex = a*npStride + b
+	npTouched []int32 // set nodePairs entries, for reset
+
+	pairs []EdgePair
+	gain  float64
 }
 
 func newRelationState(a, b *query.Simple, weights [3]float64) *relationState {
 	return &relationState{
 		a: a, b: b, weights: weights,
-		pairedA:   map[query.EdgeID]bool{},
-		pairedB:   map[query.EdgeID]bool{},
-		nodePairs: map[nodePair]bool{},
+		pairedA:   make([]bool, a.NumEdges()),
+		pairedB:   make([]bool, b.NumEdges()),
+		nodePairs: make([]bool, a.NumNodes()*b.NumNodes()),
+		npStride:  b.NumNodes(),
 	}
+}
+
+// npIndex flattens a node pair into its nodePairs slot.
+func (st *relationState) npIndex(na, nb query.NodeID) int32 {
+	return int32(int(na)*st.npStride + int(nb))
 }
 
 // add records the selected pair, its gain, and the node pairs it induces.
 func (st *relationState) add(pa, pb query.EdgeID) {
 	st.gain += st.Gain(pa, pb)
 	st.pairs = append(st.pairs, EdgePair{pa, pb})
-	st.pairedA[pa] = true
-	st.pairedB[pb] = true
+	if !st.pairedA[pa] {
+		st.pairedA[pa] = true
+		st.pairedACount++
+	}
+	if !st.pairedB[pb] {
+		st.pairedB[pb] = true
+		st.pairedBCount++
+	}
 	ea, eb := st.a.Edge(pa), st.b.Edge(pb)
-	st.nodePairs[nodePair{ea.From, eb.From}] = true
-	st.nodePairs[nodePair{ea.To, eb.To}] = true
+	st.induce(st.npIndex(ea.From, eb.From))
+	st.induce(st.npIndex(ea.To, eb.To))
+}
+
+// induce marks a node pair as induced by the relation, remembering it for
+// reset; it reports whether the pair is new.
+func (st *relationState) induce(np int32) bool {
+	if st.nodePairs[np] {
+		return false
+	}
+	st.nodePairs[np] = true
+	st.npTouched = append(st.npTouched, np)
+	return true
+}
+
+// reset clears the state in place — only the entries actually touched — so
+// a pooled state restarts without reallocating its dense arrays.
+func (st *relationState) reset() {
+	for _, p := range st.pairs {
+		st.pairedA[p.A] = false
+		st.pairedB[p.B] = false
+	}
+	for _, np := range st.npTouched {
+		st.nodePairs[np] = false
+	}
+	st.pairs = st.pairs[:0]
+	st.npTouched = st.npTouched[:0]
+	st.pairedACount, st.pairedBCount = 0, 0
+	st.gain = 0
 }
 
 // allPaired reports whether every edge of both patterns has been covered.
 func (st *relationState) allPaired() bool {
-	return len(st.pairedA) == st.a.NumEdges() && len(st.pairedB) == st.b.NumEdges()
+	return st.pairedACount == st.a.NumEdges() && st.pairedBCount == st.b.NumEdges()
 }
 
 // BuildQuery realizes Proposition 3.10: it converts a complete relation

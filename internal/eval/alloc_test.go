@@ -1,0 +1,33 @@
+//go:build !race
+
+package eval_test
+
+import (
+	"testing"
+
+	"questpro/internal/eval"
+)
+
+// The sequential probe loop reuses one prober across all candidates, so the
+// allocation count of a ResultsSimple call is dominated by the per-call
+// setup (candidate derivation, the prober, the output slice) and stays far
+// below one allocation per candidate. The fixture probes a few hundred
+// candidates; the pre-prober implementation allocated a fresh search state,
+// match buffers, and a pre-binding map for every one of them (thousands of
+// allocations per call).
+func TestResultsSimpleAllocationDiet(t *testing.T) {
+	o, q := shardedFixture()
+	ev := eval.New(o)
+	ev.Workers = 1
+	if _, err := ev.ResultsSimple(bg, q); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ev.ResultsSimple(bg, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 100 {
+		t.Fatalf("ResultsSimple allocated %.0f objects per call; the probe loop is allocating per candidate again", allocs)
+	}
+}

@@ -39,6 +39,16 @@ type Evaluator struct {
 	// matched by value regardless.
 	CheckTypes bool
 
+	// Workers bounds the goroutine pool ResultsSimple (and everything built
+	// on it: Results, Difference) uses to shard large projected-candidate
+	// probe sets, resolved through conc.Workers — the one default shared
+	// with core.Options.Workers: <= 0 selects GOMAXPROCS, 1 forces the
+	// sequential probe loop. Output is identical either way (the sharded
+	// path merges per-candidate verdicts in candidate order). Guarded
+	// evaluators always probe sequentially so a budget exhaustion degrades
+	// to the same deterministic prefix the sequential loop produces.
+	Workers int
+
 	// meter, when non-nil, charges the operation's resource guard (see
 	// Guard); install one per operation with Guarded.
 	meter *Meter

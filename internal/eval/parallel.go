@@ -15,19 +15,88 @@ import (
 
 // Graph reads are safe for concurrent use (the ontology is append-only and
 // the evaluator never mutates it), so the per-result existence probes of
-// ResultsSimple parallelize embarrassingly. ResultsParallel exploits that
-// for large candidate sets; results are identical to ResultsSimple.
+// ResultsSimple parallelize embarrassingly. probeSharded exploits that for
+// large candidate sets: each worker owns a prober (its own Match buffers),
+// verdicts are recorded per candidate index, and the merge replays the
+// candidate list in order — so output and error choice are identical to
+// the sequential loop regardless of scheduling.
 
 // parallelThreshold is the candidate-count below which the sequential path
 // is used (goroutine overhead dominates tiny probe sets).
 const parallelThreshold = 64
 
+// probeSharded fans the per-candidate existence probes out over workers
+// goroutines. hit/err verdicts are indexed by candidate, and the merge
+// scans candidates in index order, so the returned values — and, on
+// failure, the chosen error — are exactly the sequential loop's: the
+// earliest-candidate error wins, because the index counter hands
+// candidates out in order and a pulled probe always completes, so every
+// candidate before the earliest error has a recorded verdict. On a
+// qerr.ErrBudgetExhausted error the hits before the failing candidate are
+// returned (the sequential degraded prefix); other errors discard results.
+func (ev *Evaluator) probeSharded(ctx context.Context, q *query.Simple, proj query.NodeID, candidates []graph.NodeID, workers int) ([]string, error) {
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	hits := make([]bool, len(candidates))
+	errs := make([]error, len(candidates))
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := newProber(ev, q, proj)
+			for {
+				// The failure check precedes the pull so a pulled index is
+				// always probed — the merge's in-order replay relies on every
+				// candidate before the earliest error having a verdict.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(candidates) {
+					return
+				}
+				ok, err := p.probe(ctx, candidates[i])
+				hits[i], errs[i] = ok, err
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var out []string
+	for i, c := range candidates {
+		if err := errs[i]; err != nil {
+			if errors.Is(err, qerr.ErrBudgetExhausted) {
+				sort.Strings(out)
+				return out, err
+			}
+			return nil, err
+		}
+		if hits[i] {
+			out = append(out, ev.o.Node(c).Value)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 // ResultsParallel is ResultsSimple with the per-candidate existence probes
 // fanned out over workers goroutines (resolved through conc.Workers: <= 0
-// selects GOMAXPROCS, the default shared with core.Options.Workers). The
-// first error (budget exhaustion or cancellation) wins; partial results are
-// discarded on error. Workers also poll the context between probes so a
-// canceled request stops enqueueing work.
+// selects GOMAXPROCS, the default shared with core.Options.Workers),
+// regardless of the evaluator's own Workers setting. Output and error
+// behavior are identical to ResultsSimple — the sharded merge replays the
+// candidate list in order — except that under a shared guard meter the
+// candidate whose probe observes the exhaustion is scheduling-dependent,
+// so the degraded prefix returned alongside a budget error may differ
+// between runs (degraded output is best-effort by definition).
 func (ev *Evaluator) ResultsParallel(ctx context.Context, q *query.Simple, workers int) ([]string, error) {
 	proj := q.Projected()
 	if proj == query.NoNode {
@@ -38,69 +107,11 @@ func (ev *Evaluator) ResultsParallel(ctx context.Context, q *query.Simple, worke
 		return ev.ResultsSimple(ctx, q)
 	}
 	candidates := ev.projectedCandidates(q)
-	if len(candidates) < parallelThreshold {
-		return ev.ResultsSimple(ctx, q)
-	}
 	workers = conc.Workers(workers)
-	if workers > len(candidates) {
-		workers = len(candidates)
+	if len(candidates) < parallelThreshold || workers <= 1 {
+		return ev.probeSeq(ctx, q, proj, candidates)
 	}
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-		out      []string
-		next     int
-	)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= len(candidates) {
-					mu.Unlock()
-					return
-				}
-				c := candidates[next]
-				next++
-				mu.Unlock()
-
-				var ok bool
-				err := ctx.Err()
-				if err != nil {
-					err = qerr.Canceled(err)
-				} else {
-					ok, err = ev.hasAnyMatch(ctx, q, map[query.NodeID]graph.NodeID{proj: c})
-				}
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				if err == nil && ok {
-					out = append(out, ev.o.Node(c).Value)
-				}
-				mu.Unlock()
-				if err != nil {
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		if errors.Is(firstErr, qerr.ErrBudgetExhausted) {
-			// Degraded: keep the values probed before exhaustion. The
-			// subset is scheduling-dependent, unlike the sequential path —
-			// degraded output is best-effort by definition.
-			sort.Strings(out)
-			return out, firstErr
-		}
-		return nil, firstErr
-	}
-	sort.Strings(out)
-	return out, nil
+	return ev.probeSharded(ctx, q, proj, candidates, workers)
 }
 
 // ResultsUnionParallel evaluates a union with the branches fanned out over

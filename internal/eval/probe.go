@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	"questpro/internal/faults"
+	"questpro/internal/graph"
+	"questpro/internal/qerr"
+	"questpro/internal/query"
+)
+
+// prober runs the per-candidate existence probes behind ResultsSimple with
+// the per-query work hoisted out of the loop: the query's constants are
+// resolved against the ontology once, the backtracking plan is computed
+// once (planEdges depends only on which nodes are bound, and every probe
+// binds exactly the constants plus the projected node), and the match
+// buffers are reused across probes — after construction a probe performs
+// no allocation. A prober serves one goroutine at a time; the parallel
+// paths build one per worker.
+type prober struct {
+	ev      *Evaluator
+	q       *query.Simple
+	proj    query.NodeID
+	missing bool           // a query constant is absent from the ontology: no matches, ever
+	base    []graph.NodeID // constant bindings; graph.NoNode elsewhere
+	st      state
+	found   bool
+}
+
+// newProber hoists the probe-invariant setup of MatchesInto for query q
+// with the projected node as the sole pre-binding.
+func newProber(ev *Evaluator, q *query.Simple, proj query.NodeID) *prober {
+	p := &prober{ev: ev, q: q, proj: proj}
+	n := q.NumNodes()
+	p.base = make([]graph.NodeID, n)
+	for i := range p.base {
+		p.base[i] = graph.NoNode
+	}
+	for _, qn := range q.Nodes() {
+		if qn.Term.IsVar {
+			continue
+		}
+		on, ok := ev.o.NodeByValue(qn.Term.Value)
+		if !ok {
+			p.missing = true
+			return p
+		}
+		p.base[qn.ID] = on.ID
+	}
+	planNodes := append([]graph.NodeID(nil), p.base...)
+	planNodes[proj] = 0 // any bound value: planEdges only tests != NoNode
+	p.st = state{
+		ev:    ev,
+		q:     q,
+		plan:  planEdges(q, planNodes),
+		match: Match{Nodes: make([]graph.NodeID, n), Edges: make([]graph.EdgeID, q.NumEdges())},
+		max:   ev.MaxSteps,
+		visit: func(*Match) bool { p.found = true; return false },
+	}
+	if p.st.max <= 0 {
+		p.st.max = DefaultMaxSteps
+	}
+	return p
+}
+
+// probe reports whether q has a match with the projected node bound to c.
+// It replicates the entry protocol and error mapping of MatchesInto /
+// hasAnyMatch exactly — up-front context poll, per-probe guard charge,
+// fault point, missing-constant and type-compatibility short-circuits, and
+// a found match overriding any budget or cancellation error — so swapping
+// the probe loop over to a prober changes no observable behavior.
+func (p *prober) probe(ctx context.Context, c graph.NodeID) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, qerr.Canceled(err)
+	}
+	if !p.ev.meter.ChargeSteps(1) {
+		return false, p.ev.meter.Err()
+	}
+	if err := faults.Fire(faults.MatcherStep); err != nil {
+		return false, fmt.Errorf("eval: matcher: %w", err)
+	}
+	if p.missing {
+		return false, nil
+	}
+	if !p.ev.nodeCompatible(p.q.Node(p.proj), c) {
+		return false, nil
+	}
+	st := &p.st
+	copy(st.match.Nodes, p.base)
+	st.match.Nodes[p.proj] = c
+	for i := range st.match.Edges {
+		st.match.Edges[i] = graph.NoEdge
+	}
+	st.ctx = ctx
+	st.steps = 0
+	st.done, st.canceled, st.exhausted = false, false, false
+	st.fault = nil
+	st.found = 0
+	p.found = false
+	st.rec(0)
+	if p.found {
+		return true, nil // budget/cancel errors after a find are irrelevant
+	}
+	switch {
+	case st.canceled:
+		return false, qerr.Canceled(ctx.Err())
+	case st.fault != nil:
+		return false, fmt.Errorf("eval: matcher: %w", st.fault)
+	case st.exhausted:
+		return false, p.ev.meter.Err()
+	case st.steps >= st.max:
+		return false, ErrBudget
+	}
+	return false, nil
+}

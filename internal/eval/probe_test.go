@@ -1,0 +1,115 @@
+package eval_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// shardedFixture builds an ontology and query whose projected-candidate set
+// comfortably crosses parallelThreshold, so Evaluator.Workers > 1 actually
+// takes the sharded probe path.
+func shardedFixture() (*graph.Graph, *query.Simple) {
+	rng := rand.New(rand.NewSource(23))
+	o := graph.RandomOntology(rng, graph.RandomConfig{
+		Nodes: 400, Edges: 1600, Labels: []string{"p", "q"},
+	})
+	q := query.NewSimple()
+	a := q.MustEnsureNode(query.Var("a"), "")
+	b := q.MustEnsureNode(query.Var("b"), "")
+	c := q.MustEnsureNode(query.Var("c"), "")
+	q.MustAddEdge(a, b, "p")
+	q.MustAddEdge(b, c, "q")
+	q.SetProjected(b)
+	return o, q
+}
+
+// ResultsSimple output is identical whether the candidate probes run on the
+// sequential loop or the sharded pool, for every worker setting.
+func TestResultsSimpleShardedAgrees(t *testing.T) {
+	o, q := shardedFixture()
+	ref := eval.New(o)
+	ref.Workers = 1
+	want, err := ref.ResultsSimple(bg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture produced no results; the comparison is vacuous")
+	}
+	for _, workers := range []int{2, 4, 16} {
+		ev := eval.New(o)
+		ev.Workers = workers
+		got, err := ev.ResultsSimple(bg, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers=%d: sharded %v != sequential %v", workers, got, want)
+		}
+	}
+}
+
+// A constant endpoint absent from the ontology short-circuits to zero
+// candidates — for an in-edge into the projected node just like for an
+// out-edge (the candidate derivation walks both edge lists).
+func TestProjectedCandidatesAbsentConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	o := graph.RandomOntology(rng, graph.RandomConfig{
+		Nodes: 50, Edges: 200, Labels: []string{"p"},
+	})
+	build := func(incoming bool) *query.Simple {
+		q := query.NewSimple()
+		x := q.MustEnsureNode(query.Var("x"), "")
+		k := q.MustEnsureNode(query.Const("no-such-value"), "")
+		if incoming {
+			q.MustAddEdge(k, x, "p")
+		} else {
+			q.MustAddEdge(x, k, "p")
+		}
+		q.SetProjected(x)
+		return q
+	}
+	ev := eval.New(o)
+	for _, tc := range []struct {
+		name     string
+		incoming bool
+	}{{"out-edge", false}, {"in-edge", true}} {
+		rs, err := ev.ResultsSimple(bg, build(tc.incoming))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(rs) != 0 {
+			t.Fatalf("%s: absent constant endpoint yielded results %v", tc.name, rs)
+		}
+	}
+}
+
+// The same, for a multi-edge query where the absent constant sits on an
+// in-edge while an out-edge would have produced candidates: the
+// short-circuit must win over the other edge's index.
+func TestProjectedCandidatesAbsentConstantMixedEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	o := graph.RandomOntology(rng, graph.RandomConfig{
+		Nodes: 50, Edges: 200, Labels: []string{"p", "q"},
+	})
+	q := query.NewSimple()
+	x := q.MustEnsureNode(query.Var("x"), "")
+	y := q.MustEnsureNode(query.Var("y"), "")
+	k := q.MustEnsureNode(query.Const("no-such-value"), "")
+	q.MustAddEdge(x, y, "p")
+	q.MustAddEdge(k, x, "q")
+	q.SetProjected(x)
+	ev := eval.New(o)
+	rs, err := ev.ResultsSimple(bg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("absent in-edge constant yielded results %v", rs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sort"
 
+	"questpro/internal/conc"
 	"questpro/internal/graph"
 	"questpro/internal/qerr"
 	"questpro/internal/query"
@@ -14,7 +15,9 @@ import (
 // values in sorted order (Q(O) of Section II-A). When a guard meter runs
 // out mid-enumeration, the values found so far are returned (sorted)
 // alongside the qerr.ErrBudgetExhausted-matching error — a degraded but
-// consistent partial answer.
+// consistent partial answer. Large candidate sets on an unguarded
+// evaluator are probed in parallel when Evaluator.Workers allows; output
+// is identical to the sequential loop.
 func (ev *Evaluator) ResultsSimple(ctx context.Context, q *query.Simple) ([]string, error) {
 	proj := q.Projected()
 	if proj == query.NoNode {
@@ -32,15 +35,22 @@ func (ev *Evaluator) ResultsSimple(ctx context.Context, q *query.Simple) ([]stri
 		return nil, nil
 	}
 	candidates := ev.projectedCandidates(q)
+	if ev.meter == nil && len(candidates) >= parallelThreshold {
+		if w := conc.Workers(ev.Workers); w > 1 {
+			return ev.probeSharded(ctx, q, proj, candidates, w)
+		}
+	}
+	return ev.probeSeq(ctx, q, proj, candidates)
+}
+
+// probeSeq is the sequential candidate-probe loop: one prober, reused
+// across all candidates, with the degraded-prefix budget semantics the
+// guarded paths rely on (exhaustion returns the values found so far).
+func (ev *Evaluator) probeSeq(ctx context.Context, q *query.Simple, proj query.NodeID, candidates []graph.NodeID) ([]string, error) {
+	p := newProber(ev, q, proj)
 	var out []string
 	for _, c := range candidates {
-		// The matcher polls only every cancelCheckMask+1 steps, so cheap
-		// probes could otherwise outrun a canceled context for a long
-		// candidate list; poll once per candidate too.
-		if err := ctx.Err(); err != nil {
-			return nil, qerr.Canceled(err)
-		}
-		ok, err := ev.hasAnyMatch(ctx, q, map[query.NodeID]graph.NodeID{proj: c})
+		ok, err := p.probe(ctx, c)
 		if err != nil {
 			if errors.Is(err, qerr.ErrBudgetExhausted) {
 				sort.Strings(out)
@@ -79,10 +89,29 @@ func (ev *Evaluator) hasAnyMatch(ctx context.Context, q *query.Simple, pre map[q
 // projectedCandidates computes a superset of the ontology nodes the
 // projected variable can map to, using the most selective adjacent edge,
 // falling back to all type-compatible nodes for an isolated projected
-// variable.
+// variable. Constant endpoints are resolved against the ontology once per
+// distinct value (merged patterns routinely repeat a constant across many
+// edges); a constant absent from the ontology — on an out-edge or an
+// in-edge alike — short-circuits to zero candidates, since the query then
+// has no matches at all.
 func (ev *Evaluator) projectedCandidates(q *query.Simple) []graph.NodeID {
 	proj := q.Projected()
 	pn := q.Node(proj)
+	var resolved map[string]graph.NodeID
+	resolve := func(value string) (graph.NodeID, bool) {
+		if id, ok := resolved[value]; ok {
+			return id, true
+		}
+		on, ok := ev.o.NodeByValue(value)
+		if !ok {
+			return graph.NoNode, false
+		}
+		if resolved == nil {
+			resolved = make(map[string]graph.NodeID)
+		}
+		resolved[value] = on.ID
+		return on.ID, true
+	}
 	best := []graph.NodeID(nil)
 	bestSize := -1
 	consider := func(cands []graph.NodeID) {
@@ -98,11 +127,11 @@ func (ev *Evaluator) projectedCandidates(q *query.Simple) []graph.NodeID {
 		other := q.Node(e.To)
 		var edges []graph.EdgeID
 		if !other.Term.IsVar {
-			on, ok := ev.o.NodeByValue(other.Term.Value)
+			on, ok := resolve(other.Term.Value)
 			if !ok {
 				return nil
 			}
-			edges = ev.o.EdgesByLabelTo(e.Label, on.ID)
+			edges = ev.o.EdgesByLabelTo(e.Label, on)
 		} else {
 			edges = ev.o.EdgesByLabel(e.Label)
 		}
@@ -116,11 +145,11 @@ func (ev *Evaluator) projectedCandidates(q *query.Simple) []graph.NodeID {
 		other := q.Node(e.From)
 		var edges []graph.EdgeID
 		if !other.Term.IsVar {
-			on, ok := ev.o.NodeByValue(other.Term.Value)
+			on, ok := resolve(other.Term.Value)
 			if !ok {
 				return nil
 			}
-			edges = ev.o.EdgesByLabelFrom(e.Label, on.ID)
+			edges = ev.o.EdgesByLabelFrom(e.Label, on)
 		} else {
 			edges = ev.o.EdgesByLabel(e.Label)
 		}

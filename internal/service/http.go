@@ -204,6 +204,8 @@ type statsJSON struct {
 	Rounds          int   `json:"rounds"`
 	CacheHits       int   `json:"cache_hits"`
 	CacheMisses     int   `json:"cache_misses"`
+	GainEvals       int64 `json:"gain_evals"`
+	Restarts        int   `json:"restarts"`
 	WallMS          int64 `json:"wall_ms"`
 	GuardSteps      int64 `json:"guard_steps,omitempty"`
 }
@@ -234,6 +236,8 @@ func handleInfer(s *Session, w http.ResponseWriter, r *http.Request) {
 			Rounds:          c.Rounds,
 			CacheHits:       c.CacheHits,
 			CacheMisses:     c.CacheMisses,
+			GainEvals:       c.GainEvals,
+			Restarts:        c.Restarts,
 			WallMS:          res.Stats.TotalWall().Milliseconds(),
 			GuardSteps:      res.Stats.GuardUsage.Steps,
 		},
@@ -334,11 +338,13 @@ func handleStats(s *Session, w http.ResponseWriter, _ *http.Request) {
 		"infers":    st.Infers,
 		"examples":  st.Examples,
 		"has_query": st.HasQuery,
-		"counters": map[string]int{
-			"algorithm1_calls": st.Counters.Algorithm1Calls,
-			"rounds":           st.Counters.Rounds,
-			"cache_hits":       st.Counters.CacheHits,
-			"cache_misses":     st.Counters.CacheMisses,
+		"counters": map[string]int64{
+			"algorithm1_calls": int64(st.Counters.Algorithm1Calls),
+			"rounds":           int64(st.Counters.Rounds),
+			"cache_hits":       int64(st.Counters.CacheHits),
+			"cache_misses":     int64(st.Counters.CacheMisses),
+			"gain_evals":       st.Counters.GainEvals,
+			"restarts":         int64(st.Counters.Restarts),
 		},
 	}
 	if st.LastError != "" {
@@ -353,21 +359,23 @@ func writeMetrics(w http.ResponseWriter, m Metrics) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	gauges := []struct {
 		name string
-		val  int
+		val  int64
 	}{
-		{"questprod_sessions_active", m.SessionsActive},
-		{"questprod_sessions_created_total", m.SessionsCreated},
-		{"questprod_sessions_evicted_total", m.SessionsEvicted},
-		{"questprod_infer_total", m.InferTotal},
-		{"questprod_worker_budget", m.WorkerBudget},
-		{"questprod_peak_parallelism", m.PeakParallelism},
-		{"questprod_algorithm1_calls_total", m.Counters.Algorithm1Calls},
-		{"questprod_rounds_total", m.Counters.Rounds},
-		{"questprod_cache_hits_total", m.Counters.CacheHits},
-		{"questprod_cache_misses_total", m.Counters.CacheMisses},
-		{"questprod_panics_recovered_total", m.PanicsRecovered},
-		{"questprod_load_shed_total", m.LoadShed},
-		{"questprod_degraded_total", m.DegradedInfer},
+		{"questprod_sessions_active", int64(m.SessionsActive)},
+		{"questprod_sessions_created_total", int64(m.SessionsCreated)},
+		{"questprod_sessions_evicted_total", int64(m.SessionsEvicted)},
+		{"questprod_infer_total", int64(m.InferTotal)},
+		{"questprod_worker_budget", int64(m.WorkerBudget)},
+		{"questprod_peak_parallelism", int64(m.PeakParallelism)},
+		{"questprod_algorithm1_calls_total", int64(m.Counters.Algorithm1Calls)},
+		{"questprod_rounds_total", int64(m.Counters.Rounds)},
+		{"questprod_cache_hits_total", int64(m.Counters.CacheHits)},
+		{"questprod_cache_misses_total", int64(m.Counters.CacheMisses)},
+		{"questprod_gain_evals_total", m.Counters.GainEvals},
+		{"questprod_restarts_total", int64(m.Counters.Restarts)},
+		{"questprod_panics_recovered_total", int64(m.PanicsRecovered)},
+		{"questprod_load_shed_total", int64(m.LoadShed)},
+		{"questprod_degraded_total", int64(m.DegradedInfer)},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "%s %d\n", g.name, g.val)
