@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos cover bench bench-json bench-merge bench-compare profile experiments examples serve clean
+.PHONY: all build test race chaos cover bench bench-json bench-merge bench-obs-overhead bench-compare profile experiments examples serve clean
 
 all: build test
 
@@ -23,7 +23,7 @@ test:
 	@$(MAKE) --no-print-directory chaos
 
 race:
-	$(GO) test -race ./internal/eval/ ./internal/core/ ./internal/feedback/ ./internal/service/
+	$(GO) test -race ./internal/obs/ ./internal/eval/ ./internal/core/ ./internal/feedback/ ./internal/service/
 
 # Chaos harness (DESIGN.md §8): drive the full HTTP service under -race
 # while the faults package injects errors and panics at every registered
@@ -51,6 +51,14 @@ bench-json: build
 # reference scan), restarts and allocs/op. See cmd/qpbench/benchmerge.go.
 bench-merge: build
 	bin/qpbench -exp benchmerge -scale 0.35 -out BENCH_core_merge.json
+
+# Observability overhead pin (DESIGN.md §9): measure InferUnion on the
+# benchmerge sample with span tracing disabled and enabled, and compare the
+# disabled run against the committed BENCH_core_merge.json baseline
+# (calibration-scaled). The acceptance bar is <2% overhead with tracing
+# off. Deliberately NOT part of `make test` — wall-clock, not correctness.
+bench-obs-overhead: build
+	bin/qpbench -exp benchobs -scale 0.35 -out BENCH_obs_overhead.json
 
 # Perf-regression gate: regenerate both bench artifacts into a scratch dir
 # and diff them against the committed baselines; fails on a >15% ns/op

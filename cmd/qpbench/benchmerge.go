@@ -10,6 +10,7 @@ import (
 
 	"questpro/internal/core"
 	"questpro/internal/experiments"
+	"questpro/internal/provenance"
 	"questpro/internal/workload"
 	"questpro/internal/workload/sampling"
 )
@@ -53,6 +54,44 @@ type mergeBenchFile struct {
 	Entries       []mergeBenchEntry `json:"entries"`
 }
 
+// mergeBenchSample picks the workload's most merge-heavy benchmark query
+// (most pattern edges) with at least mergeBenchExplanations results —
+// small star queries produce near-empty candidate tables where there is no
+// incremental work to measure — and samples its example-set. The returned
+// query name is "" when no query qualifies at the current scale. Shared by
+// benchmerge and benchobs so both pin the same hot path.
+func (r *runner) mergeBenchSample(ctx context.Context, name string) (string, provenance.ExampleSet, error) {
+	w, err := experiments.Load(name, r.scale)
+	if err != nil {
+		return "", nil, err
+	}
+	ev := w.Evaluator()
+	var pick *workload.BenchQuery
+	for i := range w.Queries {
+		bq := &w.Queries[i]
+		s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(r.seed)))
+		rs, err := s.Results(ctx)
+		if err != nil {
+			return "", nil, err
+		}
+		if len(rs) < mergeBenchExplanations {
+			continue
+		}
+		if pick == nil || bq.Query.Branch(0).NumEdges() > pick.Query.Branch(0).NumEdges() {
+			pick = bq
+		}
+	}
+	if pick == nil {
+		return "", nil, nil
+	}
+	s := sampling.New(ev, pick.Query, rand.New(rand.NewSource(r.seed)))
+	exs, err := s.ExampleSet(ctx, mergeBenchExplanations)
+	if err != nil {
+		return "", nil, err
+	}
+	return pick.Name, exs, nil
+}
+
 // benchMerge runs the merge-kernel benchmark and writes it to path.
 func (r *runner) benchMerge(ctx context.Context, path string) error {
 	const reps = 5
@@ -65,39 +104,14 @@ func (r *runner) benchMerge(ctx context.Context, path string) error {
 		CalibrationNs: calibrate(),
 	}
 	for _, name := range []string{"sp2b", "bsbm"} {
-		w, err := experiments.Load(name, r.scale)
+		qname, exs, err := r.mergeBenchSample(ctx, name)
 		if err != nil {
 			return err
 		}
-		ev := w.Evaluator()
-		// Benchmark the most merge-heavy query (most pattern edges) that has
-		// enough results: small star queries produce near-empty candidate
-		// tables where there is no incremental work to measure.
-		var pick *workload.BenchQuery
-		for i := range w.Queries {
-			bq := &w.Queries[i]
-			s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(r.seed)))
-			rs, err := s.Results(ctx)
-			if err != nil {
-				return err
-			}
-			if len(rs) < mergeBenchExplanations {
-				continue
-			}
-			if pick == nil || bq.Query.Branch(0).NumEdges() > pick.Query.Branch(0).NumEdges() {
-				pick = bq
-			}
-		}
-		if pick != nil {
-			bq := *pick
-			s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(r.seed)))
-			exs, err := s.ExampleSet(ctx, mergeBenchExplanations)
-			if err != nil {
-				return err
-			}
+		if qname != "" {
 			entry := mergeBenchEntry{
 				Workload:     name,
-				Query:        bq.Name,
+				Query:        qname,
 				Algorithm:    "InferUnion",
 				Explanations: mergeBenchExplanations,
 				Reps:         reps,
@@ -106,7 +120,7 @@ func (r *runner) benchMerge(ctx context.Context, path string) error {
 			// (benchjson.go) then times ns_per_op noise-robustly.
 			_, stats, err := core.InferUnion(ctx, exs, opts)
 			if err != nil {
-				return fmt.Errorf("benchmerge: %s/%s: %w", name, bq.Name, err)
+				return fmt.Errorf("benchmerge: %s/%s: %w", name, qname, err)
 			}
 			c := stats.Counters()
 			entry.GainEvals = c.GainEvals
@@ -116,14 +130,14 @@ func (r *runner) benchMerge(ctx context.Context, path string) error {
 				return err
 			})
 			if err != nil {
-				return fmt.Errorf("benchmerge: %s/%s: %w", name, bq.Name, err)
+				return fmt.Errorf("benchmerge: %s/%s: %w", name, qname, err)
 			}
 			entry.NsPerOp = best.Nanoseconds()
 			scanOpts := opts
 			scanOpts.ReferenceScan = true
 			_, scanStats, err := core.InferUnion(ctx, exs, scanOpts)
 			if err != nil {
-				return fmt.Errorf("benchmerge: %s/%s (reference scan): %w", name, bq.Name, err)
+				return fmt.Errorf("benchmerge: %s/%s (reference scan): %w", name, qname, err)
 			}
 			entry.GainEvalsScan = scanStats.Counters().GainEvals
 			if entry.GainEvals > 0 {

@@ -32,7 +32,7 @@ func main() {
 		os.Exit(runCompare(os.Args[2:]))
 	}
 	var (
-		exp     = flag.String("exp", "all", "experiment: e1, e2, fig6a, fig6b, fig6c, fig6d, table1, fig8, feedback, robust, ablation, e1rep, benchjson, benchmerge, all")
+		exp     = flag.String("exp", "all", "experiment: e1, e2, fig6a, fig6b, fig6c, fig6d, table1, fig8, feedback, robust, ablation, e1rep, benchjson, benchmerge, benchobs, all")
 		wlName  = flag.String("workload", "", "restrict e1/e2/feedback to one workload (sp2b or bsbm)")
 		scale   = flag.Float64("scale", 1.0, "ontology scale factor")
 		seed    = flag.Int64("seed", 1, "random seed for example sampling")
@@ -41,7 +41,8 @@ func main() {
 		nExpl   = flag.Int("explanations", 7, "explanations for e2/feedback and fig6c")
 		repeats = flag.Int("repeats", 5, "sampling repeats for e1rep")
 		k       = flag.Int("k", 0, "top-k beam width (0 = paper defaults per experiment)")
-		out     = flag.String("out", "", "output path for benchjson/benchmerge (default BENCH_core_infer.json / BENCH_core_merge.json)")
+		out     = flag.String("out", "", "output path for benchjson/benchmerge/benchobs (default BENCH_core_infer.json / BENCH_core_merge.json / BENCH_obs_overhead.json)")
+		trace   = flag.Bool("trace", false, "run one traced InferUnion on the benchmerge sample and print its span tree, then exit (-workload restricts; default sp2b)")
 	)
 	flag.Parse()
 	outPath := func(def string) string {
@@ -52,6 +53,16 @@ func main() {
 	}
 
 	r := &runner{scale: *scale, seed: *seed, csv: *csv, maxExpl: *maxExpl, nExpl: *nExpl, k: *k, repeats: *repeats}
+	if *trace {
+		name := *wlName
+		if name == "" {
+			name = "sp2b"
+		}
+		if err := r.traceOne(bg, name); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	names := map[string]func() error{
 		"e1":       func() error { return r.e1(*wlName) },
 		"e2":       func() error { return r.e2(*wlName) },
@@ -65,11 +76,12 @@ func main() {
 		"robust":   r.robustness,
 		"ablation": func() error { return r.ablation(*wlName) },
 		"e1rep":    func() error { return r.e1Repeated(*wlName) },
-		// benchjson/benchmerge are not part of "all": they are the
+		// benchjson/benchmerge/benchobs are not part of "all": they are the
 		// perf-baseline artifacts, regenerated on demand via `make
-		// bench-json` / `make bench-merge`.
+		// bench-json` / `make bench-merge` / `make bench-obs-overhead`.
 		"benchjson":  func() error { return r.benchJSON(bg, outPath("BENCH_core_infer.json")) },
 		"benchmerge": func() error { return r.benchMerge(bg, outPath("BENCH_core_merge.json")) },
+		"benchobs":   func() error { return r.benchObs(bg, outPath("BENCH_obs_overhead.json"), "BENCH_core_merge.json") },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"e1", "e2", "fig6a", "fig6b", "fig6c", "fig6d", "table1", "fig8", "feedback", "robust", "ablation", "e1rep"} {

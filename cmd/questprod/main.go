@@ -8,6 +8,13 @@
 // get a drain window, every session context is canceled (aborting
 // inference mid-search), and all session goroutines are reaped before the
 // process exits.
+//
+// Observability (DESIGN.md §9): requests are traced into per-session span
+// trees (GET /v1/sessions/{id}/trace), latency histograms and counters are
+// scraped at /metrics, and every request emits one structured log record
+// (-log-format selects text or JSON). -trace-log appends each finished
+// root span as a JSON line to a journal file; -no-trace turns the span
+// layer off entirely.
 package main
 
 import (
@@ -15,7 +22,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -38,14 +46,42 @@ func main() {
 		"Retry-After hint on shed (429) responses")
 	pprofAddr := flag.String("pprof-addr", "",
 		"listen address for net/http/pprof (e.g. 127.0.0.1:8371; empty = profiling off)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	traceLog := flag.String("trace-log", "",
+		"append finished root spans as JSON lines to this file (empty = no journal)")
+	traceRing := flag.Int("trace-ring", service.DefaultTraceRing,
+		"finished operation traces retained per session for /trace")
+	noTrace := flag.Bool("no-trace", false, "disable span tracing (histograms and logs stay on)")
 	flag.Parse()
 
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "questprod: %v\n", err)
+		os.Exit(2)
+	}
+
+	var journal io.Writer
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("opening trace log", "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		journal = f
+	}
+
 	reg := service.NewRegistry(service.Config{
-		TotalWorkers:  *workers,
-		SessionTTL:    *ttl,
-		MaxSessions:   *maxSessions,
-		AdmissionWait: *admissionWait,
-		RetryAfter:    *retryAfter,
+		TotalWorkers:   *workers,
+		SessionTTL:     *ttl,
+		MaxSessions:    *maxSessions,
+		AdmissionWait:  *admissionWait,
+		RetryAfter:     *retryAfter,
+		Logger:         logger,
+		TraceLog:       journal,
+		TraceRing:      *traceRing,
+		DisableTracing: *noTrace,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -68,9 +104,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
-			log.Printf("questprod pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("questprod: pprof: %v", err)
+				logger.Error("pprof server", "err", err)
 			}
 		}()
 	}
@@ -80,28 +116,57 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("questprod listening on %s (worker budget %d)", *addr, reg.Budget().Size())
+	logger.Info("listening", "addr", *addr, "worker_budget", reg.Budget().Size(),
+		"tracing", !*noTrace, "trace_log", *traceLog)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("questprod: %v", err)
+		logger.Error("server", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("questprod: shutting down (drain %s)", *drain)
+	logger.Info("shutting down", "drain", drain.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("questprod: drain: %v", err)
+		logger.Warn("drain", "err", err)
 	}
 	if pprofSrv != nil {
 		if err := pprofSrv.Shutdown(shutCtx); err != nil {
-			log.Printf("questprod: pprof drain: %v", err)
+			logger.Warn("pprof drain", "err", err)
 		}
 	}
 	reg.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("questprod: %v", err)
+		logger.Error("server", "err", err)
 	}
-	fmt.Println("questprod: bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the process logger from the -log-format/-log-level
+// flags. Unknown values are flag errors, not silent defaults.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q", format)
+	}
 }

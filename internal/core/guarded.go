@@ -7,6 +7,7 @@ import (
 
 	"questpro/internal/eval"
 	"questpro/internal/faults"
+	"questpro/internal/obs"
 	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
@@ -43,4 +44,37 @@ func safeMergePair(ctx context.Context, a, b *query.Simple, opts Options, restar
 		return MergeResult{}, false, fmt.Errorf("core: merge pair: %w", e)
 	}
 	return mergePair(ctx, a, b, opts, restartWorkers, m)
+}
+
+// tracedMergePair wraps safeMergePair in a "merge.pair" span annotated
+// with the kernel used and the pair's deterministic work counters. With
+// tracing disabled (or no root span installed) the span is nil and the
+// extra cost is one atomic load per pair — MergePair itself dominates by
+// orders of magnitude. Restart-grid cells are deliberately NOT spanned:
+// they are the kernel's innermost parallel unit, far too hot for per-cell
+// bookkeeping; the pair span carries their aggregate (restarts,
+// gain_evals) instead.
+func tracedMergePair(ctx context.Context, a, b *query.Simple, opts Options, restartWorkers int, m *eval.Meter) (MergeResult, bool, error) {
+	pctx, sp := obs.StartSpan(ctx, "merge.pair")
+	if sp == nil {
+		return safeMergePair(ctx, a, b, opts, restartWorkers, m)
+	}
+	res, ok, err := safeMergePair(pctx, a, b, opts, restartWorkers, m)
+	kernel := "heap"
+	if opts.ReferenceScan {
+		kernel = "scan"
+	}
+	sp.SetLabel("kernel", kernel)
+	sp.SetInt("gain_evals", res.GainEvals)
+	sp.SetInt("restarts", int64(res.Restarts))
+	switch {
+	case err != nil:
+		sp.SetOutcome("error")
+	case !ok:
+		sp.SetOutcome("unmergeable")
+	default:
+		sp.SetOutcome("ok")
+	}
+	sp.Finish()
+	return res, ok, err
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"questpro/internal/obs"
 	"questpro/internal/provenance"
 	"questpro/internal/qerr"
 	"questpro/internal/query"
@@ -64,7 +65,9 @@ func recordGuard(stats *Stats, cache *MergeCache) {
 // qerr.ErrBudgetExhausted and a nil query: unlike InferUnion, the
 // intermediate states here are not consistent queries, so there is no
 // meaningful partial to degrade to.
-func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ *query.Simple, stats Stats, _ error) {
+func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ *query.Simple, stats Stats, err error) {
+	ctx, isp := obs.StartSpan(ctx, "infer.simple")
+	defer func() { finishInfer(isp, &stats, err) }()
 	patterns, err := groundPatterns(ex)
 	if err != nil {
 		return nil, stats, err
@@ -77,9 +80,17 @@ func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (_
 			return nil, stats, err
 		}
 		roundStart := time.Now()
+		rctx, rsp := obs.StartSpan(ctx, "merge.round")
+		var pre CountersSnapshot
+		if rsp != nil {
+			pre = stats.Counters()
+			rsp.SetInt("round", int64(stats.Rounds))
+		}
 		pairs := allPairs(patterns)
-		fresh, err := cache.Prefetch(ctx, pairs, &stats)
+		fresh, err := cache.Prefetch(rctx, pairs, &stats)
 		if err != nil {
+			rsp.SetOutcome("error")
+			rsp.Finish()
 			return nil, stats, err
 		}
 		stats.Algorithm1Calls += len(pairs)
@@ -91,6 +102,8 @@ func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (_
 			for j := i + 1; j < len(patterns); j++ {
 				res, ok, err := cache.Lookup(patterns[i], patterns[j])
 				if err != nil {
+					rsp.SetOutcome("error")
+					rsp.Finish()
 					return nil, stats, err
 				}
 				if !ok {
@@ -102,10 +115,17 @@ func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (_
 			}
 		}
 		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
+		if rsp != nil {
+			annotateRound(rsp, pre, stats.Counters())
+		}
 		if bestI < 0 {
+			rsp.SetOutcome("unmergeable")
+			rsp.Finish()
 			return nil, stats, fmt.Errorf("core: %d explanations left unmergeable: %w",
 				len(patterns), qerr.ErrNoConsistentQuery)
 		}
+		rsp.SetOutcome("ok")
+		rsp.Finish()
 		next := patterns[:0:0]
 		for k, p := range patterns {
 			if k != bestI && k != bestJ {
@@ -129,7 +149,9 @@ func InferSimple(ctx context.Context, ex provenance.ExampleSet, opts Options) (_
 // degraded-but-correct answer: Stats.Degraded is set and the error matches
 // qerr.ErrBudgetExhausted. Callers that treat any non-nil error as fatal
 // keep working; callers that understand degradation get a usable query.
-func InferUnion(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ *query.Union, stats Stats, _ error) {
+func InferUnion(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ *query.Union, stats Stats, err error) {
+	ctx, isp := obs.StartSpan(ctx, "infer.union")
+	defer func() { finishInfer(isp, &stats, err) }()
 	patterns, err := groundPatterns(ex)
 	if err != nil {
 		return nil, stats, err
@@ -144,8 +166,27 @@ func InferUnion(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ 
 			return nil, stats, err
 		}
 		roundStart := time.Now()
-		merged, err := mergeBestTwo(ctx, u, cache, &stats)
+		rctx, rsp := obs.StartSpan(ctx, "merge.round")
+		var pre CountersSnapshot
+		if rsp != nil {
+			pre = stats.Counters()
+			rsp.SetInt("round", int64(stats.Rounds))
+			rsp.SetInt("branches", int64(u.Size()))
+		}
+		merged, err := mergeBestTwo(rctx, u, cache, &stats)
 		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
+		if rsp != nil {
+			annotateRound(rsp, pre, stats.Counters())
+			switch {
+			case err != nil:
+				rsp.SetOutcome("error")
+			case merged == nil:
+				rsp.SetOutcome("unmergeable")
+			default:
+				rsp.SetOutcome("ok")
+			}
+			rsp.Finish()
+		}
 		if err != nil {
 			if errors.Is(err, qerr.ErrBudgetExhausted) {
 				stats.Degraded = true

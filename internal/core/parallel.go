@@ -46,7 +46,7 @@ func computePairs(ctx context.Context, keys []pairKey, opts Options, m *eval.Met
 			if err := ctx.Err(); err != nil {
 				return nil, 1, qerr.Canceled(err)
 			}
-			res, ok, err := safeMergePair(ctx, k.a, k.b, opts, restartW, m)
+			res, ok, err := tracedMergePair(ctx, k.a, k.b, opts, restartW, m)
 			if err != nil {
 				return nil, 1, err
 			}
@@ -82,7 +82,7 @@ func computePairs(ctx context.Context, keys []pairKey, opts Options, m *eval.Met
 						break
 					}
 				}
-				res, ok, err := safeMergePair(ctx, keys[i].a, keys[i].b, opts, restartW, m)
+				res, ok, err := tracedMergePair(ctx, keys[i].a, keys[i].b, opts, restartW, m)
 				active.Add(-1)
 				entries[i] = mergeEntry{res: res, ok: ok}
 				errs[i] = err

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"questpro/internal/obs"
 	"questpro/internal/provenance"
 	"questpro/internal/qerr"
 	"questpro/internal/query"
@@ -28,7 +29,9 @@ import (
 // Beam states are consistent unions, so an exhausted Options.Guard degrades
 // gracefully: the current beam is returned with Stats.Degraded set and an
 // error matching qerr.ErrBudgetExhausted.
-func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ []Candidate, stats Stats, _ error) {
+func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ []Candidate, stats Stats, err error) {
+	ctx, isp := obs.StartSpan(ctx, "infer.topk")
+	defer func() { finishInfer(isp, &stats, err) }()
 	k := opts.K
 	if k < 1 {
 		k = 1
@@ -52,12 +55,21 @@ func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ [
 			return nil, stats, err
 		}
 		roundStart := time.Now()
+		rctx, rsp := obs.StartSpan(ctx, "merge.round")
+		var pre CountersSnapshot
+		if rsp != nil {
+			pre = stats.Counters()
+			rsp.SetInt("round", int64(stats.Rounds))
+			rsp.SetInt("beam", int64(len(beam)))
+		}
 		var pairs []pairKey
 		for _, state := range beam {
 			pairs = append(pairs, branchPairs(state.Query)...)
 		}
-		fresh, err := cache.Prefetch(ctx, pairs, &stats)
+		fresh, err := cache.Prefetch(rctx, pairs, &stats)
 		if err != nil {
+			rsp.SetOutcome("error")
+			rsp.Finish()
 			if errors.Is(err, qerr.ErrBudgetExhausted) {
 				return degrade(err)
 			}
@@ -71,6 +83,8 @@ func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ [
 		for _, state := range beam {
 			cands, err := topMerges(state.Query, k, opts, cache)
 			if err != nil {
+				rsp.SetOutcome("error")
+				rsp.Finish()
 				if errors.Is(err, qerr.ErrBudgetExhausted) {
 					return degrade(err)
 				}
@@ -82,6 +96,11 @@ func InferTopK(ctx context.Context, ex provenance.ExampleSet, opts Options) (_ [
 			pool = append(pool, cands...)
 		}
 		stats.RoundWall = append(stats.RoundWall, time.Since(roundStart))
+		if rsp != nil {
+			annotateRound(rsp, pre, stats.Counters())
+			rsp.SetOutcome("ok")
+			rsp.Finish()
+		}
 		if !expanded {
 			break
 		}

@@ -8,6 +8,7 @@ import (
 
 	"questpro/internal/faults"
 	"questpro/internal/graph"
+	"questpro/internal/obs"
 	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
@@ -43,7 +44,20 @@ func (ev *Evaluator) MatchImage(q *query.Simple, m *Match) (*graph.Graph, error)
 // gathered so far are returned alongside the error, so callers can degrade
 // instead of discarding partial provenance. The graphs are returned in a
 // deterministic order (sorted by signature).
-func (ev *Evaluator) ProvenanceOf(ctx context.Context, q *query.Simple, value string, limit int) ([]*graph.Graph, error) {
+func (ev *Evaluator) ProvenanceOf(ctx context.Context, q *query.Simple, value string, limit int) (_ []*graph.Graph, err error) {
+	ctx, sp := obs.StartSpan(ctx, "eval.provenance")
+	var out []*graph.Graph
+	if sp != nil {
+		defer func() {
+			sp.SetInt("graphs", int64(len(out)))
+			if err != nil {
+				sp.SetOutcome("error")
+			} else {
+				sp.SetOutcome("ok")
+			}
+			sp.Finish()
+		}()
+	}
 	proj := q.Projected()
 	if proj == query.NoNode {
 		return nil, errNoProjected
@@ -70,7 +84,7 @@ func (ev *Evaluator) ProvenanceOf(ctx context.Context, q *query.Simple, value st
 	var entries []entry
 	seen := map[string]bool{}
 	var imgErr error
-	err := ev.MatchesInto(ctx, q, pre, func(m *Match) bool {
+	err = ev.MatchesInto(ctx, q, pre, func(m *Match) bool {
 		if e := faults.Fire(faults.ProvenanceIO); e != nil {
 			imgErr = fmt.Errorf("eval: provenance image: %w", e)
 			return false
@@ -95,7 +109,7 @@ func (ev *Evaluator) ProvenanceOf(ctx context.Context, q *query.Simple, value st
 		err = imgErr
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].sig < entries[j].sig })
-	out := make([]*graph.Graph, len(entries))
+	out = make([]*graph.Graph, len(entries))
 	for i, e := range entries {
 		out[i] = e.g
 	}

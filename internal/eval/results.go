@@ -7,6 +7,7 @@ import (
 
 	"questpro/internal/conc"
 	"questpro/internal/graph"
+	"questpro/internal/obs"
 	"questpro/internal/qerr"
 	"questpro/internal/query"
 )
@@ -18,7 +19,18 @@ import (
 // consistent partial answer. Large candidate sets on an unguarded
 // evaluator are probed in parallel when Evaluator.Workers allows; output
 // is identical to the sequential loop.
-func (ev *Evaluator) ResultsSimple(ctx context.Context, q *query.Simple) ([]string, error) {
+func (ev *Evaluator) ResultsSimple(ctx context.Context, q *query.Simple) (_ []string, err error) {
+	ctx, sp := obs.StartSpan(ctx, "eval.results")
+	if sp != nil {
+		defer func() {
+			if err != nil {
+				sp.SetOutcome("error")
+			} else {
+				sp.SetOutcome("ok")
+			}
+			sp.Finish()
+		}()
+	}
 	proj := q.Projected()
 	if proj == query.NoNode {
 		return nil, errNoProjected
@@ -35,12 +47,20 @@ func (ev *Evaluator) ResultsSimple(ctx context.Context, q *query.Simple) ([]stri
 		return nil, nil
 	}
 	candidates := ev.projectedCandidates(q)
+	sp.SetInt("candidates", int64(len(candidates)))
+	var out []string
 	if ev.meter == nil && len(candidates) >= parallelThreshold {
 		if w := conc.Workers(ev.Workers); w > 1 {
-			return ev.probeSharded(ctx, q, proj, candidates, w)
+			sp.SetLabel("probe", "sharded")
+			out, err = ev.probeSharded(ctx, q, proj, candidates, w)
+			sp.SetInt("results", int64(len(out)))
+			return out, err
 		}
 	}
-	return ev.probeSeq(ctx, q, proj, candidates)
+	sp.SetLabel("probe", "seq")
+	out, err = ev.probeSeq(ctx, q, proj, candidates)
+	sp.SetInt("results", int64(len(out)))
+	return out, err
 }
 
 // probeSeq is the sequential candidate-probe loop: one prober, reused

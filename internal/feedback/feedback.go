@@ -11,6 +11,7 @@ import (
 
 	"questpro/internal/core"
 	"questpro/internal/eval"
+	"questpro/internal/obs"
 	"questpro/internal/provenance"
 	"questpro/internal/qerr"
 	"questpro/internal/query"
@@ -101,26 +102,34 @@ func (s *Session) ChooseQuery(ctx context.Context, cands []*query.Union) (int, *
 				len(remaining), len(tr.Questions), qerr.ErrMaxQuestions)
 		}
 		i, j := remaining[0], remaining[1]
-		verdict, q, err := s.distinguish(ctx, all[i], cands[j].WithoutDiseqs(), i, j)
-		if err != nil {
-			return -1, nil, err
-		}
-		if verdict == verdictUndecided {
+		// One question turn, spanning both difference directions and the
+		// oracle round-trip (a remote user's think time is part of the turn).
+		qctx, qsp := obs.StartSpan(ctx, "feedback.question")
+		qsp.SetInt("remaining", int64(len(remaining)))
+		verdict, q, err := s.distinguish(qctx, all[i], cands[j].WithoutDiseqs(), i, j)
+		if err == nil && verdict == verdictUndecided {
 			// Try the reversed difference (Example 5.5's second step).
-			verdict, q, err = s.distinguish(ctx, all[j], cands[i].WithoutDiseqs(), j, i)
-			if err != nil {
-				return -1, nil, err
-			}
+			verdict, q, err = s.distinguish(qctx, all[j], cands[i].WithoutDiseqs(), j, i)
+		}
+		if err != nil {
+			qsp.SetOutcome("error")
+			qsp.Finish()
+			return -1, nil, err
 		}
 		switch verdict {
 		case verdictUndecided:
 			// Extensionally equivalent: keep the first, drop the second.
 			tr.Undistinguished = append(tr.Undistinguished, [2]int{i, j})
 			remaining = removeValue(remaining, j)
+			qsp.SetOutcome("undistinguished")
 		default:
 			tr.Questions = append(tr.Questions, *q)
 			remaining = removeValue(remaining, q.Dropped)
+			qsp.SetInt("kept", int64(q.Kept))
+			qsp.SetInt("dropped", int64(q.Dropped))
+			qsp.SetOutcome("answered")
 		}
+		qsp.Finish()
 	}
 	return remaining[0], tr, nil
 }

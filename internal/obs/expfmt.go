@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A strict parser for the Prometheus text exposition format, written for
+// the repo's own tests: it enforces what the acceptance criteria demand —
+// a HELP and TYPE line for every series, and well-formed cumulative
+// _bucket/_sum/_count triples for histograms — rather than the full
+// leniency of a real scraper. It understands exactly the subset the
+// /metrics renderer emits (comments, `name value`, `name{k="v",...} value`).
+
+// MetricFamily is one parsed metric: its metadata and every sample that
+// resolved to it (for histograms that includes the _bucket/_sum/_count
+// series).
+type MetricFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string // full series name, e.g. foo_bucket
+	Labels map[string]string
+	Value  float64
+}
+
+// Value returns the value of the family's single unlabeled sample, for
+// counter/gauge assertions.
+func (mf *MetricFamily) Value() (float64, bool) {
+	for _, s := range mf.Samples {
+		if len(s.Labels) == 0 && s.Name == mf.Name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParsePromText parses and validates an exposition document. Every sample
+// must resolve to a family with both HELP and TYPE declared before it;
+// histogram families are checked for cumulative non-decreasing buckets, a
+// +Inf bucket, and _count equal to the +Inf bucket, per label set.
+func ParsePromText(r io.Reader) (map[string]*MetricFamily, error) {
+	families := make(map[string]*MetricFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		mf, err := familyFor(s.Name, families)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		mf.Samples = append(mf.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, mf := range families {
+		if mf.Help == "" {
+			return nil, fmt.Errorf("family %s: no HELP line", mf.Name)
+		}
+		if mf.Type == "" {
+			return nil, fmt.Errorf("family %s: no TYPE line", mf.Name)
+		}
+		// A family may legally be declared with no samples yet: a labeled
+		// histogram exposes its HELP/TYPE before the first observation.
+		if mf.Type == "histogram" && len(mf.Samples) > 0 {
+			if err := validateHistogram(mf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+func parseComment(line string, families map[string]*MetricFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // a plain comment; the renderer emits none, but tolerate
+	}
+	name := fields[2]
+	mf := families[name]
+	if mf == nil {
+		mf = &MetricFamily{Name: name}
+		families[name] = mf
+	}
+	rest := ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	switch fields[1] {
+	case "HELP":
+		if mf.Help != "" {
+			return fmt.Errorf("family %s: duplicate HELP", name)
+		}
+		if rest == "" {
+			return fmt.Errorf("family %s: empty HELP text", name)
+		}
+		mf.Help = rest
+	case "TYPE":
+		if mf.Type != "" {
+			return fmt.Errorf("family %s: duplicate TYPE", name)
+		}
+		switch rest {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+			mf.Type = rest
+		default:
+			return fmt.Errorf("family %s: unknown TYPE %q", name, rest)
+		}
+		if len(mf.Samples) > 0 {
+			return fmt.Errorf("family %s: TYPE after samples", name)
+		}
+	}
+	return nil
+}
+
+// familyFor resolves a sample name to its declared family: the name
+// itself, or — for histogram component series — the base name with the
+// _bucket/_sum/_count suffix stripped.
+func familyFor(name string, families map[string]*MetricFamily) (*MetricFamily, error) {
+	if mf, ok := families[name]; ok && mf.Type != "" {
+		return mf, nil
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if mf, ok := families[base]; ok && mf.Type == "histogram" {
+			return mf, nil
+		}
+	}
+	return nil, fmt.Errorf("sample %s: no TYPE declared before it", name)
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%q: %w", line, err)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) != 1 { // no timestamps in our output
+		return s, fmt.Errorf("expected one value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("%q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(text string) (float64, error) {
+	switch text {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(text, 64)
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	i := 0
+	for i < len(body) {
+		eq := strings.Index(body[i:], "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", body[i:])
+		}
+		key := body[i : i+eq]
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %s: unquoted value", key)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(body) {
+				return nil, fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := body[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("label %s: trailing escape", key)
+				}
+				switch body[i+1] {
+				case '"', '\\':
+					b.WriteByte(body[i+1])
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %s: unknown escape \\%c", key, body[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[key] = b.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("label %s: expected ',' at %q", key, body[i:])
+			}
+			i++
+		}
+	}
+	return labels, nil
+}
+
+// validateHistogram checks the _bucket/_sum/_count triple of every label
+// set in the family.
+func validateHistogram(mf *MetricFamily) error {
+	type group struct {
+		buckets []Sample // in file order
+		sum     *Sample
+		count   *Sample
+	}
+	groups := make(map[string]*group)
+	order := []string{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k == "le" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	for _, s := range mf.Samples {
+		k := keyOf(s.Labels)
+		g := groups[k]
+		if g == nil {
+			g = &group{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		s := s
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			g.buckets = append(g.buckets, s)
+		case strings.HasSuffix(s.Name, "_sum"):
+			g.sum = &s
+		case strings.HasSuffix(s.Name, "_count"):
+			g.count = &s
+		default:
+			return fmt.Errorf("family %s: stray sample %s in histogram", mf.Name, s.Name)
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		where := fmt.Sprintf("family %s{%s}", mf.Name, strings.TrimSuffix(k, ","))
+		if len(g.buckets) == 0 {
+			return fmt.Errorf("%s: no _bucket series", where)
+		}
+		if g.sum == nil {
+			return fmt.Errorf("%s: no _sum series", where)
+		}
+		if g.count == nil {
+			return fmt.Errorf("%s: no _count series", where)
+		}
+		prevLe := math.Inf(-1)
+		prevCum := -1.0
+		sawInf := false
+		for _, b := range g.buckets {
+			leText, ok := b.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", where)
+			}
+			le, err := parseValue(leText)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q: %w", where, leText, err)
+			}
+			if le <= prevLe {
+				return fmt.Errorf("%s: le bounds not increasing at %q", where, leText)
+			}
+			if b.Value < prevCum {
+				return fmt.Errorf("%s: cumulative count decreases at le=%q", where, leText)
+			}
+			prevLe, prevCum = le, b.Value
+			if math.IsInf(le, 1) {
+				sawInf = true
+				if b.Value != g.count.Value {
+					return fmt.Errorf("%s: +Inf bucket %v != _count %v", where, b.Value, g.count.Value)
+				}
+			}
+		}
+		if !sawInf {
+			return fmt.Errorf("%s: no +Inf bucket", where)
+		}
+	}
+	return nil
+}

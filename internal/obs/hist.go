@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Latency histograms, hand-rolled (the repo takes no dependencies): fixed
+// power-of-two nanosecond buckets, atomic counters, rendered in the
+// Prometheus text exposition format as cumulative `le` buckets in seconds.
+//
+// Bucket i has upper bound 2^(histMinExp+i) ns: 8.2µs, 16.4µs, ... up to
+// 2^(histMinExp+histBounds-1) ≈ 68.7s, then +Inf. A log2 grid needs no
+// per-workload tuning, classifies in a couple of bit operations, and its
+// ~2x resolution is plenty for the "where did the time go" questions the
+// trace layer answers; anything finer belongs in pprof.
+const (
+	histMinExp = 13 // first bound 2^13 ns = 8.192µs
+	histBounds = 24 // last finite bound 2^36 ns ≈ 68.7s
+)
+
+// Histogram is one label-value's latency distribution. counts[histBounds]
+// is the +Inf bucket. Counts and the nanosecond sum are updated with
+// independent atomics: a scrape may observe a sum and counts that differ
+// by an in-flight observation, which Prometheus histogram semantics
+// tolerate (cumulative bucket counts themselves are each read atomically
+// and only ever grow).
+type Histogram struct {
+	counts [histBounds + 1]atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+// bucketIndex classifies a duration: the smallest i with ns <= 2^(minExp+i),
+// i.e. ceil(log2 ns) - minExp clamped into the bucket range. Exact powers
+// of two land in their own bucket (le is inclusive).
+func bucketIndex(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns-1)) - histMinExp // ceil(log2 ns) - minExp
+	if i < 0 {
+		return 0
+	}
+	if i > histBounds {
+		return histBounds
+	}
+	return i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.sumNs.Add(ns)
+}
+
+// snapshot reads the counts once (each atomically) and returns them with
+// their total.
+func (h *Histogram) snapshot() (counts [histBounds + 1]uint64, total uint64, sumNs int64) {
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, total, h.sumNs.Load()
+}
+
+// Count returns the number of observations recorded so far.
+func (h *Histogram) Count() uint64 {
+	_, total, _ := h.snapshot()
+	return total
+}
+
+// Family is a named histogram metric partitioned by one label (endpoint,
+// span kind, ...). Observe creates the label's histogram on first use.
+type Family struct {
+	name  string
+	help  string
+	label string
+
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// NewFamily declares a histogram family. label is the single label key its
+// series carry.
+func NewFamily(name, label, help string) *Family {
+	return &Family{name: name, help: help, label: label, hists: make(map[string]*Histogram)}
+}
+
+// Name returns the family's metric name.
+func (f *Family) Name() string { return f.name }
+
+// Observe records one duration under the label value.
+func (f *Family) Observe(labelValue string, d time.Duration) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	h := f.hists[labelValue]
+	if h == nil {
+		h = &Histogram{}
+		f.hists[labelValue] = h
+	}
+	f.mu.Unlock()
+	h.Observe(d)
+}
+
+// Get returns the label value's histogram, or nil.
+func (f *Family) Get(labelValue string) *Histogram {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hists[labelValue]
+}
+
+// leSeconds renders a bucket's upper bound in seconds, the unit Prometheus
+// histogram conventions prescribe.
+func leSeconds(i int) string {
+	if i >= histBounds {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(float64(int64(1)<<(histMinExp+i))/1e9, 'g', -1, 64)
+}
+
+// WriteProm renders the family in the Prometheus text exposition format:
+// one HELP/TYPE header, then per label value the cumulative _bucket series,
+// _sum (seconds) and _count. Label values render sorted so scrapes are
+// deterministic.
+func (f *Family) WriteProm(w io.Writer) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	labels := make([]string, 0, len(f.hists))
+	for lv := range f.hists {
+		labels = append(labels, lv)
+	}
+	hists := make([]*Histogram, len(labels))
+	sort.Strings(labels)
+	for i, lv := range labels {
+		hists[i] = f.hists[lv]
+	}
+	f.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", f.name)
+	for i, lv := range labels {
+		counts, total, sumNs := hists[i].snapshot()
+		cum := uint64(0)
+		for b := 0; b <= histBounds; b++ {
+			cum += counts[b]
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", f.name, f.label, lv, leSeconds(b), cum)
+		}
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", f.name, f.label, lv,
+			strconv.FormatFloat(float64(sumNs)/1e9, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", f.name, f.label, lv, total)
+	}
+}

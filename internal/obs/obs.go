@@ -1,0 +1,39 @@
+// Package obs is the repo's zero-dependency observability layer: trace
+// spans carried through context.Context, fixed-bucket log-scale latency
+// histograms, a Prometheus text-exposition renderer (and a strict parser
+// for tests), and a Tracer that retains finished root spans for the
+// service's per-session trace endpoint and -trace-log journal.
+//
+// Design constraints (DESIGN.md §9):
+//
+//   - Off by default on the library path. Span creation is gated by one
+//     package-level atomic.Bool; when tracing is disabled StartSpan is a
+//     single atomic load and every instrumentation site operates on a nil
+//     *Span, whose methods are all no-ops. The benchmerge hot path must
+//     show <2% ns/op delta with tracing disabled (make bench-obs-overhead
+//     pins this).
+//   - Even when tracing is enabled globally, spans only materialize under
+//     an installed root: StartSpan with no parent span in the context
+//     returns nil. Library code therefore never allocates spans unless a
+//     caller (the service, qpbench -trace) explicitly opened a root.
+//   - Spans must tolerate concurrent children: the merge engine fans
+//     MergePair calls out across worker goroutines that share the round's
+//     context, so child registration locks per span.
+//
+// Enabling is sticky: the service and qpbench turn tracing on and never
+// off, so a disabled check is a plain atomic load with no ordering
+// subtleties. (qpbench's overhead benchmark toggles it explicitly; it is
+// the only caller that ever turns it off.)
+package obs
+
+import "sync/atomic"
+
+// enabled is the global fast gate in front of all span creation.
+var enabled atomic.Bool
+
+// SetEnabled turns span collection on or off globally. The service enables
+// it at registry construction; library code never touches it.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether span collection is on.
+func Enabled() bool { return enabled.Load() }

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTracing flips the global gate on for one test and restores the
+// previous state afterwards (the package default is off).
+func withTracing(t *testing.T) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(prev) })
+}
+
+func TestDisabledSpansAreNil(t *testing.T) {
+	SetEnabled(false)
+	ctx, root := NewRoot(context.Background(), "op")
+	if root != nil {
+		t.Fatalf("NewRoot with tracing disabled returned %v, want nil", root)
+	}
+	if _, sp := StartSpan(ctx, "child"); sp != nil {
+		t.Fatalf("StartSpan with tracing disabled returned %v, want nil", sp)
+	}
+	// Every method must be a no-op on nil.
+	var nilSpan *Span
+	nilSpan.SetInt("k", 1)
+	nilSpan.SetLabel("k", "v")
+	nilSpan.SetOutcome("ok")
+	nilSpan.Finish()
+	if n := nilSpan.Snapshot(); n != nil {
+		t.Fatalf("nil span snapshot = %v, want nil", n)
+	}
+	var nilTracer *Tracer
+	if _, sp := nilTracer.StartRoot(context.Background(), "op"); sp != nil {
+		t.Fatalf("nil tracer StartRoot returned a span")
+	}
+	if n := nilTracer.FinishRoot(nil, "ok"); n != nil {
+		t.Fatalf("nil tracer FinishRoot returned %v", n)
+	}
+}
+
+func TestSpanNeedsRootEvenWhenEnabled(t *testing.T) {
+	withTracing(t)
+	// No root installed: library code pays the gate checks but allocates
+	// nothing.
+	if _, sp := StartSpan(context.Background(), "child"); sp != nil {
+		t.Fatalf("StartSpan without a root returned %v, want nil", sp)
+	}
+}
+
+func TestSpanTreeSnapshot(t *testing.T) {
+	withTracing(t)
+	ctx, root := NewRoot(context.Background(), "op")
+	if root == nil {
+		t.Fatal("NewRoot returned nil with tracing enabled")
+	}
+	cctx, child := StartSpan(ctx, "phase")
+	_, grand := StartSpan(cctx, "step")
+	grand.SetLabel("kernel", "heap")
+	grand.SetInt("gain_evals", 42)
+	grand.Finish()
+	child.SetOutcome("ok")
+	child.Finish()
+	root.SetInt("rounds", 3)
+	root.SetOutcome("ok")
+	root.Finish()
+
+	n := root.Snapshot()
+	if n.Kind != "op" || n.Outcome != "ok" || n.Counters["rounds"] != 3 {
+		t.Fatalf("bad root snapshot: %+v", n)
+	}
+	if len(n.Children) != 1 || n.Children[0].Kind != "phase" {
+		t.Fatalf("bad children: %+v", n.Children)
+	}
+	g := n.Children[0].Children[0]
+	if g.Kind != "step" || g.Labels["kernel"] != "heap" || g.Counters["gain_evals"] != 42 {
+		t.Fatalf("bad grandchild: %+v", g)
+	}
+	if n.DurationNs < g.DurationNs {
+		t.Fatalf("root duration %d < descendant duration %d", n.DurationNs, g.DurationNs)
+	}
+	count := 0
+	n.Walk(func(*Node) { count++ })
+	if count != 3 {
+		t.Fatalf("Walk visited %d nodes, want 3", count)
+	}
+}
+
+func TestFinishIsIdempotent(t *testing.T) {
+	withTracing(t)
+	_, root := NewRoot(context.Background(), "op")
+	root.Finish()
+	first := root.Snapshot().DurationNs
+	time.Sleep(2 * time.Millisecond)
+	root.Finish()
+	if got := root.Snapshot().DurationNs; got != first {
+		t.Fatalf("second Finish changed duration: %d -> %d", first, got)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	withTracing(t)
+	ctx, root := NewRoot(context.Background(), "op")
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "pair")
+			sp.SetInt("i", 1)
+			sp.Finish()
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	if got := len(root.Snapshot().Children); got != n {
+		t.Fatalf("got %d children, want %d", got, n)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{8192, 0},                 // exactly the first bound: le is inclusive
+		{8193, 1},                 // one past it
+		{16384, 1},                // exactly the second bound
+		{1 << 36, histBounds - 1}, // exactly the last finite bound
+		{1<<36 + 1, histBounds},   // beyond it: +Inf
+		{math.MaxInt64, histBounds},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramRenderAndParse(t *testing.T) {
+	f := NewFamily("test_duration_seconds", "kind", "Test latency.")
+	f.Observe("merge", 10*time.Microsecond)
+	f.Observe("merge", 100*time.Microsecond)
+	f.Observe("merge", 2*time.Second)
+	f.Observe("round", 5*time.Millisecond)
+
+	var buf bytes.Buffer
+	f.WriteProm(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP test_duration_seconds Test latency.",
+		"# TYPE test_duration_seconds histogram",
+		`test_duration_seconds_bucket{kind="merge",le="+Inf"} 3`,
+		`test_duration_seconds_count{kind="merge"} 3`,
+		`test_duration_seconds_count{kind="round"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, text)
+		}
+	}
+
+	families, err := ParsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParsePromText: %v\n%s", err, text)
+	}
+	mf := families["test_duration_seconds"]
+	if mf == nil || mf.Type != "histogram" {
+		t.Fatalf("family not parsed as histogram: %+v", mf)
+	}
+	// The sum must be the observations in seconds.
+	wantSum := (10*time.Microsecond + 100*time.Microsecond + 2*time.Second).Seconds()
+	for _, s := range mf.Samples {
+		if s.Name == "test_duration_seconds_sum" && s.Labels["kind"] == "merge" {
+			if math.Abs(s.Value-wantSum) > 1e-9 {
+				t.Fatalf("merge sum = %v, want %v", s.Value, wantSum)
+			}
+		}
+	}
+}
+
+func TestParserRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":           "foo_total 3\n",
+		"TYPE without HELP": "# TYPE foo_total counter\nfoo_total 3\n",
+		"HELP without TYPE": "# HELP foo_total text\nfoo_total 3\n",
+		"histogram without +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"histogram count mismatch": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 2\n",
+		"non-cumulative buckets": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"histogram without sum": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParsePromText(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parser accepted invalid document:\n%s", name, doc)
+		}
+	}
+}
+
+func TestParserAcceptsCounters(t *testing.T) {
+	doc := "# HELP foo_total Things.\n# TYPE foo_total counter\nfoo_total 7\n"
+	families, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := families["foo_total"].Value()
+	if !ok || v != 7 {
+		t.Fatalf("foo_total = %v (ok=%v), want 7", v, ok)
+	}
+}
+
+func TestTracerJournalAndHistograms(t *testing.T) {
+	withTracing(t)
+	var journal bytes.Buffer
+	spanDur := NewFamily("span_seconds", "kind", "Span latency.")
+	tr := NewTracer(spanDur, &journal)
+
+	ctx, root := tr.StartRoot(context.Background(), "session.infer")
+	if root == nil {
+		t.Fatal("StartRoot returned nil with tracing enabled")
+	}
+	_, child := StartSpan(ctx, "merge.round")
+	child.Finish()
+	n := tr.FinishRoot(root, "ok")
+	if n == nil || n.Outcome != "ok" || len(n.Children) != 1 {
+		t.Fatalf("bad snapshot: %+v", n)
+	}
+
+	// One JSONL line, holding the root with its child.
+	lines := strings.Split(strings.TrimSpace(journal.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("journal has %d lines, want 1: %q", len(lines), journal.String())
+	}
+	var back Node
+	if err := json.Unmarshal([]byte(lines[0]), &back); err != nil {
+		t.Fatalf("journal line is not JSON: %v", err)
+	}
+	if back.Kind != "session.infer" || len(back.Children) != 1 || back.Children[0].Kind != "merge.round" {
+		t.Fatalf("journal round-trip mismatch: %+v", back)
+	}
+
+	// Both span kinds fed the histogram family.
+	for _, kind := range []string{"session.infer", "merge.round"} {
+		h := spanDur.Get(kind)
+		if h == nil {
+			t.Fatalf("span kind %s: no histogram", kind)
+		}
+		if got := h.Count(); got != 1 {
+			t.Fatalf("span kind %s: histogram count = %d, want 1", kind, got)
+		}
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	n := &Node{
+		Kind: "session.infer", DurationNs: int64(3 * time.Millisecond), Outcome: "ok",
+		Counters: map[string]int64{"rounds": 2},
+		Children: []*Node{{
+			Kind: "merge.round", DurationNs: int64(time.Millisecond),
+			Labels: map[string]string{"kernel": "heap"},
+		}},
+	}
+	var buf bytes.Buffer
+	WriteTree(&buf, n)
+	got := buf.String()
+	want := "session.infer 3ms outcome=ok rounds=2\n  merge.round 1ms kernel=heap\n"
+	if got != want {
+		t.Fatalf("WriteTree:\n got %q\nwant %q", got, want)
+	}
+}

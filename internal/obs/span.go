@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of an operation. Spans form a tree: a root is
+// opened by a Tracer (or NewRoot) and installed in a context; StartSpan
+// then hangs children off whatever span the context carries. All methods
+// are safe on a nil receiver — instrumentation sites never branch on
+// whether tracing is live.
+//
+// Counters and labels are the span's annotations: counters are the
+// existing deterministic work counters (gain evals, cache hits, guard
+// steps, ...) copied in at span close; labels are low-cardinality strings
+// (kernel=heap, mode=union).
+type Span struct {
+	kind  string
+	start time.Time
+
+	mu       sync.Mutex
+	children []*Span
+	counters map[string]int64
+	labels   map[string]string
+	outcome  string
+	dur      time.Duration
+	done     bool
+}
+
+// ctxKey carries the current span through a context.
+type ctxKey struct{}
+
+// FromContext returns the span the context carries, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// NewRoot opens a root span and installs it in the returned context. When
+// tracing is disabled it returns (ctx, nil) after one atomic load. The
+// caller owns the root: Finish it (or hand it to Tracer.FinishRoot) when
+// the operation completes.
+func NewRoot(ctx context.Context, kind string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	sp := &Span{kind: kind, start: time.Now()}
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// context carrying it. Two cheap outs keep the library path free: tracing
+// disabled (one atomic load) or no root installed (no span materializes
+// without an explicit root, so plain core/eval callers never allocate).
+func StartSpan(ctx context.Context, kind string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := &Span{kind: kind, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, sp)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// SetInt records a counter annotation (last write wins).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64, 4)
+	}
+	s.counters[key] = v
+	s.mu.Unlock()
+}
+
+// SetLabel records a low-cardinality string annotation.
+func (s *Span) SetLabel(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.labels == nil {
+		s.labels = make(map[string]string, 2)
+	}
+	s.labels[key] = v
+	s.mu.Unlock()
+}
+
+// SetOutcome records the span's outcome (ok, degraded, canceled, shed,
+// panic, error, unmergeable, ...).
+func (s *Span) SetOutcome(outcome string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.outcome = outcome
+	s.mu.Unlock()
+}
+
+// Finish freezes the span's duration. Idempotent; later calls keep the
+// first reading.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Node is the immutable snapshot of a finished span tree: what the trace
+// endpoint serves, the JSONL journal stores and the ring buffer retains.
+// Snapshotting at root close means readers never share mutable state with
+// in-flight instrumentation.
+type Node struct {
+	Kind        string            `json:"kind"`
+	StartUnixNs int64             `json:"start_unix_ns"`
+	DurationNs  int64             `json:"duration_ns"`
+	Outcome     string            `json:"outcome,omitempty"`
+	Counters    map[string]int64  `json:"counters,omitempty"`
+	Labels      map[string]string `json:"labels,omitempty"`
+	Children    []*Node           `json:"children,omitempty"`
+}
+
+// Snapshot deep-copies the span tree. A span still running snapshots with
+// its duration-so-far.
+func (s *Span) Snapshot() *Node {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	n := &Node{
+		Kind:        s.kind,
+		StartUnixNs: s.start.UnixNano(),
+		Outcome:     s.outcome,
+	}
+	if s.done {
+		n.DurationNs = s.dur.Nanoseconds()
+	} else {
+		n.DurationNs = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.counters) > 0 {
+		n.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			n.Counters[k] = v
+		}
+	}
+	if len(s.labels) > 0 {
+		n.Labels = make(map[string]string, len(s.labels))
+		for k, v := range s.labels {
+			n.Labels[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		n.Children = append(n.Children, c.Snapshot())
+	}
+	return n
+}
+
+// Walk visits the node and every descendant, depth-first.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// WriteTree renders the snapshot as an indented text tree — the qpbench
+// -trace output. Counters and labels print sorted so the rendering is
+// deterministic.
+func WriteTree(w io.Writer, n *Node) {
+	writeTree(w, n, 0)
+}
+
+func writeTree(w io.Writer, n *Node, depth int) {
+	if n == nil {
+		return
+	}
+	for i := 0; i < depth; i++ {
+		fmt.Fprint(w, "  ")
+	}
+	fmt.Fprintf(w, "%s %s", n.Kind, time.Duration(n.DurationNs))
+	if n.Outcome != "" {
+		fmt.Fprintf(w, " outcome=%s", n.Outcome)
+	}
+	keys := make([]string, 0, len(n.Labels))
+	for k := range n.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, " %s=%s", k, n.Labels[k])
+	}
+	keys = keys[:0]
+	for k := range n.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, " %s=%d", k, n.Counters[k])
+	}
+	fmt.Fprintln(w)
+	for _, c := range n.Children {
+		writeTree(w, c, depth+1)
+	}
+}

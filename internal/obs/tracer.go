@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer opens root spans and owns what happens when they finish: the
+// tree is snapshotted (so readers never race in-flight spans), every
+// span's duration feeds the per-kind histogram family, and the root is
+// appended to the JSONL journal when one is configured. A nil Tracer is
+// fully inert — the service uses that as its "tracing disabled" shape.
+type Tracer struct {
+	spanDur *Family // per-span-kind duration histograms (may be nil)
+
+	mu      sync.Mutex
+	journal io.Writer
+}
+
+// NewTracer builds a tracer. spanDur (optional) receives every finished
+// span's duration keyed by kind; journal (optional) receives one JSON line
+// per finished root span.
+func NewTracer(spanDur *Family, journal io.Writer) *Tracer {
+	return &Tracer{spanDur: spanDur, journal: journal}
+}
+
+// StartRoot opens a root span under the tracer and installs it in the
+// returned context. Nil tracer or tracing disabled: (ctx, nil).
+func (t *Tracer) StartRoot(ctx context.Context, kind string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return NewRoot(ctx, kind)
+}
+
+// FinishRoot closes a root span with the given outcome and returns its
+// immutable snapshot, after feeding the span-kind histograms and the
+// journal. Safe on a nil tracer or nil span (returns nil).
+func (t *Tracer) FinishRoot(sp *Span, outcome string) *Node {
+	if t == nil || sp == nil {
+		return nil
+	}
+	sp.SetOutcome(outcome)
+	sp.Finish()
+	n := sp.Snapshot()
+	if t.spanDur != nil {
+		n.Walk(func(c *Node) {
+			t.spanDur.Observe(c.Kind, time.Duration(c.DurationNs))
+		})
+	}
+	if t.journal != nil {
+		if line, err := json.Marshal(n); err == nil {
+			line = append(line, '\n')
+			t.mu.Lock()
+			_, _ = t.journal.Write(line)
+			t.mu.Unlock()
+		}
+	}
+	return n
+}

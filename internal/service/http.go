@@ -24,37 +24,46 @@ import (
 //	POST   /v1/sessions                      create session (ontology + options)
 //	DELETE /v1/sessions/{id}                 evict a session
 //	GET    /v1/sessions/{id}/stats           per-session counters
+//	GET    /v1/sessions/{id}/trace           recent operation traces (span trees)
 //	POST   /v1/sessions/{id}/examples        submit the example-set
 //	POST   /v1/sessions/{id}/infer           run simple/union/topk inference
 //	POST   /v1/sessions/{id}/feedback        start the feedback dialogue
 //	GET    /v1/sessions/{id}/feedback        re-read the pending question
 //	POST   /v1/sessions/{id}/feedback/answer answer the pending question
 //	GET    /healthz                          liveness
-//	GET    /metrics                          plain-text gauges
+//	GET    /metrics                          Prometheus text exposition
+//
+// Every route runs under the withObs middleware: X-Request-Id in/out, an
+// access-log record per request, and a per-endpoint latency histogram.
 func NewServer(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, withObs(reg, endpoint, h))
+	}
+	handle("POST /v1/sessions", "create", func(w http.ResponseWriter, r *http.Request) {
 		handleCreate(reg, w, r)
 	})
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/sessions/{id}", "delete", func(w http.ResponseWriter, r *http.Request) {
 		if !reg.Delete(r.PathValue("id")) {
 			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown session"))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
 	})
-	mux.HandleFunc("GET /v1/sessions/{id}/stats", withSession(reg, handleStats))
-	mux.HandleFunc("POST /v1/sessions/{id}/examples", withSession(reg, handleExamples))
-	mux.HandleFunc("POST /v1/sessions/{id}/infer", withSession(reg, handleInfer))
-	mux.HandleFunc("POST /v1/sessions/{id}/feedback", withSession(reg, handleFeedback))
-	mux.HandleFunc("GET /v1/sessions/{id}/feedback", withSession(reg, handlePendingFeedback))
-	mux.HandleFunc("POST /v1/sessions/{id}/feedback/answer", withSession(reg, handleAnswer))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle("GET /v1/sessions/{id}/stats", "stats", withSession(reg, handleStats))
+	handle("GET /v1/sessions/{id}/trace", "trace", withSession(reg, handleTrace))
+	handle("POST /v1/sessions/{id}/examples", "examples", withSession(reg, handleExamples))
+	handle("POST /v1/sessions/{id}/infer", "infer", withSession(reg, handleInfer))
+	handle("POST /v1/sessions/{id}/feedback", "feedback", withSession(reg, handleFeedback))
+	handle("GET /v1/sessions/{id}/feedback", "feedback_pending", withSession(reg, handlePendingFeedback))
+	handle("POST /v1/sessions/{id}/feedback/answer", "feedback_answer", withSession(reg, handleAnswer))
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		writeMetrics(w, reg.Metrics())
+	handle("GET /metrics", "metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, reg)
 	})
 	return mux
 }
@@ -169,7 +178,7 @@ func handleExamples(s *Session, w http.ResponseWriter, r *http.Request) {
 		}
 		exs = append(exs, ex)
 	}
-	if err := s.SetExamples(exs); err != nil {
+	if err := s.SetExamples(r.Context(), exs); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -223,8 +232,11 @@ func handleInfer(s *Session, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Infer(ctx, req.Mode)
 	if err != nil {
-		writeInferError(w, err, s.reg.retryAfter())
+		writeInferError(w, r, err, s.reg.retryAfter())
 		return
+	}
+	if res.Degraded {
+		markRequest(r.Context(), func(ri *reqInfo) { ri.degraded = true })
 	}
 	c := res.Stats.Counters()
 	resp := inferResponse{
@@ -282,7 +294,7 @@ func handleFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
 	}
 	ev, err := s.StartFeedback(r.Context(), req.MaxQuestions)
 	if err != nil {
-		writeInferError(w, err, s.reg.retryAfter())
+		writeInferError(w, r, err, s.reg.retryAfter())
 		return
 	}
 	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
@@ -294,7 +306,7 @@ func handleFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
 func handlePendingFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
 	ev, err := s.PendingFeedback(r.Context())
 	if err != nil {
-		writeInferError(w, err, s.reg.retryAfter())
+		writeInferError(w, r, err, s.reg.retryAfter())
 		return
 	}
 	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
@@ -307,7 +319,7 @@ func handleAnswer(s *Session, w http.ResponseWriter, r *http.Request) {
 	}
 	ev, err := s.AnswerFeedback(r.Context(), req.Include)
 	if err != nil {
-		writeInferError(w, err, s.reg.retryAfter())
+		writeInferError(w, r, err, s.reg.retryAfter())
 		return
 	}
 	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
@@ -332,6 +344,14 @@ func feedbackEventJSON(ev FeedbackEvent) feedbackResponse {
 	}
 }
 
+// handleTrace serves the session's retained operation traces (the root
+// span trees of its most recent operations, oldest first). Traces are
+// retained only while the process-wide span gate is on (the questprod
+// default; -no-trace disables it).
+func handleTrace(s *Session, w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.Traces()})
+}
+
 func handleStats(s *Session, w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
 	resp := map[string]any{
@@ -353,43 +373,56 @@ func handleStats(s *Session, w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// writeMetrics renders the registry gauges in the Prometheus text
-// exposition format (hand-rolled: the repo takes no dependencies).
-func writeMetrics(w http.ResponseWriter, m Metrics) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	gauges := []struct {
+// writeMetrics renders the registry's metrics in the Prometheus text
+// exposition format (hand-rolled: the repo takes no dependencies): every
+// series gets # HELP and # TYPE lines — counters for the monotonically
+// increasing *_total series, gauges for point-in-time readings — followed
+// by the two latency-histogram families. All scalar values come from one
+// Registry.Metrics() call, which snapshots the counters under a single
+// lock acquisition, so a scrape never mixes readings from two points in
+// time (the histograms are independently atomic; see DESIGN.md §9).
+func writeMetrics(w io.Writer, reg *Registry) {
+	m := reg.Metrics()
+	series := []struct {
 		name string
+		typ  string
+		help string
 		val  int64
 	}{
-		{"questprod_sessions_active", int64(m.SessionsActive)},
-		{"questprod_sessions_created_total", int64(m.SessionsCreated)},
-		{"questprod_sessions_evicted_total", int64(m.SessionsEvicted)},
-		{"questprod_infer_total", int64(m.InferTotal)},
-		{"questprod_worker_budget", int64(m.WorkerBudget)},
-		{"questprod_peak_parallelism", int64(m.PeakParallelism)},
-		{"questprod_algorithm1_calls_total", int64(m.Counters.Algorithm1Calls)},
-		{"questprod_rounds_total", int64(m.Counters.Rounds)},
-		{"questprod_cache_hits_total", int64(m.Counters.CacheHits)},
-		{"questprod_cache_misses_total", int64(m.Counters.CacheMisses)},
-		{"questprod_gain_evals_total", m.Counters.GainEvals},
-		{"questprod_restarts_total", int64(m.Counters.Restarts)},
-		{"questprod_panics_recovered_total", int64(m.PanicsRecovered)},
-		{"questprod_load_shed_total", int64(m.LoadShed)},
-		{"questprod_degraded_total", int64(m.DegradedInfer)},
+		{"questprod_sessions_active", "gauge", "Live sessions.", int64(m.SessionsActive)},
+		{"questprod_sessions_created_total", "counter", "Sessions ever created.", int64(m.SessionsCreated)},
+		{"questprod_sessions_evicted_total", "counter", "Sessions evicted by the TTL janitor.", int64(m.SessionsEvicted)},
+		{"questprod_infer_total", "counter", "Inference runs completed.", int64(m.InferTotal)},
+		{"questprod_worker_budget", "gauge", "Size of the shared inference worker budget.", int64(m.WorkerBudget)},
+		{"questprod_peak_parallelism", "gauge", "Largest in-flight MergePair count ever observed.", int64(m.PeakParallelism)},
+		{"questprod_algorithm1_calls_total", "counter", "Algorithm 1 (MergePair) invocations, cached and fresh.", int64(m.Counters.Algorithm1Calls)},
+		{"questprod_rounds_total", "counter", "Inference rounds executed.", int64(m.Counters.Rounds)},
+		{"questprod_cache_hits_total", "counter", "Merge-cache hits.", int64(m.Counters.CacheHits)},
+		{"questprod_cache_misses_total", "counter", "Merge-cache misses (fresh pair computations).", int64(m.Counters.CacheMisses)},
+		{"questprod_gain_evals_total", "counter", "Gain-function evaluations in the merge kernel.", m.Counters.GainEvals},
+		{"questprod_restarts_total", "counter", "Merge-kernel restarts.", int64(m.Counters.Restarts)},
+		{"questprod_panics_recovered_total", "counter", "Panics converted to errors by a recovery boundary.", int64(m.PanicsRecovered)},
+		{"questprod_load_shed_total", "counter", "Inference requests shed for load (429).", int64(m.LoadShed)},
+		{"questprod_degraded_total", "counter", "Inferences that returned a degraded (guard-exhausted) result.", int64(m.DegradedInfer)},
 	}
-	for _, g := range gauges {
-		fmt.Fprintf(w, "%s %d\n", g.name, g.val)
+	for _, s := range series {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.val)
 	}
+	reg.httpDur.WriteProm(w)
+	reg.spanDur.WriteProm(w)
 }
 
 // writeInferError maps inference failures onto HTTP statuses — the error
 // taxonomy of DESIGN.md §8: impossible merges are the client's data (422),
 // an exhausted guard with nothing to degrade to is too (422), cancellations
 // are timeouts (504), load shedding is 429 with a Retry-After hint,
-// recovered panics are 500, anything else is a bad request.
-func writeInferError(w http.ResponseWriter, err error, retryAfter time.Duration) {
+// recovered panics are 500, anything else is a bad request. The shed/panic
+// classifications are also raised on the request's observability record so
+// the access log carries them.
+func writeInferError(w http.ResponseWriter, r *http.Request, err error, retryAfter time.Duration) {
 	switch {
 	case errors.Is(err, qerr.ErrOverloaded):
+		markRequest(r.Context(), func(ri *reqInfo) { ri.shed = true })
 		secs := int(retryAfter.Round(time.Second) / time.Second)
 		if secs < 1 {
 			secs = 1
@@ -397,6 +430,7 @@ func writeInferError(w http.ResponseWriter, err error, retryAfter time.Duration)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, qerr.ErrInternal):
+		markRequest(r.Context(), func(ri *reqInfo) { ri.panicked = true })
 		writeError(w, http.StatusInternalServerError, err)
 	case errors.Is(err, qerr.ErrNoConsistentQuery), errors.Is(err, qerr.ErrBudgetExhausted):
 		writeError(w, http.StatusUnprocessableEntity, err)

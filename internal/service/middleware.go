@@ -1,0 +1,115 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// reqInfo is the per-request observability state threaded through the
+// handler chain via the context: the request identifier (client-supplied or
+// minted here) and the outcome flags handlers set as they classify errors.
+// Handlers run on the request goroutine, so plain fields suffice.
+type reqInfo struct {
+	id       string
+	shed     bool
+	degraded bool
+	panicked bool
+}
+
+type reqInfoKey struct{}
+
+// requestID returns the request identifier installed by withObs, or "" when
+// the context did not pass through the HTTP layer (direct Session calls in
+// tests and benchmarks).
+func requestID(ctx context.Context) string {
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		return ri.id
+	}
+	return ""
+}
+
+// markRequest applies f to the request's reqInfo, if any.
+func markRequest(ctx context.Context, f func(*reqInfo)) {
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		f(ri)
+	}
+}
+
+// ridFallback numbers request ids minted after an entropy failure: the id
+// must never be empty (it is the correlation key for logs, spans and
+// last_error), and an unreadable entropy source should not fail the request.
+var ridFallback atomic.Int64
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := io.ReadFull(rand.Reader, b[:]); err != nil {
+		return fmt.Sprintf("req-%d", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status for the access log and the
+// latency histogram (the handler writes it straight through).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withObs is the per-endpoint observability middleware: it honors an
+// incoming X-Request-Id (minting one otherwise), echoes it on the response,
+// threads it through the context for spans and recovered-panic reports,
+// feeds the endpoint's latency histogram, and emits one structured access
+// log line per request — method, endpoint, request id, session id, status,
+// duration and the shed/degraded/panic flags handlers raised while
+// classifying the outcome.
+func withObs(reg *Registry, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = newRequestID()
+		}
+		ri := &reqInfo{id: rid}
+		w.Header().Set("X-Request-Id", rid)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))
+		dur := time.Since(start)
+		reg.httpDur.Observe(endpoint, dur)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		reg.logger.Info("request",
+			"method", r.Method,
+			"endpoint", endpoint,
+			"path", r.URL.Path,
+			"request_id", rid,
+			"session_id", r.PathValue("id"),
+			"status", status,
+			"duration_ms", float64(dur.Nanoseconds())/1e6,
+			"shed", ri.shed,
+			"degraded", ri.degraded,
+			"panic", ri.panicked,
+		)
+	}
+}

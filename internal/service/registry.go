@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"questpro/internal/core"
 	"questpro/internal/faults"
 	"questpro/internal/graph"
+	"questpro/internal/obs"
 	"questpro/internal/qerr"
 )
 
@@ -51,6 +53,25 @@ type Config struct {
 	// RetryAfter is the hint sent in the Retry-After header of shed (429)
 	// responses. <= 0 selects DefaultRetryAfter.
 	RetryAfter time.Duration
+
+	// Logger receives the server's structured logs (one access-log record
+	// per request, plus session lifecycle events). nil discards them.
+	Logger *slog.Logger
+
+	// TraceLog, when non-nil, receives one JSON line per finished root span
+	// (the trace journal; questprod wires -trace-log here). Writes are
+	// serialized by the tracer.
+	TraceLog io.Writer
+
+	// TraceRing caps how many finished operation traces each session
+	// retains for GET /v1/sessions/{id}/trace (oldest evicted first).
+	// <= 0 selects DefaultTraceRing.
+	TraceRing int
+
+	// DisableTracing leaves the global span gate alone, so sessions run
+	// with nil spans (the library's zero-overhead path). The default is to
+	// enable tracing for the process when the registry starts.
+	DisableTracing bool
 }
 
 // Defaults for Config's zero fields.
@@ -59,6 +80,7 @@ const (
 	DefaultMaxSessions   = 1024
 	DefaultAdmissionWait = 2 * time.Second
 	DefaultRetryAfter    = time.Second
+	DefaultTraceRing     = 8
 )
 
 func (c Config) withDefaults() Config {
@@ -80,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = DefaultRetryAfter
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = DefaultTraceRing
+	}
 	return c
 }
 
@@ -88,6 +113,15 @@ func (c Config) withDefaults() Config {
 type Registry struct {
 	cfg    Config
 	budget *conc.Budget
+
+	// Observability plumbing (immutable after NewRegistry): the structured
+	// logger, the tracer that finishes root spans into histograms and the
+	// optional JSONL journal, and the two latency-histogram families
+	// rendered at /metrics.
+	logger  *slog.Logger
+	tracer  *obs.Tracer
+	httpDur *obs.Family
+	spanDur *obs.Family
 
 	// ctx is the registry-scoped root context: every session context is a
 	// child, so Close cancels all in-flight inference and feedback work.
@@ -118,12 +152,30 @@ type Registry struct {
 }
 
 // NewRegistry starts a registry (and its eviction janitor) sized by cfg.
+// Unless cfg.DisableTracing is set it turns the process-wide span gate on
+// — and never off: the gate is sticky because another registry (or a test)
+// may be live in the same process, and an enabled gate without a root span
+// installed still costs the library path only one atomic load.
 func NewRegistry(cfg Config) *Registry {
 	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if !cfg.DisableTracing {
+		obs.SetEnabled(true)
+	}
+	spanDur := obs.NewFamily("questprod_span_duration_seconds", "kind",
+		"Trace span latency by span kind.")
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Registry{
-		cfg:         cfg,
-		budget:      conc.NewBudget(cfg.TotalWorkers),
+		cfg:    cfg,
+		budget: conc.NewBudget(cfg.TotalWorkers),
+		logger: logger,
+		tracer: obs.NewTracer(spanDur, cfg.TraceLog),
+		httpDur: obs.NewFamily("questprod_http_request_duration_seconds", "endpoint",
+			"HTTP request latency by endpoint."),
+		spanDur:     spanDur,
 		ctx:         ctx,
 		cancel:      cancel,
 		janitorDone: make(chan struct{}),
@@ -171,6 +223,7 @@ func (r *Registry) evictExpired(now time.Time) int {
 	r.mu.Unlock()
 	for _, s := range expired {
 		s.close()
+		r.logger.Info("session evicted", "session_id", s.ID, "reason", "ttl")
 	}
 	return len(expired)
 }
@@ -221,6 +274,7 @@ func (r *Registry) Create(onto *graph.Graph, opts core.Options) (*Session, error
 	s := newSession(r, id, onto, opts)
 	r.sessions[s.ID] = s
 	r.createdTotal++
+	r.logger.Info("session created", "session_id", s.ID, "sessions_active", len(r.sessions))
 	return s, nil
 }
 
@@ -311,6 +365,9 @@ func (r *Registry) recordShed() {
 
 // admissionWait resolves the bounded-admission wait (negative = unbounded).
 func (r *Registry) admissionWait() time.Duration { return r.cfg.AdmissionWait }
+
+// traceRing is the per-session cap on retained operation traces.
+func (r *Registry) traceRing() int { return r.cfg.TraceRing }
 
 // retryAfter is the Retry-After hint for shed responses.
 func (r *Registry) retryAfter() time.Duration { return r.cfg.RetryAfter }

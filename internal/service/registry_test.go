@@ -26,7 +26,7 @@ func createPaperfix(t *testing.T, r *Registry) *Session {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SetExamples(paperfix.Explanations(o)); err != nil {
+	if err := s.SetExamples(context.Background(), paperfix.Explanations(o)); err != nil {
 		t.Fatal(err)
 	}
 	return s
@@ -96,7 +96,7 @@ func TestRegistryConcurrentSessions(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			if err := s.SetExamples(paperfix.Explanations(o)); err != nil {
+			if err := s.SetExamples(context.Background(), paperfix.Explanations(o)); err != nil {
 				errs[i] = err
 				return
 			}

@@ -14,6 +14,7 @@ import (
 	"questpro/internal/eval"
 	"questpro/internal/feedback"
 	"questpro/internal/graph"
+	"questpro/internal/obs"
 	"questpro/internal/provenance"
 	"questpro/internal/qerr"
 	"questpro/internal/query"
@@ -61,6 +62,15 @@ type Session struct {
 
 	counters core.CountersSnapshot
 	infers   int
+
+	// traces is the ring of the session's most recent finished operation
+	// traces (root span snapshots, oldest first), served at
+	// /v1/sessions/{id}/trace. Its own mutex, not s.mu: traces are recorded
+	// while the operation's stack unwinds, after its s.mu defer released
+	// the lock, and the feedback goroutine records its dialogue trace with
+	// no claim on s.mu at all.
+	traceMu sync.Mutex
+	traces  []*obs.Node
 }
 
 func newSession(r *Registry, id string, onto *graph.Graph, opts core.Options) *Session {
@@ -90,27 +100,100 @@ func (s *Session) end()   { s.inflight.Add(-1); s.touch() }
 // busy reports whether a client operation is in flight.
 func (s *Session) busy() bool { return s.inflight.Load() > 0 }
 
-// recoverOp is the session's recovery boundary: deferred FIRST in every
-// client-facing operation (so it runs last during an unwind, after the
-// mutex and inflight defers have already released their state), it converts
-// a panic anywhere below into a qerr.ErrInternal-matching error on the
-// operation's named return value. The panic poisons only this call: the
-// session stays usable, the sanitized stack is kept as the session's last
-// error, and the registry counts the recovery. Panics on merge-engine
-// worker goroutines never reach here — they are recovered at safeMergePair
-// and arrive as ordinary errors; this boundary covers the request
-// goroutine itself.
-func (s *Session) recoverOp(op string, errp *error) {
-	r := recover()
+// recoverOp is the session's recovery boundary: every client-facing
+// operation defers a closure (FIRST, so it runs last during an unwind,
+// after the mutex and inflight defers have already released their state)
+// that passes its recover() value here — recover only works when called
+// directly by the deferred function, so this helper takes the value rather
+// than calling recover itself. A panic anywhere below becomes a
+// qerr.ErrInternal-matching error on the operation's named return value.
+// The panic poisons only this call: the session stays usable, the
+// sanitized stack is kept as the session's last error (tagged with the
+// request id when the operation came through the HTTP layer, so the stats
+// report correlates with the access log), and the registry counts the
+// recovery. Panics on merge-engine worker goroutines never reach here —
+// they are recovered at safeMergePair and arrive as ordinary errors; this
+// boundary covers the request goroutine itself.
+func (s *Session) recoverOp(ctx context.Context, op string, r any, errp *error) {
 	if r == nil {
 		return
 	}
 	ie := qerr.Internal(r, debug.Stack())
 	if x, ok := ie.(*qerr.InternalError); ok {
+		if rid := requestID(ctx); rid != "" {
+			x.Recovered += " [request_id=" + rid + "]"
+		}
 		s.lastErr.Store(x)
 	}
 	s.reg.recordPanic()
+	markRequest(ctx, func(ri *reqInfo) { ri.panicked = true })
 	*errp = fmt.Errorf("service: %s: %w", op, ie)
+}
+
+// startOp opens the root span for one client-facing session operation; all
+// child spans below (inference rounds, pair merges, candidate probes,
+// provenance enumeration, feedback turns) hang off it. With tracing
+// disabled the span is nil and every downstream obs call short-circuits.
+func (s *Session) startOp(ctx context.Context, kind string) (context.Context, *obs.Span) {
+	ctx, sp := s.reg.tracer.StartRoot(ctx, kind)
+	if sp != nil {
+		sp.SetLabel("session_id", s.ID)
+		if rid := requestID(ctx); rid != "" {
+			sp.SetLabel("request_id", rid)
+		}
+	}
+	return ctx, sp
+}
+
+// endOp finishes an operation's root span with its outcome, feeds the
+// per-kind latency histograms, appends the snapshot to the session's trace
+// ring and (when configured) the trace journal. Runs during the unwind,
+// after recoverOp, so a recovered panic is visible as err here.
+func (s *Session) endOp(sp *obs.Span, err error, degraded bool) {
+	if sp == nil {
+		return
+	}
+	if n := s.reg.tracer.FinishRoot(sp, outcomeOf(err, degraded)); n != nil {
+		s.recordTrace(n)
+	}
+}
+
+// outcomeOf classifies an operation's result for spans and logs: the same
+// taxonomy writeInferError maps onto HTTP statuses.
+func outcomeOf(err error, degraded bool) string {
+	switch {
+	case err == nil && degraded:
+		return "degraded"
+	case err == nil:
+		return "ok"
+	case errors.Is(err, qerr.ErrInternal):
+		return "panic"
+	case errors.Is(err, qerr.ErrOverloaded):
+		return "shed"
+	case errors.Is(err, qerr.ErrCanceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// recordTrace appends one finished operation trace, evicting the oldest
+// beyond the configured ring size.
+func (s *Session) recordTrace(n *obs.Node) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	s.traces = append(s.traces, n)
+	if max := s.reg.traceRing(); len(s.traces) > max {
+		s.traces = s.traces[len(s.traces)-max:]
+	}
+}
+
+// Traces returns the session's retained operation traces, oldest first.
+// The nodes are immutable snapshots; only the slice is copied.
+func (s *Session) Traces() []*obs.Node {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return append([]*obs.Node(nil), s.traces...)
 }
 
 // close cancels the session's context and waits for its feedback goroutine
@@ -128,8 +211,13 @@ func (s *Session) close() {
 
 // SetExamples validates and installs the example-set, resetting any
 // previous inference outcome and aborting a feedback dialogue in progress.
-func (s *Session) SetExamples(exs provenance.ExampleSet) (err error) {
-	defer s.recoverOp("set examples", &err)
+func (s *Session) SetExamples(ctx context.Context, exs provenance.ExampleSet) (err error) {
+	ctx, sp := s.startOp(ctx, "session.examples")
+	defer func() {
+		s.recoverOp(ctx, "set examples", recover(), &err)
+		s.endOp(sp, err, false)
+	}()
+	sp.SetInt("examples", int64(len(exs)))
 	s.begin()
 	defer s.end()
 	if err := exs.Validate(); err != nil {
@@ -168,8 +256,13 @@ type InferResult struct {
 // wrapped error from inside the merge engine's round loop. A run that
 // exhausts its resource guard but still produced a consistent partial
 // query returns it with Degraded set and a nil error.
-func (s *Session) Infer(ctx context.Context, mode string) (_ InferResult, err error) {
-	defer s.recoverOp("infer", &err)
+func (s *Session) Infer(ctx context.Context, mode string) (res InferResult, err error) {
+	ctx, sp := s.startOp(ctx, "session.infer")
+	defer func() {
+		s.recoverOp(ctx, "infer", recover(), &err)
+		s.endOp(sp, err, res.Degraded)
+	}()
+	sp.SetLabel("mode", mode)
 	s.begin()
 	defer s.end()
 	s.mu.Lock()
@@ -195,7 +288,7 @@ func (s *Session) Infer(ctx context.Context, mode string) (_ InferResult, err er
 	defer s.reg.budget.Release(got)
 	opts.Workers = got
 
-	res := InferResult{Mode: mode}
+	res.Mode = mode
 	var stats core.Stats
 	switch mode {
 	case "simple":
@@ -229,6 +322,9 @@ func (s *Session) Infer(ctx context.Context, mode string) (_ InferResult, err er
 		return InferResult{}, fmt.Errorf("service: unknown inference mode %q", mode)
 	}
 	res.Stats = stats
+	// The root span carries the same counters the response reports, so a
+	// trace can be cross-checked against the client-visible stats.
+	core.AnnotateStats(sp, &stats)
 	s.result = res.Query
 	s.cands = res.Candidates
 	s.counters.Add(stats.Counters())
@@ -341,7 +437,11 @@ func (s *Session) abortFeedbackLocked() {
 // immediate decision when the candidates are indistinguishable. max bounds
 // the number of questions (0 = unbounded).
 func (s *Session) StartFeedback(ctx context.Context, max int) (_ FeedbackEvent, err error) {
-	defer s.recoverOp("start feedback", &err)
+	ctx, sp := s.startOp(ctx, "session.feedback.start")
+	defer func() {
+		s.recoverOp(ctx, "start feedback", recover(), &err)
+		s.endOp(sp, err, false)
+	}()
 	s.begin()
 	defer s.end()
 	s.mu.Lock()
@@ -374,6 +474,17 @@ func (s *Session) StartFeedback(ctx context.Context, max int) (_ FeedbackEvent, 
 		// the panic becomes the dialogue's outcome error, delivered through
 		// the usual channel before exited closes. outcome is buffered, so
 		// the send never blocks even with no request waiting.
+		//
+		// The dialogue also gets its own root span: it outlives the HTTP
+		// request that started it (each question waits on a later request
+		// for its answer), so it cannot hang off the request's span. Its
+		// children are the feedback.question turns; their durations include
+		// user think time.
+		dctx, dsp := s.reg.tracer.StartRoot(s.ctx, "feedback.dialogue")
+		if dsp != nil {
+			dsp.SetLabel("session_id", s.ID)
+			dsp.SetInt("candidates", int64(len(cands)))
+		}
 		defer close(run.exited)
 		defer func() {
 			if r := recover(); r != nil {
@@ -382,10 +493,25 @@ func (s *Session) StartFeedback(ctx context.Context, max int) (_ FeedbackEvent, 
 					s.lastErr.Store(x)
 				}
 				s.reg.recordPanic()
+				if n := s.reg.tracer.FinishRoot(dsp, "panic"); n != nil {
+					s.recordTrace(n)
+				}
 				run.outcome <- feedbackOutcome{idx: -1, err: fmt.Errorf("service: feedback dialogue: %w", ie)}
 			}
 		}()
-		idx, tr, err := fs.ChooseQuery(s.ctx, cands)
+		idx, tr, err := fs.ChooseQuery(dctx, cands)
+		if dsp != nil {
+			if tr != nil {
+				dsp.SetInt("questions", int64(len(tr.Questions)))
+			}
+			outcome := outcomeOf(err, false)
+			if errors.Is(err, qerr.ErrMaxQuestions) {
+				outcome = "truncated"
+			}
+			if n := s.reg.tracer.FinishRoot(dsp, outcome); n != nil {
+				s.recordTrace(n)
+			}
+		}
 		run.outcome <- feedbackOutcome{idx: idx, tr: tr, err: err}
 	}()
 	return s.nextEventLocked(ctx, run, cands)
@@ -398,7 +524,11 @@ func (s *Session) StartFeedback(ctx context.Context, max int) (_ FeedbackEvent, 
 // the pending event is (re)delivered with Redelivered set, and the client
 // answers that. PendingFeedback offers the same recovery as a read.
 func (s *Session) AnswerFeedback(ctx context.Context, include bool) (_ FeedbackEvent, err error) {
-	defer s.recoverOp("answer feedback", &err)
+	ctx, sp := s.startOp(ctx, "session.feedback.answer")
+	defer func() {
+		s.recoverOp(ctx, "answer feedback", recover(), &err)
+		s.endOp(sp, err, false)
+	}()
 	s.begin()
 	defer s.end()
 	s.mu.Lock()
@@ -435,7 +565,11 @@ func (s *Session) AnswerFeedback(ctx context.Context, include bool) (_ FeedbackE
 // previous request was canceled mid-dialogue re-fetches the question it
 // lost.
 func (s *Session) PendingFeedback(ctx context.Context) (_ FeedbackEvent, err error) {
-	defer s.recoverOp("pending feedback", &err)
+	ctx, sp := s.startOp(ctx, "session.feedback.pending")
+	defer func() {
+		s.recoverOp(ctx, "pending feedback", recover(), &err)
+		s.endOp(sp, err, false)
+	}()
 	s.begin()
 	defer s.end()
 	s.mu.Lock()
