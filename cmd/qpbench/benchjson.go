@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"testing"
 	"time"
 
 	"questpro/internal/core"
@@ -32,6 +33,7 @@ type benchEntry struct {
 	K               int     `json:"k,omitempty"`
 	Reps            int     `json:"reps"`
 	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
 	Algorithm1Calls int     `json:"algorithm1_calls"`
 	CacheHits       int     `json:"cache_hits"`
 	CacheMisses     int     `json:"cache_misses"`
@@ -188,6 +190,11 @@ func (r *runner) benchJSON(ctx context.Context, path string) error {
 					return fmt.Errorf("benchjson: %s/%s/%s: %w", name, bq.Name, alg.algorithm, err)
 				}
 				entry.NsPerOp = best.Nanoseconds()
+				entry.AllocsPerOp = testing.AllocsPerRun(1, func() {
+					if _, err := alg.run(); err != nil {
+						panic(err)
+					}
+				})
 				doc.Entries = append(doc.Entries, entry)
 			}
 			break // one query per workload keeps the artifact small and fast

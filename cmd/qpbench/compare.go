@@ -9,8 +9,8 @@ import (
 
 // qpbench compare diffs two bench JSON artifacts (any qpbench schema whose
 // entries carry workload/query/algorithm/ns_per_op) and exits non-zero when
-// any matched entry regressed by more than regressionThreshold in ns/op —
-// the CI gate behind `make bench-compare`. When both artifacts carry a
+// any matched entry regressed by more than regressionThreshold in ns/op or
+// allocs/op — the CI gate behind `make bench-compare`. When both artifacts carry a
 // calibration_ns anchor (the time of a fixed pure-CPU loop measured
 // alongside the suite), current ns/op values are first divided by the
 // calibration ratio, cancelling uniform machine-speed drift between the
@@ -24,11 +24,12 @@ const regressionThreshold = 0.15
 
 // compareEntry is the schema-agnostic slice of one bench entry.
 type compareEntry struct {
-	Workload  string `json:"workload"`
-	Query     string `json:"query"`
-	Algorithm string `json:"algorithm"`
-	NsPerOp   int64  `json:"ns_per_op"`
-	GainEvals int64  `json:"gain_evals"`
+	Workload    string  `json:"workload"`
+	Query       string  `json:"query"`
+	Algorithm   string  `json:"algorithm"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	GainEvals   int64   `json:"gain_evals"`
 }
 
 // compareFile is the schema-agnostic top-level document.
@@ -116,6 +117,20 @@ func runCompare(args []string) int {
 		}
 		fmt.Printf("  %-40s %+6.1f%% %12d -> %12d ns/op  %s\n",
 			entryKey(e), delta*100, b.NsPerOp, e.NsPerOp, verdict)
+		// Allocation gate: allocs/op is machine-independent (no calibration
+		// scaling) and far less noisy than wall clock, so the same threshold
+		// is a much harder bar in practice. Baselines predating the field
+		// (allocs 0/absent) are skipped rather than treated as regressions.
+		if b.AllocsPerOp > 0 && e.AllocsPerOp > 0 {
+			adelta := (e.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+			averdict := "ok"
+			if adelta > *threshold {
+				averdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-40s %+6.1f%% %12.0f -> %12.0f allocs/op  %s\n",
+				"", adelta*100, b.AllocsPerOp, e.AllocsPerOp, averdict)
+		}
 		if b.GainEvals != 0 && e.GainEvals != b.GainEvals {
 			fmt.Printf("  %-40s note: gain_evals %d -> %d (deterministic counter changed)\n",
 				"", b.GainEvals, e.GainEvals)
@@ -135,7 +150,7 @@ func runCompare(args []string) int {
 		return 2
 	}
 	if failed {
-		fmt.Println("compare: FAIL (ns/op regression beyond threshold)")
+		fmt.Println("compare: FAIL (ns/op or allocs/op regression beyond threshold)")
 		return 1
 	}
 	fmt.Println("compare: OK")

@@ -71,10 +71,13 @@ func MergePairCtx(ctx context.Context, a, b *query.Simple, opts Options) (MergeR
 
 // restartOutcome is one grid cell's result; the grid is indexed
 // iter*sweep + f so the sequential replay visits cells in the exact order
-// the original nested restart loop did.
+// the original nested restart loop did. Cells carry only the relation's
+// pair list and its derived variable count (mergeShared.npVar) — the
+// consistent query itself is built exactly once, for the replay's winner,
+// instead of once per cell.
 type restartOutcome struct {
-	q         *query.Simple
-	rel       *Relation
+	pairs     []EdgePair
+	vars      int
 	gain      float64
 	ok        bool // produced a complete relation
 	ran       bool
@@ -111,23 +114,18 @@ func mergePair(ctx context.Context, a, b *query.Simple, opts Options, workers in
 		iter, f := i/sweep, i%sweep
 		var pairs []EdgePair
 		var gain float64
+		var vars int
 		var rok bool
 		if scan {
-			pairs, gain, rok = sc.runScan(sh, iter, sh.disPairs[f])
+			pairs, gain, vars, rok = sc.runScan(sh, iter, sh.disPairs[f])
 		} else {
-			pairs, gain, rok = sc.runHeap(sh, iter, sh.disPairs[f])
+			pairs, gain, vars, rok = sc.runHeap(sh, iter, sh.disPairs[f])
 		}
 		o.gainEvals = sc.evals
 		if !rok {
 			return
 		}
-		rel := &Relation{A: a, B: b, Pairs: pairs}
-		q, err := BuildQuery(rel)
-		if err != nil {
-			o.err = err
-			return
-		}
-		o.q, o.rel, o.gain, o.ok = q, rel, gain, true
+		o.pairs, o.vars, o.gain, o.ok = pairs, vars, gain, true
 	}
 
 	if workers > cells {
@@ -197,16 +195,21 @@ func mergePair(ctx context.Context, a, b *query.Simple, opts Options, workers in
 			continue
 		}
 		if best == nil ||
-			o.q.NumVars() < best.q.NumVars() ||
-			(o.q.NumVars() == best.q.NumVars() && o.gain > best.gain) {
+			o.vars < best.vars ||
+			(o.vars == best.vars && o.gain > best.gain) {
 			best = o
 		}
 	}
 	if best == nil {
 		return MergeResult{GainEvals: evals, Restarts: restarts}, false, nil
 	}
+	rel := &Relation{A: a, B: b, Pairs: best.pairs}
+	q, err := BuildQuery(rel)
+	if err != nil {
+		return MergeResult{}, false, err
+	}
 	return MergeResult{
-		Query: best.q, Relation: best.rel, Gain: best.gain,
+		Query: q, Relation: rel, Gain: best.gain,
 		GainEvals: evals, Restarts: restarts,
 	}, true, nil
 }
@@ -215,15 +218,32 @@ func mergePair(ctx context.Context, a, b *query.Simple, opts Options, workers in
 // order: for each edge of A in edge order, every same-label edge of B in
 // edge order. B's edges are bucketed by label first, so the cost is
 // |A| + |B| + |output| rather than the full |A|·|B| cross-product scan.
+// compatiblePairs enumerates the label-equal edge pairs in (a-edge id,
+// b-edge id) lexicographic order. Patterns have few edges, so the direct
+// O(|E(a)|·|E(b)|) label comparison beats building a by-label map: a
+// counting pass sizes the result exactly and the whole call allocates one
+// slice (this is on the per-MergePair hot path).
 func compatiblePairs(a, b *query.Simple) []EdgePair {
-	byLabel := make(map[string][]query.EdgeID, b.NumEdges())
-	for _, eb := range b.Edges() {
-		byLabel[eb.Label] = append(byLabel[eb.Label], eb.ID)
+	na, nb := a.NumEdges(), b.NumEdges()
+	cnt := 0
+	for i := 0; i < na; i++ {
+		la := a.Edge(query.EdgeID(i)).Label
+		for j := 0; j < nb; j++ {
+			if b.Edge(query.EdgeID(j)).Label == la {
+				cnt++
+			}
+		}
 	}
-	var out []EdgePair
-	for _, ea := range a.Edges() {
-		for _, ebID := range byLabel[ea.Label] {
-			out = append(out, EdgePair{ea.ID, ebID})
+	if cnt == 0 {
+		return nil
+	}
+	out := make([]EdgePair, 0, cnt)
+	for i := 0; i < na; i++ {
+		la := a.Edge(query.EdgeID(i)).Label
+		for j := 0; j < nb; j++ {
+			if b.Edge(query.EdgeID(j)).Label == la {
+				out = append(out, EdgePair{query.EdgeID(i), query.EdgeID(j)})
+			}
 		}
 	}
 	return out

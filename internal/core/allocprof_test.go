@@ -1,0 +1,43 @@
+package core_test
+
+// BenchmarkInferUnionMergeSample mirrors cmd/qpbench benchmerge's sp2b
+// sample (scale 0.35, seed 1, q8b, 8 explanations) so the BENCH_core_merge
+// allocs/op figure can be reproduced — and memprofiled — with plain
+// `go test -bench InferUnionMergeSample -benchmem -memprofile mem.out`.
+
+import (
+	"math/rand"
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/experiments"
+	"questpro/internal/workload/sampling"
+)
+
+func BenchmarkInferUnionMergeSample(b *testing.B) {
+	w, err := experiments.Load("sp2b", 0.35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := w.Evaluator()
+	var target = w.Queries[0].Query
+	for _, bq := range w.Queries {
+		if bq.Name == "q8b" {
+			target = bq.Query
+		}
+	}
+	s := sampling.New(ev, target, rand.New(rand.NewSource(1)))
+	exs, err := s.ExampleSet(bg, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.K = 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.InferUnion(bg, exs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,14 +26,14 @@ func WithDiseqs(ctx context.Context, q *query.Simple, ex provenance.ExampleSet) 
 		return q.Clone(), nil
 	}
 	out := q.Clone()
-	nodes := q.Nodes()
-	for xi := 0; xi < len(nodes); xi++ {
-		x := nodes[xi]
+	nNodes := q.NumNodes()
+	for xi := 0; xi < nNodes; xi++ {
+		x := q.Node(query.NodeID(xi))
 		if !x.Term.IsVar {
 			continue
 		}
-		for yi := 0; yi < len(nodes); yi++ {
-			y := nodes[yi]
+		for yi := 0; yi < nNodes; yi++ {
+			y := q.Node(query.NodeID(yi))
 			if xi == yi || (y.Term.IsVar && yi < xi) {
 				continue // var-var pairs once; var-const pairs for every const
 			}

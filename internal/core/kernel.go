@@ -11,7 +11,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"questpro/internal/query"
 )
@@ -43,18 +42,32 @@ type mergeShared struct {
 	cands    []sharedCand
 	initGain []float64
 
-	// rankOf maps a candidate pair to its ranked position.
-	rankOf map[EdgePair]int32
+	// rankOf maps a candidate pair to its ranked position through a dense
+	// table indexed by the flattened (A-edge, B-edge) interned-id pair
+	// (stride bEdges); -1 for non-candidate pairs. See rank.
+	rankOf []int32
+	bEdges int
 
-	// byNP[np] lists the ranked positions of candidates inducing endpoint
-	// node pair np. It is the increase half of the gain-dirtiness
+	// npVar records, for every endpoint node pair a candidate can induce,
+	// whether BuildQuery would materialize it as a fresh variable (true) or
+	// a shared constant (false). Because query terms are unique per pattern
+	// (Simple.byTerm), two *distinct* node pairs can never carry the same
+	// constant value, so the variable count of the built query equals
+	// exactly the number of induced node pairs with npVar set — letting
+	// finish rank restart outcomes without building the query at all.
+	npVar []bool
+
+	// byNP(np) lists the ranked positions of candidates inducing endpoint
+	// node pair np, stored in CSR form (byNPOff offsets into byNPAdj, in
+	// ranked-position order). It is the increase half of the gain-dirtiness
 	// adjacency: add(pa, pb) can only *raise* the gain of candidates in
 	// byNP of a newly induced endpoint pair (the c3 term) — those must get
 	// fresh heap bounds or they could be starved. Gains can only *fall*
 	// through the c2 term (a candidate's edge getting paired away), and a
 	// fallen gain needs no bookkeeping at all: its heap entries merely
 	// become stale upper bounds, settled by pop-time validation.
-	byNP [][]int32
+	byNPOff []int32
+	byNPAdj []int32
 
 	// disPairs are the distinguished-adjacent pairs ranked by seed gain —
 	// the forced first selections of the sweep (lines 10-12 of Algorithm 1).
@@ -74,63 +87,134 @@ func newMergeShared(a, b *query.Simple, weights [3]float64) (*mergeShared, bool)
 		return nil, false
 	}
 	seed := newRelationState(a, b, weights)
-	type ranked struct {
-		p    EdgePair
-		gain float64
-	}
 	evals := int64(0)
-	var disRanked []ranked
-	for _, p := range candidates {
-		if pairProjects(a, b, a.Edge(p.A), b.Edge(p.B)) {
-			disRanked = append(disRanked, ranked{p, seed.Gain(p.A, p.B)})
-			evals++
-		}
-	}
-	if len(disRanked) == 0 {
-		return nil, false // Lemma 3.2
-	}
-	sort.SliceStable(disRanked, func(i, j int) bool { return disRanked[i].gain > disRanked[j].gain })
-
+	nProj := 0
 	initial := make([]ranked, len(candidates))
 	for i, p := range candidates {
-		initial[i] = ranked{p, seed.Gain(p.A, p.B)}
+		g := seed.Gain(p.A, p.B)
 		evals++
+		proj := pairProjects(a, b, a.Edge(p.A), b.Edge(p.B))
+		if proj {
+			// The distinguished ranking historically re-evaluated the seed
+			// gain of each projecting pair; the eval count is a pinned
+			// deterministic counter, so it is preserved even though the
+			// value is now computed once.
+			evals++
+			nProj++
+		}
+		initial[i] = ranked{p: p, gain: g, proj: proj}
 	}
-	sort.SliceStable(initial, func(i, j int) bool { return initial[i].gain > initial[j].gain })
+	if nProj == 0 {
+		return nil, false // Lemma 3.2
+	}
+	// One stable sort serves both rankings: the distinguished ranking is
+	// (gain desc, candidate order) restricted to projecting pairs, which is
+	// exactly the projecting subsequence of the full stable ranking.
+	stableSortByGain(initial)
 
+	nps := a.NumNodes() * b.NumNodes()
 	sh := &mergeShared{
 		a: a, b: b, weights: weights,
 		cands:       make([]sharedCand, len(initial)),
 		initGain:    make([]float64, len(initial)),
-		rankOf:      make(map[EdgePair]int32, len(initial)),
-		byNP:        make([][]int32, a.NumNodes()*b.NumNodes()),
+		rankOf:      make([]int32, a.NumEdges()*b.NumEdges()),
+		bEdges:      b.NumEdges(),
+		byNPOff:     make([]int32, nps+1),
+		npVar:       make([]bool, nps),
 		sharedEvals: evals,
 	}
+	for i := range sh.rankOf {
+		sh.rankOf[i] = -1
+	}
 	stride := b.NumNodes()
+	adjLen := 0
 	for r, rc := range initial {
 		ea, eb := a.Edge(rc.p.A), b.Edge(rc.p.B)
+		sameFrom := sameConstant(a.Node(ea.From), b.Node(eb.From))
+		sameTo := sameConstant(a.Node(ea.To), b.Node(eb.To))
 		c1 := int8(0)
-		if sameConstant(a.Node(ea.From), b.Node(eb.From)) {
+		if sameFrom {
 			c1++
 		}
-		if sameConstant(a.Node(ea.To), b.Node(eb.To)) {
+		if sameTo {
 			c1++
 		}
 		npFrom := int32(int(ea.From)*stride + int(eb.From))
 		npTo := int32(int(ea.To)*stride + int(eb.To))
 		sh.cands[r] = sharedCand{p: rc.p, c1: c1, npFrom: npFrom, npTo: npTo}
 		sh.initGain[r] = rc.gain
-		sh.rankOf[rc.p] = int32(r)
-		sh.byNP[npFrom] = append(sh.byNP[npFrom], int32(r))
+		sh.rankOf[int(rc.p.A)*sh.bEdges+int(rc.p.B)] = int32(r)
+		sh.npVar[npFrom] = !sameFrom
+		sh.npVar[npTo] = !sameTo
+		sh.byNPOff[npFrom+1]++
+		adjLen++
 		if npTo != npFrom {
-			sh.byNP[npTo] = append(sh.byNP[npTo], int32(r))
+			sh.byNPOff[npTo+1]++
+			adjLen++
 		}
 	}
-	sh.disPairs = make([]EdgePair, len(disRanked))
-	for i, r := range disRanked {
-		sh.disPairs[i] = r.p
+	// Counting-sort fill of the CSR adjacency: offsets by prefix sum, then a
+	// second pass over cands in ranked order keeps each bucket ascending.
+	for np := 0; np < nps; np++ {
+		sh.byNPOff[np+1] += sh.byNPOff[np]
+	}
+	sh.byNPAdj = make([]int32, adjLen)
+	cursor := make([]int32, nps)
+	copy(cursor, sh.byNPOff[:nps])
+	for r := range sh.cands {
+		c := &sh.cands[r]
+		sh.byNPAdj[cursor[c.npFrom]] = int32(r)
+		cursor[c.npFrom]++
+		if c.npTo != c.npFrom {
+			sh.byNPAdj[cursor[c.npTo]] = int32(r)
+			cursor[c.npTo]++
+		}
+	}
+	sh.disPairs = make([]EdgePair, 0, nProj)
+	for _, r := range initial {
+		if r.proj {
+			sh.disPairs = append(sh.disPairs, r.p)
+		}
 	}
 	return sh, true
+}
+
+// ranked is one candidate pair with its seed gain during the shared initial
+// ranking; proj marks distinguished-adjacent pairs (see disPairs).
+type ranked struct {
+	p    EdgePair
+	gain float64
+	proj bool
+}
+
+// stableSortByGain sorts by gain descending, preserving the input order of
+// equal-gain entries (binary-insertion sort). Candidate sets are small —
+// label-compatible pairs between two query patterns — and the hand-rolled
+// sort avoids sort.SliceStable's per-call reflection allocations, which
+// dominated newMergeShared's allocation profile.
+func stableSortByGain(s []ranked) {
+	for i := 1; i < len(s); i++ {
+		x := s[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s[mid].gain < x.gain {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo < i {
+			copy(s[lo+1:i+1], s[lo:i])
+			s[lo] = x
+		}
+	}
+}
+
+// rank returns the ranked position of a candidate pair (-1 if p is not a
+// candidate) via the dense id-pair table.
+func (sh *mergeShared) rank(p EdgePair) int32 {
+	return sh.rankOf[int(p.A)*sh.bEdges+int(p.B)]
 }
 
 // heapEntry is one (gain bound, ranked position) heap element. Entries are
@@ -263,7 +347,7 @@ func (sc *restartScratch) selectCand(sh *mergeShared, pos int32) {
 // has an entry ≥ its true gain) is maintained at zero evaluation cost.
 func (sc *restartScratch) bump(sh *mergeShared, np int32) {
 	w3 := sh.weights[2]
-	for _, r := range sh.byNP[np] {
+	for _, r := range sh.byNPAdj[sh.byNPOff[np]:sh.byNPOff[np+1]] {
 		if !sc.alive[r] {
 			continue
 		}
@@ -302,7 +386,7 @@ func (sc *restartScratch) begin(sh *mergeShared, skip int, first EdgePair) (int3
 	if skip >= len(sh.cands) {
 		return 0, false
 	}
-	firstPos := sh.rankOf[first]
+	firstPos := sh.rank(first)
 	if int(firstPos) < skip {
 		return 0, false // diversification removed the forced first pair
 	}
@@ -312,12 +396,21 @@ func (sc *restartScratch) begin(sh *mergeShared, skip int, first EdgePair) (int3
 
 // finish extracts the completed relation, or fails when edges remain
 // uncovered. The pair list is copied out: the scratch is reused by the next
-// cell, but the winning relation escapes into the MergeResult.
-func (sc *restartScratch) finish() ([]EdgePair, float64, bool) {
+// cell, but the winning relation escapes into the MergeResult. The variable
+// count of the query the relation leads to is derived directly from the
+// touched node pairs (see mergeShared.npVar) — exactly NumVars of
+// BuildQuery's output — so only the grid's winning cell ever builds a query.
+func (sc *restartScratch) finish(sh *mergeShared) ([]EdgePair, float64, int, bool) {
 	if !sc.st.allPaired() {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
-	return append([]EdgePair(nil), sc.st.pairs...), sc.st.gain, true
+	vars := 0
+	for _, np := range sc.st.npTouched {
+		if sh.npVar[np] {
+			vars++
+		}
+	}
+	return append([]EdgePair(nil), sc.st.pairs...), sc.st.gain, vars, true
 }
 
 // runHeap performs one greedy restart with the incremental bound-heap
@@ -332,10 +425,10 @@ func (sc *restartScratch) finish() ([]EdgePair, float64, bool) {
 // ties at equal gain by ranked position — exactly the reference scan's
 // "first strict maximum", byte for byte. Otherwise the corrected entry is
 // requeued to contend at its true gain.
-func (sc *restartScratch) runHeap(sh *mergeShared, skip int, first EdgePair) ([]EdgePair, float64, bool) {
+func (sc *restartScratch) runHeap(sh *mergeShared, skip int, first EdgePair) ([]EdgePair, float64, int, bool) {
 	firstPos, ok := sc.begin(sh, skip, first)
 	if !ok {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	n := len(sh.cands)
 	sc.heap = sc.heap[:0]
@@ -379,7 +472,7 @@ func (sc *restartScratch) runHeap(sh *mergeShared, skip int, first EdgePair) ([]
 		sc.selectCand(sh, pos)
 		remaining--
 	}
-	return sc.finish()
+	return sc.finish(sh)
 }
 
 // runScan is the retained reference kernel: the original full-rescan greedy
@@ -388,10 +481,10 @@ func (sc *restartScratch) runHeap(sh *mergeShared, skip int, first EdgePair) ([]
 // baseline for the gain-evaluation counter — including the per-restart
 // initial ranking pass the original performed, which the shared
 // precomputation now hoists.
-func (sc *restartScratch) runScan(sh *mergeShared, skip int, first EdgePair) ([]EdgePair, float64, bool) {
+func (sc *restartScratch) runScan(sh *mergeShared, skip int, first EdgePair) ([]EdgePair, float64, int, bool) {
 	firstPos, ok := sc.begin(sh, skip, first)
 	if !ok {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	n := len(sh.cands)
 	for r := 0; r < n; r++ {
@@ -431,5 +524,5 @@ func (sc *restartScratch) runScan(sh *mergeShared, skip int, first EdgePair) ([]
 		sc.alive[bestIdx] = false
 		remaining--
 	}
-	return sc.finish()
+	return sc.finish(sh)
 }

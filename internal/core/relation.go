@@ -126,12 +126,20 @@ type relationState struct {
 }
 
 func newRelationState(a, b *query.Simple, weights [3]float64) *relationState {
+	// pairs and npTouched get their worst-case capacity up front (every
+	// candidate pair selected; both its endpoints fresh) — a state is built
+	// once per MergePair per worker, and letting append grow these from nil
+	// was a measurable slice-churn cost on the merge hot path.
+	maxPairs := a.NumEdges() * b.NumEdges()
+	maxNPs := a.NumNodes() * b.NumNodes()
 	return &relationState{
 		a: a, b: b, weights: weights,
 		pairedA:   make([]bool, a.NumEdges()),
 		pairedB:   make([]bool, b.NumEdges()),
-		nodePairs: make([]bool, a.NumNodes()*b.NumNodes()),
+		nodePairs: make([]bool, maxNPs),
 		npStride:  b.NumNodes(),
+		pairs:     make([]EdgePair, 0, maxPairs),
+		npTouched: make([]int32, 0, maxNPs),
 	}
 }
 
@@ -202,7 +210,8 @@ func BuildQuery(r *Relation) (*query.Simple, error) {
 		return nil, fmt.Errorf("core: relation is not complete")
 	}
 	q := query.NewSimple()
-	nodes := map[nodePair]query.NodeID{}
+	q.Grow(2*len(r.Pairs), len(r.Pairs))
+	nodes := make(map[nodePair]query.NodeID, 2*len(r.Pairs))
 	materialize := func(na, nb query.Node) (query.NodeID, error) {
 		key := nodePair{na.ID, nb.ID}
 		if id, ok := nodes[key]; ok {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"questpro/internal/graph"
 	"questpro/internal/provenance"
 	"questpro/internal/query"
 )
@@ -11,8 +12,9 @@ import (
 // labelCounts tallies the edge labels of an explanation.
 func labelCounts(ex provenance.Explanation) map[string]int {
 	out := map[string]int{}
-	for _, e := range ex.Graph.Edges() {
-		out[e.Label]++
+	g := ex.Graph
+	for i, n := 0, g.NumEdges(); i < n; i++ {
+		out[g.Edge(graph.EdgeID(i)).Label]++
 	}
 	return out
 }

@@ -54,8 +54,11 @@ type Evaluator struct {
 	meter *Meter
 }
 
-// New returns an evaluator over the given ontology.
+// New returns an evaluator over the given ontology. The ontology is frozen
+// up front (graph.Graph.Freeze) so no query pays the CSR build; later
+// mutations of the graph remain legal and simply re-freeze on next access.
 func New(o *graph.Graph) *Evaluator {
+	o.Freeze()
 	return &Evaluator{o: o, CheckTypes: true}
 }
 
@@ -92,10 +95,14 @@ func (m *Match) Clone() *Match {
 
 // state carries one in-flight backtracking search.
 type state struct {
-	ev        *Evaluator
-	ctx       context.Context
-	q         *query.Simple
-	plan      []query.EdgeID
+	ev   *Evaluator
+	ctx  context.Context
+	q    *query.Simple
+	plan []query.EdgeID
+	// planLab holds, aligned with plan, each edge's label resolved to the
+	// ontology's interned id (graph.NoLabel when absent), so the recursion
+	// never hashes a label string.
+	planLab   []graph.LabelID
 	match     Match
 	steps     int
 	max       int
@@ -133,25 +140,27 @@ func (ev *Evaluator) MatchesInto(ctx context.Context, q *query.Simple, pre map[q
 		return fmt.Errorf("eval: matcher: %w", err)
 	}
 	n := q.NumNodes()
-	st := &state{
-		ev:    ev,
-		ctx:   ctx,
-		q:     q,
-		match: Match{Nodes: make([]graph.NodeID, n), Edges: make([]graph.EdgeID, q.NumEdges())},
-		max:   ev.MaxSteps,
-		visit: visit,
-	}
+	sc := getScratch()
+	defer putScratch(sc)
+	st := &sc.st
+	st.ev = ev
+	st.ctx = ctx
+	st.q = q
+	st.match.Nodes = nodeBuf(st.match.Nodes, n)
+	st.match.Edges = edgeBuf(st.match.Edges, q.NumEdges())
+	st.steps = 0
+	st.max = ev.MaxSteps
+	st.visit = visit
+	st.done = false
+	st.found = 0
+	st.canceled, st.exhausted = false, false
+	st.fault = nil
 	if st.max <= 0 {
 		st.max = DefaultMaxSteps
 	}
-	for i := range st.match.Nodes {
-		st.match.Nodes[i] = graph.NoNode
-	}
-	for i := range st.match.Edges {
-		st.match.Edges[i] = graph.NoEdge
-	}
 	// Bind constants up front; a missing constant means no matches.
-	for _, qn := range q.Nodes() {
+	for i := 0; i < n; i++ {
+		qn := q.Node(query.NodeID(i))
 		if qn.Term.IsVar {
 			continue
 		}
@@ -175,7 +184,10 @@ func (ev *Evaluator) MatchesInto(ctx context.Context, q *query.Simple, pre map[q
 		}
 		st.match.Nodes[qid] = oid
 	}
-	st.plan = planEdges(q, st.match.Nodes)
+	sc.used = boolBuf(sc.used, q.NumEdges())
+	sc.bound = boolBuf(sc.bound, n)
+	st.plan = planEdgesInto(st.plan, sc.used, sc.bound, q, st.match.Nodes)
+	st.planLab = resolvePlanLabels(st.planLab, ev.o, q, st.plan)
 	st.rec(0)
 	if st.canceled {
 		return qerr.Canceled(ctx.Err())
@@ -241,6 +253,7 @@ func (st *state) rec(k int) bool {
 		return true
 	}
 	qe := st.q.Edge(st.plan[k])
+	lid := st.planLab[k]
 	optional := st.q.IsOptional(qe.ID)
 	foundBefore := st.found
 	from, to := st.match.Nodes[qe.From], st.match.Nodes[qe.To]
@@ -288,25 +301,25 @@ func (st *state) rec(k int) bool {
 	o := st.ev.o
 	switch {
 	case from != graph.NoNode && to != graph.NoNode:
-		if e, ok := o.FindEdge(from, to, qe.Label); ok {
+		if e, ok := o.FindEdgeID(from, to, lid); ok {
 			if !try(e) {
 				return false
 			}
 		}
 	case from != graph.NoNode:
-		for _, eid := range o.EdgesByLabelFrom(qe.Label, from) {
+		for _, eid := range o.EdgesByLabelIDFrom(lid, from) {
 			if !try(o.Edge(eid)) {
 				return false
 			}
 		}
 	case to != graph.NoNode:
-		for _, eid := range o.EdgesByLabelTo(qe.Label, to) {
+		for _, eid := range o.EdgesByLabelIDTo(lid, to) {
 			if !try(o.Edge(eid)) {
 				return false
 			}
 		}
 	default:
-		for _, eid := range o.EdgesByLabel(qe.Label) {
+		for _, eid := range o.EdgesByLabelID(lid) {
 			if !try(o.Edge(eid)) {
 				return false
 			}

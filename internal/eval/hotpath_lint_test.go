@@ -1,0 +1,52 @@
+package eval_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The copying accessors query.Simple.Nodes()/Edges() and
+// graph.Graph.Nodes()/Edges() allocate a full slice copy per call; inside
+// evaluation or merge-kernel loops that turns into O(N) or O(N²) garbage per
+// operation (the planEdges regression this PR fixed). This lint pins the hot
+// files to the id-indexed iteration style: any reintroduced call to a
+// copying accessor in one of these files fails the test and must either be
+// converted (NumNodes/NumEdges + Node(id)/Edge(id)) or consciously
+// exempted here with a justification.
+func TestHotPathsAvoidCopyingAccessors(t *testing.T) {
+	hotFiles := []string{
+		"eval.go",
+		"plan.go",
+		"probe.go",
+		"results.go",
+		"provenance.go",
+		"parallel.go",
+		"../core/kernel.go",
+		"../core/algorithm1.go",
+		"../core/relation.go",
+		"../core/trivial.go",
+		"../core/diseq.go",
+		"../query/simple.go",
+	}
+	// Matches method calls of the copying accessors; field accesses like
+	// m.Edges[i] and methods like u.Branches() do not match.
+	re := regexp.MustCompile(`\.(Nodes|Edges)\(\)`)
+	for _, f := range hotFiles {
+		src, err := os.ReadFile(filepath.FromSlash(f))
+		if err != nil {
+			t.Fatalf("hot file %s unreadable: %v", f, err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			code := line
+			if idx := strings.Index(code, "//"); idx >= 0 {
+				code = code[:idx] // comments may mention the accessors
+			}
+			if m := re.FindString(code); m != "" {
+				t.Errorf("%s:%d: hot path calls copying accessor %q — iterate ids via NumNodes/NumEdges instead", f, i+1, m)
+			}
+		}
+	}
+}

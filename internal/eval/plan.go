@@ -13,10 +13,26 @@ import (
 // mandatory edge (the left-join semantics of the OPTIONAL extension binds
 // them against a complete mandatory match).
 func planEdges(q *query.Simple, initial []graph.NodeID) []query.EdgeID {
+	nEdges, nNodes := q.NumEdges(), q.NumNodes()
+	return planEdgesInto(make([]query.EdgeID, 0, nEdges),
+		make([]bool, nEdges), make([]bool, nNodes), q, initial)
+}
+
+// planEdgesInto is planEdges over caller-owned buffers: plan is truncated
+// and refilled (grown only if its capacity is short), used must hold at
+// least NumEdges entries and bound at least NumNodes, both all-false on
+// entry. Selection iterates edge and node ids directly — the one pass over
+// ids replaces the former copying q.Edges()/q.Nodes() calls inside the
+// selection loop, so planning is O(E²) comparisons but O(1) allocations on
+// a warm buffer set.
+func planEdgesInto(plan []query.EdgeID, used, bound []bool, q *query.Simple, initial []graph.NodeID) []query.EdgeID {
 	nEdges := q.NumEdges()
-	plan := make([]query.EdgeID, 0, nEdges)
-	used := make([]bool, nEdges)
-	bound := make([]bool, q.NumNodes())
+	nNodes := q.NumNodes()
+	if cap(plan) < nEdges {
+		plan = make([]query.EdgeID, 0, nEdges)
+	} else {
+		plan = plan[:0]
+	}
 	for i, b := range initial {
 		bound[i] = b != graph.NoNode
 	}
@@ -24,27 +40,29 @@ func planEdges(q *query.Simple, initial []graph.NodeID) []query.EdgeID {
 	// Each bound endpoint must outweigh any achievable degree sum, so that
 	// anchoring always dominates and the degree term only breaks ties.
 	boundWeight := 1
-	for _, n := range q.Nodes() {
-		if d := q.Degree(n.ID); d >= boundWeight {
+	for n := 0; n < nNodes; n++ {
+		if d := q.Degree(query.NodeID(n)); d >= boundWeight {
 			boundWeight = d + 1
 		}
 	}
 	boundWeight *= 2
-	for _, e := range q.Edges() {
-		if !q.IsOptional(e.ID) {
+	for ei := 0; ei < nEdges; ei++ {
+		if !q.IsOptional(query.EdgeID(ei)) {
 			mandatoryLeft++
 		}
 	}
 	for len(plan) < nEdges {
 		best := query.EdgeID(-1)
 		bestScore := -1
-		for _, e := range q.Edges() {
-			if used[e.ID] {
+		for ei := 0; ei < nEdges; ei++ {
+			id := query.EdgeID(ei)
+			if used[ei] {
 				continue
 			}
-			if mandatoryLeft > 0 && q.IsOptional(e.ID) {
+			if mandatoryLeft > 0 && q.IsOptional(id) {
 				continue
 			}
+			e := q.Edge(id)
 			score := 0
 			if bound[e.From] {
 				score += boundWeight
@@ -64,7 +82,7 @@ func planEdges(q *query.Simple, initial []graph.NodeID) []query.EdgeID {
 			}
 			if score > bestScore {
 				bestScore = score
-				best = e.ID
+				best = id
 			}
 		}
 		e := q.Edge(best)
@@ -77,4 +95,21 @@ func planEdges(q *query.Simple, initial []graph.NodeID) []query.EdgeID {
 		plan = append(plan, best)
 	}
 	return plan
+}
+
+// resolvePlanLabels fills labs (resized from buf) with the ontology-interned
+// label id of each plan edge, so the matcher's inner loop selects adjacency
+// runs by integer id instead of hashing the label string at every step. A
+// label absent from the ontology resolves to graph.NoLabel, for which every
+// id-keyed accessor returns the empty run.
+func resolvePlanLabels(buf []graph.LabelID, o *graph.Graph, q *query.Simple, plan []query.EdgeID) []graph.LabelID {
+	if cap(buf) < len(plan) {
+		buf = make([]graph.LabelID, len(plan))
+	} else {
+		buf = buf[:len(plan)]
+	}
+	for i, eid := range plan {
+		buf[i] = o.LabelID(q.Edge(eid).Label)
+	}
+	return buf
 }

@@ -1,0 +1,74 @@
+//go:build !race
+
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"questpro/internal/graph"
+	"questpro/internal/query"
+)
+
+// planAllocFixture builds a star-join query over a small ontology; enough
+// edges that a per-iteration q.Edges() copy inside the selection loop would
+// show up immediately in the allocation count.
+func planAllocFixture() (*graph.Graph, *query.Simple) {
+	o := graph.New()
+	o.MustAddTriple("hub", "p0", "s0")
+	for i := 0; i < 7; i++ {
+		o.MustAddTriple("hub", "p"+string(rune('1'+i)), "t"+string(rune('0'+i)))
+	}
+	q := query.NewSimple()
+	hub := q.MustEnsureNode(query.Var("h"), "")
+	for i := 0; i < 8; i++ {
+		leaf := q.MustEnsureNode(query.Var("l"+string(rune('0'+i))), "")
+		q.MustAddEdge(hub, leaf, "p"+string(rune('0'+i)))
+	}
+	if err := q.SetProjected(hub); err != nil {
+		panic(err)
+	}
+	return o, q
+}
+
+// planEdges formerly re-invoked the copying q.Edges() accessor inside its
+// selection loop — O(E²) allocations per plan. The id-indexed rewrite
+// allocates exactly its three output/mark buffers regardless of query size.
+func TestPlanEdgesAllocations(t *testing.T) {
+	_, q := planAllocFixture()
+	initial := make([]graph.NodeID, q.NumNodes())
+	for i := range initial {
+		initial[i] = graph.NoNode
+	}
+	initial[q.Projected()] = 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if p := planEdges(q, initial); len(p) != q.NumEdges() {
+			t.Fatalf("plan covers %d edges, want %d", len(p), q.NumEdges())
+		}
+	})
+	if allocs > 3 {
+		t.Fatalf("planEdges allocated %.0f objects per call, want <= 3 (plan, used, bound); the selection loop is copying accessors again", allocs)
+	}
+}
+
+// With the sync.Pool scratch arena, a warm MatchesInto performs no steady-
+// state allocation beyond what the visit callback itself does. The bound is
+// loose only because a GC between runs may flush the pool.
+func TestMatchesIntoPooledAllocs(t *testing.T) {
+	o, q := planAllocFixture()
+	ev := New(o)
+	ctx := context.Background()
+	count := 0
+	visit := func(*Match) bool { count++; return true }
+	if err := ev.MatchesInto(ctx, q, nil, visit); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := ev.MatchesInto(ctx, q, nil, visit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 10 {
+		t.Fatalf("warm MatchesInto allocated %.1f objects per call; the scratch pool is not being reused", allocs)
+	}
+}

@@ -37,7 +37,8 @@ func newProber(ev *Evaluator, q *query.Simple, proj query.NodeID) *prober {
 	for i := range p.base {
 		p.base[i] = graph.NoNode
 	}
-	for _, qn := range q.Nodes() {
+	for i := 0; i < n; i++ {
+		qn := q.Node(query.NodeID(i))
 		if qn.Term.IsVar {
 			continue
 		}
@@ -50,13 +51,15 @@ func newProber(ev *Evaluator, q *query.Simple, proj query.NodeID) *prober {
 	}
 	planNodes := append([]graph.NodeID(nil), p.base...)
 	planNodes[proj] = 0 // any bound value: planEdges only tests != NoNode
+	plan := planEdges(q, planNodes)
 	p.st = state{
-		ev:    ev,
-		q:     q,
-		plan:  planEdges(q, planNodes),
-		match: Match{Nodes: make([]graph.NodeID, n), Edges: make([]graph.EdgeID, q.NumEdges())},
-		max:   ev.MaxSteps,
-		visit: func(*Match) bool { p.found = true; return false },
+		ev:      ev,
+		q:       q,
+		plan:    plan,
+		planLab: resolvePlanLabels(nil, ev.o, q, plan),
+		match:   Match{Nodes: make([]graph.NodeID, n), Edges: make([]graph.EdgeID, q.NumEdges())},
+		max:     ev.MaxSteps,
+		visit:   func(*Match) bool { p.found = true; return false },
 	}
 	if p.st.max <= 0 {
 		p.st.max = DefaultMaxSteps

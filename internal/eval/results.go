@@ -186,9 +186,10 @@ func (ev *Evaluator) projectedCandidates(q *query.Simple) []graph.NodeID {
 	}
 	// Isolated projected variable: every type-compatible node qualifies.
 	all := make([]graph.NodeID, 0, ev.o.NumNodes())
-	for _, n := range ev.o.Nodes() {
-		if ev.nodeCompatible(pn, n.ID) {
-			all = append(all, n.ID)
+	for i, n := 0, ev.o.NumNodes(); i < n; i++ {
+		id := graph.NodeID(i)
+		if ev.nodeCompatible(pn, id) {
+			all = append(all, id)
 		}
 	}
 	return all

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"sync"
+
+	"questpro/internal/graph"
+)
+
+// scratch is the pooled per-search buffer arena behind MatchesInto: the
+// backtracking state, its match buffers, the plan and its resolved label
+// ids, and the planner's mark buffers all live here, so a search allocates
+// nothing once the pool is warm.
+//
+// Ownership rules (DESIGN.md §10): a scratch is owned by exactly one
+// MatchesInto call, from getScratch to putScratch. The *Match handed to
+// visit callbacks aliases the scratch's buffers and must be cloned if
+// retained beyond the callback. Nothing may hold any scratch buffer across
+// the put — the next search will overwrite it. Probers (probe.go) hold
+// their state privately per query instead of pooling, because their buffers
+// must survive across many probe calls.
+type scratch struct {
+	st    state
+	used  []bool
+	bound []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+// putScratch drops the pointer-typed fields that would otherwise pin the
+// evaluator/query/context alive inside the pool, and recycles the buffers.
+func putScratch(s *scratch) {
+	s.st.ev = nil
+	s.st.ctx = nil
+	s.st.q = nil
+	s.st.visit = nil
+	s.st.fault = nil
+	scratchPool.Put(s)
+}
+
+// nodeBuf resizes buf to n entries, all reset to graph.NoNode.
+func nodeBuf(buf []graph.NodeID, n int) []graph.NodeID {
+	if cap(buf) < n {
+		buf = make([]graph.NodeID, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		buf[i] = graph.NoNode
+	}
+	return buf
+}
+
+// edgeBuf resizes buf to n entries, all reset to graph.NoEdge.
+func edgeBuf(buf []graph.EdgeID, n int) []graph.EdgeID {
+	if cap(buf) < n {
+		buf = make([]graph.EdgeID, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		buf[i] = graph.NoEdge
+	}
+	return buf
+}
+
+// boolBuf resizes buf to n entries, all reset to false.
+func boolBuf(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}

@@ -1,0 +1,149 @@
+package graph
+
+import "sort"
+
+// csrIndex is the frozen, flat-slice adjacency form of a Graph (DESIGN.md
+// §10): five compressed-sparse-row views over the edge list, replacing the
+// former out/in/byLabel/bySrcLabel/byTgtLabel maps. All buckets list edge
+// ids in ascending (insertion) order — exactly the order the map-based
+// indexes appended them in — so every enumeration the matcher performs over
+// a frozen graph is byte-identical to the pre-CSR engine's.
+//
+// A csrIndex is immutable after construction and safe for concurrent reads;
+// any graph mutation discards it (see Graph.invalidate) and the next
+// adjacency query rebuilds it.
+type csrIndex struct {
+	// edgeLab aliases the graph's per-edge interned label array at freeze
+	// time (append-only, so sharing is safe while the index is valid).
+	edgeLab []LabelID
+
+	// outAdj[outOff[n]:outOff[n+1]] = ids of edges with From == n, ascending.
+	outOff []int32
+	outAdj []EdgeID
+	// inAdj[inOff[n]:inOff[n+1]] = ids of edges with To == n, ascending.
+	inOff []int32
+	inAdj []EdgeID
+	// labAdj[labOff[l]:labOff[l+1]] = ids of edges labeled l, ascending.
+	labOff []int32
+	labAdj []EdgeID
+	// srcAdj[srcOff[n]:srcOff[n+1]] = ids of edges with From == n, sorted by
+	// (label id, edge id); the (src, label) run is found by binary search.
+	srcOff []int32
+	srcAdj []EdgeID
+	// tgtAdj is the symmetric (tgt, label) view.
+	tgtOff []int32
+	tgtAdj []EdgeID
+
+	// byDegree lists every node id ordered by total degree descending (ties
+	// by id ascending) — the degree-ordered candidate list planners consult
+	// to anchor searches on the most-connected nodes first.
+	byDegree []NodeID
+	// maxDegree is the largest total (in + out) degree.
+	maxDegree int
+}
+
+// bucketize builds one CSR view: off[k+1]-off[k] run sizes from keyOf over
+// the ids visited in order, then fills adj so each bucket preserves the
+// visit order. buckets is the number of distinct keys.
+func bucketize(buckets int, n int, keyOf func(i int) int32, idOf func(i int) EdgeID) (off []int32, adj []EdgeID) {
+	off = make([]int32, buckets+1)
+	for i := 0; i < n; i++ {
+		off[keyOf(i)+1]++
+	}
+	for k := 0; k < buckets; k++ {
+		off[k+1] += off[k]
+	}
+	adj = make([]EdgeID, n)
+	cursor := make([]int32, buckets)
+	copy(cursor, off[:buckets])
+	for i := 0; i < n; i++ {
+		k := keyOf(i)
+		adj[cursor[k]] = idOf(i)
+		cursor[k]++
+	}
+	return off, adj
+}
+
+// buildCSR freezes the graph's current edge list into its flat form.
+func buildCSR(g *Graph) *csrIndex {
+	n := len(g.nodes)
+	m := len(g.edges)
+	labels := g.labels.Len()
+	c := &csrIndex{edgeLab: g.edgeLab}
+
+	edgeAt := func(i int) EdgeID { return EdgeID(i) }
+	c.outOff, c.outAdj = bucketize(n, m,
+		func(i int) int32 { return int32(g.edges[i].From) }, edgeAt)
+	c.inOff, c.inAdj = bucketize(n, m,
+		func(i int) int32 { return int32(g.edges[i].To) }, edgeAt)
+	c.labOff, c.labAdj = bucketize(labels, m,
+		func(i int) int32 { return int32(g.edgeLab[i]) }, edgeAt)
+
+	// Bucketing the label-ordered edge list by endpoint yields, within each
+	// endpoint's run, (label id, edge id) ascending order — the (endpoint,
+	// label) runs binary-searched by EdgesByLabelIDFrom/To.
+	c.srcOff, c.srcAdj = bucketize(n, m,
+		func(i int) int32 { return int32(g.edges[c.labAdj[i]].From) },
+		func(i int) EdgeID { return c.labAdj[i] })
+	c.tgtOff, c.tgtAdj = bucketize(n, m,
+		func(i int) int32 { return int32(g.edges[c.labAdj[i]].To) },
+		func(i int) EdgeID { return c.labAdj[i] })
+
+	c.byDegree = make([]NodeID, n)
+	for i := range c.byDegree {
+		c.byDegree[i] = NodeID(i)
+	}
+	deg := func(id NodeID) int {
+		return int(c.outOff[id+1]-c.outOff[id]) + int(c.inOff[id+1]-c.inOff[id])
+	}
+	sort.Slice(c.byDegree, func(i, j int) bool {
+		di, dj := deg(c.byDegree[i]), deg(c.byDegree[j])
+		if di != dj {
+			return di > dj
+		}
+		return c.byDegree[i] < c.byDegree[j]
+	})
+	if n > 0 {
+		c.maxDegree = deg(c.byDegree[0])
+	}
+	return c
+}
+
+// labelRun binary-searches the (endpoint, label) run inside one endpoint's
+// srcAdj/tgtAdj bucket: the bucket is sorted by (label id, edge id), so the
+// run is a contiguous half-open interval. Hand-rolled (rather than
+// sort.Search) to keep the matcher's hot path free of closure allocations.
+func (c *csrIndex) labelRun(adj []EdgeID, lo, hi int32, lid LabelID) []EdgeID {
+	first, last := lo, hi
+	for first < last {
+		mid := (first + last) / 2
+		if c.edgeLab[adj[mid]] < lid {
+			first = mid + 1
+		} else {
+			last = mid
+		}
+	}
+	start := first
+	last = hi
+	for first < last {
+		mid := (first + last) / 2
+		if c.edgeLab[adj[mid]] <= lid {
+			first = mid + 1
+		} else {
+			last = mid
+		}
+	}
+	return adj[start:first]
+}
+
+func (c *csrIndex) out(n NodeID) []EdgeID { return c.outAdj[c.outOff[n]:c.outOff[n+1]] }
+func (c *csrIndex) in(n NodeID) []EdgeID  { return c.inAdj[c.inOff[n]:c.inOff[n+1]] }
+func (c *csrIndex) label(l LabelID) []EdgeID {
+	return c.labAdj[c.labOff[l]:c.labOff[l+1]]
+}
+func (c *csrIndex) srcLabel(n NodeID, l LabelID) []EdgeID {
+	return c.labelRun(c.srcAdj, c.srcOff[n], c.srcOff[n+1], l)
+}
+func (c *csrIndex) tgtLabel(n NodeID, l LabelID) []EdgeID {
+	return c.labelRun(c.tgtAdj, c.tgtOff[n], c.tgtOff[n+1], l)
+}

@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// bruteAdjacency recomputes every adjacency answer straight from the edge
+// list, mimicking the pre-CSR map-based builder: buckets accumulate edge ids
+// in insertion (= ascending id) order.
+type bruteAdjacency struct {
+	out, in    map[NodeID][]EdgeID
+	byLabel    map[string][]EdgeID
+	bySrcLabel map[string][]EdgeID // key "src/label"
+	byTgtLabel map[string][]EdgeID
+}
+
+func bruteForce(g *Graph) *bruteAdjacency {
+	b := &bruteAdjacency{
+		out: map[NodeID][]EdgeID{}, in: map[NodeID][]EdgeID{},
+		byLabel:    map[string][]EdgeID{},
+		bySrcLabel: map[string][]EdgeID{}, byTgtLabel: map[string][]EdgeID{},
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		b.out[e.From] = append(b.out[e.From], e.ID)
+		b.in[e.To] = append(b.in[e.To], e.ID)
+		b.byLabel[e.Label] = append(b.byLabel[e.Label], e.ID)
+		sk := fmt.Sprintf("%d/%s", e.From, e.Label)
+		tk := fmt.Sprintf("%d/%s", e.To, e.Label)
+		b.bySrcLabel[sk] = append(b.bySrcLabel[sk], e.ID)
+		b.byTgtLabel[tk] = append(b.byTgtLabel[tk], e.ID)
+	}
+	return b
+}
+
+func sameIDs(t *testing.T, what string, got, want []EdgeID) {
+	t.Helper()
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: got %v, want %v", what, got, want)
+	}
+}
+
+// assertParity checks every accessor of g against the brute-force recompute.
+func assertParity(t *testing.T, g *Graph) {
+	t.Helper()
+	b := bruteForce(g)
+	labels := g.Labels()
+	maxDeg := 0
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		sameIDs(t, fmt.Sprintf("OutEdges(%d)", n), g.OutEdges(id), b.out[id])
+		sameIDs(t, fmt.Sprintf("InEdges(%d)", n), g.InEdges(id), b.in[id])
+		wantDeg := len(b.out[id]) + len(b.in[id])
+		if got := g.Degree(id); got != wantDeg {
+			t.Fatalf("Degree(%d) = %d, want %d", n, got, wantDeg)
+		}
+		if wantDeg > maxDeg {
+			maxDeg = wantDeg
+		}
+		for _, l := range labels {
+			sameIDs(t, fmt.Sprintf("EdgesByLabelFrom(%q, %d)", l, n),
+				g.EdgesByLabelFrom(l, id), b.bySrcLabel[fmt.Sprintf("%d/%s", n, l)])
+			sameIDs(t, fmt.Sprintf("EdgesByLabelTo(%q, %d)", l, n),
+				g.EdgesByLabelTo(l, id), b.byTgtLabel[fmt.Sprintf("%d/%s", n, l)])
+			lid := g.LabelID(l)
+			sameIDs(t, fmt.Sprintf("EdgesByLabelIDFrom(%q, %d)", l, n),
+				g.EdgesByLabelIDFrom(lid, id), b.bySrcLabel[fmt.Sprintf("%d/%s", n, l)])
+			sameIDs(t, fmt.Sprintf("EdgesByLabelIDTo(%q, %d)", l, n),
+				g.EdgesByLabelIDTo(lid, id), b.byTgtLabel[fmt.Sprintf("%d/%s", n, l)])
+		}
+	}
+	if got := g.MaxDegree(); got != maxDeg {
+		t.Fatalf("MaxDegree = %d, want %d", got, maxDeg)
+	}
+	for _, l := range labels {
+		sameIDs(t, fmt.Sprintf("EdgesByLabel(%q)", l), g.EdgesByLabel(l), b.byLabel[l])
+		sameIDs(t, fmt.Sprintf("EdgesByLabelID(%q)", l), g.EdgesByLabelID(g.LabelID(l)), b.byLabel[l])
+		if got := g.LabelCount(l); got != len(b.byLabel[l]) {
+			t.Fatalf("LabelCount(%q) = %d, want %d", l, got, len(b.byLabel[l]))
+		}
+	}
+	// FindEdge / HasEdgeTriple parity: every edge found, and a sample of
+	// absent triples rejected.
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		if got, ok := g.FindEdge(e.From, e.To, e.Label); !ok || got.ID != e.ID {
+			t.Fatalf("FindEdge(%d, %d, %q) = (%v, %v), want edge %d", e.From, e.To, e.Label, got, ok, e.ID)
+		}
+		if !g.HasEdgeTriple(e.From, e.To, e.Label) {
+			t.Fatalf("HasEdgeTriple(%d, %d, %q) = false", e.From, e.To, e.Label)
+		}
+		if _, ok := g.FindEdge(e.From, e.To, e.Label+"\x00absent"); ok {
+			t.Fatalf("FindEdge found edge with nonexistent label")
+		}
+	}
+	// NodesByDegree: a permutation of all nodes, degree-descending, id-ascending ties.
+	order := g.NodesByDegree()
+	if len(order) != g.NumNodes() {
+		t.Fatalf("NodesByDegree has %d entries, want %d", len(order), g.NumNodes())
+	}
+	seen := make(map[NodeID]bool, len(order))
+	for i, n := range order {
+		if seen[n] {
+			t.Fatalf("NodesByDegree repeats node %d", n)
+		}
+		seen[n] = true
+		if i > 0 {
+			p := order[i-1]
+			dp, dn := g.Degree(p), g.Degree(n)
+			if dp < dn || (dp == dn && p > n) {
+				t.Fatalf("NodesByDegree out of order at %d: node %d (deg %d) before node %d (deg %d)",
+					i, p, dp, n, dn)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCSRParityRandomized(t *testing.T) {
+	labels := []string{"a", "b", "c", "creator", "partOf"}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := RandomConfig{
+			Nodes:  1 + rng.Intn(60),
+			Labels: labels[:1+rng.Intn(len(labels))],
+			Types:  []string{"", "T1", "T2"},
+		}
+		cfg.Edges = rng.Intn(cfg.Nodes * 3)
+		g := RandomOntology(rng, cfg)
+		assertParity(t, g)
+	}
+}
+
+func TestCSRParityAfterMutation(t *testing.T) {
+	g := New()
+	g.MustAddTriple("a", "p", "b")
+	g.MustAddTriple("b", "q", "c")
+	assertParity(t, g) // freezes
+
+	// Mutation after a freeze must invalidate and re-answer correctly.
+	g.MustAddTriple("c", "p", "a")
+	g.MustAddTriple("a", "q", "c")
+	assertParity(t, g)
+
+	if _, err := g.AddNode("isolated", "T"); err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, g)
+}
+
+func TestCSRParityEmptyAndEdgeless(t *testing.T) {
+	assertParity(t, New())
+
+	g := New()
+	for i := 0; i < 5; i++ {
+		if _, err := g.AddNode(fmt.Sprintf("v%d", i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertParity(t, g)
+	if g.LabelID("anything") != NoLabel {
+		t.Fatal("edgeless graph interned a label")
+	}
+}
+
+func TestCSRSharedSlicesAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomOntology(rng, RandomConfig{Nodes: 40, Edges: 120, Labels: []string{"x", "y", "z"}})
+	g.Freeze()
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, run := range [][]EdgeID{g.OutEdges(NodeID(n)), g.InEdges(NodeID(n))} {
+			if !sort.SliceIsSorted(run, func(i, j int) bool { return run[i] < run[j] }) {
+				t.Fatalf("adjacency run for node %d not ascending: %v", n, run)
+			}
+		}
+	}
+}
+
+func TestCloneIndependentInterner(t *testing.T) {
+	g := New()
+	g.MustAddTriple("a", "p", "b")
+	g.MustAddTriple("b", "p", "c")
+	c := g.Clone()
+	c.MustAddTriple("c", "q", "a")
+	if g.NumEdges() != 2 || c.NumEdges() != 3 {
+		t.Fatalf("clone not independent: g=%d c=%d edges", g.NumEdges(), c.NumEdges())
+	}
+	if g.LabelID("q") != NoLabel {
+		t.Fatal("clone mutation leaked a label into the original interner")
+	}
+	assertParity(t, g)
+	assertParity(t, c)
+}
+
+func TestConcurrentLazyFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := RandomOntology(rng, RandomConfig{Nodes: 200, Edges: 600, Labels: []string{"a", "b"}})
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			total := 0
+			for n := 0; n < g.NumNodes(); n++ {
+				total += len(g.OutEdges(NodeID(n))) + len(g.InEdges(NodeID(n)))
+			}
+			if total != 2*g.NumEdges() {
+				t.Errorf("concurrent adjacency sum %d, want %d", total, 2*g.NumEdges())
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

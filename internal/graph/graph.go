@@ -7,11 +7,21 @@
 // A Graph is append-only: nodes and edges can be added but never removed.
 // Subgraphs (used to represent explanations and provenance) are materialized
 // as fresh Graph values sharing node values with the original.
+//
+// Storage follows a builder/freeze split (DESIGN.md §10). The append phase
+// keeps only flat node/edge slices, a value index, an interned-label table
+// and an integer-keyed triple index; adjacency is served from a frozen
+// compressed-sparse-row index (csr.go) built by Freeze — or lazily by the
+// first adjacency query — and discarded on mutation. Evaluation hot paths
+// use the LabelID-keyed accessors so the backtracking matcher touches no
+// strings and no string-keyed maps.
 package graph
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within a single Graph.
@@ -44,11 +54,6 @@ type Edge struct {
 	Label    string
 }
 
-type endpointLabel struct {
-	node  NodeID
-	label string
-}
-
 // Graph is a directed labeled multigraph with unique node values.
 // The zero value is not usable; call New.
 type Graph struct {
@@ -56,30 +61,33 @@ type Graph struct {
 	edges []Edge
 
 	byValue map[string]NodeID
-	out     map[NodeID][]EdgeID
-	in      map[NodeID][]EdgeID
 
-	byLabel     map[string][]EdgeID
-	bySrcLabel  map[endpointLabel][]EdgeID
-	byTgtLabel  map[endpointLabel][]EdgeID
-	edgeTriples map[tripleKey]EdgeID
+	// labels interns edge labels at AddEdge time; edgeLab holds each edge's
+	// interned label, aligned with edges.
+	labels  Interner
+	edgeLab []LabelID
+
+	// triples indexes every (from, to, label-id) triple for duplicate
+	// rejection and FindEdge — integer-keyed, so lookups hash no strings.
+	triples map[itriple]EdgeID
+
+	// csr is the frozen adjacency index; nil while dirty. Freezing is
+	// guarded by freezeMu so concurrent readers of a static graph race-
+	// safely share one build.
+	csr      atomic.Pointer[csrIndex]
+	freezeMu sync.Mutex
 }
 
-type tripleKey struct {
+type itriple struct {
 	from, to NodeID
-	label    string
+	label    LabelID
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		byValue:     make(map[string]NodeID),
-		out:         make(map[NodeID][]EdgeID),
-		in:          make(map[NodeID][]EdgeID),
-		byLabel:     make(map[string][]EdgeID),
-		bySrcLabel:  make(map[endpointLabel][]EdgeID),
-		byTgtLabel:  make(map[endpointLabel][]EdgeID),
-		edgeTriples: make(map[tripleKey]EdgeID),
+		byValue: make(map[string]NodeID),
+		triples: make(map[itriple]EdgeID),
 	}
 }
 
@@ -88,6 +96,31 @@ func (g *Graph) NumNodes() int { return len(g.nodes) }
 
 // NumEdges reports the number of edges.
 func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Freeze builds the CSR adjacency index for the graph's current contents.
+// Calling it is optional — any adjacency accessor freezes on demand — but
+// long-lived static graphs (ontologies handed to an evaluator) should be
+// frozen once up front so no query pays the build. Further mutation is
+// allowed: it discards the index, and the next freeze rebuilds it.
+func (g *Graph) Freeze() { g.freeze() }
+
+// freeze returns the current CSR index, building it if the graph is dirty.
+func (g *Graph) freeze() *csrIndex {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	g.freezeMu.Lock()
+	defer g.freezeMu.Unlock()
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	g.csr.Store(c)
+	return c
+}
+
+// invalidate discards the frozen index after a mutation.
+func (g *Graph) invalidate() { g.csr.Store(nil) }
 
 // AddNode inserts a node with the given unique value and optional type.
 // It fails if a node with the same value already exists.
@@ -98,6 +131,7 @@ func (g *Graph) AddNode(value, typ string) (NodeID, error) {
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Value: value, Type: typ})
 	g.byValue[value] = id
+	g.invalidate()
 	return id, nil
 }
 
@@ -136,19 +170,17 @@ func (g *Graph) AddEdge(from, to NodeID, label string) (EdgeID, error) {
 	if !g.validNode(to) {
 		return NoEdge, fmt.Errorf("graph: invalid target node id %d", to)
 	}
-	key := tripleKey{from: from, to: to, label: label}
-	if _, ok := g.edgeTriples[key]; ok {
+	lid := g.labels.Intern(label)
+	key := itriple{from: from, to: to, label: lid}
+	if _, ok := g.triples[key]; ok {
 		return NoEdge, fmt.Errorf("graph: duplicate edge %s -%s-> %s",
 			g.nodes[from].Value, label, g.nodes[to].Value)
 	}
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Label: label})
-	g.edgeTriples[key] = id
-	g.out[from] = append(g.out[from], id)
-	g.in[to] = append(g.in[to], id)
-	g.byLabel[label] = append(g.byLabel[label], id)
-	g.bySrcLabel[endpointLabel{from, label}] = append(g.bySrcLabel[endpointLabel{from, label}], id)
-	g.byTgtLabel[endpointLabel{to, label}] = append(g.byTgtLabel[endpointLabel{to, label}], id)
+	g.edgeLab = append(g.edgeLab, lid)
+	g.triples[key] = id
+	g.invalidate()
 	return id, nil
 }
 
@@ -205,74 +237,159 @@ func (g *Graph) NodeByValue(value string) (Node, bool) {
 	return g.nodes[id], true
 }
 
+// LabelID returns the interned id of an edge label, or NoLabel when no edge
+// carries it. Hot loops resolve a label once and use the *ID accessors.
+func (g *Graph) LabelID(label string) LabelID { return g.labels.Lookup(label) }
+
+// LabelValue returns the label string with the given interned id.
+func (g *Graph) LabelValue(id LabelID) string { return g.labels.Value(id) }
+
+// NumLabels reports the number of distinct edge labels.
+func (g *Graph) NumLabels() int { return g.labels.Len() }
+
+// EdgeLabelID returns the interned label id of an edge.
+func (g *Graph) EdgeLabelID(id EdgeID) LabelID {
+	if !g.validEdge(id) {
+		panic(fmt.Sprintf("graph: invalid edge id %d", id))
+	}
+	return g.edgeLab[id]
+}
+
 // HasEdgeTriple reports whether the edge from -label-> to exists, by node ids.
 func (g *Graph) HasEdgeTriple(from, to NodeID, label string) bool {
-	_, ok := g.edgeTriples[tripleKey{from: from, to: to, label: label}]
+	lid := g.labels.Lookup(label)
+	if lid == NoLabel {
+		return false
+	}
+	_, ok := g.triples[itriple{from: from, to: to, label: lid}]
 	return ok
 }
 
 // FindEdge returns the edge from -label-> to if it exists.
 func (g *Graph) FindEdge(from, to NodeID, label string) (Edge, bool) {
-	id, ok := g.edgeTriples[tripleKey{from: from, to: to, label: label}]
+	lid := g.labels.Lookup(label)
+	if lid == NoLabel {
+		return Edge{}, false
+	}
+	return g.FindEdgeID(from, to, lid)
+}
+
+// FindEdgeID is FindEdge by interned label id.
+func (g *Graph) FindEdgeID(from, to NodeID, lid LabelID) (Edge, bool) {
+	id, ok := g.triples[itriple{from: from, to: to, label: lid}]
 	if !ok {
 		return Edge{}, false
 	}
 	return g.edges[id], true
 }
 
-// Nodes returns a copy of all nodes in id order.
+// Nodes returns a copy of all nodes in id order. Hot loops should iterate
+// ids with NumNodes/Node instead of paying the copy.
 func (g *Graph) Nodes() []Node {
 	out := make([]Node, len(g.nodes))
 	copy(out, g.nodes)
 	return out
 }
 
-// Edges returns a copy of all edges in id order.
+// Edges returns a copy of all edges in id order. Hot loops should iterate
+// ids with NumEdges/Edge instead of paying the copy.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, len(g.edges))
 	copy(out, g.edges)
 	return out
 }
 
-// OutEdges returns the ids of edges whose source is n. The returned slice is
-// shared with the graph and must not be modified.
-func (g *Graph) OutEdges(n NodeID) []EdgeID { return g.out[n] }
+// OutEdges returns the ids of edges whose source is n, in ascending edge-id
+// order. The returned slice is shared with the graph's frozen index and
+// must not be modified.
+func (g *Graph) OutEdges(n NodeID) []EdgeID { return g.freeze().out(n) }
 
-// InEdges returns the ids of edges whose target is n. The returned slice is
-// shared with the graph and must not be modified.
-func (g *Graph) InEdges(n NodeID) []EdgeID { return g.in[n] }
+// InEdges returns the ids of edges whose target is n, in ascending edge-id
+// order. The returned slice is shared with the graph's frozen index and
+// must not be modified.
+func (g *Graph) InEdges(n NodeID) []EdgeID { return g.freeze().in(n) }
 
-// EdgesByLabel returns the ids of all edges carrying the given label.
-// The returned slice is shared with the graph and must not be modified.
-func (g *Graph) EdgesByLabel(label string) []EdgeID { return g.byLabel[label] }
-
-// EdgesByLabelFrom returns the ids of edges with the given label and source.
-// The returned slice is shared with the graph and must not be modified.
-func (g *Graph) EdgesByLabelFrom(label string, from NodeID) []EdgeID {
-	return g.bySrcLabel[endpointLabel{from, label}]
+// EdgesByLabel returns the ids of all edges carrying the given label, in
+// ascending edge-id order. The returned slice is shared with the graph's
+// frozen index and must not be modified.
+func (g *Graph) EdgesByLabel(label string) []EdgeID {
+	lid := g.labels.Lookup(label)
+	if lid == NoLabel {
+		return nil
+	}
+	return g.freeze().label(lid)
 }
 
-// EdgesByLabelTo returns the ids of edges with the given label and target.
-// The returned slice is shared with the graph and must not be modified.
+// EdgesByLabelID is EdgesByLabel by interned label id.
+func (g *Graph) EdgesByLabelID(lid LabelID) []EdgeID {
+	if lid == NoLabel {
+		return nil
+	}
+	return g.freeze().label(lid)
+}
+
+// EdgesByLabelFrom returns the ids of edges with the given label and source,
+// in ascending edge-id order; shared slice, read-only.
+func (g *Graph) EdgesByLabelFrom(label string, from NodeID) []EdgeID {
+	lid := g.labels.Lookup(label)
+	if lid == NoLabel {
+		return nil
+	}
+	return g.freeze().srcLabel(from, lid)
+}
+
+// EdgesByLabelIDFrom is EdgesByLabelFrom by interned label id.
+func (g *Graph) EdgesByLabelIDFrom(lid LabelID, from NodeID) []EdgeID {
+	if lid == NoLabel {
+		return nil
+	}
+	return g.freeze().srcLabel(from, lid)
+}
+
+// EdgesByLabelTo returns the ids of edges with the given label and target,
+// in ascending edge-id order; shared slice, read-only.
 func (g *Graph) EdgesByLabelTo(label string, to NodeID) []EdgeID {
-	return g.byTgtLabel[endpointLabel{to, label}]
+	lid := g.labels.Lookup(label)
+	if lid == NoLabel {
+		return nil
+	}
+	return g.freeze().tgtLabel(to, lid)
+}
+
+// EdgesByLabelIDTo is EdgesByLabelTo by interned label id.
+func (g *Graph) EdgesByLabelIDTo(lid LabelID, to NodeID) []EdgeID {
+	if lid == NoLabel {
+		return nil
+	}
+	return g.freeze().tgtLabel(to, lid)
 }
 
 // Labels returns the set of edge labels in sorted order.
 func (g *Graph) Labels() []string {
-	labels := make([]string, 0, len(g.byLabel))
-	for l := range g.byLabel {
-		labels = append(labels, l)
+	labels := make([]string, 0, g.labels.Len())
+	for i := 0; i < g.labels.Len(); i++ {
+		labels = append(labels, g.labels.Value(LabelID(i)))
 	}
 	sort.Strings(labels)
 	return labels
 }
 
 // LabelCount reports how many edges carry the given label.
-func (g *Graph) LabelCount(label string) int { return len(g.byLabel[label]) }
+func (g *Graph) LabelCount(label string) int { return len(g.EdgesByLabel(label)) }
 
 // Degree reports the total (in + out) degree of a node.
-func (g *Graph) Degree(n NodeID) int { return len(g.out[n]) + len(g.in[n]) }
+func (g *Graph) Degree(n NodeID) int {
+	c := g.freeze()
+	return len(c.out(n)) + len(c.in(n))
+}
+
+// MaxDegree reports the largest total degree over all nodes (0 when empty).
+func (g *Graph) MaxDegree() int { return g.freeze().maxDegree }
+
+// NodesByDegree returns all node ids ordered by total degree descending
+// (ties by id ascending) — the degree-ordered candidate list used to anchor
+// searches on the most-connected nodes first. Shared slice, read-only.
+func (g *Graph) NodesByDegree() []NodeID { return g.freeze().byDegree }
 
 // Clone returns a deep copy of the graph with identical ids.
 func (g *Graph) Clone() *Graph {
@@ -282,29 +399,20 @@ func (g *Graph) Clone() *Graph {
 	for v, id := range g.byValue {
 		c.byValue[v] = id
 	}
-	for n, es := range g.out {
-		c.out[n] = append([]EdgeID(nil), es...)
-	}
-	for n, es := range g.in {
-		c.in[n] = append([]EdgeID(nil), es...)
-	}
-	for l, es := range g.byLabel {
-		c.byLabel[l] = append([]EdgeID(nil), es...)
-	}
-	for k, es := range g.bySrcLabel {
-		c.bySrcLabel[k] = append([]EdgeID(nil), es...)
-	}
-	for k, es := range g.byTgtLabel {
-		c.byTgtLabel[k] = append([]EdgeID(nil), es...)
-	}
-	for k, id := range g.edgeTriples {
-		c.edgeTriples[k] = id
+	c.labels = *g.labels.Clone()
+	c.edgeLab = append([]LabelID(nil), g.edgeLab...)
+	for k, id := range g.triples {
+		c.triples[k] = id
 	}
 	return c
 }
 
 // Validate checks internal invariants: unique values, valid endpoints, no
-// duplicate (from, to, label) triples, consistent indexes.
+// duplicate (from, to, label) triples, interner/triple-index consistency,
+// and — after freezing — that every CSR adjacency view (out, in, byLabel,
+// (src, label), (tgt, label)) covers exactly the edge list with correctly
+// bucketed, correctly ordered runs, so index corruption is caught instead of
+// silently mis-matching.
 func (g *Graph) Validate() error {
 	seen := make(map[string]bool, len(g.nodes))
 	for i, n := range g.nodes {
@@ -319,7 +427,12 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph: byValue[%q]=%d, want %d", n.Value, got, n.ID)
 		}
 	}
-	triples := make(map[tripleKey]bool, len(g.edges))
+	if len(g.edgeLab) != len(g.edges) {
+		return fmt.Errorf("graph: edgeLab covers %d edges, want %d", len(g.edgeLab), len(g.edges))
+	}
+	if len(g.triples) != len(g.edges) {
+		return fmt.Errorf("graph: triple index has %d entries, want %d", len(g.triples), len(g.edges))
+	}
 	for i, e := range g.edges {
 		if e.ID != EdgeID(i) {
 			return fmt.Errorf("graph: edge %d has id %d", i, e.ID)
@@ -327,19 +440,70 @@ func (g *Graph) Validate() error {
 		if !g.validNode(e.From) || !g.validNode(e.To) {
 			return fmt.Errorf("graph: edge %d has invalid endpoints (%d, %d)", i, e.From, e.To)
 		}
-		key := tripleKey{from: e.From, to: e.To, label: e.Label}
-		if triples[key] {
-			return fmt.Errorf("graph: duplicate triple %s -%s-> %s",
-				g.nodes[e.From].Value, e.Label, g.nodes[e.To].Value)
+		lid := g.edgeLab[i]
+		if lid < 0 || int(lid) >= g.labels.Len() || g.labels.Value(lid) != e.Label {
+			return fmt.Errorf("graph: edge %d label %q not interned as %d", i, e.Label, lid)
 		}
-		triples[key] = true
+		if got, ok := g.triples[itriple{from: e.From, to: e.To, label: lid}]; !ok || got != e.ID {
+			return fmt.Errorf("graph: triple index missing edge %d (%s -%s-> %s)",
+				i, g.nodes[e.From].Value, e.Label, g.nodes[e.To].Value)
+		}
 	}
-	var indexed int
-	for _, es := range g.byLabel {
-		indexed += len(es)
+	return g.validateCSR(g.freeze())
+}
+
+// validateCSR cross-checks every frozen adjacency view against the edge list.
+func (g *Graph) validateCSR(c *csrIndex) error {
+	type view struct {
+		name    string
+		off     []int32
+		adj     []EdgeID
+		buckets int
+		// keyOf returns the bucket an edge must be filed under.
+		keyOf func(e Edge) int32
+		// ordered reports whether adj[i] may follow adj[i-1] within a bucket.
+		ordered func(prev, cur EdgeID) bool
 	}
-	if indexed != len(g.edges) {
-		return fmt.Errorf("graph: label index covers %d edges, want %d", indexed, len(g.edges))
+	idOrder := func(prev, cur EdgeID) bool { return prev < cur }
+	labelIDOrder := func(prev, cur EdgeID) bool {
+		lp, lc := g.edgeLab[prev], g.edgeLab[cur]
+		return lp < lc || (lp == lc && prev < cur)
+	}
+	views := []view{
+		{"out", c.outOff, c.outAdj, len(g.nodes), func(e Edge) int32 { return int32(e.From) }, idOrder},
+		{"in", c.inOff, c.inAdj, len(g.nodes), func(e Edge) int32 { return int32(e.To) }, idOrder},
+		{"byLabel", c.labOff, c.labAdj, g.labels.Len(), func(e Edge) int32 { return int32(g.edgeLab[e.ID]) }, idOrder},
+		{"srcLabel", c.srcOff, c.srcAdj, len(g.nodes), func(e Edge) int32 { return int32(e.From) }, labelIDOrder},
+		{"tgtLabel", c.tgtOff, c.tgtAdj, len(g.nodes), func(e Edge) int32 { return int32(e.To) }, labelIDOrder},
+	}
+	for _, v := range views {
+		if len(v.off) != v.buckets+1 {
+			return fmt.Errorf("graph: %s offsets have %d entries, want %d", v.name, len(v.off), v.buckets+1)
+		}
+		if len(v.adj) != len(g.edges) {
+			return fmt.Errorf("graph: %s index covers %d edges, want %d", v.name, len(v.adj), len(g.edges))
+		}
+		if v.buckets > 0 && (v.off[0] != 0 || int(v.off[v.buckets]) != len(g.edges)) {
+			return fmt.Errorf("graph: %s offsets span [%d, %d], want [0, %d]",
+				v.name, v.off[0], v.off[v.buckets], len(g.edges))
+		}
+		for b := 0; b < v.buckets; b++ {
+			if v.off[b] > v.off[b+1] {
+				return fmt.Errorf("graph: %s offsets not monotone at bucket %d", v.name, b)
+			}
+			for i := v.off[b]; i < v.off[b+1]; i++ {
+				eid := v.adj[i]
+				if !g.validEdge(eid) {
+					return fmt.Errorf("graph: %s bucket %d holds invalid edge id %d", v.name, b, eid)
+				}
+				if got := v.keyOf(g.edges[eid]); got != int32(b) {
+					return fmt.Errorf("graph: %s bucket %d holds edge %d keyed %d", v.name, b, eid, got)
+				}
+				if i > v.off[b] && !v.ordered(v.adj[i-1], eid) {
+					return fmt.Errorf("graph: %s bucket %d out of order at %d", v.name, b, i)
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,60 @@
+package graph
+
+// LabelID is the interned identifier of an edge label (predicate) within one
+// Interner. Labels are interned in first-appearance order; ids are dense and
+// start at 0. NoLabel is returned for strings the interner has never seen.
+type LabelID int32
+
+// NoLabel is the sentinel for "label not interned".
+const NoLabel LabelID = -1
+
+// Interner maps strings to dense int32 ids and back. It is the string-
+// interning half of the CSR ontology substrate (DESIGN.md §10): hot loops
+// compare and index by LabelID so the backtracking matcher performs no
+// string hashing. The zero value is ready to use. An Interner is not safe
+// for concurrent mutation; once fully populated it is safe for concurrent
+// reads (the ontology build/freeze lifecycle guarantees this).
+type Interner struct {
+	ids  map[string]LabelID
+	strs []string
+}
+
+// Intern returns the id for s, assigning the next dense id on first sight.
+func (in *Interner) Intern(s string) LabelID {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	if in.ids == nil {
+		in.ids = make(map[string]LabelID)
+	}
+	id := LabelID(len(in.strs))
+	in.ids[s] = id
+	in.strs = append(in.strs, s)
+	return id
+}
+
+// Lookup returns the id for s, or NoLabel when s was never interned.
+func (in *Interner) Lookup(s string) LabelID {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// Value returns the string with the given id. It panics on invalid ids.
+func (in *Interner) Value(id LabelID) string { return in.strs[id] }
+
+// Len reports the number of interned strings.
+func (in *Interner) Len() int { return len(in.strs) }
+
+// Clone returns an independent deep copy.
+func (in *Interner) Clone() *Interner {
+	c := &Interner{strs: append([]string(nil), in.strs...)}
+	if len(in.ids) > 0 {
+		c.ids = make(map[string]LabelID, len(in.ids))
+		for s, id := range in.ids {
+			c.ids[s] = id
+		}
+	}
+	return c
+}

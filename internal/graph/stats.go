@@ -30,10 +30,11 @@ func (g *Graph) ComputeStats() Stats {
 	for _, l := range g.Labels() {
 		s.Labels[l] = g.LabelCount(l)
 	}
+	c := g.freeze()
 	for _, n := range g.nodes {
 		s.Types[n.Type]++
-		out := len(g.out[n.ID])
-		in := len(g.in[n.ID])
+		out := len(c.out(n.ID))
+		in := len(c.in(n.ID))
 		if out > s.MaxOutDegree {
 			s.MaxOutDegree = out
 		}

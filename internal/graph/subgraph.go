@@ -127,18 +127,19 @@ func (g *Graph) Merge(other *Graph) error {
 // ConnectedComponent returns the set of node ids reachable from start
 // ignoring edge direction.
 func (g *Graph) ConnectedComponent(start NodeID) map[NodeID]bool {
+	c := g.freeze()
 	seen := map[NodeID]bool{start: true}
 	stack := []NodeID{start}
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, eid := range g.out[n] {
+		for _, eid := range c.out(n) {
 			if t := g.edges[eid].To; !seen[t] {
 				seen[t] = true
 				stack = append(stack, t)
 			}
 		}
-		for _, eid := range g.in[n] {
+		for _, eid := range c.in(n) {
 			if f := g.edges[eid].From; !seen[f] {
 				seen[f] = true
 				stack = append(stack, f)
@@ -163,13 +164,14 @@ func (g *Graph) Neighborhood(start NodeID, radius int) (*Graph, error) {
 	if !g.validNode(start) {
 		return nil, fmt.Errorf("graph: invalid node id %d", start)
 	}
+	c := g.freeze()
 	dist := map[NodeID]int{start: 0}
 	frontier := []NodeID{start}
 	var edgeIDs []EdgeID
 	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
 		var next []NodeID
 		for _, n := range frontier {
-			for _, eid := range g.out[n] {
+			for _, eid := range c.out(n) {
 				edgeIDs = append(edgeIDs, eid)
 				t := g.edges[eid].To
 				if _, ok := dist[t]; !ok {
@@ -177,7 +179,7 @@ func (g *Graph) Neighborhood(start NodeID, radius int) (*Graph, error) {
 					next = append(next, t)
 				}
 			}
-			for _, eid := range g.in[n] {
+			for _, eid := range c.in(n) {
 				edgeIDs = append(edgeIDs, eid)
 				f := g.edges[eid].From
 				if _, ok := dist[f]; !ok {

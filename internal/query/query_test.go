@@ -31,8 +31,8 @@ func TestTermBasics(t *testing.T) {
 	if c.IsVar || c.String() != "x" {
 		t.Fatalf("Const(x) = %+v", c)
 	}
-	if v.key() == c.key() {
-		t.Fatal("var and const with same spelling share a key")
+	if v == c {
+		t.Fatal("var and const with same spelling compare equal")
 	}
 }
 

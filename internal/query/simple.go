@@ -49,14 +49,16 @@ type Diseq struct {
 type Simple struct {
 	nodes  []Node
 	edges  []Edge
-	byTerm map[string]NodeID
+	byTerm map[Term]NodeID // lazily allocated on first EnsureNode
 
-	out map[NodeID][]EdgeID
-	in  map[NodeID][]EdgeID
+	// out/in are indexed by NodeID (node ids are dense) and grown alongside
+	// nodes; a map here cost one hash per AddEdge and per adjacency lookup.
+	out [][]EdgeID
+	in  [][]EdgeID
 
-	edgeTriples map[qTripleKey]EdgeID
+	edgeTriples map[qTripleKey]EdgeID // lazily allocated on first AddEdge
 
-	optional map[EdgeID]bool
+	optional map[EdgeID]bool // lazily allocated on first SetOptional(true)
 
 	projected NodeID
 	diseqs    []Diseq
@@ -69,15 +71,30 @@ type qTripleKey struct {
 	label    string
 }
 
-// NewSimple returns an empty simple query with no projected node.
+// NewSimple returns an empty simple query with no projected node. The
+// internal maps are allocated lazily: queries are built in bulk on the merge
+// kernel's hot path, and empty-map allocations there are pure overhead.
 func NewSimple() *Simple {
-	return &Simple{
-		byTerm:      make(map[string]NodeID),
-		out:         make(map[NodeID][]EdgeID),
-		in:          make(map[NodeID][]EdgeID),
-		edgeTriples: make(map[qTripleKey]EdgeID),
-		optional:    make(map[EdgeID]bool),
-		projected:   NoNode,
+	return &Simple{projected: NoNode}
+}
+
+// Grow preallocates internal storage for at least n more nodes and e more
+// edges, like the append contract: callers that know the final pattern size
+// (e.g. BuildQuery) avoid incremental slice growth and map rehashing.
+func (q *Simple) Grow(n, e int) {
+	if n > 0 {
+		q.nodes = append(make([]Node, 0, len(q.nodes)+n), q.nodes...)
+		q.out = append(make([][]EdgeID, 0, len(q.out)+n), q.out...)
+		q.in = append(make([][]EdgeID, 0, len(q.in)+n), q.in...)
+		if q.byTerm == nil {
+			q.byTerm = make(map[Term]NodeID, n)
+		}
+	}
+	if e > 0 {
+		q.edges = append(make([]Edge, 0, len(q.edges)+e), q.edges...)
+		if q.edgeTriples == nil {
+			q.edgeTriples = make(map[qTripleKey]EdgeID, e)
+		}
 	}
 }
 
@@ -103,7 +120,7 @@ func (q *Simple) NumVars() int {
 // needed. A non-empty type fills an empty one; a conflicting non-empty type
 // is an error.
 func (q *Simple) EnsureNode(t Term, typ string) (NodeID, error) {
-	if id, ok := q.byTerm[t.key()]; ok {
+	if id, ok := q.byTerm[t]; ok {
 		n := &q.nodes[id]
 		if typ != "" && n.Type == "" {
 			n.Type = typ
@@ -114,7 +131,12 @@ func (q *Simple) EnsureNode(t Term, typ string) (NodeID, error) {
 	}
 	id := NodeID(len(q.nodes))
 	q.nodes = append(q.nodes, Node{ID: id, Term: t, Type: typ})
-	q.byTerm[t.key()] = id
+	q.out = append(q.out, nil)
+	q.in = append(q.in, nil)
+	if q.byTerm == nil {
+		q.byTerm = make(map[Term]NodeID)
+	}
+	q.byTerm[t] = id
 	return id, nil
 }
 
@@ -132,7 +154,7 @@ func (q *Simple) FreshVar(typ string) NodeID {
 	for {
 		q.varCounter++
 		t := Var(fmt.Sprintf("v%d", q.varCounter))
-		if _, ok := q.byTerm[t.key()]; ok {
+		if _, ok := q.byTerm[t]; ok {
 			continue
 		}
 		id, err := q.EnsureNode(t, typ)
@@ -156,6 +178,9 @@ func (q *Simple) AddEdge(from, to NodeID, label string) (EdgeID, error) {
 	}
 	id := EdgeID(len(q.edges))
 	q.edges = append(q.edges, Edge{ID: id, From: from, To: to, Label: label})
+	if q.edgeTriples == nil {
+		q.edgeTriples = make(map[qTripleKey]EdgeID)
+	}
 	q.edgeTriples[key] = id
 	q.out[from] = append(q.out[from], id)
 	q.in[to] = append(q.in[to], id)
@@ -181,6 +206,9 @@ func (q *Simple) SetOptional(e EdgeID, optional bool) error {
 		return fmt.Errorf("query: invalid edge id %d", e)
 	}
 	if optional {
+		if q.optional == nil {
+			q.optional = make(map[EdgeID]bool)
+		}
 		q.optional[e] = true
 	} else {
 		delete(q.optional, e)
@@ -229,7 +257,7 @@ func (q *Simple) Edge(id EdgeID) Edge {
 
 // NodeByTerm looks a node up by its term.
 func (q *Simple) NodeByTerm(t Term) (Node, bool) {
-	id, ok := q.byTerm[t.key()]
+	id, ok := q.byTerm[t]
 	if !ok {
 		return Node{}, false
 	}
@@ -251,13 +279,28 @@ func (q *Simple) Edges() []Edge {
 }
 
 // OutEdges returns the ids of edges with source n; shared slice, read-only.
-func (q *Simple) OutEdges(n NodeID) []EdgeID { return q.out[n] }
+func (q *Simple) OutEdges(n NodeID) []EdgeID {
+	if !q.validNode(n) {
+		return nil
+	}
+	return q.out[n]
+}
 
 // InEdges returns the ids of edges with target n; shared slice, read-only.
-func (q *Simple) InEdges(n NodeID) []EdgeID { return q.in[n] }
+func (q *Simple) InEdges(n NodeID) []EdgeID {
+	if !q.validNode(n) {
+		return nil
+	}
+	return q.in[n]
+}
 
 // Degree reports the total degree of a node.
-func (q *Simple) Degree(n NodeID) int { return len(q.out[n]) + len(q.in[n]) }
+func (q *Simple) Degree(n NodeID) int {
+	if !q.validNode(n) {
+		return 0
+	}
+	return len(q.out[n]) + len(q.in[n])
+}
 
 // SetProjected designates the projected (output) node.
 func (q *Simple) SetProjected(id NodeID) error {
@@ -349,20 +392,31 @@ func (q *Simple) Clone() *Simple {
 	c := NewSimple()
 	c.nodes = append([]Node(nil), q.nodes...)
 	c.edges = append([]Edge(nil), q.edges...)
-	for k, v := range q.byTerm {
-		c.byTerm[k] = v
+	if q.byTerm != nil {
+		c.byTerm = make(map[Term]NodeID, len(q.byTerm))
+		for k, v := range q.byTerm {
+			c.byTerm[k] = v
+		}
 	}
+	c.out = make([][]EdgeID, len(q.out))
 	for n, es := range q.out {
 		c.out[n] = append([]EdgeID(nil), es...)
 	}
+	c.in = make([][]EdgeID, len(q.in))
 	for n, es := range q.in {
 		c.in[n] = append([]EdgeID(nil), es...)
 	}
-	for k, v := range q.edgeTriples {
-		c.edgeTriples[k] = v
+	if q.edgeTriples != nil {
+		c.edgeTriples = make(map[qTripleKey]EdgeID, len(q.edgeTriples))
+		for k, v := range q.edgeTriples {
+			c.edgeTriples[k] = v
+		}
 	}
-	for k, v := range q.optional {
-		c.optional[k] = v
+	if q.optional != nil {
+		c.optional = make(map[EdgeID]bool, len(q.optional))
+		for k, v := range q.optional {
+			c.optional[k] = v
+		}
 	}
 	c.projected = q.projected
 	c.diseqs = append([]Diseq(nil), q.diseqs...)
@@ -391,15 +445,15 @@ func (q *Simple) IsGround() bool { return q.NumVars() == 0 }
 
 // Validate checks internal invariants.
 func (q *Simple) Validate() error {
-	seen := map[string]bool{}
+	seen := map[Term]bool{}
 	for i, n := range q.nodes {
 		if n.ID != NodeID(i) {
 			return fmt.Errorf("query: node %d has id %d", i, n.ID)
 		}
-		if seen[n.Term.key()] {
+		if seen[n.Term] {
 			return fmt.Errorf("query: duplicate term %s", n.Term)
 		}
-		seen[n.Term.key()] = true
+		seen[n.Term] = true
 	}
 	for i, e := range q.edges {
 		if e.ID != EdgeID(i) {
@@ -437,14 +491,16 @@ func (q *Simple) Validate() error {
 func FromExplanation(g *graph.Graph, distinguished graph.NodeID) (*Simple, error) {
 	q := NewSimple()
 	ids := make([]NodeID, g.NumNodes())
-	for _, n := range g.Nodes() {
+	for i, nn := 0, g.NumNodes(); i < nn; i++ {
+		n := g.Node(graph.NodeID(i))
 		id, err := q.EnsureNode(Const(n.Value), n.Type)
 		if err != nil {
 			return nil, err
 		}
 		ids[n.ID] = id
 	}
-	for _, e := range g.Edges() {
+	for i, ne := 0, g.NumEdges(); i < ne; i++ {
+		e := g.Edge(graph.EdgeID(i))
 		if _, err := q.AddEdge(ids[e.From], ids[e.To], e.Label); err != nil {
 			return nil, err
 		}

@@ -84,7 +84,7 @@ func (q *Simple) freshOutName() string {
 		if i > 0 {
 			name = fmt.Sprintf("out%d", i)
 		}
-		if _, taken := q.byTerm[Var(name).key()]; !taken {
+		if _, taken := q.byTerm[Var(name)]; !taken {
 			return name
 		}
 	}
@@ -121,7 +121,7 @@ func (u *Union) SPARQL() string {
 		}
 		taken := false
 		for _, b := range u.branches {
-			if _, ok := b.byTerm[Var(outVar).key()]; ok {
+			if _, ok := b.byTerm[Var(outVar)]; ok {
 				taken = true
 				break
 			}

@@ -37,11 +37,7 @@ func (t Term) String() string {
 	return t.Value
 }
 
-// key is the internal map key distinguishing variables from constants that
-// happen to share spelling.
-func (t Term) key() string {
-	if t.IsVar {
-		return "v\x00" + t.Value
-	}
-	return "c\x00" + t.Value
-}
+// Term is a comparable struct, so it is used directly as the map key in
+// Simple.byTerm: a variable and a constant with the same spelling differ in
+// IsVar and never collide. (An earlier string encoding of the same
+// distinction allocated a key string per lookup on the BuildQuery hot path.)

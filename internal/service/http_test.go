@@ -327,7 +327,9 @@ func TestHTTPInferDeadline(t *testing.T) {
 	c := newTestServer(t, service.Config{})
 	status, resp := c.post("/v1/sessions", map[string]any{
 		"ontology": ntriples.Format(w.Ontology),
-		"options":  map[string]any{"num_iter": 60},
+		// Inflate per-pair work so the 50ms deadline lands mid-search even
+		// with the build-best-query-once merge kernel.
+		"options": map[string]any{"num_iter": 2000},
 	})
 	if status != http.StatusCreated {
 		t.Fatalf("create: status %d (%v)", status, resp)
