@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos cover bench bench-json bench-merge bench-obs-overhead bench-compare profile experiments examples serve clean
+.PHONY: all build test race chaos api-check cover bench bench-json bench-merge bench-obs-overhead bench-compare bench-partial profile experiments examples serve clean
 
 all: build test
 
@@ -20,6 +20,7 @@ test:
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test ./...
+	@$(MAKE) --no-print-directory api-check
 	@$(MAKE) --no-print-directory chaos
 	@echo "== bench-compare (advisory: perf gate output; does not fail make test) =="
 	-@$(MAKE) --no-print-directory bench-compare
@@ -36,6 +37,14 @@ chaos:
 		-run 'Chaos|Fault|Panic|Shed|Degraded|Overload|Guard|Retr' \
 		./internal/faults/ ./internal/conc/ ./internal/eval/ \
 		./internal/core/ ./internal/service/ ./internal/client/
+
+# API-compatibility gate: the golden schema test of internal/api snapshots
+# the JSON contract (every field name, tag and type of every wire type plus
+# the error-code set) and fails on drift. Additive changes regenerate the
+# snapshot with `go test ./internal/api -run TestSchemaGolden -update`;
+# breaking changes must bump api.Version.
+api-check:
+	$(GO) test -count=1 -run 'TestSchema' ./internal/api/
 
 cover:
 	$(GO) test -cover ./...
@@ -75,6 +84,14 @@ bench-compare: build
 	bin/qpbench -exp benchmerge -scale 0.35 -out bin/bench/BENCH_core_merge.json
 	bin/qpbench compare BENCH_core_infer.json bin/bench/BENCH_core_infer.json
 	bin/qpbench compare BENCH_core_merge.json bin/bench/BENCH_core_merge.json
+
+# Partial-provenance quality sweep: degrade p% of each explanation's edges
+# (p in {0,10,25,50}), complete the fragments against the ontology, and
+# score the inferred query's result set against the full-provenance one by
+# F1 (p=0 must be exactly 1.0 — completion is a no-op on complete
+# explanations). See cmd/qpbench/benchpartial.go for the schema.
+bench-partial: build
+	bin/qpbench -exp benchpartial -scale 0.35 -explanations 8 -out BENCH_partial_quality.json
 
 # Capture a 10s CPU profile from a running questprod started with
 # -pprof-addr (see README "Operating questprod"). Override PPROF_ADDR to

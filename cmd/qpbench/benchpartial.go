@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"questpro/internal/core"
+	"questpro/internal/experiments"
+	"questpro/internal/workload/sampling"
+)
+
+// benchpartial measures how inference quality degrades with partial
+// provenance: per workload it samples one example-set, degrades p% of each
+// explanation's edges (wildcard labels and dropped edges; see
+// sampling.Degrade), completes the fragments against the ontology, runs
+// InferUnion over the completed set, and scores the inferred query's result
+// set against the full-provenance query's by F1. p=0 must score exactly
+// 1.0: completion is a no-op on complete explanations, so the pipeline
+// reduces to the base protocol.
+
+// partialEntry is one (workload, query, degradation) measurement.
+type partialEntry struct {
+	Workload     string `json:"workload"`
+	Query        string `json:"query"`
+	DropPct      int    `json:"drop_pct"`
+	Explanations int    `json:"explanations"`
+
+	// Completion-phase outcome.
+	CompletionsConsidered int64 `json:"completions_considered"`
+	CompletionsAccepted   int64 `json:"completions_accepted"`
+	AddedTriples          int   `json:"added_triples"`
+	ResolvedWildcards     int   `json:"resolved_wildcards"`
+	Degraded              bool  `json:"degraded,omitempty"`
+
+	// Result-set agreement with the full-provenance inference.
+	TruePositives int     `json:"true_positives"`
+	FullResults   int     `json:"full_results"`
+	PartialResult int     `json:"partial_results"`
+	F1            float64 `json:"f1"`
+}
+
+// partialFile is the top-level JSON document.
+type partialFile struct {
+	Schema  string         `json:"schema"`
+	Scale   float64        `json:"scale"`
+	Seed    int64          `json:"seed"`
+	Entries []partialEntry `json:"entries"`
+}
+
+// benchPartial runs the partial-provenance quality sweep and writes it to
+// path.
+func (r *runner) benchPartial(ctx context.Context, path string) error {
+	pcts := []int{0, 10, 25, 50}
+	opts := r.opts(3)
+	doc := partialFile{
+		Schema: "qpbench/partial-quality/v1",
+		Scale:  r.scale,
+		Seed:   r.seed,
+	}
+	for _, name := range []string{"sp2b", "bsbm"} {
+		w, err := experiments.Load(name, r.scale)
+		if err != nil {
+			return err
+		}
+		ev := w.Evaluator()
+		for _, bq := range w.Queries {
+			s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(r.seed)))
+			rs, err := s.Results(ctx)
+			if err != nil {
+				return err
+			}
+			if len(rs) < r.nExpl {
+				continue
+			}
+			exs, err := s.ExampleSet(ctx, r.nExpl)
+			if err != nil {
+				return err
+			}
+			fullQ, _, err := core.InferUnion(ctx, exs, opts)
+			if err != nil {
+				return err
+			}
+			fullRes, err := ev.Results(ctx, fullQ)
+			if err != nil {
+				return err
+			}
+			for _, pct := range pcts {
+				pex, err := sampling.DegradeSet(exs, pct, rand.New(rand.NewSource(r.seed+int64(pct))))
+				if err != nil {
+					return err
+				}
+				completed, rep, err := core.CompleteExamples(ctx, w.Ontology, pex, opts)
+				if err != nil {
+					return fmt.Errorf("benchpartial: %s/%s p=%d: %w", name, bq.Name, pct, err)
+				}
+				partQ, _, err := core.InferUnion(ctx, completed, opts)
+				if err != nil {
+					return fmt.Errorf("benchpartial: %s/%s p=%d: %w", name, bq.Name, pct, err)
+				}
+				partRes, err := ev.Results(ctx, partQ)
+				if err != nil {
+					return err
+				}
+				entry := partialEntry{
+					Workload:              name,
+					Query:                 bq.Name,
+					DropPct:               pct,
+					Explanations:          r.nExpl,
+					CompletionsConsidered: rep.Considered,
+					CompletionsAccepted:   rep.Accepted,
+					Degraded:              rep.Degraded,
+				}
+				for _, ch := range rep.Choices {
+					entry.AddedTriples += ch.AddedTriples
+					entry.ResolvedWildcards += ch.ResolvedWildcards
+				}
+				entry.TruePositives, entry.FullResults, entry.PartialResult, entry.F1 = f1(fullRes, partRes)
+				doc.Entries = append(doc.Entries, entry)
+			}
+			break // one query per workload keeps the artifact small and fast
+		}
+	}
+	if len(doc.Entries) == 0 {
+		return fmt.Errorf("benchpartial: no benchmark query has %d results at scale %g; lower -explanations or raise -scale", r.nExpl, r.scale)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	if !r.csv {
+		fmt.Printf("== benchpartial: wrote %d entries to %s ==\n\n", len(doc.Entries), path)
+	}
+	return nil
+}
+
+// f1 scores the partial-provenance result set against the full-provenance
+// one: precision/recall over the two sets, combined as 2TP/(|full|+|part|).
+func f1(full, part []string) (tp, nFull, nPart int, score float64) {
+	set := make(map[string]bool, len(full))
+	for _, v := range full {
+		set[v] = true
+	}
+	for _, v := range part {
+		if set[v] {
+			tp++
+		}
+	}
+	nFull, nPart = len(full), len(part)
+	if nFull+nPart == 0 {
+		return 0, 0, 0, 1 // both empty: perfect agreement
+	}
+	return tp, nFull, nPart, 2 * float64(tp) / float64(nFull+nPart)
+}

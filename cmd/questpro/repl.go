@@ -33,8 +33,10 @@ type repl struct {
 	out io.Writer
 
 	examples provenance.ExampleSet
-	current  *graph.Graph // explanation under construction
+	partials provenance.PartialExampleSet // fragments awaiting completion
+	current  *graph.Graph                 // explanation under construction
 	currDis  string
+	currMiss int // missing-edges hint for the open explanation
 
 	candidates []core.Candidate
 	chosen     *query.Union
@@ -76,12 +78,17 @@ func (r *repl) Run() error {
 			r.example(args)
 		case "edge":
 			r.edge(args)
+		case "node":
+			r.node(args)
+		case "missing":
+			r.missing(args)
 		case "done":
 			r.done()
 		case "show":
 			r.show()
 		case "clear":
-			r.examples, r.current, r.candidates, r.chosen = nil, nil, nil, nil
+			r.examples, r.partials, r.current, r.candidates, r.chosen = nil, nil, nil, nil, nil
+			r.currMiss = 0
 			r.printf("cleared\n")
 		case "infer":
 			r.infer(args)
@@ -112,7 +119,15 @@ func (r *repl) help() {
   neighborhood <value> [radius]  explore a node's surroundings (default radius 1)
   example <value>                start an explanation for the output example <value>
   edge <from> <label> <to>       add an ontology edge to the open explanation
-  done                           finish the open explanation
+                                 (label '*' = forgotten predicate; a value
+                                 '*1', '*2', ... = placeholder for a
+                                 forgotten entity)
+  node <value>                   add an entity without remembering its
+                                 connection (the fragment gets completed)
+  missing <n>                    hint that ~n edges were forgotten
+  done                           finish the open explanation; one with holes
+                                 is recorded as a fragment and completed
+                                 against the ontology on 'infer'
   show                           list the collected explanations
   clear                          drop all session state
   infer [k]                      infer the top-k candidate queries (default %d)
@@ -179,6 +194,7 @@ func (r *repl) example(args []string) {
 		return
 	}
 	r.currDis = n.Value
+	r.currMiss = 0
 	r.printf("explanation opened for %s; add edges with 'edge', close with 'done'\n", n.Value)
 }
 
@@ -191,40 +207,103 @@ func (r *repl) edge(args []string) {
 		r.printf("open an explanation first with 'example <value>'\n")
 		return
 	}
-	from, ok := r.g.NodeByValue(args[0])
+	fromV, label, toV := args[0], args[1], args[2]
+	hole := provenance.IsWildcardLabel(label) ||
+		provenance.IsPlaceholder(fromV) || provenance.IsPlaceholder(toV)
+	// Placeholder endpoints name forgotten entities and live only in the
+	// fragment; every other endpoint must be an ontology node.
+	fv, ft := fromV, ""
+	if !provenance.IsPlaceholder(fromV) {
+		n, ok := r.g.NodeByValue(fromV)
+		if !ok {
+			r.printf("no node with value %q\n", fromV)
+			return
+		}
+		fv, ft = n.Value, n.Type
+	}
+	tv, tt := toV, ""
+	if !provenance.IsPlaceholder(toV) {
+		n, ok := r.g.NodeByValue(toV)
+		if !ok {
+			r.printf("no node with value %q\n", toV)
+			return
+		}
+		tv, tt = n.Value, n.Type
+	}
+	if !hole {
+		fn, _ := r.g.NodeByValue(fv)
+		tn, _ := r.g.NodeByValue(tv)
+		if !r.g.HasEdgeTriple(fn.ID, tn.ID, label) {
+			r.printf("the ontology has no edge %s -%s-> %s (explanations must be subgraphs; use label '*' if the predicate is forgotten)\n",
+				fromV, label, toV)
+			return
+		}
+	}
+	f, err := r.current.EnsureNode(fv, ft)
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	t, err := r.current.EnsureNode(tv, tt)
+	if err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	if r.current.HasEdgeTriple(f, t, label) {
+		r.printf("edge already in the explanation\n")
+		return
+	}
+	if _, err := r.current.AddEdge(f, t, label); err != nil {
+		r.printf("error: %v\n", err)
+		return
+	}
+	if hole {
+		r.printf("added with a hole (%d edges so far); 'done' will record a fragment\n", r.current.NumEdges())
+		return
+	}
+	r.printf("added (%d edges so far)\n", r.current.NumEdges())
+}
+
+// node records an entity the user remembers without its connection: the
+// fragment keeps it stranded and completion wires it into the explanation.
+func (r *repl) node(args []string) {
+	if len(args) != 1 {
+		r.printf("usage: node <value>\n")
+		return
+	}
+	if r.current == nil {
+		r.printf("open an explanation first with 'example <value>'\n")
+		return
+	}
+	n, ok := r.g.NodeByValue(args[0])
 	if !ok {
 		r.printf("no node with value %q\n", args[0])
 		return
 	}
-	to, ok := r.g.NodeByValue(args[2])
-	if !ok {
-		r.printf("no node with value %q\n", args[2])
-		return
-	}
-	if !r.g.HasEdgeTriple(from.ID, to.ID, args[1]) {
-		r.printf("the ontology has no edge %s -%s-> %s (explanations must be subgraphs)\n",
-			args[0], args[1], args[2])
-		return
-	}
-	f, err := r.current.EnsureNode(from.Value, from.Type)
-	if err != nil {
+	if _, err := r.current.EnsureNode(n.Value, n.Type); err != nil {
 		r.printf("error: %v\n", err)
 		return
 	}
-	t, err := r.current.EnsureNode(to.Value, to.Type)
-	if err != nil {
-		r.printf("error: %v\n", err)
+	r.printf("%s recorded; completion will connect it on 'infer'\n", n.Value)
+}
+
+// missing sets the open explanation's forgotten-edge hint.
+func (r *repl) missing(args []string) {
+	if len(args) != 1 {
+		r.printf("usage: missing <n>\n")
 		return
 	}
-	if r.current.HasEdgeTriple(f, t, args[1]) {
-		r.printf("edge already in the explanation\n")
+	if r.current == nil {
+		r.printf("open an explanation first with 'example <value>'\n")
 		return
 	}
-	if _, err := r.current.AddEdge(f, t, args[1]); err != nil {
-		r.printf("error: %v\n", err)
+	v, err := strconv.Atoi(args[0])
+	if err != nil || v < 0 {
+		r.printf("bad count %q\n", args[0])
 		return
 	}
-	r.printf("added (%d edges so far)\n", r.current.NumEdges())
+	r.currMiss = v
+	r.printf("the open explanation hints at %d forgotten edge(s)\n", v)
 }
 
 func (r *repl) done() {
@@ -232,29 +311,79 @@ func (r *repl) done() {
 		r.printf("no open explanation\n")
 		return
 	}
-	ex, err := provenance.NewByValue(r.current, r.currDis)
+	p, err := provenance.NewPartialByValue(r.current, r.currDis, r.currMiss)
 	if err != nil {
 		r.printf("error: %v\n", err)
 		return
 	}
-	r.examples = append(r.examples, ex)
-	r.current = nil
-	r.printf("explanation %d recorded (distinguished node %s)\n", len(r.examples), ex.DistinguishedValue())
+	if p.IsComplete() {
+		ex, err := p.Explanation()
+		if err != nil {
+			r.printf("error: %v\n", err)
+			return
+		}
+		r.examples = append(r.examples, ex)
+		r.current, r.currMiss = nil, 0
+		r.printf("explanation %d recorded (distinguished node %s)\n", len(r.examples), ex.DistinguishedValue())
+		return
+	}
+	r.partials = append(r.partials, p)
+	r.current, r.currMiss = nil, 0
+	r.printf("fragment %d recorded (%d wildcard(s), %d placeholder(s), %d stranded node(s), %d missing-edge hint); completion runs on 'infer'\n",
+		len(r.partials), len(p.WildcardEdges()), len(p.PlaceholderNodes()), len(p.IsolatedNodes()), p.MissingEdges)
 }
 
 func (r *repl) show() {
-	if len(r.examples) == 0 {
+	if len(r.examples) == 0 && len(r.partials) == 0 {
 		r.printf("no explanations yet\n")
 		return
 	}
 	for i, ex := range r.examples {
 		r.printf("[%d] %s\n", i+1, ex)
 	}
+	for i, p := range r.partials {
+		r.printf("[fragment %d] %s\n", i+1, p)
+	}
+}
+
+// ensureCompleted resolves pending fragments against the ontology before
+// inference: the complete explanations pass through the completion engine
+// untouched (its no-op short-cut) and the fragments are replaced by their
+// highest-gain consistent completions, which become the session's
+// explanations from then on.
+func (r *repl) ensureCompleted(opts core.Options) bool {
+	if len(r.partials) == 0 {
+		return true
+	}
+	pset := make(provenance.PartialExampleSet, 0, len(r.examples)+len(r.partials))
+	for _, ex := range r.examples {
+		pset = append(pset, provenance.FromExplanation(ex))
+	}
+	pset = append(pset, r.partials...)
+	completed, rep, err := core.CompleteExamples(bg, r.g, pset, opts)
+	if err != nil {
+		r.printf("completion failed: %v\n", err)
+		return false
+	}
+	base := len(r.examples)
+	for _, ch := range rep.Choices {
+		if ch.Example < base || ch.Identity {
+			continue
+		}
+		r.printf("fragment %d completed (+%d edge(s), %d wildcard(s) resolved, %d candidate(s) considered)\n",
+			ch.Example-base+1, ch.AddedTriples, ch.ResolvedWildcards, ch.Considered)
+	}
+	if rep.Degraded {
+		r.printf("completion degraded: the resource guard ran out mid-search\n")
+	}
+	r.examples = completed
+	r.partials = nil
+	return true
 }
 
 func (r *repl) infer(args []string) {
-	if len(r.examples) < 2 {
-		r.printf("need at least 2 explanations (have %d)\n", len(r.examples))
+	if len(r.examples)+len(r.partials) < 2 {
+		r.printf("need at least 2 explanations (have %d)\n", len(r.examples)+len(r.partials))
 		return
 	}
 	k := r.k
@@ -268,6 +397,9 @@ func (r *repl) infer(args []string) {
 	}
 	opts := core.DefaultOptions()
 	opts.K = k
+	if !r.ensureCompleted(opts) {
+		return
+	}
 	cands, stats, err := core.InferTopK(bg, r.examples, opts)
 	if err != nil {
 		r.printf("inference failed: %v\n", err)
@@ -292,8 +424,8 @@ func (r *repl) infer(args []string) {
 // robust runs inference with outlier repair first — the extension for
 // incorrect provenance (see core.InferRobust).
 func (r *repl) robust(args []string) {
-	if len(r.examples) < 3 {
-		r.printf("need at least 3 explanations to detect outliers (have %d)\n", len(r.examples))
+	if len(r.examples)+len(r.partials) < 3 {
+		r.printf("need at least 3 explanations to detect outliers (have %d)\n", len(r.examples)+len(r.partials))
 		return
 	}
 	k := r.k
@@ -307,6 +439,9 @@ func (r *repl) robust(args []string) {
 	}
 	opts := core.DefaultOptions()
 	opts.K = k
+	if !r.ensureCompleted(opts) {
+		return
+	}
 	cands, dropped, stats, err := core.InferRobust(bg, r.examples, opts, core.DefaultOutlierOptions())
 	if err != nil {
 		r.printf("robust inference failed: %v\n", err)
@@ -435,6 +570,9 @@ func (r *repl) save(args []string) {
 	if len(r.examples) == 0 {
 		r.printf("nothing to save\n")
 		return
+	}
+	if len(r.partials) > 0 {
+		r.printf("note: %d pending fragment(s) are not saved; run 'infer' to complete them first\n", len(r.partials))
 	}
 	f, err := os.Create(args[0])
 	if err != nil {

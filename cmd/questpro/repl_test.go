@@ -140,3 +140,52 @@ func TestREPLClear(t *testing.T) {
 		t.Fatalf("clear broken:\n%s", out)
 	}
 }
+
+// TestREPLPartialFragmentFlow drives the partial-provenance input mode: a
+// fragment with a wildcard predicate, a stranded entity and a missing-edge
+// hint is recorded as such and completed against the ontology when
+// inference runs.
+func TestREPLPartialFragmentFlow(t *testing.T) {
+	script := strings.Join([]string{
+		"example Alice",
+		"edge paper1 * Alice", // forgotten predicate
+		"edge paper1 wb Bob",
+		"edge paper2 wb Bob",
+		"edge paper2 wb Carol",
+		"edge paper3 wb Carol",
+		"node Erdos", // remembered entity, forgotten connection
+		"missing 1",
+		"done", // -> fragment
+		"example Felix",
+		"edge paper10 wb Felix",
+		"edge paper10 wb Bob",
+		"edge paper2 wb Bob",
+		"edge paper2 wb Carol",
+		"edge paper3 wb Carol",
+		"edge paper3 wb Erdos",
+		"done", // -> complete explanation
+		"show",
+		"infer",
+		"show",
+		"quit",
+	}, "\n") + "\n"
+	out := drive(t, script)
+	for _, want := range []string{
+		"added with a hole (1 edges so far)",
+		"Erdos recorded; completion will connect it on 'infer'",
+		"the open explanation hints at 1 forgotten edge(s)",
+		"fragment 1 recorded (1 wildcard(s), 0 placeholder(s), 1 stranded node(s), 1 missing-edge hint)",
+		"explanation 1 recorded (distinguished node Felix)",
+		"[fragment 1]",
+		"fragment 1 completed",
+		"candidates",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// After inference the fragment has been resolved into an explanation.
+	if strings.Contains(out[strings.Index(out, "candidates"):], "[fragment") {
+		t.Fatalf("fragment survived completion:\n%s", out)
+	}
+}

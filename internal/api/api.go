@@ -1,0 +1,325 @@
+// Package api defines the versioned wire types of the questprod HTTP API.
+//
+// Every request and response body that crosses the service boundary is
+// declared here — internal/service decodes and encodes only these types,
+// internal/client marshals only these types, and the E2E tests round-trip
+// them through the real mux — so the JSON contract has exactly one source
+// of truth. The package deliberately depends on nothing but the standard
+// library: it is the shared vocabulary between client and server, not an
+// implementation layer.
+//
+// # Versioning
+//
+// Version names the wire contract ("v1"); it is both the URL prefix of
+// every session route (POST /v1/sessions, ...) and the schema version
+// pinned by the api-compatibility golden test (make api-check). Additive
+// changes — new optional fields with omitempty, new error codes — are
+// allowed within a version. Renaming or removing a field, changing a type,
+// or dropping omitempty from an always-present field is a breaking change
+// and requires bumping Version (and the URL prefix) so old clients keep a
+// stable contract. The golden test under internal/api/testdata snapshots
+// the JSON schema of every exported type and fails on unversioned drift.
+//
+// # Partial provenance
+//
+// v1 carries the partial-provenance extension (Gilad & Moskovitch;
+// DESIGN.md §11): an Example may declare itself a fragment via the Partial
+// field, edges may use the wildcard label "*", node values prefixed "*"
+// are placeholders, and InferResponse reports how the server completed the
+// fragments in its Completions field.
+package api
+
+import "fmt"
+
+// Version is the wire-contract version: the URL prefix of every session
+// route and the version pinned by the api-check golden schema.
+const Version = "v1"
+
+// Options is the create-request option block. The zero value of every
+// field keeps the server's default (the paper's parameters), so clients
+// set only what they mean to override.
+type Options struct {
+	// NumIter is Algorithm 1's restart count (diversified greedy restarts
+	// per merged pair).
+	NumIter int `json:"num_iter,omitempty"`
+	// K is the top-k beam width for mode "topk".
+	K int `json:"k,omitempty"`
+	// Workers is the session's preferred parallelism; the server clamps it
+	// to the registry's shared worker budget.
+	Workers int `json:"workers,omitempty"`
+	// FirstPairSweep is the number of distinguished-adjacent first pairs
+	// swept per restart (1 recovers the paper's exact Algorithm 1).
+	FirstPairSweep int `json:"first_pair_sweep,omitempty"`
+	// CostW1 and CostW2 weight the query-cost function
+	// f(Q) = CostW1·Σvars + CostW2·|Q| used to rank union branches and
+	// top-k candidates.
+	CostW1 float64 `json:"cost_w1,omitempty"`
+	CostW2 float64 `json:"cost_w2,omitempty"`
+
+	// Resource guard: per-inference budgets for merge/matcher steps,
+	// emitted results and provenance bytes. Zero disables the
+	// corresponding budget; an exhausted budget degrades the run
+	// (200 + "degraded":true) instead of failing it. The completion
+	// search for partial examples charges the same budgets before
+	// inference runs.
+	MaxSteps   int64 `json:"max_steps,omitempty"`
+	MaxResults int64 `json:"max_results,omitempty"`
+	MaxBytes   int64 `json:"max_bytes,omitempty"`
+
+	// MaxCompletions bounds the candidate completions enumerated per
+	// partial example before the ranked choice is made. Zero keeps the
+	// server default; it never disables the bound.
+	MaxCompletions int `json:"max_completions,omitempty"`
+}
+
+// CreateSessionRequest creates a session. Ontology is the graph in the
+// repo's N-Triples dialect (see internal/ntriples).
+type CreateSessionRequest struct {
+	Ontology string  `json:"ontology"`
+	Options  Options `json:"options"`
+}
+
+// CreateSessionResponse carries the new session's id (201 Created).
+type CreateSessionResponse struct {
+	SessionID string `json:"session_id"`
+}
+
+// PartialSpec marks an Example as a provenance fragment to be completed
+// against the ontology before inference. Its presence — even zero-valued —
+// is the partial marker; a nil Partial field means the example is complete
+// provenance exactly as in the base protocol.
+type PartialSpec struct {
+	// MissingEdges is the user's estimate of how many edges were forgotten
+	// (0 = unknown count, "complete the fragment as needed"). The
+	// completion engine treats it as a hint for how many ontology edges to
+	// add, never as a hard requirement.
+	MissingEdges int `json:"missing_edges,omitempty"`
+}
+
+// Example is one provenance example on the wire: a subgraph in the
+// N-Triples dialect plus the distinguished node's value. A partial example
+// (Partial != nil) may additionally use the wildcard label "*" on edges
+// whose predicate the user forgot, and node values prefixed "*" (e.g.
+// "*1") as placeholders for forgotten entities.
+type Example struct {
+	Triples       string       `json:"triples"`
+	Distinguished string       `json:"distinguished"`
+	Partial       *PartialSpec `json:"partial,omitempty"`
+}
+
+// ExamplesRequest submits the session's example-set, replacing any
+// previous one.
+type ExamplesRequest struct {
+	Examples []Example `json:"examples"`
+}
+
+// ExamplesResponse acknowledges the example-set.
+type ExamplesResponse struct {
+	// Examples is the number of examples accepted.
+	Examples int `json:"examples"`
+	// Partial is how many of them are fragments awaiting completion.
+	Partial int `json:"partial,omitempty"`
+}
+
+// InferRequest runs inference. Mode is "simple", "union" or "topk"
+// (empty = "union"). TimeoutMS, when positive, bounds the run server-side:
+// a request exceeding it aborts mid-search with a 504 rather than holding
+// workers.
+type InferRequest struct {
+	Mode      string `json:"mode"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// Candidate is one top-k candidate query.
+type Candidate struct {
+	SPARQL string  `json:"sparql"`
+	Cost   float64 `json:"cost"`
+}
+
+// Stats summarizes the work an inference performed (deterministic for
+// fixed inputs and options, independent of worker count).
+type Stats struct {
+	Algorithm1Calls int   `json:"algorithm1_calls"`
+	Rounds          int   `json:"rounds"`
+	CacheHits       int   `json:"cache_hits"`
+	CacheMisses     int   `json:"cache_misses"`
+	GainEvals       int64 `json:"gain_evals"`
+	Restarts        int   `json:"restarts"`
+	WallMS          int64 `json:"wall_ms"`
+	GuardSteps      int64 `json:"guard_steps,omitempty"`
+	// CompletionsConsidered / CompletionsAccepted count the candidate
+	// completions the partial-provenance engine enumerated and the
+	// non-identity completions it committed to. Both are zero on
+	// full-provenance runs.
+	CompletionsConsidered int64 `json:"completions_considered,omitempty"`
+	CompletionsAccepted   int64 `json:"completions_accepted,omitempty"`
+}
+
+// CompletionChoice records how one partial example was completed.
+type CompletionChoice struct {
+	// Example is the index of the example in the submitted set.
+	Example int `json:"example"`
+	// Identity: the fragment was already complete (or the budget allowed
+	// nothing better) and was used as-is.
+	Identity bool `json:"identity,omitempty"`
+	// AddedTriples and ResolvedWildcards count the repairs applied.
+	AddedTriples      int `json:"added_triples,omitempty"`
+	ResolvedWildcards int `json:"resolved_wildcards,omitempty"`
+	// Considered is how many candidate completions were ranked for this
+	// example.
+	Considered int `json:"considered"`
+	// Triples is the completed explanation in the N-Triples dialect.
+	Triples string `json:"triples"`
+}
+
+// Completions reports the completion phase that precedes inference when
+// the example-set contains fragments.
+type Completions struct {
+	Considered int64 `json:"considered"`
+	Accepted   int64 `json:"accepted"`
+	// Degraded: the completion search exhausted its share of the resource
+	// guard and fell back to the best candidates found so far.
+	Degraded bool               `json:"degraded,omitempty"`
+	Choices  []CompletionChoice `json:"choices,omitempty"`
+}
+
+// InferResponse is the inference result.
+type InferResponse struct {
+	Mode   string `json:"mode"`
+	SPARQL string `json:"sparql"`
+	// Degraded: the run exhausted its resource guard; SPARQL is the best
+	// consistent partial state, not the fixpoint.
+	Degraded   bool        `json:"degraded,omitempty"`
+	Candidates []Candidate `json:"candidates,omitempty"`
+	// Completions is present iff the example-set contained partial
+	// examples; it reports how they were completed.
+	Completions *Completions `json:"completions,omitempty"`
+	Stats       Stats        `json:"stats"`
+}
+
+// CompletionsResponse serves GET /v1/sessions/{id}/completions: the
+// completion report of the most recent inference. Completions is null when
+// no inference has run or the example-set had no fragments.
+type CompletionsResponse struct {
+	Completions *Completions `json:"completions"`
+}
+
+// FeedbackRequest starts the interactive feedback dialogue; MaxQuestions 0
+// means unbounded.
+type FeedbackRequest struct {
+	MaxQuestions int `json:"max_questions,omitempty"`
+}
+
+// AnswerRequest answers the pending feedback question.
+type AnswerRequest struct {
+	Include bool `json:"include"`
+}
+
+// FeedbackResponse is a feedback-dialogue event: either a pending question
+// (!Done) or the final decision (Done).
+type FeedbackResponse struct {
+	Done bool `json:"done"`
+	// Pending question, when !Done.
+	Result     string `json:"result,omitempty"`
+	Provenance string `json:"provenance,omitempty"`
+	// Decision, when Done.
+	Chosen    int    `json:"chosen,omitempty"`
+	SPARQL    string `json:"sparql,omitempty"`
+	Questions int    `json:"questions"`
+	Truncated bool   `json:"truncated,omitempty"`
+	// Redelivered: the answer was not consumed (no question was awaiting
+	// one); answer the event returned here instead.
+	Redelivered bool `json:"redelivered,omitempty"`
+}
+
+// DeleteSessionResponse acknowledges an eviction.
+type DeleteSessionResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// Counters is the cumulative per-session counter block of
+// SessionStatsResponse (the same counters Stats reports per inference).
+type Counters struct {
+	Algorithm1Calls       int64 `json:"algorithm1_calls"`
+	Rounds                int64 `json:"rounds"`
+	CacheHits             int64 `json:"cache_hits"`
+	CacheMisses           int64 `json:"cache_misses"`
+	GainEvals             int64 `json:"gain_evals"`
+	Restarts              int64 `json:"restarts"`
+	CompletionsConsidered int64 `json:"completions_considered,omitempty"`
+	CompletionsAccepted   int64 `json:"completions_accepted,omitempty"`
+}
+
+// SessionStatsResponse serves GET /v1/sessions/{id}/stats.
+type SessionStatsResponse struct {
+	Infers    int      `json:"infers"`
+	Examples  int      `json:"examples"`
+	HasQuery  bool     `json:"has_query"`
+	Counters  Counters `json:"counters"`
+	LastError string   `json:"last_error,omitempty"`
+}
+
+// TraceNode is one span of an operation trace: the wire mirror of
+// internal/obs.Node, declared here so the trace shape is part of the
+// versioned contract.
+type TraceNode struct {
+	Kind        string            `json:"kind"`
+	StartUnixNs int64             `json:"start_unix_ns"`
+	DurationNs  int64             `json:"duration_ns"`
+	Outcome     string            `json:"outcome,omitempty"`
+	Counters    map[string]int64  `json:"counters,omitempty"`
+	Labels      map[string]string `json:"labels,omitempty"`
+	Children    []*TraceNode      `json:"children,omitempty"`
+}
+
+// TraceResponse serves GET /v1/sessions/{id}/trace: the root spans of the
+// session's most recent operations, oldest first.
+type TraceResponse struct {
+	Traces []*TraceNode `json:"traces"`
+}
+
+// Error codes: the machine-readable classification of every non-2xx
+// response (the human-readable message rides in Error.Message).
+const (
+	// CodeBadRequest: malformed JSON, unparsable triples, invalid options.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: the session id does not exist (or was evicted).
+	CodeNotFound = "not_found"
+	// CodeTooLarge: the request body exceeded the server's byte cap.
+	CodeTooLarge = "request_too_large"
+	// CodeOverloaded: the request was shed for load; retry after
+	// RetryAfterSec.
+	CodeOverloaded = "overloaded"
+	// CodeNoConsistentQuery: no consistent query exists for the example
+	// set (or a fragment admits no completion) — the client's data.
+	CodeNoConsistentQuery = "no_consistent_query"
+	// CodeBudgetExhausted: the resource guard was exhausted with nothing
+	// to degrade to.
+	CodeBudgetExhausted = "budget_exhausted"
+	// CodeCanceled: the request's deadline or context died server-side.
+	CodeCanceled = "canceled"
+	// CodeInternal: a recovered panic or other server fault.
+	CodeInternal = "internal"
+)
+
+// Error is the uniform envelope of every non-2xx response: the same three
+// fields regardless of which layer failed, so clients decode exactly one
+// shape. The JSON key of Message is "error" (the envelope predates the
+// code field and v1 keeps it for compatibility).
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is the human-readable error.
+	Message string `json:"error"`
+	// RetryAfterSec mirrors the Retry-After header on 429 responses
+	// (seconds; 0 when absent).
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return e.Message
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}

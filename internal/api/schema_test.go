@@ -1,0 +1,130 @@
+package api
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden schema snapshot")
+
+// wireTypes enumerates every exported wire type; a new request/response
+// shape must be added here (and to the golden file) to become part of the
+// contract.
+var wireTypes = []any{
+	Options{},
+	CreateSessionRequest{},
+	CreateSessionResponse{},
+	PartialSpec{},
+	Example{},
+	ExamplesRequest{},
+	ExamplesResponse{},
+	InferRequest{},
+	Candidate{},
+	Stats{},
+	CompletionChoice{},
+	Completions{},
+	InferResponse{},
+	CompletionsResponse{},
+	FeedbackRequest{},
+	AnswerRequest{},
+	FeedbackResponse{},
+	DeleteSessionResponse{},
+	Counters{},
+	SessionStatsResponse{},
+	TraceNode{},
+	TraceResponse{},
+	Error{},
+}
+
+// errorCodes enumerates the machine-readable error codes of the contract.
+var errorCodes = []string{
+	CodeBadRequest,
+	CodeNotFound,
+	CodeTooLarge,
+	CodeOverloaded,
+	CodeNoConsistentQuery,
+	CodeBudgetExhausted,
+	CodeCanceled,
+	CodeInternal,
+}
+
+// renderSchema flattens the JSON contract of every wire type into a
+// deterministic text form: one "Type.Field json-tag go-type" line per
+// field, recursing into anonymous struct types.
+func renderSchema() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version %s\n\n", Version)
+	for _, v := range wireTypes {
+		t := reflect.TypeOf(v)
+		fmt.Fprintf(&b, "type %s\n", t.Name())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := f.Tag.Get("json")
+			if tag == "" {
+				tag = "-"
+			}
+			fmt.Fprintf(&b, "  %-22s %-28s %s\n", f.Name, tag, f.Type.String())
+		}
+		b.WriteString("\n")
+	}
+	codes := append([]string(nil), errorCodes...)
+	sort.Strings(codes)
+	b.WriteString("error codes\n")
+	for _, c := range codes {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+	return b.String()
+}
+
+// TestSchemaGolden pins the wire contract: any rename, removal, type
+// change, or tag change of an api field shows up as a diff against the
+// committed snapshot and must be accompanied by a Version bump (or, for
+// additive changes, a deliberate regeneration with -update).
+func TestSchemaGolden(t *testing.T) {
+	got := renderSchema()
+	path := filepath.Join("testdata", "schema_"+Version+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden schema (run `go test ./internal/api -run TestSchemaGolden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("wire schema drifted from %s.\nIf the change is an intentional additive change, regenerate with -update;\nbreaking changes require bumping api.Version.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestSchemaOmitemptyDiscipline enforces the versioning policy mechanically
+// where it can be: booleans and pointers that are optional must carry
+// omitempty so additive growth stays backward compatible, and no wire type
+// may contain an interface or map[string]any field (every shape is static).
+func TestSchemaNoUntypedFields(t *testing.T) {
+	for _, v := range wireTypes {
+		t2 := reflect.TypeOf(v)
+		for i := 0; i < t2.NumField(); i++ {
+			f := t2.Field(i)
+			if f.Type.Kind() == reflect.Interface {
+				t.Errorf("%s.%s is an interface; wire shapes must be static", t2.Name(), f.Name)
+			}
+			if f.Type.Kind() == reflect.Map && f.Type.Elem().Kind() == reflect.Interface {
+				t.Errorf("%s.%s is a map with interface values; wire shapes must be static", t2.Name(), f.Name)
+			}
+		}
+	}
+}

@@ -21,8 +21,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"questpro/internal/api"
 	"questpro/internal/qerr"
 )
+
+// sessions is the versioned URL prefix of every session route.
+const sessions = "/" + api.Version + "/sessions"
 
 // Config sizes a Client. The zero value of every field selects its default.
 type Config struct {
@@ -100,17 +104,23 @@ func New(cfg Config) *Client {
 // performed, across all requests (test observability).
 func (c *Client) Retries() int64 { return c.retried.Load() }
 
-// APIError is a non-2xx response: the status, the server's error message,
-// and the parsed Retry-After hint (zero when absent). It matches
-// qerr.ErrOverloaded under errors.Is when the status is 429, so callers
-// can branch on shedding without importing net/http statuses.
+// APIError is a non-2xx response: the HTTP status, the decoded api.Error
+// envelope (code + message), and the Retry-After hint (zero when absent) —
+// taken from the header, or from the envelope's retry_after_sec field when
+// the header is missing. It matches qerr.ErrOverloaded under errors.Is
+// when the status is 429, so callers can branch on shedding without
+// importing net/http statuses.
 type APIError struct {
 	Status     int
+	Code       string
 	Message    string
 	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: server returned %d (%s): %s", e.Status, e.Code, e.Message)
+	}
 	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
 }
 
@@ -227,12 +237,14 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		}
 		return nil, nil
 	}
+	// Every non-2xx body is the uniform api.Error envelope; a raw-text
+	// fallback keeps proxies and middleware that bypass the service legible.
 	ae := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
-	var wire struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(raw, &wire) == nil && wire.Error != "" {
-		ae.Message = wire.Error
+	var wire api.Error
+	if json.Unmarshal(raw, &wire) == nil && wire.Message != "" {
+		ae.Code = wire.Code
+		ae.Message = wire.Message
+		ae.RetryAfter = time.Duration(wire.RetryAfterSec) * time.Second
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
@@ -242,51 +254,15 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	return ae, nil
 }
 
-// Options mirrors the create-request option block (zero fields keep the
-// server's defaults; see internal/service createRequest).
-type Options struct {
-	NumIter        int     `json:"num_iter,omitempty"`
-	K              int     `json:"k,omitempty"`
-	Workers        int     `json:"workers,omitempty"`
-	FirstPairSweep int     `json:"first_pair_sweep,omitempty"`
-	CostW1         float64 `json:"cost_w1,omitempty"`
-	CostW2         float64 `json:"cost_w2,omitempty"`
-	MaxSteps       int64   `json:"max_steps,omitempty"`
-	MaxResults     int64   `json:"max_results,omitempty"`
-	MaxBytes       int64   `json:"max_bytes,omitempty"`
-}
-
-// Example is one provenance example on the wire.
-type Example struct {
-	Triples       string `json:"triples"`
-	Distinguished string `json:"distinguished"`
-}
-
-// Candidate is one top-k candidate.
-type Candidate struct {
-	SPARQL string  `json:"sparql"`
-	Cost   float64 `json:"cost"`
-}
-
-// InferResult is the inference response.
-type InferResult struct {
-	Mode       string      `json:"mode"`
-	SPARQL     string      `json:"sparql"`
-	Degraded   bool        `json:"degraded"`
-	Candidates []Candidate `json:"candidates"`
-}
-
 // CreateSession creates a session over the ontology (N-Triples text) and
-// returns its id. opts may be nil.
-func (c *Client) CreateSession(ctx context.Context, ontology string, opts *Options) (string, error) {
-	req := map[string]any{"ontology": ontology}
+// returns its id. opts may be nil (the server's defaults apply).
+func (c *Client) CreateSession(ctx context.Context, ontology string, opts *api.Options) (string, error) {
+	req := api.CreateSessionRequest{Ontology: ontology}
 	if opts != nil {
-		req["options"] = opts
+		req.Options = *opts
 	}
-	var resp struct {
-		SessionID string `json:"session_id"`
-	}
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp); err != nil {
+	var resp api.CreateSessionResponse
+	if err := c.do(ctx, http.MethodPost, sessions, req, &resp); err != nil {
 		return "", err
 	}
 	if resp.SessionID == "" {
@@ -295,21 +271,66 @@ func (c *Client) CreateSession(ctx context.Context, ontology string, opts *Optio
 	return resp.SessionID, nil
 }
 
-// SetExamples submits the session's example-set.
-func (c *Client) SetExamples(ctx context.Context, sessionID string, exs []Example) error {
-	return c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/examples",
-		map[string]any{"examples": exs}, nil)
+// SetExamples submits the session's example-set. Examples carrying a
+// Partial spec switch the session into partial input mode (see
+// SetPartialExamples for the convenience wrapper).
+func (c *Client) SetExamples(ctx context.Context, sessionID string, exs []api.Example) error {
+	return c.do(ctx, http.MethodPost, sessions+"/"+sessionID+"/examples",
+		api.ExamplesRequest{Examples: exs}, nil)
+}
+
+// SetPartialExamples submits the example-set as provenance fragments: every
+// example without an explicit Partial spec gets the zero spec, so the whole
+// set enters the completion pipeline (wildcard "*" labels, "*"-prefixed
+// placeholder values and missing-edge hints are resolved against the
+// ontology before inference). It returns the server's acknowledgment with
+// the fragment count.
+func (c *Client) SetPartialExamples(ctx context.Context, sessionID string, exs []api.Example) (*api.ExamplesResponse, error) {
+	marked := make([]api.Example, len(exs))
+	for i, e := range exs {
+		if e.Partial == nil {
+			e.Partial = &api.PartialSpec{}
+		}
+		marked[i] = e
+	}
+	var resp api.ExamplesResponse
+	if err := c.do(ctx, http.MethodPost, sessions+"/"+sessionID+"/examples",
+		api.ExamplesRequest{Examples: marked}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Infer runs inference ("simple", "union" or "topk"); timeout bounds the
-// run server-side (0 = none).
-func (c *Client) Infer(ctx context.Context, sessionID, mode string, timeout time.Duration) (*InferResult, error) {
-	req := map[string]any{"mode": mode}
+// run server-side (0 = none). On a partial example-set the response's
+// Completions field reports how the fragments were resolved.
+func (c *Client) Infer(ctx context.Context, sessionID, mode string, timeout time.Duration) (*api.InferResponse, error) {
+	req := api.InferRequest{Mode: mode}
 	if timeout > 0 {
-		req["timeout_ms"] = int(timeout / time.Millisecond)
+		req.TimeoutMS = int(timeout / time.Millisecond)
 	}
-	var resp InferResult
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/infer", req, &resp); err != nil {
+	var resp api.InferResponse
+	if err := c.do(ctx, http.MethodPost, sessions+"/"+sessionID+"/infer", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Completions fetches the completion report of the session's most recent
+// inference. A nil report (with nil error) means no inference has run yet
+// or the example-set had no fragments.
+func (c *Client) Completions(ctx context.Context, sessionID string) (*api.Completions, error) {
+	var resp api.CompletionsResponse
+	if err := c.do(ctx, http.MethodGet, sessions+"/"+sessionID+"/completions", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Completions, nil
+}
+
+// Stats fetches the session's cumulative counters.
+func (c *Client) Stats(ctx context.Context, sessionID string) (*api.SessionStatsResponse, error) {
+	var resp api.SessionStatsResponse
+	if err := c.do(ctx, http.MethodGet, sessions+"/"+sessionID+"/stats", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -317,5 +338,5 @@ func (c *Client) Infer(ctx context.Context, sessionID, mode string, timeout time
 
 // DeleteSession evicts the session.
 func (c *Client) DeleteSession(ctx context.Context, sessionID string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+sessionID, nil, nil)
+	return c.do(ctx, http.MethodDelete, sessions+"/"+sessionID, nil, nil)
 }

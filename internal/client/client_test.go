@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"questpro/internal/api"
 	"questpro/internal/ntriples"
 	"questpro/internal/paperfix"
 	"questpro/internal/qerr"
@@ -174,14 +175,14 @@ func TestEndToEndAgainstService(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	c := New(fastCfg(ts.URL))
-	id, err := c.CreateSession(bg, ntriples.Format(paperfix.Ontology()), &Options{NumIter: 40})
+	id, err := c.CreateSession(bg, ntriples.Format(paperfix.Ontology()), &api.Options{NumIter: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := paperfix.Ontology()
-	var exs []Example
+	var exs []api.Example
 	for _, e := range paperfix.Explanations(o) {
-		exs = append(exs, Example{
+		exs = append(exs, api.Example{
 			Triples:       ntriples.Format(e.Graph),
 			Distinguished: e.DistinguishedValue(),
 		})

@@ -1,0 +1,744 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/obs"
+	"questpro/internal/provenance"
+	"questpro/internal/qerr"
+	"questpro/internal/query"
+)
+
+// This file implements the completion engine for partial provenance
+// (DESIGN.md §11): given fragments — explanations with wildcard labels,
+// placeholder nodes, and missing edges — enumerate candidate completions
+// against the frozen CSR ontology, rank them by the Algorithm-1 gain
+// function against the rest of the example-set, and hand completed
+// explanations to the unchanged InferUnion/InferTopK pipeline.
+//
+// The search is deterministic (all enumeration follows node/edge/label id
+// order), bounded (Options.MaxCompletions candidates per fragment, every
+// unit of work charged against Options.Guard), and degrades instead of
+// wedging: an exhausted budget commits to the best candidate ranked so far
+// — the raw fragment if none was — exactly like a degraded inference.
+
+// CompletionChoice records how one fragment was completed.
+type CompletionChoice struct {
+	// Example is the fragment's index in the input set.
+	Example int
+
+	// Identity: the fragment was already complete, or the budget ran out
+	// before any candidate was built, and the fragment was used as-is.
+	Identity bool
+
+	// AddedTriples counts ontology edges added for missing/stranded parts;
+	// ResolvedWildcards counts wildcard labels and placeholder nodes bound
+	// to concrete ontology values.
+	AddedTriples      int
+	ResolvedWildcards int
+
+	// Considered is how many candidate completions were enumerated for
+	// this fragment (0 for a complete fragment — the identity short-cut
+	// never searches, which is what makes full provenance a strict no-op).
+	Considered int
+}
+
+// CompletionReport summarizes a CompleteExamples run.
+type CompletionReport struct {
+	// Considered and Accepted count candidates enumerated across all
+	// fragments and non-identity completions committed.
+	Considered int64
+	Accepted   int64
+
+	// Degraded: the guard budget ran out mid-search and at least one
+	// choice is best-effort rather than the full ranking's winner.
+	Degraded bool
+
+	// GuardUsage is the completion meter's final reading; callers running
+	// inference afterwards shrink its guard with Guard.Reduce(GuardUsage)
+	// so both phases share one budget.
+	GuardUsage eval.Usage
+
+	// Choices has one entry per fragment, in input order.
+	Choices []CompletionChoice
+}
+
+// candState is one assignment of concrete values to a fragment's holes:
+// nodeVal[i] is the ontology value of fragment node i (filled for concrete
+// nodes up front, resolved for placeholders during the search) and
+// edgeLab[j] the predicate of fragment edge j ("" while a wildcard is
+// unresolved).
+type candState struct {
+	nodeVal []string
+	edgeLab []string
+}
+
+func (s *candState) clone() *candState {
+	return &candState{
+		nodeVal: append([]string(nil), s.nodeVal...),
+		edgeLab: append([]string(nil), s.edgeLab...),
+	}
+}
+
+func (s *candState) usesValue(v string) bool {
+	for _, w := range s.nodeVal {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// builtCand is a fully materialized candidate completion.
+type builtCand struct {
+	ex     provenance.Explanation
+	ground *query.Simple
+	added  int
+	wilds  int
+	score  float64
+	scored bool
+}
+
+// CompleteExamples resolves every fragment of pex into a complete
+// explanation, ranking candidate completions by the Algorithm-1 gain
+// against the already-complete members of the set (completed fragments
+// join the reference pool in index order, so later fragments are ranked
+// against earlier ones). Complete fragments pass through untouched.
+//
+// Errors: a fragment value absent from the ontology, a fragment edge the
+// ontology does not admit, or a hole with no candidate at all yield an
+// error matching qerr.ErrNoConsistentQuery (the fragment cannot be the
+// provenance of any query over this ontology); cancellation matches
+// qerr.ErrCanceled. An exhausted Options.Guard is NOT an error here: the
+// run degrades to the best candidates found and reports it via
+// CompletionReport.Degraded, mirroring InferUnion's degraded mode.
+func CompleteExamples(ctx context.Context, onto *graph.Graph, pex provenance.PartialExampleSet, opts Options) (_ provenance.ExampleSet, rep CompletionReport, err error) {
+	if err := pex.Validate(); err != nil {
+		return nil, rep, err
+	}
+	maxC := opts.MaxCompletions
+	if maxC <= 0 {
+		maxC = DefaultMaxCompletions
+	}
+	m := opts.Guard.NewMeter()
+	ctx, sp := obs.StartSpan(ctx, "complete.examples")
+	defer func() {
+		if sp == nil {
+			return
+		}
+		sp.SetInt("considered", rep.Considered)
+		sp.SetInt("accepted", rep.Accepted)
+		switch {
+		case err != nil:
+			sp.SetOutcome("error")
+		case rep.Degraded:
+			sp.SetOutcome("degraded")
+		default:
+			sp.SetOutcome("ok")
+		}
+		sp.Finish()
+	}()
+
+	out := make(provenance.ExampleSet, len(pex))
+	rep.Choices = make([]CompletionChoice, len(pex))
+	var refs []*query.Simple
+	var incomplete []int
+	for i, p := range pex {
+		if !p.IsComplete() {
+			incomplete = append(incomplete, i)
+			continue
+		}
+		e, cerr := p.Explanation()
+		if cerr != nil {
+			return nil, rep, cerr
+		}
+		out[i] = e
+		rep.Choices[i] = CompletionChoice{Example: i, Identity: true}
+		if q, qerr2 := query.FromExplanation(e.Graph, e.Distinguished); qerr2 == nil {
+			refs = append(refs, q)
+		}
+	}
+	for _, i := range incomplete {
+		ex, ch, cerr := completeOne(ctx, onto, pex[i], refs, opts, maxC, m, &rep)
+		if cerr != nil {
+			rep.GuardUsage = m.Snapshot()
+			return nil, rep, fmt.Errorf("core: fragment %d: %w", i, cerr)
+		}
+		ch.Example = i
+		out[i] = ex
+		rep.Choices[i] = ch
+		rep.Considered += int64(ch.Considered)
+		if !ch.Identity {
+			rep.Accepted++
+		}
+		if q, qerr2 := query.FromExplanation(ex.Graph, ex.Distinguished); qerr2 == nil {
+			refs = append(refs, q)
+		}
+	}
+	rep.GuardUsage = m.Snapshot()
+	return out, rep, nil
+}
+
+// completeOne runs the bounded candidate search for a single fragment.
+func completeOne(ctx context.Context, onto *graph.Graph, p provenance.PartialExplanation, refs []*query.Simple, opts Options, maxC int, m *eval.Meter, rep *CompletionReport) (provenance.Explanation, CompletionChoice, error) {
+	var ch CompletionChoice
+	identity := func() (provenance.Explanation, CompletionChoice, error) {
+		// Budget fallback: use the raw fragment as-is. Wildcards and
+		// placeholders survive as literal values — a degraded answer, the
+		// same contract as a guard-exhausted inference.
+		ch.Identity = true
+		rep.Degraded = true
+		e, err := provenance.New(p.Graph, p.Distinguished)
+		if err != nil {
+			return provenance.Explanation{}, ch, err
+		}
+		return e, ch, nil
+	}
+
+	st, err := initialState(onto, p)
+	if err != nil {
+		return provenance.Explanation{}, ch, err
+	}
+
+	// Stage 1+2: resolve placeholders (node-id order) then wildcard labels
+	// (edge-id order), breadth-first over at most maxC assignment states.
+	states := []*candState{st}
+	truncated := false
+	expand := func(holes []int, candidatesOf func(*candState, int) []string, set func(*candState, int, string)) error {
+		for _, h := range holes {
+			if err := ctx.Err(); err != nil {
+				return qerr.Canceled(err)
+			}
+			var next []*candState
+			for _, s := range states {
+				if m.Exhausted() {
+					truncated = true
+					break
+				}
+				m.ChargeSteps(1)
+				for _, v := range candidatesOf(s, h) {
+					if len(next) >= maxC {
+						truncated = true
+						break
+					}
+					ns := s.clone()
+					set(ns, h, v)
+					next = append(next, ns)
+				}
+			}
+			if len(next) == 0 {
+				if truncated {
+					return nil // exhausted before any expansion: keep states
+				}
+				return fmt.Errorf("core: no ontology candidate for a fragment hole: %w", qerr.ErrNoConsistentQuery)
+			}
+			states = next
+		}
+		return nil
+	}
+
+	phNodes := make([]int, 0)
+	for _, n := range p.PlaceholderNodes() {
+		phNodes = append(phNodes, int(n))
+	}
+	if err := expand(phNodes,
+		func(s *candState, h int) []string { return placeholderCandidates(onto, p, s, graph.NodeID(h), maxC) },
+		func(s *candState, h int, v string) { s.nodeVal[h] = v },
+	); err != nil {
+		return provenance.Explanation{}, ch, err
+	}
+	wcEdges := make([]int, 0)
+	for _, e := range p.WildcardEdges() {
+		wcEdges = append(wcEdges, int(e))
+	}
+	if err := expand(wcEdges,
+		func(s *candState, h int) []string { return wildcardLabels(onto, p, s, graph.EdgeID(h)) },
+		func(s *candState, h int, v string) { s.edgeLab[h] = v },
+	); err != nil {
+		return provenance.Explanation{}, ch, err
+	}
+	if truncated && len(states) == 0 {
+		return identity()
+	}
+
+	// Stage 3: per state, enumerate missing-edge selections from the pool
+	// of ontology edges between fragment-node images, and build candidates.
+	var cands []builtCand
+	for _, s := range states {
+		if len(cands) >= maxC || m.Exhausted() {
+			truncated = true
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return provenance.Explanation{}, ch, qerr.Canceled(err)
+		}
+		pool := edgePool(onto, p, s)
+		subsets, serr := missingEdgeSubsets(p, s, pool, maxC-len(cands))
+		if serr != nil {
+			return provenance.Explanation{}, ch, serr
+		}
+		for _, sub := range subsets {
+			if len(cands) >= maxC {
+				truncated = true
+				break
+			}
+			m.ChargeSteps(1)
+			if m.Exhausted() {
+				truncated = true
+				break
+			}
+			added := make([]poolEdge, len(sub))
+			for k, pi := range sub {
+				added[k] = pool[pi]
+			}
+			ex, ok := buildCandidate(onto, p, s, added)
+			if !ok {
+				continue
+			}
+			g, gerr := query.FromExplanation(ex.Graph, ex.Distinguished)
+			if gerr != nil {
+				continue
+			}
+			cands = append(cands, builtCand{
+				ex: ex, ground: g, added: len(added),
+				wilds: len(phNodes) + len(wcEdges),
+			})
+		}
+	}
+	if len(cands) == 0 {
+		if truncated {
+			return identity()
+		}
+		return provenance.Explanation{}, ch, fmt.Errorf("core: fragment admits no completion: %w", qerr.ErrNoConsistentQuery)
+	}
+	ch.Considered = len(cands)
+
+	// Rank by total Algorithm-1 gain against the reference pool. Scoring
+	// charges the same pair cost the merge engine does; on exhaustion the
+	// ranking stops and the best fully scored candidate (or the first
+	// candidate) wins — degraded, never wedged.
+	best := 0
+	if len(refs) > 0 && len(cands) > 1 {
+		sOpts := opts
+		sOpts.NumIter = 1
+		sOpts.FirstPairSweep = 1
+		sOpts.Workers = 1
+		sOpts.Guard = eval.Guard{}
+		bestScored := -1
+	score:
+		for i := range cands {
+			for _, ref := range refs {
+				if err := ctx.Err(); err != nil {
+					return provenance.Explanation{}, ch, qerr.Canceled(err)
+				}
+				if !m.ChargeSteps(pairCost(cands[i].ground, ref)) {
+					rep.Degraded = true
+					truncated = true
+					break score
+				}
+				res, ok, merr := MergePairCtx(ctx, cands[i].ground, ref, sOpts)
+				if merr != nil {
+					return provenance.Explanation{}, ch, merr
+				}
+				if ok {
+					cands[i].score += res.Gain
+				}
+			}
+			cands[i].scored = true
+			if bestScored < 0 || cands[i].score > cands[bestScored].score {
+				bestScored = i
+			}
+		}
+		if bestScored >= 0 {
+			best = bestScored
+		}
+	}
+	if truncated {
+		rep.Degraded = true
+	}
+	ch.AddedTriples = cands[best].added
+	ch.ResolvedWildcards = cands[best].wilds
+	return cands[best].ex, ch, nil
+}
+
+// initialState seeds the assignment with the fragment's concrete values
+// and labels, validating them against the ontology: every concrete value
+// must name an ontology node and every fully concrete edge must exist in
+// the ontology (fragments are subgraphs of the ontology by definition).
+func initialState(onto *graph.Graph, p provenance.PartialExplanation) (*candState, error) {
+	st := &candState{
+		nodeVal: make([]string, p.Graph.NumNodes()),
+		edgeLab: make([]string, p.Graph.NumEdges()),
+	}
+	for i := 0; i < p.Graph.NumNodes(); i++ {
+		v := p.Graph.Node(graph.NodeID(i)).Value
+		if provenance.IsPlaceholder(v) {
+			continue
+		}
+		if _, ok := onto.NodeByValue(v); !ok {
+			return nil, fmt.Errorf("core: fragment value %q not in ontology: %w", v, qerr.ErrNoConsistentQuery)
+		}
+		st.nodeVal[i] = v
+	}
+	for i := 0; i < p.Graph.NumEdges(); i++ {
+		e := p.Graph.Edge(graph.EdgeID(i))
+		if provenance.IsWildcardLabel(e.Label) {
+			continue
+		}
+		st.edgeLab[i] = e.Label
+		fv, tv := st.nodeVal[e.From], st.nodeVal[e.To]
+		if fv == "" || tv == "" {
+			continue // placeholder endpoint; existence is enforced by resolution
+		}
+		fn, _ := onto.NodeByValue(fv)
+		tn, _ := onto.NodeByValue(tv)
+		if !onto.HasEdgeTriple(fn.ID, tn.ID, e.Label) {
+			return nil, fmt.Errorf("core: fragment edge %s -%s-> %s not in ontology: %w",
+				fv, e.Label, tv, qerr.ErrNoConsistentQuery)
+		}
+	}
+	return st, nil
+}
+
+// placeholderCandidates lists the ontology values a placeholder node may
+// take: the intersection of the neighbor sets demanded by its incident
+// edges whose other endpoint is already resolved (wildcard-labeled
+// constraints accept any predicate), falling back to a label-only scan
+// when no endpoint constraint exists yet. Values already used by the state
+// are excluded (distinct fragment nodes name distinct entities). Order is
+// deterministic: ontology edge-id order of the first constraint.
+func placeholderCandidates(onto *graph.Graph, p provenance.PartialExplanation, st *candState, pid graph.NodeID, maxC int) []string {
+	var lists [][]string
+	for i := 0; i < p.Graph.NumEdges(); i++ {
+		e := p.Graph.Edge(graph.EdgeID(i))
+		var other graph.NodeID
+		var out bool // pid is the edge's source
+		switch {
+		case e.From == pid && e.To != pid:
+			other, out = e.To, true
+		case e.To == pid && e.From != pid:
+			other, out = e.From, false
+		default:
+			continue
+		}
+		ov := st.nodeVal[other]
+		if ov == "" {
+			continue
+		}
+		on, ok := onto.NodeByValue(ov)
+		if !ok {
+			return nil
+		}
+		lab := st.edgeLab[i]
+		var vals []string
+		if out { // candidate -lab-> other
+			if lab == "" || provenance.IsWildcardLabel(lab) {
+				for _, eid := range onto.InEdges(on.ID) {
+					vals = append(vals, onto.Node(onto.Edge(eid).From).Value)
+				}
+			} else {
+				for _, eid := range onto.EdgesByLabelTo(lab, on.ID) {
+					vals = append(vals, onto.Node(onto.Edge(eid).From).Value)
+				}
+			}
+		} else { // other -lab-> candidate
+			if lab == "" || provenance.IsWildcardLabel(lab) {
+				for _, eid := range onto.OutEdges(on.ID) {
+					vals = append(vals, onto.Node(onto.Edge(eid).To).Value)
+				}
+			} else {
+				for _, eid := range onto.EdgesByLabelFrom(lab, on.ID) {
+					vals = append(vals, onto.Node(onto.Edge(eid).To).Value)
+				}
+			}
+		}
+		lists = append(lists, dedupStrings(vals))
+	}
+	if len(lists) == 0 {
+		// No resolved neighbor yet (e.g. a concrete-labeled edge between
+		// two placeholders): constrain by label alone.
+		for i := 0; i < p.Graph.NumEdges(); i++ {
+			e := p.Graph.Edge(graph.EdgeID(i))
+			if e.From != pid && e.To != pid {
+				continue
+			}
+			lab := st.edgeLab[i]
+			if lab == "" || provenance.IsWildcardLabel(lab) {
+				continue
+			}
+			var vals []string
+			for _, eid := range onto.EdgesByLabel(lab) {
+				oe := onto.Edge(eid)
+				if e.From == pid {
+					vals = append(vals, onto.Node(oe.From).Value)
+				} else {
+					vals = append(vals, onto.Node(oe.To).Value)
+				}
+			}
+			lists = append(lists, dedupStrings(vals))
+			break
+		}
+	}
+	if len(lists) == 0 {
+		return nil
+	}
+	out := make([]string, 0)
+	for _, v := range lists[0] {
+		if st.usesValue(v) {
+			continue
+		}
+		all := true
+		for _, l := range lists[1:] {
+			if !containsString(l, v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, v)
+			if len(out) >= maxC {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// wildcardLabels lists the predicates the ontology admits between the
+// resolved endpoints of a wildcard edge, in ontology edge-id order,
+// excluding labels the state already uses on the same endpoints (parallel
+// edges must carry distinct predicates).
+func wildcardLabels(onto *graph.Graph, p provenance.PartialExplanation, st *candState, eid graph.EdgeID) []string {
+	e := p.Graph.Edge(eid)
+	fv, tv := st.nodeVal[e.From], st.nodeVal[e.To]
+	if fv == "" || tv == "" {
+		return nil
+	}
+	fn, ok1 := onto.NodeByValue(fv)
+	tn, ok2 := onto.NodeByValue(tv)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	used := make(map[string]bool)
+	for i := 0; i < p.Graph.NumEdges(); i++ {
+		if graph.EdgeID(i) == eid {
+			continue
+		}
+		oe := p.Graph.Edge(graph.EdgeID(i))
+		if oe.From == e.From && oe.To == e.To && st.edgeLab[i] != "" {
+			used[st.edgeLab[i]] = true
+		}
+	}
+	var out []string
+	for _, oid := range onto.OutEdges(fn.ID) {
+		oe := onto.Edge(oid)
+		if oe.To == tn.ID && !used[oe.Label] {
+			out = append(out, oe.Label)
+		}
+	}
+	return out
+}
+
+// poolEdge is one candidate repair: an ontology edge between two fragment
+// node images, carried by value so later stages need no ontology lookups.
+type poolEdge struct {
+	id       graph.EdgeID // ontology edge id (ordering key)
+	from, to string
+	label    string
+}
+
+// edgePool lists the ontology edges between fragment-node images that the
+// resolved fragment does not already contain — the candidate repairs for
+// missing edges — sorted by ontology edge id.
+func edgePool(onto *graph.Graph, p provenance.PartialExplanation, st *candState) []poolEdge {
+	img := make(map[graph.NodeID]bool, len(st.nodeVal))
+	have := make(map[string]bool, len(st.edgeLab))
+	for _, v := range st.nodeVal {
+		if n, ok := onto.NodeByValue(v); ok {
+			img[n.ID] = true
+		}
+	}
+	for i := 0; i < p.Graph.NumEdges(); i++ {
+		e := p.Graph.Edge(graph.EdgeID(i))
+		have[st.nodeVal[e.From]+"\x00"+st.edgeLab[i]+"\x00"+st.nodeVal[e.To]] = true
+	}
+	var pool []poolEdge
+	for i := 0; i < p.Graph.NumNodes(); i++ {
+		n, ok := onto.NodeByValue(st.nodeVal[i])
+		if !ok {
+			continue
+		}
+		for _, eid := range onto.OutEdges(n.ID) {
+			oe := onto.Edge(eid)
+			if !img[oe.To] {
+				continue
+			}
+			fv, tv := onto.Node(oe.From).Value, onto.Node(oe.To).Value
+			if !have[fv+"\x00"+oe.Label+"\x00"+tv] {
+				pool = append(pool, poolEdge{id: oe.ID, from: fv, to: tv, label: oe.Label})
+			}
+		}
+	}
+	sort.Slice(pool, func(a, b int) bool { return pool[a].id < pool[b].id })
+	return pool
+}
+
+// missingEdgeSubsets enumerates which pool edges to add: lexicographic
+// combinations of a fixed target size — the missing-edge hint, raised if
+// needed so every stranded node gets connected — capped at limit. A
+// stranded node no pool edge can reach is unrepairable within the
+// fragment's entities and yields qerr.ErrNoConsistentQuery.
+func missingEdgeSubsets(p provenance.PartialExplanation, st *candState, pool []poolEdge, limit int) ([][]int, error) {
+	iso := p.IsolatedNodes()
+	// covers[pi] lists the stranded-node indices pool edge pi would connect.
+	covers := make([][]int, len(pool))
+	for k, n := range iso {
+		v := st.nodeVal[n]
+		found := false
+		for pi := range pool {
+			if pool[pi].from == v || pool[pi].to == v {
+				covers[pi] = append(covers[pi], k)
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: stranded fragment node %q has no ontology edge to the rest of the fragment: %w",
+				v, qerr.ErrNoConsistentQuery)
+		}
+	}
+	// Minimal cover size (greedy): enough edges that every stranded node
+	// is connected.
+	minCover := 0
+	uncovered := make(map[int]bool, len(iso))
+	for k := range iso {
+		uncovered[k] = true
+	}
+	for len(uncovered) > 0 {
+		bestPi, bestGain := -1, 0
+		for pi := range pool {
+			gain := 0
+			for _, k := range covers[pi] {
+				if uncovered[k] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestPi, bestGain = pi, gain
+			}
+		}
+		if bestPi < 0 {
+			break
+		}
+		for _, k := range covers[bestPi] {
+			delete(uncovered, k)
+		}
+		minCover++
+	}
+	target := p.MissingEdges
+	if target > len(pool) {
+		target = len(pool)
+	}
+	if target < minCover {
+		target = minCover
+	}
+	if target == 0 {
+		return [][]int{nil}, nil
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	var out [][]int
+	cur := make([]int, 0, target)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(out) >= limit {
+			return
+		}
+		if len(cur) == target {
+			cov := make(map[int]bool, len(iso))
+			for _, pi := range cur {
+				for _, k := range covers[pi] {
+					cov[k] = true
+				}
+			}
+			if len(cov) == len(iso) {
+				out = append(out, append([]int(nil), cur...))
+			}
+			return
+		}
+		for pi := start; pi <= len(pool)-(target-len(cur)); pi++ {
+			cur = append(cur, pi)
+			rec(pi + 1)
+			cur = cur[:len(cur)-1]
+			if len(out) >= limit {
+				return
+			}
+		}
+	}
+	rec(0)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no %d-edge repair connects every stranded node: %w",
+			target, qerr.ErrNoConsistentQuery)
+	}
+	return out, nil
+}
+
+// buildCandidate materializes a candidate completion as a fresh
+// explanation graph: fragment nodes with resolved values (typed from the
+// ontology), fragment edges with resolved labels, plus the chosen repair
+// edges. Candidates whose resolution collides (duplicate values or
+// parallel same-label edges) are skipped by returning ok=false.
+func buildCandidate(onto *graph.Graph, p provenance.PartialExplanation, st *candState, added []poolEdge) (provenance.Explanation, bool) {
+	g := graph.New()
+	for i := 0; i < p.Graph.NumNodes(); i++ {
+		v := st.nodeVal[i]
+		typ := p.Graph.Node(graph.NodeID(i)).Type
+		if on, ok := onto.NodeByValue(v); ok && typ == "" {
+			typ = on.Type
+		}
+		if _, err := g.AddNode(v, typ); err != nil {
+			return provenance.Explanation{}, false
+		}
+	}
+	for i := 0; i < p.Graph.NumEdges(); i++ {
+		e := p.Graph.Edge(graph.EdgeID(i))
+		if _, err := g.AddTriple(st.nodeVal[e.From], st.edgeLab[i], st.nodeVal[e.To]); err != nil {
+			return provenance.Explanation{}, false
+		}
+	}
+	for _, e := range added {
+		if _, err := g.AddTriple(e.from, e.label, e.to); err != nil {
+			return provenance.Explanation{}, false
+		}
+	}
+	ex, err := provenance.NewByValue(g, p.DistinguishedValue())
+	if err != nil {
+		return provenance.Explanation{}, false
+	}
+	return ex, true
+}
+
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func containsString(l []string, v string) bool {
+	for _, w := range l {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}

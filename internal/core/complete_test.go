@@ -1,0 +1,315 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"questpro/internal/core"
+	"questpro/internal/eval"
+	"questpro/internal/graph"
+	"questpro/internal/ntriples"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+	"questpro/internal/qerr"
+)
+
+// fullAsPartial wraps the running example's complete explanations as
+// trivially complete fragments.
+func fullAsPartial(o *graph.Graph) provenance.PartialExampleSet {
+	var pex provenance.PartialExampleSet
+	for _, ex := range paperfix.Explanations(o) {
+		pex = append(pex, provenance.FromExplanation(ex))
+	}
+	return pex
+}
+
+// mustPartial builds a fragment from triples given as (from, label, to).
+func mustPartial(t *testing.T, triples [][3]string, dis string, missing int) provenance.PartialExplanation {
+	t.Helper()
+	g := graph.New()
+	for _, tr := range triples {
+		g.MustAddTriple(tr[0], tr[1], tr[2])
+	}
+	p, err := provenance.NewPartialByValue(g, dis, missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Complete fragments take the identity short-cut: zero candidates
+// enumerated, zero completions accepted, graphs passed through untouched.
+// This is the invariant that keeps full-provenance runs byte-identical to
+// the pre-partial implementation.
+func TestCompleteExamplesNoOpOnFullProvenance(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	var pex provenance.PartialExampleSet
+	for _, ex := range exs {
+		pex = append(pex, provenance.FromExplanation(ex))
+	}
+	out, rep, err := core.CompleteExamples(bg, o, pex, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Considered != 0 || rep.Accepted != 0 || rep.Degraded {
+		t.Fatalf("full provenance not a no-op: %+v", rep)
+	}
+	for i := range out {
+		if out[i].Graph != exs[i].Graph {
+			t.Fatalf("E%d graph was rebuilt, not passed through", i+1)
+		}
+		if !rep.Choices[i].Identity || rep.Choices[i].Considered != 0 {
+			t.Fatalf("E%d choice = %+v, want untouched identity", i+1, rep.Choices[i])
+		}
+	}
+}
+
+// A wildcard label with a unique ontology resolution is bound to it, and
+// the completed explanation matches the original full-provenance one.
+func TestCompleteExamplesResolvesWildcardLabel(t *testing.T) {
+	o := paperfix.Ontology()
+	p := mustPartial(t, [][3]string{
+		{"paper1", "*", "Alice"}, {"paper1", "wb", "Bob"},
+		{"paper2", "wb", "Bob"}, {"paper2", "wb", "Carol"},
+		{"paper3", "wb", "Carol"}, {"paper3", "wb", "Erdos"},
+	}, "Alice", 0)
+	out, rep, err := core.CompleteExamples(bg, o, provenance.PartialExampleSet{p}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 1 || rep.Considered < 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Choices[0].ResolvedWildcards != 1 || rep.Choices[0].AddedTriples != 0 {
+		t.Fatalf("choice = %+v", rep.Choices[0])
+	}
+	want := ntriples.Format(paperfix.Explanations(o)[0].Graph)
+	if got := ntriples.Format(out[0].Graph); got != want {
+		t.Fatalf("completed graph\n%s\nwant\n%s", got, want)
+	}
+}
+
+// A placeholder node constrained by two incident edges resolves to the
+// intersection of their neighbor sets (here uniquely Bob).
+func TestCompleteExamplesResolvesPlaceholder(t *testing.T) {
+	o := paperfix.Ontology()
+	p := mustPartial(t, [][3]string{
+		{"paper1", "wb", "Alice"}, {"paper1", "wb", "*1"},
+		{"paper2", "wb", "*1"}, {"paper2", "wb", "Carol"},
+	}, "Alice", 0)
+	out, rep, err := core.CompleteExamples(bg, o, provenance.PartialExampleSet{p}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, ok := out[0].Graph.NodeByValue("Bob"); !ok {
+		t.Fatalf("placeholder not resolved to Bob:\n%s", ntriples.Format(out[0].Graph))
+	}
+	if out[0].DistinguishedValue() != "Alice" {
+		t.Fatalf("distinguished = %q", out[0].DistinguishedValue())
+	}
+}
+
+// A stranded node forces a repair edge even without a missing-edge hint.
+func TestCompleteExamplesConnectsStrandedNode(t *testing.T) {
+	o := paperfix.Ontology()
+	g := graph.New()
+	g.MustAddTriple("paper1", "wb", "Alice")
+	if _, err := g.AddNode("Bob", ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := provenance.NewPartialByValue(g, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := core.CompleteExamples(bg, o, provenance.PartialExampleSet{p}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Choices[0].AddedTriples != 1 {
+		t.Fatalf("choice = %+v, want one repair edge", rep.Choices[0])
+	}
+	if out[0].Graph.NumEdges() != 2 {
+		t.Fatalf("completed graph:\n%s", ntriples.Format(out[0].Graph))
+	}
+	fn, _ := out[0].Graph.NodeByValue("paper1")
+	tn, _ := out[0].Graph.NodeByValue("Bob")
+	if !out[0].Graph.HasEdgeTriple(fn.ID, tn.ID, "wb") {
+		t.Fatalf("repair edge paper1 -wb-> Bob missing:\n%s", ntriples.Format(out[0].Graph))
+	}
+}
+
+// The missing-edge hint adds that many ontology edges between fragment
+// entities when the pool admits it.
+func TestCompleteExamplesMissingEdgeHint(t *testing.T) {
+	o := paperfix.Ontology()
+	// paper1 -wb-> Alice plus Bob in the fragment; the hint asks for one
+	// extra edge, and paper1 -wb-> Bob is the only pool edge.
+	g := graph.New()
+	g.MustAddTriple("paper1", "wb", "Alice")
+	if _, err := g.AddNode("Bob", ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := provenance.NewPartialByValue(g, "Alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := core.CompleteExamples(bg, o, provenance.PartialExampleSet{p}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Graph.NumEdges() != 2 {
+		t.Fatalf("completed graph:\n%s", ntriples.Format(out[0].Graph))
+	}
+}
+
+// Unrepairable fragments are the client's data: values outside the
+// ontology, edges the ontology does not admit, and stranded nodes no
+// ontology edge can connect all match qerr.ErrNoConsistentQuery.
+func TestCompleteExamplesNoConsistentCompletion(t *testing.T) {
+	o := paperfix.Ontology()
+	// Each fragment carries a hole so the search runs (complete fragments
+	// take the identity short-cut and are validated by inference instead).
+	cases := map[string]provenance.PartialExplanation{
+		"value outside ontology": mustPartial(t, [][3]string{
+			{"paper1", "*", "Zork"},
+		}, "Zork", 0),
+		"edge outside ontology": mustPartial(t, [][3]string{
+			{"paper1", "wb", "Erdos"}, {"paper1", "*", "Alice"},
+		}, "Erdos", 0),
+		"wildcard with no resolution": mustPartial(t, [][3]string{
+			{"Alice", "*", "Dave"},
+		}, "Alice", 0),
+	}
+	// Stranded node with no connecting ontology edge.
+	g := graph.New()
+	g.MustAddTriple("paper1", "wb", "Alice")
+	if _, err := g.AddNode("Dave", ""); err != nil {
+		t.Fatal(err)
+	}
+	stranded, err := provenance.NewPartialByValue(g, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["unreachable stranded node"] = stranded
+
+	for name, p := range cases {
+		_, _, err := core.CompleteExamples(bg, o, provenance.PartialExampleSet{p}, core.DefaultOptions())
+		if !errors.Is(err, qerr.ErrNoConsistentQuery) {
+			t.Errorf("%s: err = %v, want ErrNoConsistentQuery", name, err)
+		}
+	}
+}
+
+// An exhausted guard degrades the completion — best-effort choices, the
+// raw fragment if nothing was built — but never errors and never wedges.
+func TestCompleteExamplesTightGuardDegradesNotWedges(t *testing.T) {
+	o := paperfix.Ontology()
+	p := mustPartial(t, [][3]string{
+		{"paper1", "*", "Alice"}, {"paper1", "wb", "*1"},
+	}, "Alice", 0)
+	opts := core.DefaultOptions()
+	opts.Guard = eval.Guard{MaxSteps: 1}
+	out, rep, err := core.CompleteExamples(bg, o, provenance.PartialExampleSet{p}, opts)
+	if err != nil {
+		t.Fatalf("tight guard errored instead of degrading: %v", err)
+	}
+	if !rep.Degraded {
+		t.Fatalf("report = %+v, want degraded", rep)
+	}
+	if len(out) != 1 || out[0].Graph == nil {
+		t.Fatal("degraded run returned no explanation")
+	}
+	if !rep.GuardUsage.Exhausted {
+		t.Fatalf("guard usage = %+v, want exhausted", rep.GuardUsage)
+	}
+}
+
+// Cancellation aborts the search with qerr.ErrCanceled.
+func TestCompleteExamplesCancel(t *testing.T) {
+	o := paperfix.Ontology()
+	p := mustPartial(t, [][3]string{
+		{"paper1", "*", "Alice"},
+	}, "Alice", 0)
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, _, err := core.CompleteExamples(ctx, o, provenance.PartialExampleSet{p}, core.DefaultOptions())
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// Completion is deterministic: identical inputs and options produce
+// byte-identical completed sets and identical reports.
+func TestCompleteExamplesDeterministic(t *testing.T) {
+	o := paperfix.Ontology()
+	pex := provenance.PartialExampleSet{
+		provenance.FromExplanation(paperfix.Explanations(o)[1]),
+		mustPartial(t, [][3]string{
+			{"paper1", "*", "Alice"}, {"paper1", "wb", "*1"},
+			{"paper2", "wb", "*1"}, {"paper2", "wb", "Carol"},
+		}, "Alice", 0),
+	}
+	opts := core.DefaultOptions()
+	var prev []string
+	var prevRep core.CompletionReport
+	for run := 0; run < 3; run++ {
+		out, rep, err := core.CompleteExamples(bg, o, pex, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := make([]string, len(out))
+		for i := range out {
+			cur[i] = ntriples.Format(out[i].Graph) + "|" + out[i].DistinguishedValue()
+		}
+		if run == 0 {
+			prev, prevRep = cur, rep
+			continue
+		}
+		for i := range cur {
+			if cur[i] != prev[i] {
+				t.Fatalf("run %d fragment %d diverged:\n%s\nvs\n%s", run, i, cur[i], prev[i])
+			}
+		}
+		if rep.Considered != prevRep.Considered || rep.Accepted != prevRep.Accepted {
+			t.Fatalf("run %d report %+v != %+v", run, rep, prevRep)
+		}
+	}
+}
+
+// Completed fragments feed the unchanged inference pipeline: degrading one
+// explanation of the running example and completing it back reproduces the
+// full-provenance union inference.
+func TestCompleteThenInferMatchesFullProvenance(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	opts := core.DefaultOptions()
+	wantQ, wantStats, err := core.InferUnion(bg, exs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = wantStats
+
+	pex := fullAsPartial(o)
+	// Degrade E1: forget one predicate.
+	pex[0] = mustPartial(t, [][3]string{
+		{"paper1", "*", "Alice"}, {"paper1", "wb", "Bob"},
+		{"paper2", "wb", "Bob"}, {"paper2", "wb", "Carol"},
+		{"paper3", "wb", "Carol"}, {"paper3", "wb", "Erdos"},
+	}, "Alice", 0)
+	completed, _, err := core.CompleteExamples(bg, o, pex, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotQ, _, err := core.InferUnion(bg, completed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotQ.SPARQL() != wantQ.SPARQL() {
+		t.Fatalf("inference over completed set diverged:\n%s\nwant\n%s", gotQ.SPARQL(), wantQ.SPARQL())
+	}
+}

@@ -75,7 +75,17 @@ type Options struct {
 	// qerr.ErrBudgetExhausted; InferSimple, whose intermediate states are not
 	// consistent queries, returns only the error.
 	Guard eval.Guard
+
+	// MaxCompletions bounds the candidate completions CompleteExamples
+	// enumerates per partial explanation before committing to the ranked
+	// best. 0 selects DefaultMaxCompletions; it never disables the bound
+	// (completion search over a large ontology is combinatorial).
+	MaxCompletions int
 }
+
+// DefaultMaxCompletions is the default per-fragment bound on candidate
+// completions (see Options.MaxCompletions).
+const DefaultMaxCompletions = 64
 
 // DefaultOptions returns the paper's parameterization: gain weights
 // (3, 15, 1), three Algorithm-1 restarts, the cost weights of Example 4.4
@@ -108,6 +118,9 @@ func (o Options) Validate() error {
 	if o.FirstPairSweep < 0 {
 		return fmt.Errorf("core: negative FirstPairSweep %d (use 0 for the default sweep)", o.FirstPairSweep)
 	}
+	if o.MaxCompletions < 0 {
+		return fmt.Errorf("core: negative MaxCompletions %d (use 0 for the default bound)", o.MaxCompletions)
+	}
 	if err := o.Guard.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -139,6 +152,15 @@ type Stats struct {
 	// contribute nothing: the work was counted when it was performed).
 	GainEvals int64
 	Restarts  int
+
+	// CompletionsConsidered and CompletionsAccepted count the candidate
+	// completions the partial-provenance engine (CompleteExamples)
+	// enumerated and the non-identity completions it committed to. Both
+	// are zero on full-provenance runs, keeping those runs' snapshots
+	// byte-identical to the pre-partial implementation, and deterministic
+	// for a fixed input and options otherwise.
+	CompletionsConsidered int64
+	CompletionsAccepted   int64
 
 	// PeakParallelism is the maximum number of MergePair computations that
 	// were observed in flight simultaneously. Scheduling-dependent; excluded
@@ -181,6 +203,9 @@ type CountersSnapshot struct {
 	CacheMisses     int
 	GainEvals       int64
 	Restarts        int
+
+	CompletionsConsidered int64
+	CompletionsAccepted   int64
 }
 
 // Counters returns the deterministic counters as a named-field snapshot.
@@ -192,6 +217,9 @@ func (s Stats) Counters() CountersSnapshot {
 		CacheMisses:     s.CacheMisses,
 		GainEvals:       s.GainEvals,
 		Restarts:        s.Restarts,
+
+		CompletionsConsidered: s.CompletionsConsidered,
+		CompletionsAccepted:   s.CompletionsAccepted,
 	}
 }
 
@@ -204,6 +232,9 @@ func (c *CountersSnapshot) Add(o CountersSnapshot) {
 	c.CacheMisses += o.CacheMisses
 	c.GainEvals += o.GainEvals
 	c.Restarts += o.Restarts
+
+	c.CompletionsConsidered += o.CompletionsConsidered
+	c.CompletionsAccepted += o.CompletionsAccepted
 }
 
 // Candidate pairs an inferred union query with its cost under the options'

@@ -29,6 +29,10 @@ func AnnotateStats(sp *obs.Span, stats *Stats) {
 	if stats.GuardUsage.Steps > 0 {
 		sp.SetInt("guard_steps", stats.GuardUsage.Steps)
 	}
+	if c.CompletionsConsidered > 0 {
+		sp.SetInt("completions_considered", c.CompletionsConsidered)
+		sp.SetInt("completions_accepted", c.CompletionsAccepted)
+	}
 }
 
 // annotateRound records what one inference round did as the delta between

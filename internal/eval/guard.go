@@ -46,6 +46,31 @@ func (g Guard) Validate() error {
 	return nil
 }
 
+// Reduce returns the guard that remains after a preceding phase consumed u
+// of this guard's budgets — the phase-handoff used when one logical
+// operation runs as two guarded phases (completion search, then inference)
+// that must share a single budget. Disabled limits stay disabled; an
+// enabled limit is reduced by the phase's usage and clamped at 1, so a
+// fully spent budget makes the next phase degrade on its first charge
+// instead of silently re-arming.
+func (g Guard) Reduce(u Usage) Guard {
+	cut := func(limit, spent int64) int64 {
+		if limit <= 0 {
+			return limit
+		}
+		rem := limit - spent
+		if rem < 1 {
+			return 1
+		}
+		return rem
+	}
+	return Guard{
+		MaxSteps:   cut(g.MaxSteps, u.Steps),
+		MaxResults: cut(g.MaxResults, u.Results),
+		MaxBytes:   cut(g.MaxBytes, u.Bytes),
+	}
+}
+
 // NewMeter returns the usage accumulator for one operation under the guard,
 // or nil when the guard is disabled. A nil *Meter is valid everywhere and
 // charges nothing.

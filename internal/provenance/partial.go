@@ -1,0 +1,209 @@
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"questpro/internal/graph"
+)
+
+// This file implements partial explanations — the input mode of Gilad &
+// Moskovitch, "Towards Inferring Queries from Simple and Partial Provenance
+// Examples" (PAPERS.md). A partial explanation is a fragment of a real
+// provenance subgraph: the user remembers some of the entities and some of
+// the connections, and marks what they forgot in three ways:
+//
+//   - a forgotten predicate: an edge carrying the Wildcard label "*";
+//   - a forgotten entity: a node whose value starts with the placeholder
+//     prefix "*" ("*1", "*x", ...) — it stands for some ontology node,
+//     constrained only by its incident fragment edges;
+//   - forgotten edges: the MissingEdges hint ("I left out about n edges"),
+//     or simply nodes the fragment leaves disconnected.
+//
+// The completion engine (internal/core) resolves all three against the
+// ontology; this file only represents and validates fragments.
+
+// Wildcard is the edge label standing for a forgotten predicate.
+const Wildcard = "*"
+
+// PlaceholderPrefix marks node values that stand for forgotten entities.
+const PlaceholderPrefix = "*"
+
+// IsWildcardLabel reports whether an edge label is the forgotten-predicate
+// wildcard.
+func IsWildcardLabel(label string) bool { return label == Wildcard }
+
+// IsPlaceholder reports whether a node value is a forgotten-entity
+// placeholder rather than an ontology value.
+func IsPlaceholder(value string) bool { return strings.HasPrefix(value, PlaceholderPrefix) }
+
+// PartialExplanation is a fragment of an explanation: a subgraph that may
+// use wildcard labels and placeholder values, plus the distinguished node
+// (which must be a concrete ontology value — it is the output row the user
+// is explaining) and the missing-edge hint.
+type PartialExplanation struct {
+	Graph         *graph.Graph
+	Distinguished graph.NodeID
+
+	// MissingEdges is the user's estimate of how many edges the fragment
+	// is missing (0 = no estimate). The completion engine treats it as a
+	// hint, never a hard requirement.
+	MissingEdges int
+}
+
+// NewPartial builds a partial explanation, validating the fragment.
+func NewPartial(g *graph.Graph, distinguished graph.NodeID, missingEdges int) (PartialExplanation, error) {
+	p := PartialExplanation{Graph: g, Distinguished: distinguished, MissingEdges: missingEdges}
+	if err := p.Validate(); err != nil {
+		return PartialExplanation{}, err
+	}
+	return p, nil
+}
+
+// NewPartialByValue is NewPartial with the distinguished node looked up by
+// value.
+func NewPartialByValue(g *graph.Graph, value string, missingEdges int) (PartialExplanation, error) {
+	n, ok := g.NodeByValue(value)
+	if !ok {
+		return PartialExplanation{}, fmt.Errorf("provenance: distinguished value %q not in fragment", value)
+	}
+	return NewPartial(g, n.ID, missingEdges)
+}
+
+// FromExplanation wraps a complete explanation as a (trivially complete)
+// partial one.
+func FromExplanation(e Explanation) PartialExplanation {
+	return PartialExplanation{Graph: e.Graph, Distinguished: e.Distinguished}
+}
+
+// Validate checks the fragment's internal consistency. Beyond the checks
+// of Explanation.Validate it rejects the under-constrained cases the
+// completion engine cannot anchor: a placeholder distinguished node, and a
+// wildcard-labeled edge both of whose endpoints are placeholders.
+func (p PartialExplanation) Validate() error {
+	if p.Graph == nil {
+		return fmt.Errorf("provenance: partial explanation without graph")
+	}
+	if err := p.Graph.Validate(); err != nil {
+		return err
+	}
+	if p.Distinguished < 0 || int(p.Distinguished) >= p.Graph.NumNodes() {
+		return fmt.Errorf("provenance: invalid distinguished node %d", p.Distinguished)
+	}
+	if p.MissingEdges < 0 {
+		return fmt.Errorf("provenance: negative missing-edge hint %d", p.MissingEdges)
+	}
+	if IsPlaceholder(p.Graph.Node(p.Distinguished).Value) {
+		return fmt.Errorf("provenance: distinguished node %q is a placeholder; the output value must be concrete",
+			p.Graph.Node(p.Distinguished).Value)
+	}
+	for i := 0; i < p.Graph.NumEdges(); i++ {
+		e := p.Graph.Edge(graph.EdgeID(i))
+		if IsWildcardLabel(e.Label) &&
+			IsPlaceholder(p.Graph.Node(e.From).Value) && IsPlaceholder(p.Graph.Node(e.To).Value) {
+			return fmt.Errorf("provenance: edge %s -*-> %s connects two placeholders with a wildcard label; "+
+				"at least one endpoint or the predicate must be concrete",
+				p.Graph.Node(e.From).Value, p.Graph.Node(e.To).Value)
+		}
+	}
+	return nil
+}
+
+// DistinguishedValue returns the value of the distinguished node.
+func (p PartialExplanation) DistinguishedValue() string {
+	return p.Graph.Node(p.Distinguished).Value
+}
+
+// WildcardEdges returns the ids of edges carrying the wildcard label, in
+// ascending order.
+func (p PartialExplanation) WildcardEdges() []graph.EdgeID {
+	var out []graph.EdgeID
+	for i := 0; i < p.Graph.NumEdges(); i++ {
+		if IsWildcardLabel(p.Graph.Edge(graph.EdgeID(i)).Label) {
+			out = append(out, graph.EdgeID(i))
+		}
+	}
+	return out
+}
+
+// PlaceholderNodes returns the ids of placeholder nodes, in ascending
+// order.
+func (p PartialExplanation) PlaceholderNodes() []graph.NodeID {
+	var out []graph.NodeID
+	for i := 0; i < p.Graph.NumNodes(); i++ {
+		if IsPlaceholder(p.Graph.Node(graph.NodeID(i)).Value) {
+			out = append(out, graph.NodeID(i))
+		}
+	}
+	return out
+}
+
+// IsolatedNodes returns the ids of degree-zero nodes — remembered entities
+// the fragment leaves unconnected — excluding the trivial case of a
+// single-node fragment, where the lone distinguished node is a legitimate
+// complete explanation.
+func (p PartialExplanation) IsolatedNodes() []graph.NodeID {
+	if p.Graph.NumNodes() <= 1 {
+		return nil
+	}
+	var out []graph.NodeID
+	for i := 0; i < p.Graph.NumNodes(); i++ {
+		if p.Graph.Degree(graph.NodeID(i)) == 0 {
+			out = append(out, graph.NodeID(i))
+		}
+	}
+	return out
+}
+
+// IsComplete reports whether the fragment is already a complete
+// explanation: no missing-edge hint, no wildcard labels, no placeholders,
+// no stranded nodes. Complete fragments pass through the completion engine
+// untouched (the identity completion), which is what makes the partial
+// pipeline a strict no-op on full provenance.
+func (p PartialExplanation) IsComplete() bool {
+	return p.MissingEdges == 0 &&
+		len(p.WildcardEdges()) == 0 &&
+		len(p.PlaceholderNodes()) == 0 &&
+		len(p.IsolatedNodes()) == 0
+}
+
+// Explanation converts a complete fragment into an Explanation; it fails
+// if the fragment still has holes.
+func (p PartialExplanation) Explanation() (Explanation, error) {
+	if !p.IsComplete() {
+		return Explanation{}, fmt.Errorf("provenance: fragment %s is not complete", p.DistinguishedValue())
+	}
+	return New(p.Graph, p.Distinguished)
+}
+
+// String renders the fragment with its holes summarized.
+func (p PartialExplanation) String() string {
+	return fmt.Sprintf("partial[dis=%s missing=%d wildcards=%d placeholders=%d] %s",
+		p.DistinguishedValue(), p.MissingEdges, len(p.WildcardEdges()), len(p.PlaceholderNodes()), p.Graph)
+}
+
+// PartialExampleSet is a set of fragments, one per output example.
+type PartialExampleSet []PartialExplanation
+
+// Validate checks every fragment.
+func (ps PartialExampleSet) Validate() error {
+	if len(ps) == 0 {
+		return fmt.Errorf("provenance: empty partial example-set")
+	}
+	for i, p := range ps {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("fragment %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// AnyIncomplete reports whether any fragment still has holes.
+func (ps PartialExampleSet) AnyIncomplete() bool {
+	for _, p := range ps {
+		if !p.IsComplete() {
+			return true
+		}
+	}
+	return false
+}

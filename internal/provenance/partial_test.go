@@ -1,0 +1,144 @@
+package provenance_test
+
+import (
+	"strings"
+	"testing"
+
+	"questpro/internal/graph"
+	"questpro/internal/paperfix"
+	"questpro/internal/provenance"
+)
+
+func TestPartialConstructionAndHoles(t *testing.T) {
+	g := graph.New()
+	g.MustAddTriple("paper1", "*", "Alice") // forgotten predicate
+	g.MustAddTriple("paper1", "pub", "*1")  // forgotten entity
+	if _, err := g.AddNode("conf1", ""); err != nil {
+		t.Fatal(err)
+	} // stranded node
+	p, err := provenance.NewPartialByValue(g, "Alice", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DistinguishedValue() != "Alice" {
+		t.Fatalf("distinguished = %q", p.DistinguishedValue())
+	}
+	if got := p.WildcardEdges(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("WildcardEdges = %v", got)
+	}
+	if got := p.PlaceholderNodes(); len(got) != 1 || g.Node(got[0]).Value != "*1" {
+		t.Fatalf("PlaceholderNodes = %v", got)
+	}
+	if got := p.IsolatedNodes(); len(got) != 1 || g.Node(got[0]).Value != "conf1" {
+		t.Fatalf("IsolatedNodes = %v", got)
+	}
+	if p.IsComplete() {
+		t.Fatal("fragment with three kinds of holes reported complete")
+	}
+	if _, err := p.Explanation(); err == nil {
+		t.Fatal("incomplete fragment converted to Explanation")
+	}
+	if s := p.String(); !strings.Contains(s, "missing=2") || !strings.Contains(s, "wildcards=1") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestPartialValidateRejections(t *testing.T) {
+	// Placeholder distinguished node: the output value must be concrete.
+	g := graph.New()
+	g.MustAddTriple("*1", "wb", "Alice")
+	if _, err := provenance.NewPartialByValue(g, "*1", 0); err == nil {
+		t.Fatal("placeholder distinguished node accepted")
+	}
+	// Wildcard edge between two placeholders: nothing anchors it.
+	g2 := graph.New()
+	g2.MustAddTriple("*1", "*", "*2")
+	g2.MustAddTriple("paper1", "wb", "*1")
+	if _, err := provenance.NewPartialByValue(g2, "paper1", 0); err == nil {
+		t.Fatal("wildcard edge between two placeholders accepted")
+	}
+	// Negative missing-edge hint.
+	g3 := graph.New()
+	g3.MustAddTriple("paper1", "wb", "Alice")
+	if _, err := provenance.NewPartialByValue(g3, "Alice", -1); err == nil {
+		t.Fatal("negative missing-edge hint accepted")
+	}
+	// Distinguished value absent from the fragment.
+	if _, err := provenance.NewPartialByValue(g3, "Bob", 0); err == nil {
+		t.Fatal("absent distinguished value accepted")
+	}
+	if err := (provenance.PartialExplanation{}).Validate(); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// A complete explanation wrapped as a fragment is trivially complete and
+// round-trips back to the same explanation — the invariant behind the
+// full-provenance no-op path.
+func TestPartialFromExplanationRoundTrip(t *testing.T) {
+	o := paperfix.Ontology()
+	for i, ex := range paperfix.Explanations(o) {
+		p := provenance.FromExplanation(ex)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("E%d: %v", i+1, err)
+		}
+		if !p.IsComplete() {
+			t.Fatalf("E%d: complete explanation reported incomplete", i+1)
+		}
+		back, err := p.Explanation()
+		if err != nil {
+			t.Fatalf("E%d: %v", i+1, err)
+		}
+		if back.Distinguished != ex.Distinguished || back.Graph != ex.Graph {
+			t.Fatalf("E%d: round trip changed the explanation", i+1)
+		}
+	}
+}
+
+func TestPartialSingleNodeFragmentNotIsolated(t *testing.T) {
+	g := graph.New()
+	if _, err := g.AddNode("Alice", ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := provenance.NewPartialByValue(g, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.IsolatedNodes(); got != nil {
+		t.Fatalf("lone distinguished node reported isolated: %v", got)
+	}
+	if !p.IsComplete() {
+		t.Fatal("single-node fragment reported incomplete")
+	}
+}
+
+func TestPartialExampleSetValidate(t *testing.T) {
+	if err := (provenance.PartialExampleSet{}).Validate(); err == nil {
+		t.Fatal("empty partial example-set accepted")
+	}
+	g := graph.New()
+	g.MustAddTriple("paper1", "*", "Alice")
+	p, err := provenance.NewPartialByValue(g, "Alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := provenance.PartialExampleSet{p}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !set.AnyIncomplete() {
+		t.Fatal("set with a wildcard edge reported complete")
+	}
+	o := paperfix.Ontology()
+	var full provenance.PartialExampleSet
+	for _, ex := range paperfix.Explanations(o) {
+		full = append(full, provenance.FromExplanation(ex))
+	}
+	if full.AnyIncomplete() {
+		t.Fatal("set of complete fragments reported incomplete")
+	}
+	bad := provenance.PartialExampleSet{p, {}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "fragment 1") {
+		t.Fatalf("invalid fragment not located: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"questpro/internal/api"
 	qpclient "questpro/internal/client"
 	"questpro/internal/eval"
 	"questpro/internal/faults"
@@ -160,9 +161,9 @@ func TestChaosShedAndRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := paperfix.Ontology()
-	var exs []qpclient.Example
+	var exs []api.Example
 	for _, e := range paperfix.Explanations(o) {
-		exs = append(exs, qpclient.Example{
+		exs = append(exs, api.Example{
 			Triples:       ntriples.Format(e.Graph),
 			Distinguished: e.DistinguishedValue(),
 		})

@@ -10,22 +10,26 @@ import (
 	"strconv"
 	"time"
 
+	"questpro/internal/api"
 	"questpro/internal/core"
 	"questpro/internal/eval"
 	"questpro/internal/ntriples"
+	"questpro/internal/obs"
 	"questpro/internal/provenance"
 	"questpro/internal/qerr"
 )
 
 // NewServer wires the registry into an http.Handler. The API is JSON over
-// the following routes (see DESIGN.md §service for the request/response
-// shapes and README.md for a curl walkthrough):
+// the following routes, with every request and response body declared in
+// internal/api (the versioned wire contract; see DESIGN.md §service and
+// README.md for a curl walkthrough):
 //
 //	POST   /v1/sessions                      create session (ontology + options)
 //	DELETE /v1/sessions/{id}                 evict a session
 //	GET    /v1/sessions/{id}/stats           per-session counters
 //	GET    /v1/sessions/{id}/trace           recent operation traces (span trees)
-//	POST   /v1/sessions/{id}/examples        submit the example-set
+//	GET    /v1/sessions/{id}/completions     last inference's completion report
+//	POST   /v1/sessions/{id}/examples        submit the example-set (full or partial)
 //	POST   /v1/sessions/{id}/infer           run simple/union/topk inference
 //	POST   /v1/sessions/{id}/feedback        start the feedback dialogue
 //	GET    /v1/sessions/{id}/feedback        re-read the pending question
@@ -40,23 +44,24 @@ func NewServer(reg *Registry) http.Handler {
 	handle := func(pattern, endpoint string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, withObs(reg, endpoint, h))
 	}
-	handle("POST /v1/sessions", "create", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /"+api.Version+"/sessions", "create", func(w http.ResponseWriter, r *http.Request) {
 		handleCreate(reg, w, r)
 	})
-	handle("DELETE /v1/sessions/{id}", "delete", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /"+api.Version+"/sessions/{id}", "delete", func(w http.ResponseWriter, r *http.Request) {
 		if !reg.Delete(r.PathValue("id")) {
-			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown session"))
+			writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("service: unknown session"))
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+		writeJSON(w, http.StatusOK, api.DeleteSessionResponse{Deleted: true})
 	})
-	handle("GET /v1/sessions/{id}/stats", "stats", withSession(reg, handleStats))
-	handle("GET /v1/sessions/{id}/trace", "trace", withSession(reg, handleTrace))
-	handle("POST /v1/sessions/{id}/examples", "examples", withSession(reg, handleExamples))
-	handle("POST /v1/sessions/{id}/infer", "infer", withSession(reg, handleInfer))
-	handle("POST /v1/sessions/{id}/feedback", "feedback", withSession(reg, handleFeedback))
-	handle("GET /v1/sessions/{id}/feedback", "feedback_pending", withSession(reg, handlePendingFeedback))
-	handle("POST /v1/sessions/{id}/feedback/answer", "feedback_answer", withSession(reg, handleAnswer))
+	handle("GET /"+api.Version+"/sessions/{id}/stats", "stats", withSession(reg, handleStats))
+	handle("GET /"+api.Version+"/sessions/{id}/trace", "trace", withSession(reg, handleTrace))
+	handle("GET /"+api.Version+"/sessions/{id}/completions", "completions", withSession(reg, handleCompletions))
+	handle("POST /"+api.Version+"/sessions/{id}/examples", "examples", withSession(reg, handleExamples))
+	handle("POST /"+api.Version+"/sessions/{id}/infer", "infer", withSession(reg, handleInfer))
+	handle("POST /"+api.Version+"/sessions/{id}/feedback", "feedback", withSession(reg, handleFeedback))
+	handle("GET /"+api.Version+"/sessions/{id}/feedback", "feedback_pending", withSession(reg, handlePendingFeedback))
+	handle("POST /"+api.Version+"/sessions/{id}/feedback/answer", "feedback_answer", withSession(reg, handleAnswer))
 	handle("GET /healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -73,47 +78,26 @@ func withSession(reg *Registry, h func(*Session, http.ResponseWriter, *http.Requ
 	return func(w http.ResponseWriter, r *http.Request) {
 		s, ok := reg.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown session"))
+			writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("service: unknown session"))
 			return
 		}
 		h(s, w, r)
 	}
 }
 
-// createRequest creates a session. Ontology is the graph in the repo's
-// N-Triples dialect (see internal/ntriples). Zero-valued option fields
-// keep the paper's defaults; Workers stays a per-session preference that
-// is still clamped by the registry's global budget.
-type createRequest struct {
-	Ontology string `json:"ontology"`
-	Options  struct {
-		NumIter        int     `json:"num_iter"`
-		K              int     `json:"k"`
-		Workers        int     `json:"workers"`
-		FirstPairSweep int     `json:"first_pair_sweep"`
-		CostW1         float64 `json:"cost_w1"`
-		CostW2         float64 `json:"cost_w2"`
-
-		// Resource guard (core.Options.Guard): per-inference budgets for
-		// merge/matcher steps, emitted results and provenance bytes. Zero
-		// disables the corresponding budget; an exhausted budget degrades
-		// the run (200 + "degraded":true) instead of failing it.
-		MaxSteps   int64 `json:"max_steps"`
-		MaxResults int64 `json:"max_results"`
-		MaxBytes   int64 `json:"max_bytes"`
-	} `json:"options"`
-}
-
 func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
-	var req createRequest
+	var req api.CreateSessionRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
 	onto, err := ntriples.ParseString(req.Ontology)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		return
 	}
+	// Zero-valued option fields keep the paper's defaults; Workers stays a
+	// per-session preference that is still clamped by the registry's global
+	// budget.
 	opts := core.DefaultOptions()
 	if v := req.Options.NumIter; v != 0 {
 		opts.NumIter = v
@@ -133,6 +117,9 @@ func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
 	if v := req.Options.CostW2; v != 0 {
 		opts.CostW2 = v
 	}
+	if v := req.Options.MaxCompletions; v != 0 {
+		opts.MaxCompletions = v
+	}
 	opts.Guard = eval.Guard{
 		MaxSteps:   req.Options.MaxSteps,
 		MaxResults: req.Options.MaxResults,
@@ -141,86 +128,81 @@ func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
 	s, err := reg.Create(onto, opts)
 	if err != nil {
 		if errors.Is(err, qerr.ErrInternal) {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
 			return
 		}
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"session_id": s.ID})
-}
-
-// examplesRequest submits the example-set: each example is a provenance
-// subgraph (same N-Triples dialect) plus the distinguished node's value.
-type examplesRequest struct {
-	Examples []struct {
-		Triples       string `json:"triples"`
-		Distinguished string `json:"distinguished"`
-	} `json:"examples"`
+	writeJSON(w, http.StatusCreated, api.CreateSessionResponse{SessionID: s.ID})
 }
 
 func handleExamples(s *Session, w http.ResponseWriter, r *http.Request) {
-	var req examplesRequest
+	var req api.ExamplesRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	exs := make(provenance.ExampleSet, 0, len(req.Examples))
+	partial := 0
+	for _, e := range req.Examples {
+		if e.Partial != nil {
+			partial++
+		}
+	}
+	if partial == 0 {
+		// Full provenance: the base protocol, byte-for-byte. Keeping this
+		// path off the partial pipeline is what keeps full-provenance runs
+		// identical to the pre-partial implementation.
+		exs := make(provenance.ExampleSet, 0, len(req.Examples))
+		for i, e := range req.Examples {
+			g, err := ntriples.ParseString(e.Triples)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("example %d: %w", i, err))
+				return
+			}
+			ex, err := provenance.NewByValue(g, e.Distinguished)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("example %d: %w", i, err))
+				return
+			}
+			exs = append(exs, ex)
+		}
+		if err := s.SetExamples(r.Context(), exs); err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.ExamplesResponse{Examples: len(exs)})
+		return
+	}
+	// Partial input mode: any example marked partial turns the whole set
+	// into fragments (unmarked ones become trivially complete fragments and
+	// pass through completion untouched).
+	pex := make(provenance.PartialExampleSet, 0, len(req.Examples))
 	for i, e := range req.Examples {
 		g, err := ntriples.ParseString(e.Triples)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("example %d: %w", i, err))
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("example %d: %w", i, err))
 			return
 		}
-		ex, err := provenance.NewByValue(g, e.Distinguished)
+		missing := 0
+		if e.Partial != nil {
+			missing = e.Partial.MissingEdges
+		}
+		p, err := provenance.NewPartialByValue(g, e.Distinguished, missing)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("example %d: %w", i, err))
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("example %d: %w", i, err))
 			return
 		}
-		exs = append(exs, ex)
+		pex = append(pex, p)
 	}
-	if err := s.SetExamples(r.Context(), exs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.SetPartialExamples(r.Context(), pex); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"examples": len(exs)})
-}
-
-// inferRequest runs inference. TimeoutMS (optional) bounds the run: a
-// request exceeding it aborts mid-search with a cancellation error rather
-// than holding workers.
-type inferRequest struct {
-	Mode      string `json:"mode"`
-	TimeoutMS int    `json:"timeout_ms"`
-}
-
-type candidateJSON struct {
-	SPARQL string  `json:"sparql"`
-	Cost   float64 `json:"cost"`
-}
-
-type inferResponse struct {
-	Mode   string `json:"mode"`
-	SPARQL string `json:"sparql"`
-	// Degraded: the run exhausted its resource guard; SPARQL is the best
-	// consistent partial state, not the fixpoint.
-	Degraded   bool            `json:"degraded,omitempty"`
-	Candidates []candidateJSON `json:"candidates,omitempty"`
-	Stats      statsJSON       `json:"stats"`
-}
-
-type statsJSON struct {
-	Algorithm1Calls int   `json:"algorithm1_calls"`
-	Rounds          int   `json:"rounds"`
-	CacheHits       int   `json:"cache_hits"`
-	CacheMisses     int   `json:"cache_misses"`
-	GainEvals       int64 `json:"gain_evals"`
-	Restarts        int   `json:"restarts"`
-	WallMS          int64 `json:"wall_ms"`
-	GuardSteps      int64 `json:"guard_steps,omitempty"`
+	writeJSON(w, http.StatusOK, api.ExamplesResponse{Examples: len(pex), Partial: partial})
 }
 
 func handleInfer(s *Session, w http.ResponseWriter, r *http.Request) {
-	var req inferRequest
+	var req api.InferRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
@@ -239,23 +221,26 @@ func handleInfer(s *Session, w http.ResponseWriter, r *http.Request) {
 		markRequest(r.Context(), func(ri *reqInfo) { ri.degraded = true })
 	}
 	c := res.Stats.Counters()
-	resp := inferResponse{
-		Mode:     res.Mode,
-		SPARQL:   res.Query.SPARQL(),
-		Degraded: res.Degraded,
-		Stats: statsJSON{
-			Algorithm1Calls: c.Algorithm1Calls,
-			Rounds:          c.Rounds,
-			CacheHits:       c.CacheHits,
-			CacheMisses:     c.CacheMisses,
-			GainEvals:       c.GainEvals,
-			Restarts:        c.Restarts,
-			WallMS:          res.Stats.TotalWall().Milliseconds(),
-			GuardSteps:      res.Stats.GuardUsage.Steps,
+	resp := api.InferResponse{
+		Mode:        res.Mode,
+		SPARQL:      res.Query.SPARQL(),
+		Degraded:    res.Degraded,
+		Completions: completionsJSON(res.Completions, res.Completed),
+		Stats: api.Stats{
+			Algorithm1Calls:       c.Algorithm1Calls,
+			Rounds:                c.Rounds,
+			CacheHits:             c.CacheHits,
+			CacheMisses:           c.CacheMisses,
+			GainEvals:             c.GainEvals,
+			Restarts:              c.Restarts,
+			WallMS:                res.Stats.TotalWall().Milliseconds(),
+			GuardSteps:            res.Stats.GuardUsage.Steps,
+			CompletionsConsidered: c.CompletionsConsidered,
+			CompletionsAccepted:   c.CompletionsAccepted,
 		},
 	}
 	for _, cand := range res.Candidates {
-		resp.Candidates = append(resp.Candidates, candidateJSON{
+		resp.Candidates = append(resp.Candidates, api.Candidate{
 			SPARQL: cand.Query.SPARQL(),
 			Cost:   cand.Cost,
 		})
@@ -263,32 +248,47 @@ func handleInfer(s *Session, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// feedbackRequest starts the dialogue; MaxQuestions 0 means unbounded.
-type feedbackRequest struct {
-	MaxQuestions int `json:"max_questions"`
+// handleCompletions serves the completion report of the most recent
+// inference over a partial example-set ("completions": null when no
+// inference has run yet or the example-set had no fragments).
+func handleCompletions(s *Session, w http.ResponseWriter, _ *http.Request) {
+	rep, completed, ok := s.Completions()
+	if !ok {
+		writeJSON(w, http.StatusOK, api.CompletionsResponse{})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.CompletionsResponse{Completions: completionsJSON(&rep, completed)})
 }
 
-type answerRequest struct {
-	Include bool `json:"include"`
-}
-
-type feedbackResponse struct {
-	Done bool `json:"done"`
-	// Pending question, when !Done.
-	Result     string `json:"result,omitempty"`
-	Provenance string `json:"provenance,omitempty"`
-	// Decision, when Done.
-	Chosen    int    `json:"chosen,omitempty"`
-	SPARQL    string `json:"sparql,omitempty"`
-	Questions int    `json:"questions"`
-	Truncated bool   `json:"truncated,omitempty"`
-	// Redelivered: the answer was not consumed (no question was awaiting
-	// one); answer the event returned here instead.
-	Redelivered bool `json:"redelivered,omitempty"`
+// completionsJSON renders a completion report (nil-safe) with each choice's
+// completed explanation serialized back to the N-Triples dialect.
+func completionsJSON(rep *core.CompletionReport, completed provenance.ExampleSet) *api.Completions {
+	if rep == nil {
+		return nil
+	}
+	out := &api.Completions{
+		Considered: rep.Considered,
+		Accepted:   rep.Accepted,
+		Degraded:   rep.Degraded,
+	}
+	for _, ch := range rep.Choices {
+		jc := api.CompletionChoice{
+			Example:           ch.Example,
+			Identity:          ch.Identity,
+			AddedTriples:      ch.AddedTriples,
+			ResolvedWildcards: ch.ResolvedWildcards,
+			Considered:        ch.Considered,
+		}
+		if ch.Example >= 0 && ch.Example < len(completed) {
+			jc.Triples = ntriples.Format(completed[ch.Example].Graph)
+		}
+		out.Choices = append(out.Choices, jc)
+	}
+	return out
 }
 
 func handleFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
-	var req feedbackRequest
+	var req api.FeedbackRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
@@ -313,7 +313,7 @@ func handlePendingFeedback(s *Session, w http.ResponseWriter, r *http.Request) {
 }
 
 func handleAnswer(s *Session, w http.ResponseWriter, r *http.Request) {
-	var req answerRequest
+	var req api.AnswerRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
@@ -325,16 +325,16 @@ func handleAnswer(s *Session, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, feedbackEventJSON(ev))
 }
 
-func feedbackEventJSON(ev FeedbackEvent) feedbackResponse {
+func feedbackEventJSON(ev FeedbackEvent) api.FeedbackResponse {
 	if !ev.Done {
-		return feedbackResponse{
+		return api.FeedbackResponse{
 			Result:      ev.Question.Value,
 			Provenance:  ntriples.Format(ev.Question.Provenance),
 			Questions:   ev.Questions,
 			Redelivered: ev.Redelivered,
 		}
 	}
-	return feedbackResponse{
+	return api.FeedbackResponse{
 		Done:        true,
 		Chosen:      ev.Chosen,
 		SPARQL:      ev.Query.SPARQL(),
@@ -349,28 +349,52 @@ func feedbackEventJSON(ev FeedbackEvent) feedbackResponse {
 // retained only while the process-wide span gate is on (the questprod
 // default; -no-trace disables it).
 func handleTrace(s *Session, w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"traces": s.Traces()})
+	nodes := s.Traces()
+	resp := api.TraceResponse{Traces: make([]*api.TraceNode, 0, len(nodes))}
+	for _, n := range nodes {
+		resp.Traces = append(resp.Traces, traceNodeJSON(n))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// traceNodeJSON converts an obs span tree into its wire mirror, so the
+// trace endpoint serves an internal/api shape like every other route.
+func traceNodeJSON(n *obs.Node) *api.TraceNode {
+	if n == nil {
+		return nil
+	}
+	out := &api.TraceNode{
+		Kind:        n.Kind,
+		StartUnixNs: n.StartUnixNs,
+		DurationNs:  n.DurationNs,
+		Outcome:     n.Outcome,
+		Counters:    n.Counters,
+		Labels:      n.Labels,
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, traceNodeJSON(c))
+	}
+	return out
 }
 
 func handleStats(s *Session, w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
-	resp := map[string]any{
-		"infers":    st.Infers,
-		"examples":  st.Examples,
-		"has_query": st.HasQuery,
-		"counters": map[string]int64{
-			"algorithm1_calls": int64(st.Counters.Algorithm1Calls),
-			"rounds":           int64(st.Counters.Rounds),
-			"cache_hits":       int64(st.Counters.CacheHits),
-			"cache_misses":     int64(st.Counters.CacheMisses),
-			"gain_evals":       st.Counters.GainEvals,
-			"restarts":         int64(st.Counters.Restarts),
+	writeJSON(w, http.StatusOK, api.SessionStatsResponse{
+		Infers:   st.Infers,
+		Examples: st.Examples,
+		HasQuery: st.HasQuery,
+		Counters: api.Counters{
+			Algorithm1Calls:       int64(st.Counters.Algorithm1Calls),
+			Rounds:                int64(st.Counters.Rounds),
+			CacheHits:             int64(st.Counters.CacheHits),
+			CacheMisses:           int64(st.Counters.CacheMisses),
+			GainEvals:             st.Counters.GainEvals,
+			Restarts:              int64(st.Counters.Restarts),
+			CompletionsConsidered: st.Counters.CompletionsConsidered,
+			CompletionsAccepted:   st.Counters.CompletionsAccepted,
 		},
-	}
-	if st.LastError != "" {
-		resp["last_error"] = st.LastError
-	}
-	writeJSON(w, http.StatusOK, resp)
+		LastError: st.LastError,
+	})
 }
 
 // writeMetrics renders the registry's metrics in the Prometheus text
@@ -401,6 +425,8 @@ func writeMetrics(w io.Writer, reg *Registry) {
 		{"questprod_cache_misses_total", "counter", "Merge-cache misses (fresh pair computations).", int64(m.Counters.CacheMisses)},
 		{"questprod_gain_evals_total", "counter", "Gain-function evaluations in the merge kernel.", m.Counters.GainEvals},
 		{"questprod_restarts_total", "counter", "Merge-kernel restarts.", int64(m.Counters.Restarts)},
+		{"questprod_completions_considered_total", "counter", "Candidate completions enumerated for partial examples.", m.Counters.CompletionsConsidered},
+		{"questprod_completions_accepted_total", "counter", "Non-identity completions committed for partial examples.", m.Counters.CompletionsAccepted},
 		{"questprod_panics_recovered_total", "counter", "Panics converted to errors by a recovery boundary.", int64(m.PanicsRecovered)},
 		{"questprod_load_shed_total", "counter", "Inference requests shed for load (429).", int64(m.LoadShed)},
 		{"questprod_degraded_total", "counter", "Inferences that returned a degraded (guard-exhausted) result.", int64(m.DegradedInfer)},
@@ -428,16 +454,22 @@ func writeInferError(w http.ResponseWriter, r *http.Request, err error, retryAft
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusTooManyRequests, err)
+		writeErrorEnvelope(w, http.StatusTooManyRequests, api.Error{
+			Code:          api.CodeOverloaded,
+			Message:       err.Error(),
+			RetryAfterSec: secs,
+		})
 	case errors.Is(err, qerr.ErrInternal):
 		markRequest(r.Context(), func(ri *reqInfo) { ri.panicked = true })
-		writeError(w, http.StatusInternalServerError, err)
-	case errors.Is(err, qerr.ErrNoConsistentQuery), errors.Is(err, qerr.ErrBudgetExhausted):
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+	case errors.Is(err, qerr.ErrNoConsistentQuery):
+		writeError(w, http.StatusUnprocessableEntity, api.CodeNoConsistentQuery, err)
+	case errors.Is(err, qerr.ErrBudgetExhausted):
+		writeError(w, http.StatusUnprocessableEntity, api.CodeBudgetExhausted, err)
 	case errors.Is(err, qerr.ErrCanceled):
-		writeError(w, http.StatusGatewayTimeout, err)
+		writeError(w, http.StatusGatewayTimeout, api.CodeCanceled, err)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 	}
 }
 
@@ -451,11 +483,11 @@ func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
 	// 400 at best, a silently misread request at worst. Detect and refuse.
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		return false
 	}
 	if int64(len(body)) > maxRequestBody {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
 			fmt.Errorf("service: request body exceeds %d bytes", maxRequestBody))
 		return false
 	}
@@ -463,7 +495,7 @@ func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
 		return true // all request bodies are optional; zero values apply
 	}
 	if err := json.Unmarshal(body, into); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		return false
 	}
 	return true
@@ -477,8 +509,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeError emits the uniform api.Error envelope — every non-2xx response
+// decodes into the same three-field shape regardless of which layer failed.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeErrorEnvelope(w, status, api.Error{Code: code, Message: err.Error()})
+}
+
+func writeErrorEnvelope(w http.ResponseWriter, status int, e api.Error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(&e)
 }

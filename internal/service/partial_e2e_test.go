@@ -1,0 +1,179 @@
+package service_test
+
+// End-to-end partial-provenance test: degrade a sampled sp2b example-set,
+// submit the fragments through the real client and server, and check the
+// service's completion + inference agrees byte-for-byte with running the
+// core pipeline directly on the same fragments. `make race` runs this
+// package under -race, so the test doubles as the concurrency audit of the
+// partial input mode.
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"questpro/internal/api"
+	qpclient "questpro/internal/client"
+	"questpro/internal/core"
+	"questpro/internal/experiments"
+	"questpro/internal/ntriples"
+	"questpro/internal/provenance"
+	"questpro/internal/service"
+	"questpro/internal/workload/sampling"
+)
+
+func TestPartialProvenanceE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the sp2b workload")
+	}
+	w, err := experiments.Load("sp2b", 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := w.Evaluator()
+	const nExpl = 6
+	var exs provenance.ExampleSet
+	for _, bq := range w.Queries {
+		s := sampling.New(ev, bq.Query, rand.New(rand.NewSource(11)))
+		rs, err := s.Results(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) < nExpl {
+			continue
+		}
+		if exs, err = s.ExampleSet(bg, nExpl); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if exs == nil {
+		t.Fatalf("no sp2b query has %d results at this scale", nExpl)
+	}
+	pex, err := sampling.DegradeSet(exs, 25, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference run: the exact completion + union inference the server is
+	// expected to perform (its defaults are core.DefaultOptions with the
+	// guard disabled, same as a zero api.Options).
+	opts := core.DefaultOptions()
+	completed, rep, err := core.CompleteExamples(bg, w.Ontology, pex, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU, _, err := core.InferUnion(bg, completed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantU.SPARQL()
+
+	reg := service.NewRegistry(service.Config{})
+	t.Cleanup(reg.Close)
+	ts := httptest.NewServer(service.NewServer(reg))
+	t.Cleanup(ts.Close)
+	cl := qpclient.New(qpclient.Config{BaseURL: ts.URL, HTTPClient: ts.Client()})
+
+	id, err := cl.CreateSession(bg, ntriples.Format(w.Ontology), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := make([]api.Example, len(pex))
+	for i, p := range pex {
+		wire[i] = api.Example{
+			Triples:       ntriples.Format(p.Graph),
+			Distinguished: p.DistinguishedValue(),
+			Partial:       &api.PartialSpec{MissingEdges: p.MissingEdges},
+		}
+	}
+	ack, err := cl.SetPartialExamples(bg, id, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Examples != len(pex) || ack.Partial != len(pex) {
+		t.Fatalf("ack = %+v, want %d fragments", ack, len(pex))
+	}
+
+	resp, err := cl.Infer(bg, id, "union", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SPARQL != want {
+		t.Fatalf("server union disagrees with direct completion:\nserver: %s\ndirect: %s", resp.SPARQL, want)
+	}
+	if resp.Degraded {
+		t.Fatal("unguarded inference reported degradation")
+	}
+	if resp.Completions == nil {
+		t.Fatal("partial inference reported no completions")
+	}
+	if resp.Completions.Considered != rep.Considered || resp.Completions.Accepted != rep.Accepted {
+		t.Fatalf("completion counters: server %d/%d, direct %d/%d",
+			resp.Completions.Considered, resp.Completions.Accepted, rep.Considered, rep.Accepted)
+	}
+	if len(resp.Completions.Choices) != len(pex) {
+		t.Fatalf("%d choices for %d fragments", len(resp.Completions.Choices), len(pex))
+	}
+	for i, ch := range resp.Completions.Choices {
+		if ch.Example != i {
+			t.Fatalf("choice %d reports example %d", i, ch.Example)
+		}
+		if got, want := ch.Triples, ntriples.Format(completed[i].Graph); got != want {
+			t.Fatalf("choice %d completed explanation differs:\nserver: %s\ndirect: %s", i, got, want)
+		}
+		// Completed explanations must have no holes left.
+		g, err := ntriples.ParseString(ch.Triples)
+		if err != nil {
+			t.Fatalf("choice %d triples do not parse: %v", i, err)
+		}
+		p2, err := provenance.NewPartialByValue(g, pex[i].DistinguishedValue(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p2.IsComplete() {
+			t.Fatalf("choice %d is still a fragment:\n%s", i, ch.Triples)
+		}
+	}
+	if resp.Stats.CompletionsConsidered != rep.Considered {
+		t.Fatalf("stats.completions_considered = %d, want %d", resp.Stats.CompletionsConsidered, rep.Considered)
+	}
+
+	comps, err := cl.Completions(bg, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps == nil || comps.Considered != rep.Considered {
+		t.Fatalf("completions endpoint: %+v, want considered %d", comps, rep.Considered)
+	}
+
+	// A second inference in another mode reuses the cached completion and
+	// must still run over the completed set, not the (empty) full set.
+	resp2, err := cl.Infer(bg, id, "topk", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp2.SPARQL, "SELECT") || len(resp2.Candidates) == 0 {
+		t.Fatalf("topk over completed set: %+v", resp2)
+	}
+	if resp2.Completions == nil || resp2.Completions.Considered != rep.Considered {
+		t.Fatalf("topk lost the completion report: %+v", resp2.Completions)
+	}
+
+	st, err := cl.Stats(bg, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Infers != 2 || st.Examples != len(pex) {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The completion ran once (cached on the second infer), so the session
+	// counter equals one report's worth.
+	if st.Counters.CompletionsConsidered != rep.Considered {
+		t.Fatalf("session counters = %+v, want considered %d", st.Counters, rep.Considered)
+	}
+	if err := cl.DeleteSession(bg, id); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -54,11 +54,22 @@ type Session struct {
 
 	mu     sync.Mutex
 	ev     *eval.Evaluator
+	onto   *graph.Graph
 	opts   core.Options
 	ex     provenance.ExampleSet
 	result *query.Union     // last inferred (or feedback-chosen) query
 	cands  []core.Candidate // last top-k candidates
 	fb     *feedbackRun
+
+	// Partial-provenance state (DESIGN.md §11): pex is the submitted
+	// fragment set when the client used the partial input mode (nil when
+	// the session holds only complete examples); completed/compReport cache
+	// the completion phase's outcome — completion is deterministic for a
+	// fixed fragment set and options, so it runs once on the first Infer
+	// and is reused until the example-set changes.
+	pex        provenance.PartialExampleSet
+	completed  provenance.ExampleSet
+	compReport *core.CompletionReport
 
 	counters core.CountersSnapshot
 	infers   int
@@ -81,6 +92,7 @@ func newSession(r *Registry, id string, onto *graph.Graph, opts core.Options) *S
 		ctx:    ctx,
 		cancel: cancel,
 		ev:     eval.New(onto),
+		onto:   onto,
 		opts:   opts,
 	}
 	s.touch()
@@ -227,9 +239,53 @@ func (s *Session) SetExamples(ctx context.Context, exs provenance.ExampleSet) (e
 	defer s.mu.Unlock()
 	s.abortFeedbackLocked()
 	s.ex = exs
+	s.pex = nil
+	s.completed = nil
+	s.compReport = nil
 	s.result = nil
 	s.cands = nil
 	return nil
+}
+
+// SetPartialExamples validates and installs a fragment set (the partial
+// input mode). The fragments are completed against the ontology lazily, on
+// the first Infer, so submission stays cheap and the completion search
+// runs under the inference request's context and guard.
+func (s *Session) SetPartialExamples(ctx context.Context, pex provenance.PartialExampleSet) (err error) {
+	ctx, sp := s.startOp(ctx, "session.examples")
+	defer func() {
+		s.recoverOp(ctx, "set partial examples", recover(), &err)
+		s.endOp(sp, err, false)
+	}()
+	sp.SetInt("examples", int64(len(pex)))
+	sp.SetLabel("partial", "true")
+	s.begin()
+	defer s.end()
+	if err := pex.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.abortFeedbackLocked()
+	s.ex = nil
+	s.pex = pex
+	s.completed = nil
+	s.compReport = nil
+	s.result = nil
+	s.cands = nil
+	return nil
+}
+
+// Completions returns the completion report and completed explanations of
+// the most recent inference over a partial example-set (ok=false when the
+// session has none — no fragments submitted, or no inference run yet).
+func (s *Session) Completions() (core.CompletionReport, provenance.ExampleSet, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.compReport == nil {
+		return core.CompletionReport{}, nil, false
+	}
+	return *s.compReport, s.completed, true
 }
 
 // InferResult is one inference outcome.
@@ -244,6 +300,13 @@ type InferResult struct {
 	// is the best consistent partial state, not the fixpoint (see
 	// core.Options.Guard). Served with 200 + "degraded":true.
 	Degraded bool
+
+	// Completions reports the completion phase when the example-set was
+	// submitted as fragments (nil otherwise); Completed holds the
+	// explanations inference actually ran over, index-aligned with the
+	// submitted set.
+	Completions *core.CompletionReport
+	Completed   provenance.ExampleSet
 }
 
 // Infer runs one of the inference algorithms ("simple", "union" or "topk")
@@ -267,7 +330,7 @@ func (s *Session) Infer(ctx context.Context, mode string) (res InferResult, err 
 	defer s.end()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.ex) == 0 {
+	if len(s.ex) == 0 && len(s.pex) == 0 {
 		return InferResult{}, fmt.Errorf("service: no example-set submitted")
 	}
 	s.abortFeedbackLocked()
@@ -288,17 +351,40 @@ func (s *Session) Infer(ctx context.Context, mode string) (res InferResult, err 
 	defer s.reg.budget.Release(got)
 	opts.Workers = got
 
+	// Partial input mode: resolve the fragments into complete explanations
+	// first (cached — completion is deterministic for fixed fragments and
+	// options), then shrink the inference guard by what the search spent so
+	// both phases share the one per-operation budget.
+	exs := s.ex
+	ranCompletion := false
+	if len(s.pex) > 0 {
+		if s.compReport == nil {
+			completed, rep, cerr := core.CompleteExamples(ctx, s.onto, s.pex, opts)
+			if cerr != nil {
+				return InferResult{}, cerr
+			}
+			s.completed, s.compReport = completed, &rep
+			ranCompletion = true
+		}
+		exs = s.completed
+		res.Completions, res.Completed = s.compReport, s.completed
+		opts.Guard = opts.Guard.Reduce(s.compReport.GuardUsage)
+		if s.compReport.Degraded {
+			res.Degraded = true
+		}
+	}
+
 	res.Mode = mode
 	var stats core.Stats
 	switch mode {
 	case "simple":
-		q, st, err := core.InferSimple(ctx, s.ex, opts)
+		q, st, err := core.InferSimple(ctx, exs, opts)
 		if err != nil {
 			return InferResult{}, err
 		}
 		res.Query, stats = query.NewUnion(q), st
 	case "union":
-		u, st, err := core.InferUnion(ctx, s.ex, opts)
+		u, st, err := core.InferUnion(ctx, exs, opts)
 		if err != nil {
 			if u == nil || !errors.Is(err, qerr.ErrBudgetExhausted) {
 				return InferResult{}, err
@@ -307,7 +393,7 @@ func (s *Session) Infer(ctx context.Context, mode string) (res InferResult, err 
 		}
 		res.Query, stats = u, st
 	case "topk":
-		cands, st, err := core.InferTopK(ctx, s.ex, opts)
+		cands, st, err := core.InferTopK(ctx, exs, opts)
 		if err != nil {
 			if len(cands) == 0 || !errors.Is(err, qerr.ErrBudgetExhausted) {
 				return InferResult{}, err
@@ -320,6 +406,13 @@ func (s *Session) Infer(ctx context.Context, mode string) (res InferResult, err 
 		res.Query, res.Candidates, stats = cands[0].Query, cands, st
 	default:
 		return InferResult{}, fmt.Errorf("service: unknown inference mode %q", mode)
+	}
+	// Stats counts the work this call performed: a cached completion
+	// (reused by a repeat inference) still rides in res.Completions but
+	// charges no counters again.
+	if ranCompletion {
+		stats.CompletionsConsidered = res.Completions.Considered
+		stats.CompletionsAccepted = res.Completions.Accepted
 	}
 	res.Stats = stats
 	// The root span carries the same counters the response reports, so a
@@ -644,7 +737,7 @@ func (s *Session) Stats() SessionStats {
 	st := SessionStats{
 		Infers:   s.infers,
 		Counters: s.counters,
-		Examples: len(s.ex),
+		Examples: len(s.ex) + len(s.pex),
 		HasQuery: s.result != nil,
 	}
 	if ie := s.lastErr.Load(); ie != nil {

@@ -1,0 +1,249 @@
+package service_test
+
+// Wire-parity tests: every request body is a marshaled internal/api type
+// and every response body — success or error — must decode back into the
+// matching api type under DisallowUnknownFields. Any field the server
+// emits that the versioned contract does not declare fails the suite, so
+// internal/api stays the single source of truth for the JSON shapes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"questpro/internal/api"
+	"questpro/internal/ntriples"
+	"questpro/internal/paperfix"
+	"questpro/internal/service"
+	"questpro/internal/workload/sampling"
+)
+
+// apiDo sends in (nil for an empty body) and strictly decodes the response
+// into out. The decoder rejects unknown fields in both directions of the
+// contract: requests are api types by construction, responses by decoding.
+func apiDo(t *testing.T, c *client, method, path string, in, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(out); err != nil {
+			t.Fatalf("%s %s: response is not a strict %T: %v\nbody: %s", method, path, out, err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+// apiExamples renders the running example's explanations as wire examples.
+func apiExamples() []api.Example {
+	o := paperfix.Ontology()
+	var exs []api.Example
+	for _, e := range paperfix.Explanations(o) {
+		exs = append(exs, api.Example{
+			Triples:       ntriples.Format(e.Graph),
+			Distinguished: e.DistinguishedValue(),
+		})
+	}
+	return exs
+}
+
+// TestWireParityLifecycle drives a full session — create, examples, top-k
+// inference, feedback to convergence, completions, stats, trace, delete —
+// with every body round-tripped through the api types strictly.
+func TestWireParityLifecycle(t *testing.T) {
+	c := newTestServer(t, service.Config{})
+
+	var created api.CreateSessionResponse
+	status := apiDo(t, c, http.MethodPost, "/"+api.Version+"/sessions",
+		api.CreateSessionRequest{
+			Ontology: ntriples.Format(paperfix.Ontology()),
+			Options:  api.Options{NumIter: 40},
+		}, &created)
+	if status != http.StatusCreated || created.SessionID == "" {
+		t.Fatalf("create: status %d, id %q", status, created.SessionID)
+	}
+	base := "/" + api.Version + "/sessions/" + created.SessionID
+
+	exs := apiExamples()
+	var ack api.ExamplesResponse
+	if status := apiDo(t, c, http.MethodPost, base+"/examples", api.ExamplesRequest{Examples: exs}, &ack); status != http.StatusOK {
+		t.Fatalf("examples: status %d", status)
+	}
+	if ack.Examples != len(exs) || ack.Partial != 0 {
+		t.Fatalf("examples ack = %+v, want %d full examples", ack, len(exs))
+	}
+
+	var inf api.InferResponse
+	if status := apiDo(t, c, http.MethodPost, base+"/infer", api.InferRequest{Mode: "topk"}, &inf); status != http.StatusOK {
+		t.Fatalf("infer: status %d", status)
+	}
+	if !strings.Contains(inf.SPARQL, "SELECT") || len(inf.Candidates) == 0 {
+		t.Fatalf("infer: implausible response %+v", inf)
+	}
+	if inf.Completions != nil || inf.Stats.CompletionsConsidered != 0 {
+		t.Fatalf("full-provenance infer reported completions: %+v", inf)
+	}
+
+	// No fragments were submitted, so the report must be null.
+	var comps api.CompletionsResponse
+	if status := apiDo(t, c, http.MethodGet, base+"/completions", nil, &comps); status != http.StatusOK {
+		t.Fatalf("completions: status %d", status)
+	}
+	if comps.Completions != nil {
+		t.Fatalf("completions on a full-provenance session: %+v", comps.Completions)
+	}
+
+	var fb api.FeedbackResponse
+	if status := apiDo(t, c, http.MethodPost, base+"/feedback", api.FeedbackRequest{}, &fb); status != http.StatusOK {
+		t.Fatalf("feedback: status %d", status)
+	}
+	for i := 0; i < 32 && !fb.Done; i++ {
+		if fb.Result == "" || fb.Provenance == "" {
+			t.Fatalf("pending question missing fields: %+v", fb)
+		}
+		fb = api.FeedbackResponse{}
+		if status := apiDo(t, c, http.MethodPost, base+"/feedback/answer", api.AnswerRequest{Include: false}, &fb); status != http.StatusOK {
+			t.Fatalf("answer: status %d", status)
+		}
+	}
+	if !fb.Done || !strings.Contains(fb.SPARQL, "SELECT") {
+		t.Fatalf("feedback did not converge: %+v", fb)
+	}
+
+	var st api.SessionStatsResponse
+	if status := apiDo(t, c, http.MethodGet, base+"/stats", nil, &st); status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	if st.Infers != 1 || st.Examples != len(exs) || !st.HasQuery {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	var tr api.TraceResponse
+	if status := apiDo(t, c, http.MethodGet, base+"/trace", nil, &tr); status != http.StatusOK {
+		t.Fatalf("trace: status %d", status)
+	}
+
+	var del api.DeleteSessionResponse
+	if status := apiDo(t, c, http.MethodDelete, base, nil, &del); status != http.StatusOK || !del.Deleted {
+		t.Fatalf("delete: status %d, %+v", status, del)
+	}
+}
+
+// TestWireParityErrorEnvelope checks that non-2xx responses of different
+// layers all decode strictly into the one api.Error shape with the
+// documented codes.
+func TestWireParityErrorEnvelope(t *testing.T) {
+	c := newTestServer(t, service.Config{})
+
+	var e api.Error
+	status := apiDo(t, c, http.MethodPost, "/"+api.Version+"/sessions/deadbeef/infer", api.InferRequest{}, &e)
+	if status != http.StatusNotFound || e.Code != api.CodeNotFound || e.Message == "" {
+		t.Fatalf("unknown session: status %d, envelope %+v", status, e)
+	}
+
+	e = api.Error{}
+	status = apiDo(t, c, http.MethodPost, "/"+api.Version+"/sessions",
+		api.CreateSessionRequest{Ontology: "a b\n"}, &e)
+	if status != http.StatusBadRequest || e.Code != api.CodeBadRequest || e.Message == "" {
+		t.Fatalf("bad ontology: status %d, envelope %+v", status, e)
+	}
+
+	// Inference without an example-set is a session-layer failure; it must
+	// ride the same envelope.
+	var created api.CreateSessionResponse
+	if status := apiDo(t, c, http.MethodPost, "/"+api.Version+"/sessions",
+		api.CreateSessionRequest{Ontology: ntriples.Format(paperfix.Ontology())}, &created); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	e = api.Error{}
+	status = apiDo(t, c, http.MethodPost, "/"+api.Version+"/sessions/"+created.SessionID+"/infer", api.InferRequest{Mode: "union"}, &e)
+	if status != http.StatusBadRequest || e.Code != api.CodeBadRequest || !strings.Contains(e.Message, "example") {
+		t.Fatalf("infer without examples: status %d, envelope %+v", status, e)
+	}
+}
+
+// TestWireParityPartialExamples round-trips a degraded example-set: the
+// server must acknowledge the fragments, complete them, and report the
+// completion phase in both the infer response and the completions endpoint
+// — all in strict api shapes.
+func TestWireParityPartialExamples(t *testing.T) {
+	c := newTestServer(t, service.Config{})
+
+	var created api.CreateSessionResponse
+	if status := apiDo(t, c, http.MethodPost, "/"+api.Version+"/sessions",
+		api.CreateSessionRequest{Ontology: ntriples.Format(paperfix.Ontology())}, &created); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	base := "/" + api.Version + "/sessions/" + created.SessionID
+
+	o := paperfix.Ontology()
+	full := paperfix.Explanations(o)
+	rng := rand.New(rand.NewSource(3))
+	var wire []api.Example
+	for _, ex := range full {
+		p, err := sampling.Degrade(ex, 34, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire = append(wire, api.Example{
+			Triples:       ntriples.Format(p.Graph),
+			Distinguished: p.DistinguishedValue(),
+			Partial:       &api.PartialSpec{MissingEdges: p.MissingEdges},
+		})
+	}
+
+	var ack api.ExamplesResponse
+	if status := apiDo(t, c, http.MethodPost, base+"/examples", api.ExamplesRequest{Examples: wire}, &ack); status != http.StatusOK {
+		t.Fatalf("examples: status %d", status)
+	}
+	if ack.Examples != len(wire) || ack.Partial != len(wire) {
+		t.Fatalf("partial ack = %+v, want %d fragments", ack, len(wire))
+	}
+
+	var inf api.InferResponse
+	if status := apiDo(t, c, http.MethodPost, base+"/infer", api.InferRequest{Mode: "union"}, &inf); status != http.StatusOK {
+		t.Fatalf("infer: status %d", status)
+	}
+	if !strings.Contains(inf.SPARQL, "SELECT") {
+		t.Fatalf("infer: implausible sparql %q", inf.SPARQL)
+	}
+	if inf.Completions == nil || inf.Completions.Considered == 0 || len(inf.Completions.Choices) != len(wire) {
+		t.Fatalf("infer did not report completions: %+v", inf.Completions)
+	}
+	if inf.Stats.CompletionsConsidered != inf.Completions.Considered {
+		t.Fatalf("stats/completions disagree: %d vs %d",
+			inf.Stats.CompletionsConsidered, inf.Completions.Considered)
+	}
+
+	var comps api.CompletionsResponse
+	if status := apiDo(t, c, http.MethodGet, base+"/completions", nil, &comps); status != http.StatusOK {
+		t.Fatalf("completions: status %d", status)
+	}
+	if comps.Completions == nil || comps.Completions.Considered != inf.Completions.Considered {
+		t.Fatalf("completions endpoint disagrees with infer: %+v vs %+v", comps.Completions, inf.Completions)
+	}
+}

@@ -1,0 +1,92 @@
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"questpro/internal/graph"
+	"questpro/internal/provenance"
+)
+
+// Degrade simulates a forgetful user (the partial-provenance input mode of
+// Gilad & Moskovitch): it turns a complete explanation into a fragment by
+// degrading approximately pct percent of its edges. Each selected edge is
+// either re-labeled with the wildcard "*" (the user forgot the predicate)
+// or dropped entirely with the missing-edge hint bumped (the user forgot
+// the connection; the endpoints stay, possibly stranded). All nodes are
+// kept — the user remembers the entities — and the distinguished node is
+// untouched.
+//
+// pct 0 returns the explanation wrapped as a trivially complete fragment
+// (sharing its graph), so a 0% degradation is byte-identical to full
+// provenance. rng drives which edges degrade and how; a fixed seed gives a
+// fixed fragment, which the quality experiment relies on.
+func Degrade(ex provenance.Explanation, pct int, rng *rand.Rand) (provenance.PartialExplanation, error) {
+	if pct < 0 || pct > 100 {
+		return provenance.PartialExplanation{}, fmt.Errorf("sampling: degradation %d%% outside [0,100]", pct)
+	}
+	if pct == 0 {
+		return provenance.FromExplanation(ex), nil
+	}
+	n := ex.Graph.NumEdges()
+	k := (n*pct + 50) / 100
+	if k >= n {
+		k = n - 1 // keep at least one edge anchoring the fragment
+	}
+	if k < 1 {
+		k = 1
+	}
+	if n <= 1 {
+		return provenance.FromExplanation(ex), nil
+	}
+	chosen := make(map[graph.EdgeID]bool, k)
+	for _, i := range rng.Perm(n)[:k] {
+		chosen[graph.EdgeID(i)] = true
+	}
+
+	g := graph.New()
+	for i := 0; i < ex.Graph.NumNodes(); i++ {
+		nd := ex.Graph.Node(graph.NodeID(i))
+		if _, err := g.AddNode(nd.Value, nd.Type); err != nil {
+			return provenance.PartialExplanation{}, err
+		}
+	}
+	missing := 0
+	for i := 0; i < n; i++ {
+		e := ex.Graph.Edge(graph.EdgeID(i))
+		fv := ex.Graph.Node(e.From).Value
+		tv := ex.Graph.Node(e.To).Value
+		if !chosen[graph.EdgeID(i)] {
+			if _, err := g.AddTriple(fv, e.Label, tv); err != nil {
+				return provenance.PartialExplanation{}, err
+			}
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			// Forgotten predicate: keep the edge under the wildcard label. A
+			// second wildcard between the same endpoints would collide; treat
+			// it as a forgotten connection instead.
+			if _, err := g.AddTriple(fv, provenance.Wildcard, tv); err == nil {
+				continue
+			}
+		}
+		missing++ // forgotten connection: drop the edge, hint at the loss
+	}
+	// Node ids are preserved: nodes were re-added in id order.
+	return provenance.NewPartial(g, ex.Distinguished, missing)
+}
+
+// DegradeSet degrades every explanation of the set with an independent,
+// index-seeded slice of rng's stream, so fragment i does not depend on the
+// sizes of fragments 0..i-1.
+func DegradeSet(exs provenance.ExampleSet, pct int, rng *rand.Rand) (provenance.PartialExampleSet, error) {
+	out := make(provenance.PartialExampleSet, 0, len(exs))
+	for i, ex := range exs {
+		p, err := Degrade(ex, pct, rand.New(rand.NewSource(rng.Int63())))
+		if err != nil {
+			return nil, fmt.Errorf("sampling: degrading explanation %d: %w", i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"questpro/internal/ntriples"
+	"questpro/internal/paperfix"
+)
+
+// A 0% degradation must be the identity: the fragment shares the
+// explanation's graph, so downstream completion takes its no-op short-cut
+// and full-provenance runs stay byte-identical.
+func TestDegradeZeroPctIsIdentity(t *testing.T) {
+	o := paperfix.Ontology()
+	for i, ex := range paperfix.Explanations(o) {
+		p, err := Degrade(ex, 0, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Graph != ex.Graph {
+			t.Fatalf("explanation %d: p=0 rebuilt the graph", i)
+		}
+		if !p.IsComplete() || p.MissingEdges != 0 {
+			t.Fatalf("explanation %d: p=0 fragment has holes: %s", i, p)
+		}
+		if p.DistinguishedValue() != ex.DistinguishedValue() {
+			t.Fatalf("explanation %d: distinguished drifted", i)
+		}
+	}
+}
+
+func TestDegradeIsDeterministicAndKeepsNodes(t *testing.T) {
+	o := paperfix.Ontology()
+	exs := paperfix.Explanations(o)
+	for _, pct := range []int{10, 25, 50, 100} {
+		for i, ex := range exs {
+			a, err := Degrade(ex, pct, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Degrade(ex, pct, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ntriples.Format(a.Graph) != ntriples.Format(b.Graph) || a.MissingEdges != b.MissingEdges {
+				t.Fatalf("pct %d, explanation %d: same seed produced different fragments", pct, i)
+			}
+			if a.Graph.NumNodes() != ex.Graph.NumNodes() {
+				t.Fatalf("pct %d, explanation %d: nodes dropped (%d -> %d)",
+					pct, i, ex.Graph.NumNodes(), a.Graph.NumNodes())
+			}
+			if a.DistinguishedValue() != ex.DistinguishedValue() {
+				t.Fatalf("pct %d, explanation %d: distinguished drifted", pct, i)
+			}
+			// Degradation must leave a hole to complete (or keep at least one
+			// anchoring edge when asked for 100%).
+			holes := a.MissingEdges + len(a.WildcardEdges())
+			if pct > 0 && holes == 0 {
+				t.Fatalf("pct %d, explanation %d: nothing degraded", pct, i)
+			}
+			if a.Graph.NumEdges()+a.MissingEdges < 1 {
+				t.Fatalf("pct %d, explanation %d: fragment lost every edge without a hint", pct, i)
+			}
+		}
+	}
+}
+
+func TestDegradeRejectsBadPct(t *testing.T) {
+	o := paperfix.Ontology()
+	ex := paperfix.Explanations(o)[0]
+	for _, pct := range []int{-1, 101} {
+		if _, err := Degrade(ex, pct, rand.New(rand.NewSource(1))); err == nil {
+			t.Fatalf("pct %d accepted", pct)
+		}
+	}
+}
