@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos api-check cover bench bench-json bench-merge bench-obs-overhead bench-compare bench-partial profile experiments examples serve clean
+.PHONY: all build test race chaos crash api-check snapshot-check cover bench bench-json bench-merge bench-obs-overhead bench-compare bench-partial profile experiments examples serve clean
 
 all: build test
 
@@ -21,12 +21,13 @@ test:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test ./...
 	@$(MAKE) --no-print-directory api-check
+	@$(MAKE) --no-print-directory snapshot-check
 	@$(MAKE) --no-print-directory chaos
 	@echo "== bench-compare (advisory: perf gate output; does not fail make test) =="
 	-@$(MAKE) --no-print-directory bench-compare
 
 race:
-	$(GO) test -race ./internal/graph/ ./internal/obs/ ./internal/eval/ ./internal/core/ ./internal/feedback/ ./internal/service/ ./internal/workload/...
+	$(GO) test -race ./internal/graph/ ./internal/obs/ ./internal/eval/ ./internal/core/ ./internal/feedback/ ./internal/service/ ./internal/store/ ./internal/workload/...
 
 # Chaos harness (DESIGN.md §8): drive the full HTTP service under -race
 # while the faults package injects errors and panics at every registered
@@ -36,7 +37,15 @@ chaos:
 	$(GO) test -race -count=2 \
 		-run 'Chaos|Fault|Panic|Shed|Degraded|Overload|Guard|Retr' \
 		./internal/faults/ ./internal/conc/ ./internal/eval/ \
-		./internal/core/ ./internal/service/ ./internal/client/
+		./internal/core/ ./internal/store/ ./internal/service/ ./internal/client/
+	@$(MAKE) --no-print-directory crash
+
+# Kill-restart chaos harness (DESIGN.md §12): build the real questprod
+# binary, SIGKILL it mid-feedback-dialogue, restart it on the same
+# -data-dir, and assert the pending question is re-served idempotently and
+# the finished dialogue's SPARQL is byte-identical to an uninterrupted run.
+crash:
+	$(GO) test -race -count=1 -run 'TestCrashRecovery' ./cmd/questprod/
 
 # API-compatibility gate: the golden schema test of internal/api snapshots
 # the JSON contract (every field name, tag and type of every wire type plus
@@ -45,6 +54,14 @@ chaos:
 # breaking changes must bump api.Version.
 api-check:
 	$(GO) test -count=1 -run 'TestSchema' ./internal/api/
+
+# Durable-format gate: the golden schema test of the session snapshot codec
+# (internal/service/snapshot.go) pins every field of the on-disk snapshot
+# and journal shapes. Additive changes regenerate with
+# `go test ./internal/service -run TestSnapshotSchemaGolden -update-snapshot-schema`;
+# shape changes must bump snapshotSchemaVersion and handle old snapshots.
+snapshot-check:
+	$(GO) test -count=1 -run 'TestSnapshotSchema' ./internal/service/
 
 cover:
 	$(GO) test -cover ./...

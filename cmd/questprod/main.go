@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"questpro/internal/service"
+	"questpro/internal/store"
 )
 
 func main() {
@@ -53,6 +55,8 @@ func main() {
 	traceRing := flag.Int("trace-ring", service.DefaultTraceRing,
 		"finished operation traces retained per session for /trace")
 	noTrace := flag.Bool("no-trace", false, "disable span tracing (histograms and logs stay on)")
+	dataDir := flag.String("data-dir", "",
+		"directory for durable session snapshots; sessions survive restarts and kill -9 (empty = in-memory only)")
 	flag.Parse()
 
 	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
@@ -72,6 +76,18 @@ func main() {
 		journal = f
 	}
 
+	// With -data-dir the registry restores every durable session before
+	// accepting traffic (the listener comes up below, after NewRegistry),
+	// so a restarted process re-serves mid-dialogue sessions transparently.
+	var sessionStore *store.Store
+	if *dataDir != "" {
+		var err error
+		if sessionStore, err = store.Open(*dataDir); err != nil {
+			logger.Error("opening data dir", "err", err)
+			os.Exit(1)
+		}
+	}
+
 	reg := service.NewRegistry(service.Config{
 		TotalWorkers:   *workers,
 		SessionTTL:     *ttl,
@@ -82,9 +98,13 @@ func main() {
 		TraceLog:       journal,
 		TraceRing:      *traceRing,
 		DisableTracing: *noTrace,
+		Store:          sessionStore,
 	})
+	if sessionStore != nil {
+		logger.Info("session persistence on", "data_dir", *dataDir,
+			"sessions_restored", reg.Metrics().SnapshotRestores)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           service.NewServer(reg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -114,10 +134,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen before serving so the "listening" record carries the RESOLVED
+	// address — with "-addr 127.0.0.1:0" the kernel picks the port, and the
+	// crash harness (and any supervisor) reads it from this log line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr, "worker_budget", reg.Budget().Size(),
-		"tracing", !*noTrace, "trace_log", *traceLog)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String(), "worker_budget", reg.Budget().Size(),
+		"tracing", !*noTrace, "trace_log", *traceLog, "data_dir", *dataDir)
 
 	select {
 	case err := <-errc:

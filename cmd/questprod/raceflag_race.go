@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors the -race flag of the enclosing test build, so the
+// crash harness builds its child questprod binary with the same detector.
+const raceEnabled = true

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -46,6 +47,15 @@ type Config struct {
 	// Seed seeds the jitter source, so tests replay identical schedules.
 	Seed int64
 
+	// AttemptTimeout bounds each individual attempt (not the whole retried
+	// request), so one hung connection — a server dying mid-response, a
+	// half-open socket after a crash — costs one attempt instead of the
+	// caller's whole deadline. 0 selects DefaultAttemptTimeout; negative
+	// disables the per-attempt bound. A timed-out attempt is retried like
+	// any transport failure; the caller's own context still cuts the whole
+	// request short.
+	AttemptTimeout time.Duration
+
 	// HTTPClient overrides the transport (httptest servers, custom
 	// timeouts). nil selects http.DefaultClient.
 	HTTPClient *http.Client
@@ -53,19 +63,28 @@ type Config struct {
 
 // Defaults for Config's zero fields.
 const (
-	DefaultMaxRetries = 6
-	DefaultBaseDelay  = 100 * time.Millisecond
-	DefaultMaxDelay   = 5 * time.Second
+	DefaultMaxRetries     = 6
+	DefaultBaseDelay      = 100 * time.Millisecond
+	DefaultMaxDelay       = 5 * time.Second
+	DefaultAttemptTimeout = 30 * time.Second
 )
+
+// ErrSessionNotFound is matched (errors.Is) by an APIError whenever the
+// server answered 404 for a session-scoped route — the session was evicted,
+// or the server restarted without durable session state. Callers riding
+// through a restart (the crash-recovery harness does) branch on it to
+// distinguish "recreate the session" from genuine request errors.
+var ErrSessionNotFound = errors.New("client: session not found")
 
 // Client talks to one questprod server. Safe for concurrent use; construct
 // with New.
 type Client struct {
-	base    string
-	retries int
-	baseD   time.Duration
-	maxD    time.Duration
-	httpc   *http.Client
+	base     string
+	retries  int
+	baseD    time.Duration
+	maxD     time.Duration
+	attemptD time.Duration
+	httpc    *http.Client
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand
@@ -87,16 +106,23 @@ func New(cfg Config) *Client {
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = DefaultMaxDelay
 	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if cfg.AttemptTimeout < 0 {
+		cfg.AttemptTimeout = 0
+	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = http.DefaultClient
 	}
 	return &Client{
-		base:    strings.TrimRight(cfg.BaseURL, "/"),
-		retries: cfg.MaxRetries,
-		baseD:   cfg.BaseDelay,
-		maxD:    cfg.MaxDelay,
-		httpc:   cfg.HTTPClient,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		base:     strings.TrimRight(cfg.BaseURL, "/"),
+		retries:  cfg.MaxRetries,
+		baseD:    cfg.BaseDelay,
+		maxD:     cfg.MaxDelay,
+		attemptD: cfg.AttemptTimeout,
+		httpc:    cfg.HTTPClient,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -125,7 +151,13 @@ func (e *APIError) Error() string {
 }
 
 func (e *APIError) Is(target error) bool {
-	return target == qerr.ErrOverloaded && e.Status == http.StatusTooManyRequests
+	switch target {
+	case qerr.ErrOverloaded:
+		return e.Status == http.StatusTooManyRequests
+	case ErrSessionNotFound:
+		return e.Status == http.StatusNotFound
+	}
+	return false
 }
 
 // retryable reports whether the failure is worth another attempt: load
@@ -201,14 +233,21 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-// once performs a single attempt. A transport failure comes back in err;
-// a non-2xx response in apiErr; success is (nil, nil).
+// once performs a single attempt, bounded by the per-attempt timeout. A
+// transport failure (including an attempt timeout) comes back in err; a
+// non-2xx response in apiErr; success is (nil, nil).
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (*APIError, error) {
+	actx := ctx
+	if c.attemptD > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.attemptD)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
 		return nil, fmt.Errorf("client: building request: %w", err)
 	}
@@ -220,6 +259,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		if ctx.Err() != nil {
 			// The caller's context died; retrying cannot help.
 			return nil, fmt.Errorf("client: %w", ctx.Err())
+		}
+		if actx.Err() != nil {
+			// Only the attempt's own deadline fired: a hung connection, worth
+			// a fresh attempt.
+			return nil, fmt.Errorf("client: attempt timed out after %s: %w", c.attemptD, err)
 		}
 		return nil, fmt.Errorf("client: transport: %w", err)
 	}
@@ -325,6 +369,43 @@ func (c *Client) Completions(ctx context.Context, sessionID string) (*api.Comple
 		return nil, err
 	}
 	return resp.Completions, nil
+}
+
+// StartFeedback begins the interactive feedback dialogue (Algorithm 3)
+// over the candidates of the session's last top-k inference. maxQuestions
+// 0 means unbounded. The response is either the first membership question
+// or an immediate decision.
+func (c *Client) StartFeedback(ctx context.Context, sessionID string, maxQuestions int) (*api.FeedbackResponse, error) {
+	req := api.FeedbackRequest{MaxQuestions: maxQuestions}
+	var resp api.FeedbackResponse
+	if err := c.do(ctx, http.MethodPost, sessions+"/"+sessionID+"/feedback", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PendingFeedback re-reads the dialogue's current event without consuming
+// anything — the recovery read for a client whose previous request (or
+// whose server) died with a question in flight. Repeated calls return the
+// same event.
+func (c *Client) PendingFeedback(ctx context.Context, sessionID string) (*api.FeedbackResponse, error) {
+	var resp api.FeedbackResponse
+	if err := c.do(ctx, http.MethodGet, sessions+"/"+sessionID+"/feedback", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// AnswerFeedback answers the pending question and returns the next event.
+// An event with Redelivered set means the verdict was NOT consumed (no
+// question was awaiting one); answer the event's question instead.
+func (c *Client) AnswerFeedback(ctx context.Context, sessionID string, include bool) (*api.FeedbackResponse, error) {
+	var resp api.FeedbackResponse
+	if err := c.do(ctx, http.MethodPost, sessions+"/"+sessionID+"/feedback/answer",
+		api.AnswerRequest{Include: include}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Stats fetches the session's cumulative counters.

@@ -166,6 +166,131 @@ func TestCancelDuringBackoff(t *testing.T) {
 	}
 }
 
+// A hung connection costs one attempt, not the caller's whole deadline:
+// the per-attempt timeout fires, the attempt is retried, and a server that
+// recovers in the meantime serves the retry.
+func TestAttemptTimeoutRetriesHungServer(t *testing.T) {
+	var attempts atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			<-release // hang the first attempt well past its timeout
+			return
+		}
+		w.Write([]byte(`{"session_id":"abc123"}`))
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	cfg := fastCfg(ts.URL)
+	cfg.AttemptTimeout = 50 * time.Millisecond
+	c := New(cfg)
+	id, err := c.CreateSession(bg, "o1 p o2\n", nil)
+	if err != nil {
+		t.Fatalf("hung first attempt not ridden out: %v", err)
+	}
+	if id != "abc123" {
+		t.Fatalf("session id %q", id)
+	}
+	if attempts.Load() < 2 || c.Retries() < 1 {
+		t.Fatalf("attempts = %d, retries = %d; the timeout never retried", attempts.Load(), c.Retries())
+	}
+}
+
+// The caller's own context still dominates: when it dies first, the error
+// is the caller's deadline, not a retried attempt timeout.
+func TestCallerContextBeatsAttemptTimeout(t *testing.T) {
+	hung := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		<-hung
+	}))
+	defer ts.Close()
+	defer close(hung)
+
+	cfg := fastCfg(ts.URL)
+	cfg.AttemptTimeout = 10 * time.Second
+	c := New(cfg)
+	ctx, cancel := context.WithTimeout(bg, 50*time.Millisecond)
+	defer cancel()
+	_, err := c.CreateSession(ctx, "x\n", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the caller's DeadlineExceeded", err)
+	}
+	if c.Retries() != 0 {
+		t.Fatalf("caller-context death was retried %d times", c.Retries())
+	}
+}
+
+// A 404 APIError matches ErrSessionNotFound — the typed branch a client
+// takes when the server restarted without the session's state.
+func TestAPIErrorMatchesSessionNotFound(t *testing.T) {
+	if !errors.Is(&APIError{Status: http.StatusNotFound}, ErrSessionNotFound) {
+		t.Fatal("404 APIError does not match ErrSessionNotFound")
+	}
+	if errors.Is(&APIError{Status: http.StatusBadRequest}, ErrSessionNotFound) {
+		t.Fatal("400 APIError matches ErrSessionNotFound")
+	}
+	reg := service.NewRegistry(service.Config{})
+	t.Cleanup(reg.Close)
+	ts := httptest.NewServer(service.NewServer(reg))
+	t.Cleanup(ts.Close)
+	c := New(fastCfg(ts.URL))
+	if _, err := c.Stats(bg, "deadbeef"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("stats of an unknown session = %v, want ErrSessionNotFound", err)
+	}
+}
+
+// The typed feedback methods drive a full dialogue: start, idempotent
+// pending reads, answers through to the decision.
+func TestFeedbackMethodsAgainstService(t *testing.T) {
+	reg := service.NewRegistry(service.Config{})
+	t.Cleanup(reg.Close)
+	ts := httptest.NewServer(service.NewServer(reg))
+	t.Cleanup(ts.Close)
+
+	c := New(fastCfg(ts.URL))
+	id, err := c.CreateSession(bg, ntriples.Format(paperfix.Ontology()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := paperfix.Ontology()
+	var exs []api.Example
+	for _, e := range paperfix.Explanations(o) {
+		exs = append(exs, api.Example{
+			Triples:       ntriples.Format(e.Graph),
+			Distinguished: e.DistinguishedValue(),
+		})
+	}
+	if err := c.SetExamples(bg, id, exs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Infer(bg, id, "topk", 0); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.StartFeedback(bg, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Done {
+		t.Skip("candidates collapsed without questions")
+	}
+	pend, err := c.PendingFeedback(bg, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pend.Done || pend.Result != ev.Result {
+		t.Fatalf("pending read diverged: %+v vs %+v", pend, ev)
+	}
+	for i := 0; !ev.Done && i < 32; i++ {
+		if ev, err = c.AnswerFeedback(bg, id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ev.Done || !strings.Contains(ev.SPARQL, "SELECT") {
+		t.Fatalf("dialogue did not converge to a query: %+v", ev)
+	}
+}
+
 // The typed helpers drive a real service end to end: create, examples,
 // union inference, delete.
 func TestEndToEndAgainstService(t *testing.T) {

@@ -35,9 +35,12 @@ const (
 	// (internal/eval ProvenanceOf), standing in for storage-layer IO.
 	ProvenanceIO Point = "provenance.io"
 
-	// SessionSnapshot fires while snapshotting session state — session-id
-	// generation at creation and the per-session stats snapshot
-	// (internal/service).
+	// SessionSnapshot fires across the session-durability surface:
+	// session-id generation at creation (internal/service), the snapshot
+	// codec's encode path (so panic-in-codec is injectable inside the
+	// session's recovery boundary), and the store's save/load/journal
+	// operations (internal/store). One rule therefore drives save-fails,
+	// load-fails and restore failures end to end.
 	SessionSnapshot Point = "session.snapshot"
 
 	// BudgetAcquire fires at worker-budget admission (internal/conc),

@@ -22,6 +22,7 @@ import (
 	"questpro/internal/paperfix"
 	"questpro/internal/query"
 	"questpro/internal/service"
+	"questpro/internal/store"
 )
 
 // paperfixWant is the oracle's intended result set (Union(Q3, Q4)), the
@@ -132,6 +133,172 @@ func TestChaosPanicStorm(t *testing.T) {
 	}
 	if err := runSessionE2E(t, c, want); err != nil {
 		t.Fatalf("clean E2E after panic storm: %v", err)
+	}
+}
+
+// chaosStoreServer builds a persistence-enabled registry + HTTP server over
+// dir, returning both (the registry for metrics, the client for traffic).
+// The registry is NOT auto-closed — restart tests close it themselves.
+func chaosStoreServer(t *testing.T, dir string) (*service.Registry, *client) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := service.NewRegistry(service.Config{Store: st})
+	ts := httptest.NewServer(service.NewServer(reg))
+	t.Cleanup(ts.Close)
+	return reg, &client{t: t, base: ts.URL, http: ts.Client()}
+}
+
+// TestChaosSnapshotSaveFails: with every store write failing, mutating
+// operations still succeed (availability first — the session is left dirty
+// and the failures counted), the server stays healthy, and once the fault
+// clears the next operation's persist retry writes the state back.
+func TestChaosSnapshotSaveFails(t *testing.T) {
+	dir := t.TempDir()
+	reg, c := chaosStoreServer(t, dir)
+	t.Cleanup(reg.Close)
+
+	status, resp := c.post("/v1/sessions", map[string]any{
+		"ontology": ntriples.Format(paperfix.Ontology()),
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d (%v)", status, resp)
+	}
+	base := "/v1/sessions/" + resp["session_id"].(string)
+	if status, _ = c.post(base+"/examples", paperfixExamples()); status != http.StatusOK {
+		t.Fatalf("examples: %d", status)
+	}
+	writesBefore := reg.Metrics().SnapshotWrites
+
+	// Activated after creation: the id mint and the first snapshots succeed,
+	// every store operation from here fails.
+	in := faults.NewInjector(5, faults.Rule{Point: faults.SessionSnapshot, FirstN: 1 << 20})
+	restore := faults.Activate(in)
+	if status, _ = c.post(base+"/infer", map[string]any{"mode": "topk"}); status != http.StatusOK {
+		restore()
+		t.Fatalf("infer under persist faults: %d, want 200 (availability first)", status)
+	}
+	if status, _ = c.post(base+"/feedback", nil); status != http.StatusOK {
+		restore()
+		t.Fatalf("feedback start under persist faults: %d", status)
+	}
+	if status, _ := c.do(http.MethodGet, "/healthz", nil); status != http.StatusOK {
+		restore()
+		t.Fatalf("healthz %d while persistence down", status)
+	}
+	restore()
+	if in.Fired(faults.SessionSnapshot) == 0 {
+		t.Fatal("no persist fault ever fired")
+	}
+	if m := reg.Metrics(); m.SnapshotErrors == 0 {
+		t.Fatalf("failed persists not counted: %+v", m)
+	}
+
+	// The next mutating operation retries the flush and succeeds.
+	if status, _ = c.post(base+"/feedback/answer", map[string]any{"include": false}); status != http.StatusOK {
+		t.Fatalf("answer after faults cleared: %d", status)
+	}
+	if m := reg.Metrics(); m.SnapshotWrites <= writesBefore {
+		t.Fatalf("persist retry never landed: writes %d -> %d", writesBefore, m.SnapshotWrites)
+	}
+	if err := runSessionE2E(t, c, paperfixWant(t)); err != nil {
+		t.Fatalf("clean E2E after persist faults: %v", err)
+	}
+}
+
+// TestChaosSnapshotLoadFails: a store whose loads fail during startup
+// restore skips the unreadable session — leaving its file in place for the
+// next restart — and the registry comes up healthy; a later restart without
+// the fault restores the session intact.
+func TestChaosSnapshotLoadFails(t *testing.T) {
+	dir := t.TempDir()
+	reg1, c1 := chaosStoreServer(t, dir)
+	status, resp := c1.post("/v1/sessions", map[string]any{
+		"ontology": ntriples.Format(paperfix.Ontology()),
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d (%v)", status, resp)
+	}
+	id := resp["session_id"].(string)
+	if status, _ = c1.post("/v1/sessions/"+id+"/examples", paperfixExamples()); status != http.StatusOK {
+		t.Fatalf("examples: %d", status)
+	}
+	reg1.Close()
+
+	in := faults.NewInjector(6, faults.Rule{Point: faults.SessionSnapshot, FirstN: 1 << 20})
+	restore := faults.Activate(in)
+	reg2, c2 := chaosStoreServer(t, dir)
+	restore()
+	if in.Fired(faults.SessionSnapshot) == 0 {
+		reg2.Close()
+		t.Fatal("restore never hit the injected load fault")
+	}
+	if n := reg2.Len(); n != 0 {
+		reg2.Close()
+		t.Fatalf("%d sessions restored through a failing store", n)
+	}
+	if m := reg2.Metrics(); m.SnapshotErrors == 0 {
+		reg2.Close()
+		t.Fatalf("load failure not counted: %+v", m)
+	}
+	// The degraded registry still serves new sessions.
+	if err := runSessionE2E(t, c2, paperfixWant(t)); err != nil {
+		reg2.Close()
+		t.Fatalf("E2E against degraded registry: %v", err)
+	}
+	reg2.Close()
+
+	// The snapshot was skipped, not condemned: the next restart restores it.
+	reg3, _ := chaosStoreServer(t, dir)
+	t.Cleanup(reg3.Close)
+	if _, ok := reg3.Get(id); !ok {
+		t.Fatal("session not restored once the load fault cleared")
+	}
+}
+
+// TestChaosPanicInCodec: a panic inside the snapshot encode path — which
+// runs on the operation's deferred persist, inside the session mutex — is
+// caught by the operation's recovery boundary: the request gets a clean
+// 500, the counter ticks, and the session keeps working.
+func TestChaosPanicInCodec(t *testing.T) {
+	dir := t.TempDir()
+	reg, c := chaosStoreServer(t, dir)
+	t.Cleanup(reg.Close)
+
+	status, resp := c.post("/v1/sessions", map[string]any{
+		"ontology": ntriples.Format(paperfix.Ontology()),
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d (%v)", status, resp)
+	}
+	base := "/v1/sessions/" + resp["session_id"].(string)
+	if status, _ = c.post(base+"/examples", paperfixExamples()); status != http.StatusOK {
+		t.Fatalf("examples: %d", status)
+	}
+
+	// The persist path hits faults.SessionSnapshot twice per journaled op:
+	// the journal append, then the codec encode. OnNth selects the encode.
+	in := faults.NewInjector(8, faults.Rule{Point: faults.SessionSnapshot, OnNth: 2, Panic: true})
+	restore := faults.Activate(in)
+	status, resp = c.post(base+"/infer", map[string]any{"mode": "topk"})
+	restore()
+	if status != http.StatusInternalServerError {
+		t.Fatalf("infer with codec panic: %d (%v), want 500", status, resp)
+	}
+	if in.Fired(faults.SessionSnapshot) != 1 {
+		t.Fatalf("codec panic fired %d times, want 1", in.Fired(faults.SessionSnapshot))
+	}
+	if m := reg.Metrics(); m.PanicsRecovered == 0 {
+		t.Fatalf("codec panic not recovered/counted: %+v", m)
+	}
+	if status, _ := c.do(http.MethodGet, "/healthz", nil); status != http.StatusOK {
+		t.Fatalf("healthz %d after codec panic", status)
+	}
+	// The poisoned call left the session usable; the retry persists cleanly.
+	if status, _ = c.post(base+"/infer", map[string]any{"mode": "topk"}); status != http.StatusOK {
+		t.Fatalf("infer retry after codec panic: %d", status)
 	}
 }
 

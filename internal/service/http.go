@@ -430,6 +430,10 @@ func writeMetrics(w io.Writer, reg *Registry) {
 		{"questprod_panics_recovered_total", "counter", "Panics converted to errors by a recovery boundary.", int64(m.PanicsRecovered)},
 		{"questprod_load_shed_total", "counter", "Inference requests shed for load (429).", int64(m.LoadShed)},
 		{"questprod_degraded_total", "counter", "Inferences that returned a degraded (guard-exhausted) result.", int64(m.DegradedInfer)},
+		{"questprod_snapshot_writes_total", "counter", "Session snapshots durably committed to the store.", int64(m.SnapshotWrites)},
+		{"questprod_snapshot_restores_total", "counter", "Sessions restored from the store at startup.", int64(m.SnapshotRestores)},
+		{"questprod_snapshot_quarantined_total", "counter", "Corrupt or torn snapshot/journal files moved to quarantine.", int64(m.SnapshotQuarantined)},
+		{"questprod_snapshot_errors_total", "counter", "Failed snapshot persistence operations (session left dirty).", int64(m.SnapshotErrors)},
 	}
 	for _, s := range series {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.val)

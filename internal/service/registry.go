@@ -23,6 +23,7 @@ import (
 	"questpro/internal/graph"
 	"questpro/internal/obs"
 	"questpro/internal/qerr"
+	"questpro/internal/store"
 )
 
 // Config sizes a registry. The zero value selects every default.
@@ -72,6 +73,16 @@ type Config struct {
 	// with nil spans (the library's zero-overhead path). The default is to
 	// enable tracing for the process when the registry starts.
 	DisableTracing bool
+
+	// Store, when non-nil, enables durable session persistence (DESIGN.md
+	// §12): every state-changing operation is journaled and snapshotted
+	// into it before its response is written, NewRegistry restores the
+	// stored sessions (resuming in-flight feedback dialogues), the TTL
+	// janitor deletes the snapshots of the sessions it evicts, and Close —
+	// which takes ownership of the store and closes it — flushes dirty
+	// sessions first. nil, the default, disables persistence entirely; the
+	// session hot path then pays one nil check per operation.
+	Store *store.Store
 }
 
 // Defaults for Config's zero fields.
@@ -149,6 +160,12 @@ type Registry struct {
 	panicsTotal   int
 	shedTotal     int
 	degradedTotal int
+
+	// Durability counters (zero without a store). Guarded by mu.
+	snapWritesTotal      int
+	snapRestoresTotal    int
+	snapQuarantinedTotal int
+	snapErrorsTotal      int
 }
 
 // NewRegistry starts a registry (and its eviction janitor) sized by cfg.
@@ -180,6 +197,12 @@ func NewRegistry(cfg Config) *Registry {
 		cancel:      cancel,
 		janitorDone: make(chan struct{}),
 		sessions:    make(map[string]*Session),
+	}
+	// Restore persisted sessions before the janitor starts, so the first
+	// eviction scan sees their persisted idle clocks instead of racing the
+	// restore.
+	if cfg.Store != nil {
+		r.restoreAll()
 	}
 	go r.janitor()
 	return r
@@ -223,9 +246,23 @@ func (r *Registry) evictExpired(now time.Time) int {
 	r.mu.Unlock()
 	for _, s := range expired {
 		s.close()
+		r.deleteSnapshot(s.ID)
 		r.logger.Info("session evicted", "session_id", s.ID, "reason", "ttl")
 	}
 	return len(expired)
+}
+
+// deleteSnapshot garbage-collects an evicted or deleted session's durable
+// files, so the store never accumulates orphans for sessions that no
+// longer exist.
+func (r *Registry) deleteSnapshot(id string) {
+	if r.cfg.Store == nil {
+		return
+	}
+	if err := r.cfg.Store.Delete(id); err != nil {
+		r.recordSnapshotError()
+		r.logger.Warn("snapshot delete failed", "session_id", id, "error", err)
+	}
 }
 
 // idRand is the entropy source behind session identifiers; a package
@@ -264,17 +301,22 @@ func (r *Registry) Create(onto *graph.Graph, opts core.Options) (*Session, error
 		return nil, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("service: registry is closed")
 	}
 	if len(r.sessions) >= r.cfg.MaxSessions {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("service: session limit %d reached", r.cfg.MaxSessions)
 	}
 	s := newSession(r, id, onto, opts)
 	r.sessions[s.ID] = s
 	r.createdTotal++
-	r.logger.Info("session created", "session_id", s.ID, "sessions_active", len(r.sessions))
+	active := len(r.sessions)
+	r.mu.Unlock()
+	// Outside r.mu: the initial snapshot does disk I/O.
+	s.persistInitial()
+	r.logger.Info("session created", "session_id", s.ID, "sessions_active", active)
 	return s, nil
 }
 
@@ -289,7 +331,8 @@ func (r *Registry) Get(id string) (*Session, bool) {
 	return s, ok
 }
 
-// Delete evicts a session, canceling its in-flight work.
+// Delete evicts a session, canceling its in-flight work and removing its
+// durable snapshot (an explicit delete means the client is done with it).
 func (r *Registry) Delete(id string) bool {
 	r.mu.Lock()
 	s, ok := r.sessions[id]
@@ -297,6 +340,7 @@ func (r *Registry) Delete(id string) bool {
 	r.mu.Unlock()
 	if ok {
 		s.close()
+		r.deleteSnapshot(id)
 	}
 	return ok
 }
@@ -313,7 +357,10 @@ func (r *Registry) Budget() *conc.Budget { return r.budget }
 
 // Close cancels every session, stops the janitor and waits for all
 // session-owned goroutines (feedback dialogues) to exit, so a server
-// shutdown leaks nothing.
+// shutdown leaks nothing. With a store configured, every dirty session is
+// flushed to it first — BEFORE the session is torn down, because teardown
+// discards the dialogue state the flush must capture — and the store
+// (owned by the registry since NewRegistry) is closed last.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -330,7 +377,16 @@ func (r *Registry) Close() {
 	r.mu.Unlock()
 	r.cancel()
 	for _, s := range all {
+		// The flush serializes behind any in-flight operation (which the
+		// cancel above is aborting), so it captures the session's final
+		// state, dialogue position included.
+		s.flushToStore()
 		s.close()
+	}
+	if st := r.cfg.Store; st != nil {
+		if err := st.Close(); err != nil {
+			r.logger.Warn("session store close failed", "error", err)
+		}
 	}
 	<-r.janitorDone
 }
@@ -363,6 +419,29 @@ func (r *Registry) recordShed() {
 	r.mu.Unlock()
 }
 
+// recordSnapshotWrite counts one durably committed session snapshot.
+func (r *Registry) recordSnapshotWrite() {
+	r.mu.Lock()
+	r.snapWritesTotal++
+	r.mu.Unlock()
+}
+
+// recordSnapshotQuarantine counts one corrupt/torn/poisoned file moved to
+// quarantine.
+func (r *Registry) recordSnapshotQuarantine() {
+	r.mu.Lock()
+	r.snapQuarantinedTotal++
+	r.mu.Unlock()
+}
+
+// recordSnapshotError counts one failed persistence operation (save,
+// journal append, load or delete) that did NOT condemn a file.
+func (r *Registry) recordSnapshotError() {
+	r.mu.Lock()
+	r.snapErrorsTotal++
+	r.mu.Unlock()
+}
+
 // admissionWait resolves the bounded-admission wait (negative = unbounded).
 func (r *Registry) admissionWait() time.Duration { return r.cfg.AdmissionWait }
 
@@ -386,6 +465,13 @@ type Metrics struct {
 	PanicsRecovered int
 	LoadShed        int
 	DegradedInfer   int
+
+	// Durability counters (zero without a store; see the
+	// questprod_snapshot_*_total series).
+	SnapshotWrites      int
+	SnapshotRestores    int
+	SnapshotQuarantined int
+	SnapshotErrors      int
 }
 
 // Metrics returns the current aggregate counters.
@@ -403,5 +489,10 @@ func (r *Registry) Metrics() Metrics {
 		PanicsRecovered: r.panicsTotal,
 		LoadShed:        r.shedTotal,
 		DegradedInfer:   r.degradedTotal,
+
+		SnapshotWrites:      r.snapWritesTotal,
+		SnapshotRestores:    r.snapRestoresTotal,
+		SnapshotQuarantined: r.snapQuarantinedTotal,
+		SnapshotErrors:      r.snapErrorsTotal,
 	}
 }

@@ -74,6 +74,18 @@ type Session struct {
 	counters core.CountersSnapshot
 	infers   int
 
+	// Durability bookkeeping (DESIGN.md §12), guarded by mu. mutSeq counts
+	// committed state-changing operations and savedSeq the last sequence
+	// durably snapshotted (dirty ⇔ mutSeq > savedSeq, so a failed persist
+	// is retried by the next operation or the Close flush); opDirty/opWAL
+	// stage the in-flight operation's mutation flag and journal record for
+	// the deferred persistPendingLocked. All four are inert — one nil
+	// check per operation — when the registry runs without a store.
+	mutSeq   int64
+	savedSeq int64
+	opDirty  bool
+	opWAL    *walRecord
+
 	// traces is the ring of the session's most recent finished operation
 	// traces (root span snapshots, oldest first), served at
 	// /v1/sessions/{id}/trace. Its own mutex, not s.mu: traces are recorded
@@ -237,6 +249,7 @@ func (s *Session) SetExamples(ctx context.Context, exs provenance.ExampleSet) (e
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.persistPendingLocked(ctx)
 	s.abortFeedbackLocked()
 	s.ex = exs
 	s.pex = nil
@@ -244,6 +257,7 @@ func (s *Session) SetExamples(ctx context.Context, exs provenance.ExampleSet) (e
 	s.compReport = nil
 	s.result = nil
 	s.cands = nil
+	s.markMutatedLocked(&walRecord{Op: walOpExamples, Examples: examplesToSnap(exs)})
 	return nil
 }
 
@@ -266,6 +280,7 @@ func (s *Session) SetPartialExamples(ctx context.Context, pex provenance.Partial
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.persistPendingLocked(ctx)
 	s.abortFeedbackLocked()
 	s.ex = nil
 	s.pex = pex
@@ -273,6 +288,7 @@ func (s *Session) SetPartialExamples(ctx context.Context, pex provenance.Partial
 	s.compReport = nil
 	s.result = nil
 	s.cands = nil
+	s.markMutatedLocked(&walRecord{Op: walOpExamples, Partial: partialToSnap(pex), IsPartial: true})
 	return nil
 }
 
@@ -330,6 +346,7 @@ func (s *Session) Infer(ctx context.Context, mode string) (res InferResult, err 
 	defer s.end()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.persistPendingLocked(ctx)
 	if len(s.ex) == 0 && len(s.pex) == 0 {
 		return InferResult{}, fmt.Errorf("service: no example-set submitted")
 	}
@@ -365,6 +382,10 @@ func (s *Session) Infer(ctx context.Context, mode string) (res InferResult, err 
 			}
 			s.completed, s.compReport = completed, &rep
 			ranCompletion = true
+			// The cache is durable state even when the inference below
+			// fails: snapshot-only (a lost cache is deterministically
+			// recomputed by the client's retry, no journal record needed).
+			s.markMutatedLocked(nil)
 		}
 		exs = s.completed
 		res.Completions, res.Completed = s.compReport, s.completed
@@ -423,6 +444,7 @@ func (s *Session) Infer(ctx context.Context, mode string) (res InferResult, err 
 	s.counters.Add(stats.Counters())
 	s.infers++
 	s.reg.recordInfer(stats)
+	s.markMutatedLocked(&walRecord{Op: walOpInfer, Mode: mode})
 	return res, nil
 }
 
@@ -475,6 +497,25 @@ type feedbackRun struct {
 	// pending is the question delivered to the client and awaiting an
 	// answer (nil when none). Guarded by the session mutex.
 	pending *eval.ResultWithProvenance
+
+	// maxQuestions and log make the dialogue's position replayable by the
+	// snapshot codec: the question budget the dialogue was started with,
+	// and every answer consumed so far in order. Replaying log through a
+	// fresh dialogue over the same (deterministically re-derived)
+	// candidates reproduces the exact question sequence. Guarded by the
+	// session mutex.
+	maxQuestions int
+	log          []bool
+}
+
+func newFeedbackRun(max int) *feedbackRun {
+	return &feedbackRun{
+		questions:    make(chan *eval.ResultWithProvenance, 1),
+		answers:      make(chan bool),
+		outcome:      make(chan feedbackOutcome, 1),
+		exited:       make(chan struct{}),
+		maxQuestions: max,
+	}
 }
 
 type feedbackOutcome struct {
@@ -539,26 +580,33 @@ func (s *Session) StartFeedback(ctx context.Context, max int) (_ FeedbackEvent, 
 	defer s.end()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.persistPendingLocked(ctx)
 	if len(s.cands) == 0 {
 		return FeedbackEvent{}, fmt.Errorf("service: no candidates: run a top-k inference first")
 	}
 	s.abortFeedbackLocked()
 
-	run := &feedbackRun{
-		questions: make(chan *eval.ResultWithProvenance, 1),
-		answers:   make(chan bool),
-		outcome:   make(chan feedbackOutcome, 1),
-		exited:    make(chan struct{}),
+	run := newFeedbackRun(max)
+	cands := make([]*query.Union, len(s.cands))
+	for i, c := range s.cands {
+		cands[i] = c.Query
 	}
+	s.startDialogueLocked(run, cands)
+	s.markMutatedLocked(&walRecord{Op: walOpFeedback, Max: max})
+	return s.nextEventLocked(ctx, run, cands)
+}
+
+// startDialogueLocked installs the run as the session's dialogue and spawns
+// the goroutine driving feedback.Session.ChooseQuery over cands; callers
+// hold s.mu. Shared by StartFeedback and the restore path's
+// resumeDialogue, so a resumed dialogue runs byte-identically to a live
+// one.
+func (s *Session) startDialogueLocked(run *feedbackRun, cands []*query.Union) {
 	fs := &feedback.Session{
 		Ev:           s.ev,
 		Oracle:       &chanOracle{run: run},
 		Ex:           s.ex,
-		MaxQuestions: max,
-	}
-	cands := make([]*query.Union, len(s.cands))
-	for i, c := range s.cands {
-		cands[i] = c.Query
+		MaxQuestions: run.maxQuestions,
 	}
 	s.fb = run
 	go func() {
@@ -607,7 +655,6 @@ func (s *Session) StartFeedback(ctx context.Context, max int) (_ FeedbackEvent, 
 		}
 		run.outcome <- feedbackOutcome{idx: idx, tr: tr, err: err}
 	}()
-	return s.nextEventLocked(ctx, run, cands)
 }
 
 // AnswerFeedback relays the user's verdict on the pending question and
@@ -626,6 +673,7 @@ func (s *Session) AnswerFeedback(ctx context.Context, include bool) (_ FeedbackE
 	defer s.end()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.persistPendingLocked(ctx)
 	run := s.fb
 	if run == nil {
 		return FeedbackEvent{}, fmt.Errorf("service: no feedback dialogue in progress")
@@ -644,6 +692,8 @@ func (s *Session) AnswerFeedback(ctx context.Context, include bool) (_ FeedbackE
 	select {
 	case run.answers <- include:
 		run.pending = nil
+		run.log = append(run.log, include)
+		s.markMutatedLocked(&walRecord{Op: walOpAnswer, Include: include})
 	case <-ctx.Done():
 		return FeedbackEvent{}, qerr.Canceled(ctx.Err())
 	case <-s.ctx.Done():
@@ -667,11 +717,14 @@ func (s *Session) PendingFeedback(ctx context.Context) (_ FeedbackEvent, err err
 	defer s.end()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.persistPendingLocked(ctx)
 	run := s.fb
 	if run == nil {
 		return FeedbackEvent{}, fmt.Errorf("service: no feedback dialogue in progress")
 	}
 	if run.pending != nil {
+		// Re-serving the already-delivered question changes nothing; the
+		// deferred persist sees a clean session and is a no-op.
 		return FeedbackEvent{Question: run.pending, Questions: run.asked}, nil
 	}
 	cands := make([]*query.Union, len(s.cands))
@@ -688,9 +741,13 @@ func (s *Session) nextEventLocked(ctx context.Context, run *feedbackRun, cands [
 	case q := <-run.questions:
 		run.asked++
 		run.pending = q
+		// Snapshot-only mutation: losing an undelivered pull just means the
+		// restored dialogue re-serves the same question.
+		s.markMutatedLocked(nil)
 		return FeedbackEvent{Question: q, Questions: run.asked}, nil
 	case out := <-run.outcome:
 		s.fb = nil
+		s.markMutatedLocked(nil)
 		truncated := false
 		if out.err != nil {
 			if !errors.Is(out.err, qerr.ErrMaxQuestions) {

@@ -1,0 +1,374 @@
+// Package store is the durability substrate of the session registry: a
+// crash-safe, dependency-free snapshot store with a per-session write-ahead
+// journal. The service layer serializes a session into an opaque payload
+// (internal/service's versioned snapshot codec) and hands it here; this
+// package owns the file discipline that makes a SIGKILL at any instant
+// recoverable:
+//
+//   - snapshots are written to a temp file, fsynced, renamed into place and
+//     the directory fsynced, so a reader sees either the old snapshot or
+//     the new one, never a torn hybrid;
+//   - every payload is framed with a magic string, a length and a CRC32,
+//     so bit rot and truncation are detected on load instead of being
+//     decoded into garbage state;
+//   - a corrupt or truncated file is moved into a quarantine directory —
+//     kept for forensics, never retried, never able to wedge startup;
+//   - the write-ahead journal appends CRC-framed records with an fsync per
+//     append, and a torn tail (the record being written when the process
+//     died) is dropped while the intact prefix is replayed.
+//
+// The faults.SessionSnapshot injection point fires on every save, load and
+// journal append, so the chaos harness can drive save-fails, load-fails
+// and codec panics through the same paths production takes.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"questpro/internal/faults"
+)
+
+const (
+	snapMagic     = "QPSNAP01" // bumped only if the frame layout changes
+	snapSuffix    = ".snap"
+	walSuffix     = ".wal"
+	tmpSuffix     = ".tmp"
+	quarantineDir = "quarantine"
+)
+
+// Sentinel errors. ErrCorrupt is returned after the offending file has
+// already been moved to quarantine.
+var (
+	ErrNotFound = errors.New("store: snapshot not found")
+	ErrCorrupt  = errors.New("store: corrupt snapshot")
+)
+
+// Store persists session snapshots and journals under one directory.
+// Construct with Open; safe for concurrent use (the service serializes
+// per-session access already, the store's lock only guards the journal
+// handle cache).
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	wals map[string]*os.File // cached append handles, keyed by session id
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", dir, err)
+	}
+	return &Store{dir: dir, wals: make(map[string]*os.File)}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases cached journal handles. Snapshots already on disk are
+// unaffected.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, f := range s.wals {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.wals, id)
+	}
+	return first
+}
+
+// validID rejects ids that could escape the store directory. Session ids
+// are hex strings; anything with a path separator or a leading dot is
+// refused outright.
+func validID(id string) error {
+	if id == "" || strings.HasPrefix(id, ".") || strings.ContainsAny(id, `/\`) {
+		return fmt.Errorf("store: invalid session id %q", id)
+	}
+	return nil
+}
+
+func (s *Store) snapPath(id string) string { return filepath.Join(s.dir, id+snapSuffix) }
+func (s *Store) walPath(id string) string  { return filepath.Join(s.dir, id+walSuffix) }
+
+// frame prepends the snapshot header: magic, payload length, CRC32.
+func frame(payload []byte) []byte {
+	buf := make([]byte, 0, len(snapMagic)+8+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// unframe validates a snapshot file's header and returns the payload.
+func unframe(data []byte) ([]byte, error) {
+	if len(data) < len(snapMagic)+8 {
+		return nil, fmt.Errorf("truncated header (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("bad magic %q", data[:len(snapMagic)])
+	}
+	n := binary.LittleEndian.Uint32(data[len(snapMagic):])
+	sum := binary.LittleEndian.Uint32(data[len(snapMagic)+4:])
+	payload := data[len(snapMagic)+8:]
+	if uint32(len(payload)) != n {
+		return nil, fmt.Errorf("payload length %d, header says %d", len(payload), n)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Save atomically replaces the session's snapshot: temp file, fsync,
+// rename, directory fsync. A crash at any point leaves either the previous
+// snapshot or the new one.
+func (s *Store) Save(id string, payload []byte) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	if err := faults.Fire(faults.SessionSnapshot); err != nil {
+		return fmt.Errorf("store: save %s: %w", id, err)
+	}
+	tmp := s.snapPath(id) + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: save %s: %w", id, err)
+	}
+	if _, err := f.Write(frame(payload)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: save %s: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: save %s: fsync: %w", id, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: save %s: %w", id, err)
+	}
+	if err := os.Rename(tmp, s.snapPath(id)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: save %s: %w", id, err)
+	}
+	return s.syncDir()
+}
+
+// Load reads and validates the session's snapshot. A missing file returns
+// ErrNotFound; a corrupt or truncated file is moved to quarantine and
+// returns an ErrCorrupt-matching error.
+func (s *Store) Load(id string) ([]byte, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	if err := faults.Fire(faults.SessionSnapshot); err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", id, err)
+	}
+	data, err := os.ReadFile(s.snapPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: %s: %w", id, ErrNotFound)
+		}
+		return nil, fmt.Errorf("store: load %s: %w", id, err)
+	}
+	payload, err := unframe(data)
+	if err != nil {
+		qerr := s.Quarantine(id)
+		if qerr != nil {
+			return nil, fmt.Errorf("store: %s: %v (quarantine also failed: %v): %w", id, err, qerr, ErrCorrupt)
+		}
+		return nil, fmt.Errorf("store: %s: %v: %w", id, err, ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Quarantine moves the session's snapshot file into the quarantine
+// directory under a unique name, so a poisoned file can never wedge a
+// restart loop but stays available for forensics.
+func (s *Store) Quarantine(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	dst := filepath.Join(s.dir, quarantineDir,
+		fmt.Sprintf("%s%s.%d", id, snapSuffix, time.Now().UnixNano()))
+	if err := os.Rename(s.snapPath(id), dst); err != nil {
+		return fmt.Errorf("store: quarantining %s: %w", id, err)
+	}
+	return s.syncDir()
+}
+
+// walFile returns (opening and caching if needed) the journal append handle.
+func (s *Store) walFile(id string) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.wals[id]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(s.walPath(id), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening journal %s: %w", id, err)
+	}
+	s.wals[id] = f
+	return f, nil
+}
+
+// AppendWAL appends one CRC-framed record to the session's write-ahead
+// journal and fsyncs it, so a state-changing operation is durable before
+// the server acknowledges it even when the follow-up snapshot never lands.
+func (s *Store) AppendWAL(id string, rec []byte) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	if err := faults.Fire(faults.SessionSnapshot); err != nil {
+		return fmt.Errorf("store: journal %s: %w", id, err)
+	}
+	f, err := s.walFile(id)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 8+len(rec))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(rec))
+	buf = append(buf, rec...)
+	if _, err := f.Write(buf); err != nil {
+		return fmt.Errorf("store: journal %s: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: journal %s: fsync: %w", id, err)
+	}
+	return nil
+}
+
+// LoadWAL reads the session's journal records in append order. A torn or
+// corrupt tail — the record being written when the process died — ends the
+// read: the intact prefix is returned, and when anything beyond a clean
+// EOF was dropped the journal file is quarantined and quarantined reports
+// true. A missing journal is an empty one.
+func (s *Store) LoadWAL(id string) (recs [][]byte, quarantined bool, err error) {
+	if err := validID(id); err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(s.walPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: reading journal %s: %w", id, err)
+	}
+	off := 0
+	torn := false
+	for off < len(data) {
+		if len(data)-off < 8 {
+			torn = true
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if len(data)-off-8 < n {
+			torn = true
+			break
+		}
+		rec := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(rec) != sum {
+			torn = true
+			break
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+	if torn {
+		dst := filepath.Join(s.dir, quarantineDir,
+			fmt.Sprintf("%s%s.%d", id, walSuffix, time.Now().UnixNano()))
+		if qerr := os.Rename(s.walPath(id), dst); qerr != nil {
+			return recs, true, fmt.Errorf("store: quarantining torn journal %s: %w", id, qerr)
+		}
+		if qerr := s.syncDir(); qerr != nil {
+			return recs, true, qerr
+		}
+	}
+	return recs, torn, nil
+}
+
+// ResetWAL truncates the session's journal — called after a successful
+// snapshot, which subsumes every journaled operation.
+func (s *Store) ResetWAL(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	f, err := s.walFile(id)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating journal %s: %w", id, err)
+	}
+	return nil
+}
+
+// Delete removes the session's snapshot and journal (eviction GC): an
+// evicted session must leave no orphaned files behind.
+func (s *Store) Delete(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if f, ok := s.wals[id]; ok {
+		f.Close()
+		delete(s.wals, id)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, p := range []string{s.snapPath(id), s.walPath(id)} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && first == nil {
+			first = fmt.Errorf("store: deleting %s: %w", id, err)
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return s.syncDir()
+}
+
+// List returns the ids of every stored snapshot, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing %s: %w", s.dir, err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, snapSuffix))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// syncDir fsyncs the store directory so renames and removals are durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: syncing dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing dir: %w", err)
+	}
+	return nil
+}
