@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos crash api-check snapshot-check cover bench bench-json bench-merge bench-obs-overhead bench-compare bench-partial profile experiments examples serve clean
+.PHONY: all build test race chaos crash soak api-check snapshot-check cover bench bench-json bench-merge bench-obs-overhead bench-compare bench-partial bench-gateway profile experiments examples serve clean
 
 all: build test
 
@@ -14,6 +14,8 @@ build:
 	$(GO) build -o bin/qpbench ./cmd/qpbench
 	$(GO) build -o bin/ontgen ./cmd/ontgen
 	$(GO) build -o bin/questprod ./cmd/questprod
+	$(GO) build -o bin/qpgate ./cmd/qpgate
+	$(GO) build -o bin/qpsoak ./cmd/qpsoak
 
 test:
 	$(GO) vet ./...
@@ -27,7 +29,7 @@ test:
 	-@$(MAKE) --no-print-directory bench-compare
 
 race:
-	$(GO) test -race ./internal/graph/ ./internal/obs/ ./internal/eval/ ./internal/core/ ./internal/feedback/ ./internal/service/ ./internal/store/ ./internal/workload/...
+	$(GO) test -race ./internal/graph/ ./internal/obs/ ./internal/eval/ ./internal/core/ ./internal/feedback/ ./internal/service/ ./internal/store/ ./internal/gateway/ ./internal/workload/...
 
 # Chaos harness (DESIGN.md §8): drive the full HTTP service under -race
 # while the faults package injects errors and panics at every registered
@@ -37,8 +39,10 @@ chaos:
 	$(GO) test -race -count=2 \
 		-run 'Chaos|Fault|Panic|Shed|Degraded|Overload|Guard|Retr' \
 		./internal/faults/ ./internal/conc/ ./internal/eval/ \
-		./internal/core/ ./internal/store/ ./internal/service/ ./internal/client/
+		./internal/core/ ./internal/store/ ./internal/service/ \
+		./internal/client/ ./internal/gateway/
 	@$(MAKE) --no-print-directory crash
+	@$(MAKE) --no-print-directory soak
 
 # Kill-restart chaos harness (DESIGN.md §12): build the real questprod
 # binary, SIGKILL it mid-feedback-dialogue, restart it on the same
@@ -47,6 +51,16 @@ chaos:
 crash:
 	$(GO) test -race -count=1 -run 'TestCrashRecovery' ./cmd/questprod/
 
+# Gateway soak harness (DESIGN.md §13): build the real questprod and qpgate
+# binaries, drive concurrent simulated feedback dialogues through a 2-shard
+# fleet while one shard is SIGKILLed and restarted on its -data-dir, and
+# assert the gateway shed (503 + Retry-After) during the outage, zero
+# dialogues failed after retries, and every inferred SPARQL is
+# byte-identical to a direct single-backend control. QPSOAK_FULL=1 selects
+# the long profile (more dialogues, more workers).
+soak:
+	$(GO) test -race -count=1 -run 'TestSoak' ./cmd/qpsoak/
+
 # API-compatibility gate: the golden schema test of internal/api snapshots
 # the JSON contract (every field name, tag and type of every wire type plus
 # the error-code set) and fails on drift. Additive changes regenerate the
@@ -54,6 +68,7 @@ crash:
 # breaking changes must bump api.Version.
 api-check:
 	$(GO) test -count=1 -run 'TestSchema' ./internal/api/
+	$(GO) test -count=1 -run 'TestSchema' ./internal/gateway/
 
 # Durable-format gate: the golden schema test of the session snapshot codec
 # (internal/service/snapshot.go) pins every field of the on-disk snapshot
@@ -109,6 +124,14 @@ bench-compare: build
 # explanations). See cmd/qpbench/benchpartial.go for the schema.
 bench-partial: build
 	bin/qpbench -exp benchpartial -scale 0.35 -explanations 8 -out BENCH_partial_quality.json
+
+# Gateway fleet-scaling baseline (DESIGN.md §13): session throughput at
+# fleet sizes 1/2/4 behind an in-process qpgate, every dialogue verified
+# against a direct single-backend control. Fails if the 4-backend fleet
+# does not reach 3x single-backend sessions/sec at a zero error budget.
+# See cmd/qpbench/benchgateway.go for the capacity model and schema.
+bench-gateway: build
+	bin/qpbench -exp benchgateway -out BENCH_gateway_scale.json
 
 # Capture a 10s CPU profile from a running questprod started with
 # -pprof-addr (see README "Operating questprod"). Override PPROF_ADDR to

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"questpro/internal/gateway"
+	"questpro/internal/service"
+	"questpro/internal/soak"
+)
+
+// benchgateway measures how session throughput scales with fleet size
+// behind the qpgate gateway: an in-process fleet of 1, 2 and 4 questprod
+// backends, each capped at a fixed number of session slots, soaked with
+// think-time-paced simulated feedback dialogues (internal/soak — every
+// inferred query checked against a direct single-backend control).
+//
+// The capacity model is deliberate. On a single benchmark machine the
+// shards share the CPU, so raw compute cannot scale with fleet size —
+// what a shard genuinely contributes is SESSION-STATE capacity: live
+// dialogues it can hold (-max-sessions; in production, memory plus
+// per-session persistence I/O). Dialogues are interactive — the paper's
+// setting — so each occupies its slot for think-time-dominated seconds
+// while using only milliseconds of CPU. By Little's law a shard with M
+// slots sustains at most M/T dialogues/sec at dialogue duration T, and a
+// fleet of N shards ~N·M/T, which is what this benchmark pins: the
+// gateway's placement (id-minting create) and routing must actually pool
+// the fleet's slots to achieve it, while the CPU stays unsaturated so the
+// measurement is capacity, not compute contention.
+
+// gwFleetResult is one fleet size's measurement.
+type gwFleetResult struct {
+	Backends       int     `json:"backends"`
+	SlotsPerShard  int     `json:"slots_per_shard"`
+	Concurrency    int     `json:"concurrency"`
+	Dialogues      int     `json:"dialogues"`
+	Completed      int     `json:"completed"`
+	Failed         int     `json:"failed"`
+	Mismatched     int     `json:"mismatched"`
+	Retries        int64   `json:"retries"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	WallMs         float64 `json:"wall_ms"`
+}
+
+// gwBenchFile is the BENCH_gateway_scale.json document.
+type gwBenchFile struct {
+	Schema        string          `json:"schema"`
+	Seed          int64           `json:"seed"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	CalibrationNs int64           `json:"calibration_ns"`
+	ThinkMs       int64           `json:"think_ms"`
+	Model         string          `json:"model"`
+	Fleets        []gwFleetResult `json:"fleets"`
+	Scaling4x     float64         `json:"scaling_4x_vs_1x"`
+}
+
+// benchGateway runs the sweep and writes the artifact. It fails (non-zero
+// qpbench exit) if any dialogue failed or diverged, or if the 4-backend
+// fleet does not reach 3x the single-backend throughput.
+func (r *runner) benchGateway(ctx context.Context, outPath string) error {
+	const (
+		slotsPerShard = 4
+		think         = 300 * time.Millisecond
+		dialoguesPer  = 12 // per backend, so every fleet size runs ~equal wall time
+	)
+	fmt.Printf("== benchgateway: fleet scaling (slots/shard=%d, think=%s) ==\n", slotsPerShard, think)
+
+	doc := gwBenchFile{
+		Schema:        "qpbench/gateway-scale/v1",
+		Seed:          r.seed,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CalibrationNs: calibrate(),
+		ThinkMs:       think.Milliseconds(),
+		Model: "interactive session-slot capacity: each shard holds -max-sessions live " +
+			"think-time-paced dialogues; throughput <= slots/dialogue-duration per shard " +
+			"(Little's law), so fleet throughput scales with pooled slots while the shared " +
+			"CPU stays unsaturated",
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		res, err := runGatewayFleetBench(ctx, n, slotsPerShard, think, dialoguesPer*n, r.seed)
+		if err != nil {
+			return fmt.Errorf("benchgateway: fleet of %d: %w", n, err)
+		}
+		fmt.Printf("backends=%d  sessions/sec=%.2f  p50=%.0fms  p99=%.0fms  failed=%d  retries=%d\n",
+			n, res.SessionsPerSec, res.P50Ms, res.P99Ms, res.Failed, res.Retries)
+		if res.Failed > 0 || res.Mismatched > 0 {
+			return fmt.Errorf("benchgateway: fleet of %d: %d failed, %d diverged (error budget is zero)",
+				n, res.Failed, res.Mismatched)
+		}
+		doc.Fleets = append(doc.Fleets, res)
+	}
+
+	doc.Scaling4x = doc.Fleets[2].SessionsPerSec / doc.Fleets[0].SessionsPerSec
+	fmt.Printf("scaling 4x vs 1x: %.2fx\n", doc.Scaling4x)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", outPath)
+
+	if doc.Scaling4x < 3.0 {
+		return fmt.Errorf("benchgateway: 4-backend fleet reached only %.2fx single-backend throughput, want >= 3x", doc.Scaling4x)
+	}
+	return nil
+}
+
+// runGatewayFleetBench stands up n in-process questprod backends (each
+// with slots session slots) behind an in-process qpgate, soaks it, and
+// tears everything down.
+func runGatewayFleetBench(ctx context.Context, n, slots int, think time.Duration, dialogues int, seed int64) (gwFleetResult, error) {
+	res := gwFleetResult{
+		Backends:      n,
+		SlotsPerShard: slots,
+		Dialogues:     dialogues,
+		// Oversubscribe the fleet's slots 2x so creates keep every slot
+		// occupied; the overflow rides the 503/overloaded retry path.
+		Concurrency: 2 * slots * n,
+	}
+
+	type backendProc struct {
+		reg *service.Registry
+		srv *http.Server
+		ln  net.Listener
+	}
+	var backends []*backendProc
+	defer func() {
+		for _, b := range backends {
+			b.srv.Close()
+			b.reg.Close()
+		}
+	}()
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		reg := service.NewRegistry(service.Config{MaxSessions: slots})
+		srv := &http.Server{Handler: service.NewServer(reg), ReadHeaderTimeout: 10 * time.Second}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			reg.Close()
+			return res, err
+		}
+		go srv.Serve(ln)
+		backends = append(backends, &backendProc{reg: reg, srv: srv, ln: ln})
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+
+	fleet, err := gateway.NewFleet(urls, gateway.FleetConfig{ProbeInterval: 50 * time.Millisecond})
+	if err != nil {
+		return res, err
+	}
+	fleet.ProbeAll(ctx)
+	fleet.Start()
+	defer fleet.Close()
+	gw := gateway.New(fleet, gateway.Config{})
+	gwSrv := &http.Server{Handler: gw, ReadHeaderTimeout: 10 * time.Second}
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer gwSrv.Close()
+	go gwSrv.Serve(gwLn)
+
+	rep, err := soak.Run(ctx, soak.Config{
+		TargetURL:   "http://" + gwLn.Addr().String(),
+		ControlURL:  urls[0],
+		Dialogues:   dialogues,
+		Concurrency: res.Concurrency,
+		Think:       think,
+		Patterns:    2,
+		Seed:        seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Completed = rep.Completed
+	res.Failed = rep.Failed
+	res.Mismatched = rep.Mismatched
+	res.Retries = rep.Retries
+	res.SessionsPerSec = rep.SessionsPerSec
+	res.P50Ms = rep.P50Ms
+	res.P99Ms = rep.P99Ms
+	res.WallMs = rep.WallMs
+	return res, nil
+}

@@ -32,7 +32,7 @@ func main() {
 		os.Exit(runCompare(os.Args[2:]))
 	}
 	var (
-		exp     = flag.String("exp", "all", "experiment: e1, e2, fig6a, fig6b, fig6c, fig6d, table1, fig8, feedback, robust, ablation, e1rep, benchjson, benchmerge, benchobs, benchpartial, all")
+		exp     = flag.String("exp", "all", "experiment: e1, e2, fig6a, fig6b, fig6c, fig6d, table1, fig8, feedback, robust, ablation, e1rep, benchjson, benchmerge, benchobs, benchpartial, benchgateway, all")
 		wlName  = flag.String("workload", "", "restrict e1/e2/feedback to one workload (sp2b or bsbm)")
 		scale   = flag.Float64("scale", 1.0, "ontology scale factor")
 		seed    = flag.Int64("seed", 1, "random seed for example sampling")
@@ -82,6 +82,7 @@ func main() {
 		"benchjson":    func() error { return r.benchJSON(bg, outPath("BENCH_core_infer.json")) },
 		"benchpartial": func() error { return r.benchPartial(bg, outPath("BENCH_partial_quality.json")) },
 		"benchmerge":   func() error { return r.benchMerge(bg, outPath("BENCH_core_merge.json")) },
+		"benchgateway": func() error { return r.benchGateway(bg, outPath("BENCH_gateway_scale.json")) },
 		"benchobs":     func() error { return r.benchObs(bg, outPath("BENCH_obs_overhead.json"), "BENCH_core_merge.json") },
 	}
 	if *exp == "all" {

@@ -1,0 +1,175 @@
+// Command qpgate is the session-affinity gateway in front of a fleet of
+// questprod backends (DESIGN.md §13). Every /v1/sessions/{id}/... request
+// is routed to the backend owning the id on a consistent-hash ring over
+// the -backends list; session creation mints the id at the gateway so the
+// ring owner of the id IS the backend the session is created on. Affinity
+// is therefore derived from the id alone: a qpgate restart loses no
+// routing state, and a backend restart recovers its own sessions from its
+// own -data-dir while qpgate holds that shard's requests until its
+// /readyz flips (shedding 503 + Retry-After if the shard is down or
+// overstays the hold).
+//
+//	qpgate -addr :8380 -backends http://127.0.0.1:8370,http://127.0.0.1:8371
+//
+// Endpoints: /healthz (gateway liveness), /readyz (200 once every backend
+// is Ready), /metrics (per-backend request/latency/error families), and
+// the proxied /v1/sessions tree.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"questpro/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8380", "listen address")
+	backends := flag.String("backends", "",
+		"comma-separated questprod base URLs forming the fleet (required; the SET defines the ring — every qpgate must be given the same members)")
+	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "pause between /readyz probes of each backend")
+	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "timeout of one /readyz probe")
+	hold := flag.Duration("not-ready-hold", gateway.DefaultNotReadyHold,
+		"how long requests for a restoring (not-ready) backend are held before shedding (negative = shed immediately)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (503) responses")
+	dialRetries := flag.Int("dial-retries", 2, "re-sends after a backend dial failure (dial errors never reached the backend, so replay is safe)")
+	maxConns := flag.Int("max-conns-per-backend", 0,
+		"idle connections pooled per backend (0 = the client package default)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	// Mirrors of questprod's server hardening: the gateway's write window
+	// must outlast the slowest inference a backend is allowed (its own
+	// -write-timeout, default 15m), or qpgate would sever long inferences
+	// the backend is still happily computing.
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute,
+		"max duration for reading an entire request, body included (0 = unbounded)")
+	writeTimeout := flag.Duration("write-timeout", 15*time.Minute,
+		"max duration from request-header read to the end of the response write (0 = unbounded)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute,
+		"max keep-alive idle time before the server closes a connection (0 = unbounded)")
+	flag.Parse()
+
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qpgate: %v\n", err)
+		os.Exit(2)
+	}
+	if *backends == "" {
+		fmt.Fprintln(os.Stderr, "qpgate: -backends is required")
+		os.Exit(2)
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	fleet, err := gateway.NewFleet(urls, gateway.FleetConfig{
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		Logger:        logger,
+	})
+	if err != nil {
+		logger.Error("building fleet", "err", err)
+		os.Exit(2)
+	}
+	gw := gateway.New(fleet, gateway.Config{
+		NotReadyHold:       *hold,
+		RetryAfter:         *retryAfter,
+		DialRetries:        *dialRetries,
+		MaxConnsPerBackend: *maxConns,
+		Logger:             logger,
+	})
+
+	// Seed every backend's state synchronously so the first request after
+	// "listening" routes on probed truth, then keep the states current.
+	fleet.ProbeAll(context.Background())
+	fleet.Start()
+	defer fleet.Close()
+
+	srv := &http.Server{
+		Handler:           gw,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Listen before serving so the "listening" record carries the RESOLVED
+	// address (with ":0" the kernel picks the port; the soak and bench
+	// harnesses read it from this log line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	states := make([]string, 0, len(urls))
+	for _, b := range fleet.Backends() {
+		states = append(states, b.ID+"="+b.State().String())
+	}
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"backends", strings.Join(states, " "))
+
+	select {
+	case err := <-errc:
+		logger.Error("server", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "drain", drain.String())
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Warn("drain", "err", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("server", "err", err)
+	}
+	logger.Info("bye")
+}
+
+// newLogger builds the process logger from the -log-format/-log-level
+// flags. Unknown values are flag errors, not silent defaults.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q", format)
+	}
+}

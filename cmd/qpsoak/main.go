@@ -1,0 +1,89 @@
+// Command qpsoak soaks a questprod deployment — typically a qpgate
+// gateway fronting a sharded fleet — with concurrent simulated feedback
+// dialogues and verifies every inferred query against a control run on a
+// direct single backend (see internal/soak). It is the operational
+// counterpart of `make soak`'s in-tree kill-restart test: point it at a
+// running fleet and it reports throughput, latency percentiles, retries
+// and — the part a load generator can't give you — whether the answers
+// the fleet produced are the RIGHT answers.
+//
+//	qpsoak -target http://127.0.0.1:8380 -control http://127.0.0.1:8370 \
+//	       -dialogues 200 -concurrency 16 -think 100ms
+//
+// The process exits 0 only if every dialogue completed and matched its
+// control transcript within the configured budgets; the JSON report on
+// stdout carries the details either way.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"questpro/internal/soak"
+)
+
+func main() {
+	target := flag.String("target", "", "base URL the dialogues run against (required; usually the qpgate gateway)")
+	control := flag.String("control", "", "direct single-backend base URL for the control transcripts (empty = self-consistency against -target)")
+	dialogues := flag.Int("dialogues", 50, "total dialogues to complete")
+	concurrency := flag.Int("concurrency", 8, "dialogues in flight at once")
+	think := flag.Duration("think", 100*time.Millisecond, "simulated user think time between turns")
+	patterns := flag.Int("patterns", 4, "distinct answer patterns (each gets one control transcript)")
+	seed := flag.Int64("seed", 1, "seed for answer patterns and retry jitter")
+	timeout := flag.Duration("dialogue-timeout", 2*time.Minute, "per-dialogue deadline, retries and shard recovery included")
+	keep := flag.Bool("keep-sessions", false, "leave finished sessions on their shards instead of deleting them")
+	maxFailed := flag.Int("max-failed", 0, "largest acceptable number of failed dialogues")
+	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "qpsoak: -target is required")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := soak.Config{
+		TargetURL:       *target,
+		ControlURL:      *control,
+		Dialogues:       *dialogues,
+		Concurrency:     *concurrency,
+		Think:           *think,
+		Patterns:        *patterns,
+		Seed:            *seed,
+		DialogueTimeout: *timeout,
+		KeepSessions:    *keep,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	rep, err := soak.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpsoak:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "qpsoak:", err)
+		os.Exit(1)
+	}
+	if rep.Mismatched > 0 {
+		fmt.Fprintf(os.Stderr, "qpsoak: %d dialogue(s) DIVERGED from the control transcript\n", rep.Mismatched)
+		os.Exit(1)
+	}
+	if rep.Failed > *maxFailed {
+		fmt.Fprintf(os.Stderr, "qpsoak: %d dialogue(s) failed (budget %d)\n", rep.Failed, *maxFailed)
+		os.Exit(1)
+	}
+}

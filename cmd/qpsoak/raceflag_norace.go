@@ -1,0 +1,8 @@
+//go:build !race
+
+package main
+
+// raceEnabled mirrors the -race flag of the enclosing test build, so the
+// soak harness builds its child questprod/qpgate binaries with the same
+// detector.
+const raceEnabled = false

@@ -1,0 +1,346 @@
+package main
+
+// The gateway soak harness (`make soak`): build the real questprod and
+// qpgate binaries, stand up a 2-shard fleet behind the gateway, and drive
+// concurrent simulated feedback dialogues through it while one shard is
+// SIGKILLed and restarted on its -data-dir. The run must end with zero
+// failed dialogues and every inferred SPARQL byte-identical to a direct
+// single-backend control — and the gateway must have visibly shed
+// (503 + Retry-After) for the dead shard during the outage, which is the
+// degraded-mode contract DESIGN.md §13 promises.
+//
+// The short deterministic profile runs inside `make chaos` under -race;
+// QPSOAK_FULL=1 selects the long profile (more dialogues, more workers).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"questpro/internal/gateway"
+	"questpro/internal/obs"
+	"questpro/internal/soak"
+)
+
+// buildBinary compiles one of the repo's commands, with -race when the
+// harness itself runs under the detector.
+func buildBinary(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	args := []string{"build"}
+	if raceEnabled {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// proc is one child process (questprod shard or qpgate) under harness
+// control.
+type proc struct {
+	cmd  *exec.Cmd
+	base string
+	logs *bytes.Buffer
+}
+
+// startProc launches a binary that logs a JSON "listening" record with
+// the resolved address, and waits for that record.
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", filepath.Base(bin), err)
+	}
+	p := &proc{cmd: cmd, logs: &bytes.Buffer{}}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Bytes()
+			p.logs.Write(line)
+			p.logs.WriteByte('\n')
+			var rec struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(line, &rec) == nil && rec.Msg == "listening" && rec.Addr != "" {
+				select {
+				case addrc <- rec.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		p.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("%s never logged its listen address; logs:\n%s", filepath.Base(bin), p.logs)
+	}
+	return p
+}
+
+// kill SIGKILLs the child — the crash under test.
+func (p *proc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill -9: %v", err)
+	}
+	p.cmd.Wait()
+}
+
+func (p *proc) stop() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// waitReady polls base/readyz until it answers 200.
+func waitReady(t *testing.T, base string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s/readyz never answered 200 within %s", base, within)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// scrapeShedTotal reads the gateway's qpgate_shed_total across backends.
+func scrapeShedTotal(t *testing.T, gwBase string) float64 {
+	t.Helper()
+	resp, err := http.Get(gwBase + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping gateway metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	fams, err := obs.ParsePromText(resp.Body)
+	if err != nil {
+		t.Fatalf("gateway /metrics is not valid exposition text: %v", err)
+	}
+	fam := fams["qpgate_shed_total"]
+	if fam == nil {
+		t.Fatal("gateway /metrics lacks qpgate_shed_total")
+	}
+	total := 0.0
+	for _, s := range fam.Samples {
+		total += s.Value
+	}
+	return total
+}
+
+// mintIDOwnedBy draws session ids until the fleet ring assigns one to the
+// wanted backend (normalized URL) — the harness's way of aiming a request
+// at a specific shard.
+func mintIDOwnedBy(t *testing.T, ring *gateway.Ring, owner string) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		id := gateway.MintSessionID()
+		if ring.Owner(id) == owner {
+			return id
+		}
+	}
+	t.Fatalf("could not mint an id owned by %s in 4096 draws", owner)
+	return ""
+}
+
+func TestSoakKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server processes")
+	}
+	binDir := t.TempDir()
+	questprod := buildBinary(t, binDir, "questpro/cmd/questprod")
+	qpgate := buildBinary(t, binDir, "questpro/cmd/qpgate")
+
+	// Pacing: the run must comfortably outlast the kill-restart window so
+	// the outage lands MID-soak (asserted below), with think time doing
+	// the stretching rather than extra compute.
+	dialogues, concurrency, think := 16, 4, 150*time.Millisecond
+	if os.Getenv("QPSOAK_FULL") != "" {
+		dialogues, concurrency = 80, 8
+	}
+
+	// Two shards with durable session stores — the kill target must be
+	// able to recover its sessions, or its dialogues cannot finish. addr
+	// "127.0.0.1:0" lets the kernel pick a port on first start; the
+	// RESTART must rebind the same address, since it is the shard's ring
+	// identity.
+	startShard := func(dataDir, addr string) *proc {
+		return startProc(t, questprod,
+			"-addr", addr,
+			"-data-dir", dataDir,
+			"-log-format", "json",
+			"-session-ttl", "10m",
+		)
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	shardA := startShard(dirA, "127.0.0.1:0")
+	defer shardA.stop()
+	shardB := startShard(dirB, "127.0.0.1:0")
+	defer shardB.stop()
+	waitReady(t, shardA.base, 15*time.Second)
+	waitReady(t, shardB.base, 15*time.Second)
+
+	gw := startProc(t, qpgate,
+		"-addr", "127.0.0.1:0",
+		"-backends", shardA.base+","+shardB.base,
+		"-probe-interval", "25ms",
+		"-retry-after", "1s",
+		"-log-format", "json",
+	)
+	defer gw.stop()
+	waitReady(t, gw.base, 15*time.Second)
+
+	// The same ring the gateway derives, for aiming requests at shard B.
+	idA, err := gateway.NormalizeBackendURL(shardA.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := gateway.NormalizeBackendURL(shardB.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := gateway.NewRing([]string{idA, idB})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Soak through the gateway; control transcripts on shard A directly.
+	type result struct {
+		rep soak.Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := soak.Run(context.Background(), soak.Config{
+			TargetURL:   gw.base,
+			ControlURL:  shardA.base,
+			Dialogues:   dialogues,
+			Concurrency: concurrency,
+			Think:       think,
+			Patterns:    2,
+			Seed:        1,
+			Logf:        t.Logf,
+		})
+		done <- result{rep, err}
+	}()
+
+	// Let the soak get dialogues in flight, then kill shard B — and
+	// verify the run is in fact still going, or the "mid-soak" crash
+	// would silently degrade into a post-soak one.
+	time.Sleep(600 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("soak finished before the kill; raise dialogues/think so the outage lands mid-run")
+	default:
+	}
+	shardB.kill(t)
+
+	// The degraded-mode contract, observed two ways: a request aimed at
+	// the dead shard comes back 503 + Retry-After with the uniform
+	// envelope...
+	probeID := mintIDOwnedBy(t, ring, idB)
+	sawShed := false
+	deadline := time.Now().Add(10 * time.Second)
+	for !sawShed && time.Now().Before(deadline) {
+		resp, err := http.Get(gw.base + "/v1/sessions/" + probeID + "/stats")
+		if err != nil {
+			t.Fatalf("probing the gateway during the outage: %v", err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("outage 503 carries no Retry-After")
+			}
+			sawShed = true
+		}
+		resp.Body.Close()
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !sawShed {
+		t.Fatalf("gateway never shed for the killed shard; logs:\n%s", gw.logs)
+	}
+	// ...and the gateway's own ledger recorded sheds.
+	if sheds := scrapeShedTotal(t, gw.base); sheds < 1 {
+		t.Fatalf("qpgate_shed_total = %v after an observed shed", sheds)
+	}
+
+	// Restart shard B on its data dir AND its address (the ring identity
+	// the gateway routes by); the prober flips it back to ready and held
+	// dialogues resume.
+	shardB = startShard(dirB, strings.TrimPrefix(shardB.base, "http://"))
+	defer shardB.stop()
+	waitReady(t, shardB.base, 30*time.Second)
+	waitReady(t, gw.base, 15*time.Second)
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("soak run: %v\ngateway logs:\n%s", res.err, gw.logs)
+	}
+	rep := res.rep
+	t.Logf("soak report: %+v", rep)
+	if rep.Mismatched > 0 {
+		t.Fatalf("%d dialogue(s) diverged from the control transcript: %v", rep.Mismatched, rep.Errors)
+	}
+	if rep.Failed > 0 {
+		t.Fatalf("%d dialogue(s) failed after retries: %v", rep.Failed, rep.Errors)
+	}
+	if rep.Completed != dialogues {
+		t.Fatalf("completed %d of %d dialogues", rep.Completed, dialogues)
+	}
+}
+
+// TestSoakDirectBackend pins the driver itself against a healthy single
+// backend, no gateway involved: every dialogue must complete and match
+// the control (which is the same backend — self-consistency plus
+// determinism of the inference engine).
+func TestSoakDirectBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real server processes")
+	}
+	questprod := buildBinary(t, t.TempDir(), "questpro/cmd/questprod")
+	shard := startProc(t, questprod, "-addr", "127.0.0.1:0", "-log-format", "json")
+	defer shard.stop()
+	waitReady(t, shard.base, 15*time.Second)
+
+	rep, err := soak.Run(context.Background(), soak.Config{
+		TargetURL:   shard.base,
+		Dialogues:   6,
+		Concurrency: 3,
+		Patterns:    3,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatalf("soak run: %v", err)
+	}
+	if rep.Failed != 0 || rep.Mismatched != 0 || rep.Completed != 6 {
+		t.Fatalf("direct-backend soak: %+v (errors %v)", rep, rep.Errors)
+	}
+	if rep.SessionsPerSec <= 0 || rep.P50Ms <= 0 {
+		t.Fatalf("report lacks throughput/latency figures: %+v", rep)
+	}
+}

@@ -57,6 +57,12 @@ func main() {
 	noTrace := flag.Bool("no-trace", false, "disable span tracing (histograms and logs stay on)")
 	dataDir := flag.String("data-dir", "",
 		"directory for durable session snapshots; sessions survive restarts and kill -9 (empty = in-memory only)")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute,
+		"max duration for reading an entire request, body included (0 = unbounded)")
+	writeTimeout := flag.Duration("write-timeout", 15*time.Minute,
+		"max duration from request-header read to the end of the response write; bounds the slowest inference a request may hold a connection for (0 = unbounded)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute,
+		"max keep-alive idle time before the server closes a connection (0 = unbounded)")
 	flag.Parse()
 
 	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
@@ -76,9 +82,6 @@ func main() {
 		journal = f
 	}
 
-	// With -data-dir the registry restores every durable session before
-	// accepting traffic (the listener comes up below, after NewRegistry),
-	// so a restarted process re-serves mid-dialogue sessions transparently.
 	var sessionStore *store.Store
 	if *dataDir != "" {
 		var err error
@@ -88,25 +91,20 @@ func main() {
 		}
 	}
 
-	reg := service.NewRegistry(service.Config{
-		TotalWorkers:   *workers,
-		SessionTTL:     *ttl,
-		MaxSessions:    *maxSessions,
-		AdmissionWait:  *admissionWait,
-		RetryAfter:     *retryAfter,
-		Logger:         logger,
-		TraceLog:       journal,
-		TraceRing:      *traceRing,
-		DisableTracing: *noTrace,
-		Store:          sessionStore,
-	})
-	if sessionStore != nil {
-		logger.Info("session persistence on", "data_dir", *dataDir,
-			"sessions_restored", reg.Metrics().SnapshotRestores)
-	}
+	// The listener comes up BEFORE the registry restores its durable
+	// sessions, behind a readiness gate: /healthz answers immediately
+	// (liveness), /readyz and every API route answer 503 + Retry-After
+	// until the restore finishes and the real mux is swapped in. A gateway
+	// probing /readyz therefore never routes a session request into a
+	// half-restored process, and a supervisor sees the restarted process as
+	// live while it replays its WAL.
+	gate := service.NewReadyGate(*retryAfter)
 	srv := &http.Server{
-		Handler:           service.NewServer(reg),
+		Handler:           gate,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	// Profiling listens on its own address so the debug endpoints are never
@@ -144,8 +142,29 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	logger.Info("listening", "addr", ln.Addr().String(), "worker_budget", reg.Budget().Size(),
+	logger.Info("listening", "addr", ln.Addr().String(),
 		"tracing", !*noTrace, "trace_log", *traceLog, "data_dir", *dataDir)
+
+	// With -data-dir the registry restores every durable session here,
+	// while the gate sheds traffic; only then does /readyz flip to 200.
+	reg := service.NewRegistry(service.Config{
+		TotalWorkers:   *workers,
+		SessionTTL:     *ttl,
+		MaxSessions:    *maxSessions,
+		AdmissionWait:  *admissionWait,
+		RetryAfter:     *retryAfter,
+		Logger:         logger,
+		TraceLog:       journal,
+		TraceRing:      *traceRing,
+		DisableTracing: *noTrace,
+		Store:          sessionStore,
+	})
+	gate.Ready(service.NewServer(reg))
+	if sessionStore != nil {
+		logger.Info("session persistence on", "data_dir", *dataDir,
+			"sessions_restored", reg.Metrics().SnapshotRestores)
+	}
+	logger.Info("ready", "worker_budget", reg.Budget().Size())
 
 	select {
 	case err := <-errc:

@@ -77,6 +77,13 @@ type Options struct {
 type CreateSessionRequest struct {
 	Ontology string  `json:"ontology"`
 	Options  Options `json:"options"`
+	// SessionID, when non-empty, asks the server to register the session
+	// under this caller-minted identifier (32 lowercase hex characters)
+	// instead of minting one. The qpgate gateway mints the id so that the
+	// consistent-hash owner of the id is the backend it creates the session
+	// on — shard affinity is derived from the id alone, with no routing
+	// table to lose on a gateway restart. Plain clients leave it empty.
+	SessionID string `json:"session_id,omitempty"`
 }
 
 // CreateSessionResponse carries the new session's id (201 Created).
@@ -300,6 +307,11 @@ const (
 	CodeCanceled = "canceled"
 	// CodeInternal: a recovered panic or other server fault.
 	CodeInternal = "internal"
+	// CodeUnavailable: the service cannot serve the request right now —
+	// the backend owning the session is down or still recovering, or the
+	// server is restoring durable sessions at startup. Sent with 503 and a
+	// Retry-After hint; retrying is expected to succeed.
+	CodeUnavailable = "unavailable"
 )
 
 // Error is the uniform envelope of every non-2xx response: the same three

@@ -52,6 +52,7 @@ var errorCodes = []string{
 	CodeBudgetExhausted,
 	CodeCanceled,
 	CodeInternal,
+	CodeUnavailable,
 }
 
 // renderSchema flattens the JSON contract of every wire type into a

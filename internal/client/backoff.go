@@ -1,0 +1,50 @@
+package client
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped exponential equal-jitter retry delays — the
+// machinery behind this package's retry loop, exported so the qpgate
+// gateway schedules its backend dial retries on the identical policy (a
+// shed fleet drains as one staggered queue, whichever layer is retrying).
+// Safe for concurrent use.
+type Backoff struct {
+	base time.Duration
+	max  time.Duration
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+}
+
+// NewBackoff builds a backoff schedule: base doubles per attempt up to max
+// (non-positive values select DefaultBaseDelay / DefaultMaxDelay). seed
+// seeds the jitter source so tests replay identical schedules.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	if max <= 0 {
+		max = DefaultMaxDelay
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay computes the wait before retry attempt (0-based): capped
+// exponential backoff with equal jitter (half fixed, half uniform-random),
+// floored at the server's Retry-After hint when one was sent.
+func (b *Backoff) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	d := b.base << attempt
+	if d > b.max || d <= 0 { // <= 0: shift overflow
+		d = b.max
+	}
+	b.mu.Lock()
+	jittered := d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	b.mu.Unlock()
+	if jittered < retryAfter {
+		jittered = retryAfter
+	}
+	return jittered
+}

@@ -14,11 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,7 +55,9 @@ type Config struct {
 	AttemptTimeout time.Duration
 
 	// HTTPClient overrides the transport (httptest servers, custom
-	// timeouts). nil selects http.DefaultClient.
+	// timeouts). nil selects the package's shared connection-pooled client
+	// (see NewTransport) — NOT http.DefaultClient, whose 2-idle-conns-per-
+	// host default collapses under concurrent fan-in.
 	HTTPClient *http.Client
 }
 
@@ -81,13 +81,9 @@ var ErrSessionNotFound = errors.New("client: session not found")
 type Client struct {
 	base     string
 	retries  int
-	baseD    time.Duration
-	maxD     time.Duration
+	backoff  *Backoff
 	attemptD time.Duration
 	httpc    *http.Client
-
-	mu  sync.Mutex // guards rng
-	rng *rand.Rand
 
 	retried atomic.Int64
 }
@@ -113,16 +109,14 @@ func New(cfg Config) *Client {
 		cfg.AttemptTimeout = 0
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = http.DefaultClient
+		cfg.HTTPClient = sharedHTTPClient
 	}
 	return &Client{
 		base:     strings.TrimRight(cfg.BaseURL, "/"),
 		retries:  cfg.MaxRetries,
-		baseD:    cfg.BaseDelay,
-		maxD:     cfg.MaxDelay,
+		backoff:  NewBackoff(cfg.BaseDelay, cfg.MaxDelay, cfg.Seed),
 		attemptD: cfg.AttemptTimeout,
 		httpc:    cfg.HTTPClient,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -168,23 +162,6 @@ func (e *APIError) retryable() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
-// nextDelay computes the wait before retry attempt (0-based): capped
-// exponential backoff with equal jitter (half fixed, half uniform-random),
-// floored at the server's Retry-After hint when one was sent.
-func (c *Client) nextDelay(attempt int, retryAfter time.Duration) time.Duration {
-	d := c.baseD << attempt
-	if d > c.maxD || d <= 0 { // <= 0: shift overflow
-		d = c.maxD
-	}
-	c.mu.Lock()
-	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
-	c.mu.Unlock()
-	if jittered < retryAfter {
-		jittered = retryAfter
-	}
-	return jittered
-}
-
 // sleep waits d or until ctx is done.
 func sleep(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
@@ -226,7 +203,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			}
 			return fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, err)
 		}
-		if err := sleep(ctx, c.nextDelay(attempt, retryAfter)); err != nil {
+		if err := sleep(ctx, c.backoff.Delay(attempt, retryAfter)); err != nil {
 			return fmt.Errorf("client: canceled while backing off: %w", err)
 		}
 		c.retried.Add(1)

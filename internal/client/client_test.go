@@ -100,7 +100,7 @@ func TestAPIErrorMatchesOverloaded(t *testing.T) {
 	}
 }
 
-// nextDelay: exponential growth under the cap, equal jitter within
+// Backoff.Delay: exponential growth under the cap, equal jitter within
 // [d/2, d], and the server's Retry-After hint as a floor.
 func TestNextDelaySchedule(t *testing.T) {
 	c := New(Config{BaseURL: "http://x", BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: 7})
@@ -111,18 +111,18 @@ func TestNextDelaySchedule(t *testing.T) {
 		4 * time.Millisecond, // still capped
 	} {
 		for i := 0; i < 50; i++ {
-			d := c.nextDelay(attempt, 0)
+			d := c.backoff.Delay(attempt, 0)
 			if d < want/2 || d > want {
-				t.Fatalf("nextDelay(%d) = %s outside [%s, %s]", attempt, d, want/2, want)
+				t.Fatalf("Delay(%d) = %s outside [%s, %s]", attempt, d, want/2, want)
 			}
 		}
 	}
-	if d := c.nextDelay(0, 2*time.Second); d != 2*time.Second {
-		t.Fatalf("nextDelay with Retry-After floor = %s, want 2s", d)
+	if d := c.backoff.Delay(0, 2*time.Second); d != 2*time.Second {
+		t.Fatalf("Delay with Retry-After floor = %s, want 2s", d)
 	}
 	// An absurd attempt count must not overflow into a negative delay.
-	if d := c.nextDelay(62, 0); d < 0 || d > 4*time.Millisecond {
-		t.Fatalf("nextDelay(62) = %s", d)
+	if d := c.backoff.Delay(62, 0); d < 0 || d > 4*time.Millisecond {
+		t.Fatalf("Delay(62) = %s", d)
 	}
 }
 

@@ -1,0 +1,51 @@
+package client
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Connection pooling. http.DefaultClient rides http.DefaultTransport, whose
+// MaxIdleConnsPerHost is 2: any fan-in heavier than two concurrent requests
+// per host — a gateway funneling thousands of dialogues into a handful of
+// backends, a soak driver hammering one server — closes and re-dials
+// connections on nearly every request, turning connection setup into the
+// throughput ceiling. Every consumer of this package therefore shares one
+// transport sized for that fan-in, and qpgate builds one per backend pool
+// from the same constructor.
+
+// DefaultMaxConnsPerHost sizes the per-host idle-connection pool of the
+// shared transport. It bounds connection *reuse*, not concurrency: more
+// than this many in-flight requests still run, the excess connections are
+// just not kept alive. 256 comfortably covers the soak driver's worker
+// budget against a single host.
+const DefaultMaxConnsPerHost = 256
+
+// NewTransport builds a connection-pooled HTTP transport: maxPerHost idle
+// connections kept per backend (<= 0 selects DefaultMaxConnsPerHost) and
+// sane dial/TLS/idle timeouts, so a hung remote costs a bounded dial wait
+// instead of an unbounded one. Callers that talk to N backends get up to
+// N*maxPerHost pooled connections in total.
+func NewTransport(maxPerHost int) *http.Transport {
+	if maxPerHost <= 0 {
+		maxPerHost = DefaultMaxConnsPerHost
+	}
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          4 * maxPerHost,
+		MaxIdleConnsPerHost:   maxPerHost,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
+// sharedHTTPClient is the pooled client every Client without an explicit
+// Config.HTTPClient shares — one pool per process, not per Client, so a
+// thousand Clients against one server still reuse one connection set.
+var sharedHTTPClient = &http.Client{Transport: NewTransport(0)}

@@ -1,0 +1,63 @@
+package client
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTransportConnectionReuse pins the connection-pooling contract of the
+// shared transport: a burst of concurrent requests against one host must be
+// served over at most ~one connection per concurrent worker, reused across
+// the whole burst — not one connection per request, which is what
+// http.DefaultTransport's 2-idle-conns-per-host cap degrades to under
+// fan-in. The counter hooks the httptest server's ConnState callback, so it
+// counts real TCP accepts.
+func TestTransportConnectionReuse(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	srv.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	const (
+		workers  = 8
+		requests = 200
+	)
+	cl := New(Config{
+		BaseURL:    srv.URL,
+		MaxRetries: -1,
+		HTTPClient: &http.Client{Transport: NewTransport(workers)},
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < requests/workers; i++ {
+				if _, err := cl.Stats(context.Background(), "x"); err != nil {
+					// The fake id decodes as an empty 200 body here; any
+					// transport-level error is a real failure.
+					t.Errorf("request: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := conns.Load(); got > 2*workers {
+		t.Fatalf("%d requests over %d workers opened %d connections; pooling is broken (want <= %d)",
+			requests, workers, got, 2*workers)
+	}
+}

@@ -1,0 +1,289 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"questpro/internal/client"
+)
+
+// State is a backend's last probed condition.
+type State int32
+
+const (
+	// StateDown: the probe could not reach the process at all (dial or
+	// transport error). Requests owned by a Down backend are shed
+	// immediately — there is nothing to wait for until a probe succeeds.
+	StateDown State = iota
+	// StateNotReady: the process answered but /readyz said 503 — it is up
+	// and restoring its durable sessions. Requests are held briefly (the
+	// restore is usually sub-second) and shed only if it overstays.
+	StateNotReady
+	// StateReady: /readyz answered 200; the backend serves traffic.
+	StateReady
+)
+
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateNotReady:
+		return "not_ready"
+	default:
+		return "down"
+	}
+}
+
+// Backend is one questprod process in the fleet: its normalized base URL
+// (which is also its ring identity), its probed state, and a broadcast
+// channel readers can block on until the state turns Ready.
+type Backend struct {
+	// ID is the normalized base URL, e.g. "http://127.0.0.1:8370". It is
+	// the backend's ring identity: every gateway given the same -backends
+	// list derives the same ring, which is what makes affinity survive
+	// gateway restarts.
+	ID string
+
+	state atomic.Int32
+
+	mu      sync.Mutex
+	readyCh chan struct{} // closed while state == StateReady
+}
+
+func newBackend(id string) *Backend {
+	b := &Backend{ID: id, readyCh: make(chan struct{})}
+	b.state.Store(int32(StateDown))
+	return b
+}
+
+// State returns the backend's last probed state.
+func (b *Backend) State() State { return State(b.state.Load()) }
+
+// setState records a probe result and wakes/parks waiters on the Ready
+// transition. Returns the previous state so the caller can log changes.
+func (b *Backend) setState(s State) State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	prev := State(b.state.Swap(int32(s)))
+	if s == StateReady && prev != StateReady {
+		close(b.readyCh) // release everyone holding for this backend
+	}
+	if s != StateReady && prev == StateReady {
+		b.readyCh = make(chan struct{}) // future waiters park again
+	}
+	return prev
+}
+
+// readyChan returns the channel closed while the backend is Ready, plus
+// whether it already is — callers select on the channel only when not.
+func (b *Backend) readyChan() (<-chan struct{}, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.readyCh, State(b.state.Load()) == StateReady
+}
+
+// Fleet is the gateway's view of the questprod backends: the consistent-
+// hash ring over their identities plus one prober goroutine per backend
+// keeping each State current against GET /readyz.
+type Fleet struct {
+	ring     *Ring
+	backends []*Backend
+	byID     map[string]*Backend
+
+	httpc    *http.Client
+	interval time.Duration
+	logger   *slog.Logger
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// FleetConfig configures NewFleet. Zero values select the defaults.
+type FleetConfig struct {
+	// ProbeInterval is the pause between /readyz probes of one backend
+	// (default 250ms — a restarting shard flips to Ready within a probe
+	// period of its restore finishing, which bounds how long held requests
+	// wait beyond the restore itself).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 2s).
+	ProbeTimeout time.Duration
+	// HTTPClient overrides the probe client (tests). The default rides the
+	// package client's pooled transport.
+	HTTPClient *http.Client
+	Logger     *slog.Logger
+}
+
+// NewFleet builds the fleet over the backend URLs (scheme://host:port,
+// scheme defaulting to http). The initial state of every backend is Down
+// until a probe says otherwise — call ProbeAll for a synchronous first
+// pass, Start for the background probers.
+func NewFleet(urls []string, cfg FleetConfig) (*Fleet, error) {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Transport: client.NewTransport(4), Timeout: cfg.ProbeTimeout}
+	}
+
+	ids := make([]string, 0, len(urls))
+	byID := make(map[string]*Backend, len(urls))
+	backends := make([]*Backend, 0, len(urls))
+	for _, raw := range urls {
+		id, err := NormalizeBackendURL(raw)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+		b := newBackend(id)
+		backends = append(backends, b)
+		byID[id] = b
+	}
+	ring, err := NewRing(ids)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{
+		ring:     ring,
+		backends: backends,
+		byID:     byID,
+		httpc:    httpc,
+		interval: cfg.ProbeInterval,
+		logger:   cfg.Logger,
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// NormalizeBackendURL canonicalizes one -backends entry into a ring
+// identity: scheme://host[:port], lower-cased scheme/host, no path. Two
+// gateways configured with cosmetically different spellings of the same
+// backend must still agree on the ring.
+func NormalizeBackendURL(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", fmt.Errorf("gateway: empty backend URL")
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("gateway: backend URL %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("gateway: backend URL %q: unsupported scheme %q", raw, u.Scheme)
+	}
+	if u.Host == "" || (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("gateway: backend URL %q must be scheme://host:port with no path", raw)
+	}
+	return strings.ToLower(u.Scheme) + "://" + strings.ToLower(u.Host), nil
+}
+
+// Ring exposes the fleet's consistent-hash ring (routing tests).
+func (f *Fleet) Ring() *Ring { return f.ring }
+
+// Backends returns the fleet members in configuration order.
+func (f *Fleet) Backends() []*Backend { return append([]*Backend(nil), f.backends...) }
+
+// Owner returns the backend owning the session id.
+func (f *Fleet) Owner(sessionID string) *Backend {
+	return f.backends[f.ring.OwnerIndex(sessionID)]
+}
+
+// ProbeAll probes every backend once, synchronously (gateway startup: seed
+// the states before serving rather than shedding the first interval).
+func (f *Fleet) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range f.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			f.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// Start launches one prober goroutine per backend. Close stops them.
+func (f *Fleet) Start() {
+	for _, b := range f.backends {
+		f.wg.Add(1)
+		go func(b *Backend) {
+			defer f.wg.Done()
+			t := time.NewTicker(f.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-f.stop:
+					return
+				case <-t.C:
+					f.probe(context.Background(), b)
+				}
+			}
+		}(b)
+	}
+}
+
+// Close stops the probers and releases the probe client's connections.
+func (f *Fleet) Close() {
+	close(f.stop)
+	f.wg.Wait()
+	f.httpc.CloseIdleConnections()
+}
+
+// probe asks one backend's /readyz and records the resulting state:
+// 200 → Ready, any other response → NotReady (the process is up but
+// restoring, or fronted by something unexpected), transport error → Down.
+func (f *Fleet) probe(ctx context.Context, b *Backend) {
+	ctx, cancel := context.WithTimeout(ctx, f.httpc.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", b.ID+"/readyz", nil)
+	if err != nil {
+		return
+	}
+	next := StateDown
+	if resp, err := f.httpc.Do(req); err == nil {
+		// Drain so the keep-alive connection returns to the pool.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			next = StateReady
+		} else {
+			next = StateNotReady
+		}
+	}
+	if prev := b.setState(next); prev != next {
+		f.logger.Info("backend state", "backend", b.ID, "from", prev.String(), "to", next.String())
+	}
+}
+
+// WaitReady blocks until the backend is Ready or the context expires —
+// the hold-until-ready path for requests owned by a restarting shard.
+// Waiters ride the prober's state transitions; they do not probe
+// themselves, so a thousand held requests cost one probe stream.
+func (f *Fleet) WaitReady(ctx context.Context, b *Backend) error {
+	ch, ready := b.readyChan()
+	if ready {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,487 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"questpro/internal/api"
+	"questpro/internal/client"
+)
+
+// DefaultNotReadyHold is how long a request owned by a restarting
+// (NotReady) backend is held waiting for /readyz to flip before the
+// gateway sheds it. Restores are usually sub-second; anything past the
+// hold means a genuinely slow recovery and the client should back off.
+const DefaultNotReadyHold = 10 * time.Second
+
+// DefaultMaxBody caps a request body read for buffering/retry. 64 MiB
+// comfortably covers the largest ontology+examples payloads questprod
+// itself accepts while bounding what a misbehaving client can pin.
+const DefaultMaxBody = 64 << 20
+
+// maxMintsPerBackend bounds the create id-minting loop: with N backends
+// the gateway tries at most N*maxMintsPerBackend ids before concluding
+// that no Ready backend with capacity exists. With ~1/N odds of hitting
+// any given backend per mint, 16 tries per member makes failing to reach
+// an available one astronomically unlikely.
+const maxMintsPerBackend = 16
+
+// Config configures New. Zero values select the defaults.
+type Config struct {
+	// NotReadyHold bounds the wait for a NotReady owner (default
+	// DefaultNotReadyHold; negative = shed immediately).
+	NotReadyHold time.Duration
+	// RetryAfter is the Retry-After hint on shed responses (default 1s).
+	RetryAfter time.Duration
+	// DialRetries is how many times a request is re-sent after a DIAL
+	// failure (the only failure mode that is safe to retry for
+	// non-idempotent POSTs: a dial error means no byte reached the
+	// backend). Default 2.
+	DialRetries int
+	// MaxBody caps a buffered request body (default DefaultMaxBody).
+	MaxBody int64
+	// MaxConnsPerBackend sizes the proxy's per-backend idle-connection
+	// pool (default client.DefaultMaxConnsPerHost).
+	MaxConnsPerBackend int
+	// Transport overrides the proxy transport (tests).
+	Transport http.RoundTripper
+	Logger    *slog.Logger
+	// BackoffSeed seeds the dial-retry jitter (tests; 0 = time-free fixed
+	// seed is fine, the jitter only staggers concurrent retries).
+	BackoffSeed int64
+}
+
+// Gateway is the qpgate http.Handler: it owns the Fleet, the per-backend
+// connection-pooled proxy, the create id-minting path and the metrics.
+type Gateway struct {
+	fleet   *Fleet
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	transport  http.RoundTripper
+	backoff    *client.Backoff
+	hold       time.Duration
+	retryAfter time.Duration
+	retries    int
+	maxBody    int64
+	logger     *slog.Logger
+}
+
+// New builds the gateway over an already-constructed fleet. The caller
+// starts/stops the fleet's probers.
+func New(fleet *Fleet, cfg Config) *Gateway {
+	if cfg.NotReadyHold == 0 {
+		cfg.NotReadyHold = DefaultNotReadyHold
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.DialRetries == 0 {
+		cfg.DialRetries = 2
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = client.NewTransport(cfg.MaxConnsPerBackend)
+	}
+	g := &Gateway{
+		fleet:      fleet,
+		metrics:    NewMetrics(),
+		mux:        http.NewServeMux(),
+		transport:  tr,
+		backoff:    client.NewBackoff(50*time.Millisecond, 2*time.Second, cfg.BackoffSeed),
+		hold:       cfg.NotReadyHold,
+		retryAfter: cfg.RetryAfter,
+		retries:    cfg.DialRetries,
+		maxBody:    cfg.MaxBody,
+		logger:     cfg.Logger,
+	}
+
+	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
+	g.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		g.metrics.WriteProm(w, g.fleet)
+	})
+	g.mux.HandleFunc("POST /v1/sessions", g.handleCreate)
+	g.mux.HandleFunc("/v1/sessions/{id}", g.handleSession)
+	g.mux.HandleFunc("/v1/sessions/{id}/{rest...}", g.handleSession)
+	return g
+}
+
+// Metrics exposes the gateway's counters (tests, qpbench).
+func (g *Gateway) Metrics() *Metrics { return g.metrics }
+
+// Fleet exposes the gateway's fleet.
+func (g *Gateway) Fleet() *Fleet { return g.fleet }
+
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// handleReadyz: the gateway serves the full session keyspace only when
+// every ring member is Ready, so that is what readiness means here. The
+// body names each backend's state either way.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	var sb strings.Builder
+	ready := true
+	for _, b := range g.fleet.Backends() {
+		st := b.State()
+		if st != StateReady {
+			ready = false
+		}
+		fmt.Fprintf(&sb, "%s %s\n", b.ID, st)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !ready {
+		w.Header().Set("Retry-After", strconv.Itoa(retrySecs(g.retryAfter)))
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	io.WriteString(w, sb.String())
+}
+
+// handleSession routes /v1/sessions/{id}[/...] to the id's ring owner.
+// Down owner → immediate shed; NotReady owner → hold until Ready or the
+// hold expires, then shed. The id itself is all the routing state there
+// is: this handler is identical before and after a gateway restart.
+func (g *Gateway) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	b := g.fleet.Owner(id)
+	if !g.admit(w, r, b) {
+		return
+	}
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	g.proxy(w, r, b, body, nil)
+}
+
+// admit applies the owner's state to the request: true means proceed to
+// proxy. Sheds (false) have already written the 503.
+func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, b *Backend) bool {
+	switch b.State() {
+	case StateReady:
+		return true
+	case StateDown:
+		g.shed(w, b, fmt.Sprintf("gateway: backend %s is down", b.ID))
+		return false
+	default: // NotReady: the shard is restoring — hold, bounded.
+		g.metrics.backend(b.ID).held.Add(1)
+		ctx := r.Context()
+		if g.hold > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, g.hold)
+			defer cancel()
+		} else {
+			g.shed(w, b, fmt.Sprintf("gateway: backend %s is restoring", b.ID))
+			return false
+		}
+		if err := g.fleet.WaitReady(ctx, b); err != nil {
+			g.shed(w, b, fmt.Sprintf("gateway: backend %s still restoring after %s hold", b.ID, g.hold))
+			return false
+		}
+		return true
+	}
+}
+
+// shed answers 503 + Retry-After with the uniform api.Error envelope.
+func (g *Gateway) shed(w http.ResponseWriter, b *Backend, msg string) {
+	g.metrics.backend(b.ID).shed.Add(1)
+	secs := retrySecs(g.retryAfter)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(&api.Error{
+		Code:          api.CodeUnavailable,
+		Message:       msg,
+		RetryAfterSec: secs,
+	})
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, status int, code string, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(&api.Error{Code: code, Message: msg})
+}
+
+// readBody buffers the request body (bounded) so a dial retry can replay
+// it. false means the 413/400 has been written.
+func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Body == nil {
+		return nil, true
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			g.writeError(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+				fmt.Sprintf("gateway: request body exceeds %d bytes", g.maxBody))
+		} else {
+			g.writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+				"gateway: reading request body: "+err.Error())
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// hopByHop are the headers that belong to one TCP hop, never forwarded
+// (RFC 9110 §7.6.1).
+var hopByHop = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func copyHeaders(dst, src http.Header) {
+	drop := map[string]bool{}
+	for _, h := range hopByHop {
+		drop[h] = true
+	}
+	for _, v := range src.Values("Connection") {
+		for _, name := range strings.Split(v, ",") {
+			drop[http.CanonicalHeaderKey(strings.TrimSpace(name))] = true
+		}
+	}
+	for k, vv := range src {
+		if drop[k] {
+			continue
+		}
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// proxy forwards one buffered request to the backend and relays the
+// response verbatim (headers and body untouched — wire parity with a
+// direct backend call is a tested property). Dial failures are retried
+// with backoff — a dial error is the one transport failure that
+// guarantees the backend never saw the request, so replaying a
+// non-idempotent POST is safe; any later failure is relayed as-is.
+//
+// capture, when non-nil, receives the response instead of the
+// ResponseWriter (the create path inspects before relaying).
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, b *Backend, body []byte, capture func(*http.Response)) {
+	c := g.metrics.backend(b.ID)
+	c.requests.Add(1)
+	start := time.Now()
+
+	outURL := b.ID + r.URL.RequestURI()
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, outURL, bytes.NewReader(body))
+		if err != nil {
+			g.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "gateway: building backend request: "+err.Error())
+			return
+		}
+		copyHeaders(req.Header, r.Header)
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			req.Header.Set("X-Forwarded-For", host)
+		}
+		req.ContentLength = int64(len(body))
+
+		resp, err = g.transport.RoundTrip(req)
+		if err == nil {
+			break
+		}
+		if !isDialError(err) || attempt >= g.retries || r.Context().Err() != nil {
+			// The backend is unreachable (or the failure is ambiguous —
+			// the request may have partially executed, so no replay).
+			// A dial failure additionally means the process is gone:
+			// mark it Down now rather than waiting out a probe period,
+			// so the next requests shed instead of re-dialing.
+			if isDialError(err) {
+				if prev := b.setState(StateDown); prev != StateDown {
+					g.logger.Warn("backend dial failed, marking down", "backend", b.ID, "err", err)
+				}
+				c.errors.Add(1)
+				g.shed(w, b, fmt.Sprintf("gateway: backend %s unreachable: %v", b.ID, err))
+				return
+			}
+			c.errors.Add(1)
+			g.metrics.proxyDur.Observe(b.ID, time.Since(start))
+			g.writeError(w, http.StatusBadGateway, api.CodeUnavailable,
+				fmt.Sprintf("gateway: proxying to %s: %v", b.ID, err))
+			return
+		}
+		c.retries.Add(1)
+		select {
+		case <-time.After(g.backoff.Delay(attempt, 0)):
+		case <-r.Context().Done():
+			g.writeError(w, http.StatusBadGateway, api.CodeCanceled, "gateway: client went away during backend retry")
+			return
+		}
+	}
+
+	defer func() { g.metrics.proxyDur.Observe(b.ID, time.Since(start)) }()
+	if capture != nil {
+		capture(resp)
+		return
+	}
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// Headers are gone; all we can do is log and sever.
+		g.logger.Warn("relaying backend response", "backend", b.ID, "err", err)
+	}
+}
+
+// isDialError reports whether the request failed before any byte reached
+// the backend: a *net.OpError whose Op is "dial" anywhere in the chain.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// MintSessionID returns a fresh 32-hex-char session id, the same shape
+// questprod mints (service.ValidSessionID accepts it).
+func MintSessionID() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic("gateway: crypto/rand failed: " + err.Error()) // no sane fallback
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// handleCreate places a new session: the gateway mints the session id and
+// asks the id's ring owner to create under it, so affinity holds by
+// construction. Minting repeats (bounded) while the drawn owner is not
+// Ready, and — because a backend at its session cap sheds the create with
+// 503/overloaded — while the owner is full, which pools the fleet's
+// capacity: creates flow to the shards with free slots, and only when
+// every member is full or unavailable does the client see the 503.
+//
+// A client-supplied session_id is honored by routing to ITS owner (the
+// caller has pinned the placement, e.g. a test), with the usual
+// hold/shed admission.
+func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+
+	// Decode into a generic map so every field — including ones this
+	// gateway build predates — survives the re-marshal untouched.
+	var req map[string]any
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		g.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "gateway: decoding create request: "+err.Error())
+		return
+	}
+
+	if id, _ := req["session_id"].(string); id != "" {
+		b := g.fleet.Owner(id)
+		if !g.admit(w, r, b) {
+			return
+		}
+		g.metrics.createsTotal.Add(1)
+		g.proxy(w, r, b, body, nil)
+		return
+	}
+
+	maxMints := maxMintsPerBackend * len(g.fleet.Backends())
+	var lastFull *http.Response
+	defer func() {
+		if lastFull != nil {
+			lastFull.Body.Close()
+		}
+	}()
+	full := make(map[string]bool) // backends that answered 503/overloaded
+	for mint := 0; mint < maxMints; mint++ {
+		if mint > 0 {
+			g.metrics.createRemints.Add(1)
+		}
+		id := MintSessionID()
+		b := g.fleet.Owner(id)
+		if b.State() != StateReady || full[b.ID] {
+			continue
+		}
+		req["session_id"] = id
+		outBody, err := json.Marshal(req)
+		if err != nil {
+			g.writeError(w, http.StatusInternalServerError, api.CodeInternal, "gateway: re-encoding create request: "+err.Error())
+			return
+		}
+
+		var resp *http.Response
+		g.proxy(w, r, b, outBody, func(got *http.Response) { resp = got })
+		if resp == nil {
+			return // proxy already wrote the failure
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The owner is at its session cap — remember and re-mint
+			// toward the rest of the fleet. Keep the response around: if
+			// EVERY backend turns out full, the last one's answer (with
+			// its Retry-After) is what the client should see.
+			full[b.ID] = true
+			if lastFull != nil {
+				lastFull.Body.Close()
+			}
+			lastFull = resp
+			if len(full) < len(g.fleet.Backends()) {
+				continue
+			}
+			break
+		}
+		if lastFull != nil {
+			lastFull.Body.Close()
+			lastFull = nil
+		}
+		g.metrics.createsTotal.Add(1)
+		defer resp.Body.Close()
+		copyHeaders(w.Header(), resp.Header)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+
+	if lastFull != nil {
+		copyHeaders(w.Header(), lastFull.Header)
+		w.WriteHeader(lastFull.StatusCode)
+		io.Copy(w, lastFull.Body)
+		return
+	}
+	// No Ready backend ever came up in the draw — the fleet is (at least
+	// mostly) unavailable.
+	secs := retrySecs(g.retryAfter)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(&api.Error{
+		Code:          api.CodeUnavailable,
+		Message:       "gateway: no ready backend to place the session on",
+		RetryAfterSec: secs,
+	})
+}
+
+// retrySecs rounds a Retry-After hint up to whole seconds, minimum 1.
+func retrySecs(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

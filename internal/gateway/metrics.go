@@ -1,0 +1,122 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"questpro/internal/obs"
+)
+
+// Metrics is the gateway's observability surface, rendered at /metrics in
+// the Prometheus text exposition format (same hand-rolled conventions as
+// questprod's: # HELP/# TYPE headers, *_total counters, label values
+// sorted for deterministic scrapes). Request traffic is partitioned by
+// backend — the question a fleet operator asks is "which shard", not
+// "which endpoint"; the endpoint-level view lives on the backends.
+type Metrics struct {
+	proxyDur *obs.Family // qpgate_proxy_duration_seconds{backend=...}
+
+	mu         sync.Mutex
+	perBackend map[string]*backendCounters
+
+	// creates* track the id-minting loop: how many sessions the gateway
+	// placed and how many extra mints it took to land them on a Ready,
+	// non-full backend (a rising remint rate means shards are saturating).
+	createsTotal  atomic.Int64
+	createRemints atomic.Int64
+}
+
+// backendCounters is one backend's traffic ledger.
+type backendCounters struct {
+	requests atomic.Int64 // proxied requests (any outcome)
+	errors   atomic.Int64 // transport failures after retries
+	retries  atomic.Int64 // dial retries performed
+	shed     atomic.Int64 // requests answered 503 by the GATEWAY for this backend
+	held     atomic.Int64 // requests that waited for a NotReady backend
+}
+
+// NewMetrics builds an empty metrics surface.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		proxyDur: obs.NewFamily("qpgate_proxy_duration_seconds", "backend",
+			"End-to-end proxied request latency by backend."),
+		perBackend: make(map[string]*backendCounters),
+	}
+}
+
+func (m *Metrics) backend(id string) *backendCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.perBackend[id]
+	if c == nil {
+		c = &backendCounters{}
+		m.perBackend[id] = c
+	}
+	return c
+}
+
+// snapshotBackends returns the per-backend counters sorted by backend id.
+func (m *Metrics) snapshotBackends() (ids []string, counters []*backendCounters) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.perBackend {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		counters = append(counters, m.perBackend[id])
+	}
+	return ids, counters
+}
+
+// WriteProm renders the gateway metrics. fleet supplies the backend-state
+// gauge (1 for the backend's current state family, 0 otherwise).
+func (m *Metrics) WriteProm(w io.Writer, fleet *Fleet) {
+	writeCounter := func(name, help string, val func(*backendCounters) int64) {
+		ids, counters := m.snapshotBackends()
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i, id := range ids {
+			fmt.Fprintf(w, "%s{backend=%q} %d\n", name, id, val(counters[i]))
+		}
+	}
+	writeCounter("qpgate_requests_total", "Requests proxied to the backend (any outcome).",
+		func(c *backendCounters) int64 { return c.requests.Load() })
+	writeCounter("qpgate_proxy_errors_total", "Proxied requests that failed in transport after retries.",
+		func(c *backendCounters) int64 { return c.errors.Load() })
+	writeCounter("qpgate_proxy_retries_total", "Dial retries performed against the backend.",
+		func(c *backendCounters) int64 { return c.retries.Load() })
+	writeCounter("qpgate_shed_total", "Requests the gateway answered 503 for because the backend was down or not ready.",
+		func(c *backendCounters) int64 { return c.shed.Load() })
+	writeCounter("qpgate_held_total", "Requests that waited for a restarting (not-ready) backend before proxying.",
+		func(c *backendCounters) int64 { return c.held.Load() })
+
+	for _, s := range []struct {
+		name, help string
+		val        int64
+	}{
+		{"qpgate_creates_total", "Sessions placed by the gateway's id-minting create path.", m.createsTotal.Load()},
+		{"qpgate_create_remints_total", "Extra id mints needed to land creates on a ready, non-full backend.", m.createRemints.Load()},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.val)
+	}
+
+	if fleet != nil {
+		const name = "qpgate_backend_state"
+		fmt.Fprintf(w, "# HELP %s Probed backend state (1 = the backend is in this state).\n# TYPE %s gauge\n", name, name)
+		for _, b := range fleet.Backends() {
+			st := b.State()
+			for _, s := range []State{StateDown, StateNotReady, StateReady} {
+				v := 0
+				if st == s {
+					v = 1
+				}
+				fmt.Fprintf(w, "%s{backend=%q,state=%q} %d\n", name, b.ID, s.String(), v)
+			}
+		}
+	}
+
+	m.proxyDur.WriteProm(w)
+}

@@ -1,0 +1,108 @@
+// Package gateway is the horizontal scale-out layer of questprod: a thin
+// HTTP gateway (served by cmd/qpgate) that routes every session-scoped
+// request to the backend owning the session, where ownership is the
+// consistent-hash ring position of the session id and nothing else. No
+// routing table, no token-embedded backend id: the gateway derives the
+// owner from the id on every request, so a gateway restart loses no state,
+// and a backend restart recovers its own sessions from its own -data-dir
+// (DESIGN.md §12) while the gateway sheds or holds traffic for it until
+// its /readyz flips.
+//
+// The package splits into the Ring (pure hashing), the Fleet (backend
+// registry + health/readiness probing), and the Gateway http.Handler
+// (create id-minting, per-backend pooled proxying, shedding, /metrics).
+// See DESIGN.md §13.
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the number of virtual points each backend contributes to
+// the ring. More points smooth the key distribution (the share of each of
+// N backends concentrates around 1/N) at a small lookup-table cost; 128 is
+// plenty for single-digit fleets and still microseconds to build.
+const ringReplicas = 128
+
+// Ring maps keys (session ids) onto a fixed set of backend identities by
+// consistent hashing: each backend is hashed onto ringReplicas points of a
+// 64-bit circle, and a key is owned by the first point at or clockwise
+// after the key's own hash. Ownership depends only on the membership SET —
+// not on registration order, and not on any state accumulated between
+// lookups — so two gateways (or one gateway across a restart) built from
+// the same backend list route identically, and removing one backend of N
+// remaps only the ~1/N of keys that backend owned.
+//
+// Immutable after New; safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	ids    []string
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // index into ids
+}
+
+// NewRing builds a ring over the backend identities (qpgate uses the
+// normalized backend URLs). Duplicate ids are an error — two ring members
+// with one identity would silently halve that member's share.
+func NewRing(ids []string) (*Ring, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("gateway: ring needs at least one backend")
+	}
+	seen := make(map[string]bool, len(ids))
+	r := &Ring{
+		ids:    append([]string(nil), ids...),
+		points: make([]ringPoint, 0, len(ids)*ringReplicas),
+	}
+	for i, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("gateway: duplicate backend %q in ring", id)
+		}
+		seen[id] = true
+		for rep := 0; rep < ringReplicas; rep++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", id, rep)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		// A 64-bit collision between two backends' points is vanishingly
+		// rare but must still order deterministically, not by sort
+		// happenstance: tie-break on the backend identity.
+		return r.ids[pa.idx] < r.ids[pb.idx]
+	})
+	return r, nil
+}
+
+// ringHash is 64-bit FNV-1a: stable across processes, restarts and Go
+// versions (unlike maphash), which is exactly what derived-from-the-id
+// affinity requires.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Owner returns the backend identity owning key.
+func (r *Ring) Owner(key string) string { return r.ids[r.OwnerIndex(key)] }
+
+// OwnerIndex returns the index (into the NewRing id list) of the backend
+// owning key: binary search for the first ring point at or after the key's
+// hash, wrapping to the first point past the top of the circle.
+func (r *Ring) OwnerIndex(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].idx
+}
+
+// Members returns the ring's backend identities in registration order.
+func (r *Ring) Members() []string { return append([]string(nil), r.ids...) }

@@ -1,0 +1,137 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sampleIDs mints count deterministic 32-hex session-id-shaped keys.
+func sampleIDs(count int) []string {
+	ids := make([]string, count)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%032x", uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return ids
+}
+
+// TestRingDeterministicAcrossRebuilds pins the property qpgate's whole
+// affinity story rests on: ownership is a pure function of the membership
+// SET, so a ring rebuilt in a different order — a gateway restart, a
+// second gateway instance — routes every key identically.
+func TestRingDeterministicAcrossRebuilds(t *testing.T) {
+	members := []string{
+		"http://10.0.0.1:8370", "http://10.0.0.2:8370",
+		"http://10.0.0.3:8370", "http://10.0.0.4:8370",
+	}
+	r1, err := NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{members[2], members[0], members[3], members[1]}
+	r2, err := NewRing(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range sampleIDs(5000) {
+		if a, b := r1.Owner(id), r2.Owner(id); a != b {
+			t.Fatalf("key %s owned by %s in one build, %s in the reordered rebuild", id, a, b)
+		}
+	}
+}
+
+// TestRingRemapFraction pins consistent hashing's minimal-disruption
+// property over a sampled keyspace: removing one member of N remaps
+// exactly the keys that member owned (~1/N of them) and NO key owned by a
+// surviving member, and adding a member moves keys only TO the newcomer.
+func TestRingRemapFraction(t *testing.T) {
+	members := []string{
+		"http://10.0.0.1:8370", "http://10.0.0.2:8370",
+		"http://10.0.0.3:8370", "http://10.0.0.4:8370",
+	}
+	ids := sampleIDs(20000)
+
+	full, err := NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove the last member: survivors' keys must not move.
+	removed := members[3]
+	reduced, err := NewRing(members[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	remapped := 0
+	for _, id := range ids {
+		before, after := full.Owner(id), reduced.Owner(id)
+		if before != removed {
+			if after != before {
+				t.Fatalf("key %s owned by surviving %s moved to %s on removal of %s", id, before, after, removed)
+			}
+			continue
+		}
+		remapped++
+	}
+	frac := float64(remapped) / float64(len(ids))
+	// The removed member's share concentrates around 1/4 with 128 virtual
+	// points; a share outside [0.15, 0.35] means the ring is unbalanced.
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("removing 1 of 4 backends remapped %.1f%% of keys, want ~25%%", 100*frac)
+	}
+
+	// Add a member to the 3-ring: every moved key must land on the newcomer.
+	moved := 0
+	for _, id := range ids {
+		before, after := reduced.Owner(id), full.Owner(id)
+		if after != before {
+			if after != removed {
+				t.Fatalf("key %s moved %s -> %s on ADDING %s (keys may only move to the newcomer)",
+					id, before, after, removed)
+			}
+			moved++
+		}
+	}
+	if frac := float64(moved) / float64(len(ids)); frac < 0.15 || frac > 0.35 {
+		t.Fatalf("adding a 4th backend moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestRingRejectsDegenerateInput: an empty ring and duplicate identities
+// are configuration errors, not silent misroutes.
+func TestRingRejectsDegenerateInput(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring built without error")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+// TestNormalizeBackendURL pins the canonicalization two gateways must
+// agree on for their rings to match.
+func TestNormalizeBackendURL(t *testing.T) {
+	cases := []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{in: "http://127.0.0.1:8370", want: "http://127.0.0.1:8370"},
+		{in: "127.0.0.1:8370", want: "http://127.0.0.1:8370"},
+		{in: " HTTP://Host:8370/ ", want: "http://host:8370"},
+		{in: "https://h:1", want: "https://h:1"},
+		{in: "ftp://h:1", wantErr: true},
+		{in: "http://h:1/path", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := NormalizeBackendURL(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("NormalizeBackendURL(%q) = %q, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Fatalf("NormalizeBackendURL(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+}

@@ -66,6 +66,14 @@ func NewServer(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	// Readiness: once this mux is serving, the registry has finished its
+	// startup restore, so readiness is unconditionally true here. During
+	// restore the ReadyGate in front answers 503 instead (see ready.go);
+	// the gateway routes on this signal, /healthz stays pure liveness.
+	handle("GET /readyz", "readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 	handle("GET /metrics", "metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, reg)
@@ -125,16 +133,39 @@ func handleCreate(reg *Registry, w http.ResponseWriter, r *http.Request) {
 		MaxResults: req.Options.MaxResults,
 		MaxBytes:   req.Options.MaxBytes,
 	}
-	s, err := reg.Create(onto, opts)
+	s, err := reg.CreateWithID(req.SessionID, onto, opts)
 	if err != nil {
-		if errors.Is(err, qerr.ErrInternal) {
+		switch {
+		case errors.Is(err, qerr.ErrInternal):
 			writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
-			return
+		case errors.Is(err, qerr.ErrOverloaded):
+			// Capacity, not client data: a full session table answers 503 +
+			// Retry-After so retry-aware clients (and the gateway's create
+			// re-mint) treat it as transient.
+			markRequest(r.Context(), func(ri *reqInfo) { ri.shed = true })
+			secs := retryAfterSeconds(reg.retryAfter())
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeErrorEnvelope(w, http.StatusServiceUnavailable, api.Error{
+				Code:          api.CodeOverloaded,
+				Message:       err.Error(),
+				RetryAfterSec: secs,
+			})
+		default:
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		}
-		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, api.CreateSessionResponse{SessionID: s.ID})
+}
+
+// retryAfterSeconds rounds a Retry-After hint to whole seconds, never
+// below 1 (a zero header would tell clients to hammer).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func handleExamples(s *Session, w http.ResponseWriter, r *http.Request) {
@@ -453,10 +484,7 @@ func writeInferError(w http.ResponseWriter, r *http.Request, err error, retryAft
 	switch {
 	case errors.Is(err, qerr.ErrOverloaded):
 		markRequest(r.Context(), func(ri *reqInfo) { ri.shed = true })
-		secs := int(retryAfter.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
+		secs := retryAfterSeconds(retryAfter)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeErrorEnvelope(w, http.StatusTooManyRequests, api.Error{
 			Code:          api.CodeOverloaded,

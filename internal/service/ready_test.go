@@ -1,0 +1,155 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"questpro/internal/api"
+	"questpro/internal/core"
+	"questpro/internal/paperfix"
+	"questpro/internal/store"
+)
+
+// get issues one request against the gate and returns the recorder.
+func gateGet(t *testing.T, h http.Handler, method, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+	return rec
+}
+
+// TestReadyGateLargeRestore drives the startup-readiness protocol over a
+// populated data dir: while the registry is restoring, /readyz and every
+// API route answer 503 with the uniform api.Error envelope and a
+// Retry-After hint while /healthz stays 200; after the restore, /readyz
+// flips to 200 and every restored session is immediately servable.
+func TestReadyGateLargeRestore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate: a "large" data dir of 32 sessions, each with an ontology,
+	// an example-set and a finished inference in its snapshot.
+	const n = 32
+	seed := NewRegistry(Config{Store: st})
+	o := paperfix.Ontology()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := seed.Create(o, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetExamples(context.Background(), paperfix.Explanations(o)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if _, err := s.Infer(context.Background(), "union"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ids = append(ids, s.ID)
+	}
+	seed.Close() // flushes and closes the store
+
+	// Restart: the gate fronts the listener before NewRegistry runs.
+	gate := NewReadyGate(2 * time.Second)
+
+	if rec := gateGet(t, gate, "GET", "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz while restoring = %d, want 200 (liveness must not wait on readiness)", rec.Code)
+	}
+	for _, path := range []string{"/readyz", "/v1/sessions/" + ids[0] + "/stats"} {
+		rec := gateGet(t, gate, "GET", path)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s while restoring = %d, want 503", path, rec.Code)
+		}
+		if ra := rec.Header().Get("Retry-After"); ra == "" {
+			t.Fatalf("GET %s while restoring carries no Retry-After", path)
+		}
+		var e api.Error
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("GET %s while restoring: body is not the api.Error envelope: %v\n%s", path, err, rec.Body)
+		}
+		if e.Code != api.CodeUnavailable || e.RetryAfterSec < 1 {
+			t.Fatalf("GET %s while restoring: envelope = %+v, want code %q with retry hint", path, e, api.CodeUnavailable)
+		}
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(Config{Store: st2})
+	defer reg.Close()
+	if got := reg.Metrics().SnapshotRestores; got != n {
+		t.Fatalf("restored %d sessions, want %d", got, n)
+	}
+	gate.Ready(NewServer(reg))
+
+	if rec := gateGet(t, gate, "GET", "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz after restore = %d, want 200", rec.Code)
+	}
+	for _, id := range ids {
+		if rec := gateGet(t, gate, "GET", "/v1/sessions/"+id+"/stats"); rec.Code != http.StatusOK {
+			t.Fatalf("stats of restored session %s = %d, want 200", id, rec.Code)
+		}
+	}
+}
+
+// TestCreateSessionWithID pins the gateway-affinity create path: a
+// caller-minted id is honored verbatim, a malformed one is a 400, a
+// duplicate is a 400, and a full registry sheds the create with 503 +
+// Retry-After instead of blaming the client with a 4xx it would never
+// retry.
+func TestCreateSessionWithID(t *testing.T) {
+	reg := newTestRegistry(t, Config{MaxSessions: 2})
+	h := NewServer(reg)
+	onto := `<a> <p> <b> .`
+
+	post := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/sessions", io.NopCloser(strings.NewReader(body)))
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	const id = "0123456789abcdef0123456789abcdef"
+	rec := post(`{"ontology":"` + onto + `","session_id":"` + id + `"}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create with id = %d: %s", rec.Code, rec.Body)
+	}
+	var resp api.CreateSessionResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.SessionID != id {
+		t.Fatalf("create with id returned %q, want %q (err %v)", resp.SessionID, id, err)
+	}
+
+	if rec := post(`{"ontology":"` + onto + `","session_id":"UPPERCASE-not-hex-and-wrong-len"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed id = %d, want 400", rec.Code)
+	}
+	if rec := post(`{"ontology":"` + onto + `","session_id":"` + id + `"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("duplicate id = %d, want 400", rec.Code)
+	}
+
+	// Fill the table (one slot left), then overflow: 503 + Retry-After.
+	if rec := post(`{"ontology":"` + onto + `"}`); rec.Code != http.StatusCreated {
+		t.Fatalf("second create = %d", rec.Code)
+	}
+	rec = post(`{"ontology":"` + onto + `"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("create beyond the session limit = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("session-limit 503 carries no Retry-After")
+	}
+	var e api.Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != api.CodeOverloaded {
+		t.Fatalf("session-limit envelope = %+v (err %v), want code %q", e, err, api.CodeOverloaded)
+	}
+}

@@ -290,24 +290,60 @@ func newID() (string, error) {
 // Create registers a session over the ontology with the given inference
 // options (validated here, at the service boundary).
 func (r *Registry) Create(onto *graph.Graph, opts core.Options) (*Session, error) {
+	return r.CreateWithID("", onto, opts)
+}
+
+// ValidSessionID reports whether id has the canonical session-identifier
+// shape: 32 lowercase hex characters (the encoding newID produces). The
+// qpgate gateway mints ids client-side so consistent-hash affinity derives
+// from the id; the format gate keeps externally minted ids in the same
+// keyspace.
+func ValidSessionID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// CreateWithID registers a session under a caller-minted identifier (the
+// gateway's shard-affinity path; see api.CreateSessionRequest.SessionID).
+// An empty id mints one server-side. A full registry fails with an error
+// matching qerr.ErrOverloaded, which the HTTP layer serves as 503 +
+// Retry-After — capacity exhaustion is a retryable service condition, not
+// a client mistake.
+func (r *Registry) CreateWithID(id string, onto *graph.Graph, opts core.Options) (*Session, error) {
 	if onto == nil || onto.NumNodes() == 0 {
 		return nil, fmt.Errorf("service: empty ontology")
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
-	id, err := newID()
-	if err != nil {
-		return nil, err
+	if id == "" {
+		var err error
+		if id, err = newID(); err != nil {
+			return nil, err
+		}
+	} else if !ValidSessionID(id) {
+		return nil, fmt.Errorf("service: session id must be 32 lowercase hex characters")
 	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("service: registry is closed")
 	}
+	if _, dup := r.sessions[id]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("service: session %s already exists", id)
+	}
 	if len(r.sessions) >= r.cfg.MaxSessions {
 		r.mu.Unlock()
-		return nil, fmt.Errorf("service: session limit %d reached", r.cfg.MaxSessions)
+		return nil, fmt.Errorf("service: session limit %d reached: %w", r.cfg.MaxSessions, qerr.ErrOverloaded)
 	}
 	s := newSession(r, id, onto, opts)
 	r.sessions[s.ID] = s

@@ -1,0 +1,458 @@
+// Package soak drives concurrent simulated feedback dialogues against a
+// questprod deployment — usually through the qpgate gateway — and checks
+// every inferred query against a control run on a direct single backend.
+// It is the shared engine of cmd/qpsoak (the CLI soak harness), the
+// kill-restart soak test, and cmd/qpbench's gateway-scaling benchmark.
+//
+// Each dialogue replays the paper's running example end to end: create a
+// session, submit the explanations, run a top-k inference, then answer the
+// membership questions of Algorithm 3 following a deterministic per-
+// dialogue answer pattern, pausing Think between turns like an interactive
+// user would. The final SPARQL must be byte-identical to the control
+// transcript for the same pattern — a gateway that misroutes, drops, or
+// double-applies a message fails this check, not just a latency budget.
+//
+// The driver survives shard kill-restarts: every non-answer step retries
+// through the shedding 503s a recovering fleet emits, and answers — the
+// one non-idempotent message, where a blind retry could consume the answer
+// twice — go through a non-retrying client plus an explicit resync: on any
+// failure the driver re-reads the idempotent pending question and matches
+// it against the control transcript to learn whether the answer was
+// applied or lost.
+package soak
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"questpro/internal/api"
+	qpclient "questpro/internal/client"
+	"questpro/internal/ntriples"
+	"questpro/internal/paperfix"
+)
+
+// Config configures one soak run.
+type Config struct {
+	// TargetURL is the base URL all dialogues are driven against (the
+	// gateway; a direct backend works too).
+	TargetURL string
+	// ControlURL is the direct single-backend base URL the control
+	// transcripts are computed on before the run. Empty selects
+	// TargetURL — self-consistency instead of an independent control.
+	ControlURL string
+	// Dialogues is the total number of dialogues to complete.
+	Dialogues int
+	// Concurrency is how many dialogues run at once.
+	Concurrency int
+	// Think is the simulated user's pause after each question (also
+	// applied between the setup steps). Zero means as-fast-as-possible.
+	Think time.Duration
+	// Patterns is how many distinct answer patterns the dialogues cycle
+	// through (default 4). Each pattern gets one control transcript.
+	Patterns int
+	// Seed derives the answer patterns and client jitter.
+	Seed int64
+	// DialogueTimeout bounds one dialogue end to end, retries and
+	// kill-restart recovery included (default 2 minutes).
+	DialogueTimeout time.Duration
+	// KeepSessions leaves finished sessions on their shards. Default
+	// false: each dialogue deletes its session, returning the slot to the
+	// shard — the behavior a capacity-model benchmark needs.
+	KeepSessions bool
+	// HTTPClient overrides the pooled transport shared by every worker.
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Transcript is one answer pattern's expected dialogue: the exact question
+// sequence and the final SPARQL.
+type Transcript struct {
+	Pattern   uint64   `json:"pattern"`
+	Questions []string `json:"questions"`
+	SPARQL    string   `json:"sparql"`
+}
+
+// Report is the outcome of a soak run.
+type Report struct {
+	Dialogues  int `json:"dialogues"`
+	Completed  int `json:"completed"`
+	Failed     int `json:"failed"`
+	Mismatched int `json:"mismatched"` // completed but diverged from control
+
+	Resyncs int64 `json:"resyncs"` // answers recovered via the pending-resync protocol
+	Retries int64 `json:"retries"` // client-level retries across all dialogues
+
+	WallMs         float64 `json:"wall_ms"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	P50Ms          float64 `json:"p50_ms"` // dialogue completion latency
+	P99Ms          float64 `json:"p99_ms"`
+
+	Errors []string `json:"errors,omitempty"` // first few failure messages
+}
+
+// splitmix64 is the pattern/word mixer (same constant family the ring's
+// sample tests use); deterministic across runs and platforms.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// patternWord derives answer pattern p's bit word from the run seed.
+func patternWord(seed int64, p int) uint64 {
+	return splitmix64(uint64(seed)*0x100000001b3 + uint64(p))
+}
+
+// answerAt is pattern word's answer for question i (include/exclude).
+func answerAt(word uint64, i int) bool {
+	return (word>>(uint(i)%64))&1 == 1
+}
+
+// maxQuestions caps a dialogue; the paperfix dialogues converge in a
+// handful of questions, so hitting this means the protocol went off the
+// rails, not that the user was patient.
+const maxQuestions = 64
+
+// wireOntology / wireExamples render the paper's running example for the
+// HTTP API.
+func wireOntology() string { return ntriples.Format(paperfix.Ontology()) }
+
+func wireExamples() []api.Example {
+	o := paperfix.Ontology()
+	var exs []api.Example
+	for _, e := range paperfix.Explanations(o) {
+		exs = append(exs, api.Example{
+			Triples:       ntriples.Format(e.Graph),
+			Distinguished: e.DistinguishedValue(),
+		})
+	}
+	return exs
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.ControlURL == "" {
+		cfg.ControlURL = cfg.TargetURL
+	}
+	if cfg.Patterns <= 0 {
+		cfg.Patterns = 4
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.DialogueTimeout <= 0 {
+		cfg.DialogueTimeout = 2 * time.Minute
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Transport: qpclient.NewTransport(0)}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return cfg
+}
+
+// newClient builds a retrying client against base. seed staggers jitter
+// between workers.
+func newClient(cfg *Config, base string, retries int, seed int64) *qpclient.Client {
+	return qpclient.New(qpclient.Config{
+		BaseURL:        base,
+		MaxRetries:     retries,
+		BaseDelay:      25 * time.Millisecond,
+		MaxDelay:       2 * time.Second,
+		AttemptTimeout: 30 * time.Second,
+		Seed:           seed,
+		HTTPClient:     cfg.HTTPClient,
+	})
+}
+
+// ControlTranscripts computes the expected dialogue for each answer
+// pattern by driving it once against the control backend, think-free.
+func ControlTranscripts(ctx context.Context, cfg Config) ([]Transcript, error) {
+	cfg = cfg.withDefaults()
+	out := make([]Transcript, cfg.Patterns)
+	for p := range out {
+		word := patternWord(cfg.Seed, p)
+		cl := newClient(&cfg, cfg.ControlURL, 4, cfg.Seed+int64(p))
+		tr, _, err := driveDialogue(ctx, cl, cl, word, nil, 0, !cfg.KeepSessions)
+		if err != nil {
+			return nil, fmt.Errorf("soak: control dialogue for pattern %d: %w", p, err)
+		}
+		out[p] = tr
+	}
+	return out, nil
+}
+
+// Run executes the soak: control transcripts first, then Dialogues
+// dialogues across Concurrency workers, each verified turn by turn
+// against its pattern's transcript.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	controls, err := ControlTranscripts(ctx, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	cfg.Logf("soak: %d control transcripts computed (%d..%d questions)",
+		len(controls), minQuestions(controls), maxQuestionsOf(controls))
+
+	var (
+		mu        sync.Mutex
+		completed int
+		failed    int
+		mismatch  int
+		durations []time.Duration
+		errs      []string
+		resyncs   atomic.Int64
+		retries   atomic.Int64
+	)
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < cfg.Dialogues; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				p := i % cfg.Patterns
+				word := patternWord(cfg.Seed, p)
+				dctx, cancel := context.WithTimeout(ctx, cfg.DialogueTimeout)
+				cl := newClient(&cfg, cfg.TargetURL, 8, cfg.Seed+int64(i)*7919)
+				raw := newClient(&cfg, cfg.TargetURL, 0, cfg.Seed+int64(i)*104729)
+				t0 := time.Now()
+				_, nresync, err := driveDialogue(dctx, cl, raw, word, &controls[p], cfg.Think, !cfg.KeepSessions)
+				d := time.Since(t0)
+				cancel()
+				resyncs.Add(nresync)
+				retries.Add(cl.Retries())
+
+				mu.Lock()
+				if err != nil {
+					failed++
+					if errors.Is(err, errTranscriptDiverged) {
+						mismatch++
+					}
+					if len(errs) < 8 {
+						errs = append(errs, fmt.Sprintf("dialogue %d (pattern %d): %v", i, p, err))
+					}
+				} else {
+					completed++
+					durations = append(durations, d)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := Report{
+		Dialogues:  cfg.Dialogues,
+		Completed:  completed,
+		Failed:     failed,
+		Mismatched: mismatch,
+		Resyncs:    resyncs.Load(),
+		Retries:    retries.Load(),
+		WallMs:     float64(wall.Milliseconds()),
+		Errors:     errs,
+	}
+	if wall > 0 {
+		rep.SessionsPerSec = float64(completed) / wall.Seconds()
+	}
+	rep.P50Ms, rep.P99Ms = percentiles(durations)
+	return rep, nil
+}
+
+// errTranscriptDiverged marks a completed-but-wrong dialogue: the fleet
+// answered, but not with the control's questions or query.
+var errTranscriptDiverged = errors.New("soak: dialogue diverged from the control transcript")
+
+// driveDialogue runs one full dialogue. want == nil records a transcript
+// (control mode); otherwise every question and the final SPARQL are
+// checked against it. cl is the retrying client for the idempotent-ish
+// steps; raw (no retries) carries the answers, with the resync protocol
+// recovering lost or ambiguous ones. Returns the observed transcript and
+// how many answers needed a resync.
+func driveDialogue(ctx context.Context, cl, raw *qpclient.Client, word uint64, want *Transcript, think time.Duration, deleteAfter bool) (Transcript, int64, error) {
+	got := Transcript{Pattern: word}
+
+	id, err := cl.CreateSession(ctx, wireOntology(), nil)
+	if err != nil {
+		return got, 0, fmt.Errorf("create: %w", err)
+	}
+	if deleteAfter {
+		// Free the shard's session slot whatever happens — the capacity
+		// model depends on slots cycling. Best effort: an unreachable
+		// shard's TTL janitor cleans up eventually.
+		defer func() {
+			dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = cl.DeleteSession(dctx, id)
+		}()
+	}
+	if think > 0 {
+		if err := sleepCtx(ctx, think); err != nil {
+			return got, 0, err
+		}
+	}
+	if err := cl.SetExamples(ctx, id, wireExamples()); err != nil {
+		return got, 0, fmt.Errorf("examples: %w", err)
+	}
+	if _, err := cl.Infer(ctx, id, "topk", 0); err != nil {
+		return got, 0, fmt.Errorf("infer: %w", err)
+	}
+
+	// Start the dialogue. A failed start is recovered through the pending
+	// read: if a question is pending, the start WAS applied.
+	ev, err := cl.StartFeedback(ctx, id, 0)
+	if err != nil {
+		if pend, perr := cl.PendingFeedback(ctx, id); perr == nil {
+			ev = pend
+		} else {
+			return got, 0, fmt.Errorf("feedback start: %w (pending read: %v)", err, perr)
+		}
+	}
+
+	var resyncs int64
+	for i := 0; !ev.Done; i++ {
+		if i >= maxQuestions {
+			return got, resyncs, fmt.Errorf("dialogue did not converge in %d questions", maxQuestions)
+		}
+		got.Questions = append(got.Questions, ev.Result)
+		if want != nil {
+			if i >= len(want.Questions) || ev.Result != want.Questions[i] {
+				return got, resyncs, fmt.Errorf("%w: question %d = %q, control asked %q",
+					errTranscriptDiverged, i, ev.Result, questionAt(want, i))
+			}
+		}
+		if think > 0 {
+			if err := sleepCtx(ctx, think); err != nil {
+				return got, resyncs, err
+			}
+		}
+
+		include := answerAt(word, i)
+		ev, err = raw.AnswerFeedback(ctx, id, include)
+		if err == nil {
+			continue
+		}
+		// The answer failed — applied or lost, we cannot know from the
+		// error alone (the shard may have been killed mid-request). The
+		// pending question, an idempotent read the retrying client can
+		// hammer through the recovery 503s, disambiguates: still question
+		// i → the answer was lost, re-send; question i+1 (or Done) → it
+		// was applied, move on. Control mode (want == nil) cannot
+		// disambiguate a repeated question text, so it fails instead —
+		// controls run against a healthy direct backend where a lost
+		// answer is already an error.
+		resyncs++
+		for {
+			pend, perr := cl.PendingFeedback(ctx, id)
+			if perr != nil {
+				return got, resyncs, fmt.Errorf("answer %d: %w; resync failed: %v", i, err, perr)
+			}
+			if pend.Done {
+				ev = pend
+				break
+			}
+			if want == nil {
+				return got, resyncs, fmt.Errorf("answer %d failed in control mode: %w", i, err)
+			}
+			if pend.Result == want.Questions[i] {
+				// Not applied: re-send, then re-read.
+				if ev, err = raw.AnswerFeedback(ctx, id, include); err == nil {
+					break
+				}
+				if serr := sleepCtx(ctx, 50*time.Millisecond); serr != nil {
+					return got, resyncs, serr
+				}
+				continue
+			}
+			if i+1 < len(want.Questions) && pend.Result == want.Questions[i+1] {
+				ev = pend // applied; the pending read IS the next question
+				break
+			}
+			return got, resyncs, fmt.Errorf("%w: after failed answer %d the pending question is %q",
+				errTranscriptDiverged, i, pend.Result)
+		}
+	}
+
+	if ev.SPARQL == "" {
+		return got, resyncs, fmt.Errorf("dialogue decided without a query")
+	}
+	got.SPARQL = ev.SPARQL
+	if want != nil && got.SPARQL != want.SPARQL {
+		return got, resyncs, fmt.Errorf("%w: final SPARQL differs\n got: %s\nwant: %s",
+			errTranscriptDiverged, got.SPARQL, want.SPARQL)
+	}
+	return got, resyncs, nil
+}
+
+func questionAt(tr *Transcript, i int) string {
+	if i < len(tr.Questions) {
+		return tr.Questions[i]
+	}
+	return fmt.Sprintf("<nothing: control finished after %d questions>", len(tr.Questions))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func percentiles(ds []time.Duration) (p50Ms, p99Ms float64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i].Microseconds()) / 1000
+	}
+	return at(0.50), at(0.99)
+}
+
+func minQuestions(trs []Transcript) int {
+	m := maxQuestions
+	for _, tr := range trs {
+		if len(tr.Questions) < m {
+			m = len(tr.Questions)
+		}
+	}
+	return m
+}
+
+func maxQuestionsOf(trs []Transcript) int {
+	m := 0
+	for _, tr := range trs {
+		if len(tr.Questions) > m {
+			m = len(tr.Questions)
+		}
+	}
+	return m
+}
