@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos crash soak api-check snapshot-check cover bench bench-json bench-merge bench-obs-overhead bench-compare bench-partial bench-gateway profile experiments examples serve clean
+.PHONY: all build test race chaos crash soak obs-lint api-check snapshot-check cover bench bench-json bench-merge bench-obs-overhead bench-compare bench-partial bench-gateway profile experiments examples serve clean
 
 all: build test
 
@@ -16,12 +16,14 @@ build:
 	$(GO) build -o bin/questprod ./cmd/questprod
 	$(GO) build -o bin/qpgate ./cmd/qpgate
 	$(GO) build -o bin/qpsoak ./cmd/qpsoak
+	$(GO) build -o bin/qpobs ./cmd/qpobs
 
 test:
 	$(GO) vet ./...
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test ./...
+	@$(MAKE) --no-print-directory obs-lint
 	@$(MAKE) --no-print-directory api-check
 	@$(MAKE) --no-print-directory snapshot-check
 	@$(MAKE) --no-print-directory chaos
@@ -60,6 +62,13 @@ crash:
 # the long profile (more dialogues, more workers).
 soak:
 	$(GO) test -race -count=1 -run 'TestSoak' ./cmd/qpsoak/
+
+# Metric-naming gate (DESIGN.md §14): stand up an in-process questprod and
+# qpgate and lint their live /metrics (and the gateway's /metrics/fleet)
+# against the exposition contract — HELP/TYPE on every family, counters
+# ending in _total, gauges not. Runs inside `make test`.
+obs-lint:
+	$(GO) test -count=1 -run 'TestLint|TestLive' ./internal/obslint/
 
 # API-compatibility gate: the golden schema test of internal/api snapshots
 # the JSON contract (every field name, tag and type of every wire type plus

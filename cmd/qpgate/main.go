@@ -12,8 +12,14 @@
 //	qpgate -addr :8380 -backends http://127.0.0.1:8370,http://127.0.0.1:8371
 //
 // Endpoints: /healthz (gateway liveness), /readyz (200 once every backend
-// is Ready), /metrics (per-backend request/latency/error families), and
-// the proxied /v1/sessions tree.
+// is Ready), /metrics (per-backend request/latency/error families plus the
+// qpgate_slo_* burn-rate gauges), /metrics/fleet (every Ready backend's
+// /metrics scraped concurrently and merged into one exposition — fleet
+// sums plus per-backend series under a `backend` label — followed by the
+// gateway's own families), and the proxied /v1/sessions tree. Requests
+// carry X-Request-Id (honored or minted) and X-Qp-Trace downstream, so a
+// gateway-served GET /v1/sessions/{id}/trace returns one cross-tier span
+// forest (DESIGN.md §14).
 package main
 
 import (
@@ -49,6 +55,13 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	noTrace := flag.Bool("no-trace", false, "disable gateway.proxy span tracing (X-Request-Id is still honored/minted)")
+	traceRing := flag.Int("trace-ring", 0, "finished proxy spans retained per session for cross-tier trace assembly (0 = default 8)")
+	traceSessions := flag.Int("trace-sessions", 0, "sessions with retained proxy spans before LRU eviction (0 = default 1024)")
+	scrapeTimeout := flag.Duration("scrape-timeout", gateway.DefaultScrapeTimeout, "timeout of one backend /metrics scrape during /metrics/fleet aggregation")
+	sloWindow := flag.Duration("slo-window", gateway.DefaultSLOWindow, "rolling window of the qpgate_slo_* gauges")
+	sloAvailability := flag.Float64("slo-availability", gateway.DefaultAvailabilityTarget, "availability objective the burn rate is measured against (0 < target < 1)")
+	sloLatency := flag.Duration("slo-latency-objective", gateway.DefaultLatencyObjective, "p99 latency objective the latency burn rate is measured against")
 	// Mirrors of questprod's server hardening: the gateway's write window
 	// must outlast the slowest inference a backend is allowed (its own
 	// -write-timeout, default 15m), or qpgate would sever long inferences
@@ -87,11 +100,18 @@ func main() {
 		os.Exit(2)
 	}
 	gw := gateway.New(fleet, gateway.Config{
-		NotReadyHold:       *hold,
-		RetryAfter:         *retryAfter,
-		DialRetries:        *dialRetries,
-		MaxConnsPerBackend: *maxConns,
-		Logger:             logger,
+		NotReadyHold:          *hold,
+		RetryAfter:            *retryAfter,
+		DialRetries:           *dialRetries,
+		MaxConnsPerBackend:    *maxConns,
+		Logger:                logger,
+		DisableTracing:        *noTrace,
+		TraceRing:             *traceRing,
+		TraceSessions:         *traceSessions,
+		ScrapeTimeout:         *scrapeTimeout,
+		SLOWindow:             *sloWindow,
+		SLOAvailabilityTarget: *sloAvailability,
+		SLOLatencyObjective:   *sloLatency,
 	})
 
 	// Seed every backend's state synchronously so the first request after

@@ -1,0 +1,95 @@
+// Command qpobs is a live terminal console over a qpgate fleet: it polls
+// the gateway's GET /metrics/fleet (every Ready backend's metrics merged
+// with the gateway's own families, DESIGN.md §14) and renders one frame
+// per interval — per-backend state, request rate, shed/held/error
+// counters, live sessions, fleet p50/p99 from histogram deltas, and the
+// qpgate_slo_* burn rates an operator pages on.
+//
+//	qpobs -gateway http://127.0.0.1:8380 -interval 2s
+//
+// -once renders a single frame without clearing the screen (useful in
+// scripts and for piping into logs). Stdlib only, like everything else in
+// this repo: no curses, just ANSI clear-and-home between frames.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"questpro/internal/obs"
+)
+
+func main() {
+	gatewayURL := flag.String("gateway", "", "qpgate base URL to poll (required)")
+	interval := flag.Duration("interval", 2*time.Second, "polling interval between frames")
+	once := flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	timeout := flag.Duration("timeout", 10*time.Second, "timeout of one /metrics/fleet poll")
+	flag.Parse()
+
+	if *gatewayURL == "" {
+		fmt.Fprintln(os.Stderr, "qpobs: -gateway is required")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpc := &http.Client{}
+	var prev *Snapshot
+	for {
+		cur, err := poll(ctx, httpc, *gatewayURL, *timeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fmt.Fprintln(os.Stderr, "qpobs:", err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			frame := render(prev, cur)
+			if *once {
+				fmt.Print(frame)
+				return
+			}
+			// Clear screen, home the cursor, draw.
+			fmt.Print("\x1b[2J\x1b[H" + frame)
+			prev = cur
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// poll fetches and parses one /metrics/fleet scrape.
+func poll(ctx context.Context, httpc *http.Client, base string, timeout time.Duration) (*Snapshot, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics/fleet", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics/fleet: %s", resp.Status)
+	}
+	fams, err := obs.ParsePromText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parsing /metrics/fleet: %w", err)
+	}
+	return parseSnapshot(fams, time.Now()), nil
+}

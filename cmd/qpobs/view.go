@@ -1,0 +1,256 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"questpro/internal/obs"
+)
+
+// Snapshot is one parsed /metrics/fleet scrape reduced to what the console
+// shows: per-backend traffic ledgers, the fleet's live-session total, the
+// SLO gauges, and the merged proxy-latency histogram (cumulative, summed
+// over backends) that rate/quantile math diffs between frames.
+type Snapshot struct {
+	At       time.Time
+	Backends []BackendRow
+
+	SessionsActive float64 // questprod_sessions_active fleet sum
+
+	WindowRequests float64
+	AvailRatio     float64
+	AvailBurn      float64
+	LatencyBurn    float64
+	P99Seconds     float64
+
+	// Buckets maps le → cumulative observation count of
+	// qpgate_proxy_duration_seconds summed over backends; Count is the
+	// matching _count sum.
+	Buckets map[float64]float64
+	Count   float64
+}
+
+// BackendRow is one shard's line in the console.
+type BackendRow struct {
+	Name         string
+	State        string
+	Requests     float64
+	Errors       float64
+	Shed         float64
+	Held         float64
+	ScrapeErrors float64
+	Sessions     float64 // questprod_sessions_active{backend=...}
+}
+
+// parseSnapshot reduces parsed families to a Snapshot. Families the
+// exposition lacks (a young gateway, a fully dead fleet) simply leave
+// zeros — the console degrades, it does not error.
+func parseSnapshot(fams map[string]*obs.MetricFamily, at time.Time) *Snapshot {
+	s := &Snapshot{At: at, Buckets: make(map[float64]float64)}
+	rows := make(map[string]*BackendRow)
+	row := func(name string) *BackendRow {
+		r := rows[name]
+		if r == nil {
+			r = &BackendRow{Name: name}
+			rows[name] = r
+		}
+		return r
+	}
+
+	perBackend := func(family string, set func(*BackendRow, float64)) {
+		mf := fams[family]
+		if mf == nil {
+			return
+		}
+		for _, smp := range mf.Samples {
+			if b := smp.Labels["backend"]; b != "" {
+				set(row(b), smp.Value)
+			}
+		}
+	}
+	perBackend("qpgate_requests_total", func(r *BackendRow, v float64) { r.Requests += v })
+	perBackend("qpgate_proxy_errors_total", func(r *BackendRow, v float64) { r.Errors += v })
+	perBackend("qpgate_shed_total", func(r *BackendRow, v float64) { r.Shed += v })
+	perBackend("qpgate_held_total", func(r *BackendRow, v float64) { r.Held += v })
+	perBackend("qpgate_fleet_scrape_errors_total", func(r *BackendRow, v float64) { r.ScrapeErrors += v })
+	perBackend("questprod_sessions_active", func(r *BackendRow, v float64) { r.Sessions += v })
+
+	if mf := fams["qpgate_backend_state"]; mf != nil {
+		for _, smp := range mf.Samples {
+			if smp.Value == 1 {
+				row(smp.Labels["backend"]).State = smp.Labels["state"]
+			}
+		}
+	}
+	if mf := fams["questprod_sessions_active"]; mf != nil {
+		for _, smp := range mf.Samples {
+			if smp.Labels["backend"] == "" {
+				s.SessionsActive += smp.Value
+			}
+		}
+	}
+
+	gauge := func(name string) float64 {
+		if mf := fams[name]; mf != nil {
+			if v, ok := mf.Value(); ok {
+				return v
+			}
+		}
+		return 0
+	}
+	s.WindowRequests = gauge("qpgate_slo_window_requests")
+	s.AvailRatio = gauge("qpgate_slo_availability_ratio")
+	s.AvailBurn = gauge("qpgate_slo_availability_burn_rate")
+	s.LatencyBurn = gauge("qpgate_slo_latency_burn_rate")
+	s.P99Seconds = gauge("qpgate_slo_p99_seconds")
+
+	if mf := fams["qpgate_proxy_duration_seconds"]; mf != nil {
+		for _, smp := range mf.Samples {
+			switch {
+			case strings.HasSuffix(smp.Name, "_bucket"):
+				if le, err := strconv.ParseFloat(smp.Labels["le"], 64); err == nil {
+					s.Buckets[le] += smp.Value
+				}
+			case strings.HasSuffix(smp.Name, "_count"):
+				s.Count += smp.Value
+			}
+		}
+	}
+
+	for _, r := range rows {
+		if r.State == "" {
+			r.State = "Unknown"
+		}
+		s.Backends = append(s.Backends, *r)
+	}
+	sort.Slice(s.Backends, func(i, j int) bool { return s.Backends[i].Name < s.Backends[j].Name })
+	return s
+}
+
+// totalRequests sums proxied requests across backends.
+func (s *Snapshot) totalRequests() float64 {
+	var t float64
+	for _, r := range s.Backends {
+		t += r.Requests
+	}
+	return t
+}
+
+// quantileDelta computes quantile q of the latency observed BETWEEN two
+// snapshots: cumulative buckets are diffed, then walked. Returns 0 when no
+// observations landed in the interval.
+func quantileDelta(prev, cur *Snapshot, q float64) float64 {
+	type bk struct{ le, n float64 }
+	var bks []bk
+	var total float64
+	for le, n := range cur.Buckets {
+		d := n
+		if prev != nil {
+			d -= prev.Buckets[le]
+		}
+		if d < 0 {
+			d = 0 // counter reset (gateway restart)
+		}
+		bks = append(bks, bk{le, d})
+	}
+	sort.Slice(bks, func(i, j int) bool { return bks[i].le < bks[j].le })
+	if len(bks) == 0 {
+		return 0
+	}
+	// Buckets are cumulative within one snapshot, so their DIFFERENCE is
+	// cumulative too; the interval's total is the +Inf (largest le) delta.
+	total = bks[len(bks)-1].n
+	if total == 0 {
+		return 0
+	}
+	need := q * total
+	for _, b := range bks {
+		if b.n >= need {
+			return b.le
+		}
+	}
+	return bks[len(bks)-1].le
+}
+
+// fmtSeconds renders a latency compactly: µs/ms/s by magnitude.
+func fmtSeconds(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v < 0.001:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}
+
+// render draws one console frame from the previous and current snapshots.
+// prev == nil (the first frame) renders totals without rates.
+func render(prev, cur *Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "qpobs — fleet of %d backend(s), %s\n",
+		len(cur.Backends), cur.At.Format("15:04:05"))
+
+	elapsed := 0.0
+	if prev != nil {
+		elapsed = cur.At.Sub(prev.At).Seconds()
+	}
+	rate := func(curV, prevV float64) string {
+		if prev == nil || elapsed <= 0 {
+			return "-"
+		}
+		d := curV - prevV
+		if d < 0 {
+			d = 0
+		}
+		return fmt.Sprintf("%.1f/s", d/elapsed)
+	}
+
+	fmt.Fprintf(&b, "fleet: %s req  sessions %.0f  p50 %s  p99 %s\n",
+		rate(cur.totalRequests(), prevTotal(prev)),
+		cur.SessionsActive,
+		fmtSeconds(quantileDelta(prev, cur, 0.50)),
+		fmtSeconds(quantileDelta(prev, cur, 0.99)))
+	fmt.Fprintf(&b, "slo:   window %.0f req  avail %.4f  burn %.2f  latency burn %.2f  p99(win) %s\n",
+		cur.WindowRequests, cur.AvailRatio, cur.AvailBurn, cur.LatencyBurn, fmtSeconds(cur.P99Seconds))
+
+	fmt.Fprintf(&b, "%-40s %-9s %9s %7s %6s %6s %7s %9s\n",
+		"BACKEND", "STATE", "REQ/S", "SESS", "SHED", "HELD", "ERRS", "SCRAPEERR")
+	for _, r := range cur.Backends {
+		var pr BackendRow
+		if prev != nil {
+			for _, p := range prev.Backends {
+				if p.Name == r.Name {
+					pr = p
+					break
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-40s %-9s %9s %7.0f %6.0f %6.0f %7.0f %9.0f\n",
+			trimName(r.Name), r.State, rate(r.Requests, pr.Requests),
+			r.Sessions, r.Shed, r.Held, r.Errors, r.ScrapeErrors)
+	}
+	return b.String()
+}
+
+func prevTotal(prev *Snapshot) float64 {
+	if prev == nil {
+		return 0
+	}
+	return prev.totalRequests()
+}
+
+// trimName keeps backend URLs readable in the fixed-width column.
+func trimName(name string) string {
+	name = strings.TrimPrefix(name, "http://")
+	name = strings.TrimPrefix(name, "https://")
+	if len(name) > 40 {
+		name = name[:37] + "..."
+	}
+	return name
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"questpro/internal/obs"
+)
+
+// cannedFleet renders a minimal but strictly-parseable /metrics/fleet
+// document for one backend at a given cumulative state.
+func cannedFleet(requests, shed float64, b1, b2, binf float64) string {
+	var sb strings.Builder
+	w := func(help, typ, name string, lines ...string) {
+		sb.WriteString("# HELP " + name + " " + help + "\n")
+		sb.WriteString("# TYPE " + name + " " + typ + "\n")
+		for _, l := range lines {
+			sb.WriteString(l + "\n")
+		}
+	}
+	w("Requests.", "counter", "qpgate_requests_total",
+		fmt.Sprintf(`qpgate_requests_total{backend="http://a:1"} %g`, requests))
+	w("Shed.", "counter", "qpgate_shed_total",
+		fmt.Sprintf(`qpgate_shed_total{backend="http://a:1"} %g`, shed))
+	w("Held.", "counter", "qpgate_held_total",
+		`qpgate_held_total{backend="http://a:1"} 2`)
+	w("Errors.", "counter", "qpgate_proxy_errors_total",
+		`qpgate_proxy_errors_total{backend="http://a:1"} 1`)
+	w("State.", "gauge", "qpgate_backend_state",
+		`qpgate_backend_state{backend="http://a:1",state="Ready"} 1`,
+		`qpgate_backend_state{backend="http://a:1",state="Down"} 0`)
+	w("Sessions.", "gauge", "questprod_sessions_active",
+		`questprod_sessions_active 5`,
+		`questprod_sessions_active{backend="http://a:1"} 5`)
+	w("Window.", "gauge", "qpgate_slo_window_requests", `qpgate_slo_window_requests 100`)
+	w("Avail.", "gauge", "qpgate_slo_availability_ratio", `qpgate_slo_availability_ratio 0.98`)
+	w("Burn.", "gauge", "qpgate_slo_availability_burn_rate", `qpgate_slo_availability_burn_rate 20`)
+	w("LBurn.", "gauge", "qpgate_slo_latency_burn_rate", `qpgate_slo_latency_burn_rate 10`)
+	w("P99.", "gauge", "qpgate_slo_p99_seconds", `qpgate_slo_p99_seconds 0.5`)
+	w("Latency.", "histogram", "qpgate_proxy_duration_seconds",
+		fmt.Sprintf(`qpgate_proxy_duration_seconds_bucket{backend="http://a:1",le="0.001"} %g`, b1),
+		fmt.Sprintf(`qpgate_proxy_duration_seconds_bucket{backend="http://a:1",le="0.5"} %g`, b2),
+		fmt.Sprintf(`qpgate_proxy_duration_seconds_bucket{backend="http://a:1",le="+Inf"} %g`, binf),
+		fmt.Sprintf(`qpgate_proxy_duration_seconds_sum{backend="http://a:1"} %g`, binf*0.01),
+		fmt.Sprintf(`qpgate_proxy_duration_seconds_count{backend="http://a:1"} %g`, binf))
+	return sb.String()
+}
+
+func parseDoc(t *testing.T, doc string, at time.Time) *Snapshot {
+	t.Helper()
+	fams, err := obs.ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("canned exposition does not parse: %v\n%s", err, doc)
+	}
+	return parseSnapshot(fams, at)
+}
+
+func TestSnapshotAndRates(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	// prev: 100 requests, buckets 90/98/100. cur (1s later): 110 requests,
+	// buckets 95/108/110: the interval's 10 observations split 5 under 1ms
+	// and 5 more under 500ms — p50 = 1ms bound, p99 = 500ms bound.
+	prev := parseDoc(t, cannedFleet(100, 3, 90, 98, 100), t0)
+	cur := parseDoc(t, cannedFleet(110, 3, 95, 108, 110), t0.Add(time.Second))
+
+	if len(cur.Backends) != 1 {
+		t.Fatalf("backends = %d, want 1", len(cur.Backends))
+	}
+	row := cur.Backends[0]
+	if row.Name != "http://a:1" || row.State != "Ready" {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Requests != 110 || row.Shed != 3 || row.Held != 2 || row.Errors != 1 {
+		t.Fatalf("counters = %+v", row)
+	}
+	if row.Sessions != 5 || cur.SessionsActive != 5 {
+		t.Fatalf("sessions: row %v fleet %v", row.Sessions, cur.SessionsActive)
+	}
+	if cur.WindowRequests != 100 || cur.AvailBurn != 20 || cur.LatencyBurn != 10 {
+		t.Fatalf("slo gauges = %+v", cur)
+	}
+
+	if got := quantileDelta(prev, cur, 0.50); got != 0.001 {
+		t.Fatalf("p50 of the interval = %v, want 0.001", got)
+	}
+	if got := quantileDelta(prev, cur, 0.99); got != 0.5 {
+		t.Fatalf("p99 of the interval = %v, want 0.5", got)
+	}
+
+	frame := render(prev, cur)
+	for _, want := range []string{
+		"a:1", "Ready", "10.0/s", // request rate from counter deltas
+		"p50 1.0ms", "p99 500.0ms", // latency from histogram deltas
+		"burn 20.00", "latency burn 10.00", "avail 0.9800",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame lacks %q:\n%s", want, frame)
+		}
+	}
+}
+
+func TestRenderFirstFrameHasNoRates(t *testing.T) {
+	cur := parseDoc(t, cannedFleet(110, 3, 95, 108, 110), time.Unix(1000, 0))
+	frame := render(nil, cur)
+	if !strings.Contains(frame, "- req") {
+		t.Fatalf("first frame should render rate placeholders:\n%s", frame)
+	}
+	// Without a previous frame the quantiles fall back to the full
+	// cumulative distribution, which is still well-defined.
+	if !strings.Contains(frame, "p99") {
+		t.Fatalf("first frame lacks latency line:\n%s", frame)
+	}
+}
+
+func TestQuantileDeltaCounterReset(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	prev := parseDoc(t, cannedFleet(100, 0, 90, 98, 100), t0)
+	cur := parseDoc(t, cannedFleet(5, 0, 3, 4, 5), t0.Add(time.Second)) // gateway restarted
+	if got := quantileDelta(prev, cur, 0.99); got != 0 {
+		t.Fatalf("quantile after counter reset = %v, want 0 (clamped)", got)
+	}
+}

@@ -39,6 +39,8 @@ func main() {
 	timeout := flag.Duration("dialogue-timeout", 2*time.Minute, "per-dialogue deadline, retries and shard recovery included")
 	keep := flag.Bool("keep-sessions", false, "leave finished sessions on their shards instead of deleting them")
 	maxFailed := flag.Int("max-failed", 0, "largest acceptable number of failed dialogues")
+	verifyTrace := flag.Bool("verify-trace", false,
+		"after the soak, drive one extra dialogue and fail unless the target's trace endpoint returns a linked cross-tier span forest (requires -target to be a qpgate with tracing on)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
 	flag.Parse()
 
@@ -85,5 +87,14 @@ func main() {
 	if rep.Failed > *maxFailed {
 		fmt.Fprintf(os.Stderr, "qpsoak: %d dialogue(s) failed (budget %d)\n", rep.Failed, *maxFailed)
 		os.Exit(1)
+	}
+	if *verifyTrace {
+		if err := soak.VerifyTraceContinuity(ctx, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "qpsoak:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "qpsoak: cross-tier trace continuity verified")
+		}
 	}
 }

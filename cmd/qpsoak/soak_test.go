@@ -312,6 +312,16 @@ func TestSoakKillRestart(t *testing.T) {
 	if rep.Completed != dialogues {
 		t.Fatalf("completed %d of %d dialogues", rep.Completed, dialogues)
 	}
+
+	// With the fleet healthy again, the cross-tier trace contract must hold
+	// through the real binaries: a fresh dialogue's gateway-served trace
+	// links the backend's inference root under a retained gateway.proxy
+	// span by request id (DESIGN.md §14).
+	vctx, vcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer vcancel()
+	if err := soak.VerifyTraceContinuity(vctx, soak.Config{TargetURL: gw.base, Seed: 1}); err != nil {
+		t.Fatalf("trace continuity through the gateway: %v\ngateway logs:\n%s", err, gw.logs)
+	}
 }
 
 // TestSoakDirectBackend pins the driver itself against a healthy single

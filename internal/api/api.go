@@ -270,13 +270,19 @@ type SessionStatsResponse struct {
 // internal/obs.Node, declared here so the trace shape is part of the
 // versioned contract.
 type TraceNode struct {
-	Kind        string            `json:"kind"`
-	StartUnixNs int64             `json:"start_unix_ns"`
-	DurationNs  int64             `json:"duration_ns"`
-	Outcome     string            `json:"outcome,omitempty"`
-	Counters    map[string]int64  `json:"counters,omitempty"`
-	Labels      map[string]string `json:"labels,omitempty"`
-	Children    []*TraceNode      `json:"children,omitempty"`
+	Kind string `json:"kind"`
+	// SpanID identifies the span across process boundaries; ParentSpanID,
+	// when present, is the SpanID of a span in ANOTHER tier's trace (the
+	// gateway's proxy span above a backend session root). In-tree
+	// parent/child structure stays implicit in Children.
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	StartUnixNs  int64             `json:"start_unix_ns"`
+	DurationNs   int64             `json:"duration_ns"`
+	Outcome      string            `json:"outcome,omitempty"`
+	Counters     map[string]int64  `json:"counters,omitempty"`
+	Labels       map[string]string `json:"labels,omitempty"`
+	Children     []*TraceNode      `json:"children,omitempty"`
 }
 
 // TraceResponse serves GET /v1/sessions/{id}/trace: the root spans of the

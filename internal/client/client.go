@@ -86,6 +86,7 @@ type Client struct {
 	httpc    *http.Client
 
 	retried atomic.Int64
+	lastRid atomic.Value // string: most recent response's X-Request-Id
 }
 
 // New builds a client over cfg.
@@ -123,6 +124,19 @@ func New(cfg Config) *Client {
 // Retries reports the total number of retry waits this client has
 // performed, across all requests (test observability).
 func (c *Client) Retries() int64 { return c.retried.Load() }
+
+// LastRequestID returns the X-Request-Id of the most recent response this
+// client received (any status), or "". Both questprod and qpgate echo or
+// mint the header on every response, so after a failed call this is the
+// correlation key joining the failure to server logs and trace rings. Under
+// concurrent use it reports *a* recent response's id; callers needing
+// per-dialogue attribution serialize their calls (internal/soak does).
+func (c *Client) LastRequestID() string {
+	if v, ok := c.lastRid.Load().(string); ok {
+		return v
+	}
+	return ""
+}
 
 // APIError is a non-2xx response: the HTTP status, the decoded api.Error
 // envelope (code + message), and the Retry-After hint (zero when absent) —
@@ -245,6 +259,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return nil, fmt.Errorf("client: transport: %w", err)
 	}
 	defer resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-Id"); rid != "" {
+		c.lastRid.Store(rid)
+	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("client: reading response: %w", err)
@@ -389,6 +406,17 @@ func (c *Client) AnswerFeedback(ctx context.Context, sessionID string, include b
 func (c *Client) Stats(ctx context.Context, sessionID string) (*api.SessionStatsResponse, error) {
 	var resp api.SessionStatsResponse
 	if err := c.do(ctx, http.MethodGet, sessions+"/"+sessionID+"/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Trace fetches the session's retained operation traces (root span trees,
+// oldest first). Served through qpgate the forest is the assembled
+// cross-tier view: gateway proxy spans prepended to the backend's roots.
+func (c *Client) Trace(ctx context.Context, sessionID string) (*api.TraceResponse, error) {
+	var resp api.TraceResponse
+	if err := c.do(ctx, http.MethodGet, sessions+"/"+sessionID+"/trace", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -1,0 +1,91 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"questpro/internal/api"
+	"questpro/internal/obs"
+)
+
+// DefaultScrapeTimeout bounds one backend /metrics scrape during fleet
+// aggregation. Scrapes run concurrently, so the endpoint's worst case is
+// one timeout, not their sum.
+const DefaultScrapeTimeout = 2 * time.Second
+
+// handleFleetMetrics serves GET /metrics/fleet: the questprod fleet's
+// metrics scraped concurrently from every Ready backend, merged by
+// obs.Aggregate (summed fleet series + per-backend series under a
+// `backend` label), followed by the gateway's own families (qpgate_* —
+// names disjoint from questprod_*, so the whole document still parses
+// strictly). A backend that fails to scrape is skipped and counted in
+// qpgate_fleet_scrape_errors_total{backend=...}: partial results with a
+// 200, never a 5xx — the operator's pane of glass must not go blank
+// because one shard died.
+func (g *Gateway) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	backends := g.fleet.Backends()
+	scrapes := make([]obs.Scrape, len(backends))
+	ok := make([]bool, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		if b.State() != StateReady {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			fams, err := g.scrapeBackend(r.Context(), b)
+			if err != nil {
+				g.metrics.backend(b.ID).scrapeErrors.Add(1)
+				g.logger.Warn("fleet metrics scrape failed", "backend", b.ID, "err", err)
+				return
+			}
+			scrapes[i] = obs.Scrape{Backend: b.ID, Families: fams}
+			ok[i] = true
+		}(i, b)
+	}
+	wg.Wait()
+
+	live := make([]obs.Scrape, 0, len(backends))
+	for i := range scrapes {
+		if ok[i] {
+			live = append(live, scrapes[i])
+		}
+	}
+	merged, err := obs.Aggregate(live)
+	if err != nil {
+		// Only a malformed fleet reaches here (TYPE conflicts between
+		// backends, a reserved label) — a config bug, not a dead shard.
+		g.writeError(w, http.StatusInternalServerError, api.CodeInternal,
+			"gateway: merging fleet metrics: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	obs.WriteFamilies(w, merged)
+	g.metrics.WriteProm(w, g.fleet)
+}
+
+// scrapeBackend fetches and strictly parses one backend's /metrics.
+func (g *Gateway) scrapeBackend(ctx context.Context, b *Backend) (map[string]*obs.MetricFamily, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.ID+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.transport.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &scrapeStatusError{status: resp.Status}
+	}
+	return obs.ParsePromText(resp.Body)
+}
+
+type scrapeStatusError struct{ status string }
+
+func (e *scrapeStatusError) Error() string { return "scrape returned " + e.status }

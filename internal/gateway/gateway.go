@@ -18,6 +18,7 @@ import (
 
 	"questpro/internal/api"
 	"questpro/internal/client"
+	"questpro/internal/obs"
 )
 
 // DefaultNotReadyHold is how long a request owned by a restarting
@@ -61,6 +62,27 @@ type Config struct {
 	// BackoffSeed seeds the dial-retry jitter (tests; 0 = time-free fixed
 	// seed is fine, the jitter only staggers concurrent retries).
 	BackoffSeed int64
+
+	// DisableTracing keeps the process-wide span gate off: no gateway.proxy
+	// spans, no X-Qp-Trace propagation, no per-session span retention
+	// (qpgate -no-trace). Request ids still mint and propagate.
+	DisableTracing bool
+	// TraceRing is how many finished gateway.proxy spans are retained per
+	// session (default 8, mirroring questprod's trace ring).
+	TraceRing int
+	// TraceSessions caps how many sessions the gateway retains spans for;
+	// the least-recently-traced session is evicted past it (default 1024).
+	TraceSessions int
+
+	// ScrapeTimeout bounds one backend /metrics scrape on the
+	// GET /metrics/fleet path (default DefaultScrapeTimeout).
+	ScrapeTimeout time.Duration
+
+	// SLO layer parameters (defaults: DefaultSLOWindow,
+	// DefaultAvailabilityTarget, DefaultLatencyObjective).
+	SLOWindow             time.Duration
+	SLOAvailabilityTarget float64
+	SLOLatencyObjective   time.Duration
 }
 
 // Gateway is the qpgate http.Handler: it owns the Fleet, the per-backend
@@ -68,15 +90,17 @@ type Config struct {
 type Gateway struct {
 	fleet   *Fleet
 	metrics *Metrics
+	traces  *traceStore
 	mux     *http.ServeMux
 
-	transport  http.RoundTripper
-	backoff    *client.Backoff
-	hold       time.Duration
-	retryAfter time.Duration
-	retries    int
-	maxBody    int64
-	logger     *slog.Logger
+	transport     http.RoundTripper
+	backoff       *client.Backoff
+	hold          time.Duration
+	retryAfter    time.Duration
+	retries       int
+	maxBody       int64
+	scrapeTimeout time.Duration
+	logger        *slog.Logger
 }
 
 // New builds the gateway over an already-constructed fleet. The caller
@@ -101,17 +125,28 @@ func New(fleet *Fleet, cfg Config) *Gateway {
 	if tr == nil {
 		tr = client.NewTransport(cfg.MaxConnsPerBackend)
 	}
+	if cfg.ScrapeTimeout <= 0 {
+		cfg.ScrapeTimeout = DefaultScrapeTimeout
+	}
+	if !cfg.DisableTracing {
+		// Same sticky gate questprod's registry flips: once on, stays on.
+		obs.SetEnabled(true)
+	}
+	metrics := NewMetrics()
+	metrics.slo = newSLOTracker(cfg.SLOWindow, cfg.SLOAvailabilityTarget, cfg.SLOLatencyObjective)
 	g := &Gateway{
-		fleet:      fleet,
-		metrics:    NewMetrics(),
-		mux:        http.NewServeMux(),
-		transport:  tr,
-		backoff:    client.NewBackoff(50*time.Millisecond, 2*time.Second, cfg.BackoffSeed),
-		hold:       cfg.NotReadyHold,
-		retryAfter: cfg.RetryAfter,
-		retries:    cfg.DialRetries,
-		maxBody:    cfg.MaxBody,
-		logger:     cfg.Logger,
+		fleet:         fleet,
+		metrics:       metrics,
+		traces:        newTraceStore(cfg.TraceRing, cfg.TraceSessions),
+		mux:           http.NewServeMux(),
+		transport:     tr,
+		backoff:       client.NewBackoff(50*time.Millisecond, 2*time.Second, cfg.BackoffSeed),
+		hold:          cfg.NotReadyHold,
+		retryAfter:    cfg.RetryAfter,
+		retries:       cfg.DialRetries,
+		maxBody:       cfg.MaxBody,
+		scrapeTimeout: cfg.ScrapeTimeout,
+		logger:        cfg.Logger,
 	}
 
 	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -123,6 +158,7 @@ func New(fleet *Fleet, cfg Config) *Gateway {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		g.metrics.WriteProm(w, g.fleet)
 	})
+	g.mux.HandleFunc("GET /metrics/fleet", g.handleFleetMetrics)
 	g.mux.HandleFunc("POST /v1/sessions", g.handleCreate)
 	g.mux.HandleFunc("/v1/sessions/{id}", g.handleSession)
 	g.mux.HandleFunc("/v1/sessions/{id}/{rest...}", g.handleSession)
@@ -160,57 +196,106 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, sb.String())
 }
 
+// startProxyCtx builds one request's trace state: the honored-or-minted
+// request id and (tracing on) a gateway.proxy root span whose id ships
+// downstream in X-Qp-Trace. The returned ResponseWriter commits the span
+// on the first write, so handlers must classify the outcome before
+// writing (see proxyCtx).
+func (g *Gateway) startProxyCtx(w http.ResponseWriter, r *http.Request, session string) (http.ResponseWriter, *proxyCtx) {
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = mintRequestID()
+	}
+	pc := &proxyCtx{rid: rid, session: session}
+	_, pc.sp = obs.NewRoot(r.Context(), "gateway.proxy")
+	if pc.sp != nil {
+		pc.sp.SetLabel("request_id", rid)
+		if session != "" {
+			pc.sp.SetLabel("session_id", session)
+		}
+	}
+	return &spanWriter{ResponseWriter: w, g: g, pc: pc}, pc
+}
+
 // handleSession routes /v1/sessions/{id}[/...] to the id's ring owner.
 // Down owner → immediate shed; NotReady owner → hold until Ready or the
 // hold expires, then shed. The id itself is all the routing state there
 // is: this handler is identical before and after a gateway restart.
+//
+// GET .../trace is special-cased: it opens no span (so consecutive trace
+// fetches are byte-stable) and the backend's response is assembled with
+// the session's retained gateway spans into one cross-tier forest.
 func (g *Gateway) handleSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	b := g.fleet.Owner(id)
-	if !g.admit(w, r, b) {
+
+	if r.Method == http.MethodGet && r.PathValue("rest") == "trace" {
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = mintRequestID()
+		}
+		pc := &proxyCtx{rid: rid, session: id, backend: b.ID, done: true}
+		if !g.admit(w, r, b, pc) {
+			return
+		}
+		g.handleTraceRead(w, r, b, pc)
 		return
 	}
+
+	w, pc := g.startProxyCtx(w, r, id)
+	pc.backend = b.ID
+	if !g.admit(w, r, b, pc) {
+		return
+	}
+	pc.outcome = "error" // readBody failures write through the spanWriter
 	body, ok := g.readBody(w, r)
 	if !ok {
 		return
 	}
-	g.proxy(w, r, b, body, nil)
+	pc.outcome = ""
+	g.proxy(w, r, b, body, pc, nil)
 }
 
 // admit applies the owner's state to the request: true means proceed to
 // proxy. Sheds (false) have already written the 503.
-func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, b *Backend) bool {
+func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, b *Backend, pc *proxyCtx) bool {
 	switch b.State() {
 	case StateReady:
 		return true
 	case StateDown:
-		g.shed(w, b, fmt.Sprintf("gateway: backend %s is down", b.ID))
+		g.shed(w, b, pc, "shed", fmt.Sprintf("gateway: backend %s is down", b.ID))
 		return false
 	default: // NotReady: the shard is restoring — hold, bounded.
 		g.metrics.backend(b.ID).held.Add(1)
+		heldStart := time.Now()
 		ctx := r.Context()
 		if g.hold > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, g.hold)
 			defer cancel()
 		} else {
-			g.shed(w, b, fmt.Sprintf("gateway: backend %s is restoring", b.ID))
+			g.shed(w, b, pc, "shed", fmt.Sprintf("gateway: backend %s is restoring", b.ID))
 			return false
 		}
 		if err := g.fleet.WaitReady(ctx, b); err != nil {
-			g.shed(w, b, fmt.Sprintf("gateway: backend %s still restoring after %s hold", b.ID, g.hold))
+			pc.heldMs = time.Since(heldStart).Milliseconds()
+			g.shed(w, b, pc, "held-timeout", fmt.Sprintf("gateway: backend %s still restoring after %s hold", b.ID, g.hold))
 			return false
 		}
+		pc.heldMs = time.Since(heldStart).Milliseconds()
 		return true
 	}
 }
 
 // shed answers 503 + Retry-After with the uniform api.Error envelope.
-func (g *Gateway) shed(w http.ResponseWriter, b *Backend, msg string) {
+// outcome classifies the span (shed | held-timeout).
+func (g *Gateway) shed(w http.ResponseWriter, b *Backend, pc *proxyCtx, outcome, msg string) {
 	g.metrics.backend(b.ID).shed.Add(1)
+	pc.outcome = outcome
 	secs := retrySecs(g.retryAfter)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("X-Request-Id", pc.rid)
 	w.WriteHeader(http.StatusServiceUnavailable)
 	_ = json.NewEncoder(w).Encode(&api.Error{
 		Code:          api.CodeUnavailable,
@@ -282,9 +367,10 @@ func copyHeaders(dst, src http.Header) {
 //
 // capture, when non-nil, receives the response instead of the
 // ResponseWriter (the create path inspects before relaying).
-func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, b *Backend, body []byte, capture func(*http.Response)) {
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, b *Backend, body []byte, pc *proxyCtx, capture func(*http.Response)) {
 	c := g.metrics.backend(b.ID)
 	c.requests.Add(1)
+	pc.backend = b.ID
 	start := time.Now()
 
 	outURL := b.ID + r.URL.RequestURI()
@@ -292,12 +378,20 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, b *Backend, body
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(r.Context(), r.Method, outURL, bytes.NewReader(body))
 		if err != nil {
+			pc.outcome = "error"
 			g.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "gateway: building backend request: "+err.Error())
 			return
 		}
 		copyHeaders(req.Header, r.Header)
 		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
 			req.Header.Set("X-Forwarded-For", host)
+		}
+		// The cross-tier trace contract: the request id rides to the
+		// backend (which echoes it), and the gateway span's id becomes the
+		// backend root span's remote parent.
+		req.Header.Set("X-Request-Id", pc.rid)
+		if pc.sp != nil {
+			req.Header.Set("X-Qp-Trace", pc.sp.ID())
 		}
 		req.ContentLength = int64(len(body))
 
@@ -316,19 +410,22 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, b *Backend, body
 					g.logger.Warn("backend dial failed, marking down", "backend", b.ID, "err", err)
 				}
 				c.errors.Add(1)
-				g.shed(w, b, fmt.Sprintf("gateway: backend %s unreachable: %v", b.ID, err))
+				g.shed(w, b, pc, "shed", fmt.Sprintf("gateway: backend %s unreachable: %v", b.ID, err))
 				return
 			}
 			c.errors.Add(1)
 			g.metrics.proxyDur.Observe(b.ID, time.Since(start))
+			pc.outcome = "error"
 			g.writeError(w, http.StatusBadGateway, api.CodeUnavailable,
 				fmt.Sprintf("gateway: proxying to %s: %v", b.ID, err))
 			return
 		}
 		c.retries.Add(1)
+		pc.retries++
 		select {
 		case <-time.After(g.backoff.Delay(attempt, 0)):
 		case <-r.Context().Done():
+			pc.outcome = "error"
 			g.writeError(w, http.StatusBadGateway, api.CodeCanceled, "gateway: client went away during backend retry")
 			return
 		}
@@ -341,10 +438,14 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, b *Backend, body
 	}
 	defer resp.Body.Close()
 	copyHeaders(w.Header(), resp.Header)
+	pc.outcome = "proxied"
 	w.WriteHeader(resp.StatusCode)
 	if _, err := io.Copy(w, resp.Body); err != nil {
 		// Headers are gone; all we can do is log and sever.
 		g.logger.Warn("relaying backend response", "backend", b.ID, "err", err)
+	}
+	if r.Method == http.MethodDelete && resp.StatusCode/100 == 2 && pc.session != "" {
+		g.traces.drop(pc.session)
 	}
 }
 
@@ -377,6 +478,8 @@ func MintSessionID() string {
 // caller has pinned the placement, e.g. a test), with the usual
 // hold/shed admission.
 func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
+	w, pc := g.startProxyCtx(w, r, "")
+	pc.outcome = "error"
 	body, ok := g.readBody(w, r)
 	if !ok {
 		return
@@ -391,14 +494,20 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "gateway: decoding create request: "+err.Error())
 		return
 	}
+	pc.outcome = ""
 
 	if id, _ := req["session_id"].(string); id != "" {
 		b := g.fleet.Owner(id)
-		if !g.admit(w, r, b) {
+		pc.session = id
+		pc.backend = b.ID
+		if pc.sp != nil {
+			pc.sp.SetLabel("session_id", id)
+		}
+		if !g.admit(w, r, b, pc) {
 			return
 		}
 		g.metrics.createsTotal.Add(1)
-		g.proxy(w, r, b, body, nil)
+		g.proxy(w, r, b, body, pc, nil)
 		return
 	}
 
@@ -422,12 +531,13 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		req["session_id"] = id
 		outBody, err := json.Marshal(req)
 		if err != nil {
+			pc.outcome = "error"
 			g.writeError(w, http.StatusInternalServerError, api.CodeInternal, "gateway: re-encoding create request: "+err.Error())
 			return
 		}
 
 		var resp *http.Response
-		g.proxy(w, r, b, outBody, func(got *http.Response) { resp = got })
+		g.proxy(w, r, b, outBody, pc, func(got *http.Response) { resp = got })
 		if resp == nil {
 			return // proxy already wrote the failure
 		}
@@ -451,6 +561,13 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 			lastFull = nil
 		}
 		g.metrics.createsTotal.Add(1)
+		// The session exists now: retain this request's span under it so
+		// its trace starts with the placing create.
+		pc.session = id
+		if pc.sp != nil {
+			pc.sp.SetLabel("session_id", id)
+		}
+		pc.outcome = "proxied"
 		defer resp.Body.Close()
 		copyHeaders(w.Header(), resp.Header)
 		w.WriteHeader(resp.StatusCode)
@@ -459,6 +576,7 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if lastFull != nil {
+		pc.outcome = "proxied"
 		copyHeaders(w.Header(), lastFull.Header)
 		w.WriteHeader(lastFull.StatusCode)
 		io.Copy(w, lastFull.Body)
@@ -466,6 +584,7 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	// No Ready backend ever came up in the draw — the fleet is (at least
 	// mostly) unavailable.
+	pc.outcome = "shed"
 	secs := retrySecs(g.retryAfter)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Retry-After", strconv.Itoa(secs))

@@ -1,7 +1,6 @@
 package gateway
 
 import (
-	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -11,13 +10,16 @@ import (
 )
 
 // Metrics is the gateway's observability surface, rendered at /metrics in
-// the Prometheus text exposition format (same hand-rolled conventions as
-// questprod's: # HELP/# TYPE headers, *_total counters, label values
-// sorted for deterministic scrapes). Request traffic is partitioned by
-// backend — the question a fleet operator asks is "which shard", not
-// "which endpoint"; the endpoint-level view lives on the backends.
+// the Prometheus text exposition format. Every family is built as an
+// obs.MetricFamily and rendered through obs.WriteFamilies — the same
+// writer the fleet aggregator uses — so the gateway's exposition always
+// round-trips through the strict obs.ParsePromText (a tested property).
+// Request traffic is partitioned by backend — the question a fleet
+// operator asks is "which shard", not "which endpoint"; the endpoint-level
+// view lives on the backends.
 type Metrics struct {
 	proxyDur *obs.Family // qpgate_proxy_duration_seconds{backend=...}
+	slo      *sloTracker
 
 	mu         sync.Mutex
 	perBackend map[string]*backendCounters
@@ -31,18 +33,21 @@ type Metrics struct {
 
 // backendCounters is one backend's traffic ledger.
 type backendCounters struct {
-	requests atomic.Int64 // proxied requests (any outcome)
-	errors   atomic.Int64 // transport failures after retries
-	retries  atomic.Int64 // dial retries performed
-	shed     atomic.Int64 // requests answered 503 by the GATEWAY for this backend
-	held     atomic.Int64 // requests that waited for a NotReady backend
+	requests     atomic.Int64 // proxied requests (any outcome)
+	errors       atomic.Int64 // transport failures after retries
+	retries      atomic.Int64 // dial retries performed
+	shed         atomic.Int64 // requests answered 503 by the GATEWAY for this backend
+	held         atomic.Int64 // requests that waited for a NotReady backend
+	scrapeErrors atomic.Int64 // failed /metrics scrapes during fleet aggregation
 }
 
-// NewMetrics builds an empty metrics surface.
+// NewMetrics builds an empty metrics surface with default SLO parameters
+// (New overrides them from Config).
 func NewMetrics() *Metrics {
 	return &Metrics{
 		proxyDur: obs.NewFamily("qpgate_proxy_duration_seconds", "backend",
 			"End-to-end proxied request latency by backend."),
+		slo:        newSLOTracker(0, 0, 0),
 		perBackend: make(map[string]*backendCounters),
 	}
 }
@@ -72,51 +77,90 @@ func (m *Metrics) snapshotBackends() (ids []string, counters []*backendCounters)
 	return ids, counters
 }
 
-// WriteProm renders the gateway metrics. fleet supplies the backend-state
-// gauge (1 for the backend's current state family, 0 otherwise).
-func (m *Metrics) WriteProm(w io.Writer, fleet *Fleet) {
-	writeCounter := func(name, help string, val func(*backendCounters) int64) {
-		ids, counters := m.snapshotBackends()
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		for i, id := range ids {
-			fmt.Fprintf(w, "%s{backend=%q} %d\n", name, id, val(counters[i]))
-		}
+// sloSnapshot reads the cumulative totals the SLO window diffs: every
+// request the gateway answered (proxied or shed), the failed/shed subset,
+// and the merged proxy latency distribution.
+func (m *Metrics) sloSnapshot() sloSnap {
+	_, counters := m.snapshotBackends()
+	snap := sloSnap{}
+	for _, c := range counters {
+		snap.total += float64(c.requests.Load() + c.shed.Load())
+		snap.bad += float64(c.errors.Load() + c.shed.Load())
 	}
-	writeCounter("qpgate_requests_total", "Requests proxied to the backend (any outcome).",
-		func(c *backendCounters) int64 { return c.requests.Load() })
-	writeCounter("qpgate_proxy_errors_total", "Proxied requests that failed in transport after retries.",
-		func(c *backendCounters) int64 { return c.errors.Load() })
-	writeCounter("qpgate_proxy_retries_total", "Dial retries performed against the backend.",
-		func(c *backendCounters) int64 { return c.retries.Load() })
-	writeCounter("qpgate_shed_total", "Requests the gateway answered 503 for because the backend was down or not ready.",
-		func(c *backendCounters) int64 { return c.shed.Load() })
-	writeCounter("qpgate_held_total", "Requests that waited for a restarting (not-ready) backend before proxying.",
-		func(c *backendCounters) int64 { return c.held.Load() })
+	counts, _, _ := m.proxyDur.MergedCounts()
+	snap.counts = counts
+	return snap
+}
 
-	for _, s := range []struct {
-		name, help string
-		val        int64
-	}{
-		{"qpgate_creates_total", "Sessions placed by the gateway's id-minting create path.", m.createsTotal.Load()},
-		{"qpgate_create_remints_total", "Extra id mints needed to land creates on a ready, non-full backend.", m.createRemints.Load()},
-	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.val)
+// Families builds the gateway's exposition document as parsed-form
+// families, sorted by name. fleet supplies the backend-state gauge.
+func (m *Metrics) Families(fleet *Fleet) []*obs.MetricFamily {
+	ids, counters := m.snapshotBackends()
+	perBackendCounter := func(name, help string, val func(*backendCounters) int64) *obs.MetricFamily {
+		mf := &obs.MetricFamily{Name: name, Type: "counter", Help: help}
+		for i, id := range ids {
+			mf.Samples = append(mf.Samples, obs.Sample{
+				Name:   name,
+				Labels: map[string]string{"backend": id},
+				Value:  float64(val(counters[i])),
+			})
+		}
+		return mf
+	}
+	fams := []*obs.MetricFamily{
+		perBackendCounter("qpgate_requests_total", "Requests proxied to the backend (any outcome).",
+			func(c *backendCounters) int64 { return c.requests.Load() }),
+		perBackendCounter("qpgate_proxy_errors_total", "Proxied requests that failed in transport after retries.",
+			func(c *backendCounters) int64 { return c.errors.Load() }),
+		perBackendCounter("qpgate_proxy_retries_total", "Dial retries performed against the backend.",
+			func(c *backendCounters) int64 { return c.retries.Load() }),
+		perBackendCounter("qpgate_shed_total", "Requests the gateway answered 503 for because the backend was down or not ready.",
+			func(c *backendCounters) int64 { return c.shed.Load() }),
+		perBackendCounter("qpgate_held_total", "Requests that waited for a restarting (not-ready) backend before proxying.",
+			func(c *backendCounters) int64 { return c.held.Load() }),
+		perBackendCounter("qpgate_fleet_scrape_errors_total", "Backend /metrics scrapes that failed during fleet aggregation.",
+			func(c *backendCounters) int64 { return c.scrapeErrors.Load() }),
+		{
+			Name: "qpgate_creates_total", Type: "counter",
+			Help:    "Sessions placed by the gateway's id-minting create path.",
+			Samples: []obs.Sample{{Name: "qpgate_creates_total", Value: float64(m.createsTotal.Load())}},
+		},
+		{
+			Name: "qpgate_create_remints_total", Type: "counter",
+			Help:    "Extra id mints needed to land creates on a ready, non-full backend.",
+			Samples: []obs.Sample{{Name: "qpgate_create_remints_total", Value: float64(m.createRemints.Load())}},
+		},
 	}
 
 	if fleet != nil {
-		const name = "qpgate_backend_state"
-		fmt.Fprintf(w, "# HELP %s Probed backend state (1 = the backend is in this state).\n# TYPE %s gauge\n", name, name)
+		mf := &obs.MetricFamily{
+			Name: "qpgate_backend_state", Type: "gauge",
+			Help: "Probed backend state (1 = the backend is in this state).",
+		}
 		for _, b := range fleet.Backends() {
 			st := b.State()
 			for _, s := range []State{StateDown, StateNotReady, StateReady} {
-				v := 0
+				v := 0.0
 				if st == s {
 					v = 1
 				}
-				fmt.Fprintf(w, "%s{backend=%q,state=%q} %d\n", name, b.ID, s.String(), v)
+				mf.Samples = append(mf.Samples, obs.Sample{
+					Name:   "qpgate_backend_state",
+					Labels: map[string]string{"backend": b.ID, "state": s.String()},
+					Value:  v,
+				})
 			}
 		}
+		fams = append(fams, mf)
 	}
 
-	m.proxyDur.WriteProm(w)
+	fams = append(fams, m.slo.families(m.sloSnapshot())...)
+	fams = append(fams, m.proxyDur.Family())
+	obs.SortFamilies(fams)
+	return fams
+}
+
+// WriteProm renders the gateway metrics.
+func (m *Metrics) WriteProm(w io.Writer, fleet *Fleet) {
+	obs.WriteFamilies(w, m.Families(fleet))
 }

@@ -1,0 +1,399 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"questpro/internal/api"
+	"questpro/internal/ntriples"
+	"questpro/internal/obs"
+	"questpro/internal/paperfix"
+)
+
+// TestGatewayCrossTierTrace pins the trace-propagation contract end to
+// end (runs under -race via make race): a dialogue driven through the
+// gateway leaves a gateway.proxy span retained per request, the backend
+// root spans link under them (parent_span_id == the gateway span's
+// span_id, same request_id label), the assembled forest is served by
+// GET .../trace through the gateway, and two consecutive fetches are
+// byte-identical.
+func TestGatewayCrossTierTrace(t *testing.T) {
+	fixtures := []*backendFixture{newBackendFixture(t, 0), newBackendFixture(t, 0)}
+	_, ts := newTestGateway(t, Config{}, fixtures...)
+	cl := gatewayClient(ts.URL)
+	ctx := context.Background()
+
+	onto := ntriples.Format(paperfix.Ontology())
+	id, err := cl.CreateSession(ctx, onto, nil)
+	if err != nil {
+		t.Fatalf("create via gateway: %v", err)
+	}
+	if err := cl.SetExamples(ctx, id, wireExamples()); err != nil {
+		t.Fatalf("examples via gateway: %v", err)
+	}
+	if _, err := cl.Infer(ctx, id, "union", 0); err != nil {
+		t.Fatalf("infer via gateway: %v", err)
+	}
+
+	code1, _, body1 := mustGet(t, ts.URL, "/v1/sessions/"+id+"/trace")
+	if code1 != http.StatusOK {
+		t.Fatalf("trace via gateway: %d %s", code1, body1)
+	}
+	var forest api.TraceResponse
+	if err := json.Unmarshal(body1, &forest); err != nil {
+		t.Fatalf("decoding assembled trace: %v", err)
+	}
+
+	// The forest contains both tiers: gateway.proxy spans first, then the
+	// backend session.* roots.
+	var gatewaySpans, backendRoots []*api.TraceNode
+	for _, n := range forest.Traces {
+		switch {
+		case n.Kind == "gateway.proxy":
+			gatewaySpans = append(gatewaySpans, n)
+		case strings.HasPrefix(n.Kind, "session."):
+			backendRoots = append(backendRoots, n)
+		default:
+			t.Fatalf("unexpected root kind %q in assembled forest", n.Kind)
+		}
+	}
+	if len(gatewaySpans) == 0 || len(backendRoots) == 0 {
+		t.Fatalf("assembled forest missing a tier: %d gateway spans, %d backend roots",
+			len(gatewaySpans), len(backendRoots))
+	}
+	if forest.Traces[0].Kind != "gateway.proxy" {
+		t.Fatalf("gateway spans must be prepended; forest starts with %q", forest.Traces[0].Kind)
+	}
+
+	gatewayByID := make(map[string]*api.TraceNode)
+	for _, n := range gatewaySpans {
+		if n.SpanID == "" {
+			t.Fatal("gateway span without span_id")
+		}
+		if n.Outcome != "proxied" {
+			t.Fatalf("gateway span outcome %q, want proxied", n.Outcome)
+		}
+		if n.Labels["backend"] == "" {
+			t.Fatal("gateway span without backend label")
+		}
+		if _, ok := n.Counters["held_ms"]; !ok {
+			t.Fatal("gateway span without held_ms counter")
+		}
+		gatewayByID[n.SpanID] = n
+	}
+
+	// Every backend root must link to a retained gateway span with the
+	// SAME request id — the cross-tier join key the issue demands.
+	for _, root := range backendRoots {
+		parent := gatewayByID[root.ParentSpanID]
+		if parent == nil {
+			t.Fatalf("backend root %s (request_id=%s) has parent_span_id=%q matching no gateway span",
+				root.Kind, root.Labels["request_id"], root.ParentSpanID)
+		}
+		if parent.Labels["request_id"] == "" || parent.Labels["request_id"] != root.Labels["request_id"] {
+			t.Fatalf("request id mismatch across tiers: gateway %q vs backend %q",
+				parent.Labels["request_id"], root.Labels["request_id"])
+		}
+		if parent.Labels["session_id"] != id || root.Labels["session_id"] != id {
+			t.Fatal("span session_id labels diverge from the session")
+		}
+	}
+
+	// Byte-stable: a second fetch returns the identical document (trace
+	// reads record no spans on either tier).
+	code2, _, body2 := mustGet(t, ts.URL, "/v1/sessions/"+id+"/trace")
+	if code2 != http.StatusOK {
+		t.Fatalf("second trace fetch: %d", code2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("trace fetches diverge:\nfirst:  %s\nsecond: %s", body1, body2)
+	}
+}
+
+// TestGatewayTraceRequestIDPropagation pins the header half of the
+// contract: a client-supplied X-Request-Id survives the gateway hop and is
+// echoed exactly once (the gateway's Set collapses the backend's echo).
+func TestGatewayTraceRequestIDPropagation(t *testing.T) {
+	f := newBackendFixture(t, 0)
+	_, ts := newTestGateway(t, Config{}, f)
+	cl := gatewayClient(ts.URL)
+	ctx := context.Background()
+
+	id, err := cl.CreateSession(ctx, `<a> <p> <b> .`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A client-supplied X-Request-Id survives the gateway hop, is echoed
+	// exactly once, and lands in the backend span's request_id label.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/sessions/"+id+"/stats", nil)
+	req.Header.Set("X-Request-Id", "rid-cross-tier-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Values("X-Request-Id"); len(got) != 1 || got[0] != "rid-cross-tier-1" {
+		t.Fatalf("X-Request-Id echo = %v, want exactly [rid-cross-tier-1]", got)
+	}
+}
+
+// metricsBrokenBackend wraps a fixture so /metrics fails while every other
+// route (including the readiness probe) works: the shard looks Ready but
+// cannot be scraped — the partial-result path of /metrics/fleet.
+func metricsBrokenBackend(t *testing.T, f *backendFixture) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, "scrape me not")
+			return
+		}
+		f.ts.Config.Handler.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestGatewayFleetMetrics pins the merge contract of GET /metrics/fleet:
+// strict parseability of the whole document, fleet sums equal to the sum
+// of per-backend series, monotone merged histogram buckets, and — with one
+// unscrapeable backend — partial results with a 200 and a raised
+// qpgate_fleet_scrape_errors_total, never a 5xx.
+func TestGatewayFleetMetrics(t *testing.T) {
+	fixtures := []*backendFixture{newBackendFixture(t, 0), newBackendFixture(t, 0)}
+	_, ts := newTestGateway(t, Config{}, fixtures...)
+	cl := gatewayClient(ts.URL)
+	ctx := context.Background()
+
+	// Put traffic on both shards: create until both have ≥1 session.
+	seen := map[string]bool{}
+	for i := 0; i < 32 && len(seen) < 2; i++ {
+		id, err := cl.CreateSession(ctx, `<a> <p> <b> .`, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fixtures {
+			code, _, _ := mustGet(t, f.ts.URL, "/v1/sessions/"+id+"/stats")
+			if code == http.StatusOK {
+				seen[f.ts.URL] = true
+			}
+		}
+	}
+	if len(seen) < 2 {
+		t.Skip("32 creates landed on one shard; hash draw too unlucky to assert the merge")
+	}
+
+	code, _, body := mustGet(t, ts.URL, "/metrics/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics/fleet: %d %s", code, body)
+	}
+	fams, err := obs.ParsePromText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics/fleet does not parse strictly: %v", err)
+	}
+
+	// Fleet sum == Σ per-backend for the questprod session counter.
+	created := fams["questprod_sessions_created_total"]
+	if created == nil {
+		t.Fatal("merged output missing questprod_sessions_created_total")
+	}
+	var fleetSum, backendSum float64
+	var backendSeries int
+	for _, s := range created.Samples {
+		if s.Labels["backend"] == "" {
+			fleetSum = s.Value
+		} else {
+			backendSum += s.Value
+			backendSeries++
+		}
+	}
+	if backendSeries != 2 {
+		t.Fatalf("want 2 per-backend series, got %d", backendSeries)
+	}
+	if fleetSum != backendSum || fleetSum < 2 {
+		t.Fatalf("fleet sum %v != per-backend sum %v (or too small)", fleetSum, backendSum)
+	}
+
+	// Merged histogram: monotone cumulative buckets on the fleet series
+	// (the strict parser already validated every label set; assert the
+	// aggregate group explicitly anyway).
+	hist := fams["questprod_http_request_duration_seconds"]
+	if hist == nil {
+		t.Fatal("merged output missing questprod_http_request_duration_seconds")
+	}
+	prevByGroup := map[string]float64{}
+	for _, s := range hist.Samples {
+		if !strings.HasSuffix(s.Name, "_bucket") || s.Labels["backend"] != "" {
+			continue
+		}
+		key := s.Labels["endpoint"]
+		if s.Value < prevByGroup[key] {
+			t.Fatalf("fleet histogram not monotone for endpoint %q at le=%s", key, s.Labels["le"])
+		}
+		prevByGroup[key] = s.Value
+	}
+
+	// The gateway's own families ride in the same document.
+	if fams["qpgate_requests_total"] == nil || fams["qpgate_slo_availability_burn_rate"] == nil {
+		t.Fatal("merged output missing gateway families")
+	}
+
+	// One unscrapeable backend → 200, partial results, scrape errors > 0.
+	broken := metricsBrokenBackend(t, fixtures[1])
+	urls := []string{fixtures[0].ts.URL, broken.URL}
+	fleet, err := NewFleet(urls, FleetConfig{ProbeInterval: time.Hour, ProbeTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.ProbeAll(context.Background())
+	gw2 := New(fleet, Config{})
+	ts2 := httptest.NewServer(gw2)
+	t.Cleanup(ts2.Close)
+
+	code, _, body = mustGet(t, ts2.URL, "/metrics/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("partial fleet scrape must stay 200, got %d: %s", code, body)
+	}
+	fams, err = obs.ParsePromText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("partial merged output does not parse: %v", err)
+	}
+	if fams["questprod_sessions_created_total"] == nil {
+		t.Fatal("partial output lost the live backend's families")
+	}
+	var scrapeErrs float64
+	if mf := fams["qpgate_fleet_scrape_errors_total"]; mf != nil {
+		for _, s := range mf.Samples {
+			scrapeErrs += s.Value
+		}
+	}
+	if scrapeErrs < 1 {
+		t.Fatalf("qpgate_fleet_scrape_errors_total = %v, want >= 1", scrapeErrs)
+	}
+	// Only the live backend appears under the questprod families.
+	for _, s := range fams["questprod_sessions_created_total"].Samples {
+		if b := s.Labels["backend"]; b != "" && b != NormalizeBackendURL0(t, fixtures[0].ts.URL) {
+			t.Fatalf("dead backend %s leaked into the merge", b)
+		}
+	}
+}
+
+// TestGatewayMetricsRoundTrip: the gateway's own /metrics — now emitted
+// through obs.WriteFamilies — must satisfy the strict parser: HELP/TYPE on
+// every family, well-formed histograms (satellite task).
+func TestGatewayMetricsRoundTrip(t *testing.T) {
+	f := newBackendFixture(t, 0)
+	_, ts := newTestGateway(t, Config{}, f)
+	cl := gatewayClient(ts.URL)
+	if _, err := cl.CreateSession(context.Background(), `<a> <p> <b> .`, nil); err != nil {
+		t.Fatal(err)
+	}
+	code, _, body := mustGet(t, ts.URL, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	fams, err := obs.ParsePromText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("gateway /metrics does not parse strictly: %v\n%s", err, body)
+	}
+	for _, name := range []string{
+		"qpgate_requests_total", "qpgate_shed_total", "qpgate_backend_state",
+		"qpgate_proxy_duration_seconds", "qpgate_fleet_scrape_errors_total",
+		"qpgate_slo_window_seconds", "qpgate_slo_availability_burn_rate",
+		"qpgate_slo_p99_seconds", "qpgate_slo_latency_burn_rate",
+	} {
+		if fams[name] == nil {
+			t.Fatalf("gateway /metrics missing family %s", name)
+		}
+	}
+	// Counters end _total; gauges do not (the obs-lint rule, pinned here
+	// for the gateway's own families).
+	for name, mf := range fams {
+		switch mf.Type {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Fatalf("counter %s does not end in _total", name)
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") {
+				t.Fatalf("gauge %s ends in _total", name)
+			}
+		}
+	}
+}
+
+// TestSLOWindowMath drives the tracker with a fake clock and pins the burn
+// rate arithmetic.
+func TestSLOWindowMath(t *testing.T) {
+	tr := newSLOTracker(150*time.Second, 0.999, 100*time.Millisecond) // 15 slots of 10s
+	now := time.Unix(1000, 0)
+	tr.now = func() time.Time { return now }
+
+	counts := func(fast, slow uint64) []uint64 {
+		c := make([]uint64, obs.NumBuckets())
+		c[0] = fast                  // ~8µs, under any objective
+		c[obs.NumBuckets()-2] = slow // ~69s, over any objective
+		return c
+	}
+
+	// t0: 100 requests, 0 bad, all fast. Establishes the baseline.
+	fams := tr.families(sloSnap{total: 100, bad: 0, counts: counts(100, 0)})
+	get := func(fams []*obs.MetricFamily, name string) float64 {
+		for _, mf := range fams {
+			if mf.Name == name {
+				v, _ := mf.Value()
+				return v
+			}
+		}
+		t.Fatalf("no family %s", name)
+		return 0
+	}
+	if v := get(fams, "qpgate_slo_window_requests"); v != 0 {
+		t.Fatalf("baseline window requests = %v, want 0 (window starts now)", v)
+	}
+
+	// +10s: 100 more requests, 2 bad, 10 slow.
+	now = now.Add(10 * time.Second)
+	fams = tr.families(sloSnap{total: 200, bad: 2, counts: counts(190, 10)})
+	if v := get(fams, "qpgate_slo_window_requests"); v != 100 {
+		t.Fatalf("window requests = %v, want 100", v)
+	}
+	if v := get(fams, "qpgate_slo_window_bad_requests"); v != 2 {
+		t.Fatalf("window bad = %v, want 2", v)
+	}
+	// availability burn = (2/200... no: 2/100)/(1-0.999) = 0.02/0.001 = 20.
+	if v := get(fams, "qpgate_slo_availability_burn_rate"); v < 19.9 || v > 20.1 {
+		t.Fatalf("availability burn = %v, want 20", v)
+	}
+	// latency: 10/100 over objective, allowed 1% → burn 10.
+	if v := get(fams, "qpgate_slo_latency_burn_rate"); v < 9.9 || v > 10.1 {
+		t.Fatalf("latency burn = %v, want 10", v)
+	}
+	if v := get(fams, "qpgate_slo_availability_ratio"); v < 0.979 || v > 0.981 {
+		t.Fatalf("availability ratio = %v, want 0.98", v)
+	}
+	// p99 over the window: 90% fast + 10% at ~34s → p99 lands in the slow
+	// bucket's bound.
+	if v := get(fams, "qpgate_slo_p99_seconds"); v < 30 {
+		t.Fatalf("p99 = %v, want the ~34s bucket bound", v)
+	}
+
+	// +150s (the whole window passes with no new traffic): everything ages
+	// out; burn rates return to 0 and availability to 1.
+	now = now.Add(150 * time.Second)
+	fams = tr.families(sloSnap{total: 200, bad: 2, counts: counts(190, 10)})
+	if v := get(fams, "qpgate_slo_window_requests"); v != 0 {
+		t.Fatalf("after idle window, requests = %v, want 0", v)
+	}
+	if v := get(fams, "qpgate_slo_availability_ratio"); v != 1 {
+		t.Fatalf("after idle window, availability = %v, want 1", v)
+	}
+}

@@ -1,0 +1,175 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"questpro/internal/obs"
+)
+
+// The gateway's SLO layer (DESIGN.md §14): rolling-window availability and
+// p99-latency burn rates computed from the counters and the proxy latency
+// histogram the gateway already keeps. No extra goroutine and no extra
+// per-request work — the window is a ring of cumulative snapshots rotated
+// lazily whenever /metrics is scraped, and a window value is simply
+// (current cumulative) − (oldest slot's cumulative).
+
+// SLO defaults.
+const (
+	DefaultSLOWindow           = 5 * time.Minute
+	DefaultAvailabilityTarget  = 0.999
+	DefaultLatencyObjective    = 500 * time.Millisecond
+	sloSlots                   = 15 // window resolution: window/15 per slot
+	latencyObjectiveQuantile   = 0.99
+	latencyAllowedOverFraction = 1 - latencyObjectiveQuantile
+)
+
+// sloSnap is one cumulative reading of the gateway's request ledger.
+type sloSnap struct {
+	total  float64  // proxied + shed requests
+	bad    float64  // transport errors + shed
+	counts []uint64 // merged proxy histogram, non-cumulative per bucket
+}
+
+type sloTracker struct {
+	window    time.Duration
+	target    float64 // availability objective, e.g. 0.999
+	objective time.Duration
+	slotDur   time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu     sync.Mutex
+	ring   [sloSlots]sloSnap
+	inited bool
+	head   int       // slot currently accumulating
+	headAt time.Time // when the head slot started
+}
+
+func newSLOTracker(window time.Duration, target float64, objective time.Duration) *sloTracker {
+	if window <= 0 {
+		window = DefaultSLOWindow
+	}
+	if target <= 0 || target >= 1 {
+		target = DefaultAvailabilityTarget
+	}
+	if objective <= 0 {
+		objective = DefaultLatencyObjective
+	}
+	return &sloTracker{
+		window:    window,
+		target:    target,
+		objective: objective,
+		slotDur:   window / sloSlots,
+		now:       time.Now,
+	}
+}
+
+// observe rotates the ring up to date and returns the window's deltas.
+func (t *sloTracker) observe(cur sloSnap) (total, bad float64, counts []uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	if !t.inited {
+		t.inited = true
+		t.headAt = now
+		for i := range t.ring {
+			t.ring[i] = cur
+		}
+	}
+	// Advance the head one slot per elapsed slotDur, stamping skipped slots
+	// with the current cumulative reading (traffic in an unobserved gap is
+	// attributed to the newest slot — the lazy-rotation tradeoff).
+	steps := int(now.Sub(t.headAt) / t.slotDur)
+	if steps > sloSlots {
+		steps = sloSlots
+	}
+	for i := 0; i < steps; i++ {
+		t.head = (t.head + 1) % sloSlots
+		t.ring[t.head] = cur
+	}
+	if steps > 0 {
+		t.headAt = t.headAt.Add(time.Duration(steps) * t.slotDur)
+		if now.Sub(t.headAt) > t.window {
+			t.headAt = now
+		}
+	}
+	oldest := t.ring[(t.head+1)%sloSlots]
+	total = cur.total - oldest.total
+	bad = cur.bad - oldest.bad
+	counts = make([]uint64, len(cur.counts))
+	for i := range counts {
+		var old uint64
+		if i < len(oldest.counts) {
+			old = oldest.counts[i]
+		}
+		if cur.counts[i] >= old {
+			counts[i] = cur.counts[i] - old
+		}
+	}
+	return total, bad, counts
+}
+
+// families renders the SLO gauges from the current cumulative reading.
+// Window quantities rise and fall, so every family is a gauge (obs-lint
+// enforces that none end in _total).
+func (t *sloTracker) families(cur sloSnap) []*obs.MetricFamily {
+	total, bad, counts := t.observe(cur)
+
+	badRatio := 0.0
+	if total > 0 {
+		badRatio = bad / total
+	}
+	availBurn := badRatio / (1 - t.target)
+
+	var histTotal uint64
+	for _, c := range counts {
+		histTotal += c
+	}
+	// Observations over the latency objective: everything above the largest
+	// bucket bound that still fits under the objective.
+	var underObjective uint64
+	for i, c := range counts {
+		if obs.BucketUpperSeconds(i) <= t.objective.Seconds() {
+			underObjective += c
+		}
+	}
+	overFrac := 0.0
+	if histTotal > 0 {
+		overFrac = float64(histTotal-underObjective) / float64(histTotal)
+	}
+	latencyBurn := overFrac / latencyAllowedOverFraction
+
+	p99 := 0.0
+	if histTotal > 0 {
+		need := uint64(float64(histTotal) * latencyObjectiveQuantile)
+		if need == 0 {
+			need = 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum >= need {
+				p99 = obs.BucketUpperSeconds(i)
+				break
+			}
+		}
+	}
+
+	gauge := func(name, help string, v float64) *obs.MetricFamily {
+		return &obs.MetricFamily{
+			Name: name, Type: "gauge", Help: help,
+			Samples: []obs.Sample{{Name: name, Value: v}},
+		}
+	}
+	return []*obs.MetricFamily{
+		gauge("qpgate_slo_window_seconds", "Length of the rolling SLO window.", t.window.Seconds()),
+		gauge("qpgate_slo_window_requests", "Requests (proxied + shed) observed inside the window.", total),
+		gauge("qpgate_slo_window_bad_requests", "Failed or shed requests inside the window.", bad),
+		gauge("qpgate_slo_availability_ratio", "1 - bad/total over the window (1 when idle).", 1-badRatio),
+		gauge("qpgate_slo_availability_target", "Configured availability objective.", t.target),
+		gauge("qpgate_slo_availability_burn_rate", "Error-budget burn rate: (bad/total)/(1-target); 1.0 burns the budget exactly at window scale.", availBurn),
+		gauge("qpgate_slo_p99_seconds", "p99 proxied latency over the window (log2 bucket upper bound).", p99),
+		gauge("qpgate_slo_latency_objective_seconds", "Latency objective the p99 burn rate is measured against.", t.objective.Seconds()),
+		gauge("qpgate_slo_latency_burn_rate", "Latency-budget burn rate: fraction of requests over the objective / allowed fraction (1%).", latencyBurn),
+	}
+}

@@ -1,0 +1,259 @@
+package gateway
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"questpro/internal/api"
+	"questpro/internal/obs"
+)
+
+// Cross-tier trace propagation (DESIGN.md §14). The gateway honors or
+// mints X-Request-Id, opens one gateway.proxy span per session request,
+// ships the span's id downstream in X-Qp-Trace so the backend's root span
+// links under it, and retains finished proxy spans per session. A trace
+// read served through the gateway then returns ONE forest: the session's
+// gateway spans prepended (oldest first) to the backend's own roots.
+
+// proxyCtx is one request's trace state, threaded through
+// admit/shed/proxy. The span is finalized exactly once, at the moment the
+// response's status is committed (see spanWriter) — before the client can
+// possibly read the response body — so a dialogue's immediately following
+// trace fetch always sees the prior request's span.
+type proxyCtx struct {
+	rid     string
+	session string
+	backend string
+	sp      *obs.Span
+	heldMs  int64
+	retries int64
+	outcome string // proxied | shed | held-timeout | error
+	done    bool
+}
+
+// finalize freezes the span with its accumulated annotations and, when the
+// request belongs to a session, records the snapshot. Idempotent.
+func (pc *proxyCtx) finalize(g *Gateway) {
+	if pc == nil || pc.done {
+		return
+	}
+	pc.done = true
+	if pc.sp == nil {
+		return
+	}
+	pc.sp.SetLabel("backend", pc.backend)
+	pc.sp.SetInt("retries", pc.retries)
+	pc.sp.SetInt("held_ms", pc.heldMs)
+	if pc.outcome == "" {
+		pc.outcome = "proxied"
+	}
+	pc.sp.SetOutcome(pc.outcome)
+	pc.sp.Finish()
+	if pc.session != "" {
+		g.traces.record(pc.session, pc.sp.Snapshot())
+	}
+}
+
+// spanWriter commits the request's span on the first header/body write, so
+// the recorded trace is visible before any response byte reaches the
+// client. Handlers decide the outcome (pc.outcome) before writing.
+type spanWriter struct {
+	http.ResponseWriter
+	g  *Gateway
+	pc *proxyCtx
+}
+
+func (w *spanWriter) WriteHeader(code int) {
+	w.commit()
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *spanWriter) Write(b []byte) (int, error) {
+	w.commit()
+	return w.ResponseWriter.Write(b)
+}
+
+// commit stamps the response with the request id (a Set, collapsing the
+// backend's echo of the same id into one header) and freezes the span.
+func (w *spanWriter) commit() {
+	if !w.pc.done {
+		w.Header().Set("X-Request-Id", w.pc.rid)
+	}
+	w.pc.finalize(w.g)
+}
+
+// ridFallback numbers request ids minted after an entropy failure (the id
+// is the cross-tier correlation key and must never be empty).
+var ridFallback atomic.Int64
+
+// mintRequestID mirrors questprod's request-id shape (16 hex chars).
+func mintRequestID() string {
+	var b [8]byte
+	if _, err := io.ReadFull(rand.Reader, b[:]); err != nil {
+		return fmt.Sprintf("gw-req-%d", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// traceStore retains finished gateway.proxy span snapshots per session: a
+// bounded ring per session, a bounded number of sessions, LRU-evicted.
+// This is droppable observability state — the gateway stays restart-
+// stateless; losing it loses only the gateway half of old traces.
+type traceStore struct {
+	mu          sync.Mutex
+	perSession  map[string]*sessionTrace
+	ringSize    int
+	maxSessions int
+	clock       int64 // advances per record; orders LRU eviction
+}
+
+type sessionTrace struct {
+	nodes []*obs.Node // ring, oldest at [start]
+	start int
+	touch int64
+}
+
+func newTraceStore(ringSize, maxSessions int) *traceStore {
+	if ringSize <= 0 {
+		ringSize = 8
+	}
+	if maxSessions <= 0 {
+		maxSessions = 1024
+	}
+	return &traceStore{
+		perSession:  make(map[string]*sessionTrace),
+		ringSize:    ringSize,
+		maxSessions: maxSessions,
+	}
+}
+
+func (t *traceStore) record(session string, n *obs.Node) {
+	if n == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock++
+	st := t.perSession[session]
+	if st == nil {
+		if len(t.perSession) >= t.maxSessions {
+			var lruKey string
+			lru := int64(1<<63 - 1)
+			for k, s := range t.perSession {
+				if s.touch < lru {
+					lru, lruKey = s.touch, k
+				}
+			}
+			delete(t.perSession, lruKey)
+		}
+		st = &sessionTrace{}
+		t.perSession[session] = st
+	}
+	st.touch = t.clock
+	if len(st.nodes) < t.ringSize {
+		st.nodes = append(st.nodes, n)
+		return
+	}
+	st.nodes[st.start] = n
+	st.start = (st.start + 1) % t.ringSize
+}
+
+// get returns the session's retained spans, oldest first.
+func (t *traceStore) get(session string) []*obs.Node {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.perSession[session]
+	if st == nil {
+		return nil
+	}
+	out := make([]*obs.Node, 0, len(st.nodes))
+	for i := 0; i < len(st.nodes); i++ {
+		out = append(out, st.nodes[(st.start+i)%len(st.nodes)])
+	}
+	return out
+}
+
+// drop forgets the session (called when a DELETE proxies through).
+func (t *traceStore) drop(session string) {
+	t.mu.Lock()
+	delete(t.perSession, session)
+	t.mu.Unlock()
+}
+
+// traceNodeJSON mirrors the service's obs.Node → api.TraceNode conversion,
+// so gateway spans and backend spans serve in the same wire shape.
+func traceNodeJSON(n *obs.Node) *api.TraceNode {
+	if n == nil {
+		return nil
+	}
+	out := &api.TraceNode{
+		Kind:         n.Kind,
+		SpanID:       n.SpanID,
+		ParentSpanID: n.ParentSpanID,
+		StartUnixNs:  n.StartUnixNs,
+		DurationNs:   n.DurationNs,
+		Outcome:      n.Outcome,
+		Counters:     n.Counters,
+		Labels:       n.Labels,
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, traceNodeJSON(c))
+	}
+	return out
+}
+
+// handleTraceRead proxies GET /v1/sessions/{id}/trace and assembles the
+// cross-tier forest: the session's retained gateway.proxy spans (oldest
+// first) prepended to the backend's own roots. Trace reads open no span of
+// their own — mirroring the backend, whose trace handler records nothing —
+// which is what makes consecutive fetches byte-identical.
+func (g *Gateway) handleTraceRead(w http.ResponseWriter, r *http.Request, b *Backend, pc *proxyCtx) {
+	var resp *http.Response
+	g.proxy(w, r, b, nil, pc, func(got *http.Response) { resp = got })
+	if resp == nil {
+		return // proxy already wrote the failure
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		copyHeaders(w.Header(), resp.Header)
+		w.Header().Set("X-Request-Id", pc.rid)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	var backendResp api.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&backendResp); err != nil {
+		g.writeError(w, http.StatusBadGateway, api.CodeUnavailable,
+			"gateway: decoding backend trace response: "+err.Error())
+		return
+	}
+	assembled := api.TraceResponse{Traces: make([]*api.TraceNode, 0, len(backendResp.Traces)+g.traces.ringSize)}
+	for _, n := range g.traces.get(pc.session) {
+		assembled.Traces = append(assembled.Traces, traceNodeJSON(n))
+	}
+	assembled.Traces = append(assembled.Traces, backendResp.Traces...)
+
+	// Re-encode exactly as the service's writeJSON does (two-space indent),
+	// so a gateway-served trace differs from a direct one only by the
+	// prepended gateway spans.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(assembled); err != nil {
+		g.writeError(w, http.StatusInternalServerError, api.CodeInternal,
+			"gateway: encoding assembled trace: "+err.Error())
+		return
+	}
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Del("Content-Length") // the body grew past the backend's
+	w.Header().Set("X-Request-Id", pc.rid)
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}

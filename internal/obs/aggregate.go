@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fleet metric aggregation: merge the parsed /metrics of N backends into
+// one exposition document. The contract (DESIGN.md §14):
+//
+//   - counters and gauges: for every original label set, a fleet series
+//     with the values summed across backends, plus the per-backend series
+//     retained under an added `backend` label;
+//   - histograms: per non-le label set, same-le cumulative bucket counts
+//     summed across backends (every process shares the fixed log₂ grid, so
+//     the le sets align; a mismatch is an error, not a guess), _sum and
+//     _count summed; per-backend series retained under `backend` likewise;
+//   - metadata: TYPE must agree across backends (conflict is an error);
+//     HELP text is taken from the first backend that declares the family.
+//
+// `backend` is reserved: a scraped sample already carrying it is an error.
+
+// Scrape is one backend's parsed /metrics.
+type Scrape struct {
+	Backend  string
+	Families map[string]*MetricFamily
+}
+
+// Aggregate merges the scrapes into a sorted family list whose rendering
+// (WriteFamilies) round-trips through ParsePromText. Scrapes merge in
+// backend-name order, so output is independent of input order.
+func Aggregate(scrapes []Scrape) ([]*MetricFamily, error) {
+	scrapes = append([]Scrape(nil), scrapes...)
+	sort.Slice(scrapes, func(i, j int) bool { return scrapes[i].Backend < scrapes[j].Backend })
+
+	meta := make(map[string]*MetricFamily)
+	names := []string{}
+	for _, sc := range scrapes {
+		for name, mf := range sc.Families {
+			m := meta[name]
+			if m == nil {
+				meta[name] = &MetricFamily{Name: name, Type: mf.Type, Help: mf.Help}
+				names = append(names, name)
+				continue
+			}
+			if m.Type != mf.Type {
+				return nil, fmt.Errorf("family %s: TYPE conflict (%s on one backend, %s on %s)",
+					name, m.Type, mf.Type, sc.Backend)
+			}
+		}
+	}
+	sort.Strings(names)
+
+	out := make([]*MetricFamily, 0, len(names))
+	for _, name := range names {
+		m := meta[name]
+		var err error
+		switch m.Type {
+		case "counter", "gauge", "untyped":
+			err = mergeScalar(m, scrapes)
+		case "histogram":
+			err = mergeHistogram(m, scrapes)
+		default:
+			err = fmt.Errorf("family %s: unsupported TYPE %s in fleet merge", name, m.Type)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// labelKey is the canonical identity of a label set (le excluded when
+// skipLe), used to match series across backends.
+func labelKey(labels map[string]string, skipLe bool) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if skipLe && k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}
+
+func copyLabels(labels map[string]string, skipLe bool) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		if skipLe && k == "le" {
+			continue
+		}
+		out[k] = v
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func withBackend(labels map[string]string, backend string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	out["backend"] = backend
+	return out
+}
+
+func checkReserved(name string, s Sample, backend string) error {
+	if _, ok := s.Labels["backend"]; ok {
+		return fmt.Errorf("family %s: sample from %s already carries reserved label backend", name, backend)
+	}
+	return nil
+}
+
+func mergeScalar(m *MetricFamily, scrapes []Scrape) error {
+	type acc struct {
+		labels map[string]string
+		sum    float64
+	}
+	sums := make(map[string]*acc)
+	order := []string{}
+	var perBackend []Sample
+	for _, sc := range scrapes {
+		mf := sc.Families[m.Name]
+		if mf == nil {
+			continue
+		}
+		for _, s := range mf.Samples {
+			if err := checkReserved(m.Name, s, sc.Backend); err != nil {
+				return err
+			}
+			k := labelKey(s.Labels, false)
+			a := sums[k]
+			if a == nil {
+				a = &acc{labels: copyLabels(s.Labels, false)}
+				sums[k] = a
+				order = append(order, k)
+			}
+			a.sum += s.Value
+			perBackend = append(perBackend, Sample{
+				Name:   s.Name,
+				Labels: withBackend(s.Labels, sc.Backend),
+				Value:  s.Value,
+			})
+		}
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		a := sums[k]
+		m.Samples = append(m.Samples, Sample{Name: m.Name, Labels: a.labels, Value: a.sum})
+	}
+	m.Samples = append(m.Samples, perBackend...)
+	return nil
+}
+
+func mergeHistogram(m *MetricFamily, scrapes []Scrape) error {
+	type bucket struct {
+		leText string
+		le     float64
+		sum    float64
+	}
+	type group struct {
+		labels  map[string]string // without le
+		buckets map[string]*bucket
+		sum     float64
+		count   float64
+	}
+	groups := make(map[string]*group)
+	order := []string{}
+	var perBackend []Sample
+	for _, sc := range scrapes {
+		mf := sc.Families[m.Name]
+		if mf == nil {
+			continue
+		}
+		seenLe := make(map[string]map[string]bool) // group key -> le set this backend supplied
+		for _, s := range mf.Samples {
+			if err := checkReserved(m.Name, s, sc.Backend); err != nil {
+				return err
+			}
+			k := labelKey(s.Labels, true)
+			g := groups[k]
+			if g == nil {
+				g = &group{labels: copyLabels(s.Labels, true), buckets: make(map[string]*bucket)}
+				groups[k] = g
+				order = append(order, k)
+			}
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"):
+				leText := s.Labels["le"]
+				le, err := parseValue(leText)
+				if err != nil {
+					return fmt.Errorf("family %s: bad le %q from %s: %w", m.Name, leText, sc.Backend, err)
+				}
+				b := g.buckets[leText]
+				if b == nil {
+					b = &bucket{leText: leText, le: le}
+					g.buckets[leText] = b
+				}
+				b.sum += s.Value
+				if seenLe[k] == nil {
+					seenLe[k] = make(map[string]bool)
+				}
+				seenLe[k][leText] = true
+			case strings.HasSuffix(s.Name, "_sum"):
+				g.sum += s.Value
+			case strings.HasSuffix(s.Name, "_count"):
+				g.count += s.Value
+			}
+			perBackend = append(perBackend, Sample{
+				Name:   s.Name,
+				Labels: withBackend(s.Labels, sc.Backend),
+				Value:  s.Value,
+			})
+		}
+		// Every backend that contributed to a group must have supplied the
+		// group's full le grid; otherwise summing same-le cumulative counts
+		// would silently under-count the sparse backend's tail.
+		for k, les := range seenLe {
+			if len(les) != len(groups[k].buckets) {
+				return fmt.Errorf("family %s: backend %s le grid mismatch (has %d bounds, fleet has %d)",
+					m.Name, sc.Backend, len(les), len(groups[k].buckets))
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		g := groups[k]
+		bs := make([]*bucket, 0, len(g.buckets))
+		for _, b := range g.buckets {
+			bs = append(bs, b)
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		for _, b := range bs {
+			labels := make(map[string]string, len(g.labels)+1)
+			for lk, lv := range g.labels {
+				labels[lk] = lv
+			}
+			labels["le"] = b.leText
+			m.Samples = append(m.Samples, Sample{Name: m.Name + "_bucket", Labels: labels, Value: b.sum})
+		}
+		m.Samples = append(m.Samples, Sample{Name: m.Name + "_sum", Labels: g.labels, Value: g.sum})
+		m.Samples = append(m.Samples, Sample{Name: m.Name + "_count", Labels: g.labels, Value: g.count})
+	}
+	m.Samples = append(m.Samples, perBackend...)
+	return nil
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrapeOf parses an exposition doc as one backend's scrape, failing the
+// test on parse errors — aggregation inputs are always post-validation.
+func scrapeOf(t *testing.T, backend, doc string) Scrape {
+	t.Helper()
+	fams, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("scrape %s: %v", backend, err)
+	}
+	return Scrape{Backend: backend, Families: fams}
+}
+
+func famByName(t *testing.T, fams []*MetricFamily, name string) *MetricFamily {
+	t.Helper()
+	for _, mf := range fams {
+		if mf.Name == name {
+			return mf
+		}
+	}
+	t.Fatalf("family %s not in aggregate output", name)
+	return nil
+}
+
+func sampleValue(t *testing.T, mf *MetricFamily, name string, want map[string]string) float64 {
+	t.Helper()
+	for _, s := range mf.Samples {
+		if s.Name != name || len(s.Labels) != len(want) {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value
+		}
+	}
+	t.Fatalf("no sample %s with labels %v", name, want)
+	return 0
+}
+
+func TestAggregateSumsCountersAndKeepsPerBackendSeries(t *testing.T) {
+	a := scrapeOf(t, "b1", `# HELP requests_total Requests.
+# TYPE requests_total counter
+requests_total{endpoint="infer"} 3
+requests_total{endpoint="examples"} 1
+`)
+	b := scrapeOf(t, "b2", `# HELP requests_total Requests.
+# TYPE requests_total counter
+requests_total{endpoint="infer"} 4
+`)
+	fams, err := Aggregate([]Scrape{b, a}) // input order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := famByName(t, fams, "requests_total")
+	if got := sampleValue(t, mf, "requests_total", map[string]string{"endpoint": "infer"}); got != 7 {
+		t.Fatalf("fleet infer sum = %v, want 7", got)
+	}
+	if got := sampleValue(t, mf, "requests_total", map[string]string{"endpoint": "examples"}); got != 1 {
+		t.Fatalf("fleet examples sum = %v, want 1", got)
+	}
+	if got := sampleValue(t, mf, "requests_total", map[string]string{"endpoint": "infer", "backend": "b1"}); got != 3 {
+		t.Fatalf("b1 infer = %v, want 3", got)
+	}
+	if got := sampleValue(t, mf, "requests_total", map[string]string{"endpoint": "infer", "backend": "b2"}); got != 4 {
+		t.Fatalf("b2 infer = %v, want 4", got)
+	}
+
+	// Fleet sums must equal the sum of the per-backend series, per the
+	// acceptance criterion, for every label set.
+	for _, s := range mf.Samples {
+		if _, perBackend := s.Labels["backend"]; perBackend {
+			continue
+		}
+		sum := 0.0
+		for _, p := range mf.Samples {
+			if _, perBackend := p.Labels["backend"]; !perBackend {
+				continue
+			}
+			match := true
+			for k, v := range s.Labels {
+				if p.Labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match && len(p.Labels) == len(s.Labels)+1 {
+				sum += p.Value
+			}
+		}
+		if sum != s.Value {
+			t.Fatalf("fleet series %v=%v != per-backend sum %v", s.Labels, s.Value, sum)
+		}
+	}
+}
+
+// TestAggregateMergesHistograms builds two real Family histograms so the le
+// grid is the production grid, merges their rendered scrapes, and checks
+// bucket sums, monotonicity, and that the output round-trips through the
+// strict parser (which itself enforces cumulative validity per label set).
+func TestAggregateMergesHistograms(t *testing.T) {
+	mk := func(durs ...time.Duration) string {
+		f := NewFamily("op_duration_seconds", "op", "Op latency.")
+		for _, d := range durs {
+			f.Observe("infer", d)
+		}
+		var buf bytes.Buffer
+		f.WriteProm(&buf)
+		return buf.String()
+	}
+	a := scrapeOf(t, "b1", mk(10*time.Microsecond, 5*time.Millisecond))
+	b := scrapeOf(t, "b2", mk(20*time.Microsecond, 70*time.Second))
+
+	fams, err := Aggregate([]Scrape{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := famByName(t, fams, "op_duration_seconds")
+	if got := sampleValue(t, mf, "op_duration_seconds_count", map[string]string{"op": "infer"}); got != 4 {
+		t.Fatalf("fleet count = %v, want 4", got)
+	}
+
+	// Monotone cumulative buckets on the fleet series, +Inf == count.
+	prev := -1.0
+	inf := math.NaN()
+	for _, s := range mf.Samples {
+		if s.Name != "op_duration_seconds_bucket" || s.Labels["backend"] != "" {
+			continue
+		}
+		if s.Value < prev {
+			t.Fatalf("fleet buckets not monotone at le=%s: %v < %v", s.Labels["le"], s.Value, prev)
+		}
+		prev = s.Value
+		if s.Labels["le"] == "+Inf" {
+			inf = s.Value
+		}
+	}
+	if inf != 4 {
+		t.Fatalf("fleet +Inf bucket = %v, want 4", inf)
+	}
+
+	// The whole merged document re-parses strictly (histogram validation
+	// runs per label set, covering fleet and per-backend groups alike).
+	var buf bytes.Buffer
+	WriteFamilies(&buf, fams)
+	if _, err := ParsePromText(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("merged document does not round-trip: %v\n%s", err, buf.String())
+	}
+}
+
+func TestAggregateRejectsTypeConflict(t *testing.T) {
+	a := scrapeOf(t, "b1", "# HELP x X.\n# TYPE x counter\nx 1\n")
+	b := scrapeOf(t, "b2", "# HELP x X.\n# TYPE x gauge\nx 1\n")
+	if _, err := Aggregate([]Scrape{a, b}); err == nil {
+		t.Fatal("want TYPE conflict error")
+	}
+}
+
+func TestAggregateRejectsReservedBackendLabel(t *testing.T) {
+	a := scrapeOf(t, "b1", "# HELP x X.\n# TYPE x counter\nx{backend=\"oops\"} 1\n")
+	if _, err := Aggregate([]Scrape{a}); err == nil {
+		t.Fatal("want reserved-label error")
+	}
+}
+
+func TestAggregateRejectsLeGridMismatch(t *testing.T) {
+	a := scrapeOf(t, "b1", `# HELP h H.
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 1
+h_sum 0.5
+h_count 1
+`)
+	b := scrapeOf(t, "b2", `# HELP h H.
+# TYPE h histogram
+h_bucket{le="2"} 1
+h_bucket{le="+Inf"} 1
+h_sum 1.5
+h_count 1
+`)
+	if _, err := Aggregate([]Scrape{a, b}); err == nil {
+		t.Fatal("want le grid mismatch error")
+	}
+}
+
+func TestWriteFamiliesRoundTripsEscapes(t *testing.T) {
+	in := []*MetricFamily{{
+		Name: "weird", Type: "gauge", Help: "Weird labels.",
+		Samples: []Sample{{
+			Name:   "weird",
+			Labels: map[string]string{"v": "a\"b\\c\nd"},
+			Value:  1,
+		}},
+	}}
+	var buf bytes.Buffer
+	WriteFamilies(&buf, in)
+	fams, err := ParsePromText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, buf.String())
+	}
+	got := fams["weird"].Samples[0].Labels["v"]
+	if got != "a\"b\\c\nd" {
+		t.Fatalf("label value mangled: %q", got)
+	}
+}
+
+func TestMergedCountsAndBucketBounds(t *testing.T) {
+	f := NewFamily("d_seconds", "k", "D.")
+	f.Observe("a", 10*time.Microsecond)
+	f.Observe("b", 10*time.Microsecond)
+	f.Observe("b", 50*time.Second)
+	counts, total, sumNs := f.MergedCounts()
+	if len(counts) != NumBuckets() {
+		t.Fatalf("len(counts) = %d, want %d", len(counts), NumBuckets())
+	}
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+	if want := int64(10*time.Microsecond)*2 + int64(50*time.Second); sumNs != want {
+		t.Fatalf("sumNs = %d, want %d", sumNs, want)
+	}
+	var n uint64
+	for i, c := range counts {
+		n += c
+		if c > 0 && BucketUpperNs(i) < int64(10*time.Microsecond) {
+			t.Fatalf("observation below its bucket bound at %d", i)
+		}
+	}
+	if n != total {
+		t.Fatalf("bucket counts sum %d != total %d", n, total)
+	}
+	if !math.IsInf(BucketUpperSeconds(NumBuckets()-1), 1) {
+		t.Fatal("last bucket bound must be +Inf")
+	}
+	if BucketUpperSeconds(0) <= 0 {
+		t.Fatal("first bucket bound must be positive")
+	}
+}
+
+func TestSpanIDsAndRemoteParent(t *testing.T) {
+	SetEnabled(true)
+	ctx, root := NewRoot(context.Background(), "session.infer")
+	if root.ID() == "" || len(root.ID()) != 16 {
+		t.Fatalf("root id %q, want 16 hex chars", root.ID())
+	}
+	_, child := StartSpan(ctx, "core.merge")
+	if child.ID() == root.ID() {
+		t.Fatal("child shares root's id")
+	}
+	root.SetRemoteParent("deadbeefdeadbeef")
+	root.Finish()
+	n := root.Snapshot()
+	if n.SpanID != root.ID() {
+		t.Fatalf("snapshot SpanID = %q, want %q", n.SpanID, root.ID())
+	}
+	if n.ParentSpanID != "deadbeefdeadbeef" {
+		t.Fatalf("snapshot ParentSpanID = %q", n.ParentSpanID)
+	}
+	if n.Children[0].ParentSpanID != "" {
+		t.Fatal("structural child must not carry ParentSpanID")
+	}
+
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := newSpanID()
+		if seen[id] {
+			t.Fatalf("duplicate span id %s", id)
+		}
+		seen[id] = true
+	}
+
+	var nilSpan *Span
+	if nilSpan.ID() != "" {
+		t.Fatal("nil span id must be empty")
+	}
+	nilSpan.SetRemoteParent("x") // must not panic
+}

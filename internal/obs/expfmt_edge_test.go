@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Edge cases the strict parser must handle (ISSUE 10 satellite): escaped
+// label values, +Inf buckets, out-of-order families, duplicate series.
+
+func TestParseEscapedLabelValues(t *testing.T) {
+	doc := `# HELP q Q.
+# TYPE q gauge
+q{a="plain"} 1
+q{a="has \"quotes\""} 2
+q{a="back\\slash"} 3
+q{a="new\nline"} 4
+q{a="mixed \\ \" \n end"} 5
+`
+	fams, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"plain":              1,
+		`has "quotes"`:       2,
+		`back\slash`:         3,
+		"new\nline":          4,
+		"mixed \\ \" \n end": 5,
+	}
+	got := make(map[string]float64)
+	for _, s := range fams["q"].Samples {
+		got[s.Labels["a"]] = s.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("label %q: got %v, want %v (all: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+func TestParseRejectsBadEscapes(t *testing.T) {
+	for _, doc := range []string{
+		"# HELP q Q.\n# TYPE q gauge\nq{a=\"bad \\t escape\"} 1\n",
+		"# HELP q Q.\n# TYPE q gauge\nq{a=\"trailing\\",
+		"# HELP q Q.\n# TYPE q gauge\nq{a=\"unterminated} 1\n",
+	} {
+		if _, err := ParsePromText(strings.NewReader(doc)); err == nil {
+			t.Fatalf("accepted bad document %q", doc)
+		}
+	}
+}
+
+func TestParsePlusInfBucketValue(t *testing.T) {
+	doc := `# HELP h H.
+# TYPE h histogram
+h_bucket{le="0.5"} 2
+h_bucket{le="+Inf"} 3
+h_sum 1.25
+h_count 3
+`
+	fams, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range fams["h"].Samples {
+		if s.Name == "h_bucket" && s.Labels["le"] == "+Inf" {
+			found = true
+			if s.Value != 3 {
+				t.Fatalf("+Inf bucket = %v", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no +Inf bucket sample")
+	}
+	// And a gauge whose *value* is +Inf parses to math.Inf.
+	fams, err = ParsePromText(strings.NewReader("# HELP g G.\n# TYPE g gauge\ng +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fams["g"].Value(); !ok || !math.IsInf(v, 1) {
+		t.Fatalf("g = %v, %v", v, ok)
+	}
+}
+
+// Families interleaved out of declaration order: HELP/TYPE for b appear
+// after a's samples, then a gains more samples. The parser keys families by
+// name, so this is legal as long as each sample's TYPE precedes it.
+func TestParseOutOfOrderFamilies(t *testing.T) {
+	doc := `# HELP a A.
+# TYPE a counter
+a 1
+# HELP b B.
+# TYPE b counter
+b 2
+a 3
+`
+	fams, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams["a"].Samples) != 2 {
+		t.Fatalf("a has %d samples", len(fams["a"].Samples))
+	}
+	// But TYPE after a family's samples stays an error.
+	bad := "# HELP a A.\na 1\n# TYPE a counter\n"
+	if _, err := ParsePromText(strings.NewReader(bad)); err == nil {
+		t.Fatal("accepted sample before TYPE")
+	}
+}
+
+// Duplicate series (same name and labels twice) parse as two samples — the
+// strict parser records, it does not dedupe; aggregation sums them.
+func TestParseDuplicateSeries(t *testing.T) {
+	doc := "# HELP d D.\n# TYPE d counter\nd{k=\"v\"} 1\nd{k=\"v\"} 2\n"
+	fams, err := ParsePromText(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams["d"].Samples) != 2 {
+		t.Fatalf("got %d samples", len(fams["d"].Samples))
+	}
+	agg, err := Aggregate([]Scrape{{Backend: "b", Families: fams}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sampleValue(t, famByName(t, agg, "d"), "d", map[string]string{"k": "v"}); got != 3 {
+		t.Fatalf("duplicate series fleet sum = %v, want 3", got)
+	}
+}
+
+// FuzzParsePromText: the parser must never panic, and any document it
+// accepts must survive a render → re-parse round trip (the renderer and
+// parser agree on the dialect).
+func FuzzParsePromText(f *testing.F) {
+	seeds := []string{
+		"# HELP a A.\n# TYPE a counter\na 1\n",
+		"# HELP a A.\n# TYPE a gauge\na{k=\"v\"} 2.5\n",
+		"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.1\nh_count 1\n",
+		"# HELP q Q.\n# TYPE q gauge\nq{a=\"has \\\"quotes\\\"\"} 2\n",
+		"# HELP q Q.\n# TYPE q gauge\nq{a=\"back\\\\slash\"} 3\n",
+		"# HELP q Q.\n# TYPE q gauge\nq{a=\"new\\nline\"} 4\n",
+		"# HELP g G.\n# TYPE g gauge\ng +Inf\n",
+		"# HELP d D.\n# TYPE d counter\nd{k=\"v\"} 1\nd{k=\"v\"} 2\n",
+		"# HELP a A.\n# TYPE a counter\na 1\n# HELP b B.\n# TYPE b counter\nb 2\na 3\n",
+		"# plain comment\n# HELP a A.\n# TYPE a counter\na 0\n",
+		"a 1\n",
+		"# TYPE a counter\na 1\n",
+		"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		fams, err := ParsePromText(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		out := make([]*MetricFamily, 0, len(fams))
+		for _, mf := range fams {
+			out = append(out, mf)
+		}
+		SortFamilies(out)
+		var buf bytes.Buffer
+		WriteFamilies(&buf, out)
+		if _, err := ParsePromText(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("accepted document fails round trip: %v\noriginal:\n%s\nrendered:\n%s", err, doc, buf.String())
+		}
+	})
+}

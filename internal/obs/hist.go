@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"strconv"
@@ -122,6 +123,95 @@ func (f *Family) Get(labelValue string) *Histogram {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.hists[labelValue]
+}
+
+// NumBuckets is how many cumulative buckets every histogram carries,
+// +Inf included — the length of MergedCounts results.
+func NumBuckets() int { return histBounds + 1 }
+
+// BucketUpperNs returns bucket i's inclusive upper bound in nanoseconds;
+// the last bucket (+Inf) returns math.MaxInt64.
+func BucketUpperNs(i int) int64 {
+	if i >= histBounds {
+		return math.MaxInt64
+	}
+	return int64(1) << (histMinExp + i)
+}
+
+// BucketUpperSeconds is BucketUpperNs in seconds (+Inf for the last bucket).
+func BucketUpperSeconds(i int) float64 {
+	if i >= histBounds {
+		return math.Inf(1)
+	}
+	return float64(int64(1)<<(histMinExp+i)) / 1e9
+}
+
+// MergedCounts sums the family's per-label histograms into one
+// distribution: per-bucket (NON-cumulative) counts, their total, and the
+// summed nanoseconds. The SLO layer diffs two of these snapshots to get a
+// rolling-window distribution.
+func (f *Family) MergedCounts() (counts []uint64, total uint64, sumNs int64) {
+	counts = make([]uint64, histBounds+1)
+	if f == nil {
+		return counts, 0, 0
+	}
+	f.mu.Lock()
+	hists := make([]*Histogram, 0, len(f.hists))
+	for _, h := range f.hists {
+		hists = append(hists, h)
+	}
+	f.mu.Unlock()
+	for _, h := range hists {
+		c, t, s := h.snapshot()
+		for i := range c {
+			counts[i] += c[i]
+		}
+		total += t
+		sumNs += s
+	}
+	return counts, total, sumNs
+}
+
+// Family snapshots the histogram family as a parsed-form MetricFamily, so
+// callers composing a full exposition document (the gateway's /metrics)
+// can render every family through WriteFamilies. Label values appear in
+// sorted order; per label value the samples are the cumulative _bucket
+// series (le ascending), then _sum and _count — exactly what WriteProm
+// emits and ParsePromText validates.
+func (f *Family) Family() *MetricFamily {
+	mf := &MetricFamily{Name: f.name, Type: "histogram", Help: f.help}
+	f.mu.Lock()
+	labels := make([]string, 0, len(f.hists))
+	for lv := range f.hists {
+		labels = append(labels, lv)
+	}
+	sort.Strings(labels)
+	hists := make([]*Histogram, len(labels))
+	for i, lv := range labels {
+		hists[i] = f.hists[lv]
+	}
+	f.mu.Unlock()
+	for i, lv := range labels {
+		counts, total, sumNs := hists[i].snapshot()
+		cum := uint64(0)
+		for b := 0; b <= histBounds; b++ {
+			cum += counts[b]
+			mf.Samples = append(mf.Samples, Sample{
+				Name:   f.name + "_bucket",
+				Labels: map[string]string{f.label: lv, "le": leSeconds(b)},
+				Value:  float64(cum),
+			})
+		}
+		mf.Samples = append(mf.Samples, Sample{
+			Name: f.name + "_sum", Labels: map[string]string{f.label: lv},
+			Value: float64(sumNs) / 1e9,
+		})
+		mf.Samples = append(mf.Samples, Sample{
+			Name: f.name + "_count", Labels: map[string]string{f.label: lv},
+			Value: float64(total),
+		})
+	}
+	return mf
 }
 
 // leSeconds renders a bucket's upper bound in seconds, the unit Prometheus

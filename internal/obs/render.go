@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteFamilies renders parsed (or programmatically built) metric families
+// back to the Prometheus text exposition format. It is the strict inverse
+// of ParsePromText for the subset this repo emits: every family gets its
+// HELP and TYPE line before any sample, label keys render sorted, values
+// render shortest-round-trip, and +Inf/-Inf use the exposition spelling —
+// so WriteFamilies output always re-parses with ParsePromText.
+//
+// Families render in the order given; callers wanting determinism sort
+// first (SortFamilies). Samples within a family render in stored order,
+// which for histograms must keep each label set's buckets le-ascending.
+func WriteFamilies(w io.Writer, fams []*MetricFamily) {
+	for _, mf := range fams {
+		if mf == nil {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", mf.Name, mf.Help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", mf.Name, mf.Type)
+		for _, s := range mf.Samples {
+			writeSample(w, s)
+		}
+	}
+}
+
+// SortFamilies orders families by name, for deterministic scrapes.
+func SortFamilies(fams []*MetricFamily) {
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+}
+
+func writeSample(w io.Writer, s Sample) {
+	io.WriteString(w, s.Name)
+	if len(s.Labels) > 0 {
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		io.WriteString(w, "{")
+		for i, k := range keys {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=\"%s\"", k, escapeLabelValue(s.Labels[k]))
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, formatValue(s.Value))
+	io.WriteString(w, "\n")
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -2,10 +2,13 @@ package obs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,15 +24,48 @@ import (
 // (kernel=heap, mode=union).
 type Span struct {
 	kind  string
+	id    string
 	start time.Time
 
-	mu       sync.Mutex
-	children []*Span
-	counters map[string]int64
-	labels   map[string]string
-	outcome  string
-	dur      time.Duration
-	done     bool
+	mu           sync.Mutex
+	children     []*Span
+	counters     map[string]int64
+	labels       map[string]string
+	outcome      string
+	remoteParent string
+	dur          time.Duration
+	done         bool
+}
+
+// Span ids are 16 lowercase hex chars, unique within (and across) processes:
+// a per-process random salt mixed with an atomic counter through the
+// splitmix64 finalizer. They exist so a span minted in one process (the
+// qpgate gateway) can be referenced from a span tree assembled in another
+// (a questprod backend root linking to its remote parent) — structural
+// parent/child links inside one tree stay implicit in Node.Children.
+var (
+	spanIDCtr  atomic.Uint64
+	spanIDSalt = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0x9e3779b97f4a7c15 // ids stay unique in-process either way
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+)
+
+func newSpanID() string {
+	x := spanIDSalt + spanIDCtr.Add(1)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	const hexdig = "0123456789abcdef"
+	var out [16]byte
+	for i := 15; i >= 0; i-- {
+		out[i] = hexdig[x&0xf]
+		x >>= 4
+	}
+	return string(out[:])
 }
 
 // ctxKey carries the current span through a context.
@@ -49,7 +85,7 @@ func NewRoot(ctx context.Context, kind string) (context.Context, *Span) {
 	if !enabled.Load() {
 		return ctx, nil
 	}
-	sp := &Span{kind: kind, start: time.Now()}
+	sp := &Span{kind: kind, id: newSpanID(), start: time.Now()}
 	return context.WithValue(ctx, ctxKey{}, sp), sp
 }
 
@@ -65,11 +101,34 @@ func StartSpan(ctx context.Context, kind string) (context.Context, *Span) {
 	if parent == nil {
 		return ctx, nil
 	}
-	sp := &Span{kind: kind, start: time.Now()}
+	sp := &Span{kind: kind, id: newSpanID(), start: time.Now()}
 	parent.mu.Lock()
 	parent.children = append(parent.children, sp)
 	parent.mu.Unlock()
 	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// ID returns the span's id ("" on a nil span). Ids are stable for the
+// span's lifetime, so a caller may ship the id to another process (the
+// X-Qp-Trace header) before the span finishes.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// SetRemoteParent links the span under a parent that lives in ANOTHER
+// process's span tree (the cross-tier trace contract, DESIGN.md §14): the
+// parent's span id is recorded verbatim and surfaces as the snapshot's
+// ParentSpanID. Structural (same-process) children never call this.
+func (s *Span) SetRemoteParent(spanID string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remoteParent = spanID
+	s.mu.Unlock()
 }
 
 // SetInt records a counter annotation (last write wins).
@@ -128,13 +187,18 @@ func (s *Span) Finish() {
 // Snapshotting at root close means readers never share mutable state with
 // in-flight instrumentation.
 type Node struct {
-	Kind        string            `json:"kind"`
-	StartUnixNs int64             `json:"start_unix_ns"`
-	DurationNs  int64             `json:"duration_ns"`
-	Outcome     string            `json:"outcome,omitempty"`
-	Counters    map[string]int64  `json:"counters,omitempty"`
-	Labels      map[string]string `json:"labels,omitempty"`
-	Children    []*Node           `json:"children,omitempty"`
+	Kind string `json:"kind"`
+	// SpanID identifies this span across process boundaries;
+	// ParentSpanID, when set, names a span in ANOTHER process's tree
+	// (set via SetRemoteParent — in-tree parentage stays structural).
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	StartUnixNs  int64             `json:"start_unix_ns"`
+	DurationNs   int64             `json:"duration_ns"`
+	Outcome      string            `json:"outcome,omitempty"`
+	Counters     map[string]int64  `json:"counters,omitempty"`
+	Labels       map[string]string `json:"labels,omitempty"`
+	Children     []*Node           `json:"children,omitempty"`
 }
 
 // Snapshot deep-copies the span tree. A span still running snapshots with
@@ -145,9 +209,11 @@ func (s *Span) Snapshot() *Node {
 	}
 	s.mu.Lock()
 	n := &Node{
-		Kind:        s.kind,
-		StartUnixNs: s.start.UnixNano(),
-		Outcome:     s.outcome,
+		Kind:         s.kind,
+		SpanID:       s.id,
+		ParentSpanID: s.remoteParent,
+		StartUnixNs:  s.start.UnixNano(),
+		Outcome:      s.outcome,
 	}
 	if s.done {
 		n.DurationNs = s.dur.Nanoseconds()

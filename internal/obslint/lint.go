@@ -1,0 +1,67 @@
+// Package obslint checks a Prometheus text exposition against the repo's
+// metric-naming contract (DESIGN.md §14): every family carries HELP and
+// TYPE, counters end in _total, and gauges do not. It rides on the strict
+// obs.ParsePromText — a document that fails to parse fails the lint with
+// the parser's error. `make obs-lint` runs these checks against the live
+// /metrics of both questprod and qpgate (and the gateway's /metrics/fleet)
+// so a mis-typed or mis-named family cannot ship.
+package obslint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"questpro/internal/obs"
+)
+
+// Lint parses the exposition and returns one error per violated rule,
+// sorted by family name for stable output. A parse failure returns that
+// single error.
+func Lint(r io.Reader) []error {
+	fams, err := obs.ParsePromText(r)
+	if err != nil {
+		return []error{fmt.Errorf("obslint: exposition does not parse: %w", err)}
+	}
+	return LintFamilies(fams)
+}
+
+// LintFamilies checks already-parsed families.
+func LintFamilies(fams map[string]*obs.MetricFamily) []error {
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var errs []error
+	for _, name := range names {
+		mf := fams[name]
+		// The strict parser only admits families it saw a TYPE comment for,
+		// but keep the checks self-contained: LintFamilies also accepts
+		// hand-built families.
+		if mf.Help == "" {
+			errs = append(errs, fmt.Errorf("obslint: %s: missing HELP", name))
+		}
+		if mf.Type == "" {
+			errs = append(errs, fmt.Errorf("obslint: %s: missing TYPE", name))
+			continue
+		}
+		switch mf.Type {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				errs = append(errs, fmt.Errorf("obslint: %s: counter does not end in _total", name))
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") {
+				errs = append(errs, fmt.Errorf("obslint: %s: gauge must not end in _total", name))
+			}
+		case "histogram", "untyped":
+			// No naming rule beyond parseability.
+		default:
+			errs = append(errs, fmt.Errorf("obslint: %s: unknown TYPE %q", name, mf.Type))
+		}
+	}
+	return errs
+}

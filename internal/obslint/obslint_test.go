@@ -1,0 +1,123 @@
+package obslint
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	qpclient "questpro/internal/client"
+	"questpro/internal/gateway"
+	"questpro/internal/obs"
+	"questpro/internal/service"
+)
+
+// TestLintRules pins each rule on hand-built expositions.
+func TestLintRules(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the first lint error; "" = clean
+	}{
+		{
+			name: "clean",
+			doc: "# HELP good_total A counter.\n# TYPE good_total counter\ngood_total 1\n" +
+				"# HELP depth A gauge.\n# TYPE depth gauge\ndepth 2\n",
+		},
+		{
+			name: "counter without _total",
+			doc:  "# HELP bad A counter.\n# TYPE bad counter\nbad 1\n",
+			want: "counter does not end in _total",
+		},
+		{
+			name: "gauge ending in _total",
+			doc:  "# HELP bad_total A gauge.\n# TYPE bad_total gauge\nbad_total 1\n",
+			want: "gauge must not end in _total",
+		},
+		{
+			name: "unparseable",
+			doc:  "no_type_comment 1\n",
+			want: "does not parse",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Lint(strings.NewReader(tc.doc))
+			if tc.want == "" {
+				if len(errs) != 0 {
+					t.Fatalf("clean doc flagged: %v", errs)
+				}
+				return
+			}
+			if len(errs) == 0 {
+				t.Fatalf("violation not flagged")
+			}
+			if !strings.Contains(errs[0].Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", errs[0], tc.want)
+			}
+		})
+	}
+}
+
+// TestLintFamiliesMissingHelp exercises the hand-built path the strict
+// parser can't produce.
+func TestLintFamiliesMissingHelp(t *testing.T) {
+	fams := map[string]*obs.MetricFamily{
+		"x_total": {Name: "x_total", Type: "counter"},
+	}
+	errs := LintFamilies(fams)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "missing HELP") {
+		t.Fatalf("missing HELP not flagged: %v", errs)
+	}
+}
+
+// TestLiveEndpoints is `make obs-lint`: it stands up a real in-process
+// questprod service and a qpgate gateway in front of it, drives a little
+// traffic so every family has samples, and lints all three expositions —
+// the backend's /metrics, the gateway's /metrics, and the merged
+// /metrics/fleet.
+func TestLiveEndpoints(t *testing.T) {
+	reg := service.NewRegistry(service.Config{})
+	t.Cleanup(reg.Close)
+	backend := httptest.NewServer(service.NewServer(reg))
+	t.Cleanup(backend.Close)
+
+	fleet, err := gateway.NewFleet([]string{backend.URL},
+		gateway.FleetConfig{ProbeInterval: 20 * time.Millisecond, ProbeTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.ProbeAll(context.Background())
+	gw := httptest.NewServer(gateway.New(fleet, gateway.Config{}))
+	t.Cleanup(gw.Close)
+
+	cl := qpclient.New(qpclient.Config{BaseURL: gw.URL})
+	id, err := cl.CreateSession(context.Background(), `<a> <p> <b> .`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stats(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, target := range []string{
+		backend.URL + "/metrics",
+		gw.URL + "/metrics",
+		gw.URL + "/metrics/fleet",
+	} {
+		resp, err := http.Get(target)
+		if err != nil {
+			t.Fatalf("GET %s: %v", target, err)
+		}
+		errs := Lint(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", target, resp.StatusCode)
+		}
+		for _, e := range errs {
+			t.Errorf("%s: %v", target, e)
+		}
+	}
+}

@@ -395,12 +395,14 @@ func traceNodeJSON(n *obs.Node) *api.TraceNode {
 		return nil
 	}
 	out := &api.TraceNode{
-		Kind:        n.Kind,
-		StartUnixNs: n.StartUnixNs,
-		DurationNs:  n.DurationNs,
-		Outcome:     n.Outcome,
-		Counters:    n.Counters,
-		Labels:      n.Labels,
+		Kind:         n.Kind,
+		SpanID:       n.SpanID,
+		ParentSpanID: n.ParentSpanID,
+		StartUnixNs:  n.StartUnixNs,
+		DurationNs:   n.DurationNs,
+		Outcome:      n.Outcome,
+		Counters:     n.Counters,
+		Labels:       n.Labels,
 	}
 	for _, c := range n.Children {
 		out.Children = append(out.Children, traceNodeJSON(c))

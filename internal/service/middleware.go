@@ -16,10 +16,11 @@ import (
 // minted here) and the outcome flags handlers set as they classify errors.
 // Handlers run on the request goroutine, so plain fields suffice.
 type reqInfo struct {
-	id       string
-	shed     bool
-	degraded bool
-	panicked bool
+	id           string
+	remoteParent string // X-Qp-Trace: span id of the caller's (gateway's) span
+	shed         bool
+	degraded     bool
+	panicked     bool
 }
 
 type reqInfoKey struct{}
@@ -30,6 +31,15 @@ type reqInfoKey struct{}
 func requestID(ctx context.Context) string {
 	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
 		return ri.id
+	}
+	return ""
+}
+
+// remoteParentSpan returns the upstream span id the request carried in
+// X-Qp-Trace, or "" (direct requests, tests).
+func remoteParentSpan(ctx context.Context) string {
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		return ri.remoteParent
 	}
 	return ""
 }
@@ -77,6 +87,8 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 
 // withObs is the per-endpoint observability middleware: it honors an
 // incoming X-Request-Id (minting one otherwise), echoes it on the response,
+// records the caller's X-Qp-Trace parent span id so session roots can link
+// under the gateway's proxy span (DESIGN.md §14),
 // threads it through the context for spans and recovered-panic reports,
 // feeds the endpoint's latency histogram, and emits one structured access
 // log line per request — method, endpoint, request id, session id, status,
@@ -89,7 +101,7 @@ func withObs(reg *Registry, endpoint string, h http.HandlerFunc) http.HandlerFun
 		if rid == "" {
 			rid = newRequestID()
 		}
-		ri := &reqInfo{id: rid}
+		ri := &reqInfo{id: rid, remoteParent: r.Header.Get("X-Qp-Trace")}
 		w.Header().Set("X-Request-Id", rid)
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri)))

@@ -165,6 +165,9 @@ func (s *Session) startOp(ctx context.Context, kind string) (context.Context, *o
 		if rid := requestID(ctx); rid != "" {
 			sp.SetLabel("request_id", rid)
 		}
+		if parent := remoteParentSpan(ctx); parent != "" {
+			sp.SetRemoteParent(parent)
+		}
 	}
 	return ctx, sp
 }

@@ -95,6 +95,12 @@ type Report struct {
 	P99Ms          float64 `json:"p99_ms"`
 
 	Errors []string `json:"errors,omitempty"` // first few failure messages
+
+	// FailedRequestIDs holds the last X-Request-Id each failed dialogue
+	// saw, in "dialogue N: rid" form — the correlation key an operator
+	// feeds into the cross-tier trace and the access logs of whichever
+	// shard served it.
+	FailedRequestIDs []string `json:"failed_request_ids,omitempty"`
 }
 
 // splitmix64 is the pattern/word mixer (same constant family the ring's
@@ -204,14 +210,15 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		len(controls), minQuestions(controls), maxQuestionsOf(controls))
 
 	var (
-		mu        sync.Mutex
-		completed int
-		failed    int
-		mismatch  int
-		durations []time.Duration
-		errs      []string
-		resyncs   atomic.Int64
-		retries   atomic.Int64
+		mu         sync.Mutex
+		completed  int
+		failed     int
+		mismatch   int
+		durations  []time.Duration
+		errs       []string
+		failedRids []string
+		resyncs    atomic.Int64
+		retries    atomic.Int64
 	)
 	next := make(chan int)
 	go func() {
@@ -244,6 +251,16 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 				resyncs.Add(nresync)
 				retries.Add(cl.Retries())
 
+				// The request id of the dialogue's last exchange. The retrying
+				// client makes the final request in every failure path (even a
+				// failed answer is followed by its resync read); the raw
+				// answer client is the fallback when none of cl's requests
+				// produced a response.
+				rid := cl.LastRequestID()
+				if rid == "" {
+					rid = raw.LastRequestID()
+				}
+
 				mu.Lock()
 				if err != nil {
 					failed++
@@ -253,6 +270,10 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 					if len(errs) < 8 {
 						errs = append(errs, fmt.Sprintf("dialogue %d (pattern %d): %v", i, p, err))
 					}
+					if rid == "" {
+						rid = "<none: no response carried an id>"
+					}
+					failedRids = append(failedRids, fmt.Sprintf("dialogue %d: %s", i, rid))
 				} else {
 					completed++
 					durations = append(durations, d)
@@ -265,14 +286,15 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	wall := time.Since(start)
 
 	rep := Report{
-		Dialogues:  cfg.Dialogues,
-		Completed:  completed,
-		Failed:     failed,
-		Mismatched: mismatch,
-		Resyncs:    resyncs.Load(),
-		Retries:    retries.Load(),
-		WallMs:     float64(wall.Milliseconds()),
-		Errors:     errs,
+		Dialogues:        cfg.Dialogues,
+		Completed:        completed,
+		Failed:           failed,
+		Mismatched:       mismatch,
+		Resyncs:          resyncs.Load(),
+		Retries:          retries.Load(),
+		WallMs:           float64(wall.Milliseconds()),
+		Errors:           errs,
+		FailedRequestIDs: failedRids,
 	}
 	if wall > 0 {
 		rep.SessionsPerSec = float64(completed) / wall.Seconds()

@@ -1,0 +1,87 @@
+package soak
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"questpro/internal/api"
+)
+
+// VerifyTraceContinuity proves the cross-tier trace contract (DESIGN.md
+// §14) end to end against a live deployment: it drives one dialogue setup
+// (create → examples → infer) through the target, notes the X-Request-Id
+// the target echoed for the inference, then fetches the session's trace
+// through the SAME target and checks the assembled forest — a
+// gateway.proxy span must be present, and the backend's session.* root for
+// the inference must link under it (parent_span_id naming the gateway
+// span, both sides carrying the same request_id label). The target must be
+// a qpgate gateway with tracing enabled; against a direct backend the
+// forest has no gateway tier and the check fails by design.
+func VerifyTraceContinuity(ctx context.Context, cfg Config) error {
+	cfg = cfg.withDefaults()
+	cl := newClient(&cfg, cfg.TargetURL, 4, cfg.Seed+31337)
+
+	id, err := cl.CreateSession(ctx, wireOntology(), nil)
+	if err != nil {
+		return fmt.Errorf("soak: trace continuity: create: %w", err)
+	}
+	// Delete only after the check: a DELETE through the gateway drops the
+	// session's retained gateway spans.
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = cl.DeleteSession(dctx, id)
+	}()
+	if err := cl.SetExamples(ctx, id, wireExamples()); err != nil {
+		return fmt.Errorf("soak: trace continuity: examples: %w", err)
+	}
+	if _, err := cl.Infer(ctx, id, "topk", 0); err != nil {
+		return fmt.Errorf("soak: trace continuity: infer: %w", err)
+	}
+	inferRid := cl.LastRequestID()
+	if inferRid == "" {
+		return fmt.Errorf("soak: trace continuity: target echoed no X-Request-Id for the inference")
+	}
+
+	forest, err := cl.Trace(ctx, id)
+	if err != nil {
+		return fmt.Errorf("soak: trace continuity: trace fetch: %w", err)
+	}
+
+	gatewaySpans := make(map[string]*api.TraceNode)
+	var backendRoots []*api.TraceNode
+	for _, n := range forest.Traces {
+		switch {
+		case n.Kind == "gateway.proxy":
+			if n.SpanID == "" {
+				return fmt.Errorf("soak: trace continuity: gateway.proxy span without span_id")
+			}
+			gatewaySpans[n.SpanID] = n
+		case strings.HasPrefix(n.Kind, "session."):
+			backendRoots = append(backendRoots, n)
+		}
+	}
+	if len(gatewaySpans) == 0 {
+		return fmt.Errorf("soak: trace continuity: forest has no gateway.proxy spans — is %s a qpgate with tracing enabled?", cfg.TargetURL)
+	}
+
+	for _, root := range backendRoots {
+		if root.Labels["request_id"] != inferRid {
+			continue
+		}
+		parent := gatewaySpans[root.ParentSpanID]
+		if parent == nil {
+			return fmt.Errorf("soak: trace continuity: backend root %s (request_id=%s) has parent_span_id=%q naming no gateway span in the forest",
+				root.Kind, inferRid, root.ParentSpanID)
+		}
+		if parent.Labels["request_id"] != inferRid {
+			return fmt.Errorf("soak: trace continuity: request id diverges across tiers: gateway span %s carries %q, backend root carries %q",
+				parent.SpanID, parent.Labels["request_id"], inferRid)
+		}
+		return nil
+	}
+	return fmt.Errorf("soak: trace continuity: no backend root span carries the inference's request id %s (forest has %d gateway spans, %d backend roots)",
+		inferRid, len(gatewaySpans), len(backendRoots))
+}
